@@ -1,0 +1,124 @@
+//! The Protobuf-text back end: emits P4Runtime-flavored text-format
+//! messages (and a JSON dump) for machine consumption.
+//!
+//! We do not speak the gRPC wire format (out of scope, see DESIGN.md); the
+//! text format mirrors `p4.v1.WriteRequest` / packet metadata structure
+//! closely enough for downstream tooling to convert.
+
+use crate::{hex, TestBackend};
+use p4testgen_core::testspec::{KeyMatch, TestSpec};
+
+/// The Protobuf-text emitter.
+#[derive(Clone, Copy, Default)]
+pub struct ProtoBackend;
+
+impl ProtoBackend {
+    /// JSON rendering of the full spec (lossless).
+    pub fn emit_json(&self, spec: &TestSpec) -> String {
+        serde_json::to_string_pretty(spec).expect("TestSpec serializes")
+    }
+}
+
+impl TestBackend for ProtoBackend {
+    fn name(&self) -> &str {
+        "proto"
+    }
+
+    fn emit_test(&self, spec: &TestSpec) -> Result<String, String> {
+        let mut out = format!("test_case {{\n  id: {}\n  program: \"{}\"\n", spec.id, spec.program);
+        for e in &spec.entries {
+            out.push_str("  entities {\n    table_entry {\n");
+            out.push_str(&format!("      table: \"{}\"\n", e.table));
+            if e.priority > 0 {
+                out.push_str(&format!("      priority: {}\n", e.priority));
+            }
+            for k in &e.keys {
+                out.push_str("      match {\n");
+                match k {
+                    KeyMatch::Exact { name, value } => {
+                        out.push_str(&format!(
+                            "        field: \"{name}\"\n        exact {{ value: \"0x{}\" }}\n",
+                            hex(value)
+                        ));
+                    }
+                    KeyMatch::Ternary { name, value, mask } => {
+                        out.push_str(&format!(
+                            "        field: \"{name}\"\n        ternary {{ value: \"0x{}\" mask: \"0x{}\" }}\n",
+                            hex(value),
+                            hex(mask)
+                        ));
+                    }
+                    KeyMatch::Lpm { name, value, prefix_len } => {
+                        out.push_str(&format!(
+                            "        field: \"{name}\"\n        lpm {{ value: \"0x{}\" prefix_len: {prefix_len} }}\n",
+                            hex(value)
+                        ));
+                    }
+                    KeyMatch::Range { name, lo, hi } => {
+                        out.push_str(&format!(
+                            "        field: \"{name}\"\n        range {{ low: \"0x{}\" high: \"0x{}\" }}\n",
+                            hex(lo),
+                            hex(hi)
+                        ));
+                    }
+                    KeyMatch::Optional { name, value } => match value {
+                        Some(v) => out.push_str(&format!(
+                            "        field: \"{name}\"\n        optional {{ value: \"0x{}\" }}\n",
+                            hex(v)
+                        )),
+                        None => out.push_str(&format!("        field: \"{name}\"\n")),
+                    },
+                }
+                out.push_str("      }\n");
+            }
+            out.push_str(&format!("      action: \"{}\"\n", e.action));
+            for (n, v) in &e.action_args {
+                out.push_str(&format!(
+                    "      param {{ name: \"{n}\" value: \"0x{}\" }}\n",
+                    hex(v)
+                ));
+            }
+            out.push_str("    }\n  }\n");
+        }
+        out.push_str(&format!(
+            "  input_packet {{ port: {} payload: \"0x{}\" }}\n",
+            spec.input_port,
+            hex(&spec.input_packet)
+        ));
+        for o in &spec.outputs {
+            out.push_str(&format!(
+                "  expected_output_packet {{ port: {} payload: \"0x{}\" mask: \"0x{}\" }}\n",
+                o.port,
+                hex(&o.packet.data),
+                hex(&o.packet.mask)
+            ));
+        }
+        if spec.expects_drop() {
+            out.push_str("  expected_drop: true\n");
+        }
+        out.push_str("}\n");
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample_spec;
+
+    #[test]
+    fn proto_text_structure() {
+        let out = ProtoBackend.emit_test(&sample_spec()).unwrap();
+        assert!(out.contains("table_entry {"));
+        assert!(out.contains("exact { value: \"0xBEEF\" }"));
+        assert!(out.contains("expected_output_packet { port: 2"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let spec = sample_spec();
+        let json = ProtoBackend.emit_json(&spec);
+        let back: p4testgen_core::testspec::TestSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

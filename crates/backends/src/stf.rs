@@ -1,0 +1,135 @@
+//! The STF (Simple Test Framework) back end: the line-oriented format used
+//! by P4C's BMv2 tests.
+//!
+//! Format (as in P4C's `*.stf` files):
+//! ```text
+//! add <table> [<priority>] <key>:<value> ... <action>(<param>:<value>, ...)
+//! packet <port> <hex bytes>
+//! expect <port> <hex bytes with * wildcards>
+//! ```
+//!
+//! Restrictions mirrored from the real framework (§6): STF has no syntax for
+//! range keys, so tests whose entries contain range matches are rejected
+//! (the paper: "BMv2 STF does not yet support adding range entries. This
+//! restriction means that in some cases P4Testgen will cover fewer paths
+//! than is otherwise possible").
+
+use crate::{hex, TestBackend};
+use p4testgen_core::testspec::{KeyMatch, TestSpec};
+
+/// The STF emitter.
+#[derive(Clone, Copy, Default)]
+pub struct StfBackend;
+
+impl TestBackend for StfBackend {
+    fn name(&self) -> &str {
+        "stf"
+    }
+
+    fn prologue(&self, specs: &[TestSpec]) -> String {
+        match specs.first() {
+            Some(s) => format!("# STF suite for {} ({} tests, seed {})\n", s.program, specs.len(), s.seed),
+            None => "# empty STF suite\n".to_string(),
+        }
+    }
+
+    fn emit_test(&self, spec: &TestSpec) -> Result<String, String> {
+        let mut out = format!("\n# test {}\n", spec.id);
+        for r in &spec.register_init {
+            out.push_str(&format!(
+                "register_write {} {} 0x{}\n",
+                r.instance, r.index, hex(&r.value)
+            ));
+        }
+        for e in &spec.entries {
+            let mut line = format!("add {}", e.table);
+            if e.priority > 0 {
+                line.push_str(&format!(" {}", e.priority));
+            }
+            for k in &e.keys {
+                match k {
+                    KeyMatch::Exact { name, value } => {
+                        line.push_str(&format!(" {name}:0x{}", hex(value)));
+                    }
+                    KeyMatch::Ternary { name, value, mask } => {
+                        line.push_str(&format!(" {name}:0x{}&&&0x{}", hex(value), hex(mask)));
+                    }
+                    KeyMatch::Lpm { name, value, prefix_len } => {
+                        line.push_str(&format!(" {name}:0x{}/{prefix_len}", hex(value)));
+                    }
+                    KeyMatch::Range { .. } => {
+                        return Err("STF does not support range entries".to_string());
+                    }
+                    KeyMatch::Optional { name, value } => match value {
+                        Some(v) => line.push_str(&format!(" {name}:0x{}", hex(v))),
+                        None => line.push_str(&format!(" {name}:*")),
+                    },
+                }
+            }
+            let args: Vec<String> = e
+                .action_args
+                .iter()
+                .map(|(n, v)| format!("{n}:0x{}", hex(v)))
+                .collect();
+            line.push_str(&format!(" {}({})", e.action, args.join(", ")));
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out.push_str(&format!("packet {} {}\n", spec.input_port, hex(&spec.input_packet)));
+        if spec.expects_drop() {
+            out.push_str("# expect no packet (drop)\n");
+        }
+        for o in &spec.outputs {
+            out.push_str(&format!("expect {} {}\n", o.port, o.packet.to_hex().to_uppercase()));
+        }
+        for r in &spec.register_expect {
+            out.push_str(&format!(
+                "register_check {} {} 0x{}\n",
+                r.instance, r.index, hex(&r.value)
+            ));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample_spec;
+    use p4testgen_core::testspec::KeyMatch;
+
+    #[test]
+    fn stf_lines_are_well_formed() {
+        let out = StfBackend.emit_test(&sample_spec()).unwrap();
+        assert!(out.contains("add Ing.forward_table type:0xBEEF Ing.set_out(port:0x0002)"));
+        assert!(out.contains("packet 0 000000000000000000000000"));
+        assert!(out.contains("expect 2 BEEF"));
+    }
+
+    #[test]
+    fn stf_rejects_range_entries() {
+        let mut spec = sample_spec();
+        spec.entries[0].keys = vec![KeyMatch::Range {
+            name: "port".into(),
+            lo: vec![0],
+            hi: vec![9],
+        }];
+        assert!(StfBackend.emit_test(&spec).is_err());
+    }
+
+    #[test]
+    fn stf_wildcards_for_tainted_bits() {
+        let mut spec = sample_spec();
+        spec.outputs[0].packet.mask = vec![0xFF, 0x00];
+        let out = StfBackend.emit_test(&spec).unwrap();
+        assert!(out.contains("expect 2 BE**"), "{out}");
+    }
+
+    #[test]
+    fn stf_drop_expectation() {
+        let mut spec = sample_spec();
+        spec.outputs.clear();
+        let out = StfBackend.emit_test(&spec).unwrap();
+        assert!(out.contains("expect no packet"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Microbenchmarks for the SMT substrate: bitvector arithmetic, bit-blasting,
+//! and SAT solving on constraint shapes representative of packet programs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p4t_smt::{BitVec, CheckResult, Solver, TermPool};
+use std::hint::black_box;
+
+fn bench_bitvec(c: &mut Criterion) {
+    let a = BitVec::from_u128(128, 0xDEAD_BEEF_CAFE_BABE_0123_4567u128);
+    let b = BitVec::from_u128(128, 0x1111_2222_3333_4444_5555_6666u128);
+    c.bench_function("bitvec/add128", |bench| {
+        bench.iter(|| black_box(black_box(&a).add(black_box(&b))))
+    });
+    c.bench_function("bitvec/mul128", |bench| {
+        bench.iter(|| black_box(black_box(&a).mul(black_box(&b))))
+    });
+    c.bench_function("bitvec/udiv128", |bench| {
+        bench.iter(|| black_box(black_box(&a).udiv(black_box(&b))))
+    });
+}
+
+/// A path-constraint shape typical of parser select chains: equalities over
+/// packet slices plus a table-key equality.
+fn parser_path_check(width_headers: usize) -> CheckResult {
+    let mut pool = TermPool::new();
+    let mut solver = Solver::new();
+    let pkt = pool.fresh_var("pkt", 112 + width_headers * 32);
+    let ethertype = pool.extract(112 + width_headers * 32 - 97, 112 + width_headers * 32 - 112, pkt);
+    let c800 = pool.const_u128(16, 0x0800);
+    let is_ip = pool.eq(ethertype, c800);
+    solver.assert(&mut pool, is_ip);
+    for i in 0..width_headers {
+        let field = pool.extract(i * 32 + 31, i * 32, pkt);
+        let key = pool.fresh_var(format!("key{i}"), 32);
+        let eq = pool.eq(field, key);
+        solver.assert(&mut pool, eq);
+    }
+    solver.check(&mut pool)
+}
+
+fn bench_solver(c: &mut Criterion) {
+    c.bench_function("solver/parser_path_2_headers", |b| {
+        b.iter(|| black_box(parser_path_check(2)))
+    });
+    c.bench_function("solver/parser_path_8_headers", |b| {
+        b.iter(|| black_box(parser_path_check(8)))
+    });
+    // Checksum-style: equality binding a 16-bit var against a sum chain.
+    c.bench_function("solver/arith_chain", |b| {
+        b.iter(|| {
+            let mut pool = TermPool::new();
+            let mut solver = Solver::new();
+            let mut acc = pool.const_u128(16, 0);
+            for i in 0..8 {
+                let w = pool.fresh_var(format!("w{i}"), 16);
+                acc = pool.add(acc, w);
+            }
+            let target = pool.const_u128(16, 0xBEEF);
+            let eq = pool.eq(acc, target);
+            solver.assert(&mut pool, eq);
+            black_box(solver.check(&mut pool))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bitvec, bench_solver
+}
+criterion_main!(benches);

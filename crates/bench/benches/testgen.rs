@@ -1,0 +1,92 @@
+//! End-to-end generation benchmarks: one per evaluation artifact.
+//!
+//! * `table4a/*` — full-program generation (the Table 4a rows).
+//! * `table4b/*` — middleblock under each precondition (the Table 4b rows).
+//! * `fig7/throughput` — paths/second on the corpus (the Fig. 7 substrate).
+//! * `fig1/examples` — the paper's worked examples.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p4t_targets::{Tofino, V1Model};
+use p4testgen_core::{Preconditions, Testgen, TestgenConfig};
+use std::hint::black_box;
+
+fn gen_v1(name: &str, src: &str, pre: Preconditions, cap: u64) -> u64 {
+    let mut config = TestgenConfig::default();
+    config.preconditions = pre;
+    config.max_tests = cap;
+    let mut tg = Testgen::new(name, src, V1Model::new(), config).unwrap();
+    tg.run(|_| true).tests
+}
+
+fn gen_tna(name: &str, src: &str, cap: u64) -> u64 {
+    let mut config = TestgenConfig::default();
+    config.max_tests = cap;
+    let mut tg = Testgen::new(name, src, Tofino::tna(), config).unwrap();
+    tg.run(|_| true).tests
+}
+
+fn bench_table4a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4a");
+    g.sample_size(10);
+    g.bench_function("middleblock_sim", |b| {
+        b.iter(|| black_box(gen_v1("mb", &p4t_corpus::MIDDLEBLOCK_SIM, Preconditions::none(), 0)))
+    });
+    g.bench_function("up4_sim", |b| {
+        b.iter(|| black_box(gen_v1("up4", &p4t_corpus::UP4_SIM, Preconditions::none(), 0)))
+    });
+    g.bench_function("switch_sim_capped100", |b| {
+        b.iter(|| black_box(gen_tna("sw", &p4t_corpus::SWITCH_SIM_TNA, 100)))
+    });
+    g.finish();
+}
+
+fn bench_table4b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4b");
+    g.sample_size(10);
+    for (name, pre) in [
+        ("none", Preconditions::none()),
+        ("fixed_size", Preconditions::with_fixed_packet(1500)),
+        ("p4_constraints", Preconditions::with_constraints()),
+        ("both", Preconditions::all(1500)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(gen_v1("mb", &p4t_corpus::MIDDLEBLOCK_SIM, pre.clone(), 0))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.bench_function("fig1a", |b| {
+        b.iter(|| black_box(gen_v1("fig1a", p4t_corpus::FIG1A, Preconditions::none(), 0)))
+    });
+    g.bench_function("fig1b_concolic", |b| {
+        b.iter(|| black_box(gen_v1("fig1b", p4t_corpus::FIG1B, Preconditions::none(), 0)))
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    // Paths/second substrate for Fig. 7: a medium program end to end.
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("corpus_throughput", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            total += gen_v1("stack", &p4t_corpus::STACK_PROG, Preconditions::none(), 0);
+            total += gen_v1("switchstmt", &p4t_corpus::SWITCH_STMT_PROG, Preconditions::none(), 0);
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_table4a, bench_table4b, bench_fig1, bench_fig7
+}
+criterion_main!(benches);

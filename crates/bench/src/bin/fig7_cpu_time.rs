@@ -1,0 +1,96 @@
+//! Fig. 7 reproduction: the distribution of CPU time across P4Testgen's
+//! phases when generating tests for the larger programs.
+//!
+//! The paper's claim: "Solving path constraints in Z3 accounts for less
+//! than 10% of the overall CPU time spent" — i.e. the solver *core* is not
+//! the bottleneck. Our substrate splits what Z3 does internally into two
+//! visible parts: CNF encoding (bit-blasting) and the CDCL search. We
+//! report both views: the strict one (encoding + search, which has no Z3
+//! analogue because Z3 hides its encoding) and the core-search one (the
+//! direct analogue of the paper's "time spent in Z3").
+
+use p4t_targets::{Tofino, V1Model};
+use p4testgen_core::{PhaseStats, Testgen, TestgenConfig};
+use std::time::Duration;
+
+struct Run {
+    name: &'static str,
+    tests: u64,
+    phases: PhaseStats,
+    solve_time: Duration,
+    sat_time: Duration,
+}
+
+fn run_v1(name: &'static str, src: &str, cap: u64) -> Run {
+    let mut config = TestgenConfig::default();
+    config.max_tests = cap;
+    let mut tg = Testgen::new(name, src, V1Model::new(), config).unwrap();
+    let s = tg.run(|_| true);
+    let (solve, sat, _) = tg.solver_stats();
+    Run { name, tests: s.tests, phases: s.phases, solve_time: solve, sat_time: sat }
+}
+
+fn run_tna(name: &'static str, src: &str, cap: u64) -> Run {
+    let mut config = TestgenConfig::default();
+    config.max_tests = cap;
+    let mut tg = Testgen::new(name, src, Tofino::tna(), config).unwrap();
+    let s = tg.run(|_| true);
+    let (solve, sat, _) = tg.solver_stats();
+    Run { name, tests: s.tests, phases: s.phases, solve_time: solve, sat_time: sat }
+}
+
+fn main() {
+    let runs = vec![
+        run_v1("middleblock_sim", &p4t_corpus::MIDDLEBLOCK_SIM, 0),
+        run_v1("up4_sim", &p4t_corpus::UP4_SIM, 0),
+        run_tna("switch_sim", &p4t_corpus::SWITCH_SIM_TNA, 2000),
+    ];
+    let mut total = PhaseStats::default();
+    let mut sat_core = Duration::ZERO;
+    let mut encode = Duration::ZERO;
+    let mut tests = 0u64;
+    for r in &runs {
+        println!(
+            "{}: {} tests, stepping {:?}, solving {:?} (encoding {:?} + SAT search {:?}), emission {:?}, total {:?}",
+            r.name,
+            r.tests,
+            r.phases.stepping,
+            r.phases.solving,
+            r.solve_time.saturating_sub(r.sat_time),
+            r.sat_time,
+            r.phases.emission,
+            r.phases.total
+        );
+        total.stepping += r.phases.stepping;
+        total.solving += r.phases.solving;
+        total.emission += r.phases.emission;
+        total.total += r.phases.total;
+        sat_core += r.sat_time;
+        encode += r.solve_time.saturating_sub(r.sat_time);
+        tests += r.tests;
+    }
+    let t = total.total.as_secs_f64().max(1e-9);
+    let pct = |d: Duration| 100.0 * d.as_secs_f64() / t;
+    let other = total
+        .total
+        .saturating_sub(total.stepping)
+        .saturating_sub(total.solving)
+        .saturating_sub(total.emission);
+    println!();
+    println!("Fig 7: Average CPU time spent in P4Testgen (reproduction, {tests} tests)");
+    println!("  program interpretation (stepping)   : {:5.1}%", pct(total.stepping));
+    println!("  constraint encoding (bit-blasting)  : {:5.1}%", pct(encode));
+    println!("  SAT search (the \"Z3\" analogue)      : {:5.1}%", pct(sat_core));
+    println!("  test emission                       : {:5.1}%", pct(total.emission));
+    println!("  other (scheduling, bookkeeping)     : {:5.1}%", pct(other));
+    println!();
+    println!(
+        "paper claim (solver core < 10% of CPU time): measured {:.1}% -> {}",
+        pct(sat_core),
+        if pct(sat_core) < 10.0 { "HOLDS" } else { "DOES NOT HOLD" }
+    );
+    println!(
+        "strict view (encoding + search): {:.1}% — no paper analogue; Z3's own\nencoding time is hidden inside its <10%. See EXPERIMENTS.md.",
+        pct(encode) + pct(sat_core)
+    );
+}

@@ -1,0 +1,25 @@
+//! §7 "Does P4Testgen produce correct tests?" — the oracle-validation run:
+//! generate tests with a fixed seed for every corpus program and execute
+//! them on the corresponding (unfaulted) software model.
+//!
+//! The paper uses 10 tests per program across ~2000 programs; we use the
+//! corpus with a deeper per-program budget.
+
+use p4t_bench::campaign::{generate_corpus_tests, unfaulted_pass_rate};
+
+fn main() {
+    let per_program: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let corpus = generate_corpus_tests(per_program);
+    let total_tests: usize = corpus.iter().map(|p| p.tests.len()).sum();
+    println!("oracle validation: {} programs, {} tests (budget {per_program}/program)", corpus.len(), total_tests);
+    for pt in &corpus {
+        println!("  {:18} {:4} tests ({:?})", pt.name, pt.tests.len(), pt.arch);
+    }
+    let (pass, total) = unfaulted_pass_rate(&corpus);
+    println!("\nresult: {pass}/{total} tests pass on the unfaulted software models");
+    assert_eq!(pass, total, "oracle validation failed");
+    println!("oracle validation: OK");
+}

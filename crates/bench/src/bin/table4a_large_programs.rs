@@ -1,0 +1,113 @@
+//! Table 4a reproduction: exhaustive test generation for the three large
+//! programs — valid tests, wall time, and statement coverage.
+//!
+//! The paper's numbers come from the much larger proprietary programs
+//! (middleblock.p4 ≈238k tests/13h, up4.p4 ≈34k/2h, switch.p4 >1M); our
+//! analogues are smaller, so absolute counts differ. The reproduction
+//! targets the *shape*: switch ≫ middleblock > up4 in path count, coverage
+//! ordering middleblock ≥ up4 > switch (when switch generation is capped).
+
+use p4t_targets::{Tofino, V1Model};
+use p4testgen_core::{Testgen, TestgenConfig};
+use std::time::Instant;
+
+struct Row {
+    program: &'static str,
+    arch: &'static str,
+    tests: u64,
+    time_s: f64,
+    coverage: f64,
+    capped: bool,
+}
+
+fn run_v1(name: &'static str, src: &str, cap: u64) -> Row {
+    let mut config = TestgenConfig::default();
+    config.max_tests = cap;
+    let t0 = Instant::now();
+    let mut tg = Testgen::new(name, src, V1Model::new(), config).unwrap();
+    let summary = tg.run(|_| true);
+    Row {
+        program: name,
+        arch: "v1model",
+        tests: summary.tests,
+        time_s: t0.elapsed().as_secs_f64(),
+        coverage: summary.coverage.percent,
+        capped: cap > 0 && summary.tests >= cap,
+    }
+}
+
+fn run_tna(name: &'static str, src: &str, cap: u64) -> Row {
+    let mut config = TestgenConfig::default();
+    config.max_tests = cap;
+    let t0 = Instant::now();
+    let mut tg = Testgen::new(name, src, Tofino::tna(), config).unwrap();
+    let summary = tg.run(|_| true);
+    Row {
+        program: name,
+        arch: "tna",
+        tests: summary.tests,
+        time_s: t0.elapsed().as_secs_f64(),
+        coverage: summary.coverage.percent,
+        capped: cap > 0 && summary.tests >= cap,
+    }
+}
+
+fn main() {
+    // switch_sim is capped the way the paper caps switch.p4 ("ceasing
+    // generation at the millionth test" — ours at the 100th of ~400,
+    // which is what depresses its coverage number, as in the paper).
+    let rows = vec![
+        run_v1("middleblock_sim", &p4t_corpus::MIDDLEBLOCK_SIM, 0),
+        run_v1("up4_sim", &p4t_corpus::UP4_SIM, 0),
+        run_tna("switch_sim", &p4t_corpus::SWITCH_SIM_TNA, 100),
+    ];
+    // Exhaustive switch run for the path-dominance shape check (the paper
+    // never finishes switch.p4; our analogue is small enough to exhaust).
+    let sw_exhaustive = run_tna("switch_sim", &p4t_corpus::SWITCH_SIM_TNA, 0);
+    println!("Table 4a: P4Testgen statistics for large P4 programs (reproduction)");
+    println!("| P4 program      | Arch    | Valid tests | Time    | Stmt. cov. |");
+    println!("|-----------------|---------|-------------|---------|------------|");
+    for r in &rows {
+        println!(
+            "| {:15} | {:7} | {:>8}{} | {:6.2}s | {:9.1}% |",
+            r.program,
+            r.arch,
+            r.tests,
+            if r.capped { "+" } else { " " },
+            r.time_s,
+            r.coverage
+        );
+    }
+    println!();
+    println!("(paper: middleblock ~238k/13h/100%, up4 ~34k/2h/95%, switch >1M/N-A/41%;");
+    println!(" our analogues are smaller — the orderings are the reproduction target)");
+    // Shape assertions (reported, not fatal).
+    let mb = &rows[0];
+    let up4 = &rows[1];
+    let sw = &rows[2];
+    let _ = sw.tests;
+    println!("\nshape checks:");
+    println!(
+        "  middleblock tests > up4 tests: {} ({} > {})",
+        mb.tests > up4.tests,
+        mb.tests,
+        up4.tests
+    );
+    println!(
+        "  switch paths dominate (exhaustive): {} ({} vs {})",
+        sw_exhaustive.tests > mb.tests,
+        sw_exhaustive.tests,
+        mb.tests
+    );
+    println!(
+        "  middleblock coverage 100%: {} ({:.1}%)",
+        (mb.coverage - 100.0).abs() < 1e-9,
+        mb.coverage
+    );
+    println!(
+        "  switch coverage below middleblock (capped run): {} ({:.1}% < {:.1}%)",
+        sw.coverage <= mb.coverage,
+        sw.coverage,
+        mb.coverage
+    );
+}

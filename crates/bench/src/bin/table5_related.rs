@@ -1,0 +1,30 @@
+//! Table 5: the related-work comparison matrix. This is a static table in
+//! the paper; we reprint it (with p4testgen-rs in P4Testgen's row) for the
+//! experiment index's completeness.
+
+fn main() {
+    println!("Table 5: Tools that test the P4 toolchain (from the paper)");
+    println!("| Tool        | Generation | No extra input? | Target agnostic | Target-specific semantics |");
+    println!("|-------------|------------|-----------------|-----------------|---------------------------|");
+    for (tool, gen, noinput, agnostic, semantics) in [
+        ("Gauntlet", "Symbex", true, true, false),
+        ("Meissa", "Symbex", false, false, true),
+        ("SwitchV", "Hybrid", false, false, true),
+        ("Petr4", "Symbex", false, true, true),
+        ("p4pktgen", "Symbex", true, false, false),
+        ("PTA", "Fuzzing", false, true, false),
+        ("DBVal", "Fuzzing", false, true, false),
+        ("FP4", "Fuzzing", false, true, false),
+        ("P4Testgen (this reproduction)", "Symbex", true, true, true),
+    ] {
+        let b = |v: bool| if v { "yes" } else { "no " };
+        println!(
+            "| {:27} | {:10} | {:15} | {:15} | {:25} |",
+            tool,
+            gen,
+            b(noinput),
+            b(agnostic),
+            b(semantics)
+        );
+    }
+}

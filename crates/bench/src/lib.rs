@@ -1,0 +1,8 @@
+//! # p4t-bench — the evaluation harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus shared
+//! campaign machinery used by both the binaries and the integration tests.
+
+pub mod campaign;
+
+pub use campaign::{run_campaign, CampaignResult, Detection};

@@ -1,0 +1,51 @@
+//! # p4testgen-core — the P4Testgen symbolic executor
+//!
+//! This crate is the paper's primary contribution: a test oracle that, given
+//! a P4 program and a target extension, generates input/output packet tests
+//! covering the program's statements. The implementation decomposes
+//! *whole-program semantics* (§5) exactly as the paper does:
+//!
+//! * [`target`] — the extension interface: pipeline templates (§5.1),
+//!   parameter bindings (Fig. 3), interstitial hooks (Fig. 5), extern
+//!   dispatch, and policies (uninitialized values, minimum packet size).
+//! * [`state`] — per-path execution state with a continuation stack
+//!   (§5.1.2); continuations let targets express recirculation, cloning, and
+//!   multi-pipe traversal by pushing commands.
+//! * [`packet`] — the packet-sizing model with the I/L/E buffers (§5.2.1,
+//!   Fig. 6).
+//! * [`sym`] — symbolic values with bit-level taint and the taint-spread
+//!   mitigations (§5.3).
+//! * [`concolic`] — concolic execution for checksum-like externs (§5.4),
+//!   with the solve → execute → bind → re-solve loop and retry handling.
+//! * [`exec`] — the small-step reference semantics of every P4 construct;
+//!   each step can be customized by target extensions (§4 step 2).
+//! * [`tables`] — symbolic table application and control-plane entry
+//!   synthesis, including the taint rules for each match kind.
+//! * [`preconditions`] — P4-constraints (`@entry_restriction`) and
+//!   fixed-packet-size preconditions (Table 4b).
+//! * [`coverage`] — statement-coverage tracking and reports (§7).
+//! * [`testspec`] — the abstract test specification consumed by the test
+//!   back ends (§4 step 3).
+//! * [`testgen`] — the driver: path selection (DFS default), eager
+//!   infeasible-path pruning, and test emission with per-phase timing
+//!   (Fig. 7).
+
+pub mod concolic;
+pub mod coverage;
+pub mod exec;
+pub mod packet;
+pub mod preconditions;
+pub mod state;
+pub mod sym;
+pub mod tables;
+pub mod target;
+pub mod testgen;
+pub mod testspec;
+
+pub use coverage::{CoverageReport, CoverageTracker};
+pub use preconditions::Preconditions;
+pub use state::{Cmd, ExecState, FinishReason};
+pub use sym::Sym;
+pub use target::{ExecCtx, ExtArg, ExternOutcome, PipeStep, Target, UninitPolicy};
+pub use testgen::{PhaseStats, RunSummary, Strategy, Testgen, TestgenConfig};
+pub use testspec::{KeyMatch, MaskedBytes, OutputPacketSpec, TableEntrySpec, TestSpec};

@@ -1,0 +1,342 @@
+//! The packet-sizing model (§5.2.1, Fig. 6).
+//!
+//! Three buffers track packet content along a path:
+//!
+//! * **I — the required input packet**: symbolic chunks allocated on demand.
+//!   Whenever the live packet runs out of content, a fresh chunk variable is
+//!   appended to both I and L, recording that a larger input is required to
+//!   traverse this path. The final test's input packet is the concatenation
+//!   of I under the model, plus any target-prepended content excluded.
+//! * **L — the live packet**: what the current block can still consume.
+//!   Targets may prepend parseable metadata (Tofino's intrinsic bytes, FCS)
+//!   to L without growing I.
+//! * **E — the emit buffer**: headers appended by `emit` calls, in order.
+//!   At a *trigger point* (deparser exit), E is prepended to L and cleared.
+//!
+//! Content is tracked as `(Sym, provenance)` segments so the test emitter can
+//! distinguish bits that came from the test's input packet from bits the
+//! target synthesized.
+
+use crate::sym::Sym;
+use p4t_smt::{BitVec, TermPool};
+
+/// Where a live-packet segment originally came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Provenance {
+    /// Part of the test's input packet (member of I).
+    Input,
+    /// Prepended by the target (intrinsic metadata, FCS): not in I.
+    Target,
+    /// Produced by the program (emitted headers).
+    Emitted,
+}
+
+/// One contiguous segment of packet content.
+#[derive(Clone, Debug)]
+pub struct Segment {
+    pub sym: Sym,
+    pub provenance: Provenance,
+}
+
+/// The packet model carried by each execution state.
+#[derive(Clone, Debug, Default)]
+pub struct PacketModel {
+    /// I: symbolic input chunks, in order. Only grows.
+    pub input: Vec<Sym>,
+    /// L: the live packet, front = next bits to parse.
+    pub live: Vec<Segment>,
+    /// E: the emit buffer.
+    pub emit: Vec<Sym>,
+    /// Bits of input consumed so far across all parsers (for diagnostics).
+    pub consumed_bits: u64,
+    /// Counter for naming fresh input chunks.
+    chunk_counter: u32,
+    /// How many live segments are target content appended at the end
+    /// (frame check sequences) rather than prepended metadata.
+    trailing_appended: usize,
+}
+
+impl PacketModel {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total width of the live packet in bits.
+    pub fn live_bits(&self) -> u64 {
+        self.live.iter().map(|s| s.sym.width() as u64).sum()
+    }
+
+    /// Total width of the required input packet in bits.
+    pub fn input_bits(&self) -> u64 {
+        self.input.iter().map(|s| s.width() as u64).sum()
+    }
+
+    /// Total width of the emit buffer in bits.
+    pub fn emit_bits(&self) -> u64 {
+        self.emit.iter().map(|s| s.width() as u64).sum()
+    }
+
+    /// Prepend target-provided content to the live packet (Tofino metadata,
+    /// frame check sequences). Does not grow I.
+    pub fn prepend_target(&mut self, sym: Sym) {
+        self.live.insert(0, Segment { sym, provenance: Provenance::Target });
+    }
+
+    /// Append target-provided content to the end of the live packet. It
+    /// stays at the end even when the input packet later grows.
+    pub fn append_target(&mut self, sym: Sym) {
+        self.live.push(Segment { sym, provenance: Provenance::Target });
+        self.trailing_appended += 1;
+    }
+
+    /// Allocate a fresh input chunk of `bits`, appending it to I and to L.
+    /// In L the chunk is inserted *before* any trailing target-appended
+    /// content (e.g. Tofino's frame check sequence stays at the very end of
+    /// the wire no matter how much the input packet grows).
+    pub fn grow_input(&mut self, pool: &mut TermPool, bits: u32) -> Sym {
+        let name = format!("pkt_in_{}", self.chunk_counter);
+        self.chunk_counter += 1;
+        let term = pool.fresh_var(name, bits as usize);
+        let sym = Sym::clean(term, bits);
+        self.input.push(sym.clone());
+        let trailing_target = self
+            .live
+            .iter()
+            .rev()
+            .take_while(|s| s.provenance == Provenance::Target)
+            .count();
+        // When L is entirely target content (just the prepended metadata),
+        // the input still belongs after it — cap the rewind so prepended
+        // metadata stays in front.
+        let insert_at = self.live.len() - trailing_target.min(self.trailing_appended);
+        self.live.insert(insert_at, Segment { sym: sym.clone(), provenance: Provenance::Input });
+        sym
+    }
+
+    /// Consume exactly `bits` from the front of the live packet, growing the
+    /// input if the live packet is shorter (the Fig. 6 "allocate a new packet
+    /// variable" rule). Returns the consumed content as one value.
+    pub fn read(&mut self, pool: &mut TermPool, bits: u32) -> Sym {
+        let shortfall = (bits as u64).saturating_sub(self.live_bits());
+        if shortfall > 0 {
+            self.grow_input(pool, shortfall as u32);
+        }
+        self.consume(pool, bits).expect("read after grow cannot fail")
+    }
+
+    /// Consume exactly `bits` without growing; `None` if not enough content.
+    pub fn consume(&mut self, pool: &mut TermPool, bits: u32) -> Option<Sym> {
+        if (self.live_bits()) < bits as u64 {
+            return None;
+        }
+        if bits == 0 {
+            let t = pool.constant(BitVec::empty());
+            return Some(Sym::clean(t, 0));
+        }
+        let mut remaining = bits;
+        let mut acc: Option<Sym> = None;
+        while remaining > 0 {
+            let seg = self.live.remove(0);
+            let w = seg.sym.width();
+            let (taken, leftover) = if w <= remaining {
+                (seg.sym, None)
+            } else {
+                // Packet content is MSB-first: the first bits on the wire are
+                // the most significant bits of the segment term.
+                let hi_t = pool.extract((w - 1) as usize, (w - remaining) as usize, seg.sym.term);
+                let hi = Sym::with_taint(
+                    hi_t,
+                    seg.sym.taint.extract((w - 1) as usize, (w - remaining) as usize),
+                );
+                let lo_t = pool.extract((w - remaining - 1) as usize, 0, seg.sym.term);
+                let lo = Sym::with_taint(
+                    lo_t,
+                    seg.sym.taint.extract((w - remaining - 1) as usize, 0),
+                );
+                (hi, Some(Segment { sym: lo, provenance: seg.provenance }))
+            };
+            remaining -= taken.width();
+            acc = Some(match acc {
+                None => taken,
+                Some(a) => {
+                    let t = pool.concat(a.term, taken.term);
+                    Sym::with_taint(t, a.taint.concat(&taken.taint))
+                }
+            });
+            if let Some(rest) = leftover {
+                self.live.insert(0, rest);
+            }
+        }
+        self.consumed_bits += bits as u64;
+        acc
+    }
+
+    /// Peek `bits` from the front without consuming, growing I if needed
+    /// (`lookahead` semantics).
+    pub fn peek(&mut self, pool: &mut TermPool, bits: u32) -> Sym {
+        let shortfall = (bits as u64).saturating_sub(self.live_bits());
+        if shortfall > 0 {
+            self.grow_input(pool, shortfall as u32);
+        }
+        // Read then restore.
+        let saved = self.live.clone();
+        let consumed = self.consumed_bits;
+        let out = self.consume(pool, bits).expect("peek after grow cannot fail");
+        self.live = saved;
+        self.consumed_bits = consumed;
+        out
+    }
+
+    /// Append a value to the emit buffer.
+    pub fn emit(&mut self, sym: Sym) {
+        self.emit.push(sym);
+    }
+
+    /// Trigger point: prepend E to L (preserving emit order) and clear E.
+    pub fn flush_emit(&mut self) {
+        for sym in self.emit.drain(..).rev() {
+            self.live.insert(0, Segment { sym, provenance: Provenance::Emitted });
+        }
+    }
+
+    /// Reset the live packet to the original input (resubmit semantics:
+    /// the unmodified packet re-enters the ingress parser). Target content
+    /// and the emit buffer are cleared; I is unchanged.
+    pub fn resubmit_original(&mut self) {
+        self.live = self
+            .input
+            .iter()
+            .map(|sym| Segment { sym: sym.clone(), provenance: Provenance::Input })
+            .collect();
+        self.emit.clear();
+        self.trailing_appended = 0;
+    }
+
+    /// Drop all remaining live content (e.g. eBPF has no deparser; the
+    /// verbatim packet is the output instead).
+    pub fn clear_live(&mut self) {
+        self.live.clear();
+    }
+
+    /// The live packet as a single value (the expected output packet).
+    /// `None` when the live packet is empty.
+    pub fn live_value(&self, pool: &mut TermPool) -> Option<Sym> {
+        let mut acc: Option<Sym> = None;
+        for seg in &self.live {
+            acc = Some(match acc {
+                None => seg.sym.clone(),
+                Some(a) => {
+                    let t = pool.concat(a.term, seg.sym.term);
+                    Sym::with_taint(t, a.taint.concat(&seg.sym.taint))
+                }
+            });
+        }
+        acc
+    }
+
+    /// The required input packet as a single value. `None` when no input
+    /// content was required on this path.
+    pub fn input_value(&self, pool: &mut TermPool) -> Option<Sym> {
+        let mut acc: Option<Sym> = None;
+        for sym in &self.input {
+            acc = Some(match acc {
+                None => sym.clone(),
+                Some(a) => {
+                    let t = pool.concat(a.term, sym.term);
+                    Sym::with_taint(t, a.taint.concat(&sym.taint))
+                }
+            });
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_grows_input_on_demand() {
+        let mut pool = TermPool::new();
+        let mut pm = PacketModel::new();
+        assert_eq!(pm.input_bits(), 0);
+        let v = pm.read(&mut pool, 112);
+        assert_eq!(v.width(), 112);
+        assert_eq!(pm.input_bits(), 112);
+        assert_eq!(pm.live_bits(), 0);
+    }
+
+    #[test]
+    fn partial_segment_consumption() {
+        let mut pool = TermPool::new();
+        let mut pm = PacketModel::new();
+        pm.grow_input(&mut pool, 32);
+        let first = pm.consume(&mut pool, 8).unwrap();
+        assert_eq!(first.width(), 8);
+        assert_eq!(pm.live_bits(), 24);
+        let rest = pm.consume(&mut pool, 24).unwrap();
+        assert_eq!(rest.width(), 24);
+        assert_eq!(pm.input_bits(), 32);
+    }
+
+    #[test]
+    fn consume_fails_without_content() {
+        let mut pool = TermPool::new();
+        let mut pm = PacketModel::new();
+        pm.grow_input(&mut pool, 8);
+        assert!(pm.consume(&mut pool, 16).is_none());
+        // The failed consume did not disturb the buffer.
+        assert_eq!(pm.live_bits(), 8);
+    }
+
+    #[test]
+    fn msb_first_wire_order() {
+        let mut pool = TermPool::new();
+        let mut pm = PacketModel::new();
+        // Prepend a known 16-bit constant as target content.
+        let c = pool.constant(BitVec::from_u128(16, 0xABCD));
+        pm.prepend_target(Sym::clean(c, 16));
+        let first_byte = pm.consume(&mut pool, 8).unwrap();
+        assert_eq!(pool.as_const(first_byte.term).unwrap().to_u64(), Some(0xAB));
+        let second_byte = pm.consume(&mut pool, 8).unwrap();
+        assert_eq!(pool.as_const(second_byte.term).unwrap().to_u64(), Some(0xCD));
+    }
+
+    #[test]
+    fn emit_then_flush_prepends_in_order() {
+        let mut pool = TermPool::new();
+        let mut pm = PacketModel::new();
+        let a = pool.constant(BitVec::from_u128(8, 0x11));
+        let b = pool.constant(BitVec::from_u128(8, 0x22));
+        let rest = pool.constant(BitVec::from_u128(8, 0x33));
+        pm.append_target(Sym::clean(rest, 8));
+        pm.emit(Sym::clean(a, 8));
+        pm.emit(Sym::clean(b, 8));
+        assert_eq!(pm.emit_bits(), 16);
+        pm.flush_emit();
+        assert_eq!(pm.emit_bits(), 0);
+        let out = pm.live_value(&mut pool).unwrap();
+        assert_eq!(pool.as_const(out.term).unwrap().to_u64(), Some(0x112233));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut pool = TermPool::new();
+        let mut pm = PacketModel::new();
+        let v1 = pm.peek(&mut pool, 16);
+        assert_eq!(pm.live_bits(), 16); // grown but not consumed
+        let v2 = pm.consume(&mut pool, 16).unwrap();
+        assert_eq!(v1.term, v2.term);
+    }
+
+    #[test]
+    fn target_content_not_in_input() {
+        let mut pool = TermPool::new();
+        let mut pm = PacketModel::new();
+        let meta = pool.fresh_var("tofino_meta", 64);
+        pm.prepend_target(Sym::tainted(meta, 64));
+        pm.read(&mut pool, 64 + 112);
+        // 64 bits came from the target; only 112 had to come from the input.
+        assert_eq!(pm.input_bits(), 112);
+    }
+}

@@ -1,0 +1,176 @@
+//! Symbolic values with bit-level taint.
+//!
+//! Every storage slot holds a [`Sym`]: a term plus a concrete taint mask
+//! (§5.3). A taint bit set to 1 means the corresponding value bit is
+//! unpredictable on the target — sourced from uninitialized reads, random
+//! externs, or target-prepended content — and must not influence test
+//! verdicts. Taint propagates structurally: bitwise operations propagate
+//! per bit, arithmetic conservatively taints the whole result if any input
+//! bit is tainted, and the term pool's algebraic simplifications (`x * 0`,
+//! `x & 0`) provide the paper's taint-spread mitigations by never consulting
+//! the tainted operand at all.
+
+use p4t_smt::{BitVec, TermId, TermPool};
+
+/// A symbolic value: term + taint mask (same width, 1 = tainted bit).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sym {
+    pub term: TermId,
+    pub taint: BitVec,
+}
+
+impl Sym {
+    /// A clean (untainted) value.
+    pub fn clean(term: TermId, width: u32) -> Sym {
+        Sym { term, taint: BitVec::zeros(width as usize) }
+    }
+
+    /// A fully tainted value.
+    pub fn tainted(term: TermId, width: u32) -> Sym {
+        Sym { term, taint: BitVec::ones(width as usize) }
+    }
+
+    pub fn with_taint(term: TermId, taint: BitVec) -> Sym {
+        Sym { term, taint }
+    }
+
+    pub fn width(&self) -> u32 {
+        self.taint.width() as u32
+    }
+
+    pub fn is_tainted(&self) -> bool {
+        !self.taint.is_zero()
+    }
+
+    pub fn is_fully_tainted(&self) -> bool {
+        self.taint == BitVec::ones(self.taint.width())
+    }
+
+    /// Taint combination for operations where any tainted input bit can
+    /// influence every output bit (arithmetic, comparisons, shifts by
+    /// symbolic amounts).
+    pub fn smear(inputs: &[&Sym], out_width: u32) -> BitVec {
+        if inputs.iter().any(|s| s.is_tainted()) {
+            BitVec::ones(out_width as usize)
+        } else {
+            BitVec::zeros(out_width as usize)
+        }
+    }
+}
+
+/// Taint-aware operation helpers mirroring the executor's expression forms.
+pub struct SymOps;
+
+impl SymOps {
+    /// Bitwise op: per-bit union of taints, with AND/OR constant-mask
+    /// mitigation handled by the caller via constant folding in the pool.
+    pub fn bitwise_taint(a: &Sym, b: &Sym) -> BitVec {
+        a.taint.or(&b.taint)
+    }
+
+    /// `a & b` where constant-zero bits of either side neutralize taint of
+    /// the other: taint_out = (taint_a | taint_b) & known_possible.
+    pub fn and_taint(pool: &TermPool, a: &Sym, b: &Sym) -> BitVec {
+        let mut t = a.taint.or(&b.taint);
+        // If one side is a constant, its zero bits force output bits to 0
+        // regardless of taint on the other side (mitigation rule 1).
+        if let Some(cb) = pool.as_const(b.term) {
+            t = t.and(cb);
+        }
+        if let Some(ca) = pool.as_const(a.term) {
+            t = t.and(ca);
+        }
+        t
+    }
+
+    pub fn concat_taint(hi: &Sym, lo: &Sym) -> BitVec {
+        hi.taint.concat(&lo.taint)
+    }
+
+    pub fn slice_taint(s: &Sym, hi: u32, lo: u32) -> BitVec {
+        s.taint.extract(hi as usize, lo as usize)
+    }
+
+    pub fn cast_taint(s: &Sym, width: u32) -> BitVec {
+        let w = width as usize;
+        let cur = s.taint.width();
+        if w <= cur {
+            if w == 0 {
+                BitVec::empty()
+            } else {
+                s.taint.extract(w - 1, 0)
+            }
+        } else {
+            s.taint.zext(w)
+        }
+    }
+
+    /// Mux taint: if the condition is tainted, the whole result is; else the
+    /// union of branch taints (conservative, branch-insensitive).
+    pub fn mux_taint(cond: &Sym, t: &Sym, e: &Sym) -> BitVec {
+        if cond.is_tainted() {
+            BitVec::ones(t.taint.width())
+        } else {
+            t.taint.or(&e.taint)
+        }
+    }
+}
+
+/// Create a fresh, fully tainted symbolic value (a havoc value): the model of
+/// "the target may put anything here".
+pub fn havoc(pool: &mut TermPool, name: &str, width: u32) -> Sym {
+    let t = pool.fresh_var(format!("havoc_{name}"), width as usize);
+    Sym::tainted(t, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_and_tainted_constructors() {
+        let mut pool = TermPool::new();
+        let t = pool.const_u128(8, 5);
+        assert!(!Sym::clean(t, 8).is_tainted());
+        assert!(Sym::tainted(t, 8).is_fully_tainted());
+    }
+
+    #[test]
+    fn and_with_constant_clears_taint() {
+        let mut pool = TermPool::new();
+        let x = pool.fresh_var("x", 8);
+        let tainted = Sym::tainted(x, 8);
+        let mask = pool.const_u128(8, 0x0F);
+        let clean_mask = Sym::clean(mask, 8);
+        let taint = SymOps::and_taint(&pool, &tainted, &clean_mask);
+        // Only the low nibble can still be unpredictable.
+        assert_eq!(taint.to_u64(), Some(0x0F));
+    }
+
+    #[test]
+    fn concat_and_slice_taint() {
+        let mut pool = TermPool::new();
+        let x = pool.fresh_var("x", 8);
+        let c = pool.const_u128(8, 0);
+        let hi = Sym::tainted(x, 8);
+        let lo = Sym::clean(c, 8);
+        let cat = SymOps::concat_taint(&hi, &lo);
+        assert_eq!(cat.to_u64(), Some(0xFF00));
+        let s = Sym::with_taint(x, cat.extract(15, 0));
+        assert_eq!(SymOps::slice_taint(&s, 7, 0).to_u64(), Some(0));
+        assert_eq!(SymOps::slice_taint(&s, 15, 8).to_u64(), Some(0xFF));
+    }
+
+    #[test]
+    fn mux_taint_spreads_from_condition() {
+        let mut pool = TermPool::new();
+        let c = pool.fresh_var("c", 1);
+        let a = pool.const_u128(8, 1);
+        let cond_tainted = Sym::tainted(c, 1);
+        let clean = Sym::clean(a, 8);
+        let taint = SymOps::mux_taint(&cond_tainted, &clean, &clean);
+        assert_eq!(taint.to_u64(), Some(0xFF));
+        let cond_clean = Sym::clean(c, 1);
+        assert!(SymOps::mux_taint(&cond_clean, &clean, &clean).is_zero());
+    }
+}

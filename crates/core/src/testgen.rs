@@ -1,0 +1,568 @@
+//! The test-generation driver (§4): path exploration, feasibility checking,
+//! concolic resolution, and test emission, with per-phase timing for the
+//! Fig. 7 experiment.
+
+use crate::concolic::{resolve_concolics, ConcolicRegistry};
+use crate::coverage::{CoverageReport, CoverageTracker};
+use crate::exec;
+use crate::preconditions::Preconditions;
+use crate::state::{Cmd, ExecState, FinishReason, RegisterOp, SynthKeyMatch};
+use crate::target::{ExecCtx, Target};
+use crate::testspec::{
+    KeyMatch, MaskedBytes, OutputPacketSpec, RegisterSpec, TableEntrySpec, TestSpec,
+};
+use p4t_ir::IrProgram;
+use p4t_smt::{eval, Assignment, BitVec, CheckResult, Solver, TermId, TermPool, VarId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Path-selection strategy (§6: DFS by default; continuations make other
+/// heuristics cheap to try).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// Depth-first: explore all valid paths to exhaustion (the default).
+    Dfs,
+    /// Breadth-first.
+    Bfs,
+    /// Pick a random pending state each time (random backtracking).
+    RandomBacktrack,
+    /// Prefer the pending state that has covered the most statements not
+    /// yet covered globally (the paper's "heuristics to try to maximize
+    /// coverage with the fewest number of paths").
+    CoverageFirst,
+}
+
+/// Generation configuration.
+#[derive(Clone, Debug)]
+pub struct TestgenConfig {
+    /// Stop after emitting this many tests (0 = unlimited).
+    pub max_tests: u64,
+    /// Stop after exploring this many paths (0 = unlimited).
+    pub max_paths: u64,
+    /// Per-path step budget (runaway guard).
+    pub max_steps_per_path: u64,
+    pub seed: u64,
+    pub parser_loop_bound: u32,
+    pub strategy: Strategy,
+    pub preconditions: Preconditions,
+    /// Stop once every statement has been covered.
+    pub stop_at_full_coverage: bool,
+    /// Retries for the concolic resolution loop (§5.4).
+    pub concolic_retries: u32,
+    /// Skip solver calls for forks whose constraints are syntactically
+    /// trivial (pure-constant conditions); always sound, just lazier.
+    pub eager_pruning: bool,
+}
+
+impl Default for TestgenConfig {
+    fn default() -> Self {
+        TestgenConfig {
+            max_tests: 0,
+            max_paths: 0,
+            max_steps_per_path: 100_000,
+            seed: 1,
+            parser_loop_bound: 8,
+            strategy: Strategy::Dfs,
+            preconditions: Preconditions::none(),
+            stop_at_full_coverage: false,
+            concolic_retries: 3,
+            eager_pruning: true,
+        }
+    }
+}
+
+/// Per-phase timing, the data behind our Fig. 7 reproduction.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseStats {
+    /// Time stepping the symbolic executor (program interpretation).
+    pub stepping: Duration,
+    /// Time inside the solver (bit-blasting + SAT search).
+    pub solving: Duration,
+    /// Time concretizing models into test specifications.
+    pub emission: Duration,
+    pub total: Duration,
+}
+
+/// End-of-run summary.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    pub tests: u64,
+    pub paths_explored: u64,
+    pub infeasible_paths: u64,
+    pub abandoned_paths: u64,
+    pub coverage: CoverageReport,
+    pub phases: PhaseStats,
+    pub solver_checks: u64,
+}
+
+/// The generation driver. Owns the term pool, the incremental solver, the
+/// target extension, and the compiled program.
+pub struct Testgen<T: Target> {
+    pub prog: IrProgram,
+    pub target: T,
+    pool: TermPool,
+    solver: Solver,
+    pub config: TestgenConfig,
+    pub concolics: ConcolicRegistry,
+    program_name: String,
+}
+
+impl<T: Target> Testgen<T> {
+    /// Compile `source` (with the target's prelude prepended) and prepare a
+    /// generation run.
+    pub fn new(program_name: &str, source: &str, target: T, config: TestgenConfig) -> Result<Self, String> {
+        let full = format!("{}\n{}", target.prelude(), source);
+        let prog = p4t_ir::compile(&full).map_err(|e| e.to_string())?;
+        target.pipeline(&prog)?; // validate early
+        Ok(Testgen {
+            prog,
+            target,
+            pool: TermPool::new(),
+            solver: Solver::new(),
+            config,
+            concolics: ConcolicRegistry::with_builtins(),
+            program_name: program_name.to_string(),
+        })
+    }
+
+    /// Access the compiled program.
+    pub fn program(&self) -> &IrProgram {
+        &self.prog
+    }
+
+    /// Solver timing and SAT-core statistics (Fig. 7 analysis).
+    pub fn solver_stats(&self) -> (Duration, Duration, p4t_smt::sat::SatStats) {
+        (
+            self.solver.stats.solve_time,
+            self.solver.stats.sat_time,
+            self.solver.sat_stats().clone(),
+        )
+    }
+
+    /// Run generation, invoking `on_test` for every emitted test. Returning
+    /// `false` from the callback stops the run.
+    pub fn run(&mut self, mut on_test: impl FnMut(&TestSpec) -> bool) -> RunSummary {
+        let t_start = Instant::now();
+        let mut phases = PhaseStats::default();
+        let mut coverage = CoverageTracker::new(&self.prog);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut next_id: u64 = 0;
+        let mut tests: u64 = 0;
+        let mut paths: u64 = 0;
+        let mut infeasible: u64 = 0;
+        let mut abandoned: u64 = 0;
+
+        // Initial state.
+        let mut init = ExecState::new(0);
+        {
+            let mut ctx = ExecCtx::new(
+                &mut self.pool,
+                &self.prog,
+                &mut next_id,
+                self.config.parser_loop_bound,
+                self.config.seed,
+            );
+            ctx.apply_entry_restrictions = self.config.preconditions.apply_entry_restrictions;
+            self.target.init(&mut ctx, &mut init);
+            if let Some(bytes) = self.config.preconditions.fixed_packet_bytes {
+                init.packet.grow_input(ctx.pool, bytes * 8);
+            }
+        }
+        init.continuations.push(Cmd::PipeStep(0));
+        let mut worklist: Vec<ExecState> = vec![init];
+
+        'outer: while let Some(mut st) = self.select(&mut worklist, &mut rng, &coverage) {
+            if self.config.max_paths > 0 && paths >= self.config.max_paths {
+                break;
+            }
+            let mut steps: u64 = 0;
+            // Drive this state until it forks, finishes, or exhausts budget.
+            while st.is_running() {
+                let Some(cmd) = st.continuations.pop() else {
+                    st.finish(FinishReason::Completed);
+                    break;
+                };
+                steps += 1;
+                if steps > self.config.max_steps_per_path {
+                    st.finish(FinishReason::Abandoned("step budget exhausted".into()));
+                    break;
+                }
+                let t0 = Instant::now();
+                let mut ctx = ExecCtx::new(
+                    &mut self.pool,
+                    &self.prog,
+                    &mut next_id,
+                    self.config.parser_loop_bound,
+                    self.config.seed,
+                );
+                ctx.apply_entry_restrictions =
+                    self.config.preconditions.apply_entry_restrictions;
+                let res = exec::step(&mut ctx, &mut st, &self.target, cmd);
+                let forks = std::mem::take(&mut ctx.forks);
+                phases.stepping += t0.elapsed();
+                if let Err(e) = res {
+                    st.finish(FinishReason::Abandoned(e.0));
+                    break;
+                }
+                if !forks.is_empty() {
+                    // Feasibility-check forks before queueing them.
+                    for f in forks {
+                        if f.trivially_unsat(&self.pool) {
+                            infeasible += 1;
+                            continue;
+                        }
+                        if self.config.eager_pruning && !f.constraints.is_empty() {
+                            let t1 = Instant::now();
+                            let sat = self.solver.check_assuming(&mut self.pool, &f.constraints)
+                                == CheckResult::Sat;
+                            phases.solving += t1.elapsed();
+                            if !sat {
+                                infeasible += 1;
+                                continue;
+                            }
+                        }
+                        worklist.push(f);
+                    }
+                    if !st.is_running() {
+                        break; // superseded by forks
+                    }
+                }
+            }
+            paths += 1;
+            match st.finished.clone() {
+                Some(FinishReason::Completed) | Some(FinishReason::Dropped) => {
+                    let t2 = Instant::now();
+                    let solving_before = phases.solving;
+                    let emitted = self.emit_test(&st, tests, &mut phases);
+                    let nested_solving = phases.solving - solving_before;
+                    phases.emission += t2.elapsed().saturating_sub(nested_solving);
+                    match emitted {
+                        Some(spec) => {
+                            tests += 1;
+                            coverage.add(&st.covered);
+                            if !on_test(&spec) {
+                                break 'outer;
+                            }
+                            if self.config.max_tests > 0 && tests >= self.config.max_tests {
+                                break 'outer;
+                            }
+                            if self.config.stop_at_full_coverage && coverage.is_full() {
+                                break 'outer;
+                            }
+                        }
+                        None => abandoned += 1,
+                    }
+                }
+                Some(FinishReason::Infeasible) => infeasible += 1,
+                Some(FinishReason::Abandoned(_)) | None => abandoned += 1,
+            }
+        }
+        phases.total = t_start.elapsed();
+        RunSummary {
+            tests,
+            paths_explored: paths,
+            infeasible_paths: infeasible,
+            abandoned_paths: abandoned,
+            coverage: coverage.report(&self.prog),
+            phases,
+            solver_checks: self.solver.stats.checks,
+        }
+    }
+
+    fn select(
+        &self,
+        worklist: &mut Vec<ExecState>,
+        rng: &mut StdRng,
+        coverage: &CoverageTracker,
+    ) -> Option<ExecState> {
+        if worklist.is_empty() {
+            return None;
+        }
+        match self.config.strategy {
+            Strategy::Dfs => worklist.pop(),
+            Strategy::Bfs => Some(worklist.remove(0)),
+            Strategy::RandomBacktrack => {
+                let i = rng.gen_range(0..worklist.len());
+                Some(worklist.swap_remove(i))
+            }
+            Strategy::CoverageFirst => {
+                // Most novel statements already covered on the path wins;
+                // ties go to the most recent state (DFS-like locality).
+                let (best, _) = worklist
+                    .iter()
+                    .enumerate()
+                    .map(|(i, st)| {
+                        let novel =
+                            st.covered.iter().filter(|id| !coverage.contains(**id)).count();
+                        (i, novel)
+                    })
+                    .max_by_key(|&(i, novel)| (novel, i))?;
+                Some(worklist.swap_remove(best))
+            }
+        }
+    }
+
+    /// Concretize a finished state into a test specification; `None` when
+    /// the path must be discarded (unsat, unresolvable concolics, or a
+    /// tainted output port).
+    fn emit_test(&mut self, st: &ExecState, test_id: u64, phases: &mut PhaseStats) -> Option<TestSpec> {
+        // Tainted output port, or control flow that branched on a tainted
+        // value: the test would be flaky (§5.3 / footnote 2) — drop it.
+        if st.flag("taint_flaky") == 1 {
+            return None;
+        }
+        for out in &st.outputs {
+            if out.port.is_tainted() {
+                return None;
+            }
+        }
+        // Resolve concolic bindings (§5.4); adds equality constraints.
+        let t0 = Instant::now();
+        let extra = resolve_concolics(
+            &mut self.pool,
+            &mut self.solver,
+            &self.concolics,
+            &st.concolics,
+            &st.constraints,
+            self.config.concolic_retries,
+        );
+        let mut assumptions = st.constraints.clone();
+        match extra {
+            Some(eqs) => assumptions.extend(eqs),
+            None => {
+                phases.solving += t0.elapsed();
+                return None;
+            }
+        }
+        let sat = self.solver.check_assuming(&mut self.pool, &assumptions) == CheckResult::Sat;
+        phases.solving += t0.elapsed();
+        if !sat {
+            return None;
+        }
+        // Randomize free control-plane choices (the paper: "the output port
+        // is chosen at random"): propose seeded random values for synthesized
+        // entry arguments and fall back to the unbiased model when the
+        // proposal is inconsistent with the path constraints.
+        let t1 = Instant::now();
+        let mut proposals: Vec<TermId> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ (test_id << 17) ^ 0x9E37_79B9);
+        for e in &st.entries {
+            for (_, t, w) in &e.args {
+                let r: u128 = rng.gen::<u128>() & mask_ones(*w);
+                let c = self.pool.constant(BitVec::from_u128(*w as usize, r));
+                proposals.push(self.pool.eq(*t, c));
+            }
+        }
+        if !proposals.is_empty() {
+            let mut with_rand = assumptions.clone();
+            with_rand.extend(proposals.iter().copied());
+            if self.solver.check_assuming(&mut self.pool, &with_rand) == CheckResult::Sat {
+                assumptions = with_rand;
+            } else {
+                // Re-establish the model without the proposals.
+                let _ = self.solver.check_assuming(&mut self.pool, &assumptions);
+            }
+        }
+        phases.solving += t1.elapsed();
+        // Gather every variable the test depends on and extract the model.
+        let model = self.model_for(st, &assumptions);
+        // Input packet.
+        let mut input_bits = BitVec::empty();
+        for chunk in &st.packet.input {
+            input_bits = input_bits.concat(&eval(&self.pool, &model, chunk.term));
+        }
+        let input_packet = bits_to_bytes(&input_bits);
+        // Input port (targets record it in a conventional slot).
+        let input_port = st
+            .read_global("$input_port")
+            .map(|s| {
+                eval(&self.pool, &model, s.term)
+                    .to_u64()
+                    .unwrap_or(0) as u32
+            })
+            .unwrap_or(0);
+        // Outputs.
+        let mut outputs = Vec::new();
+        for out in &st.outputs {
+            let port =
+                eval(&self.pool, &model, out.port.term).to_u64().unwrap_or(0) as u32;
+            let packet = match &out.payload {
+                Some(p) => {
+                    let data = eval(&self.pool, &model, p.term);
+                    masked_bytes(&data, &p.taint)
+                }
+                None => MaskedBytes::exact(Vec::new()),
+            };
+            outputs.push(OutputPacketSpec { port, packet });
+        }
+        // Control-plane entries.
+        let entries = st
+            .entries
+            .iter()
+            .map(|e| TableEntrySpec {
+                table: e.table.clone(),
+                keys: e.keys.iter().map(|k| self.concretize_key(k, &model)).collect(),
+                action: e.action.clone(),
+                action_args: e
+                    .args
+                    .iter()
+                    .map(|(n, t, w)| {
+                        (n.clone(), value_bytes(&eval(&self.pool, &model, *t), *w))
+                    })
+                    .collect(),
+                priority: e.priority,
+            })
+            .collect();
+        // Registers.
+        let mut register_init = Vec::new();
+        let mut register_expect = Vec::new();
+        for op in &st.register_ops {
+            match op {
+                RegisterOp::Read { instance, index, result, width } => {
+                    register_init.push(RegisterSpec {
+                        instance: instance.clone(),
+                        index: eval(&self.pool, &model, *index).to_u64().unwrap_or(0),
+                        value: value_bytes(&eval(&self.pool, &model, *result), *width),
+                    });
+                }
+                RegisterOp::Write { instance, index, value, width } => {
+                    register_expect.push(RegisterSpec {
+                        instance: instance.clone(),
+                        index: eval(&self.pool, &model, *index).to_u64().unwrap_or(0),
+                        value: value_bytes(&eval(&self.pool, &model, *value), *width),
+                    });
+                }
+            }
+        }
+        Some(TestSpec {
+            id: test_id,
+            program: self.program_name.clone(),
+            target: self.target.name().to_string(),
+            seed: self.config.seed,
+            input_port,
+            input_packet,
+            entries,
+            register_init,
+            register_expect,
+            outputs,
+            covered_statements: st.covered.iter().map(|s| s.0).collect(),
+            trace: st.trace.clone(),
+        })
+    }
+
+    fn model_for(&self, st: &ExecState, assumptions: &[TermId]) -> Assignment {
+        let mut vars: Vec<VarId> = Vec::new();
+        for &c in assumptions {
+            vars.extend(self.pool.vars_of(c));
+        }
+        for chunk in &st.packet.input {
+            vars.extend(self.pool.vars_of(chunk.term));
+        }
+        for out in &st.outputs {
+            vars.extend(self.pool.vars_of(out.port.term));
+            if let Some(p) = &out.payload {
+                vars.extend(self.pool.vars_of(p.term));
+            }
+        }
+        for e in &st.entries {
+            for k in &e.keys {
+                for t in [k.value, k.mask, k.hi].into_iter().flatten() {
+                    vars.extend(self.pool.vars_of(t));
+                }
+            }
+            for (_, t, _) in &e.args {
+                vars.extend(self.pool.vars_of(*t));
+            }
+        }
+        for op in &st.register_ops {
+            match op {
+                RegisterOp::Read { index, result, .. } => {
+                    vars.extend(self.pool.vars_of(*index));
+                    vars.extend(self.pool.vars_of(*result));
+                }
+                RegisterOp::Write { index, value, .. } => {
+                    vars.extend(self.pool.vars_of(*index));
+                    vars.extend(self.pool.vars_of(*value));
+                }
+            }
+        }
+        if let Some(p) = st.read_global("$input_port") {
+            vars.extend(self.pool.vars_of(p.term));
+        }
+        vars.sort();
+        vars.dedup();
+        self.solver.model(&self.pool, &vars)
+    }
+
+    fn concretize_key(&self, k: &SynthKeyMatch, model: &Assignment) -> KeyMatch {
+        let val = |t: Option<TermId>| {
+            t.map(|t| value_bytes(&eval(&self.pool, model, t), k.width)).unwrap_or_default()
+        };
+        match k.match_kind.as_str() {
+            "ternary" => KeyMatch::Ternary {
+                name: k.key_name.clone(),
+                value: val(k.value),
+                mask: val(k.mask),
+            },
+            "lpm" => KeyMatch::Lpm {
+                name: k.key_name.clone(),
+                value: val(k.value),
+                prefix_len: k.prefix_len.unwrap_or(k.width),
+            },
+            "range" => KeyMatch::Range {
+                name: k.key_name.clone(),
+                lo: val(k.value),
+                hi: val(k.hi),
+            },
+            "optional" => {
+                // Zero mask encodes the wildcard.
+                let wildcard = k
+                    .mask
+                    .map(|m| eval(&self.pool, model, m).is_zero())
+                    .unwrap_or(false);
+                KeyMatch::Optional {
+                    name: k.key_name.clone(),
+                    value: if wildcard { None } else { Some(val(k.value)) },
+                }
+            }
+            _ => KeyMatch::Exact { name: k.key_name.clone(), value: val(k.value) },
+        }
+    }
+}
+
+fn mask_ones(w: u32) -> u128 {
+    if w >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << w) - 1
+    }
+}
+
+/// Bits (MSB-first) to bytes, right-padding the final partial byte with 0.
+fn bits_to_bytes(bits: &BitVec) -> Vec<u8> {
+    let w = bits.width();
+    if w == 0 {
+        return Vec::new();
+    }
+    let rem = w % 8;
+    let padded = if rem == 0 {
+        bits.clone()
+    } else {
+        bits.concat(&BitVec::zeros(8 - rem))
+    };
+    padded.to_bytes_be()
+}
+
+/// A value rendered as minimal big-endian bytes of its declared width.
+fn value_bytes(v: &BitVec, width: u32) -> Vec<u8> {
+    let byte_w = (width as usize).div_ceil(8) * 8;
+    v.cast(byte_w).to_bytes_be()
+}
+
+/// Data + taint mask to masked bytes (taint bit 1 → mask bit 0).
+fn masked_bytes(data: &BitVec, taint: &BitVec) -> MaskedBytes {
+    let d = bits_to_bytes(data);
+    let m = bits_to_bytes(&taint.not());
+    MaskedBytes { data: d, mask: m }
+}

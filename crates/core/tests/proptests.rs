@@ -1,0 +1,147 @@
+//! Property-based tests for the core: packet-model invariants, masked-byte
+//! semantics, and taint propagation laws.
+
+use p4t_smt::{BitVec, TermPool};
+use p4testgen_core::packet::PacketModel;
+use p4testgen_core::sym::{Sym, SymOps};
+use p4testgen_core::testspec::MaskedBytes;
+use proptest::prelude::*;
+
+proptest! {
+    /// Conservation: total bits read == total bits provided, and I grows by
+    /// exactly the shortfall.
+    #[test]
+    fn packet_read_conserves_bits(reads in proptest::collection::vec(1u32..200, 1..12)) {
+        let mut pool = TermPool::new();
+        let mut pm = PacketModel::new();
+        let mut total: u64 = 0;
+        for r in &reads {
+            let v = pm.read(&mut pool, *r);
+            prop_assert_eq!(v.width(), *r);
+            total += *r as u64;
+        }
+        prop_assert_eq!(pm.input_bits(), total);
+        prop_assert_eq!(pm.live_bits(), 0);
+    }
+
+    /// Pre-grown content is consumed before new input is allocated.
+    #[test]
+    fn packet_pregrow_then_read(pre in 1u32..256, read in 1u32..256) {
+        let mut pool = TermPool::new();
+        let mut pm = PacketModel::new();
+        pm.grow_input(&mut pool, pre);
+        let _ = pm.read(&mut pool, read);
+        let expect_input = pre.max(read) as u64;
+        prop_assert_eq!(pm.input_bits(), expect_input);
+        prop_assert_eq!(pm.live_bits(), (pre as u64).saturating_sub(read as u64));
+    }
+
+    /// Target-prepended content never counts toward I.
+    #[test]
+    fn packet_target_content_not_in_input(meta in 1u32..128, read in 1u32..300) {
+        let mut pool = TermPool::new();
+        let mut pm = PacketModel::new();
+        let m = pool.fresh_var("meta", meta as usize);
+        pm.prepend_target(Sym::tainted(m, meta));
+        let _ = pm.read(&mut pool, read);
+        prop_assert_eq!(pm.input_bits(), (read as u64).saturating_sub(meta as u64));
+    }
+
+    /// flush_emit preserves emit order and moves all bits from E to L.
+    #[test]
+    fn packet_flush_emit_moves_everything(emits in proptest::collection::vec(1u32..64, 1..8)) {
+        let mut pool = TermPool::new();
+        let mut pm = PacketModel::new();
+        let mut total = 0u64;
+        for (i, w) in emits.iter().enumerate() {
+            let t = pool.fresh_var(format!("e{i}"), *w as usize);
+            pm.emit(Sym::clean(t, *w));
+            total += *w as u64;
+        }
+        prop_assert_eq!(pm.emit_bits(), total);
+        pm.flush_emit();
+        prop_assert_eq!(pm.emit_bits(), 0);
+        prop_assert_eq!(pm.live_bits(), total);
+    }
+
+    /// Appended target content (FCS) stays at the very end of the live
+    /// packet no matter how the input grows afterwards.
+    #[test]
+    fn packet_fcs_stays_last(pre in 8u32..64, extra_reads in proptest::collection::vec(8u32..128, 1..4)) {
+        let mut pool = TermPool::new();
+        let mut pm = PacketModel::new();
+        pm.grow_input(&mut pool, pre);
+        let fcs = pool.fresh_var("fcs", 32);
+        pm.append_target(Sym::tainted(fcs, 32));
+        for r in &extra_reads {
+            // Read beyond the current non-FCS content, forcing growth.
+            let _ = pm.read(&mut pool, *r);
+        }
+        // The remaining live content must end with the (tainted) FCS bits
+        // unless the reads consumed into it.
+        if pm.live_bits() >= 32 {
+            let live = pm.live_value(&mut pool).unwrap();
+            let w = live.taint.width();
+            let tail_taint = live.taint.extract(31, 0);
+            prop_assert_eq!(tail_taint, BitVec::ones(32), "live width {}", w);
+        }
+    }
+
+    /// MaskedBytes::matches is reflexive on the data, and fully-masked bytes
+    /// accept anything.
+    #[test]
+    fn masked_bytes_laws(data in proptest::collection::vec(any::<u8>(), 1..32),
+                         noise in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let mb = MaskedBytes::exact(data.clone());
+        prop_assert!(mb.matches(&data));
+        let dontcare = MaskedBytes { data: data.clone(), mask: vec![0; data.len()] };
+        let mut other = noise.clone();
+        other.resize(data.len(), 0);
+        prop_assert!(dontcare.matches(&other));
+        // Mask is pointwise: flipping a masked-out bit still matches.
+        let mut half = MaskedBytes::exact(data.clone());
+        half.mask[0] = 0x0F;
+        let mut flipped = data.clone();
+        flipped[0] ^= 0xF0;
+        prop_assert!(half.matches(&flipped));
+        flipped[0] ^= 0xF4; // touches a cared-for bit
+        prop_assert!(!half.matches(&flipped));
+    }
+
+    /// Taint laws: bitwise union is commutative & monotone; AND with a
+    /// constant can only narrow taint; concat concatenates.
+    #[test]
+    fn taint_laws(ta in any::<u64>(), tb in any::<u64>(), c in any::<u64>()) {
+        let mut pool = TermPool::new();
+        let xa = pool.fresh_var("a", 64);
+        let xb = pool.fresh_var("b", 64);
+        let a = Sym::with_taint(xa, BitVec::from_u64(64, ta));
+        let b = Sym::with_taint(xb, BitVec::from_u64(64, tb));
+        let u1 = SymOps::bitwise_taint(&a, &b);
+        let u2 = SymOps::bitwise_taint(&b, &a);
+        prop_assert_eq!(&u1, &u2);
+        prop_assert_eq!(u1.to_u64(), Some(ta | tb));
+        // AND with a clean constant narrows.
+        let cc = pool.constant(BitVec::from_u64(64, c));
+        let cs = Sym::clean(cc, 64);
+        let narrowed = SymOps::and_taint(&pool, &a, &cs);
+        prop_assert_eq!(narrowed.to_u64(), Some(ta & c));
+        // Concat.
+        let cat = SymOps::concat_taint(&a, &b);
+        prop_assert_eq!(cat.width(), 128);
+        prop_assert_eq!(cat.extract(127, 64).to_u64(), Some(ta));
+        prop_assert_eq!(cat.extract(63, 0).to_u64(), Some(tb));
+    }
+
+    /// Slice taint is exactly the slice of the taint mask.
+    #[test]
+    fn taint_slice(t in any::<u64>(), hi in 0u32..64, lo in 0u32..64) {
+        prop_assume!(hi >= lo);
+        let mut pool = TermPool::new();
+        let x = pool.fresh_var("x", 64);
+        let s = Sym::with_taint(x, BitVec::from_u64(64, t));
+        let sliced = SymOps::slice_taint(&s, hi, lo);
+        let expect = (t >> lo) & (((1u128 << (hi - lo + 1)) - 1) as u64);
+        prop_assert_eq!(sliced.to_u64(), Some(expect));
+    }
+}

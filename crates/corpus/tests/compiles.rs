@@ -1,0 +1,53 @@
+//! Every corpus program must pass the full frontend with its target prelude.
+
+use p4t_corpus::all_programs;
+
+// The preludes live in p4t-targets; to avoid a dependency cycle in dev-deps
+// we duplicate the lookup here via the dev-dependency.
+fn prelude_for(arch: &str) -> &'static str {
+    match arch {
+        "v1model" => p4t_targets::v1model::V1MODEL_PRELUDE,
+        "tna" | "t2na" => p4t_targets::tofino::TNA_PRELUDE,
+        "ebpf_model" => p4t_targets::ebpf::EBPF_PRELUDE,
+        other => panic!("unknown arch {other}"),
+    }
+}
+
+#[test]
+fn all_corpus_programs_compile() {
+    for (name, src, arch) in all_programs() {
+        let full = format!("{}\n{}", prelude_for(arch), src);
+        match p4t_ir::compile(&full) {
+            Ok(prog) => {
+                assert!(prog.num_statements() > 0, "{name}: no statements");
+                assert!(!prog.package_args.is_empty(), "{name}: no package");
+            }
+            Err(e) => panic!("{name} failed to compile: {e}"),
+        }
+    }
+}
+
+#[test]
+fn synthetic_generator_scales() {
+    for (t, a) in [(1, 1), (2, 2), (4, 3)] {
+        let src = p4t_corpus::generate_synthetic(t, a);
+        let full = format!("{}\n{}", prelude_for("v1model"), src);
+        let prog = p4t_ir::compile(&full)
+            .unwrap_or_else(|e| panic!("synthetic({t},{a}) failed: {e}"));
+        let tables: Vec<_> = prog.all_tables().collect();
+        assert_eq!(tables.len(), t as usize);
+    }
+}
+
+#[test]
+fn middleblock_has_entry_restriction() {
+    let full = format!(
+        "{}\n{}",
+        prelude_for("v1model"),
+        p4t_corpus::MIDDLEBLOCK_SIM.as_str()
+    );
+    let prog = p4t_ir::compile(&full).unwrap();
+    let acl = prog.all_tables().find(|t| t.name == "acl").expect("acl table");
+    assert!(acl.entry_restriction.is_some(), "P4-constraints annotation survives");
+    assert_eq!(acl.keys.len(), 3);
+}

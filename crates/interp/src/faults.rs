@@ -1,0 +1,317 @@
+//! The injected-fault catalog: our stand-in for real toolchain bugs.
+//!
+//! The paper (Tables 2 and 3) reports 25 toolchain bugs found by running
+//! generated tests against production toolchains: 9 in the BMv2 toolchain
+//! (8 exceptions + 1 wrong-code) and 16 in the Tofino toolchain
+//! (9 exceptions + 7 wrong-code). We cannot test Intel's toolchain, so the
+//! Table 2/3 experiment is reproduced by *planting* a catalog of 25
+//! toolchain-style faults into our own software models and counting how many
+//! the generated tests expose. The BMv2-class faults follow the public
+//! Table 3 descriptions; the Tofino-class faults are plausible analogues
+//! (the paper keeps the real ones confidential).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How a fault manifests when triggered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultClass {
+    /// The toolchain crashes (software model, test framework, control plane).
+    Exception,
+    /// The test inputs silently produce the wrong output.
+    WrongCode,
+}
+
+/// Which toolchain the fault lives in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultTargetClass {
+    Bmv2,
+    Tofino,
+}
+
+/// Every fault in the catalog.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Fault {
+    // ---- BMv2-class (Table 3) -------------------------------------------
+    /// P4C-1: the STF back end cannot process keys with expressions in
+    /// their name — installing such an entry crashes.
+    StfKeyExprName,
+    /// P4C-2: varbit extract with an expression second argument is
+    /// mistranslated — crashes on varbit extracts with non-trivial lengths.
+    VarbitExtractExpr,
+    /// P4C-3: wrong operation emitted to dereference a header stack —
+    /// crashes on reads through a stack's dynamic index.
+    StackDerefWrongOp,
+    /// BMV2-1: out-of-bounds header-stack index crashes the model.
+    StackIndexCrash,
+    /// P4C-4: actions missing their `@name` annotation crash the STF back
+    /// end when an entry references them.
+    MissingNameAnnotation,
+    /// P4C-5: second wrong-operation instance on header-stack manipulation —
+    /// crashes on `push_front`/`pop_front`.
+    StackPushWrongOp,
+    /// P4C-6: header-union emit not flattened — crashes when emitting a
+    /// header whose validity was never initialized.
+    EmitUnflattened,
+    /// P4C-8: structure members with the same name crash the model — here:
+    /// loading a program with shadowed field names in nested structs.
+    SameNameMembers,
+    /// P4C-7 (wrong code): the `table.apply()` inside a switch case is
+    /// swallowed — switch statements run case bodies without applying the
+    /// table's chosen action.
+    SwallowSwitchApply,
+
+    // ---- Tofino-class (confidential in the paper; plausible analogues) ----
+    /// Driver crashes installing a ternary entry with an all-ones mask.
+    TernaryMaskGap,
+    /// Compiler crashes on LPM prefixes equal to the full key width.
+    LpmFullWidthPrefix,
+    /// Model crashes when a range entry has lo == hi.
+    RangeDegenerate,
+    /// Control plane crashes on action parameters wider than 32 bits.
+    WideActionParam,
+    /// Model crashes when the packet is exactly the 64-byte minimum.
+    MinSizeBoundary,
+    /// Model crashes when both drop_ctl and an egress port are set.
+    DropAndForwardConflict,
+    /// Parser crashes when lookahead reaches into the frame check sequence.
+    LookaheadIntoFcs,
+    /// Model crashes when a register index equals the register size - 1.
+    RegisterLastIndex,
+    /// Deparser crashes emitting more than 3 headers.
+    DeparserManyHeaders,
+    /// Wrong code: drop_ctl is ignored — "dropped" packets are emitted.
+    IgnoreDropCtl,
+    /// Wrong code: bypass_egress still runs the egress control.
+    BypassEgressIgnored,
+    /// Wrong code: register writes are lost (stale value visible after).
+    RegisterWriteLost,
+    /// Wrong code: hash extern computes crc16 where crc32 was requested.
+    HashAlgorithmSwap,
+    /// Wrong code: const-entry priority order inverted.
+    PriorityInverted,
+    /// Wrong code: range matches exclude the upper bound.
+    RangeExclusiveHi,
+    /// Wrong code: action argument bytes installed in swapped order.
+    ActionArgByteSwap,
+}
+
+impl Fault {
+    /// All 25 faults, BMv2 first (mirrors Table 2's totals).
+    pub fn catalog() -> Vec<Fault> {
+        use Fault::*;
+        vec![
+            // BMv2: 8 exceptions + 1 wrong code.
+            StfKeyExprName,
+            VarbitExtractExpr,
+            StackDerefWrongOp,
+            StackIndexCrash,
+            MissingNameAnnotation,
+            StackPushWrongOp,
+            EmitUnflattened,
+            SameNameMembers,
+            SwallowSwitchApply,
+            // Tofino: 9 exceptions + 7 wrong code.
+            TernaryMaskGap,
+            LpmFullWidthPrefix,
+            RangeDegenerate,
+            WideActionParam,
+            MinSizeBoundary,
+            DropAndForwardConflict,
+            LookaheadIntoFcs,
+            RegisterLastIndex,
+            DeparserManyHeaders,
+            IgnoreDropCtl,
+            BypassEgressIgnored,
+            RegisterWriteLost,
+            HashAlgorithmSwap,
+            PriorityInverted,
+            RangeExclusiveHi,
+            ActionArgByteSwap,
+        ]
+    }
+
+    pub fn class(&self) -> FaultClass {
+        use Fault::*;
+        match self {
+            SwallowSwitchApply
+            | IgnoreDropCtl
+            | BypassEgressIgnored
+            | RegisterWriteLost
+            | HashAlgorithmSwap
+            | PriorityInverted
+            | RangeExclusiveHi
+            | ActionArgByteSwap => FaultClass::WrongCode,
+            _ => FaultClass::Exception,
+        }
+    }
+
+    pub fn target_class(&self) -> FaultTargetClass {
+        use Fault::*;
+        match self {
+            StfKeyExprName
+            | VarbitExtractExpr
+            | StackDerefWrongOp
+            | StackIndexCrash
+            | MissingNameAnnotation
+            | StackPushWrongOp
+            | EmitUnflattened
+            | SameNameMembers
+            | SwallowSwitchApply => FaultTargetClass::Bmv2,
+            _ => FaultTargetClass::Tofino,
+        }
+    }
+
+    /// The paper-style bug label (Table 3 for BMv2; synthetic for Tofino).
+    pub fn label(&self) -> &'static str {
+        use Fault::*;
+        match self {
+            StfKeyExprName => "P4C-1",
+            VarbitExtractExpr => "P4C-2",
+            StackDerefWrongOp => "P4C-3",
+            StackIndexCrash => "BMV2-1",
+            MissingNameAnnotation => "P4C-4",
+            StackPushWrongOp => "P4C-5",
+            EmitUnflattened => "P4C-6",
+            SameNameMembers => "P4C-8",
+            SwallowSwitchApply => "P4C-7",
+            TernaryMaskGap => "TOF-1",
+            LpmFullWidthPrefix => "TOF-2",
+            RangeDegenerate => "TOF-3",
+            WideActionParam => "TOF-4",
+            MinSizeBoundary => "TOF-5",
+            DropAndForwardConflict => "TOF-6",
+            LookaheadIntoFcs => "TOF-7",
+            RegisterLastIndex => "TOF-8",
+            DeparserManyHeaders => "TOF-9",
+            IgnoreDropCtl => "TOF-10",
+            BypassEgressIgnored => "TOF-11",
+            RegisterWriteLost => "TOF-12",
+            HashAlgorithmSwap => "TOF-13",
+            PriorityInverted => "TOF-14",
+            RangeExclusiveHi => "TOF-15",
+            ActionArgByteSwap => "TOF-16",
+        }
+    }
+
+    pub fn description(&self) -> &'static str {
+        use Fault::*;
+        match self {
+            StfKeyExprName => "The STF test back end is unable to process keys with expressions in their name.",
+            VarbitExtractExpr => "The compiler did not correctly transform a varbit extract call with an expression as second argument.",
+            StackDerefWrongOp => "The output by the compiler was using an incorrect operation to dereference a header stack.",
+            StackIndexCrash => "BMv2 crashes when accessing a header stack with an index that is out of bounds.",
+            MissingNameAnnotation => "Keys missing their @name annotation cause the STF test back end to crash.",
+            StackPushWrongOp => "A second instance where the compiler was using the wrong operation to manipulate header stacks.",
+            EmitUnflattened => "The compiler should have flattened a header union input for emit calls.",
+            SameNameMembers => "BMv2 can not process table keys whose members share the same name.",
+            SwallowSwitchApply => "The compiler swallowed the table.apply() of a switch case, which led to incorrect output.",
+            TernaryMaskGap => "Driver crash installing a ternary entry with an all-ones mask.",
+            LpmFullWidthPrefix => "Compiler crash on LPM prefixes covering the full key width.",
+            RangeDegenerate => "Model crash on range entries with equal bounds.",
+            WideActionParam => "Control-plane crash on action parameters wider than 32 bits.",
+            MinSizeBoundary => "Model crash on packets at exactly the 64-byte minimum.",
+            DropAndForwardConflict => "Model crash when drop_ctl and an egress port are both set.",
+            LookaheadIntoFcs => "Parser crash when a wide lookahead reaches into the FCS.",
+            RegisterLastIndex => "Model crash on register access at the last index.",
+            DeparserManyHeaders => "Deparser crash emitting more than three headers.",
+            IgnoreDropCtl => "drop_ctl ignored: dropped packets are emitted anyway.",
+            BypassEgressIgnored => "bypass_egress ignored: egress still processes the packet.",
+            RegisterWriteLost => "Register writes are lost; stale values visible afterwards.",
+            HashAlgorithmSwap => "Hash extern computes CRC-16 where CRC-32 was requested.",
+            PriorityInverted => "Const-entry priority order inverted.",
+            RangeExclusiveHi => "Range matches exclude the upper bound.",
+            ActionArgByteSwap => "Action argument bytes installed in swapped order.",
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({:?})", self.label(), self.class())
+    }
+}
+
+/// The set of faults active in one interpreter instance.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSet {
+    active: BTreeSet<Fault>,
+}
+
+impl FaultSet {
+    pub fn none() -> Self {
+        FaultSet::default()
+    }
+
+    pub fn single(f: Fault) -> Self {
+        let mut s = FaultSet::default();
+        s.activate(f);
+        s
+    }
+
+    pub fn activate(&mut self, f: Fault) {
+        self.active.insert(f);
+    }
+
+    pub fn has(&self, f: Fault) -> bool {
+        self.active.contains(&f)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table2_counts() {
+        let all = Fault::catalog();
+        assert_eq!(all.len(), 25, "Table 2 total");
+        let bmv2: Vec<_> =
+            all.iter().filter(|f| f.target_class() == FaultTargetClass::Bmv2).collect();
+        let tofino: Vec<_> =
+            all.iter().filter(|f| f.target_class() == FaultTargetClass::Tofino).collect();
+        assert_eq!(bmv2.len(), 9, "Table 2 BMv2 total");
+        assert_eq!(tofino.len(), 16, "Table 2 Tofino total");
+        assert_eq!(
+            bmv2.iter().filter(|f| f.class() == FaultClass::Exception).count(),
+            8,
+            "Table 2 BMv2 exceptions"
+        );
+        assert_eq!(
+            bmv2.iter().filter(|f| f.class() == FaultClass::WrongCode).count(),
+            1,
+            "Table 2 BMv2 wrong code"
+        );
+        assert_eq!(
+            tofino.iter().filter(|f| f.class() == FaultClass::Exception).count(),
+            9,
+            "Table 2 Tofino exceptions"
+        );
+        assert_eq!(
+            tofino.iter().filter(|f| f.class() == FaultClass::WrongCode).count(),
+            7,
+            "Table 2 Tofino wrong code"
+        );
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<_> = Fault::catalog().iter().map(|f| f.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 25);
+    }
+
+    #[test]
+    fn fault_set_activation() {
+        let mut s = FaultSet::none();
+        assert!(s.is_empty());
+        s.activate(Fault::StackIndexCrash);
+        assert!(s.has(Fault::StackIndexCrash));
+        assert!(!s.has(Fault::IgnoreDropCtl));
+    }
+}

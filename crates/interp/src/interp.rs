@@ -1,0 +1,1594 @@
+//! The concrete interpreter: our "software models" (BMv2-like, Tofino-model-
+//! like, eBPF-like) that execute a [`TestSpec`] — install its control-plane
+//! entries, initialize registers, inject the input packet — and produce the
+//! actual outputs, which the verdict module compares against the test's
+//! expectations.
+//!
+//! The interpreter implements the same target semantics as the symbolic
+//! extensions in `p4t-targets`, independently re-derived over concrete
+//! values. Bits the symbolic model treats as tainted (chip-prepended
+//! metadata, random externs, uninitialized values on taint-policy targets)
+//! are filled with a `0xA5` garbage pattern here: any value is legal, and
+//! the tests' don't-care masks must absorb it.
+
+use crate::faults::{Fault, FaultSet};
+use p4t_frontend::types::Type;
+use p4t_ir::{
+    IrArg, IrBinOp, IrBlock, IrConstEntry, IrExpr, IrKeyset, IrProgram, IrStmt, IrTable,
+    IrTransition, IrUnOp, Path,
+};
+use p4t_smt::BitVec;
+use p4testgen_core::testspec::{KeyMatch, TableEntrySpec, TestSpec};
+use std::collections::HashMap;
+
+/// A toolchain crash (exception-class bug manifestation).
+#[derive(Clone, Debug)]
+pub struct InterpException(pub String);
+
+/// What actually happened when the test ran.
+#[derive(Clone, Debug, Default)]
+pub struct InterpResult {
+    /// (port, packet bytes) in emission order.
+    pub outputs: Vec<(u32, Vec<u8>)>,
+    /// Final register state: (instance, index) → value bytes.
+    pub register_final: HashMap<(String, u64), Vec<u8>>,
+    pub trace: Vec<String>,
+}
+
+/// Which architecture semantics to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Arch {
+    V1Model,
+    Tna,
+    T2na,
+    Ebpf,
+}
+
+const DROP_PORT: u64 = 511;
+const GARBAGE: u8 = 0xA5;
+
+/// The concrete packet: a bit string with a read cursor at the MSB end.
+#[derive(Clone, Debug)]
+struct CPacket {
+    bits: BitVec,
+    pos: usize,
+}
+
+impl CPacket {
+    fn new(bits: BitVec) -> Self {
+        CPacket { bits, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bits.width() - self.pos
+    }
+
+    fn read(&mut self, n: usize) -> Option<BitVec> {
+        if self.remaining() < n {
+            return None;
+        }
+        let w = self.bits.width();
+        let out = if n == 0 {
+            BitVec::empty()
+        } else {
+            self.bits.extract(w - self.pos - 1, w - self.pos - n)
+        };
+        self.pos += n;
+        Some(out)
+    }
+
+    fn peek(&self, n: usize) -> Option<BitVec> {
+        if self.remaining() < n {
+            return None;
+        }
+        let w = self.bits.width();
+        Some(if n == 0 {
+            BitVec::empty()
+        } else {
+            self.bits.extract(w - self.pos - 1, w - self.pos - n)
+        })
+    }
+
+    fn rest(&self) -> BitVec {
+        if self.remaining() == 0 {
+            BitVec::empty()
+        } else {
+            self.bits.extract(self.remaining() - 1, 0)
+        }
+    }
+}
+
+type IResult<T> = Result<T, InterpException>;
+
+/// One installed table entry, normalized for lookup.
+#[derive(Clone, Debug)]
+struct Entry {
+    keys: Vec<KeyMatch>,
+    action: String,
+    args: Vec<BitVec>,
+    priority: u32,
+}
+
+/// The interpreter.
+pub struct Interp<'p> {
+    prog: &'p IrProgram,
+    arch: Arch,
+    faults: FaultSet,
+    env: HashMap<String, BitVec>,
+    frames: Vec<HashMap<String, String>>,
+    tables: HashMap<String, Vec<Entry>>,
+    registers: HashMap<String, HashMap<u64, BitVec>>,
+    packet: CPacket,
+    emit_buf: Vec<BitVec>,
+    outputs: Vec<(u32, Vec<u8>)>,
+    parser_error: u64,
+    dropped: bool,
+    exited: bool,
+    flags: HashMap<String, u64>,
+    clone_sessions: HashMap<u64, u64>,
+    trace: Vec<String>,
+    garbage_counter: u8,
+}
+
+impl<'p> Interp<'p> {
+    pub fn new(prog: &'p IrProgram, arch: Arch, faults: FaultSet) -> Self {
+        Interp {
+            prog,
+            arch,
+            faults,
+            env: HashMap::new(),
+            frames: vec![HashMap::new()],
+            tables: HashMap::new(),
+            registers: HashMap::new(),
+            packet: CPacket::new(BitVec::empty()),
+            emit_buf: Vec::new(),
+            outputs: Vec::new(),
+            parser_error: 0,
+            dropped: false,
+            exited: false,
+            flags: HashMap::new(),
+            clone_sessions: HashMap::new(),
+            trace: Vec::new(),
+            garbage_counter: 0,
+        }
+    }
+
+    /// Execute a test specification end to end.
+    pub fn run(mut self, spec: &TestSpec) -> IResult<InterpResult> {
+        self.install_control_plane(spec)?;
+        // Assemble the wire packet the pipeline sees.
+        let mut wire = BitVec::from_bytes_be(&spec.input_packet);
+        match self.arch {
+            Arch::Tna | Arch::T2na => {
+                let meta_bits = if self.arch == Arch::Tna { 64 } else { 128 };
+                if spec.input_packet.len() < 64 {
+                    self.trace.push("packet below 64B minimum: dropped".into());
+                    return Ok(self.result());
+                }
+                if self.faults.has(Fault::MinSizeBoundary) && spec.input_packet.len() == 64 {
+                    return Err(InterpException("crash on minimum-size packet".into()));
+                }
+                let meta = self.garbage(meta_bits);
+                let fcs = self.garbage(32);
+                wire = meta.concat(&wire).concat(&fcs);
+            }
+            Arch::V1Model | Arch::Ebpf => {}
+        }
+        self.packet = CPacket::new(wire);
+        self.write_env("$input_port", BitVec::from_u64(9, spec.input_port as u64));
+        self.run_pipeline(spec)?;
+        Ok(self.result())
+    }
+
+    fn result(mut self) -> InterpResult {
+        let mut register_final = HashMap::new();
+        for (inst, vals) in &self.registers {
+            for (idx, v) in vals {
+                register_final.insert((inst.clone(), *idx), v.cast(v.width().div_ceil(8) * 8).to_bytes_be());
+            }
+        }
+        InterpResult { outputs: std::mem::take(&mut self.outputs), register_final, trace: self.trace }
+    }
+
+    fn garbage(&mut self, bits: usize) -> BitVec {
+        // Deterministic but non-zero pattern for unpredictable content.
+        self.garbage_counter = self.garbage_counter.wrapping_add(1);
+        let mut v = BitVec::zeros(bits);
+        for i in 0..bits {
+            if !(i + self.garbage_counter as usize).is_multiple_of(3) {
+                v.set_bit(i, (GARBAGE >> (i % 8)) & 1 == 1);
+            }
+        }
+        v
+    }
+
+    // ---- control plane ----------------------------------------------------
+
+    fn install_control_plane(&mut self, spec: &TestSpec) -> IResult<()> {
+        for e in &spec.entries {
+            self.install_entry(e)?;
+        }
+        for r in &spec.register_init {
+            let v = BitVec::from_bytes_be(&r.value);
+            self.registers.entry(r.instance.clone()).or_default().insert(r.index, v);
+        }
+        Ok(())
+    }
+
+    fn install_entry(&mut self, e: &TableEntrySpec) -> IResult<()> {
+        if e.table == "$clone_session" {
+            // Mirror-session configuration.
+            let session = match &e.keys[0] {
+                KeyMatch::Exact { value, .. } => BitVec::from_bytes_be(value).to_u64().unwrap_or(0),
+                _ => 0,
+            };
+            let port = BitVec::from_bytes_be(&e.action_args[0].1).to_u64().unwrap_or(0);
+            self.clone_sessions.insert(session, port);
+            return Ok(());
+        }
+        // STF back-end faults around entry installation.
+        if self.faults.has(Fault::StfKeyExprName)
+            && e.keys.iter().any(|k| k.name().contains('[') || k.name().contains('('))
+        {
+            return Err(InterpException(format!(
+                "STF: cannot process key name '{}'",
+                e.keys.iter().map(|k| k.name()).collect::<Vec<_>>().join(",")
+            )));
+        }
+        if self.faults.has(Fault::MissingNameAnnotation)
+            && e.keys.iter().any(|k| k.name().contains('.'))
+        {
+            return Err(InterpException(
+                "STF: key is missing its @name annotation".into(),
+            ));
+        }
+        if self.faults.has(Fault::SameNameMembers) {
+            let mut names: Vec<&str> = e.keys.iter().map(|k| k.name()).collect();
+            names.sort();
+            let before = names.len();
+            names.dedup();
+            if names.len() != before {
+                return Err(InterpException(
+                    "BMv2: duplicate member names in table keys".into(),
+                ));
+            }
+        }
+        if self.faults.has(Fault::WideActionParam)
+            && e.action_args.iter().any(|(_, v)| v.len() > 4)
+        {
+            return Err(InterpException("control plane: action parameter wider than 32 bits".into()));
+        }
+        for k in &e.keys {
+            match k {
+                KeyMatch::Ternary { mask, .. } if self.faults.has(Fault::TernaryMaskGap) => {
+                    let m = BitVec::from_bytes_be(mask);
+                    if !m.is_zero() && m == BitVec::ones(m.width()) {
+                        return Err(InterpException(
+                            "driver: ternary entry with an all-ones mask".into(),
+                        ));
+                    }
+                }
+                KeyMatch::Lpm { prefix_len, value, .. }
+                    if self.faults.has(Fault::LpmFullWidthPrefix)
+                        && *prefix_len as usize == value.len() * 8 =>
+                {
+                    return Err(InterpException("compiler: full-width LPM prefix".into()));
+                }
+                KeyMatch::Range { lo, hi, .. }
+                    if self.faults.has(Fault::RangeDegenerate) && lo == hi =>
+                {
+                    return Err(InterpException("model: degenerate range entry".into()));
+                }
+                _ => {}
+            }
+        }
+        let mut args: Vec<BitVec> = e
+            .action_args
+            .iter()
+            .map(|(_, v)| BitVec::from_bytes_be(v))
+            .collect();
+        if self.faults.has(Fault::ActionArgByteSwap) {
+            for a in &mut args {
+                if a.width() >= 16 {
+                    let w = a.width();
+                    let hi = a.extract(w - 1, w - 8);
+                    let lo = a.extract(7, 0);
+                    let mid = if w > 16 { a.extract(w - 9, 8) } else { BitVec::empty() };
+                    *a = lo.concat(&mid).concat(&hi);
+                }
+            }
+        }
+        // The action name arrives as "Control.action"; the IR uses the bare
+        // name within the control.
+        let action = e.action.rsplit('.').next().unwrap_or(&e.action).to_string();
+        self.tables.entry(e.table.clone()).or_default().push(Entry {
+            keys: e.keys.clone(),
+            action,
+            args,
+            priority: e.priority,
+        });
+        Ok(())
+    }
+
+    // ---- env ---------------------------------------------------------------
+
+    fn resolve(&self, path: &Path) -> String {
+        let head = path.head();
+        for frame in self.frames.iter().rev() {
+            if let Some(alias) = frame.get(head) {
+                return path.rebase(alias).0;
+            }
+        }
+        path.0.clone()
+    }
+
+    fn read_env(&mut self, path: &Path, width: u32) -> BitVec {
+        let key = self.resolve(path);
+        // Reading a field of an invalid header: garbage (undefined).
+        if let Some((parent, leaf)) = key.rsplit_once('.') {
+            if !leaf.starts_with('$') {
+                let vkey = format!("{parent}.$valid");
+                if let Some(v) = self.env.get(&vkey) {
+                    if v.is_zero() {
+                        return match self.arch {
+                            Arch::V1Model => BitVec::zeros(width as usize),
+                            _ => self.garbage(width as usize),
+                        };
+                    }
+                }
+            }
+        }
+        if let Some(v) = self.env.get(&key) {
+            return v.clone();
+        }
+        let zeroed = match self.arch {
+            Arch::V1Model => true,
+            // Tofino zero-initializes user metadata; intrinsic metadata and
+            // locals are undefined (garbage).
+            Arch::Tna | Arch::T2na => key.starts_with("meta.") || key.starts_with("emeta."),
+            Arch::Ebpf => false,
+        };
+        let v = if zeroed {
+            BitVec::zeros(width as usize)
+        } else {
+            self.garbage(width as usize)
+        };
+        self.env.insert(key, v.clone());
+        v
+    }
+
+    fn write_path(&mut self, path: &Path, v: BitVec) {
+        let key = self.resolve(path);
+        self.env.insert(key, v);
+    }
+
+    fn write_env(&mut self, key: &str, v: BitVec) {
+        self.env.insert(key.to_string(), v);
+    }
+
+    fn read_key(&self, key: &str) -> Option<&BitVec> {
+        self.env.get(key)
+    }
+
+    // ---- pipeline ------------------------------------------------------------
+
+    fn run_pipeline(&mut self, spec: &TestSpec) -> IResult<()> {
+        match self.arch {
+            Arch::V1Model => self.run_v1model(spec),
+            Arch::Tna | Arch::T2na => self.run_tofino(spec),
+            Arch::Ebpf => self.run_ebpf(spec),
+        }
+    }
+
+    fn run_v1model(&mut self, spec: &TestSpec) -> IResult<()> {
+        let args = self.prog.package_args.clone();
+        if args.len() != 6 {
+            return Err(InterpException("V1Switch needs 6 blocks".into()));
+        }
+        for (f, w) in [
+            ("sm.ingress_port", 9u32),
+            ("sm.egress_spec", 9),
+            ("sm.egress_port", 9),
+            ("sm.mcast_grp", 16),
+            ("sm.checksum_error", 1),
+            ("sm.parser_error", 16),
+        ] {
+            self.write_env(f, BitVec::zeros(w as usize));
+        }
+        self.write_env("sm.ingress_port", BitVec::from_u64(9, spec.input_port as u64));
+        let mut rounds = 0;
+        loop {
+            self.run_parser(&args[0], &["hdr", "meta", "sm"])?;
+            self.run_control(&args[1], &["hdr", "meta"])?;
+            self.run_control(&args[2], &["hdr", "meta", "sm"])?;
+            // Traffic manager: resubmit re-injects the *original* packet.
+            if self.flags.get("resubmit").copied().unwrap_or(0) == 1 && rounds < 2 {
+                self.flags.insert("resubmit".into(), 0);
+                rounds += 1;
+                self.packet = CPacket::new(BitVec::from_bytes_be(&spec.input_packet));
+                self.emit_buf.clear();
+                self.write_env("sm.egress_spec", BitVec::zeros(9));
+                self.trace.push("resubmitting".into());
+                continue;
+            }
+            let spec_port = self.read_key("sm.egress_spec").cloned().unwrap_or_else(|| BitVec::zeros(9));
+            if spec_port.to_u64() == Some(DROP_PORT)
+                && !self.faults.has(Fault::IgnoreDropCtl) {
+                    self.dropped = true;
+                    self.trace.push("traffic manager: drop".into());
+                    return Ok(());
+                }
+            self.write_env("sm.egress_port", spec_port);
+            self.run_control(&args[3], &["hdr", "meta", "sm"])?;
+            self.run_control(&args[4], &["hdr", "meta"])?;
+            self.run_control(&args[5], &["hdr"])?;
+            // Deparsed packet = emitted headers + unparsed payload.
+            let mut out = BitVec::empty();
+            for e in self.emit_buf.drain(..) {
+                out = out.concat(&e);
+            }
+            out = out.concat(&self.packet.rest());
+            // Truncation.
+            let trunc = self.flags.get("truncate_bytes").copied().unwrap_or(0);
+            if trunc > 0 && (trunc * 8) < out.width() as u64 {
+                out = out.extract(out.width() - 1, out.width() - (trunc as usize * 8));
+            }
+            // Recirculate?
+            if self.flags.get("recirculate").copied().unwrap_or(0) == 1 && rounds < 2 {
+                self.flags.insert("recirculate".into(), 0);
+                rounds += 1;
+                self.packet = CPacket::new(out);
+                self.write_env("sm.egress_spec", BitVec::zeros(9));
+                self.trace.push("recirculating".into());
+                continue;
+            }
+            let port =
+                self.read_key("sm.egress_port").and_then(|v| v.to_u64()).unwrap_or(0) as u32;
+            self.push_output(port, &out);
+            // Clone output.
+            if self.flags.get("clone_pending").copied().unwrap_or(0) == 1 {
+                let session = self.flags.get("clone_session").copied().unwrap_or(0);
+                let cport = self.clone_sessions.get(&session).copied().unwrap_or(0) as u32;
+                self.push_output(cport, &out);
+            }
+            return Ok(());
+        }
+    }
+
+    fn run_tofino(&mut self, _spec: &TestSpec) -> IResult<()> {
+        let args = self.prog.package_args.clone();
+        if args.len() != 6 && args.len() != 7 {
+            return Err(InterpException("Pipeline needs 6 or 7 blocks".into()));
+        }
+        self.write_env(
+            "ig_intr_md.ingress_port",
+            self.read_key("$input_port").cloned().unwrap_or_else(|| BitVec::zeros(9)),
+        );
+        self.write_env("ig_dprsr_md.drop_ctl", BitVec::zeros(3));
+        self.write_env("eg_dprsr_md.drop_ctl", BitVec::zeros(3));
+        self.write_env("ig_tm_md.bypass_egress", BitVec::zeros(1));
+        self.write_env("ig_prsr_md.parser_err", BitVec::zeros(16));
+        self.write_env("eg_prsr_md.parser_err", BitVec::zeros(16));
+        self.flags.insert("in_ingress".into(), 1);
+        // Ingress pipeline.
+        self.run_parser(&args[0], &["hdr", "meta", "ig_intr_md"])?;
+        if self.dropped {
+            return Ok(());
+        }
+        self.run_control(
+            &args[1],
+            &["hdr", "meta", "ig_intr_md", "ig_prsr_md", "ig_dprsr_md", "ig_tm_md"],
+        )?;
+        self.run_control(&args[2], &["hdr", "meta", "ig_dprsr_md"])?;
+        // Emit buffer becomes the packet entering the traffic manager.
+        let mut tm_packet = BitVec::empty();
+        for e in self.emit_buf.drain(..) {
+            tm_packet = tm_packet.concat(&e);
+        }
+        tm_packet = tm_packet.concat(&self.packet.rest());
+        // Traffic manager.
+        let drop_ctl = self.read_key("ig_dprsr_md.drop_ctl").cloned().unwrap_or_else(|| BitVec::zeros(3));
+        let has_port = self.env.contains_key("ig_tm_md.ucast_egress_port");
+        if !drop_ctl.is_zero() {
+            if self.faults.has(Fault::DropAndForwardConflict) && has_port {
+                return Err(InterpException("model: drop_ctl with egress port set".into()));
+            }
+            if !self.faults.has(Fault::IgnoreDropCtl) {
+                self.dropped = true;
+                self.trace.push("TM: drop_ctl".into());
+                return Ok(());
+            }
+        }
+        if !has_port {
+            self.dropped = true;
+            self.trace.push("TM: no egress port".into());
+            return Ok(());
+        }
+        let port = self.read_key("ig_tm_md.ucast_egress_port").and_then(|v| v.to_u64()).unwrap_or(0);
+        let bypass = self
+            .read_key("ig_tm_md.bypass_egress")
+            .map(|v| !v.is_zero())
+            .unwrap_or(false);
+        self.flags.insert("in_ingress".into(), 0);
+        self.packet = CPacket::new(tm_packet);
+        if bypass && !self.faults.has(Fault::BypassEgressIgnored) {
+            let out = self.packet.rest();
+            self.push_output(port as u32, &out);
+            return Ok(());
+        }
+        // Egress pipeline.
+        self.run_parser(&args[3], &["hdr", "emeta", "eg_intr_md"])?;
+        if self.dropped {
+            return Ok(());
+        }
+        self.write_env("eg_intr_md.egress_port", BitVec::from_u64(9, port));
+        self.run_control(
+            &args[4],
+            &["hdr", "emeta", "eg_intr_md", "eg_prsr_md", "eg_dprsr_md", "eg_oport_md"],
+        )?;
+        self.run_control(&args[5], &["hdr", "emeta", "eg_dprsr_md"])?;
+        let eg_drop = self.read_key("eg_dprsr_md.drop_ctl").cloned().unwrap_or_else(|| BitVec::zeros(3));
+        if !eg_drop.is_zero() && !self.faults.has(Fault::IgnoreDropCtl) {
+            self.dropped = true;
+            return Ok(());
+        }
+        let mut out = BitVec::empty();
+        for e in self.emit_buf.drain(..) {
+            out = out.concat(&e);
+        }
+        out = out.concat(&self.packet.rest());
+        self.push_output(port as u32, &out);
+        Ok(())
+    }
+
+    fn run_ebpf(&mut self, _spec: &TestSpec) -> IResult<()> {
+        let args = self.prog.package_args.clone();
+        if args.len() != 2 {
+            return Err(InterpException("ebpfFilter needs 2 blocks".into()));
+        }
+        self.write_env("accept", BitVec::zeros(1));
+        self.run_parser(&args[0], &["hdr"])?;
+        if self.dropped {
+            return Ok(());
+        }
+        self.run_control(&args[1], &["hdr", "accept"])?;
+        let accept = self.read_key("accept").map(|v| !v.is_zero()).unwrap_or(false);
+        if !accept {
+            self.dropped = true;
+            return Ok(());
+        }
+        // Implicit deparse: valid headers in declaration order + payload.
+        let header_ty = self.prog.blocks.values().find_map(|b| match b {
+            IrBlock::Parser(p) => p.params.iter().find_map(|prm| match &prm.ty {
+                Type::Struct(s) => Some(s.clone()),
+                _ => None,
+            }),
+            _ => None,
+        });
+        let mut out = BitVec::empty();
+        if let Some(ty) = header_ty {
+            out = self.concat_valid_headers(&ty, &Path::new("hdr"), out);
+        }
+        out = out.concat(&self.packet.rest());
+        self.push_output(0, &out);
+        Ok(())
+    }
+
+    fn concat_valid_headers(&mut self, ty: &str, base: &Path, mut acc: BitVec) -> BitVec {
+        let Some(fields) = self.prog.env.fields_of(ty) else {
+            return acc;
+        };
+        let fields: Vec<_> = fields.to_vec();
+        for f in fields {
+            let fp = base.child(&f.name);
+            match &f.ty {
+                Type::Header(hn) => {
+                    let valid = self
+                        .env
+                        .get(fp.valid().as_str())
+                        .map(|v| !v.is_zero())
+                        .unwrap_or(false);
+                    if valid {
+                        let hn = hn.clone();
+                        acc = self.concat_header_fields(&hn, &fp, acc);
+                    }
+                }
+                Type::Struct(sn) => {
+                    let sn = sn.clone();
+                    acc = self.concat_valid_headers(&sn, &fp, acc);
+                }
+                _ => {}
+            }
+        }
+        acc
+    }
+
+    fn concat_header_fields(&mut self, ty: &str, base: &Path, mut acc: BitVec) -> BitVec {
+        let fields: Vec<_> = self.prog.env.fields_of(ty).unwrap_or(&[]).to_vec();
+        for f in fields {
+            let w = f.ty.width(&self.prog.env).unwrap_or(0);
+            if w == 0 {
+                continue;
+            }
+            let v = self.read_env(&base.child(&f.name), w);
+            acc = acc.concat(&v);
+        }
+        acc
+    }
+
+    fn push_output(&mut self, port: u32, bits: &BitVec) {
+        let w = bits.width();
+        let padded = if w.is_multiple_of(8) { bits.clone() } else { bits.concat(&BitVec::zeros(8 - w % 8)) };
+        self.outputs.push((port, padded.to_bytes_be()));
+    }
+
+    // ---- blocks -----------------------------------------------------------
+
+    fn enter_frame(&mut self, block: &str, names: &[&str]) -> IResult<()> {
+        let Some(b) = self.prog.blocks.get(block) else {
+            return Err(InterpException(format!("unknown block '{block}'")));
+        };
+        let params = match b {
+            IrBlock::Parser(p) => &p.params,
+            IrBlock::Control(c) => &c.params,
+        };
+        let mut frame = HashMap::new();
+        let mut it = names.iter();
+        for p in params {
+            match p.ty {
+                Type::PacketIn | Type::PacketOut => {}
+                _ => {
+                    if let Some(n) = it.next() {
+                        frame.insert(p.name.clone(), n.to_string());
+                        if p.direction == p4t_frontend::ast::Direction::Out {
+                            // Reset out params: headers invalid.
+                            let ty = p.ty.clone();
+                            self.invalidate(&ty, &Path::new(n.to_string()));
+                        }
+                    }
+                }
+            }
+        }
+        self.frames.push(frame);
+        Ok(())
+    }
+
+    fn invalidate(&mut self, ty: &Type, base: &Path) {
+        match ty {
+            Type::Header(_) => {
+                self.env.insert(base.valid().0.clone(), BitVec::zeros(1));
+            }
+            Type::Struct(sn) => {
+                let fields: Vec<_> = self.prog.env.fields_of(sn).unwrap_or(&[]).to_vec();
+                for f in fields {
+                    self.invalidate(&f.ty, &base.child(&f.name));
+                }
+            }
+            Type::Stack(elem, n) => {
+                if matches!(elem.as_ref(), Type::Header(_)) {
+                    self.env.insert(base.next_index().0.clone(), BitVec::zeros(32));
+                    for i in 0..*n {
+                        self.env.insert(base.indexed(i).valid().0.clone(), BitVec::zeros(1));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn run_parser(&mut self, name: &str, bindings: &[&str]) -> IResult<()> {
+        self.enter_frame(name, bindings)?;
+        let Some(IrBlock::Parser(p)) = self.prog.blocks.get(name) else {
+            return Err(InterpException(format!("'{name}' is not a parser")));
+        };
+        let p = p.clone();
+        let mut state = "start".to_string();
+        let mut visits = 0;
+        while state != "accept" && state != "reject" {
+            visits += 1;
+            if visits > 64 {
+                return Err(InterpException("parser loop bound exceeded".into()));
+            }
+            let Some(s) = p.states.get(&state) else {
+                return Err(InterpException(format!("unknown state '{state}'")));
+            };
+            let mut rejected = false;
+            for stmt in &s.stmts {
+                if !self.exec_stmt(stmt)? {
+                    rejected = true;
+                    break;
+                }
+            }
+            if rejected {
+                state = "reject".to_string();
+                break;
+            }
+            state = match &s.transition {
+                IrTransition::Direct(n) => n.clone(),
+                IrTransition::Select { keys, cases } => {
+                    let key_vals: Vec<BitVec> =
+                        keys.iter().map(|k| self.eval(k)).collect::<IResult<_>>()?;
+                    let mut next = None;
+                    for c in cases {
+                        if self.keysets_match(&key_vals, &c.keysets)? {
+                            next = Some(c.next_state.clone());
+                            break;
+                        }
+                    }
+                    match next {
+                        Some(n) => n,
+                        None => {
+                            self.parser_error = 2; // NoMatch
+                            "reject".to_string()
+                        }
+                    }
+                }
+            };
+        }
+        self.frames.pop();
+        if state == "reject" {
+            self.on_parser_reject();
+        }
+        Ok(())
+    }
+
+    fn on_parser_reject(&mut self) {
+        match self.arch {
+            Arch::V1Model => {
+                let err = BitVec::from_u64(16, self.parser_error);
+                self.write_env("sm.parser_error", err);
+                self.trace.push("parser reject: continue to ingress".into());
+            }
+            Arch::Tna | Arch::T2na => {
+                let err = BitVec::from_u64(16, self.parser_error);
+                if self.flags.get("in_ingress").copied().unwrap_or(1) == 1 {
+                    self.write_env("ig_prsr_md.parser_err", err);
+                    if !program_reads_parser_err(self.prog) {
+                        self.dropped = true;
+                        self.trace.push("tofino: ingress parser reject -> drop".into());
+                    }
+                } else {
+                    self.write_env("eg_prsr_md.parser_err", err);
+                }
+            }
+            Arch::Ebpf => {
+                self.dropped = true;
+                self.trace.push("ebpf: parser reject -> drop".into());
+            }
+        }
+    }
+
+    fn run_control(&mut self, name: &str, bindings: &[&str]) -> IResult<()> {
+        if self.dropped {
+            return Ok(());
+        }
+        self.enter_frame(name, bindings)?;
+        let Some(IrBlock::Control(c)) = self.prog.blocks.get(name) else {
+            return Err(InterpException(format!("'{name}' is not a control")));
+        };
+        let stmts = c.apply.clone();
+        self.exited = false;
+        for s in &stmts {
+            if !self.exec_stmt(s)? || self.exited {
+                break;
+            }
+        }
+        self.exited = false;
+        self.frames.pop();
+        Ok(())
+    }
+
+    // ---- statements -----------------------------------------------------------
+
+    /// Execute a statement; `Ok(false)` signals a parser reject.
+    fn exec_stmt(&mut self, s: &IrStmt) -> IResult<bool> {
+        if self.exited {
+            return Ok(true);
+        }
+        match s {
+            IrStmt::DeclVar { path, width, .. } => {
+                let v = match self.arch {
+                    Arch::V1Model => BitVec::zeros(*width as usize),
+                    _ => self.garbage(*width as usize),
+                };
+                self.write_path(path, v);
+                Ok(true)
+            }
+            IrStmt::Assign { target, value, .. } => {
+                let v = self.eval(value)?;
+                self.write_path(target, v);
+                Ok(true)
+            }
+            IrStmt::If { cond, then_s, else_s, .. } => {
+                let c = self.eval(cond)?;
+                let body = if !c.is_zero() { then_s } else { else_s };
+                for st in body {
+                    if !self.exec_stmt(st)? {
+                        return Ok(false);
+                    }
+                    if self.exited {
+                        break;
+                    }
+                }
+                Ok(true)
+            }
+            IrStmt::ApplyTable { table, .. } => {
+                self.apply_table(table, None)?;
+                Ok(true)
+            }
+            IrStmt::SwitchActionRun { table, cases, .. } => {
+                self.apply_table(table, Some(cases))?;
+                Ok(true)
+            }
+            IrStmt::Extract { header, ty, varbit_len, .. } => {
+                self.exec_extract(header, ty, varbit_len.as_ref())
+            }
+            IrStmt::Advance { bits, .. } => {
+                let n = self.eval(bits)?.to_u64().unwrap_or(0) as usize;
+                if self.packet.read(n).is_none() {
+                    self.parser_error = 1;
+                    return Ok(false);
+                }
+                Ok(true)
+            }
+            IrStmt::Emit { header, ty, .. } => {
+                self.exec_emit(header, ty)?;
+                Ok(true)
+            }
+            IrStmt::SetValid { header, valid, .. } => {
+                let hp = self.resolve(header);
+                self.write_env(&format!("{hp}.$valid"), BitVec::from_bool(*valid));
+                Ok(true)
+            }
+            IrStmt::CallAction { action, args, .. } => {
+                let vals: Vec<BitVec> = args.iter().map(|a| self.eval(a)).collect::<IResult<_>>()?;
+                self.call_action(action, &vals)?;
+                Ok(true)
+            }
+            IrStmt::ExternCall { name, instance, args, .. } => {
+                self.exec_extern(name, instance.as_deref(), args)
+            }
+            IrStmt::StackOp { stack, push, count, .. } => {
+                self.exec_stack_op(stack, *push, *count)?;
+                Ok(true)
+            }
+            IrStmt::Exit { .. } | IrStmt::Return { .. } => {
+                self.exited = true;
+                Ok(true)
+            }
+        }
+    }
+
+    fn exec_extract(
+        &mut self,
+        header: &Path,
+        ty: &str,
+        varbit_len: Option<&IrExpr>,
+    ) -> IResult<bool> {
+        let fields: Vec<_> = self
+            .prog
+            .env
+            .fields_of(ty)
+            .ok_or_else(|| InterpException(format!("unknown header '{ty}'")))?
+            .to_vec();
+        let vb_len = match varbit_len {
+            Some(e) => self.eval(e)?.to_u64().unwrap_or(0) as usize,
+            None => 0,
+        };
+        if self.faults.has(Fault::VarbitExtractExpr) && varbit_len.is_some() && vb_len > 0 {
+            return Err(InterpException(
+                "compiler mistranslated varbit extract with expression length".into(),
+            ));
+        }
+        let hp = self.resolve(header);
+        // A failing extract consumes nothing: the unparsed content passes
+        // through as payload (matching the oracle's model and Fig 1c).
+        let need: usize = fields
+            .iter()
+            .map(|f| match &f.ty {
+                Type::Varbit(_) => vb_len,
+                t => t.width(&self.prog.env).unwrap_or(0) as usize,
+            })
+            .sum();
+        if self.packet.remaining() < need {
+            self.parser_error = 1; // PacketTooShort
+            return Ok(false);
+        }
+        for f in &fields {
+            let w = match &f.ty {
+                Type::Varbit(_) => vb_len,
+                t => t.width(&self.prog.env).unwrap_or(0) as usize,
+            };
+            let Some(v) = self.packet.read(w) else {
+                self.parser_error = 1; // PacketTooShort
+                return Ok(false);
+            };
+            if let Type::Varbit(max) = &f.ty {
+                self.write_env(&format!("{hp}.{}", f.name), v.cast(*max as usize));
+                self.write_env(
+                    &format!("{hp}.{}.$len", f.name),
+                    BitVec::from_u64(32, vb_len as u64),
+                );
+            } else {
+                self.write_env(&format!("{hp}.{}", f.name), v);
+            }
+        }
+        self.write_env(&format!("{hp}.$valid"), BitVec::from_bool(true));
+        Ok(true)
+    }
+
+    fn exec_emit(&mut self, header: &Path, ty: &str) -> IResult<()> {
+        let hp = self.resolve(header);
+        let validity = self.env.get(&format!("{hp}.$valid")).cloned();
+        let valid = validity.map(|v| !v.is_zero()).unwrap_or(false);
+        if !valid {
+            return Ok(());
+        }
+        if self.faults.has(Fault::EmitUnflattened) {
+            // P4C-6 analogue: emitting a header with a never-initialized
+            // field (validity set programmatically, fields partially written)
+            // crashes the deparser.
+            let fields: Vec<_> = self.prog.env.fields_of(ty).unwrap_or(&[]).to_vec();
+            for f in &fields {
+                if !matches!(f.ty, Type::Varbit(_))
+                    && !self.env.contains_key(&format!("{hp}.{}", f.name))
+                {
+                    return Err(InterpException(format!(
+                        "deparser: emit of {hp} with uninitialized field {}",
+                        f.name
+                    )));
+                }
+            }
+        }
+        if self.faults.has(Fault::DeparserManyHeaders) && self.emit_buf.len() >= 3 {
+            return Err(InterpException("deparser: too many emitted headers".into()));
+        }
+        let fields: Vec<_> = self.prog.env.fields_of(ty).unwrap_or(&[]).to_vec();
+        let mut acc = BitVec::empty();
+        for f in &fields {
+            match &f.ty {
+                Type::Varbit(max) => {
+                    let data = self.read_env(&Path::new(format!("{hp}.{}", f.name)), *max);
+                    let len = self
+                        .env
+                        .get(&format!("{hp}.{}.$len", f.name))
+                        .and_then(|v| v.to_u64())
+                        .unwrap_or(0) as usize;
+                    if len > 0 {
+                        acc = acc.concat(&data.extract(len - 1, 0));
+                    }
+                }
+                t => {
+                    let w = t.width(&self.prog.env).unwrap_or(0);
+                    if w == 0 {
+                        continue;
+                    }
+                    let v = self.read_env(&Path::new(format!("{hp}.{}", f.name)), w);
+                    acc = acc.concat(&v);
+                }
+            }
+        }
+        self.emit_buf.push(acc);
+        Ok(())
+    }
+
+    fn exec_stack_op(&mut self, stack: &Path, push: bool, count: u32) -> IResult<()> {
+        if self.faults.has(Fault::StackPushWrongOp) {
+            return Err(InterpException("wrong operation on header stack push/pop".into()));
+        }
+        let sp = self.resolve(stack);
+        let mut size = 0u32;
+        while self.env.contains_key(&format!("{sp}[{size}].$valid")) && size < 64 {
+            size += 1;
+        }
+        if size == 0 {
+            return Ok(());
+        }
+        let snapshot: Vec<Vec<(String, BitVec)>> = (0..size)
+            .map(|i| {
+                let prefix = format!("{sp}[{i}].");
+                self.env
+                    .iter()
+                    .filter(|(k, _)| k.starts_with(&prefix))
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect()
+            })
+            .collect();
+        for i in 0..size {
+            let from = if push {
+                i.checked_sub(count)
+            } else {
+                i.checked_add(count).filter(|v| *v < size)
+            };
+            let dst = format!("{sp}[{i}].");
+            self.env.retain(|k, _| !k.starts_with(&dst));
+            match from {
+                Some(src) => {
+                    let src_prefix = format!("{sp}[{src}].");
+                    for (k, v) in &snapshot[src as usize] {
+                        let suffix = &k[src_prefix.len()..];
+                        self.env.insert(format!("{dst}{suffix}"), v.clone());
+                    }
+                }
+                None => {
+                    self.env.insert(format!("{sp}[{i}].$valid"), BitVec::zeros(1));
+                }
+            }
+        }
+        let next = self.env.get(&format!("{sp}.$next")).and_then(|v| v.to_u64()).unwrap_or(0);
+        let newv = if push {
+            (next + count as u64).min(size as u64)
+        } else {
+            next.saturating_sub(count as u64)
+        };
+        self.env.insert(format!("{sp}.$next"), BitVec::from_u64(32, newv));
+        Ok(())
+    }
+
+    fn call_action(&mut self, action: &str, args: &[BitVec]) -> IResult<()> {
+        for block in self.prog.blocks.values() {
+            if let IrBlock::Control(c) = block {
+                if let Some(a) = c.actions.get(action) {
+                    let a = a.clone();
+                    let cname = c.name.clone();
+                    for ((pname, pw), v) in a.params.iter().zip(args) {
+                        self.write_env(
+                            &format!("{cname}::{action}::{pname}"),
+                            v.cast(*pw as usize),
+                        );
+                    }
+                    for s in &a.body {
+                        self.exec_stmt(s)?;
+                        if self.exited {
+                            break;
+                        }
+                    }
+                    self.exited = false;
+                    return Ok(());
+                }
+            }
+        }
+        Err(InterpException(format!("unknown action '{action}'")))
+    }
+
+    // ---- tables -----------------------------------------------------------------
+
+    fn apply_table(
+        &mut self,
+        table: &str,
+        switch_cases: Option<&[(Option<String>, Vec<IrStmt>)]>,
+    ) -> IResult<()> {
+        let tbl = self
+            .prog
+            .all_tables()
+            .find(|t| t.name == table)
+            .ok_or_else(|| InterpException(format!("unknown table '{table}'")))?
+            .clone();
+        let key_vals: Vec<BitVec> =
+            tbl.keys.iter().map(|k| self.eval(&k.expr)).collect::<IResult<_>>()?;
+        // Const entries first (priority-ordered), then installed entries.
+        let mut was_hit = true;
+        let hit = self.match_const_entries(&tbl, &key_vals)?;
+        let (action, args) = match hit {
+            Some((a, args)) => (a, args),
+            None => match self.match_installed(&tbl, &key_vals)? {
+                Some((a, args)) => (a, args),
+                None => {
+                    was_hit = false;
+                    let dargs: Vec<BitVec> = tbl
+                        .default_args
+                        .iter()
+                        .map(|e| self.eval(e))
+                        .collect::<IResult<_>>()?;
+                    (tbl.default_action.clone(), dargs)
+                }
+            },
+        };
+        // Record hit/miss in the synthetic slots `t.apply().hit` reads.
+        self.write_env(&format!("{table}.$hit"), BitVec::from_bool(was_hit));
+        self.write_env(&format!("{table}.$applied"), BitVec::from_bool(true));
+        self.trace.push(format!("{table} -> {action}"));
+        // P4C-7 (wrong code): inside a switch statement, the compiler
+        // swallowed the table.apply() — the chosen action never runs.
+        let swallow = switch_cases.is_some() && self.faults.has(Fault::SwallowSwitchApply);
+        if !swallow {
+            self.call_action(&action, &args)?;
+        } else {
+            self.trace.push("fault: switch apply swallowed".into());
+        }
+        if let Some(cases) = switch_cases {
+            // Run the matching case body (or default).
+            let body = cases
+                .iter()
+                .find(|(l, _)| l.as_deref() == Some(action.as_str()))
+                .or_else(|| cases.iter().find(|(l, _)| l.is_none()))
+                .map(|(_, b)| b.clone());
+            if let Some(body) = body {
+                for s in &body {
+                    self.exec_stmt(s)?;
+                    if self.exited {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn match_const_entries(
+        &mut self,
+        tbl: &IrTable,
+        keys: &[BitVec],
+    ) -> IResult<Option<(String, Vec<BitVec>)>> {
+        let mut order: Vec<&IrConstEntry> = tbl.const_entries.iter().collect();
+        if self.faults.has(Fault::PriorityInverted) {
+            order.sort_by_key(|e| e.priority.unwrap_or(0));
+        } else {
+            order.sort_by_key(|e| std::cmp::Reverse(e.priority.unwrap_or(0)));
+        }
+        for e in order {
+            if self.keysets_match(keys, &e.keysets)? {
+                let args: Vec<BitVec> =
+                    e.args.iter().map(|a| self.eval(a)).collect::<IResult<_>>()?;
+                return Ok(Some((e.action.clone(), args)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn match_installed(
+        &mut self,
+        tbl: &IrTable,
+        keys: &[BitVec],
+    ) -> IResult<Option<(String, Vec<BitVec>)>> {
+        let Some(entries) = self.tables.get(&tbl.control_plane_name) else {
+            return Ok(None);
+        };
+        let mut entries: Vec<Entry> = entries.clone();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.priority));
+        'entry: for e in &entries {
+            for (k, m) in keys.iter().zip(&e.keys) {
+                if !self.key_matches(k, m)? {
+                    continue 'entry;
+                }
+            }
+            return Ok(Some((e.action.clone(), e.args.clone())));
+        }
+        Ok(None)
+    }
+
+    fn key_matches(&self, key: &BitVec, m: &KeyMatch) -> IResult<bool> {
+        let w = key.width();
+        let fit = |bytes: &[u8]| BitVec::from_bytes_be(bytes).cast(w);
+        Ok(match m {
+            KeyMatch::Exact { value, .. } => *key == fit(value),
+            KeyMatch::Ternary { value, mask, .. } => {
+                let v = fit(value);
+                let mk = fit(mask);
+                key.and(&mk) == v.and(&mk)
+            }
+            KeyMatch::Lpm { value, prefix_len, .. } => {
+                let v = fit(value);
+                let plen = *prefix_len as usize;
+                if plen == 0 {
+                    true
+                } else {
+                    let mask = BitVec::ones(w).shl_const(w - plen.min(w));
+                    key.and(&mask) == v.and(&mask)
+                }
+            }
+            KeyMatch::Range { lo, hi, .. } => {
+                let l = fit(lo);
+                let h = fit(hi);
+                if self.faults.has(Fault::RangeExclusiveHi) {
+                    l.ule(key) && key.ult(&h)
+                } else {
+                    l.ule(key) && key.ule(&h)
+                }
+            }
+            KeyMatch::Optional { value, .. } => match value {
+                None => true,
+                Some(v) => *key == fit(v),
+            },
+        })
+    }
+
+    fn keysets_match(&mut self, keys: &[BitVec], keysets: &[IrKeyset]) -> IResult<bool> {
+        for (k, ks) in keys.iter().zip(keysets) {
+            let ok = match ks {
+                IrKeyset::Dontcare => true,
+                IrKeyset::Exact(e) => {
+                    let v = self.eval(e)?.cast(k.width());
+                    *k == v
+                }
+                IrKeyset::Mask { value, mask } => {
+                    let v = self.eval(value)?.cast(k.width());
+                    let m = self.eval(mask)?.cast(k.width());
+                    k.and(&m) == v.and(&m)
+                }
+                IrKeyset::Range { lo, hi } => {
+                    let l = self.eval(lo)?.cast(k.width());
+                    let h = self.eval(hi)?.cast(k.width());
+                    l.ule(k) && k.ule(&h)
+                }
+            };
+            if !ok {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    // ---- externs ------------------------------------------------------------------
+
+    fn exec_extern(
+        &mut self,
+        name: &str,
+        instance: Option<&str>,
+        args: &[IrArg],
+    ) -> IResult<bool> {
+        use p4testgen_core::concolic;
+        match name {
+            "$parser_error" => {
+                if let Some(IrArg::In(e)) = args.first() {
+                    self.parser_error = self.eval(e)?.to_u64().unwrap_or(0);
+                }
+                // BMV2-1: an out-of-bounds header-stack access (the
+                // StackOutOfBounds error path) crashes the model.
+                if self.faults.has(Fault::StackIndexCrash) && self.parser_error == 3 {
+                    return Err(InterpException(
+                        "BMv2 crash: header stack index out of bounds".into(),
+                    ));
+                }
+                return Ok(false);
+            }
+            "mark_to_drop" => {
+                self.write_env("sm.egress_spec", BitVec::from_u64(9, DROP_PORT));
+                self.write_env("sm.mcast_grp", BitVec::zeros(16));
+            }
+            "verify_checksum" | "verify_checksum_with_payload" => {
+                let cond = !self.eval_arg(&args[0])?.is_zero();
+                if cond {
+                    let mut data = self.eval_arg_list(&args[1])?;
+                    if name.ends_with("_with_payload") {
+                        data.push(self.packet.rest());
+                    }
+                    let given = self.eval_arg(&args[2])?;
+                    let algo = self.eval_arg(&args[3])?.to_u64().unwrap_or(2);
+                    let computed = self.run_hash(algo, &data, given.width() as u32);
+                    if computed != given {
+                        self.write_env("sm.checksum_error", BitVec::from_bool(true));
+                    }
+                }
+            }
+            "update_checksum" | "update_checksum_with_payload" => {
+                let cond = !self.eval_arg(&args[0])?.is_zero();
+                if cond {
+                    let mut data = self.eval_arg_list(&args[1])?;
+                    if name.ends_with("_with_payload") {
+                        data.push(self.packet.rest());
+                    }
+                    if let IrArg::Out(p, w) = &args[2] {
+                        let algo = self.eval_arg(&args[3])?.to_u64().unwrap_or(2);
+                        let v = self.run_hash(algo, &data, *w);
+                        self.write_path(p, v);
+                    }
+                }
+            }
+            "hash" => {
+                if let IrArg::Out(p, w) = &args[0] {
+                    let algo = self.eval_arg(&args[1])?.to_u64().unwrap_or(0);
+                    let base = self.eval_arg(&args[2])?;
+                    let data = self.eval_arg_list(&args[3])?;
+                    let max = self.eval_arg(&args[4])?;
+                    let h = self.run_hash(algo, &data, *w);
+                    let maxc = max.cast(*w as usize);
+                    let v = if maxc.is_zero() {
+                        base.cast(*w as usize)
+                    } else {
+                        base.cast(*w as usize).add(&h.urem(&maxc))
+                    };
+                    self.write_path(p, v);
+                }
+            }
+            "random" => {
+                if let IrArg::Out(p, w) = &args[0] {
+                    let v = self.garbage(*w as usize);
+                    self.write_path(p, v);
+                }
+            }
+            "read" if instance.is_some() => {
+                // v1model: read(out result, index); tna: read(index) + temp.
+                let (out, idx) = match (&args[0], args.last()) {
+                    (IrArg::Out(p, w), _) => (Some((p.clone(), *w)), self.eval_arg(&args[1])?),
+                    (_, Some(IrArg::Out(p, w))) => (Some((p.clone(), *w)), self.eval_arg(&args[0])?),
+                    _ => (None, BitVec::zeros(32)),
+                };
+                if let Some((p, w)) = out {
+                    let inst = instance.unwrap();
+                    let i = idx.to_u64().unwrap_or(0);
+                    self.check_register_fault(inst, i)?;
+                    let v = self
+                        .registers
+                        .get(inst)
+                        .and_then(|r| r.get(&i))
+                        .cloned()
+                        .unwrap_or_else(|| BitVec::zeros(w as usize));
+                    self.write_path(&p, v.cast(w as usize));
+                }
+            }
+            "write" if instance.is_some() => {
+                let idx = self.eval_arg(&args[0])?.to_u64().unwrap_or(0);
+                let val = self.eval_arg(&args[1])?;
+                let inst = instance.unwrap();
+                self.check_register_fault(inst, idx)?;
+                if !self.faults.has(Fault::RegisterWriteLost) {
+                    self.registers.entry(inst.to_string()).or_default().insert(idx, val);
+                }
+            }
+            "get" if instance.is_some() => {
+                if let Some(IrArg::Out(p, w)) = args.last() {
+                    if args.len() >= 2 {
+                        let data = self.eval_arg_list(&args[0])?;
+                        let algo = if self.faults.has(Fault::HashAlgorithmSwap) { 1 } else { 0 };
+                        let v = self.run_hash(algo, &data, *w);
+                        self.write_path(&p.clone(), v);
+                    } else {
+                        let v = self.garbage(*w as usize);
+                        self.write_path(&p.clone(), v);
+                    }
+                }
+            }
+            "execute" | "execute_meter" | "read_meter" => {
+                // Meter colors come from control-plane configuration (the
+                // spec's register_init), mirroring the oracle's model.
+                if let Some(IrArg::Out(p, w)) = args.iter().find(|a| matches!(a, IrArg::Out(..))).cloned() {
+                    let idx = match args.first() {
+                        Some(IrArg::In(e)) => self.eval(e)?.to_u64().unwrap_or(0),
+                        _ => 0,
+                    };
+                    let inst = instance.unwrap_or("meter");
+                    let v = self
+                        .registers
+                        .get(inst)
+                        .and_then(|r| r.get(&idx))
+                        .cloned()
+                        .unwrap_or_else(|| BitVec::zeros(w as usize));
+                    self.write_path(&p, v.cast(w as usize));
+                }
+            }
+            "add" | "subtract" if instance.is_some() => {
+                let inst = instance.unwrap().to_string();
+                let n = *self.flags.entry(format!("csum_n_{inst}")).or_insert(0) + 1;
+                self.flags.insert(format!("csum_n_{inst}"), n);
+                let data = self.eval_arg_list(&args[0])?;
+                for (i, v) in data.into_iter().enumerate() {
+                    let key = format!("$csum.{inst}.{n:04}.{i:04}");
+                    self.env.insert(key, v);
+                }
+            }
+            "verify" if instance.is_some() => {
+                if let Some(IrArg::Out(p, _)) = args.last() {
+                    let inst = instance.unwrap();
+                    let prefix = format!("$csum.{inst}.");
+                    let mut items: Vec<(String, BitVec)> = self
+                        .env
+                        .iter()
+                        .filter(|(k, _)| k.starts_with(&prefix))
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    items.sort_by(|a, b| a.0.cmp(&b.0));
+                    let data: Vec<BitVec> = items.into_iter().map(|(_, v)| v).collect();
+                    let c = concolic::csum16(&data, 16);
+                    self.write_path(&p.clone(), BitVec::from_bool(c.is_zero()));
+                }
+            }
+            "truncate" => {
+                let len = self.eval_arg(&args[0])?.to_u64().unwrap_or(0);
+                self.flags.insert("truncate_bytes".into(), len);
+            }
+            "resubmit_preserving_field_list" => {
+                self.flags.insert("resubmit".into(), 1);
+            }
+            "recirculate_preserving_field_list" => {
+                self.flags.insert("recirculate".into(), 1);
+            }
+            "clone" | "clone_preserving_field_list" => {
+                let session = self.eval_arg(&args[1])?.to_u64().unwrap_or(0);
+                self.flags.insert("clone_pending".into(), 1);
+                self.flags.insert("clone_session".into(), session);
+            }
+            "assert" | "assume" => {
+                let c = self.eval_arg(&args[0])?;
+                if c.is_zero() {
+                    return Err(InterpException("assert/assume failed at runtime".into()));
+                }
+            }
+            "count" | "digest" | "log_msg" | "pack" | "emit" | "increment" => {}
+            other => {
+                return Err(InterpException(format!("unimplemented extern '{other}'")));
+            }
+        }
+        Ok(true)
+    }
+
+    fn check_register_fault(&self, inst: &str, idx: u64) -> IResult<()> {
+        if self.faults.has(Fault::RegisterLastIndex) {
+            // Find the declared register size.
+            for block in self.prog.blocks.values() {
+                if let IrBlock::Control(c) = block {
+                    for i in &c.instances {
+                        if i.name == inst {
+                            if let Some(size) = i.ctor_args.first() {
+                                if *size > 0 && idx == (*size - 1) as u64 {
+                                    return Err(InterpException(
+                                        "register access at last index crashes".into(),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run_hash(&self, algo: u64, data: &[BitVec], width: u32) -> BitVec {
+        use p4testgen_core::concolic::{crc16, crc32, csum16, identity, xor16};
+        let mut algo = algo;
+        if self.faults.has(Fault::HashAlgorithmSwap) && algo == 0 {
+            algo = 1; // crc32 silently becomes crc16
+        }
+        match algo {
+            0 => crc32(data, width),
+            1 => crc16(data, width),
+            2 => csum16(data, width),
+            3 => xor16(data, width),
+            _ => identity(data, width),
+        }
+    }
+
+    fn eval_arg(&mut self, a: &IrArg) -> IResult<BitVec> {
+        match a {
+            IrArg::In(e) => self.eval(e),
+            other => Err(InterpException(format!("expected input argument, got {other:?}"))),
+        }
+    }
+
+    fn eval_arg_list(&mut self, a: &IrArg) -> IResult<Vec<BitVec>> {
+        match a {
+            IrArg::In(e) => Ok(vec![self.eval(e)?]),
+            IrArg::InList(es) => es.iter().map(|e| self.eval(e)).collect(),
+            other => Err(InterpException(format!("expected inputs, got {other:?}"))),
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------------------
+
+    fn eval(&mut self, e: &IrExpr) -> IResult<BitVec> {
+        Ok(match e {
+            IrExpr::Const { width, value } => BitVec::from_u128(*width as usize, *value),
+            IrExpr::Read { path, width } => {
+                // StackDerefWrongOp: reads through stack element paths crash.
+                if self.faults.has(Fault::StackDerefWrongOp) && path.as_str().contains('[') {
+                    return Err(InterpException("wrong operation dereferencing header stack".into()));
+                }
+                self.read_env(path, *width)
+            }
+            IrExpr::IsValid { path } => {
+                let key = format!("{}.$valid", self.resolve(path));
+                BitVec::from_bool(self.env.get(&key).map(|v| !v.is_zero()).unwrap_or(false))
+            }
+            IrExpr::Unary { op, arg, .. } => {
+                let a = self.eval(arg)?;
+                match op {
+                    IrUnOp::Not => a.not(),
+                    IrUnOp::Neg => a.negate(),
+                }
+            }
+            IrExpr::Binary { op, lhs, rhs, .. } => {
+                let a = self.eval(lhs)?;
+                let b = self.eval(rhs)?;
+                eval_binop(*op, &a, &b)
+            }
+            IrExpr::Slice { base, hi, lo } => {
+                let b = self.eval(base)?;
+                b.extract(*hi as usize, *lo as usize)
+            }
+            IrExpr::Cast { arg, width } => self.eval(arg)?.cast(*width as usize),
+            IrExpr::SignCast { arg, width } => {
+                let a = self.eval(arg)?;
+                if (*width as usize) > a.width() {
+                    a.sext(*width as usize)
+                } else {
+                    a.cast(*width as usize)
+                }
+            }
+            IrExpr::Mux { cond, then_e, else_e, .. } => {
+                if !self.eval(cond)?.is_zero() {
+                    self.eval(then_e)?
+                } else {
+                    self.eval(else_e)?
+                }
+            }
+            IrExpr::Lookahead { width } => {
+                if self.faults.has(Fault::LookaheadIntoFcs)
+                    && matches!(self.arch, Arch::Tna | Arch::T2na)
+                    && *width > 32
+                {
+                    return Err(InterpException(
+                        "parser crash: wide lookahead reaches into the FCS".into(),
+                    ));
+                }
+                match self.packet.peek(*width as usize) {
+                    Some(v) => v,
+                    None => self.garbage(*width as usize),
+                }
+            }
+            IrExpr::VarbitLen { path } => {
+                let key = format!("{}.$len", self.resolve(path));
+                self.env.get(&key).cloned().unwrap_or_else(|| BitVec::zeros(32))
+            }
+        })
+    }
+}
+
+fn eval_binop(op: IrBinOp, a: &BitVec, b: &BitVec) -> BitVec {
+    match op {
+        IrBinOp::Add => a.add(b),
+        IrBinOp::Sub => a.sub(b),
+        IrBinOp::Mul => a.mul(b),
+        IrBinOp::Div => a.udiv(b),
+        IrBinOp::Mod => a.urem(b),
+        IrBinOp::And => a.and(b),
+        IrBinOp::Or => a.or(b),
+        IrBinOp::Xor => a.xor(b),
+        IrBinOp::Shl => a.shl(b),
+        IrBinOp::Shr => a.lshr(b),
+        IrBinOp::AShr => a.ashr(b),
+        IrBinOp::Eq => BitVec::from_bool(a == b),
+        IrBinOp::Neq => BitVec::from_bool(a != b),
+        IrBinOp::Ult => BitVec::from_bool(a.ult(b)),
+        IrBinOp::Ule => BitVec::from_bool(a.ule(b)),
+        IrBinOp::Ugt => BitVec::from_bool(b.ult(a)),
+        IrBinOp::Uge => BitVec::from_bool(b.ule(a)),
+        IrBinOp::Slt => BitVec::from_bool(a.slt(b)),
+        IrBinOp::Sle => BitVec::from_bool(a.sle(b)),
+        IrBinOp::Sgt => BitVec::from_bool(b.slt(a)),
+        IrBinOp::Sge => BitVec::from_bool(b.sle(a)),
+        IrBinOp::Concat => a.concat(b),
+    }
+}
+
+fn program_reads_parser_err(prog: &IrProgram) -> bool {
+    fn expr_reads(e: &IrExpr) -> bool {
+        match e {
+            IrExpr::Read { path, .. } => path.as_str().contains("parser_err"),
+            IrExpr::Unary { arg, .. } => expr_reads(arg),
+            IrExpr::Binary { lhs, rhs, .. } => expr_reads(lhs) || expr_reads(rhs),
+            IrExpr::Slice { base, .. } => expr_reads(base),
+            IrExpr::Cast { arg, .. } | IrExpr::SignCast { arg, .. } => expr_reads(arg),
+            IrExpr::Mux { cond, then_e, else_e, .. } => {
+                expr_reads(cond) || expr_reads(then_e) || expr_reads(else_e)
+            }
+            _ => false,
+        }
+    }
+    fn stmt_reads(s: &IrStmt) -> bool {
+        match s {
+            IrStmt::Assign { value, .. } => expr_reads(value),
+            IrStmt::If { cond, then_s, else_s, .. } => {
+                expr_reads(cond) || then_s.iter().any(stmt_reads) || else_s.iter().any(stmt_reads)
+            }
+            _ => false,
+        }
+    }
+    prog.blocks.values().any(|b| match b {
+        IrBlock::Control(c) => {
+            c.apply.iter().any(stmt_reads)
+                || c.actions.values().any(|a| a.body.iter().any(stmt_reads))
+        }
+        _ => false,
+    })
+}

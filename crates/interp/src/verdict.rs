@@ -1,0 +1,103 @@
+//! Test verdicts: compare what the software model actually did against the
+//! test specification's expectations. A mismatch on an unfaulted model is a
+//! p4testgen bug; a mismatch on a faulted model is a *detected* toolchain
+//! bug (the Table 2/3 experiment).
+
+use crate::interp::{InterpException, InterpResult};
+use p4testgen_core::testspec::TestSpec;
+use std::fmt;
+
+/// The outcome of executing one test.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Outputs and register expectations matched.
+    Pass,
+    /// The model produced different output than expected ("wrong code").
+    WrongOutput(String),
+    /// The model crashed ("exception").
+    Exception(String),
+}
+
+impl Verdict {
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Verdict::Pass)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Pass => write!(f, "PASS"),
+            Verdict::WrongOutput(m) => write!(f, "WRONG OUTPUT: {m}"),
+            Verdict::Exception(m) => write!(f, "EXCEPTION: {m}"),
+        }
+    }
+}
+
+/// Compare a model run against the specification.
+pub fn check(spec: &TestSpec, result: Result<InterpResult, InterpException>) -> Verdict {
+    let result = match result {
+        Ok(r) => r,
+        Err(e) => return Verdict::Exception(e.0),
+    };
+    // Output count / drop expectation.
+    if spec.expects_drop() {
+        if !result.outputs.is_empty() {
+            return Verdict::WrongOutput(format!(
+                "expected drop, got {} output packet(s)",
+                result.outputs.len()
+            ));
+        }
+    } else {
+        if result.outputs.len() != spec.outputs.len() {
+            return Verdict::WrongOutput(format!(
+                "expected {} output(s), got {}",
+                spec.outputs.len(),
+                result.outputs.len()
+            ));
+        }
+        // Match outputs pairwise, sorted by port for stability.
+        let mut expected: Vec<_> = spec.outputs.iter().collect();
+        let mut actual: Vec<_> = result.outputs.iter().collect();
+        expected.sort_by_key(|o| o.port);
+        actual.sort_by_key(|(p, _)| *p);
+        for (e, (port, data)) in expected.iter().zip(&actual) {
+            if e.port != *port {
+                return Verdict::WrongOutput(format!("expected port {}, got {port}", e.port));
+            }
+            if !e.packet.matches(data) {
+                return Verdict::WrongOutput(format!(
+                    "packet mismatch on port {port}: expected {} got {}",
+                    e.packet.to_hex(),
+                    hex(data)
+                ));
+            }
+        }
+    }
+    // Register expectations.
+    for r in &spec.register_expect {
+        match result.register_final.get(&(r.instance.clone(), r.index)) {
+            Some(v) if *v == r.value => {}
+            Some(v) => {
+                return Verdict::WrongOutput(format!(
+                    "register {}[{}]: expected {} got {}",
+                    r.instance,
+                    r.index,
+                    hex(&r.value),
+                    hex(v)
+                ))
+            }
+            None => {
+                return Verdict::WrongOutput(format!(
+                    "register {}[{}] never written",
+                    r.instance, r.index
+                ))
+            }
+        }
+    }
+    Verdict::Pass
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}

@@ -1,0 +1,55 @@
+//! Frontend diagnostics.
+
+use crate::token::{Pos, Span};
+use std::fmt;
+
+/// Phase in which an error was detected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    Lex,
+    Parse,
+    Typecheck,
+}
+
+/// An error with source location, produced by the lexer, parser, or checker.
+#[derive(Clone, Debug)]
+pub struct FrontendError {
+    pub phase: Phase,
+    pub span: Span,
+    pub message: String,
+}
+
+impl FrontendError {
+    pub fn lex(pos: Pos, message: impl Into<String>) -> Self {
+        FrontendError {
+            phase: Phase::Lex,
+            span: Span { start: pos, end: pos },
+            message: message.into(),
+        }
+    }
+
+    pub fn parse(span: Span, message: impl Into<String>) -> Self {
+        FrontendError { phase: Phase::Parse, span, message: message.into() }
+    }
+
+    pub fn typecheck(span: Span, message: impl Into<String>) -> Self {
+        FrontendError { phase: Phase::Typecheck, span, message: message.into() }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Typecheck => "type",
+        };
+        write!(
+            f,
+            "{phase} error at {}:{}: {}",
+            self.span.start.line, self.span.start.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for FrontendError {}

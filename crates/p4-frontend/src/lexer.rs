@@ -1,0 +1,487 @@
+//! Lexer (with a small preprocessor) for the P4-16 subset.
+//!
+//! The preprocessor handles `//` and `/* */` comments and `#`-directives:
+//! `#include` lines are dropped (architecture preludes are provided as
+//! built-in source by the target extensions), `#define NAME VALUE` performs
+//! simple token-free textual substitution of object-like macros, and any
+//! other directive is ignored with a note.
+
+use crate::error::FrontendError;
+use crate::token::{IntLit, Keyword, Pos, Span, Tok, Token};
+use std::collections::HashMap;
+
+/// Lex a complete source string into tokens (ending in `Tok::Eof`).
+pub fn lex(source: &str) -> Result<Vec<Token>, FrontendError> {
+    let pre = preprocess(source);
+    Lexer::new(&pre).run()
+}
+
+/// Strip comments and handle `#` directives, preserving line structure so
+/// diagnostics line numbers stay meaningful.
+fn preprocess(src: &str) -> String {
+    // Remove block comments first (replace with spaces, keep newlines).
+    let mut no_block = String::with_capacity(src.len());
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '/' && chars.peek() == Some(&'*') {
+            chars.next();
+            loop {
+                match chars.next() {
+                    None => break,
+                    Some('*') if chars.peek() == Some(&'/') => {
+                        chars.next();
+                        no_block.push(' ');
+                        break;
+                    }
+                    Some('\n') => no_block.push('\n'),
+                    Some(_) => {}
+                }
+            }
+        } else {
+            no_block.push(c);
+        }
+    }
+    // Line comments, directives, and object-like macro substitution.
+    let mut defines: HashMap<String, String> = HashMap::new();
+    let mut out = String::with_capacity(no_block.len());
+    for line in no_block.lines() {
+        let line = match line.find("//") {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(def) = rest.strip_prefix("define") {
+                let mut it = def.trim().splitn(2, char::is_whitespace);
+                if let Some(name) = it.next() {
+                    // Function-like macros are out of scope; skip them.
+                    if !name.contains('(') {
+                        let val = it.next().unwrap_or("").trim().to_string();
+                        defines.insert(name.to_string(), val);
+                    }
+                }
+            }
+            // #include, #if(n)def, #endif, #pragma: dropped.
+            out.push('\n');
+            continue;
+        }
+        if defines.is_empty() {
+            out.push_str(line);
+        } else {
+            out.push_str(&substitute(line, &defines));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Whole-identifier textual substitution of object-like macros.
+fn substitute(line: &str, defines: &HashMap<String, String>) -> String {
+    let mut out = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let word = &line[start..i];
+            match defines.get(word) {
+                Some(v) => out.push_str(v),
+                None => out.push_str(word),
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn here(&self) -> Pos {
+        Pos { offset: self.pos, line: self.line, col: self.col }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, FrontendError> {
+        let mut out = Vec::new();
+        loop {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                self.bump();
+            }
+            let start = self.here();
+            let Some(c) = self.peek() else {
+                out.push(Token { tok: Tok::Eof, span: Span { start, end: start } });
+                return Ok(out);
+            };
+            let tok = if c.is_ascii_digit() {
+                self.lex_number(start)?
+            } else if c.is_ascii_alphabetic() || c == b'_' {
+                let word = self.lex_word();
+                match Keyword::from_str(&word) {
+                    Some(k) => Tok::Kw(k),
+                    None => Tok::Ident(word),
+                }
+            } else if c == b'"' {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        None => {
+                            return Err(FrontendError::lex(start, "unterminated string literal"))
+                        }
+                        Some(b'"') => break,
+                        Some(b'\\') => {
+                            match self.bump() {
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(other) => s.push(other as char),
+                                None => {
+                                    return Err(FrontendError::lex(
+                                        start,
+                                        "unterminated string escape",
+                                    ))
+                                }
+                            };
+                        }
+                        Some(other) => s.push(other as char),
+                    }
+                }
+                Tok::Str(s)
+            } else if c == b'@' {
+                self.bump();
+                if !matches!(self.peek(), Some(c) if c.is_ascii_alphabetic() || c == b'_') {
+                    return Err(FrontendError::lex(start, "expected identifier after '@'"));
+                }
+                Tok::At(self.lex_word())
+            } else {
+                self.lex_symbol(start)?
+            };
+            let end = self.here();
+            out.push(Token { tok, span: Span { start, end } });
+        }
+    }
+
+    fn lex_word(&mut self) -> String {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn lex_number(&mut self, start: Pos) -> Result<Tok, FrontendError> {
+        // First scan digits; if followed by 'w' or 's', it was a width prefix.
+        let first = self.lex_digits(10, start)?;
+        match self.peek() {
+            Some(b'w') | Some(b's') => {
+                let signed = self.peek() == Some(b's');
+                self.bump();
+                let width: u32 = first.try_into().map_err(|_| {
+                    FrontendError::lex(start, "literal width does not fit in u32")
+                })?;
+                if width == 0 {
+                    return Err(FrontendError::lex(start, "zero-width literal"));
+                }
+                let value = self.lex_based_value(start)?;
+                Ok(Tok::Int(IntLit { value, width: Some(width), signed }))
+            }
+            Some(b'x' | b'X' | b'b' | b'B' | b'o' | b'O' | b'd' | b'D') if first == 0 => {
+                // 0x..., 0b..., 0o... with no width prefix.
+                let value = self.lex_base_suffix(start)?;
+                Ok(Tok::Int(IntLit { value, width: None, signed: false }))
+            }
+            _ => Ok(Tok::Int(IntLit { value: first, width: None, signed: false })),
+        }
+    }
+
+    /// After a width prefix (`8w`), parse `255`, `0xFF`, `0b1010`, etc.
+    fn lex_based_value(&mut self, start: Pos) -> Result<u128, FrontendError> {
+        if self.peek() == Some(b'0')
+            && matches!(self.peek2(), Some(b'x' | b'X' | b'b' | b'B' | b'o' | b'O' | b'd' | b'D'))
+        {
+            self.bump();
+            self.lex_base_suffix(start)
+        } else {
+            self.lex_digits(10, start)
+        }
+    }
+
+    /// Parse the `x1F` part, the leading `0` having been consumed.
+    fn lex_base_suffix(&mut self, start: Pos) -> Result<u128, FrontendError> {
+        let base = match self.bump() {
+            Some(b'x' | b'X') => 16,
+            Some(b'b' | b'B') => 2,
+            Some(b'o' | b'O') => 8,
+            Some(b'd' | b'D') => 10,
+            _ => return Err(FrontendError::lex(start, "bad numeric base")),
+        };
+        self.lex_digits(base, start)
+    }
+
+    fn lex_digits(&mut self, base: u32, start: Pos) -> Result<u128, FrontendError> {
+        let mut any = false;
+        let mut value: u128 = 0;
+        loop {
+            match self.peek() {
+                Some(b'_') => {
+                    self.bump();
+                }
+                Some(c) if (c as char).is_digit(base) => {
+                    any = true;
+                    value = value
+                        .checked_mul(base as u128)
+                        .and_then(|v| v.checked_add((c as char).to_digit(base).unwrap() as u128))
+                        .ok_or_else(|| {
+                            FrontendError::lex(start, "integer literal exceeds 128 bits")
+                        })?;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        if !any {
+            return Err(FrontendError::lex(start, "expected digits"));
+        }
+        Ok(value)
+    }
+
+    fn lex_symbol(&mut self, start: Pos) -> Result<Tok, FrontendError> {
+        let c = self.bump().unwrap();
+        let t = match c {
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b'{' => Tok::LBrace,
+            b'}' => Tok::RBrace,
+            b'[' => Tok::LBracket,
+            b']' => Tok::RBracket,
+            b';' => Tok::Semi,
+            b':' => Tok::Colon,
+            b',' => Tok::Comma,
+            b'?' => Tok::Question,
+            b'.' => {
+                if self.peek() == Some(b'.') {
+                    self.bump();
+                    Tok::DotDot
+                } else {
+                    Tok::Dot
+                }
+            }
+            b'=' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Eq
+                } else {
+                    Tok::Assign
+                }
+            }
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Neq
+                } else {
+                    Tok::Not
+                }
+            }
+            b'<' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Le
+                } else if self.peek() == Some(b'<') {
+                    self.bump();
+                    Tok::Shl
+                } else {
+                    Tok::Lt
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Ge
+                } else {
+                    // `>>` stays as two `Gt`s for generic-argument nesting.
+                    Tok::Gt
+                }
+            }
+            b'~' => Tok::Tilde,
+            b'+' => {
+                if self.peek() == Some(b'+') {
+                    self.bump();
+                    Tok::PlusPlus
+                } else {
+                    Tok::Plus
+                }
+            }
+            b'-' => Tok::Minus,
+            b'*' => Tok::Star,
+            b'/' => Tok::Slash,
+            b'%' => Tok::Percent,
+            b'^' => Tok::Caret,
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    if self.peek() == Some(b'&') {
+                        self.bump();
+                        Tok::AmpAmpAmp
+                    } else {
+                        Tok::AmpAmp
+                    }
+                } else {
+                    Tok::Amp
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    Tok::PipePipe
+                } else {
+                    Tok::Pipe
+                }
+            }
+            other => {
+                return Err(FrontendError::lex(
+                    start,
+                    format!("unexpected character '{}'", other as char),
+                ))
+            }
+        };
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        let t = toks("parser foo");
+        assert_eq!(t[0], Tok::Kw(Keyword::Parser));
+        assert_eq!(t[1], Tok::Ident("foo".into()));
+        assert_eq!(t[2], Tok::Eof);
+    }
+
+    #[test]
+    fn width_literals() {
+        let t = toks("8w255 16w0xBEEF 4w0b1010 2s1 42 0x1F");
+        assert_eq!(t[0], Tok::Int(IntLit { value: 255, width: Some(8), signed: false }));
+        assert_eq!(t[1], Tok::Int(IntLit { value: 0xBEEF, width: Some(16), signed: false }));
+        assert_eq!(t[2], Tok::Int(IntLit { value: 0b1010, width: Some(4), signed: false }));
+        assert_eq!(t[3], Tok::Int(IntLit { value: 1, width: Some(2), signed: true }));
+        assert_eq!(t[4], Tok::Int(IntLit { value: 42, width: None, signed: false }));
+        assert_eq!(t[5], Tok::Int(IntLit { value: 0x1F, width: None, signed: false }));
+    }
+
+    #[test]
+    fn operators() {
+        let t = toks("== != <= >= << && || &&& ++ .. & | ^");
+        assert_eq!(
+            t[..13],
+            [
+                Tok::Eq,
+                Tok::Neq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Shl,
+                Tok::AmpAmp,
+                Tok::PipePipe,
+                Tok::AmpAmpAmp,
+                Tok::PlusPlus,
+                Tok::DotDot,
+                Tok::Amp,
+                Tok::Pipe,
+                Tok::Caret
+            ]
+        );
+    }
+
+    #[test]
+    fn right_shift_is_two_gt() {
+        let t = toks("a >> b");
+        assert_eq!(t[1], Tok::Gt);
+        assert_eq!(t[2], Tok::Gt);
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let t = toks("a // line comment\n /* block \n comment */ b");
+        assert_eq!(t[0], Tok::Ident("a".into()));
+        assert_eq!(t[1], Tok::Ident("b".into()));
+    }
+
+    #[test]
+    fn includes_dropped_and_defines_substituted() {
+        let src = "#include <v1model.p4>\n#define WIDTH 16\nbit<WIDTH> x;";
+        let t = toks(src);
+        assert!(t.contains(&Tok::Int(IntLit { value: 16, width: None, signed: false })));
+        assert!(!t.iter().any(|t| matches!(t, Tok::Ident(s) if s == "WIDTH")));
+    }
+
+    #[test]
+    fn annotations() {
+        let t = toks("@name(\"foo.bar\") @priority(1)");
+        assert_eq!(t[0], Tok::At("name".into()));
+        assert_eq!(t[1], Tok::LParen);
+        assert_eq!(t[2], Tok::Str("foo.bar".into()));
+    }
+
+    #[test]
+    fn line_numbers_survive_preprocessing() {
+        let tokens = lex("#include <x>\n\nfoo").unwrap();
+        assert_eq!(tokens[0].span.start.line, 3);
+    }
+
+    #[test]
+    fn underscores_in_literals() {
+        let t = toks("48w0xAA_BB_CC_DD_EE_FF");
+        assert_eq!(
+            t[0],
+            Tok::Int(IntLit { value: 0xAABBCCDDEEFF, width: Some(48), signed: false })
+        );
+    }
+
+    #[test]
+    fn lex_error_on_garbage() {
+        assert!(lex("`").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+}

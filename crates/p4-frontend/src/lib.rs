@@ -1,0 +1,39 @@
+//! # p4t-frontend — a P4-16 frontend
+//!
+//! The paper builds P4Testgen on top of P4C's frontend and IR. No mature P4
+//! frontend exists in Rust, so this crate provides one for a substantial
+//! P4-16 subset:
+//!
+//! * [`lexer`] — preprocessor (comments, `#include` dropping, object-like
+//!   `#define`) and tokenizer, including width-prefixed literals (`8w0xFF`).
+//! * [`parser`] — recursive-descent parser producing the [`ast`] types:
+//!   headers, structs, header stacks, enums, typedefs, constants, errors,
+//!   match kinds, extern functions and objects, parsers with `select`,
+//!   controls with actions/tables (exact/ternary/lpm/range/optional match
+//!   kinds, const entries, annotations), and package instantiations.
+//! * [`mod@typecheck`] — builds a [`types::TypeEnv`] and checks the program;
+//!   the resulting [`typecheck::CheckedProgram`] feeds IR lowering.
+//!
+//! Out of scope (documented in DESIGN.md): header unions, tuples beyond
+//! `select` arguments, nested control instantiation, function declarations,
+//! and `value_set`s. Architecture preludes (v1model, tna, ...) are supplied
+//! as source strings by the target extensions and parsed with this grammar.
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+pub mod typecheck;
+pub mod types;
+
+pub use ast::Program;
+pub use error::FrontendError;
+pub use parser::{parse, parse_expression};
+pub use typecheck::{typecheck, CheckedProgram};
+pub use types::{Type, TypeEnv};
+
+/// Parse and typecheck a source string in one step.
+pub fn frontend(source: &str) -> Result<CheckedProgram, FrontendError> {
+    typecheck(parse(source)?)
+}

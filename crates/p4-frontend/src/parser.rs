@@ -1,0 +1,1361 @@
+//! Recursive-descent parser for the P4-16 subset.
+//!
+//! Grammar notes:
+//! * `>>` is lexed as two `>` tokens; the parser fuses adjacent `>`s into a
+//!   shift only in expression position, keeping `Register<bit<32>>` valid.
+//! * Casts are recognized for built-in types `(bit<8>)e` and for the pattern
+//!   `(TypeName) e` where the parenthesized identifier is followed by a token
+//!   that can begin an expression.
+//! * Architecture preludes (v1model definitions etc.) are plain P4 source
+//!   parsed with the same grammar; `#include` lines are dropped by the lexer.
+
+use crate::ast::*;
+use crate::error::FrontendError;
+use crate::lexer::lex;
+use crate::token::{IntLit, Keyword, Span, Tok, Token};
+
+/// Parse a full program from source.
+pub fn parse(source: &str) -> Result<Program, FrontendError> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+/// Parse a single expression (used by the P4-constraints sub-language).
+pub fn parse_expression(source: &str) -> Result<Expr, FrontendError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect(Tok::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, FrontendError>;
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek_at(&self, n: usize) -> &Tok {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].tok
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: Tok) -> bool {
+        if *self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> PResult<Span> {
+        if *self.peek() == t {
+            Ok(self.bump().span)
+        } else {
+            Err(FrontendError::parse(
+                self.span(),
+                format!("expected {t}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<(String, Span)> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                let sp = self.bump().span;
+                Ok((s, sp))
+            }
+            // Some keywords double as identifiers in member positions.
+            Tok::Kw(Keyword::Apply) => {
+                let sp = self.bump().span;
+                Ok(("apply".into(), sp))
+            }
+            Tok::Kw(Keyword::Key) => {
+                let sp = self.bump().span;
+                Ok(("key".into(), sp))
+            }
+            Tok::Kw(Keyword::Size) => {
+                let sp = self.bump().span;
+                Ok(("size".into(), sp))
+            }
+            other => {
+                Err(FrontendError::parse(self.span(), format!("expected identifier, found {other}")))
+            }
+        }
+    }
+
+    fn expect_int(&mut self) -> PResult<(u128, Span)> {
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                let sp = self.bump().span;
+                Ok((i.value, sp))
+            }
+            other => Err(FrontendError::parse(self.span(), format!("expected integer, found {other}"))),
+        }
+    }
+
+    // ---- annotations -----------------------------------------------------
+
+    fn annotations(&mut self) -> PResult<Vec<Annotation>> {
+        let mut anns = Vec::new();
+        while let Tok::At(name) = self.peek().clone() {
+            let span = self.bump().span;
+            let mut args = Vec::new();
+            if self.eat(Tok::LParen) {
+                while *self.peek() != Tok::RParen {
+                    match self.peek().clone() {
+                        Tok::Str(s) => {
+                            self.bump();
+                            args.push(AnnotationArg::Str(s));
+                        }
+                        Tok::Int(i) => {
+                            self.bump();
+                            args.push(AnnotationArg::Int(i.value));
+                        }
+                        Tok::Ident(s) => {
+                            self.bump();
+                            args.push(AnnotationArg::Ident(s));
+                        }
+                        other => {
+                            return Err(FrontendError::parse(
+                                self.span(),
+                                format!("unsupported annotation argument {other}"),
+                            ))
+                        }
+                    }
+                    if !self.eat(Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RParen)?;
+            }
+            anns.push(Annotation { name, args, span });
+        }
+        Ok(anns)
+    }
+
+    // ---- types -------------------------------------------------------------
+
+    fn is_type_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::Kw(Keyword::Bit | Keyword::Int | Keyword::Bool | Keyword::Varbit | Keyword::Error | Keyword::Void)
+        )
+    }
+
+    fn type_ref(&mut self) -> PResult<TypeRef> {
+        let base = match self.peek().clone() {
+            Tok::Kw(Keyword::Bool) => {
+                self.bump();
+                TypeRef::Bool
+            }
+            Tok::Kw(Keyword::Error) => {
+                self.bump();
+                TypeRef::Error
+            }
+            Tok::Kw(Keyword::Void) => {
+                self.bump();
+                TypeRef::Void
+            }
+            Tok::Kw(Keyword::Bit) => {
+                self.bump();
+                if self.eat(Tok::Lt) {
+                    let (w, _) = self.expect_int()?;
+                    self.close_angle()?;
+                    TypeRef::Bit(w as u32)
+                } else {
+                    TypeRef::Bit(1)
+                }
+            }
+            Tok::Kw(Keyword::Int) => {
+                self.bump();
+                self.expect(Tok::Lt)?;
+                let (w, _) = self.expect_int()?;
+                self.close_angle()?;
+                TypeRef::Int(w as u32)
+            }
+            Tok::Kw(Keyword::Varbit) => {
+                self.bump();
+                self.expect(Tok::Lt)?;
+                let (w, _) = self.expect_int()?;
+                self.close_angle()?;
+                TypeRef::Varbit(w as u32)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if *self.peek() == Tok::Lt {
+                    self.bump();
+                    let mut args = Vec::new();
+                    loop {
+                        if self.eat(Tok::Ident("_".into())) {
+                            args.push(TypeRef::Dontcare);
+                        } else {
+                            args.push(self.type_ref()?);
+                        }
+                        if !self.eat(Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.close_angle()?;
+                    TypeRef::Generic(name, args)
+                } else {
+                    TypeRef::Named(name)
+                }
+            }
+            other => {
+                return Err(FrontendError::parse(self.span(), format!("expected type, found {other}")))
+            }
+        };
+        // Header stacks: `T[N]`.
+        if *self.peek() == Tok::LBracket {
+            self.bump();
+            let (n, _) = self.expect_int()?;
+            self.expect(Tok::RBracket)?;
+            return Ok(TypeRef::Stack(Box::new(base), n as u32));
+        }
+        Ok(base)
+    }
+
+    /// Closing `>` of a generic; plain since `>>` is two tokens.
+    fn close_angle(&mut self) -> PResult<()> {
+        self.expect(Tok::Gt)?;
+        Ok(())
+    }
+
+    // ---- program ----------------------------------------------------------
+
+    fn program(&mut self) -> PResult<Program> {
+        let mut decls = Vec::new();
+        while *self.peek() != Tok::Eof {
+            decls.push(self.declaration()?);
+        }
+        Ok(Program { decls })
+    }
+
+    fn declaration(&mut self) -> PResult<Decl> {
+        let annotations = self.annotations()?;
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Kw(Keyword::Const) => {
+                self.bump();
+                let ty = self.type_ref()?;
+                let (name, _) = self.expect_ident()?;
+                self.expect(Tok::Assign)?;
+                let value = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Decl::Const { ty, name, value, span })
+            }
+            Tok::Kw(Keyword::Typedef) => {
+                self.bump();
+                let ty = self.type_ref()?;
+                let (name, _) = self.expect_ident()?;
+                self.expect(Tok::Semi)?;
+                Ok(Decl::Typedef { ty, name, span })
+            }
+            Tok::Kw(Keyword::Header) => {
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                let fields = self.field_list()?;
+                Ok(Decl::Header { name, fields, annotations, span })
+            }
+            Tok::Kw(Keyword::Struct) => {
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                let fields = self.field_list()?;
+                Ok(Decl::Struct { name, fields, annotations, span })
+            }
+            Tok::Kw(Keyword::Enum) => {
+                self.bump();
+                let underlying = if matches!(self.peek(), Tok::Kw(Keyword::Bit | Keyword::Int)) {
+                    Some(self.type_ref()?)
+                } else {
+                    None
+                };
+                let (name, _) = self.expect_ident()?;
+                self.expect(Tok::LBrace)?;
+                let mut members = Vec::new();
+                while *self.peek() != Tok::RBrace {
+                    let (m, _) = self.expect_ident()?;
+                    let v = if self.eat(Tok::Assign) { Some(self.expr()?) } else { None };
+                    members.push((m, v));
+                    if !self.eat(Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RBrace)?;
+                Ok(Decl::Enum { name, underlying, members, span })
+            }
+            Tok::Kw(Keyword::Error) => {
+                self.bump();
+                self.expect(Tok::LBrace)?;
+                let mut members = Vec::new();
+                while *self.peek() != Tok::RBrace {
+                    let (m, _) = self.expect_ident()?;
+                    members.push(m);
+                    if !self.eat(Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RBrace)?;
+                Ok(Decl::ErrorDecl { members, span })
+            }
+            Tok::Kw(Keyword::MatchKind) => {
+                self.bump();
+                self.expect(Tok::LBrace)?;
+                let mut members = Vec::new();
+                while *self.peek() != Tok::RBrace {
+                    let (m, _) = self.expect_ident()?;
+                    members.push(m);
+                    if !self.eat(Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RBrace)?;
+                Ok(Decl::MatchKindDecl { members, span })
+            }
+            Tok::Kw(Keyword::Parser) => self.parser_decl(annotations, span),
+            Tok::Kw(Keyword::Control) => self.control_decl(annotations, span),
+            Tok::Kw(Keyword::Extern) => self.extern_decl(span),
+            Tok::Kw(Keyword::Action) => Ok(Decl::Action(self.action_decl(annotations)?)),
+            Tok::Kw(Keyword::Package) => {
+                // `package Name<...>(params);` — record the name, skip body.
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                self.skip_to_semi()?;
+                Ok(Decl::Package { name, span })
+            }
+            Tok::Ident(_) => {
+                // Top-level instantiation: `V1Switch(Parser(), ...) main;`
+                let ty = self.type_ref()?;
+                self.expect(Tok::LParen)?;
+                let args = self.expr_list(Tok::RParen)?;
+                self.expect(Tok::RParen)?;
+                let (name, _) = self.expect_ident()?;
+                self.expect(Tok::Semi)?;
+                Ok(Decl::Instantiation(Instantiation { ty, args, name, annotations, span }))
+            }
+            other => {
+                Err(FrontendError::parse(span, format!("unexpected token at top level: {other}")))
+            }
+        }
+    }
+
+    fn skip_to_semi(&mut self) -> PResult<()> {
+        let mut depth = 0i32;
+        loop {
+            match self.peek() {
+                Tok::Eof => return Err(FrontendError::parse(self.span(), "unexpected EOF")),
+                Tok::Semi if depth == 0 => {
+                    self.bump();
+                    return Ok(());
+                }
+                Tok::LParen | Tok::LBrace | Tok::LBracket => {
+                    depth += 1;
+                    self.bump();
+                }
+                Tok::RParen | Tok::RBrace | Tok::RBracket => {
+                    depth -= 1;
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn field_list(&mut self) -> PResult<Vec<Field>> {
+        self.expect(Tok::LBrace)?;
+        let mut fields = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            let annotations = self.annotations()?;
+            let span = self.span();
+            let ty = self.type_ref()?;
+            let (name, _) = self.expect_ident()?;
+            self.expect(Tok::Semi)?;
+            fields.push(Field { ty, name, annotations, span });
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(fields)
+    }
+
+    fn param_list(&mut self) -> PResult<Vec<Param>> {
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        while *self.peek() != Tok::RParen {
+            let _anns = self.annotations()?;
+            let span = self.span();
+            let direction = match self.peek() {
+                Tok::Kw(Keyword::In) => {
+                    self.bump();
+                    Direction::In
+                }
+                Tok::Kw(Keyword::Out) => {
+                    self.bump();
+                    Direction::Out
+                }
+                Tok::Kw(Keyword::InOut) => {
+                    self.bump();
+                    Direction::InOut
+                }
+                _ => Direction::None,
+            };
+            let ty = self.type_ref()?;
+            let (name, _) = self.expect_ident()?;
+            // Default values on parameters are skipped.
+            if self.eat(Tok::Assign) {
+                self.expr()?;
+            }
+            params.push(Param { direction, ty, name, span });
+            if !self.eat(Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(params)
+    }
+
+    // ---- extern declarations -----------------------------------------------
+
+    fn extern_decl(&mut self, span: Span) -> PResult<Decl> {
+        self.expect(Tok::Kw(Keyword::Extern))?;
+        // Either `extern Ret name<T>(params);` or `extern Name<T> { ... }`.
+        // An extern object has `{` after the (possibly generic) name.
+        let is_object = {
+            // Look ahead: IDENT [< ... >] followed by `{`.
+            let mut i = 0;
+            let obj;
+            loop {
+                match self.peek_at(i) {
+                    Tok::Ident(_) if i == 0 => i += 1,
+                    Tok::Lt if i == 1 => {
+                        // scan to matching '>'
+                        let mut depth = 1;
+                        i += 1;
+                        while depth > 0 {
+                            match self.peek_at(i) {
+                                Tok::Lt => depth += 1,
+                                Tok::Gt => depth -= 1,
+                                Tok::Eof => break,
+                                _ => {}
+                            }
+                            i += 1;
+                        }
+                        obj = *self.peek_at(i) == Tok::LBrace;
+                        break;
+                    }
+                    Tok::LBrace if i == 1 => {
+                        obj = true;
+                        break;
+                    }
+                    _ => {
+                        obj = false;
+                        break;
+                    }
+                }
+            }
+            obj
+        };
+        if is_object {
+            let (name, _) = self.expect_ident()?;
+            let type_params = self.opt_type_params()?;
+            self.expect(Tok::LBrace)?;
+            let mut constructors = Vec::new();
+            let mut methods = Vec::new();
+            while *self.peek() != Tok::RBrace {
+                let _anns = self.annotations()?;
+                let mspan = self.span();
+                if *self.peek() == Tok::Ident(name.clone()) && *self.peek_at(1) == Tok::LParen {
+                    // constructor
+                    self.bump();
+                    constructors.push(self.param_list()?);
+                    self.expect(Tok::Semi)?;
+                } else {
+                    let ret = self.type_ref()?;
+                    let (mname, _) = self.expect_ident()?;
+                    let type_params = self.opt_type_params()?;
+                    let params = self.param_list()?;
+                    self.expect(Tok::Semi)?;
+                    methods.push(ExternFunction { name: mname, type_params, ret, params, span: mspan });
+                }
+            }
+            self.expect(Tok::RBrace)?;
+            Ok(Decl::ExternObject(ExternObject { name, type_params, constructors, methods, span }))
+        } else {
+            let ret = self.type_ref()?;
+            let (name, _) = self.expect_ident()?;
+            let type_params = self.opt_type_params()?;
+            let params = self.param_list()?;
+            self.expect(Tok::Semi)?;
+            Ok(Decl::ExternFunction(ExternFunction { name, type_params, ret, params, span }))
+        }
+    }
+
+    fn opt_type_params(&mut self) -> PResult<Vec<String>> {
+        let mut out = Vec::new();
+        if self.eat(Tok::Lt) {
+            loop {
+                let (n, _) = self.expect_ident()?;
+                out.push(n);
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+            self.close_angle()?;
+        }
+        Ok(out)
+    }
+
+    // ---- parsers -------------------------------------------------------------
+
+    fn parser_decl(&mut self, annotations: Vec<Annotation>, span: Span) -> PResult<Decl> {
+        self.expect(Tok::Kw(Keyword::Parser))?;
+        let (name, _) = self.expect_ident()?;
+        let _tp = self.opt_type_params()?;
+        let params = self.param_list()?;
+        // Parser type declarations end with `;` — record as a package-like decl.
+        if self.eat(Tok::Semi) {
+            return Ok(Decl::Package { name, span });
+        }
+        self.expect(Tok::LBrace)?;
+        let mut locals = Vec::new();
+        let mut states = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            let sanns = self.annotations()?;
+            if *self.peek() == Tok::Kw(Keyword::State) {
+                let sspan = self.span();
+                self.bump();
+                let (sname, _) = self.expect_ident()?;
+                self.expect(Tok::LBrace)?;
+                let mut stmts = Vec::new();
+                let mut transition = Transition::Direct("reject".into());
+                loop {
+                    match self.peek() {
+                        Tok::RBrace => break,
+                        Tok::Kw(Keyword::Transition) => {
+                            self.bump();
+                            transition = self.transition()?;
+                            break;
+                        }
+                        _ => stmts.push(self.statement()?),
+                    }
+                }
+                self.expect(Tok::RBrace)?;
+                states.push(ParserState { name: sname, stmts, transition, annotations: sanns, span: sspan });
+            } else {
+                locals.push(self.statement()?);
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(Decl::Parser(ParserDecl { name, params, locals, states, annotations, span }))
+    }
+
+    fn transition(&mut self) -> PResult<Transition> {
+        if *self.peek() == Tok::Kw(Keyword::Select) {
+            let span = self.span();
+            self.bump();
+            self.expect(Tok::LParen)?;
+            let exprs = self.expr_list(Tok::RParen)?;
+            self.expect(Tok::RParen)?;
+            self.expect(Tok::LBrace)?;
+            let mut cases = Vec::new();
+            while *self.peek() != Tok::RBrace {
+                let cspan = self.span();
+                let keys = self.keyset()?;
+                self.expect(Tok::Colon)?;
+                let (next_state, _) = self.expect_ident()?;
+                self.expect(Tok::Semi)?;
+                cases.push(SelectCase { keys, next_state, span: cspan });
+            }
+            self.expect(Tok::RBrace)?;
+            Ok(Transition::Select { exprs, cases, span })
+        } else {
+            let (name, _) = match self.peek() {
+                Tok::Kw(Keyword::Default) => {
+                    let sp = self.bump().span;
+                    ("accept".to_string(), sp)
+                }
+                _ => self.expect_ident()?,
+            };
+            self.expect(Tok::Semi)?;
+            Ok(Transition::Direct(name))
+        }
+    }
+
+    /// A keyset: `(k1, k2)` or a single keyset expression. Elements may use
+    /// `&&&`, `..`, `default`, `_`.
+    fn keyset(&mut self) -> PResult<Vec<Expr>> {
+        if *self.peek() == Tok::LParen {
+            self.bump();
+            let mut keys = Vec::new();
+            while *self.peek() != Tok::RParen {
+                keys.push(self.keyset_expr()?);
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen)?;
+            Ok(keys)
+        } else {
+            Ok(vec![self.keyset_expr()?])
+        }
+    }
+
+    fn keyset_expr(&mut self) -> PResult<Expr> {
+        let span = self.span();
+        match self.peek() {
+            Tok::Kw(Keyword::Default) => {
+                self.bump();
+                return Ok(Expr::Dontcare { span });
+            }
+            Tok::Ident(s) if s == "_" => {
+                self.bump();
+                return Ok(Expr::Dontcare { span });
+            }
+            _ => {}
+        }
+        let e = self.expr()?;
+        if self.eat(Tok::AmpAmpAmp) {
+            let mask = self.expr()?;
+            let sp = span.merge(self.prev_span());
+            return Ok(Expr::Mask { value: Box::new(e), mask: Box::new(mask), span: sp });
+        }
+        if self.eat(Tok::DotDot) {
+            let hi = self.expr()?;
+            let sp = span.merge(self.prev_span());
+            return Ok(Expr::Range { lo: Box::new(e), hi: Box::new(hi), span: sp });
+        }
+        Ok(e)
+    }
+
+    // ---- controls -------------------------------------------------------------
+
+    fn control_decl(&mut self, annotations: Vec<Annotation>, span: Span) -> PResult<Decl> {
+        self.expect(Tok::Kw(Keyword::Control))?;
+        let (name, _) = self.expect_ident()?;
+        let _tp = self.opt_type_params()?;
+        let params = self.param_list()?;
+        if self.eat(Tok::Semi) {
+            return Ok(Decl::Package { name, span });
+        }
+        self.expect(Tok::LBrace)?;
+        let mut actions = Vec::new();
+        let mut tables = Vec::new();
+        let mut locals = Vec::new();
+        let mut instantiations = Vec::new();
+        let mut apply = Vec::new();
+        loop {
+            let danns = self.annotations()?;
+            match self.peek().clone() {
+                Tok::RBrace => break,
+                Tok::Kw(Keyword::Action) => actions.push(self.action_decl(danns)?),
+                Tok::Kw(Keyword::Table) => tables.push(self.table_decl(danns)?),
+                Tok::Kw(Keyword::Apply) => {
+                    self.bump();
+                    let b = self.block()?;
+                    if let Stmt::Block { stmts, .. } = b {
+                        apply = stmts;
+                    }
+                }
+                Tok::Ident(_) if self.looks_like_instantiation() => {
+                    let ispan = self.span();
+                    let ty = self.type_ref()?;
+                    self.expect(Tok::LParen)?;
+                    let args = self.expr_list(Tok::RParen)?;
+                    self.expect(Tok::RParen)?;
+                    let (iname, _) = self.expect_ident()?;
+                    self.expect(Tok::Semi)?;
+                    instantiations.push(Instantiation {
+                        ty,
+                        args,
+                        name: iname,
+                        annotations: danns,
+                        span: ispan,
+                    });
+                }
+                _ => locals.push(self.statement()?),
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(Decl::Control(ControlDecl {
+            name,
+            params,
+            actions,
+            tables,
+            locals,
+            instantiations,
+            apply,
+            annotations,
+            span,
+        }))
+    }
+
+    /// At a control-local position: `Name<...>(...) id;` or `Name(...) id;`.
+    fn looks_like_instantiation(&self) -> bool {
+        // IDENT followed by `<` (generic instantiation) or by `(`.
+        match self.peek_at(1) {
+            Tok::Lt => true,
+            Tok::LParen => {
+                // Distinguish from a call statement `foo(...);` by scanning
+                // for an identifier right after the matching `)`.
+                let mut i = 2;
+                let mut depth = 1;
+                while depth > 0 {
+                    match self.peek_at(i) {
+                        Tok::LParen => depth += 1,
+                        Tok::RParen => depth -= 1,
+                        Tok::Eof => return false,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                matches!(self.peek_at(i), Tok::Ident(_))
+            }
+            _ => false,
+        }
+    }
+
+    fn action_decl(&mut self, annotations: Vec<Annotation>) -> PResult<ActionDecl> {
+        let span = self.span();
+        self.expect(Tok::Kw(Keyword::Action))?;
+        let (name, _) = self.expect_ident()?;
+        let params = self.param_list()?;
+        let body = match self.block()? {
+            Stmt::Block { stmts, .. } => stmts,
+            _ => unreachable!(),
+        };
+        Ok(ActionDecl { name, params, body, annotations, span })
+    }
+
+    fn table_decl(&mut self, annotations: Vec<Annotation>) -> PResult<TableDecl> {
+        let span = self.span();
+        self.expect(Tok::Kw(Keyword::Table))?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut keys = Vec::new();
+        let mut actions = Vec::new();
+        let mut default_action = None;
+        let mut entries = Vec::new();
+        let mut size = None;
+        while *self.peek() != Tok::RBrace {
+            let is_const = self.eat(Tok::Kw(Keyword::Const));
+            match self.peek().clone() {
+                Tok::Kw(Keyword::Key) => {
+                    self.bump();
+                    self.expect(Tok::Assign)?;
+                    self.expect(Tok::LBrace)?;
+                    while *self.peek() != Tok::RBrace {
+                        let kspan = self.span();
+                        let expr = self.expr()?;
+                        self.expect(Tok::Colon)?;
+                        let (mk, _) = self.expect_ident()?;
+                        let kanns = self.annotations()?;
+                        self.expect(Tok::Semi)?;
+                        keys.push(TableKey { expr, match_kind: mk, annotations: kanns, span: kspan });
+                    }
+                    self.expect(Tok::RBrace)?;
+                }
+                Tok::Kw(Keyword::Actions) => {
+                    self.bump();
+                    self.expect(Tok::Assign)?;
+                    self.expect(Tok::LBrace)?;
+                    while *self.peek() != Tok::RBrace {
+                        let aanns = self.annotations()?;
+                        let aspan = self.span();
+                        let (aname, _) = self.expect_ident()?;
+                        let mut args = Vec::new();
+                        if *self.peek() == Tok::LParen {
+                            self.bump();
+                            args = self.expr_list(Tok::RParen)?;
+                            self.expect(Tok::RParen)?;
+                        }
+                        self.expect(Tok::Semi)?;
+                        actions.push(ActionRef { name: aname, args, annotations: aanns, span: aspan });
+                    }
+                    self.expect(Tok::RBrace)?;
+                }
+                Tok::Kw(Keyword::DefaultAction) => {
+                    self.bump();
+                    self.expect(Tok::Assign)?;
+                    let (aname, _) = self.expect_ident()?;
+                    let mut args = Vec::new();
+                    if *self.peek() == Tok::LParen {
+                        self.bump();
+                        args = self.expr_list(Tok::RParen)?;
+                        self.expect(Tok::RParen)?;
+                    }
+                    self.expect(Tok::Semi)?;
+                    default_action = Some((aname, args, is_const));
+                }
+                Tok::Kw(Keyword::Entries) => {
+                    self.bump();
+                    self.expect(Tok::Assign)?;
+                    self.expect(Tok::LBrace)?;
+                    while *self.peek() != Tok::RBrace {
+                        let eanns = self.annotations()?;
+                        let espan = self.span();
+                        let ekeys = self.keyset()?;
+                        self.expect(Tok::Colon)?;
+                        let (aname, _) = self.expect_ident()?;
+                        let mut args = Vec::new();
+                        if *self.peek() == Tok::LParen {
+                            self.bump();
+                            args = self.expr_list(Tok::RParen)?;
+                            self.expect(Tok::RParen)?;
+                        }
+                        self.expect(Tok::Semi)?;
+                        entries.push(TableEntry {
+                            keys: ekeys,
+                            action: aname,
+                            args,
+                            annotations: eanns,
+                            span: espan,
+                        });
+                    }
+                    self.expect(Tok::RBrace)?;
+                }
+                Tok::Kw(Keyword::Size) => {
+                    self.bump();
+                    self.expect(Tok::Assign)?;
+                    let (n, _) = self.expect_int()?;
+                    self.expect(Tok::Semi)?;
+                    size = Some(n as u64);
+                }
+                Tok::Ident(_) => {
+                    // Unknown table property (implementation, meters, ...): skip.
+                    self.skip_to_semi()?;
+                }
+                other => {
+                    return Err(FrontendError::parse(
+                        self.span(),
+                        format!("unexpected token in table body: {other}"),
+                    ))
+                }
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(TableDecl { name, keys, actions, default_action, entries, size, annotations, span })
+    }
+
+    // ---- statements -----------------------------------------------------------
+
+    fn block(&mut self) -> PResult<Stmt> {
+        let span = self.span();
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            stmts.push(self.statement()?);
+        }
+        let end = self.expect(Tok::RBrace)?;
+        Ok(Stmt::Block { stmts, span: span.merge(end) })
+    }
+
+    fn statement(&mut self) -> PResult<Stmt> {
+        let _anns = self.annotations()?;
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::LBrace => self.block(),
+            Tok::Semi => {
+                self.bump();
+                Ok(Stmt::Empty { span })
+            }
+            Tok::Kw(Keyword::If) => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then_s = Box::new(self.statement()?);
+                let else_s = if self.eat(Tok::Kw(Keyword::Else)) {
+                    Some(Box::new(self.statement()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If { cond, then_s, else_s, span })
+            }
+            Tok::Kw(Keyword::Switch) => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let scrutinee = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::LBrace)?;
+                let mut cases = Vec::new();
+                while *self.peek() != Tok::RBrace {
+                    let cspan = self.span();
+                    let label = if self.eat(Tok::Kw(Keyword::Default)) {
+                        None
+                    } else {
+                        Some(self.expect_ident()?.0)
+                    };
+                    self.expect(Tok::Colon)?;
+                    let body = if *self.peek() == Tok::LBrace {
+                        Some(self.block()?)
+                    } else {
+                        None // fallthrough label
+                    };
+                    cases.push(SwitchCase { label, body, span: cspan });
+                }
+                self.expect(Tok::RBrace)?;
+                Ok(Stmt::Switch { scrutinee, cases, span })
+            }
+            Tok::Kw(Keyword::Exit) => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Exit { span })
+            }
+            Tok::Kw(Keyword::Return) => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return { span })
+            }
+            Tok::Kw(Keyword::Const) => {
+                self.bump();
+                let ty = self.type_ref()?;
+                let (name, _) = self.expect_ident()?;
+                self.expect(Tok::Assign)?;
+                let init = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::ConstDecl { ty, name, init, span })
+            }
+            Tok::Kw(Keyword::Bit | Keyword::Int | Keyword::Bool | Keyword::Varbit | Keyword::Error) => {
+                let ty = self.type_ref()?;
+                let (name, _) = self.expect_ident()?;
+                let init = if self.eat(Tok::Assign) { Some(self.expr()?) } else { None };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::VarDecl { ty, name, init, span })
+            }
+            Tok::Ident(_) if matches!(self.peek_at(1), Tok::Ident(_)) => {
+                // `TypeName varname [= init];`
+                let ty = self.type_ref()?;
+                let (name, _) = self.expect_ident()?;
+                let init = if self.eat(Tok::Assign) { Some(self.expr()?) } else { None };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::VarDecl { ty, name, init, span })
+            }
+            _ => {
+                // Assignment or call statement.
+                let e = self.expr()?;
+                if self.eat(Tok::Assign) {
+                    let rhs = self.expr()?;
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Assign { lhs: e, rhs, span })
+                } else {
+                    self.expect(Tok::Semi)?;
+                    match &e {
+                        Expr::Call { .. } => Ok(Stmt::Call { call: e, span }),
+                        _ => Err(FrontendError::parse(
+                            span,
+                            "expected assignment or call statement",
+                        )),
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------------
+
+    fn expr_list(&mut self, terminator: Tok) -> PResult<Vec<Expr>> {
+        let mut out = Vec::new();
+        while *self.peek() != terminator {
+            out.push(self.expr()?);
+            if !self.eat(Tok::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    pub(crate) fn expr(&mut self) -> PResult<Expr> {
+        self.ternary_expr()
+    }
+
+    fn ternary_expr(&mut self) -> PResult<Expr> {
+        let cond = self.or_expr()?;
+        if self.eat(Tok::Question) {
+            let then_e = self.expr()?;
+            self.expect(Tok::Colon)?;
+            let else_e = self.expr()?;
+            let span = cond.span().merge(else_e.span());
+            return Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_e: Box::new(then_e),
+                else_e: Box::new(else_e),
+                span,
+            });
+        }
+        Ok(cond)
+    }
+
+    fn or_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(Tok::PipePipe) {
+            let rhs = self.and_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary { op: BinaryOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.bitor_expr()?;
+        while self.eat(Tok::AmpAmp) {
+            let rhs = self.bitor_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary { op: BinaryOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn bitor_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.bitxor_expr()?;
+        while self.eat(Tok::Pipe) {
+            let rhs = self.bitxor_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary { op: BinaryOp::BitOr, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn bitxor_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.bitand_expr()?;
+        while self.eat(Tok::Caret) {
+            let rhs = self.bitand_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary { op: BinaryOp::BitXor, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn bitand_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.equality_expr()?;
+        while self.eat(Tok::Amp) {
+            let rhs = self.equality_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary { op: BinaryOp::BitAnd, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn equality_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.relational_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Eq => BinaryOp::Eq,
+                Tok::Neq => BinaryOp::Neq,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.relational_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    /// True if the current `Gt` and the following `Gt` are adjacent (`>>`).
+    fn gt_gt_adjacent(&self) -> bool {
+        *self.peek() == Tok::Gt
+            && *self.peek_at(1) == Tok::Gt
+            && self.tokens[self.pos].span.end.offset == self.tokens[self.pos + 1].span.start.offset
+    }
+
+    fn relational_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.shift_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Lt => BinaryOp::Lt,
+                Tok::Le => BinaryOp::Le,
+                Tok::Gt if !self.gt_gt_adjacent() => BinaryOp::Gt,
+                Tok::Ge => BinaryOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.shift_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn shift_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.concat_expr()?;
+        loop {
+            let op = if *self.peek() == Tok::Shl {
+                self.bump();
+                BinaryOp::Shl
+            } else if self.gt_gt_adjacent() {
+                self.bump();
+                self.bump();
+                BinaryOp::Shr
+            } else {
+                break;
+            };
+            let rhs = self.concat_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn concat_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.additive_expr()?;
+        while self.eat(Tok::PlusPlus) {
+            let rhs = self.additive_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary { op: BinaryOp::Concat, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn additive_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinaryOp::Add,
+                Tok::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinaryOp::Mul,
+                Tok::Slash => BinaryOp::Div,
+                Tok::Percent => BinaryOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> PResult<Expr> {
+        let span = self.span();
+        match self.peek() {
+            Tok::Not => {
+                self.bump();
+                let arg = self.unary_expr()?;
+                let sp = span.merge(arg.span());
+                Ok(Expr::Unary { op: UnaryOp::Not, arg: Box::new(arg), span: sp })
+            }
+            Tok::Tilde => {
+                self.bump();
+                let arg = self.unary_expr()?;
+                let sp = span.merge(arg.span());
+                Ok(Expr::Unary { op: UnaryOp::BitNot, arg: Box::new(arg), span: sp })
+            }
+            Tok::Minus => {
+                self.bump();
+                let arg = self.unary_expr()?;
+                let sp = span.merge(arg.span());
+                Ok(Expr::Unary { op: UnaryOp::Neg, arg: Box::new(arg), span: sp })
+            }
+            Tok::Plus => {
+                self.bump();
+                self.unary_expr()
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.primary_expr()?;
+        loop {
+            let span = self.span();
+            match self.peek().clone() {
+                Tok::Dot => {
+                    self.bump();
+                    let (member, msp) = self.expect_ident()?;
+                    let sp = e.span().merge(msp);
+                    e = Expr::Member { base: Box::new(e), member, span: sp };
+                }
+                Tok::LBracket => {
+                    self.bump();
+                    let first = self.expr()?;
+                    if self.eat(Tok::Colon) {
+                        let lo = self.expr()?;
+                        let end = self.expect(Tok::RBracket)?;
+                        let sp = e.span().merge(end);
+                        e = Expr::Slice {
+                            base: Box::new(e),
+                            hi: Box::new(first),
+                            lo: Box::new(lo),
+                            span: sp,
+                        };
+                    } else {
+                        let end = self.expect(Tok::RBracket)?;
+                        let sp = e.span().merge(end);
+                        e = Expr::Index {
+                            base: Box::new(e),
+                            index: Box::new(first),
+                            span: sp,
+                        };
+                    }
+                }
+                Tok::Lt if self.is_call_type_args() => {
+                    // `lookahead<bit<16>>(...)`.
+                    self.bump();
+                    let mut type_args = Vec::new();
+                    loop {
+                        type_args.push(self.type_ref()?);
+                        if !self.eat(Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.close_angle()?;
+                    self.expect(Tok::LParen)?;
+                    let args = self.expr_list(Tok::RParen)?;
+                    let end = self.expect(Tok::RParen)?;
+                    e = Expr::Call {
+                        callee: Box::new(e),
+                        type_args,
+                        args,
+                        span: span.merge(end),
+                    };
+                }
+                Tok::LParen => {
+                    self.bump();
+                    let args = self.expr_list(Tok::RParen)?;
+                    let end = self.expect(Tok::RParen)?;
+                    let sp = e.span().merge(end);
+                    e = Expr::Call {
+                        callee: Box::new(e),
+                        type_args: Vec::new(),
+                        args,
+                        span: sp,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    /// Heuristic for `f<T>(...)` call-with-type-args vs `a < b` comparison:
+    /// scan for a matching `>` followed by `(` before any `;`/`{`.
+    fn is_call_type_args(&self) -> bool {
+        let mut i = 1;
+        let mut depth = 1;
+        while depth > 0 && i < 64 {
+            match self.peek_at(i) {
+                Tok::Lt => depth += 1,
+                Tok::Gt => depth -= 1,
+                Tok::Semi | Tok::LBrace | Tok::Eof => return false,
+                _ => {}
+            }
+            i += 1;
+        }
+        depth == 0 && *self.peek_at(i) == Tok::LParen
+    }
+
+    fn primary_expr(&mut self) -> PResult<Expr> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Int(IntLit { value, width, signed }) => {
+                self.bump();
+                Ok(Expr::Int { value, width, signed, span })
+            }
+            Tok::Kw(Keyword::True) => {
+                self.bump();
+                Ok(Expr::Bool { value: true, span })
+            }
+            Tok::Kw(Keyword::False) => {
+                self.bump();
+                Ok(Expr::Bool { value: false, span })
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str { value: s, span })
+            }
+            Tok::Kw(Keyword::Error) => {
+                // `error.NoError`
+                self.bump();
+                self.expect(Tok::Dot)?;
+                let (member, msp) = self.expect_ident()?;
+                Ok(Expr::Member {
+                    base: Box::new(Expr::Ident { name: "error".into(), span }),
+                    member,
+                    span: span.merge(msp),
+                })
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(Expr::Ident { name, span })
+            }
+            Tok::LBrace => {
+                self.bump();
+                let items = self.expr_list(Tok::RBrace)?;
+                let end = self.expect(Tok::RBrace)?;
+                Ok(Expr::List { items, span: span.merge(end) })
+            }
+            Tok::LParen => {
+                self.bump();
+                // Cast for built-in types: `(bit<8>) e`.
+                if self.is_type_start() {
+                    let ty = self.type_ref()?;
+                    self.expect(Tok::RParen)?;
+                    let arg = self.unary_expr()?;
+                    let sp = span.merge(arg.span());
+                    return Ok(Expr::Cast { ty, arg: Box::new(arg), span: sp });
+                }
+                // Cast for named types: `(TypeName) e` — identifier alone in
+                // parens followed by an expression-start token.
+                if let Tok::Ident(tname) = self.peek().clone() {
+                    if *self.peek_at(1) == Tok::RParen
+                        && matches!(
+                            self.peek_at(2),
+                            Tok::Ident(_) | Tok::Int(_) | Tok::LParen | Tok::Kw(Keyword::True | Keyword::False)
+                        )
+                    {
+                        self.bump();
+                        self.expect(Tok::RParen)?;
+                        let arg = self.unary_expr()?;
+                        let sp = span.merge(arg.span());
+                        return Ok(Expr::Cast {
+                            ty: TypeRef::Named(tname),
+                            arg: Box::new(arg),
+                            span: sp,
+                        });
+                    }
+                }
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(FrontendError::parse(span, format!("expected expression, found {other}"))),
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Token definitions for the P4-16 lexer.
+
+use std::fmt;
+
+/// Source position (byte offset plus human-readable line/column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Pos {
+    pub offset: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A half-open source span.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    pub start: Pos,
+    pub end: Pos,
+}
+
+impl Span {
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: if self.start.offset <= other.start.offset { self.start } else { other.start },
+            end: if self.end.offset >= other.end.offset { self.end } else { other.end },
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.start.line, self.start.col)
+    }
+}
+
+/// Keywords of the supported P4-16 subset.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Keyword {
+    Action,
+    Actions,
+    Apply,
+    Bit,
+    Bool,
+    Const,
+    Control,
+    Default,
+    DefaultAction,
+    Else,
+    Entries,
+    Enum,
+    Error,
+    Exit,
+    Extern,
+    False,
+    Header,
+    If,
+    In,
+    InOut,
+    Int,
+    Key,
+    MatchKind,
+    Out,
+    Package,
+    Parser,
+    Return,
+    Select,
+    Size,
+    State,
+    Struct,
+    Switch,
+    Table,
+    Transition,
+    True,
+    Typedef,
+    Varbit,
+    Void,
+}
+
+impl Keyword {
+    /// Keyword lookup (not the `FromStr` trait: this returns `Option`).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "action" => Keyword::Action,
+            "actions" => Keyword::Actions,
+            "apply" => Keyword::Apply,
+            "bit" => Keyword::Bit,
+            "bool" => Keyword::Bool,
+            "const" => Keyword::Const,
+            "control" => Keyword::Control,
+            "default" => Keyword::Default,
+            "default_action" => Keyword::DefaultAction,
+            "else" => Keyword::Else,
+            "entries" => Keyword::Entries,
+            "enum" => Keyword::Enum,
+            "error" => Keyword::Error,
+            "exit" => Keyword::Exit,
+            "extern" => Keyword::Extern,
+            "false" => Keyword::False,
+            "header" => Keyword::Header,
+            "if" => Keyword::If,
+            "in" => Keyword::In,
+            "inout" => Keyword::InOut,
+            "int" => Keyword::Int,
+            "key" => Keyword::Key,
+            "match_kind" => Keyword::MatchKind,
+            "out" => Keyword::Out,
+            "package" => Keyword::Package,
+            "parser" => Keyword::Parser,
+            "return" => Keyword::Return,
+            "select" => Keyword::Select,
+            "size" => Keyword::Size,
+            "state" => Keyword::State,
+            "struct" => Keyword::Struct,
+            "switch" => Keyword::Switch,
+            "table" => Keyword::Table,
+            "transition" => Keyword::Transition,
+            "true" => Keyword::True,
+            "typedef" => Keyword::Typedef,
+            "varbit" => Keyword::Varbit,
+            "void" => Keyword::Void,
+            _ => return None,
+        })
+    }
+}
+
+/// An integer literal: optional explicit width and signedness, plus value
+/// digits (stored as u128; P4 literals in practice fit).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IntLit {
+    pub value: u128,
+    /// Explicit width from `8w255`-style literals.
+    pub width: Option<u32>,
+    /// True for `8s`-style signed literals.
+    pub signed: bool,
+}
+
+/// Token kinds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    Kw(Keyword),
+    Ident(String),
+    Int(IntLit),
+    Str(String),
+    /// `@name` — the annotation sigil plus identifier.
+    At(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Colon,
+    Comma,
+    Dot,
+    Question,
+    // operators
+    Assign,      // =
+    Eq,          // ==
+    Neq,         // !=
+    Lt,          // <
+    Le,          // <=
+    Gt,          // >
+    Ge,          // >=
+    Not,         // !
+    Tilde,       // ~
+    Plus,        // +
+    PlusPlus,    // ++
+    Minus,       // -
+    Star,        // *
+    Slash,       // /
+    Percent,     // %
+    Amp,         // &
+    AmpAmp,      // &&
+    AmpAmpAmp,   // &&&
+    Pipe,        // |
+    PipePipe,    // ||
+    Caret,       // ^
+    Shl,         // <<
+    // `>>` is lexed as two `Gt` tokens to keep `stack<bit<8>>`-style nesting
+    // unambiguous; the parser reassembles shifts.
+    DotDot,      // ..
+    Eof,
+}
+
+/// A token with its source span.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Kw(k) => write!(f, "{k:?}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{}", i.value),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::At(s) => write!(f, "@{s}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}

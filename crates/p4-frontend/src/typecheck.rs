@@ -1,0 +1,954 @@
+//! Type checker for the P4-16 subset.
+//!
+//! Builds a [`TypeEnv`] from the declarations, then checks every parser,
+//! control, action, table, and expression. The resulting [`CheckedProgram`]
+//! (AST + environment + per-block scopes) is the input to IR lowering.
+//!
+//! Checking is deliberately pragmatic: it catches the errors that would make
+//! lowering or symbolic execution meaningless (unknown names, field typos,
+//! width mismatches on sized operands, bad match kinds, transitions to
+//! undefined states), while staying permissive where the spec delegates to
+//! targets (extern argument coercions, list expressions).
+
+use crate::ast::*;
+use crate::error::FrontendError;
+use crate::token::Span;
+use crate::types::{Type, TypeDef, TypeEnv, ResolvedField, ERROR_WIDTH};
+use std::collections::HashMap;
+
+/// A program that has passed type checking.
+#[derive(Clone, Debug)]
+pub struct CheckedProgram {
+    pub program: Program,
+    pub env: TypeEnv,
+}
+
+/// Lexical scope: a stack of name → type frames.
+#[derive(Clone, Debug, Default)]
+pub struct Scope {
+    frames: Vec<HashMap<String, Type>>,
+}
+
+impl Scope {
+    pub fn new() -> Self {
+        Scope { frames: vec![HashMap::new()] }
+    }
+
+    pub fn push(&mut self) {
+        self.frames.push(HashMap::new());
+    }
+
+    pub fn pop(&mut self) {
+        self.frames.pop();
+    }
+
+    pub fn declare(&mut self, name: &str, ty: Type) {
+        self.frames.last_mut().unwrap().insert(name.to_string(), ty);
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<&Type> {
+        self.frames.iter().rev().find_map(|f| f.get(name))
+    }
+}
+
+/// Typecheck a parsed program against a (possibly empty) prelude environment.
+pub fn typecheck(program: Program) -> Result<CheckedProgram, FrontendError> {
+    let mut env = TypeEnv::new();
+    collect_declarations(&program, &mut env)?;
+    let checker = Checker { env: &env };
+    for decl in &program.decls {
+        match decl {
+            Decl::Parser(p) => checker.check_parser(p)?,
+            Decl::Control(c) => checker.check_control(c)?,
+            Decl::Action(a) => {
+                let mut scope = Scope::new();
+                checker.check_action(a, &mut scope, &HashMap::new())?;
+            }
+            _ => {}
+        }
+    }
+    Ok(CheckedProgram { program, env })
+}
+
+/// Pass 1: populate the type environment from declarations, in order.
+pub fn collect_declarations(program: &Program, env: &mut TypeEnv) -> Result<(), FrontendError> {
+    for decl in &program.decls {
+        match decl {
+            Decl::Header { name, fields, span, .. } => {
+                let rf = resolve_fields(env, fields, *span)?;
+                for f in &rf {
+                    if !matches!(f.ty, Type::Bit(_) | Type::Int(_) | Type::Bool | Type::Varbit(_)) {
+                        return Err(FrontendError::typecheck(
+                            *span,
+                            format!("header field '{}' must have a fixed-width type", f.name),
+                        ));
+                    }
+                }
+                env.types.insert(name.clone(), TypeDef::Header(rf));
+            }
+            Decl::Struct { name, fields, span, .. } => {
+                let rf = resolve_fields(env, fields, *span)?;
+                env.types.insert(name.clone(), TypeDef::Struct(rf));
+            }
+            Decl::Enum { name, underlying, members, span } => {
+                let repr = match underlying {
+                    Some(TypeRef::Bit(w)) => *w,
+                    Some(TypeRef::Int(w)) => *w,
+                    Some(_) => {
+                        return Err(FrontendError::typecheck(
+                            *span,
+                            "enum underlying type must be bit<N> or int<N>",
+                        ))
+                    }
+                    // Spec leaves representation-less enums abstract; we pick
+                    // 32 bits for the runtime encoding.
+                    None => 32,
+                };
+                let mut resolved = Vec::new();
+                let mut next: u128 = 0;
+                for (m, v) in members {
+                    let val = match v {
+                        Some(e) => const_eval(env, e).ok_or_else(|| {
+                            FrontendError::typecheck(*span, "enum member value must be constant")
+                        })?,
+                        None => next,
+                    };
+                    next = val + 1;
+                    resolved.push((m.clone(), val));
+                }
+                env.types.insert(name.clone(), TypeDef::Enum { repr, members: resolved });
+            }
+            Decl::Typedef { ty, name, span } => {
+                let t = env.resolve(ty, *span)?;
+                env.types.insert(name.clone(), TypeDef::Alias(t));
+            }
+            Decl::Const { ty, name, value, span } => {
+                let t = env.resolve(ty, *span)?;
+                let v = const_eval(env, value).ok_or_else(|| {
+                    FrontendError::typecheck(*span, format!("'{name}' is not a constant expression"))
+                })?;
+                env.consts.insert(name.clone(), (t, v));
+            }
+            Decl::ErrorDecl { members, .. } => {
+                for m in members {
+                    if !env.errors.contains(m) {
+                        env.errors.push(m.clone());
+                    }
+                }
+            }
+            Decl::MatchKindDecl { members, .. } => {
+                for m in members {
+                    if !env.match_kinds.contains(m) {
+                        env.match_kinds.push(m.clone());
+                    }
+                }
+            }
+            Decl::ExternFunction(f) => {
+                env.extern_fns.insert(f.name.clone(), f.clone());
+            }
+            Decl::ExternObject(o) => {
+                env.types.insert(o.name.clone(), TypeDef::ExternObject(o.clone()));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn resolve_fields(
+    env: &TypeEnv,
+    fields: &[Field],
+    span: Span,
+) -> Result<Vec<ResolvedField>, FrontendError> {
+    fields
+        .iter()
+        .map(|f| {
+            Ok(ResolvedField {
+                name: f.name.clone(),
+                ty: env.resolve(&f.ty, span)?,
+                annotations: f.annotations.clone(),
+            })
+        })
+        .collect()
+}
+
+/// Evaluate a constant expression to an integer.
+pub fn const_eval(env: &TypeEnv, e: &Expr) -> Option<u128> {
+    Some(match e {
+        Expr::Int { value, .. } => *value,
+        Expr::Bool { value, .. } => *value as u128,
+        Expr::Ident { name, .. } => env.consts.get(name)?.1,
+        Expr::Member { base, member, .. } => {
+            if let Expr::Ident { name, .. } = base.as_ref() {
+                if name == "error" {
+                    return env.error_code(member).map(|c| c as u128);
+                }
+                if let Some((v, _)) = env.enum_value(name, member) {
+                    return Some(v);
+                }
+            }
+            return None;
+        }
+        Expr::Unary { op, arg, .. } => {
+            let v = const_eval(env, arg)?;
+            match op {
+                UnaryOp::Neg => v.wrapping_neg(),
+                UnaryOp::BitNot => !v,
+                UnaryOp::Not => (v == 0) as u128,
+            }
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let a = const_eval(env, lhs)?;
+            let b = const_eval(env, rhs)?;
+            match op {
+                BinaryOp::Add => a.wrapping_add(b),
+                BinaryOp::Sub => a.wrapping_sub(b),
+                BinaryOp::Mul => a.wrapping_mul(b),
+                BinaryOp::Div => a.checked_div(b)?,
+                BinaryOp::Mod => a.checked_rem(b)?,
+                BinaryOp::BitAnd => a & b,
+                BinaryOp::BitOr => a | b,
+                BinaryOp::BitXor => a ^ b,
+                BinaryOp::Shl => a.checked_shl(b as u32).unwrap_or(0),
+                BinaryOp::Shr => a.checked_shr(b as u32).unwrap_or(0),
+                _ => return None,
+            }
+        }
+        Expr::Cast { arg, .. } => const_eval(env, arg)?,
+        _ => return None,
+    })
+}
+
+/// Per-block checking context.
+struct Checker<'a> {
+    env: &'a TypeEnv,
+}
+
+impl<'a> Checker<'a> {
+    fn scope_from_params(&self, params: &[Param]) -> Result<Scope, FrontendError> {
+        let mut scope = Scope::new();
+        for p in params {
+            let t = self.env.resolve(&p.ty, p.span)?;
+            scope.declare(&p.name, t);
+        }
+        Ok(scope)
+    }
+
+    fn check_parser(&self, p: &ParserDecl) -> Result<(), FrontendError> {
+        let mut scope = self.scope_from_params(&p.params)?;
+        for l in &p.locals {
+            self.check_stmt(l, &mut scope, &HashMap::new())?;
+        }
+        let state_names: Vec<&str> = p.states.iter().map(|s| s.name.as_str()).collect();
+        if !state_names.contains(&"start") {
+            return Err(FrontendError::typecheck(
+                p.span,
+                format!("parser '{}' has no start state", p.name),
+            ));
+        }
+        for st in &p.states {
+            scope.push();
+            for s in &st.stmts {
+                self.check_stmt(s, &mut scope, &HashMap::new())?;
+            }
+            match &st.transition {
+                Transition::Direct(next) => {
+                    self.check_state_ref(next, &state_names, st.span)?;
+                }
+                Transition::Select { exprs, cases, span } => {
+                    for e in exprs {
+                        let t = self.type_of(e, &scope)?;
+                        if t.width(self.env).is_none() {
+                            return Err(FrontendError::typecheck(
+                                *span,
+                                format!("select argument has non-scalar type {t}"),
+                            ));
+                        }
+                    }
+                    for c in cases {
+                        self.check_state_ref(&c.next_state, &state_names, c.span)?;
+                        if c.keys.len() != exprs.len()
+                            && !(c.keys.len() == 1 && matches!(c.keys[0], Expr::Dontcare { .. }))
+                        {
+                            return Err(FrontendError::typecheck(
+                                c.span,
+                                format!(
+                                    "select case has {} keys but select has {} arguments",
+                                    c.keys.len(),
+                                    exprs.len()
+                                ),
+                            ));
+                        }
+                        for k in &c.keys {
+                            self.check_keyset_expr(k, &scope)?;
+                        }
+                    }
+                }
+            }
+            scope.pop();
+        }
+        Ok(())
+    }
+
+    fn check_state_ref(
+        &self,
+        name: &str,
+        states: &[&str],
+        span: Span,
+    ) -> Result<(), FrontendError> {
+        if name == "accept" || name == "reject" || states.contains(&name) {
+            Ok(())
+        } else {
+            Err(FrontendError::typecheck(span, format!("transition to undefined state '{name}'")))
+        }
+    }
+
+    fn check_keyset_expr(&self, e: &Expr, scope: &Scope) -> Result<(), FrontendError> {
+        match e {
+            Expr::Dontcare { .. } => Ok(()),
+            Expr::Mask { value, mask, .. } => {
+                self.type_of(value, scope)?;
+                self.type_of(mask, scope)?;
+                Ok(())
+            }
+            Expr::Range { lo, hi, .. } => {
+                self.type_of(lo, scope)?;
+                self.type_of(hi, scope)?;
+                Ok(())
+            }
+            other => {
+                self.type_of(other, scope)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn check_control(&self, c: &ControlDecl) -> Result<(), FrontendError> {
+        let mut scope = self.scope_from_params(&c.params)?;
+        // Declare instantiations (registers, counters, sub-externs).
+        for inst in &c.instantiations {
+            let t = self.env.resolve(&inst.ty, inst.span)?;
+            scope.declare(&inst.name, t);
+        }
+        for l in &c.locals {
+            self.check_stmt(l, &mut scope, &HashMap::new())?;
+        }
+        // Action signatures (for table refs and calls).
+        let mut actions: HashMap<String, Vec<Param>> = HashMap::new();
+        actions.insert("NoAction".to_string(), Vec::new());
+        for a in &c.actions {
+            actions.insert(a.name.clone(), a.params.clone());
+        }
+        for a in &c.actions {
+            scope.push();
+            self.check_action(a, &mut scope, &actions)?;
+            scope.pop();
+        }
+        // Tables.
+        for t in &c.tables {
+            self.check_table(t, &scope, &actions)?;
+            scope.declare(&t.name, Type::Table(t.name.clone()));
+        }
+        // Apply block.
+        scope.push();
+        for t in &c.tables {
+            scope.declare(&t.name, Type::Table(t.name.clone()));
+        }
+        for s in &c.apply {
+            self.check_stmt(s, &mut scope, &actions)?;
+        }
+        scope.pop();
+        Ok(())
+    }
+
+    fn check_action(
+        &self,
+        a: &ActionDecl,
+        scope: &mut Scope,
+        actions: &HashMap<String, Vec<Param>>,
+    ) -> Result<(), FrontendError> {
+        scope.push();
+        for p in &a.params {
+            let t = self.env.resolve(&p.ty, p.span)?;
+            scope.declare(&p.name, t);
+        }
+        for s in &a.body {
+            self.check_stmt(s, scope, actions)?;
+        }
+        scope.pop();
+        Ok(())
+    }
+
+    fn check_table(
+        &self,
+        t: &TableDecl,
+        scope: &Scope,
+        actions: &HashMap<String, Vec<Param>>,
+    ) -> Result<(), FrontendError> {
+        for k in &t.keys {
+            let kt = self.type_of(&k.expr, scope)?;
+            if kt.width(self.env).is_none() {
+                return Err(FrontendError::typecheck(
+                    k.span,
+                    format!("table key has non-scalar type {kt}"),
+                ));
+            }
+            if !self.env.is_match_kind(&k.match_kind) {
+                return Err(FrontendError::typecheck(
+                    k.span,
+                    format!("unknown match kind '{}'", k.match_kind),
+                ));
+            }
+        }
+        for a in &t.actions {
+            if !actions.contains_key(&a.name) {
+                return Err(FrontendError::typecheck(
+                    a.span,
+                    format!("table '{}' references unknown action '{}'", t.name, a.name),
+                ));
+            }
+        }
+        if let Some((name, _, _)) = &t.default_action {
+            let listed = t.actions.iter().any(|a| &a.name == name);
+            if !listed && name != "NoAction" {
+                return Err(FrontendError::typecheck(
+                    t.span,
+                    format!("default action '{name}' is not in the actions list"),
+                ));
+            }
+        }
+        for e in &t.entries {
+            if e.keys.len() != t.keys.len() {
+                return Err(FrontendError::typecheck(
+                    e.span,
+                    format!(
+                        "entry has {} keys but table '{}' has {}",
+                        e.keys.len(),
+                        t.name,
+                        t.keys.len()
+                    ),
+                ));
+            }
+            if !t.actions.iter().any(|a| a.name == e.action) {
+                return Err(FrontendError::typecheck(
+                    e.span,
+                    format!("entry action '{}' is not in the actions list", e.action),
+                ));
+            }
+            for k in &e.keys {
+                self.check_keyset_expr(k, scope)?;
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::only_used_in_recursion)]
+    fn check_stmt(
+        &self,
+        s: &Stmt,
+        scope: &mut Scope,
+        actions: &HashMap<String, Vec<Param>>,
+    ) -> Result<(), FrontendError> {
+        match s {
+            Stmt::VarDecl { ty, name, init, span } => {
+                let t = self.env.resolve(ty, *span)?;
+                if let Some(e) = init {
+                    let et = self.type_of(e, scope)?;
+                    self.require_assignable(&t, &et, *span)?;
+                }
+                scope.declare(name, t);
+                Ok(())
+            }
+            Stmt::ConstDecl { ty, name, init, span } => {
+                let t = self.env.resolve(ty, *span)?;
+                let et = self.type_of(init, scope)?;
+                self.require_assignable(&t, &et, *span)?;
+                scope.declare(name, t);
+                Ok(())
+            }
+            Stmt::Assign { lhs, rhs, span } => {
+                let lt = self.type_of(lhs, scope)?;
+                if !is_lvalue(lhs) {
+                    return Err(FrontendError::typecheck(*span, "left side is not assignable"));
+                }
+                let rt = self.type_of(rhs, scope)?;
+                self.require_assignable(&lt, &rt, *span)
+            }
+            Stmt::Call { call, .. } => {
+                self.type_of(call, scope)?;
+                Ok(())
+            }
+            Stmt::If { cond, then_s, else_s, span } => {
+                let ct = self.type_of(cond, scope)?;
+                if ct != Type::Bool {
+                    return Err(FrontendError::typecheck(
+                        *span,
+                        format!("if condition has type {ct}, expected bool"),
+                    ));
+                }
+                scope.push();
+                self.check_stmt(then_s, scope, actions)?;
+                scope.pop();
+                if let Some(e) = else_s {
+                    scope.push();
+                    self.check_stmt(e, scope, actions)?;
+                    scope.pop();
+                }
+                Ok(())
+            }
+            Stmt::Switch { scrutinee, cases, span } => {
+                let st = self.type_of(scrutinee, scope)?;
+                let table = match &st {
+                    Type::Enum { .. } => None,
+                    Type::ApplyResult { .. } => {
+                        return Err(FrontendError::typecheck(
+                            *span,
+                            "switch must match on table.apply().action_run",
+                        ))
+                    }
+                    Type::Action(t) => Some(t.clone()),
+                    other => {
+                        return Err(FrontendError::typecheck(
+                            *span,
+                            format!("cannot switch on type {other}"),
+                        ))
+                    }
+                };
+                let _ = table;
+                for c in cases {
+                    if let Some(body) = &c.body {
+                        scope.push();
+                        self.check_stmt(body, scope, actions)?;
+                        scope.pop();
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Block { stmts, .. } => {
+                scope.push();
+                for s in stmts {
+                    self.check_stmt(s, scope, actions)?;
+                }
+                scope.pop();
+                Ok(())
+            }
+            Stmt::Exit { .. } | Stmt::Return { .. } | Stmt::Empty { .. } => Ok(()),
+        }
+    }
+
+    fn require_assignable(&self, to: &Type, from: &Type, span: Span) -> Result<(), FrontendError> {
+        let ok = match (to, from) {
+            _ if to == from => true,
+            (Type::Bit(_) | Type::Int(_), Type::InfInt) => true,
+            (Type::Error, Type::Bit(w)) | (Type::Bit(w), Type::Error) => *w == ERROR_WIDTH,
+            (Type::Enum { repr, .. }, Type::Bit(w)) => repr == w,
+            (Type::Bit(w), Type::Enum { repr, .. }) => repr == w,
+            (Type::Varbit(_), Type::Bit(_)) => true,
+            // List expressions initialize structs/headers member-wise; the
+            // detailed check happens at lowering.
+            (Type::Struct(_) | Type::Header(_), Type::Struct(_)) => from == &Type::Struct("<list>".into()),
+            _ => false,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(FrontendError::typecheck(
+                span,
+                format!("cannot assign value of type {from} to {to}"),
+            ))
+        }
+    }
+
+    // ---- expression typing ------------------------------------------------
+
+    pub fn type_of(&self, e: &Expr, scope: &Scope) -> Result<Type, FrontendError> {
+        type_of_expr(self.env, e, scope)
+    }
+}
+
+/// Type of an expression — shared with IR lowering.
+pub fn type_of_expr(env: &TypeEnv, e: &Expr, scope: &Scope) -> Result<Type, FrontendError> {
+    let span = e.span();
+    match e {
+        Expr::Int { width, signed, .. } => Ok(match width {
+            Some(w) if *signed => Type::Int(*w),
+            Some(w) => Type::Bit(*w),
+            None => Type::InfInt,
+        }),
+        Expr::Bool { .. } => Ok(Type::Bool),
+        Expr::Str { .. } => Ok(Type::String),
+        Expr::Dontcare { .. } => Ok(Type::InfInt),
+        Expr::Ident { name, .. } => {
+            if let Some(t) = scope.lookup(name) {
+                return Ok(t.clone());
+            }
+            if let Some((t, _)) = env.consts.get(name) {
+                return Ok(t.clone());
+            }
+            if env.extern_fns.contains_key(name) {
+                return Ok(Type::Action(name.clone()));
+            }
+            Err(FrontendError::typecheck(span, format!("unknown name '{name}'")))
+        }
+        Expr::Member { base, member, .. } => {
+            // `error.X`
+            if let Expr::Ident { name, .. } = base.as_ref() {
+                if name == "error" {
+                    return if env.error_code(member).is_some() {
+                        Ok(Type::Error)
+                    } else {
+                        Err(FrontendError::typecheck(span, format!("unknown error '{member}'")))
+                    };
+                }
+                // `EnumName.Member` when not shadowed by a local.
+                if scope.lookup(name).is_none() {
+                    if let Some(TypeDef::Enum { repr, .. }) = env.types.get(name) {
+                        return if env.enum_value(name, member).is_some() {
+                            Ok(Type::Enum { name: name.clone(), repr: *repr })
+                        } else {
+                            Err(FrontendError::typecheck(
+                                span,
+                                format!("enum {name} has no member '{member}'"),
+                            ))
+                        };
+                    }
+                }
+            }
+            let bt = type_of_expr(env, base, scope)?;
+            member_type(env, &bt, member, span)
+        }
+        Expr::Index { base, index, .. } => {
+            let bt = type_of_expr(env, base, scope)?;
+            let it = type_of_expr(env, index, scope)?;
+            if !it.is_numeric() {
+                return Err(FrontendError::typecheck(span, "stack index must be numeric"));
+            }
+            match bt {
+                Type::Stack(elem, _) => Ok(*elem),
+                other => Err(FrontendError::typecheck(
+                    span,
+                    format!("cannot index into type {other}"),
+                )),
+            }
+        }
+        Expr::Slice { base, hi, lo, .. } => {
+            let bt = type_of_expr(env, base, scope)?;
+            let (Some(h), Some(l)) = (const_eval(env, hi), const_eval(env, lo)) else {
+                return Err(FrontendError::typecheck(span, "slice bounds must be constant"));
+            };
+            let bw = bt.width(env).ok_or_else(|| {
+                FrontendError::typecheck(span, format!("cannot slice type {bt}"))
+            })?;
+            if h < l || h as u32 >= bw {
+                return Err(FrontendError::typecheck(
+                    span,
+                    format!("slice [{h}:{l}] out of range for width {bw}"),
+                ));
+            }
+            Ok(Type::Bit((h - l + 1) as u32))
+        }
+        Expr::Unary { op, arg, .. } => {
+            let at = type_of_expr(env, arg, scope)?;
+            match op {
+                UnaryOp::Not => {
+                    if at == Type::Bool {
+                        Ok(Type::Bool)
+                    } else {
+                        Err(FrontendError::typecheck(span, format!("! applied to {at}")))
+                    }
+                }
+                UnaryOp::BitNot | UnaryOp::Neg => {
+                    if at.is_numeric() {
+                        Ok(at)
+                    } else {
+                        Err(FrontendError::typecheck(span, format!("operator applied to {at}")))
+                    }
+                }
+            }
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let lt = type_of_expr(env, lhs, scope)?;
+            let rt = type_of_expr(env, rhs, scope)?;
+            binary_type(env, *op, &lt, &rt, span)
+        }
+        Expr::Ternary { cond, then_e, else_e, .. } => {
+            let ct = type_of_expr(env, cond, scope)?;
+            if ct != Type::Bool {
+                return Err(FrontendError::typecheck(span, "ternary condition must be bool"));
+            }
+            let tt = type_of_expr(env, then_e, scope)?;
+            let et = type_of_expr(env, else_e, scope)?;
+            merge_numeric(&tt, &et).ok_or_else(|| {
+                FrontendError::typecheck(span, format!("ternary branches disagree: {tt} vs {et}"))
+            })
+        }
+        Expr::Cast { ty, arg, .. } => {
+            // The argument must itself be well-typed (its type is then
+            // discarded: P4 casts are explicit conversions).
+            type_of_expr(env, arg, scope)?;
+            env.resolve(ty, span)
+        }
+        Expr::Mask { value, .. } => type_of_expr(env, value, scope),
+        Expr::Range { lo, .. } => type_of_expr(env, lo, scope),
+        Expr::List { .. } => Ok(Type::Struct("<list>".to_string())),
+        Expr::Call { callee, type_args, args, .. } => {
+            call_type(env, callee, type_args, args, scope, span)
+        }
+    }
+}
+
+fn member_type(env: &TypeEnv, bt: &Type, member: &str, span: Span) -> Result<Type, FrontendError> {
+    match bt {
+        Type::Header(n) | Type::Struct(n) => env.field_type(n, member).ok_or_else(|| {
+            FrontendError::typecheck(span, format!("type {n} has no field '{member}'"))
+        }),
+        Type::Stack(elem, _) => match member {
+            "next" | "last" => Ok((**elem).clone()),
+            "lastIndex" => Ok(Type::Bit(32)),
+            "size" => Ok(Type::InfInt),
+            _ => Err(FrontendError::typecheck(
+                span,
+                format!("header stack has no member '{member}'"),
+            )),
+        },
+        Type::ApplyResult { table } => match member {
+            "hit" | "miss" => Ok(Type::Bool),
+            "action_run" => Ok(Type::Action(table.clone())),
+            _ => Err(FrontendError::typecheck(
+                span,
+                format!("apply result has no member '{member}'"),
+            )),
+        },
+        other => Err(FrontendError::typecheck(
+            span,
+            format!("cannot access member '{member}' on type {other}"),
+        )),
+    }
+}
+
+fn binary_type(
+    env: &TypeEnv,
+    op: BinaryOp,
+    lt: &Type,
+    rt: &Type,
+    span: Span,
+) -> Result<Type, FrontendError> {
+    use BinaryOp::*;
+    match op {
+        And | Or => {
+            if *lt == Type::Bool && *rt == Type::Bool {
+                Ok(Type::Bool)
+            } else {
+                Err(FrontendError::typecheck(span, format!("boolean operator on {lt} and {rt}")))
+            }
+        }
+        Eq | Neq => {
+            if lt == rt
+                || merge_numeric(lt, rt).is_some()
+                || (matches!(lt, Type::Error) && matches!(rt, Type::Error))
+            {
+                if lt.is_equatable() || rt.is_equatable() {
+                    Ok(Type::Bool)
+                } else {
+                    Err(FrontendError::typecheck(span, format!("cannot compare {lt}")))
+                }
+            } else {
+                Err(FrontendError::typecheck(span, format!("cannot compare {lt} with {rt}")))
+            }
+        }
+        Lt | Le | Gt | Ge => {
+            merge_numeric(lt, rt)
+                .map(|_| Type::Bool)
+                .ok_or_else(|| FrontendError::typecheck(span, format!("cannot order {lt} and {rt}")))
+        }
+        Shl | Shr => {
+            if lt.is_numeric() && rt.is_numeric() {
+                Ok(lt.clone())
+            } else {
+                Err(FrontendError::typecheck(span, format!("shift on {lt} by {rt}")))
+            }
+        }
+        Concat => {
+            let (Some(lw), Some(rw)) = (lt.width(env), rt.width(env)) else {
+                return Err(FrontendError::typecheck(span, format!("cannot concat {lt} and {rt}")));
+            };
+            Ok(Type::Bit(lw + rw))
+        }
+        _ => merge_numeric(lt, rt).ok_or_else(|| {
+            FrontendError::typecheck(span, format!("arithmetic on {lt} and {rt}"))
+        }),
+    }
+}
+
+/// Merge two numeric types (InfInt adapts to the sized operand).
+fn merge_numeric(a: &Type, b: &Type) -> Option<Type> {
+    match (a, b) {
+        _ if a == b && a.is_numeric() => Some(a.clone()),
+        (Type::InfInt, t) if t.is_numeric() => Some(t.clone()),
+        (t, Type::InfInt) if t.is_numeric() => Some(t.clone()),
+        (Type::Enum { .. }, Type::Enum { .. }) if a == b => Some(a.clone()),
+        (Type::Bool, Type::Bool) => Some(Type::Bool),
+        _ => None,
+    }
+}
+
+fn call_type(
+    env: &TypeEnv,
+    callee: &Expr,
+    type_args: &[TypeRef],
+    args: &[Expr],
+    scope: &Scope,
+    span: Span,
+) -> Result<Type, FrontendError> {
+    match callee {
+        Expr::Member { base, member, .. } => {
+            // Builtin methods on headers, packets, tables, stacks, externs.
+            let bt = type_of_expr(env, base, scope)?;
+            match (&bt, member.as_str()) {
+                (Type::Header(_), "isValid") => Ok(Type::Bool),
+                (Type::Header(_), "setValid" | "setInvalid") => Ok(Type::Void),
+                (Type::Struct(_), "isValid") => Ok(Type::Bool), // tolerated on metadata unions
+                (Type::PacketIn, "extract") => {
+                    if args.is_empty() || args.len() > 2 {
+                        return Err(FrontendError::typecheck(span, "extract takes 1 or 2 arguments"));
+                    }
+                    let ht = type_of_expr(env, &args[0], scope)?;
+                    if !matches!(ht, Type::Header(_)) {
+                        return Err(FrontendError::typecheck(
+                            span,
+                            format!("extract argument must be a header, got {ht}"),
+                        ));
+                    }
+                    Ok(Type::Void)
+                }
+                (Type::PacketIn, "advance") => Ok(Type::Void),
+                (Type::PacketIn, "length") => Ok(Type::Bit(32)),
+                (Type::PacketIn, "lookahead") => {
+                    let [t] = type_args else {
+                        return Err(FrontendError::typecheck(
+                            span,
+                            "lookahead requires one type argument",
+                        ));
+                    };
+                    env.resolve(t, span)
+                }
+                (Type::PacketOut, "emit") => Ok(Type::Void),
+                (Type::Table(name), "apply") => Ok(Type::ApplyResult { table: name.clone() }),
+                (Type::Stack(_, _), "push_front" | "pop_front") => Ok(Type::Void),
+                (Type::Extern { name, type_args: targs }, m) => {
+                    let sig = env.extern_method(name, targs, m).ok_or_else(|| {
+                        FrontendError::typecheck(
+                            span,
+                            format!("extern {name} has no method '{m}'"),
+                        )
+                    })?;
+                    check_extern_args(env, &sig, type_args, args, scope, span)
+                }
+                (other, m) => Err(FrontendError::typecheck(
+                    span,
+                    format!("no method '{m}' on type {other}"),
+                )),
+            }
+        }
+        Expr::Ident { name, .. } => {
+            // Extern function or action call.
+            if let Some(sig) = env.extern_fns.get(name) {
+                let sig = sig.clone();
+                return check_extern_args(env, &sig, type_args, args, scope, span);
+            }
+            // Action calls are checked against the control's action map by
+            // the statement checker; here we accept known-scoped actions.
+            if let Some(Type::Action(_)) = scope.lookup(name) {
+                return Ok(Type::Void);
+            }
+            // Direct action invocation (e.g. `my_action();`) — the lowering
+            // verifies the action exists in the enclosing control.
+            Ok(Type::Void)
+        }
+        other => Err(FrontendError::typecheck(
+            span,
+            format!("cannot call expression {other:?}"),
+        )),
+    }
+}
+
+/// Check extern function arguments against a signature, binding free type
+/// parameters loosely (any argument type satisfies a type variable).
+fn check_extern_args(
+    env: &TypeEnv,
+    sig: &ExternFunction,
+    type_args: &[TypeRef],
+    args: &[Expr],
+    scope: &Scope,
+    span: Span,
+) -> Result<Type, FrontendError> {
+    if args.len() != sig.params.len() {
+        return Err(FrontendError::typecheck(
+            span,
+            format!(
+                "extern '{}' expects {} arguments, got {}",
+                sig.name,
+                sig.params.len(),
+                args.len()
+            ),
+        ));
+    }
+    let mut bindings: HashMap<String, Type> = HashMap::new();
+    for (i, tp) in sig.type_params.iter().enumerate() {
+        if let Some(ta) = type_args.get(i) {
+            bindings.insert(tp.clone(), env.resolve(ta, span)?);
+        }
+    }
+    for (param, arg) in sig.params.iter().zip(args) {
+        let at = type_of_expr(env, arg, scope)?;
+        if matches!(param.direction, Direction::Out | Direction::InOut) && !is_lvalue(arg) {
+            return Err(FrontendError::typecheck(
+                span,
+                format!("argument for out parameter '{}' must be an lvalue", param.name),
+            ));
+        }
+        if let TypeRef::Named(n) = &param.ty {
+            if sig.type_params.contains(n) {
+                bindings.entry(n.clone()).or_insert(at);
+                continue;
+            }
+        }
+        // Fixed parameter type: permissive width check.
+        let pt = env.resolve(&param.ty, span)?;
+        let compatible = pt == at
+            || merge_numeric(&pt, &at).is_some()
+            || matches!(at, Type::Struct(ref s) if s == "<list>")
+            || matches!(pt, Type::Varbit(_));
+        if !compatible {
+            return Err(FrontendError::typecheck(
+                span,
+                format!(
+                    "extern '{}' parameter '{}' expects {pt}, got {at}",
+                    sig.name, param.name
+                ),
+            ));
+        }
+    }
+    match &sig.ret {
+        TypeRef::Named(n) if sig.type_params.contains(n) => {
+            bindings.get(n).cloned().ok_or_else(|| {
+                FrontendError::typecheck(
+                    span,
+                    format!("cannot infer return type of extern '{}'", sig.name),
+                )
+            })
+        }
+        other => env.resolve(other, span),
+    }
+}
+
+/// Whether an expression is a valid assignment target.
+pub fn is_lvalue(e: &Expr) -> bool {
+    match e {
+        Expr::Ident { .. } => true,
+        Expr::Member { base, .. } => is_lvalue(base) || matches!(base.as_ref(), Expr::Ident { .. }),
+        Expr::Index { base, .. } => is_lvalue(base),
+        Expr::Slice { base, .. } => is_lvalue(base),
+        _ => false,
+    }
+}

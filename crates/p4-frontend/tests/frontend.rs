@@ -1,0 +1,389 @@
+//! End-to-end frontend tests: parse + typecheck realistic P4 programs.
+
+use p4t_frontend::ast::*;
+use p4t_frontend::{frontend, parse};
+
+/// A minimal v1model-style prelude, as a target extension would provide.
+const PRELUDE: &str = r#"
+struct standard_metadata_t {
+    bit<9>  ingress_port;
+    bit<9>  egress_spec;
+    bit<9>  egress_port;
+    bit<16> packet_length;
+    bit<1>  checksum_error;
+    error   parser_error;
+}
+enum HashAlgorithm { crc32, crc16, csum16, identity }
+extern void mark_to_drop(inout standard_metadata_t sm);
+extern void verify_checksum<T, O>(in bool condition, in T data, inout O checksum, HashAlgorithm algo);
+extern void hash<O, T, D, M>(out O result, in HashAlgorithm algo, in T base, in D data, in M max);
+extern Register<T, I> {
+    Register(bit<32> size);
+    T read(in I index);
+    void write(in I index, in T value);
+}
+"#;
+
+fn fig1a() -> String {
+    format!(
+        r#"{PRELUDE}
+header ethernet_t {{
+    bit<48> dst;
+    bit<48> src;
+    bit<16> etherType;
+}}
+struct headers_t {{ ethernet_t eth; }}
+struct meta_t {{ bit<9> output_port; }}
+
+parser MyParser(packet_in pkt, out headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {{
+    state start {{
+        pkt.extract(hdr.eth);
+        transition accept;
+    }}
+}}
+
+control MyIngress(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {{
+    action set_out(bit<9> port) {{
+        meta.output_port = port;
+        sm.egress_spec = port;
+    }}
+    action noop() {{ }}
+    table forward_table {{
+        key = {{ hdr.eth.etherType: exact @name("type"); }}
+        actions = {{ noop; set_out; }}
+        default_action = noop();
+        size = 1024;
+    }}
+    apply {{
+        hdr.eth.etherType = 0xBEEF;
+        forward_table.apply();
+    }}
+}}
+
+control MyDeparser(packet_out pkt, in headers_t hdr) {{
+    apply {{ pkt.emit(hdr.eth); }}
+}}
+
+V1Switch(MyParser(), MyIngress(), MyDeparser()) main;
+"#
+    )
+}
+
+#[test]
+fn parse_and_typecheck_fig1a() {
+    let checked = frontend(&fig1a()).expect("fig1a should typecheck");
+    let prog = &checked.program;
+    assert!(prog.find_parser("MyParser").is_some());
+    let ing = prog.find_control("MyIngress").expect("ingress");
+    assert_eq!(ing.actions.len(), 2);
+    assert_eq!(ing.tables.len(), 1);
+    let tbl = &ing.tables[0];
+    assert_eq!(tbl.keys.len(), 1);
+    assert_eq!(tbl.keys[0].match_kind, "exact");
+    assert_eq!(tbl.keys[0].annotations[0].string_arg(), Some("type"));
+    assert_eq!(tbl.size, Some(1024));
+    assert!(prog.main_instantiation().is_some());
+}
+
+#[test]
+fn select_transitions() {
+    let src = format!(
+        r#"{PRELUDE}
+header ethernet_t {{ bit<48> dst; bit<48> src; bit<16> etherType; }}
+header ipv4_t {{ bit<4> version; bit<4> ihl; bit<8> tos; bit<16> len; bit<32> rest1; bit<32> rest2; bit<32> src; bit<32> dst; }}
+struct headers_t {{ ethernet_t eth; ipv4_t ipv4; }}
+struct meta_t {{ bit<8> x; }}
+parser P(packet_in pkt, out headers_t hdr, inout meta_t m, inout standard_metadata_t sm) {{
+    state start {{
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.etherType) {{
+            0x0800: parse_ipv4;
+            0x8100 &&& 0xEFFF: parse_ipv4;
+            16w0x86DD: accept;
+            default: accept;
+        }}
+    }}
+    state parse_ipv4 {{
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }}
+}}
+"#
+    );
+    let checked = frontend(&src).expect("select program should typecheck");
+    let p = checked.program.find_parser("P").unwrap();
+    assert_eq!(p.states.len(), 2);
+    match &p.states[0].transition {
+        Transition::Select { cases, .. } => {
+            assert_eq!(cases.len(), 4);
+            assert!(matches!(cases[1].keys[0], Expr::Mask { .. }));
+            assert!(matches!(cases[3].keys[0], Expr::Dontcare { .. }));
+        }
+        _ => panic!("expected select"),
+    }
+}
+
+#[test]
+fn header_stacks_and_slices() {
+    let src = format!(
+        r#"{PRELUDE}
+header vlan_t {{ bit<3> pcp; bit<1> dei; bit<12> vid; bit<16> etherType; }}
+struct headers_t {{ vlan_t[2] vlans; }}
+struct meta_t {{ bit<12> v; }}
+parser P(packet_in pkt, out headers_t hdr, inout meta_t m, inout standard_metadata_t sm) {{
+    state start {{
+        pkt.extract(hdr.vlans[0]);
+        transition accept;
+    }}
+}}
+control C(inout headers_t hdr, inout meta_t m, inout standard_metadata_t sm) {{
+    apply {{
+        m.v = hdr.vlans[0].vid;
+        m.v = hdr.vlans[1].etherType[11:0];
+    }}
+}}
+"#
+    );
+    frontend(&src).expect("stack program should typecheck");
+}
+
+#[test]
+fn extern_object_instantiation_and_methods() {
+    let src = format!(
+        r#"{PRELUDE}
+struct headers_t {{ bit<8> dummy; }}
+struct meta_t {{ bit<32> val; }}
+control C(inout headers_t hdr, inout meta_t m, inout standard_metadata_t sm) {{
+    Register<bit<32>, bit<10>>(1024) reg;
+    apply {{
+        m.val = reg.read(10w5);
+        reg.write(10w5, m.val + 1);
+    }}
+}}
+"#
+    );
+    frontend(&src).expect("register program should typecheck");
+}
+
+#[test]
+fn switch_on_action_run() {
+    let src = format!(
+        r#"{PRELUDE}
+struct headers_t {{ bit<8> dummy; }}
+struct meta_t {{ bit<8> x; }}
+control C(inout headers_t hdr, inout meta_t m, inout standard_metadata_t sm) {{
+    action a1() {{ m.x = 1; }}
+    action a2() {{ m.x = 2; }}
+    table t {{
+        key = {{ hdr.dummy: exact; }}
+        actions = {{ a1; a2; }}
+        default_action = a1();
+    }}
+    apply {{
+        switch (t.apply().action_run) {{
+            a1: {{ m.x = 3; }}
+            default: {{ m.x = 4; }}
+        }}
+    }}
+}}
+"#
+    );
+    frontend(&src).expect("switch program should typecheck");
+}
+
+#[test]
+fn const_entries_with_ranges_and_lpm() {
+    let src = format!(
+        r#"{PRELUDE}
+struct headers_t {{ bit<8> dummy; }}
+struct meta_t {{ bit<32> addr; bit<16> port; }}
+control C(inout headers_t hdr, inout meta_t m, inout standard_metadata_t sm) {{
+    action drop_it() {{ mark_to_drop(sm); }}
+    action keep() {{ }}
+    table acl {{
+        key = {{
+            m.addr: lpm;
+            m.port: range;
+        }}
+        actions = {{ drop_it; keep; }}
+        const entries = {{
+            (0x0A000000 &&& 0xFF000000, 1000 .. 2000): drop_it();
+            (_, _): keep();
+        }}
+        default_action = keep();
+    }}
+    apply {{ acl.apply(); }}
+}}
+"#
+    );
+    let checked = frontend(&src).expect("entries program should typecheck");
+    let c = checked.program.find_control("C").unwrap();
+    assert_eq!(c.tables[0].entries.len(), 2);
+}
+
+#[test]
+fn typecheck_rejects_unknown_field() {
+    let src = format!(
+        r#"{PRELUDE}
+header h_t {{ bit<8> a; }}
+struct headers_t {{ h_t h; }}
+struct meta_t {{ bit<8> x; }}
+control C(inout headers_t hdr, inout meta_t m, inout standard_metadata_t sm) {{
+    apply {{ m.x = hdr.h.nonexistent; }}
+}}
+"#
+    );
+    let err = frontend(&src).unwrap_err();
+    assert!(err.to_string().contains("nonexistent"), "{err}");
+}
+
+#[test]
+fn typecheck_rejects_width_mismatch() {
+    let src = format!(
+        r#"{PRELUDE}
+struct headers_t {{ bit<8> dummy; }}
+struct meta_t {{ bit<8> a; bit<16> b; }}
+control C(inout headers_t hdr, inout meta_t m, inout standard_metadata_t sm) {{
+    apply {{ m.a = m.b; }}
+}}
+"#
+    );
+    assert!(frontend(&src).is_err());
+}
+
+#[test]
+fn typecheck_rejects_bad_transition() {
+    let src = format!(
+        r#"{PRELUDE}
+header h_t {{ bit<8> a; }}
+struct headers_t {{ h_t h; }}
+struct meta_t {{ bit<8> x; }}
+parser P(packet_in pkt, out headers_t hdr, inout meta_t m, inout standard_metadata_t sm) {{
+    state start {{
+        transition no_such_state;
+    }}
+}}
+"#
+    );
+    let err = frontend(&src).unwrap_err();
+    assert!(err.to_string().contains("no_such_state"), "{err}");
+}
+
+#[test]
+fn typecheck_rejects_unknown_action_in_table() {
+    let src = format!(
+        r#"{PRELUDE}
+struct headers_t {{ bit<8> d; }}
+struct meta_t {{ bit<8> x; }}
+control C(inout headers_t hdr, inout meta_t m, inout standard_metadata_t sm) {{
+    table t {{
+        key = {{ hdr.d: exact; }}
+        actions = {{ ghost_action; }}
+    }}
+    apply {{ t.apply(); }}
+}}
+"#
+    );
+    assert!(frontend(&src).is_err());
+}
+
+#[test]
+fn expressions_parse_with_precedence() {
+    let e = p4t_frontend::parse_expression("1 + 2 * 3 == 7 && 4 < 5").unwrap();
+    // ((1 + (2*3)) == 7) && (4 < 5)
+    match e {
+        Expr::Binary { op: BinaryOp::And, lhs, .. } => match *lhs {
+            Expr::Binary { op: BinaryOp::Eq, .. } => {}
+            other => panic!("expected ==, got {other:?}"),
+        },
+        other => panic!("expected &&, got {other:?}"),
+    }
+}
+
+#[test]
+fn shift_vs_generics_disambiguation() {
+    // `a >> 2` is a shift; `Register<bit<32>, bit<8>>` closes with two >.
+    let e = p4t_frontend::parse_expression("a >> 2").unwrap();
+    assert!(matches!(e, Expr::Binary { op: BinaryOp::Shr, .. }));
+    let src = format!(
+        r#"{PRELUDE}
+struct headers_t {{ bit<8> d; }}
+struct meta_t {{ bit<32> x; }}
+control C(inout headers_t hdr, inout meta_t m, inout standard_metadata_t sm) {{
+    Register<bit<32>, bit<8>>(16) r;
+    apply {{ m.x = (r.read(8w0) >> 2) + 1; }}
+}}
+"#
+    );
+    frontend(&src).expect("generics program should typecheck");
+}
+
+#[test]
+fn ternary_concat_cast() {
+    let src = format!(
+        r#"{PRELUDE}
+struct headers_t {{ bit<8> d; }}
+struct meta_t {{ bit<16> x; bit<8> lo; bit<8> hi; }}
+control C(inout headers_t hdr, inout meta_t m, inout standard_metadata_t sm) {{
+    apply {{
+        m.x = m.hi ++ m.lo;
+        m.x = (bit<16>) m.lo;
+        m.x = (m.lo == 0) ? 16w1 : 16w2;
+    }}
+}}
+"#
+    );
+    frontend(&src).expect("expression forms should typecheck");
+}
+
+#[test]
+fn annotations_survive_parsing() {
+    let src = format!(
+        r#"{PRELUDE}
+struct headers_t {{ bit<8> d; }}
+struct meta_t {{ bit<8> x; }}
+@entry_restriction("m.x != 0")
+control C(inout headers_t hdr, inout meta_t m, inout standard_metadata_t sm) {{
+    apply {{ }}
+}}
+"#
+    );
+    let prog = parse(&src).unwrap();
+    let c = prog.find_control("C").unwrap();
+    assert_eq!(c.annotations[0].name, "entry_restriction");
+    assert_eq!(c.annotations[0].string_arg(), Some("m.x != 0"));
+}
+
+#[test]
+fn enum_with_underlying_type() {
+    let src = format!(
+        r#"{PRELUDE}
+enum bit<8> Proto {{ TCP = 6, UDP = 17 }}
+struct headers_t {{ bit<8> d; }}
+struct meta_t {{ bit<8> p; }}
+control C(inout headers_t hdr, inout meta_t m, inout standard_metadata_t sm) {{
+    apply {{
+        if (m.p == (bit<8>) Proto.TCP) {{ m.p = 0; }}
+    }}
+}}
+"#
+    );
+    let checked = frontend(&src).expect("enum program should typecheck");
+    assert_eq!(checked.env.enum_value("Proto", "UDP"), Some((17, 8)));
+}
+
+#[test]
+fn error_members_and_parser_error() {
+    let src = format!(
+        r#"{PRELUDE}
+struct headers_t {{ bit<8> d; }}
+struct meta_t {{ bit<8> x; }}
+control C(inout headers_t hdr, inout meta_t m, inout standard_metadata_t sm) {{
+    apply {{
+        if (sm.parser_error == error.PacketTooShort) {{ m.x = 1; }}
+    }}
+}}
+"#
+    );
+    frontend(&src).expect("error member program should typecheck");
+}

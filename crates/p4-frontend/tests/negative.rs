@@ -1,0 +1,283 @@
+//! Negative tests: malformed programs must produce diagnostics (never
+//! panics), with messages pointing at the actual problem.
+
+use p4t_frontend::{frontend, parse};
+
+const MINI_PRELUDE: &str = r#"
+struct standard_metadata_t { bit<9> port; }
+"#;
+
+fn wrap(body: &str) -> String {
+    format!("{MINI_PRELUDE}\n{body}")
+}
+
+#[track_caller]
+fn expect_error(src: &str, needle: &str) {
+    match frontend(src) {
+        Ok(_) => panic!("expected an error mentioning '{needle}'"),
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(
+                msg.contains(needle),
+                "error should mention '{needle}', got: {msg}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unterminated_block() {
+    let src = wrap("control C(inout standard_metadata_t sm) { apply {");
+    assert!(parse(&src).is_err());
+}
+
+#[test]
+fn unknown_type_in_field() {
+    expect_error(
+        &wrap("header h_t { mystery_t f; }\nstruct hs { h_t h; }"),
+        "mystery_t",
+    );
+}
+
+#[test]
+fn parser_without_start_state() {
+    expect_error(
+        &wrap(
+            r#"
+header h_t { bit<8> v; }
+struct hs { h_t h; }
+parser P(packet_in pkt, out hs hdr) {
+    state not_start { transition accept; }
+}"#,
+        ),
+        "start",
+    );
+}
+
+#[test]
+fn header_with_struct_field_rejected() {
+    expect_error(
+        &wrap(
+            r#"
+struct inner { bit<8> v; }
+header h_t { inner i; }
+"#,
+        ),
+        "fixed-width",
+    );
+}
+
+#[test]
+fn bad_match_kind() {
+    expect_error(
+        &wrap(
+            r#"
+header h_t { bit<8> v; }
+struct hs { h_t h; }
+control C(inout hs hdr, inout standard_metadata_t sm) {
+    action a() { }
+    table t {
+        key = { hdr.h.v: fuzzy; }
+        actions = { a; }
+    }
+    apply { t.apply(); }
+}"#,
+        ),
+        "fuzzy",
+    );
+}
+
+#[test]
+fn entry_arity_mismatch() {
+    expect_error(
+        &wrap(
+            r#"
+header h_t { bit<8> v; bit<8> w; }
+struct hs { h_t h; }
+control C(inout hs hdr, inout standard_metadata_t sm) {
+    action a() { }
+    table t {
+        key = { hdr.h.v: exact; hdr.h.w: exact; }
+        actions = { a; }
+        const entries = { (1): a(); }
+    }
+    apply { t.apply(); }
+}"#,
+        ),
+        "keys",
+    );
+}
+
+#[test]
+fn default_action_not_listed() {
+    expect_error(
+        &wrap(
+            r#"
+header h_t { bit<8> v; }
+struct hs { h_t h; }
+control C(inout hs hdr, inout standard_metadata_t sm) {
+    action a() { }
+    action ghost() { }
+    table t {
+        key = { hdr.h.v: exact; }
+        actions = { a; }
+        default_action = ghost();
+    }
+    apply { t.apply(); }
+}"#,
+        ),
+        "ghost",
+    );
+}
+
+#[test]
+fn assignment_to_rvalue() {
+    expect_error(
+        &wrap(
+            r#"
+header h_t { bit<8> v; }
+struct hs { h_t h; }
+control C(inout hs hdr, inout standard_metadata_t sm) {
+    apply { (hdr.h.v + 1) = 5; }
+}"#,
+        ),
+        "assign",
+    );
+}
+
+#[test]
+fn condition_must_be_bool() {
+    expect_error(
+        &wrap(
+            r#"
+header h_t { bit<8> v; }
+struct hs { h_t h; }
+control C(inout hs hdr, inout standard_metadata_t sm) {
+    apply { if (hdr.h.v) { sm.port = 1; } }
+}"#,
+        ),
+        "bool",
+    );
+}
+
+#[test]
+fn slice_out_of_range() {
+    expect_error(
+        &wrap(
+            r#"
+header h_t { bit<8> v; }
+struct hs { h_t h; }
+control C(inout hs hdr, inout standard_metadata_t sm) {
+    apply { sm.port = (bit<9>) hdr.h.v[9:2]; }
+}"#,
+        ),
+        "range",
+    );
+}
+
+#[test]
+fn unknown_error_member() {
+    expect_error(
+        &wrap(
+            r#"
+header h_t { bit<8> v; }
+struct hs { h_t h; }
+struct m_t { error e; }
+control C(inout hs hdr, inout m_t m, inout standard_metadata_t sm) {
+    apply {
+        if (m.e == error.NoSuchError) { sm.port = 1; }
+    }
+}"#,
+        ),
+        "NoSuchError",
+    );
+}
+
+#[test]
+fn select_case_arity_mismatch() {
+    expect_error(
+        &wrap(
+            r#"
+header h_t { bit<8> a; bit<8> b; }
+struct hs { h_t h; }
+parser P(packet_in pkt, out hs hdr) {
+    state start {
+        pkt.extract(hdr.h);
+        transition select(hdr.h.a, hdr.h.b) {
+            (1, 2, 3): accept;
+            default: accept;
+        }
+    }
+}"#,
+        ),
+        "keys",
+    );
+}
+
+#[test]
+fn extract_of_non_header() {
+    expect_error(
+        &wrap(
+            r#"
+struct meta_t { bit<8> v; }
+struct hs { meta_t m; }
+parser P(packet_in pkt, out hs hdr) {
+    state start {
+        pkt.extract(hdr.m);
+        transition accept;
+    }
+}"#,
+        ),
+        "header",
+    );
+}
+
+#[test]
+fn extern_arity_mismatch() {
+    expect_error(
+        &wrap(
+            r#"
+extern void thing(in bit<8> a, in bit<8> b);
+header h_t { bit<8> v; }
+struct hs { h_t h; }
+control C(inout hs hdr, inout standard_metadata_t sm) {
+    apply { thing(hdr.h.v); }
+}"#,
+        ),
+        "argument",
+    );
+}
+
+#[test]
+fn out_arg_must_be_lvalue() {
+    expect_error(
+        &wrap(
+            r#"
+extern void produce(out bit<8> r);
+header h_t { bit<8> v; }
+struct hs { h_t h; }
+control C(inout hs hdr, inout standard_metadata_t sm) {
+    apply { produce(8w5); }
+}"#,
+        ),
+        "lvalue",
+    );
+}
+
+#[test]
+fn duplicate_width_literal_garbage() {
+    assert!(parse("const bit<8> x = 8w8w5;").is_err());
+}
+
+#[test]
+fn zero_width_literal_rejected() {
+    assert!(parse("const bit<8> x = 0w1;").is_err());
+}
+
+#[test]
+fn errors_carry_line_numbers() {
+    let src = "\n\n\nheader h_t { bad_type f; }\nstruct hs { h_t h; }";
+    let err = frontend(&wrap(src)).unwrap_err();
+    // The prelude is 2 lines; the header is on line ~6 of the combined file.
+    assert!(err.span.start.line >= 4, "line info: {err}");
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the frontend: expression parsing with operator
+//! precedence cross-validated against a reference evaluator, lexer
+//! robustness, and pretty-print/const-eval agreement.
+
+use p4t_frontend::ast::{BinaryOp, Expr, UnaryOp};
+use p4t_frontend::typecheck::const_eval;
+use p4t_frontend::types::TypeEnv;
+use p4t_frontend::{parse, parse_expression};
+use proptest::prelude::*;
+
+/// A reference expression: generated with explicit structure, rendered to
+/// source with *minimal* parentheses following C precedence, then parsed
+/// back — the parsed tree must evaluate identically.
+#[derive(Clone, Debug)]
+enum R {
+    Num(u64),
+    Add(Box<R>, Box<R>),
+    Sub(Box<R>, Box<R>),
+    Mul(Box<R>, Box<R>),
+    And(Box<R>, Box<R>),
+    Or(Box<R>, Box<R>),
+    Xor(Box<R>, Box<R>),
+    Shl(Box<R>, u8),
+    Shr(Box<R>, u8),
+    Not(Box<R>),
+}
+
+fn arb_r() -> impl Strategy<Value = R> {
+    let leaf = (0u64..1_000_000).prop_map(R::Num);
+    leaf.prop_recursive(5, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| R::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| R::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| R::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| R::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| R::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| R::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), 0u8..16).prop_map(|(a, s)| R::Shl(Box::new(a), s)),
+            (inner.clone(), 0u8..16).prop_map(|(a, s)| R::Shr(Box::new(a), s)),
+            inner.prop_map(|a| R::Not(Box::new(a))),
+        ]
+    })
+}
+
+/// Render with full parentheses (unambiguous) — the parser must still get
+/// precedence right because sub-expressions are themselves parenthesized
+/// only at alternation points.
+fn render(r: &R) -> String {
+    match r {
+        R::Num(n) => n.to_string(),
+        R::Add(a, b) => format!("({} + {})", render(a), render(b)),
+        R::Sub(a, b) => format!("({} - {})", render(a), render(b)),
+        R::Mul(a, b) => format!("({} * {})", render(a), render(b)),
+        R::And(a, b) => format!("({} & {})", render(a), render(b)),
+        R::Or(a, b) => format!("({} | {})", render(a), render(b)),
+        R::Xor(a, b) => format!("({} ^ {})", render(a), render(b)),
+        R::Shl(a, s) => format!("({} << {})", render(a), s),
+        R::Shr(a, s) => format!("({} >> {})", render(a), s),
+        R::Not(a) => format!("(~{})", render(a)),
+    }
+}
+
+/// Render exploiting standard precedence (no parens where P4 precedence
+/// binds tighter): + - over * is broken up correctly only if the parser
+/// implements precedence correctly.
+fn render_flat(r: &R) -> String {
+    // P4/C precedence (higher binds tighter): | 1, ^ 2, & 3, shift 4,
+    // +/- 5, * 6, unary 7 — mirroring the parser's grammar levels.
+    fn go(r: &R, parent: u8) -> String {
+        let (s, prec) = match r {
+            R::Num(n) => (n.to_string(), 8),
+            R::Mul(a, b) => (format!("{} * {}", go(a, 6), go(b, 7)), 6),
+            R::Add(a, b) => (format!("{} + {}", go(a, 5), go(b, 6)), 5),
+            R::Sub(a, b) => (format!("{} - {}", go(a, 5), go(b, 6)), 5),
+            R::Shl(a, n) => (format!("{} << {}", go(a, 4), n), 4),
+            R::Shr(a, n) => (format!("{} >> {}", go(a, 4), n), 4),
+            R::And(a, b) => (format!("{} & {}", go(a, 3), go(b, 4)), 3),
+            R::Xor(a, b) => (format!("{} ^ {}", go(a, 2), go(b, 3)), 2),
+            R::Or(a, b) => (format!("{} | {}", go(a, 1), go(b, 2)), 1),
+            R::Not(a) => (format!("~{}", go(a, 7)), 7),
+        };
+        if prec < parent {
+            format!("({s})")
+        } else {
+            s
+        }
+    }
+    go(r, 0)
+}
+
+fn reference(r: &R) -> u128 {
+    match r {
+        R::Num(n) => *n as u128,
+        R::Add(a, b) => reference(a).wrapping_add(reference(b)),
+        R::Sub(a, b) => reference(a).wrapping_sub(reference(b)),
+        R::Mul(a, b) => reference(a).wrapping_mul(reference(b)),
+        R::And(a, b) => reference(a) & reference(b),
+        R::Or(a, b) => reference(a) | reference(b),
+        R::Xor(a, b) => reference(a) ^ reference(b),
+        R::Shl(a, s) => reference(a).checked_shl(*s as u32).unwrap_or(0),
+        R::Shr(a, s) => reference(a).checked_shr(*s as u32).unwrap_or(0),
+        R::Not(a) => !reference(a),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Fully parenthesized rendering parses and evaluates correctly.
+    #[test]
+    fn expression_parse_eval_parenthesized(r in arb_r()) {
+        let src = render(&r);
+        let expr = parse_expression(&src)
+            .unwrap_or_else(|e| panic!("failed to parse {src}: {e}"));
+        let env = TypeEnv::new();
+        let got = const_eval(&env, &expr).expect("constant expression");
+        prop_assert_eq!(got, reference(&r), "src: {}", src);
+    }
+
+    /// Precedence-aware rendering (minimal parens) parses to the same value:
+    /// this is the real precedence cross-validation.
+    #[test]
+    fn expression_parse_eval_flat(r in arb_r()) {
+        let src = render_flat(&r);
+        let expr = parse_expression(&src)
+            .unwrap_or_else(|e| panic!("failed to parse {src}: {e}"));
+        let env = TypeEnv::new();
+        let got = const_eval(&env, &expr).expect("constant expression");
+        prop_assert_eq!(got, reference(&r), "src: {}", src);
+    }
+
+    /// The lexer never panics on arbitrary input (errors are Results).
+    #[test]
+    fn lexer_total(input in "\\PC*") {
+        let _ = p4t_frontend::lexer::lex(&input);
+    }
+
+    /// The parser never panics on arbitrary token-ish soup.
+    #[test]
+    fn parser_total(input in "[a-z0-9{}();=<>.,+*&|! \n\t\"@_-]{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// Width-prefixed literals round-trip through the lexer.
+    #[test]
+    fn width_literals_roundtrip(w in 1u32..64, v: u64) {
+        let masked = if w == 64 { v } else { v & ((1u64 << w) - 1) };
+        let src = format!("{w}w{masked}");
+        let expr = parse_expression(&src).unwrap();
+        match expr {
+            Expr::Int { value, width, signed, .. } => {
+                prop_assert_eq!(value, masked as u128);
+                prop_assert_eq!(width, Some(w));
+                prop_assert!(!signed);
+            }
+            other => prop_assert!(false, "expected literal, got {:?}", other),
+        }
+    }
+}
+
+#[test]
+fn unary_ops_ast_shape() {
+    let e = parse_expression("!true").unwrap();
+    assert!(matches!(e, Expr::Unary { op: UnaryOp::Not, .. }));
+    let e = parse_expression("-(5)").unwrap();
+    assert!(matches!(e, Expr::Unary { op: UnaryOp::Neg, .. }));
+    let e = parse_expression("a ++ b").unwrap();
+    assert!(matches!(e, Expr::Binary { op: BinaryOp::Concat, .. }));
+}

@@ -1,0 +1,431 @@
+//! The p4testgen intermediate representation.
+//!
+//! The IR is a flat, width-resolved form of the program designed for direct
+//! interpretation, both symbolic (in `p4testgen-core`) and concrete (in
+//! `p4t-interp`):
+//!
+//! * Every expression node carries an explicit bit width; booleans are 1 bit.
+//! * L-values are flattened dotted paths (`hdr.eth.dst`); header validity is
+//!   a synthetic `$valid` field; header stacks get a synthetic `$next` index.
+//! * Struct assignments, slices-as-targets, and dynamic stack indices are
+//!   elaborated away during lowering (the paper's midend transformations).
+//! * Every statement has a [`StmtId`] used for coverage accounting.
+
+use p4t_frontend::ast::Annotation;
+use p4t_frontend::types::TypeEnv;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a coverable statement.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct StmtId(pub u32);
+
+/// A flattened storage path such as `hdr.eth.dst` or `hdr.vlans[1].$valid`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path(pub String);
+
+impl Path {
+    pub fn new(s: impl Into<String>) -> Self {
+        Path(s.into())
+    }
+
+    pub fn child(&self, seg: &str) -> Path {
+        Path(format!("{}.{}", self.0, seg))
+    }
+
+    pub fn indexed(&self, i: u32) -> Path {
+        Path(format!("{}[{}]", self.0, i))
+    }
+
+    /// The synthetic validity slot of a header path.
+    pub fn valid(&self) -> Path {
+        self.child("$valid")
+    }
+
+    /// The synthetic next-index slot of a header-stack path.
+    pub fn next_index(&self) -> Path {
+        self.child("$next")
+    }
+
+    /// First dotted segment (used for parameter aliasing across blocks).
+    pub fn head(&self) -> &str {
+        let s = &self.0;
+        let dot = s.find('.').unwrap_or(s.len());
+        let brk = s.find('[').unwrap_or(s.len());
+        &s[..dot.min(brk)]
+    }
+
+    /// Replace the first segment with `alias`.
+    pub fn rebase(&self, alias: &str) -> Path {
+        let head = self.head();
+        Path(format!("{}{}", alias, &self.0[head.len()..]))
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Binary operators (width-resolved; signedness explicit on comparisons).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IrBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    /// Arithmetic shift right (signed left operand).
+    AShr,
+    Eq,
+    Neq,
+    Ult,
+    Ule,
+    Ugt,
+    Uge,
+    Slt,
+    Sle,
+    Sgt,
+    Sge,
+    /// Boolean and/or are 1-bit And/Or; Concat joins widths.
+    Concat,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IrUnOp {
+    /// Bitwise complement (and boolean negation at width 1).
+    Not,
+    /// Two's-complement negation.
+    Neg,
+}
+
+/// A width-resolved expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum IrExpr {
+    /// Constant. Widths above 128 bits are built with `Concat`.
+    Const { width: u32, value: u128 },
+    /// Read a storage slot.
+    Read { path: Path, width: u32 },
+    /// Header validity test (1 bit).
+    IsValid { path: Path },
+    Unary { op: IrUnOp, arg: Box<IrExpr>, width: u32 },
+    Binary { op: IrBinOp, lhs: Box<IrExpr>, rhs: Box<IrExpr>, width: u32 },
+    /// Bit slice `[lo, hi]`, inclusive.
+    Slice { base: Box<IrExpr>, hi: u32, lo: u32 },
+    /// Zero-extend or truncate.
+    Cast { arg: Box<IrExpr>, width: u32 },
+    /// Sign-extending cast (from `int<w>`).
+    SignCast { arg: Box<IrExpr>, width: u32 },
+    Mux { cond: Box<IrExpr>, then_e: Box<IrExpr>, else_e: Box<IrExpr>, width: u32 },
+    /// Peek `width` bits from the packet without consuming (parser only).
+    Lookahead { width: u32 },
+    /// The dynamic length (in bits) of a varbit field.
+    VarbitLen { path: Path },
+}
+
+impl IrExpr {
+    pub fn width(&self) -> u32 {
+        match self {
+            IrExpr::Const { width, .. }
+            | IrExpr::Read { width, .. }
+            | IrExpr::Unary { width, .. }
+            | IrExpr::Binary { width, .. }
+            | IrExpr::Cast { width, .. }
+            | IrExpr::SignCast { width, .. }
+            | IrExpr::Mux { width, .. }
+            | IrExpr::Lookahead { width } => *width,
+            IrExpr::IsValid { .. } => 1,
+            IrExpr::Slice { hi, lo, .. } => hi - lo + 1,
+            IrExpr::VarbitLen { .. } => 32,
+        }
+    }
+
+    pub fn bool_const(b: bool) -> IrExpr {
+        IrExpr::Const { width: 1, value: b as u128 }
+    }
+
+    pub fn as_const(&self) -> Option<u128> {
+        match self {
+            IrExpr::Const { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+}
+
+/// A keyset expression (select cases, const entries).
+#[derive(Clone, PartialEq, Debug)]
+pub enum IrKeyset {
+    Exact(IrExpr),
+    Mask { value: IrExpr, mask: IrExpr },
+    Range { lo: IrExpr, hi: IrExpr },
+    Dontcare,
+}
+
+/// An argument to an extern call.
+#[derive(Clone, PartialEq, Debug)]
+pub enum IrArg {
+    /// An input value.
+    In(IrExpr),
+    /// A flattened list expression (`{a, b, c}` in checksum/hash inputs).
+    InList(Vec<IrExpr>),
+    /// An output scalar l-value.
+    Out(Path, u32),
+    /// A struct or header passed by reference (externs may read/write
+    /// members); the executor resolves members below this path.
+    Ref(Path),
+}
+
+/// Statements.
+#[derive(Clone, PartialEq, Debug)]
+pub enum IrStmt {
+    /// Declare a fresh local slot. Reading it before assignment yields an
+    /// undefined value: a taint source in the symbolic executor, and a
+    /// target-specific default (0 on BMv2) in the concrete models.
+    DeclVar { id: StmtId, path: Path, width: u32 },
+    /// `path := value` (widths match).
+    Assign { id: StmtId, target: Path, width: u32, value: IrExpr },
+    If { id: StmtId, cond: IrExpr, then_s: Vec<IrStmt>, else_s: Vec<IrStmt> },
+    /// Apply a table.
+    ApplyTable { id: StmtId, table: String },
+    /// `switch (t.apply().action_run)`; case label `None` = default.
+    SwitchActionRun { id: StmtId, table: String, cases: Vec<(Option<String>, Vec<IrStmt>)> },
+    /// Parser `pkt.extract(hdr)`; `ty` is the header type name and
+    /// `varbit_len` the second argument (bits).
+    Extract { id: StmtId, header: Path, ty: String, varbit_len: Option<IrExpr> },
+    /// Parser `pkt.advance(n)`.
+    Advance { id: StmtId, bits: IrExpr },
+    /// Deparser `pkt.emit(hdr)` (also used for struct-recursive emission);
+    /// `ty` is the header type name.
+    Emit { id: StmtId, header: Path, ty: String },
+    /// `hdr.setValid()` / `hdr.setInvalid()`.
+    SetValid { id: StmtId, header: Path, valid: bool },
+    /// Direct action invocation with value arguments.
+    CallAction { id: StmtId, action: String, args: Vec<IrExpr> },
+    /// Extern function or method call; `instance` names the extern object
+    /// instantiation for method calls (e.g. a register).
+    ExternCall { id: StmtId, name: String, instance: Option<String>, args: Vec<IrArg> },
+    /// `stack.push_front(n)` / `pop_front(n)`.
+    StackOp { id: StmtId, stack: Path, push: bool, count: u32 },
+    Exit { id: StmtId },
+    Return { id: StmtId },
+}
+
+impl IrStmt {
+    pub fn id(&self) -> StmtId {
+        match self {
+            IrStmt::DeclVar { id, .. }
+            | IrStmt::Assign { id, .. }
+            | IrStmt::If { id, .. }
+            | IrStmt::ApplyTable { id, .. }
+            | IrStmt::SwitchActionRun { id, .. }
+            | IrStmt::Extract { id, .. }
+            | IrStmt::Advance { id, .. }
+            | IrStmt::Emit { id, .. }
+            | IrStmt::SetValid { id, .. }
+            | IrStmt::CallAction { id, .. }
+            | IrStmt::ExternCall { id, .. }
+            | IrStmt::StackOp { id, .. }
+            | IrStmt::Exit { id }
+            | IrStmt::Return { id } => *id,
+        }
+    }
+}
+
+/// A select case.
+#[derive(Clone, PartialEq, Debug)]
+pub struct IrSelectCase {
+    pub keysets: Vec<IrKeyset>,
+    pub next_state: String,
+}
+
+/// A parser transition.
+#[derive(Clone, PartialEq, Debug)]
+pub enum IrTransition {
+    /// `accept`, `reject`, or a state name.
+    Direct(String),
+    Select { keys: Vec<IrExpr>, cases: Vec<IrSelectCase> },
+}
+
+/// A parser state.
+#[derive(Clone, PartialEq, Debug)]
+pub struct IrState {
+    pub name: String,
+    pub stmts: Vec<IrStmt>,
+    pub transition: IrTransition,
+}
+
+/// A block parameter with its storage layout.
+#[derive(Clone, PartialEq, Debug)]
+pub struct IrParam {
+    pub name: String,
+    /// Direction as written; `out` parameters are reset on block entry.
+    pub direction: p4t_frontend::ast::Direction,
+    /// Type name for struct/header parameters, or None for packets.
+    pub ty: p4t_frontend::types::Type,
+}
+
+/// A parser block.
+#[derive(Clone, PartialEq, Debug)]
+pub struct IrParser {
+    pub name: String,
+    pub params: Vec<IrParam>,
+    pub states: HashMap<String, IrState>,
+}
+
+/// One key of a table.
+#[derive(Clone, PartialEq, Debug)]
+pub struct IrTableKey {
+    pub expr: IrExpr,
+    pub match_kind: String,
+    /// Control-plane name (from `@name` or the source text of the key).
+    pub name: String,
+}
+
+/// A reference to an action from a table.
+#[derive(Clone, PartialEq, Debug)]
+pub struct IrActionRef {
+    pub action: String,
+    pub default_only: bool,
+}
+
+/// A constant entry of a table.
+#[derive(Clone, PartialEq, Debug)]
+pub struct IrConstEntry {
+    pub keysets: Vec<IrKeyset>,
+    pub action: String,
+    pub args: Vec<IrExpr>,
+    pub priority: Option<u32>,
+}
+
+/// A table.
+#[derive(Clone, PartialEq, Debug)]
+pub struct IrTable {
+    pub name: String,
+    /// Fully qualified control-plane name (`control.table`).
+    pub control_plane_name: String,
+    pub keys: Vec<IrTableKey>,
+    pub actions: Vec<IrActionRef>,
+    pub default_action: String,
+    pub default_args: Vec<IrExpr>,
+    pub const_default: bool,
+    pub const_entries: Vec<IrConstEntry>,
+    pub size: u64,
+    /// The `@entry_restriction` P4-constraints source, if any.
+    pub entry_restriction: Option<String>,
+    pub annotations: Vec<Annotation>,
+}
+
+/// An action.
+#[derive(Clone, PartialEq, Debug)]
+pub struct IrAction {
+    pub name: String,
+    /// Control-plane (directionless) parameters: (name, width).
+    pub params: Vec<(String, u32)>,
+    pub body: Vec<IrStmt>,
+}
+
+/// An extern-object instantiation inside a control.
+#[derive(Clone, PartialEq, Debug)]
+pub struct IrInstance {
+    pub name: String,
+    pub extern_type: String,
+    /// Resolved type-argument widths (e.g. Register<bit<32>, bit<10>> → [32, 10]).
+    pub type_widths: Vec<u32>,
+    /// Constructor arguments that folded to constants.
+    pub ctor_args: Vec<u128>,
+}
+
+/// A control block.
+#[derive(Clone, PartialEq, Debug)]
+pub struct IrControl {
+    pub name: String,
+    pub params: Vec<IrParam>,
+    pub actions: HashMap<String, IrAction>,
+    pub tables: HashMap<String, IrTable>,
+    pub instances: Vec<IrInstance>,
+    pub apply: Vec<IrStmt>,
+}
+
+/// A programmable block.
+#[derive(Clone, PartialEq, Debug)]
+pub enum IrBlock {
+    Parser(IrParser),
+    Control(IrControl),
+}
+
+impl IrBlock {
+    pub fn name(&self) -> &str {
+        match self {
+            IrBlock::Parser(p) => &p.name,
+            IrBlock::Control(c) => &c.name,
+        }
+    }
+}
+
+/// Metadata about one coverable statement (for reports).
+#[derive(Clone, Debug)]
+pub struct StmtInfo {
+    pub id: StmtId,
+    pub block: String,
+    pub line: u32,
+    pub describe: String,
+}
+
+/// A complete lowered program.
+#[derive(Clone, Debug)]
+pub struct IrProgram {
+    /// The type environment from the frontend (field layouts, enums, ...).
+    pub env: TypeEnv,
+    pub blocks: HashMap<String, IrBlock>,
+    /// The package instantiation: package type name and the block name bound
+    /// to each package argument, in order.
+    pub package: String,
+    pub package_args: Vec<String>,
+    /// Statement table (after dead-code elimination) for coverage reports.
+    pub statements: Vec<StmtInfo>,
+}
+
+impl IrProgram {
+    pub fn parser(&self, name: &str) -> Option<&IrParser> {
+        match self.blocks.get(name)? {
+            IrBlock::Parser(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    pub fn control(&self, name: &str) -> Option<&IrControl> {
+        match self.blocks.get(name)? {
+            IrBlock::Control(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Total number of coverable statements.
+    pub fn num_statements(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// All tables across all controls.
+    pub fn all_tables(&self) -> impl Iterator<Item = &IrTable> {
+        self.blocks.values().filter_map(|b| match b {
+            IrBlock::Control(c) => Some(c.tables.values()),
+            _ => None,
+        }).flatten()
+    }
+}

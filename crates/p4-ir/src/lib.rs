@@ -1,0 +1,33 @@
+//! # p4t-ir — the p4testgen intermediate representation
+//!
+//! The paper's P4Testgen consumes the P4C IR after a series of midend
+//! transformations (§4 step 1): parser-loop bounding, elaboration of run-time
+//! header-stack indices into conditionals with constant indices, and general
+//! simplification. This crate provides the equivalent layer for our own
+//! frontend:
+//!
+//! * [`ir`] — the width-resolved, flattened IR interpreted by both the
+//!   symbolic executor (`p4testgen-core`) and the concrete software models
+//!   (`p4t-interp`). Every statement carries a coverage id.
+//! * [`mod@lower`] — AST → IR lowering, performing the midend elaborations.
+//! * [`passes`] — constant folding and dead-code elimination; the statement
+//!   table is rebuilt afterwards, matching the paper's "coverage after
+//!   dead-code elimination".
+
+pub mod ir;
+pub mod lower;
+pub mod passes;
+
+pub use ir::*;
+pub use lower::lower;
+pub use passes::{fold_expr, optimize};
+
+use p4t_frontend::error::FrontendError;
+
+/// Frontend + lowering + midend in one call.
+pub fn compile(source: &str) -> Result<IrProgram, FrontendError> {
+    let checked = p4t_frontend::frontend(source)?;
+    let mut prog = lower(&checked)?;
+    optimize(&mut prog);
+    Ok(prog)
+}

@@ -1,0 +1,1526 @@
+//! Lowering from the checked AST to the IR.
+//!
+//! This pass performs the paper's midend transformations (§4 step 1):
+//! resolving widths, flattening field paths, elaborating dynamic header-stack
+//! indices into conditional chains with constant indices, splitting
+//! read-modify-write slice assignments, hoisting value-returning extern calls
+//! out of expressions, and assigning coverage ids to statements.
+
+use crate::ir::*;
+use p4t_frontend::ast::{self, BinaryOp, Decl, Direction, Expr, Stmt, Transition, UnaryOp};
+use p4t_frontend::error::FrontendError;
+use p4t_frontend::token::Span;
+use p4t_frontend::typecheck::{const_eval, type_of_expr, CheckedProgram, Scope};
+use p4t_frontend::types::{Type, TypeEnv, ERROR_WIDTH};
+use std::collections::HashMap;
+
+/// Lower a checked program to IR.
+pub fn lower(checked: &CheckedProgram) -> Result<IrProgram, FrontendError> {
+    let mut lw = Lowerer {
+        env: &checked.env,
+        next_stmt: 0,
+        next_temp: 0,
+        statements: Vec::new(),
+        block: String::new(),
+    };
+    let mut blocks = HashMap::new();
+    for decl in &checked.program.decls {
+        match decl {
+            Decl::Parser(p) => {
+                let irp = lw.lower_parser(p)?;
+                blocks.insert(p.name.clone(), IrBlock::Parser(irp));
+            }
+            Decl::Control(c) => {
+                let irc = lw.lower_control(c)?;
+                blocks.insert(c.name.clone(), IrBlock::Control(irc));
+            }
+            _ => {}
+        }
+    }
+    let (package, package_args) = match checked.program.main_instantiation() {
+        Some(inst) => {
+            let pname = match &inst.ty {
+                ast::TypeRef::Named(n) | ast::TypeRef::Generic(n, _) => n.clone(),
+                _ => "main".to_string(),
+            };
+            let args = inst
+                .args
+                .iter()
+                .map(|a| match a {
+                    Expr::Call { callee, .. } => match callee.as_ref() {
+                        Expr::Ident { name, .. } => name.clone(),
+                        _ => String::new(),
+                    },
+                    Expr::Ident { name, .. } => name.clone(),
+                    _ => String::new(),
+                })
+                .collect();
+            (pname, args)
+        }
+        None => (String::new(), Vec::new()),
+    };
+    Ok(IrProgram {
+        env: checked.env.clone(),
+        blocks,
+        package,
+        package_args,
+        statements: lw.statements,
+    })
+}
+
+struct Lowerer<'a> {
+    env: &'a TypeEnv,
+    next_stmt: u32,
+    next_temp: u32,
+    statements: Vec<StmtInfo>,
+    block: String,
+}
+
+/// Per-block lowering context: variable scoping and name mangling.
+struct Ctx {
+    /// Type scope for expression typing.
+    scope: Scope,
+    /// Mapping from local names to mangled storage paths.
+    aliases: Vec<HashMap<String, Path>>,
+    /// Action signatures in the enclosing control.
+    actions: HashMap<String, Vec<ast::Param>>,
+    /// Extern object instantiations: name → extern type name.
+    instances: HashMap<String, String>,
+    /// True while lowering parser code (enables extract/advance/lookahead).
+    in_parser: bool,
+}
+
+impl Ctx {
+    fn new() -> Self {
+        Ctx {
+            scope: Scope::new(),
+            aliases: vec![HashMap::new()],
+            actions: HashMap::new(),
+            instances: HashMap::new(),
+            in_parser: false,
+        }
+    }
+
+    fn push(&mut self) {
+        self.scope.push();
+        self.aliases.push(HashMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.scope.pop();
+        self.aliases.pop();
+    }
+
+    fn alias_of(&self, name: &str) -> Option<&Path> {
+        self.aliases.iter().rev().find_map(|f| f.get(name))
+    }
+
+    fn declare(&mut self, name: &str, ty: Type, path: Path) {
+        self.scope.declare(name, ty);
+        self.aliases.last_mut().unwrap().insert(name.to_string(), path);
+    }
+}
+
+type LResult<T> = Result<T, FrontendError>;
+
+impl<'a> Lowerer<'a> {
+    fn stmt_id(&mut self, describe: impl Into<String>, span: Span) -> StmtId {
+        let id = StmtId(self.next_stmt);
+        self.next_stmt += 1;
+        self.statements.push(StmtInfo {
+            id,
+            block: self.block.clone(),
+            line: span.start.line,
+            describe: describe.into(),
+        });
+        id
+    }
+
+    fn temp(&mut self, width: u32) -> (Path, u32) {
+        let p = Path::new(format!("{}::$t{}", self.block, self.next_temp));
+        self.next_temp += 1;
+        (p, width)
+    }
+
+    fn type_of(&self, e: &Expr, ctx: &Ctx) -> LResult<Type> {
+        type_of_expr(self.env, e, &ctx.scope)
+    }
+
+    fn width_of_type(&self, t: &Type, span: Span) -> LResult<u32> {
+        t.width(self.env).ok_or_else(|| {
+            FrontendError::typecheck(span, format!("type {t} has no fixed width"))
+        })
+    }
+
+    // ---- blocks ------------------------------------------------------------
+
+    fn lower_params(&self, params: &[ast::Param]) -> LResult<Vec<IrParam>> {
+        params
+            .iter()
+            .map(|p| {
+                Ok(IrParam {
+                    name: p.name.clone(),
+                    direction: p.direction,
+                    ty: self.env.resolve(&p.ty, p.span)?,
+                })
+            })
+            .collect()
+    }
+
+    fn ctx_for_params(&self, params: &[ast::Param]) -> LResult<Ctx> {
+        let mut ctx = Ctx::new();
+        for p in params {
+            let t = self.env.resolve(&p.ty, p.span)?;
+            // Parameters keep their own name as storage path; the executor
+            // aliases them onto the target's pipeline state.
+            ctx.declare(&p.name, t, Path::new(p.name.clone()));
+        }
+        Ok(ctx)
+    }
+
+    fn lower_parser(&mut self, p: &ast::ParserDecl) -> LResult<IrParser> {
+        self.block = p.name.clone();
+        let mut ctx = self.ctx_for_params(&p.params)?;
+        ctx.in_parser = true;
+        // Parser locals.
+        let mut prelude = Vec::new();
+        for l in &p.locals {
+            self.lower_stmt(l, &mut ctx, &mut prelude)?;
+        }
+        let mut states = HashMap::new();
+        for st in &p.states {
+            ctx.push();
+            let mut stmts = if st.name == "start" { prelude.clone() } else { Vec::new() };
+            for s in &st.stmts {
+                self.lower_stmt(s, &mut ctx, &mut stmts)?;
+            }
+            let transition = match &st.transition {
+                Transition::Direct(n) => IrTransition::Direct(n.clone()),
+                Transition::Select { exprs, cases, .. } => {
+                    let keys: Vec<IrExpr> = exprs
+                        .iter()
+                        .map(|e| self.lower_expr(e, &mut ctx, &mut stmts, None))
+                        .collect::<LResult<_>>()?;
+                    let mut ircases = Vec::new();
+                    for c in cases {
+                        let mut keysets = Vec::new();
+                        if c.keys.len() == 1
+                            && matches!(c.keys[0], Expr::Dontcare { .. })
+                            && keys.len() > 1
+                        {
+                            keysets = vec![IrKeyset::Dontcare; keys.len()];
+                        } else {
+                            for (k, key_expr) in c.keys.iter().zip(&keys) {
+                                keysets.push(self.lower_keyset(
+                                    k,
+                                    key_expr.width(),
+                                    &mut ctx,
+                                    &mut stmts,
+                                )?);
+                            }
+                        }
+                        ircases.push(IrSelectCase { keysets, next_state: c.next_state.clone() });
+                    }
+                    IrTransition::Select { keys, cases: ircases }
+                }
+            };
+            ctx.pop();
+            states.insert(
+                st.name.clone(),
+                IrState { name: st.name.clone(), stmts, transition },
+            );
+        }
+        Ok(IrParser { name: p.name.clone(), params: self.lower_params(&p.params)?, states })
+    }
+
+    fn lower_control(&mut self, c: &ast::ControlDecl) -> LResult<IrControl> {
+        self.block = c.name.clone();
+        let mut ctx = self.ctx_for_params(&c.params)?;
+        for a in &c.actions {
+            ctx.actions.insert(a.name.clone(), a.params.clone());
+        }
+        ctx.actions.insert("NoAction".to_string(), Vec::new());
+        // Instantiations (registers, counters, ...).
+        let mut instances = Vec::new();
+        for inst in &c.instantiations {
+            let t = self.env.resolve(&inst.ty, inst.span)?;
+            let (ename, widths) = match &t {
+                Type::Extern { name, type_args } => {
+                    let widths = type_args
+                        .iter()
+                        .map(|ta| ta.width(self.env).unwrap_or(0))
+                        .collect();
+                    (name.clone(), widths)
+                }
+                other => {
+                    return Err(FrontendError::typecheck(
+                        inst.span,
+                        format!("cannot instantiate type {other}"),
+                    ))
+                }
+            };
+            let ctor_args = inst
+                .args
+                .iter()
+                .map(|a| const_eval(self.env, a).unwrap_or(0))
+                .collect();
+            ctx.declare(&inst.name, t, Path::new(format!("{}::{}", c.name, inst.name)));
+            ctx.instances.insert(inst.name.clone(), ename.clone());
+            instances.push(IrInstance {
+                name: format!("{}::{}", c.name, inst.name),
+                extern_type: ename,
+                type_widths: widths,
+                ctor_args,
+            });
+        }
+        // Control locals execute before apply; lower them into a prelude.
+        let mut apply = Vec::new();
+        for l in &c.locals {
+            self.lower_stmt(l, &mut ctx, &mut apply)?;
+        }
+        // Actions.
+        let mut actions = HashMap::new();
+        for a in &c.actions {
+            ctx.push();
+            let mut params = Vec::new();
+            for p in &a.params {
+                let t = self.env.resolve(&p.ty, p.span)?;
+                let w = self.width_of_type(&t, p.span)?;
+                let path = Path::new(format!("{}::{}::{}", c.name, a.name, p.name));
+                ctx.declare(&p.name, t, path);
+                params.push((p.name.clone(), w));
+            }
+            let mut body = Vec::new();
+            for s in &a.body {
+                self.lower_stmt(s, &mut ctx, &mut body)?;
+            }
+            ctx.pop();
+            actions.insert(a.name.clone(), IrAction { name: a.name.clone(), params, body });
+        }
+        actions.entry("NoAction".to_string()).or_insert(IrAction {
+            name: "NoAction".to_string(),
+            params: Vec::new(),
+            body: Vec::new(),
+        });
+        // Tables (need action info; keys typed in control scope).
+        let mut tables = HashMap::new();
+        for t in &c.tables {
+            ctx.scope.declare(&t.name, Type::Table(t.name.clone()));
+            let irt = self.lower_table(t, c, &mut ctx)?;
+            tables.insert(t.name.clone(), irt);
+        }
+        for s in &c.apply {
+            self.lower_stmt(s, &mut ctx, &mut apply)?;
+        }
+        Ok(IrControl {
+            name: c.name.clone(),
+            params: self.lower_params(&c.params)?,
+            actions,
+            tables,
+            instances,
+            apply,
+        })
+    }
+
+    fn lower_table(
+        &mut self,
+        t: &ast::TableDecl,
+        c: &ast::ControlDecl,
+        ctx: &mut Ctx,
+    ) -> LResult<IrTable> {
+        let mut hoist = Vec::new();
+        let mut keys = Vec::new();
+        for k in &t.keys {
+            let expr = self.lower_expr(&k.expr, ctx, &mut hoist, None)?;
+            let name = ast::find_annotation(&k.annotations, "name")
+                .and_then(|a| a.string_arg().map(str::to_string))
+                .unwrap_or_else(|| describe_expr(&k.expr));
+            keys.push(IrTableKey { expr, match_kind: k.match_kind.clone(), name });
+        }
+        if !hoist.is_empty() {
+            return Err(FrontendError::typecheck(
+                t.span,
+                "table keys with side effects are not supported",
+            ));
+        }
+        let actions: Vec<IrActionRef> = t
+            .actions
+            .iter()
+            .map(|a| IrActionRef {
+                action: a.name.clone(),
+                default_only: ast::find_annotation(&a.annotations, "defaultonly").is_some(),
+            })
+            .collect();
+        let (default_action, default_args, const_default) = match &t.default_action {
+            Some((name, args, is_const)) => {
+                let mut dargs = Vec::new();
+                let sig = ctx.actions.get(name).cloned().unwrap_or_default();
+                for (arg, p) in args.iter().zip(&sig) {
+                    let w = self.width_of_type(&self.env.resolve(&p.ty, p.span)?, p.span)?;
+                    dargs.push(self.lower_expr(arg, ctx, &mut hoist, Some(w))?);
+                }
+                (name.clone(), dargs, *is_const)
+            }
+            None => ("NoAction".to_string(), Vec::new(), false),
+        };
+        let mut const_entries = Vec::new();
+        for e in &t.entries {
+            let mut keysets = Vec::new();
+            for (k, tk) in e.keys.iter().zip(&keys) {
+                keysets.push(self.lower_keyset(k, tk.expr.width(), ctx, &mut hoist)?);
+            }
+            let sig = ctx.actions.get(&e.action).cloned().unwrap_or_default();
+            let mut args = Vec::new();
+            for (arg, p) in e.args.iter().zip(&sig) {
+                let w = self.width_of_type(&self.env.resolve(&p.ty, p.span)?, p.span)?;
+                args.push(self.lower_expr(arg, ctx, &mut hoist, Some(w))?);
+            }
+            let priority = ast::find_annotation(&e.annotations, "priority")
+                .and_then(|a| a.int_arg())
+                .map(|v| v as u32);
+            const_entries.push(IrConstEntry { keysets, action: e.action.clone(), args, priority });
+        }
+        let entry_restriction = ast::find_annotation(&t.annotations, "entry_restriction")
+            .and_then(|a| a.string_arg().map(str::to_string));
+        let control_plane_name = ast::find_annotation(&t.annotations, "name")
+            .and_then(|a| a.string_arg().map(str::to_string))
+            .unwrap_or_else(|| format!("{}.{}", c.name, t.name));
+        Ok(IrTable {
+            name: t.name.clone(),
+            control_plane_name,
+            keys,
+            actions,
+            default_action,
+            default_args,
+            const_default,
+            const_entries,
+            size: t.size.unwrap_or(1024),
+            entry_restriction,
+            annotations: t.annotations.clone(),
+        })
+    }
+
+    // ---- statements ---------------------------------------------------------
+
+    fn lower_stmt(&mut self, s: &Stmt, ctx: &mut Ctx, out: &mut Vec<IrStmt>) -> LResult<()> {
+        match s {
+            Stmt::Empty { .. } => Ok(()),
+            Stmt::Block { stmts, .. } => {
+                ctx.push();
+                for st in stmts {
+                    self.lower_stmt(st, ctx, out)?;
+                }
+                ctx.pop();
+                Ok(())
+            }
+            Stmt::ConstDecl { ty, name, init, span } => {
+                let t = self.env.resolve(ty, *span)?;
+                let w = self.width_of_type(&t, *span)?;
+                let path = Path::new(format!("{}::{}", self.block, name));
+                let value = self.lower_expr(init, ctx, out, Some(w))?;
+                let id = self.stmt_id(format!("const {name}"), *span);
+                ctx.declare(name, t, path.clone());
+                out.push(IrStmt::Assign { id, target: path, width: w, value });
+                Ok(())
+            }
+            Stmt::VarDecl { ty, name, init, span } => {
+                let t = self.env.resolve(ty, *span)?;
+                let path = Path::new(format!("{}::{}", self.block, name));
+                match &t {
+                    Type::Struct(tn) | Type::Header(tn) => {
+                        // Aggregate local: declare each leaf slot.
+                        let id = self.stmt_id(format!("decl {name}"), *span);
+                        for (leaf, w) in self.leaves_of(tn, &path)? {
+                            out.push(IrStmt::DeclVar { id, path: leaf, width: w });
+                        }
+                        if matches!(t, Type::Header(_)) {
+                            out.push(IrStmt::Assign {
+                                id,
+                                target: path.valid(),
+                                width: 1,
+                                value: IrExpr::bool_const(false),
+                            });
+                        }
+                        ctx.declare(name, t, path);
+                        if init.is_some() {
+                            return Err(FrontendError::typecheck(
+                                *span,
+                                "aggregate initializers are not supported",
+                            ));
+                        }
+                    }
+                    _ => {
+                        let w = self.width_of_type(&t, *span)?;
+                        let id = self.stmt_id(format!("decl {name}"), *span);
+                        match init {
+                            Some(e) => {
+                                let value = self.lower_expr(e, ctx, out, Some(w))?;
+                                out.push(IrStmt::Assign { id, target: path.clone(), width: w, value });
+                            }
+                            None => out.push(IrStmt::DeclVar { id, path: path.clone(), width: w }),
+                        }
+                        ctx.declare(name, t, path);
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Assign { lhs, rhs, span } => self.lower_assign(lhs, rhs, *span, ctx, out),
+            Stmt::If { cond, then_s, else_s, span } => {
+                let c = self.lower_expr(cond, ctx, out, Some(1))?;
+                ctx.push();
+                let then_ir = {
+                    let mut v = Vec::new();
+                    self.lower_stmt(then_s, ctx, &mut v)?;
+                    v
+                };
+                ctx.pop();
+                ctx.push();
+                let else_ir = match else_s {
+                    Some(e) => {
+                        let mut v = Vec::new();
+                        self.lower_stmt(e, ctx, &mut v)?;
+                        v
+                    }
+                    None => Vec::new(),
+                };
+                ctx.pop();
+                let id = self.stmt_id("if", *span);
+                out.push(IrStmt::If { id, cond: c, then_s: then_ir, else_s: else_ir });
+                Ok(())
+            }
+            Stmt::Switch { scrutinee, cases, span } => {
+                // Must be `table.apply().action_run`.
+                let table = match scrutinee {
+                    Expr::Member { base, member, .. } if member == "action_run" => {
+                        match base.as_ref() {
+                            Expr::Call { callee, .. } => match callee.as_ref() {
+                                Expr::Member { base, member, .. } if member == "apply" => {
+                                    match base.as_ref() {
+                                        Expr::Ident { name, .. } => name.clone(),
+                                        _ => {
+                                            return Err(FrontendError::typecheck(
+                                                *span,
+                                                "switch scrutinee must be table.apply().action_run",
+                                            ))
+                                        }
+                                    }
+                                }
+                                _ => {
+                                    return Err(FrontendError::typecheck(
+                                        *span,
+                                        "switch scrutinee must be table.apply().action_run",
+                                    ))
+                                }
+                            },
+                            _ => {
+                                return Err(FrontendError::typecheck(
+                                    *span,
+                                    "switch scrutinee must be table.apply().action_run",
+                                ))
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(FrontendError::typecheck(
+                            *span,
+                            "switch scrutinee must be table.apply().action_run",
+                        ))
+                    }
+                };
+                let mut ircases: Vec<(Option<String>, Vec<IrStmt>)> = Vec::new();
+                let mut pending: Vec<Option<String>> = Vec::new();
+                for case in cases {
+                    pending.push(case.label.clone());
+                    if let Some(body) = &case.body {
+                        ctx.push();
+                        let mut v = Vec::new();
+                        self.lower_stmt(body, ctx, &mut v)?;
+                        ctx.pop();
+                        for label in pending.drain(..) {
+                            ircases.push((label, v.clone()));
+                        }
+                    }
+                }
+                // Trailing fallthrough labels with no body execute nothing.
+                for label in pending {
+                    ircases.push((label, Vec::new()));
+                }
+                let id = self.stmt_id(format!("switch {table}"), *span);
+                out.push(IrStmt::SwitchActionRun { id, table, cases: ircases });
+                Ok(())
+            }
+            Stmt::Exit { span } => {
+                let id = self.stmt_id("exit", *span);
+                out.push(IrStmt::Exit { id });
+                Ok(())
+            }
+            Stmt::Return { span } => {
+                let id = self.stmt_id("return", *span);
+                out.push(IrStmt::Return { id });
+                Ok(())
+            }
+            Stmt::Call { call, span } => self.lower_call_stmt(call, *span, ctx, out),
+        }
+    }
+
+    fn lower_assign(
+        &mut self,
+        lhs: &Expr,
+        rhs: &Expr,
+        span: Span,
+        ctx: &mut Ctx,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<()> {
+        let lt = self.type_of(lhs, ctx)?;
+        // Aggregate copy: field-wise.
+        if let Type::Struct(tn) | Type::Header(tn) = &lt {
+            let dst = self.lvalue_path(lhs, ctx, out)?;
+            let src = self.lvalue_path(rhs, ctx, out)?;
+            let id = self.stmt_id(format!("copy {dst}"), span);
+            for (leaf, w) in self.leaves_of(tn, &Path::new(""))? {
+                let rel = leaf.as_str().trim_start_matches('.');
+                let d = Path::new(format!("{}.{}", dst, rel));
+                let s = Path::new(format!("{}.{}", src, rel));
+                out.push(IrStmt::Assign {
+                    id,
+                    target: d,
+                    width: w,
+                    value: IrExpr::Read { path: s, width: w },
+                });
+            }
+            if matches!(lt, Type::Header(_)) {
+                out.push(IrStmt::Assign {
+                    id,
+                    target: dst.valid(),
+                    width: 1,
+                    value: IrExpr::Read { path: src.valid(), width: 1 },
+                });
+            }
+            return Ok(());
+        }
+        let w = self.width_of_type(&lt, span)?;
+        // Slice target: read-modify-write.
+        if let Expr::Slice { base, hi, lo, .. } = lhs {
+            let (Some(h), Some(l)) = (const_eval(self.env, hi), const_eval(self.env, lo)) else {
+                return Err(FrontendError::typecheck(span, "slice bounds must be constant"));
+            };
+            let (h, l) = (h as u32, l as u32);
+            let bt = self.type_of(base, ctx)?;
+            let bw = self.width_of_type(&bt, span)?;
+            let path = self.lvalue_path(base, ctx, out)?;
+            let value = self.lower_expr(rhs, ctx, out, Some(h - l + 1))?;
+            let old = IrExpr::Read { path: path.clone(), width: bw };
+            let mut parts: Vec<IrExpr> = Vec::new();
+            if h + 1 < bw {
+                parts.push(IrExpr::Slice { base: Box::new(old.clone()), hi: bw - 1, lo: h + 1 });
+            }
+            parts.push(value);
+            if l > 0 {
+                parts.push(IrExpr::Slice { base: Box::new(old), hi: l - 1, lo: 0 });
+            }
+            let combined = concat_all(parts);
+            let id = self.stmt_id(format!("assign {path}[{h}:{l}]"), span);
+            out.push(IrStmt::Assign { id, target: path, width: bw, value: combined });
+            return Ok(());
+        }
+        let value = self.lower_expr(rhs, ctx, out, Some(w))?;
+        let target = self.lvalue_path(lhs, ctx, out)?;
+        let id = self.stmt_id(format!("assign {target}"), span);
+        out.push(IrStmt::Assign { id, target, width: w, value });
+        Ok(())
+    }
+
+    /// Resolve an l-value expression to a flattened path. Dynamic stack
+    /// indices are rejected here; callers that support them elaborate first.
+    #[allow(clippy::only_used_in_recursion)]
+    fn lvalue_path(&mut self, e: &Expr, ctx: &mut Ctx, out: &mut Vec<IrStmt>) -> LResult<Path> {
+        match e {
+            Expr::Ident { name, span } => match ctx.alias_of(name) {
+                Some(p) => Ok(p.clone()),
+                None => Err(FrontendError::typecheck(*span, format!("unknown variable '{name}'"))),
+            },
+            Expr::Member { base, member, span } => {
+                let bt = self.type_of(base, ctx)?;
+                match (&bt, member.as_str()) {
+                    (Type::Stack(_, n), "next" | "last") => {
+                        // Elaborated by callers (extract); for reads we build
+                        // a mux chain elsewhere. As a path this is only valid
+                        // when the index is statically known — reject.
+                        let _ = n;
+                        Err(FrontendError::typecheck(
+                            *span,
+                            "stack .next/.last cannot be used as a plain l-value here",
+                        ))
+                    }
+                    _ => {
+                        let bp = self.lvalue_path(base, ctx, out)?;
+                        Ok(bp.child(member))
+                    }
+                }
+            }
+            Expr::Index { base, index, span } => {
+                let bp = self.lvalue_path(base, ctx, out)?;
+                match const_eval(self.env, index) {
+                    Some(i) => Ok(bp.indexed(i as u32)),
+                    None => Err(FrontendError::typecheck(
+                        *span,
+                        "dynamic stack index as assignment target is not supported",
+                    )),
+                }
+            }
+            other => Err(FrontendError::typecheck(
+                other.span(),
+                "expression is not a valid l-value",
+            )),
+        }
+    }
+
+    /// Leaf scalar slots of a struct/header type relative to `base`:
+    /// `(path, width)` pairs, including nested structs, headers (validity
+    /// slots included for nested headers), and stacks.
+    fn leaves_of(&self, type_name: &str, base: &Path) -> LResult<Vec<(Path, u32)>> {
+        let mut out = Vec::new();
+        self.collect_leaves(type_name, base, &mut out)?;
+        Ok(out)
+    }
+
+    fn collect_leaves(
+        &self,
+        type_name: &str,
+        base: &Path,
+        out: &mut Vec<(Path, u32)>,
+    ) -> LResult<()> {
+        let fields = self.env.fields_of(type_name).ok_or_else(|| {
+            FrontendError::typecheck(Span::default(), format!("unknown aggregate '{type_name}'"))
+        })?;
+        for f in fields {
+            let fp = base.child(&f.name);
+            match &f.ty {
+                Type::Struct(sn) => self.collect_leaves(sn, &fp, out)?,
+                Type::Header(hn) => {
+                    out.push((fp.valid(), 1));
+                    self.collect_leaves(hn, &fp, out)?;
+                }
+                Type::Stack(elem, n) => {
+                    if let Type::Header(hn) = elem.as_ref() {
+                        out.push((fp.next_index(), 32));
+                        for i in 0..*n {
+                            let ep = fp.indexed(i);
+                            out.push((ep.valid(), 1));
+                            self.collect_leaves(hn, &ep, out)?;
+                        }
+                    }
+                }
+                t => {
+                    let w = t.width(self.env).ok_or_else(|| {
+                        FrontendError::typecheck(
+                            Span::default(),
+                            format!("field {fp} has no width"),
+                        )
+                    })?;
+                    out.push((fp, w));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- calls ---------------------------------------------------------------
+
+    fn lower_call_stmt(
+        &mut self,
+        call: &Expr,
+        span: Span,
+        ctx: &mut Ctx,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<()> {
+        let Expr::Call { callee, args, type_args: _, .. } = call else {
+            return Err(FrontendError::typecheck(span, "expected call"));
+        };
+        match callee.as_ref() {
+            Expr::Member { base, member, .. } => {
+                let bt = self.type_of(base, ctx)?;
+                match (&bt, member.as_str()) {
+                    (Type::PacketIn, "extract") => self.lower_extract(args, span, ctx, out),
+                    (Type::PacketIn, "advance") => {
+                        let bits = self.lower_expr(&args[0], ctx, out, Some(32))?;
+                        let id = self.stmt_id("advance", span);
+                        out.push(IrStmt::Advance { id, bits });
+                        Ok(())
+                    }
+                    (Type::PacketOut, "emit") => {
+                        let ht = self.type_of(&args[0], ctx)?;
+                        let hp = self.lvalue_path(&args[0], ctx, out)?;
+                        let id = self.stmt_id(format!("emit {hp}"), span);
+                        match ht {
+                            Type::Header(hn) => {
+                                out.push(IrStmt::Emit { id, header: hp, ty: hn })
+                            }
+                            Type::Struct(sn) => {
+                                // Emit each nested header in declaration order.
+                                self.emit_struct(&sn, &hp, id, out)?;
+                            }
+                            Type::Stack(elem, n) => {
+                                if let Type::Header(hn) = elem.as_ref() {
+                                    for i in 0..n {
+                                        out.push(IrStmt::Emit {
+                                            id,
+                                            header: hp.indexed(i),
+                                            ty: hn.clone(),
+                                        });
+                                    }
+                                }
+                            }
+                            other => {
+                                return Err(FrontendError::typecheck(
+                                    span,
+                                    format!("cannot emit value of type {other}"),
+                                ))
+                            }
+                        }
+                        Ok(())
+                    }
+                    (Type::Header(_), "setValid" | "setInvalid") => {
+                        let hp = self.lvalue_path(base, ctx, out)?;
+                        let valid = member == "setValid";
+                        let id = self.stmt_id(format!("{member} {hp}"), span);
+                        out.push(IrStmt::SetValid { id, header: hp, valid });
+                        Ok(())
+                    }
+                    (Type::Table(tname), "apply") => {
+                        let id = self.stmt_id(format!("apply {tname}"), span);
+                        out.push(IrStmt::ApplyTable { id, table: tname.clone() });
+                        Ok(())
+                    }
+                    (Type::Stack(_, _), "push_front" | "pop_front") => {
+                        let sp = self.lvalue_path(base, ctx, out)?;
+                        let count = const_eval(self.env, &args[0]).unwrap_or(1) as u32;
+                        let id = self.stmt_id(format!("{member} {sp}"), span);
+                        out.push(IrStmt::StackOp { id, stack: sp, push: member == "push_front", count });
+                        Ok(())
+                    }
+                    (Type::Extern { name, type_args }, m) => {
+                        let sig = self.env.extern_method(name, type_args, m).ok_or_else(|| {
+                            FrontendError::typecheck(span, format!("unknown method {m} on {name}"))
+                        })?;
+                        let inst = match base.as_ref() {
+                            Expr::Ident { name, .. } => ctx
+                                .alias_of(name)
+                                .map(|p| p.as_str().to_string())
+                                .unwrap_or_else(|| name.clone()),
+                            _ => String::new(),
+                        };
+                        let irargs = self.lower_extern_args(&sig.params, args, ctx, out)?;
+                        let id = self.stmt_id(format!("extern {m}"), span);
+                        out.push(IrStmt::ExternCall {
+                            id,
+                            name: m.to_string(),
+                            instance: Some(inst),
+                            args: irargs,
+                        });
+                        Ok(())
+                    }
+                    (other, m) => Err(FrontendError::typecheck(
+                        span,
+                        format!("cannot call method {m} on {other}"),
+                    )),
+                }
+            }
+            Expr::Ident { name, .. } => {
+                // verify() is core-P4 in parsers.
+                if name == "verify" && args.len() == 2 {
+                    let cond = self.lower_expr(&args[0], ctx, out, Some(1))?;
+                    let code = const_eval(self.env, &args[1]).unwrap_or(0);
+                    let id = self.stmt_id("verify", span);
+                    let err_call = IrStmt::ExternCall {
+                        id,
+                        name: "$parser_error".to_string(),
+                        instance: None,
+                        args: vec![IrArg::In(IrExpr::Const { width: ERROR_WIDTH, value: code })],
+                    };
+                    out.push(IrStmt::If {
+                        id,
+                        cond: IrExpr::Unary { op: IrUnOp::Not, arg: Box::new(cond), width: 1 },
+                        then_s: vec![err_call],
+                        else_s: Vec::new(),
+                    });
+                    return Ok(());
+                }
+                if let Some(sig) = ctx.actions.get(name).cloned() {
+                    // Direct action call with value arguments.
+                    let mut irargs = Vec::new();
+                    for (arg, p) in args.iter().zip(&sig) {
+                        let t = self.env.resolve(&p.ty, p.span)?;
+                        let w = self.width_of_type(&t, p.span)?;
+                        irargs.push(self.lower_expr(arg, ctx, out, Some(w))?);
+                    }
+                    let id = self.stmt_id(format!("call {name}"), span);
+                    out.push(IrStmt::CallAction { id, action: name.clone(), args: irargs });
+                    return Ok(());
+                }
+                if let Some(sig) = self.env.extern_fns.get(name).cloned() {
+                    let irargs = self.lower_extern_args(&sig.params, args, ctx, out)?;
+                    let id = self.stmt_id(format!("extern {name}"), span);
+                    out.push(IrStmt::ExternCall { id, name: name.clone(), instance: None, args: irargs });
+                    return Ok(());
+                }
+                Err(FrontendError::typecheck(span, format!("unknown function '{name}'")))
+            }
+            other => Err(FrontendError::typecheck(
+                span,
+                format!("cannot lower call to {other:?}"),
+            )),
+        }
+    }
+
+    fn emit_struct(
+        &mut self,
+        struct_name: &str,
+        base: &Path,
+        id: StmtId,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<()> {
+        let fields = self
+            .env
+            .fields_of(struct_name)
+            .ok_or_else(|| {
+                FrontendError::typecheck(Span::default(), format!("unknown struct {struct_name}"))
+            })?
+            .to_vec();
+        for f in fields {
+            let fp = base.child(&f.name);
+            match &f.ty {
+                Type::Header(hn) => {
+                    out.push(IrStmt::Emit { id, header: fp, ty: hn.clone() })
+                }
+                Type::Struct(sn) => self.emit_struct(sn, &fp, id, out)?,
+                Type::Stack(elem, n) => {
+                    if let Type::Header(hn) = elem.as_ref() {
+                        for i in 0..*n {
+                            out.push(IrStmt::Emit { id, header: fp.indexed(i), ty: hn.clone() });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_extract(
+        &mut self,
+        args: &[Expr],
+        span: Span,
+        ctx: &mut Ctx,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<()> {
+        let varbit_len = if args.len() == 2 {
+            Some(self.lower_expr(&args[1], ctx, out, Some(32))?)
+        } else {
+            None
+        };
+        let target = &args[0];
+        // extract(stack.next): elaborate into a conditional chain over the
+        // constant indices (the paper's midend transformation).
+        if let Expr::Member { base, member, .. } = target {
+            let bt = self.type_of(base, ctx)?;
+            if let (Type::Stack(elem, n), "next") = (&bt, member.as_str()) {
+                let n = *n;
+                let Type::Header(elem_ty) = elem.as_ref().clone() else {
+                    return Err(FrontendError::typecheck(span, "stack of non-headers"));
+                };
+                let sp = self.lvalue_path(base, ctx, out)?;
+                let id = self.stmt_id(format!("extract {sp}.next"), span);
+                let next = IrExpr::Read { path: sp.next_index(), width: 32 };
+                // else-branch: StackOutOfBounds parser error.
+                let overflow = vec![IrStmt::ExternCall {
+                    id,
+                    name: "$parser_error".to_string(),
+                    instance: None,
+                    args: vec![IrArg::In(IrExpr::Const {
+                        width: ERROR_WIDTH,
+                        value: self.env.error_code("StackOutOfBounds").unwrap_or(3) as u128,
+                    })],
+                }];
+                let mut chain = overflow;
+                for i in (0..n).rev() {
+                    let cond = IrExpr::Binary {
+                        op: IrBinOp::Eq,
+                        lhs: Box::new(next.clone()),
+                        rhs: Box::new(IrExpr::Const { width: 32, value: i as u128 }),
+                        width: 1,
+                    };
+                    let body = vec![
+                        IrStmt::Extract {
+                            id,
+                            header: sp.indexed(i),
+                            ty: elem_ty.clone(),
+                            varbit_len: varbit_len.clone(),
+                        },
+                        IrStmt::Assign {
+                            id,
+                            target: sp.next_index(),
+                            width: 32,
+                            value: IrExpr::Const { width: 32, value: (i + 1) as u128 },
+                        },
+                    ];
+                    chain = vec![IrStmt::If { id, cond, then_s: body, else_s: chain }];
+                }
+                out.extend(chain);
+                return Ok(());
+            }
+        }
+        let Type::Header(hty) = self.type_of(target, ctx)? else {
+            return Err(FrontendError::typecheck(span, "extract target must be a header"));
+        };
+        let hp = self.lvalue_path(target, ctx, out)?;
+        let id = self.stmt_id(format!("extract {hp}"), span);
+        out.push(IrStmt::Extract { id, header: hp, ty: hty, varbit_len });
+        Ok(())
+    }
+
+    fn lower_extern_args(
+        &mut self,
+        params: &[ast::Param],
+        args: &[Expr],
+        ctx: &mut Ctx,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<Vec<IrArg>> {
+        let mut irargs = Vec::new();
+        for (p, a) in params.iter().zip(args) {
+            let at = self.type_of(a, ctx)?;
+            match p.direction {
+                Direction::Out | Direction::InOut => match &at {
+                    Type::Struct(_) | Type::Header(_) => {
+                        let path = self.lvalue_path(a, ctx, out)?;
+                        irargs.push(IrArg::Ref(path));
+                    }
+                    t => {
+                        let w = self.width_of_type(t, p.span)?;
+                        let path = self.lvalue_path(a, ctx, out)?;
+                        irargs.push(IrArg::Out(path, w));
+                    }
+                },
+                _ => match a {
+                    Expr::List { items, .. } => {
+                        let mut parts = Vec::new();
+                        for item in items {
+                            parts.push(self.lower_expr(item, ctx, out, None)?);
+                        }
+                        irargs.push(IrArg::InList(parts));
+                    }
+                    _ => match &at {
+                        Type::Struct(_) | Type::Header(_) => {
+                            let path = self.lvalue_path(a, ctx, out)?;
+                            irargs.push(IrArg::Ref(path));
+                        }
+                        _ => {
+                            let e = self.lower_expr(a, ctx, out, None)?;
+                            irargs.push(IrArg::In(e));
+                        }
+                    },
+                },
+            }
+        }
+        Ok(irargs)
+    }
+
+    // ---- expressions ----------------------------------------------------------
+
+    fn lower_keyset(
+        &mut self,
+        e: &Expr,
+        width: u32,
+        ctx: &mut Ctx,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<IrKeyset> {
+        Ok(match e {
+            Expr::Dontcare { .. } => IrKeyset::Dontcare,
+            Expr::Mask { value, mask, .. } => IrKeyset::Mask {
+                value: self.lower_expr(value, ctx, out, Some(width))?,
+                mask: self.lower_expr(mask, ctx, out, Some(width))?,
+            },
+            Expr::Range { lo, hi, .. } => IrKeyset::Range {
+                lo: self.lower_expr(lo, ctx, out, Some(width))?,
+                hi: self.lower_expr(hi, ctx, out, Some(width))?,
+            },
+            other => IrKeyset::Exact(self.lower_expr(other, ctx, out, Some(width))?),
+        })
+    }
+
+    fn lower_expr(
+        &mut self,
+        e: &Expr,
+        ctx: &mut Ctx,
+        out: &mut Vec<IrStmt>,
+        ctx_width: Option<u32>,
+    ) -> LResult<IrExpr> {
+        let span = e.span();
+        match e {
+            Expr::Int { value, width, .. } => {
+                let w = width
+                    .or(ctx_width)
+                    .ok_or_else(|| {
+                        FrontendError::typecheck(span, "cannot infer width of integer literal")
+                    })?;
+                let masked = if w >= 128 { *value } else { *value & ((1u128 << w) - 1) };
+                Ok(IrExpr::Const { width: w, value: masked })
+            }
+            Expr::Bool { value, .. } => Ok(IrExpr::bool_const(*value)),
+            Expr::Str { .. } => Err(FrontendError::typecheck(span, "string in expression")),
+            Expr::Dontcare { .. } => Err(FrontendError::typecheck(span, "dontcare in expression")),
+            Expr::Ident { name, .. } => {
+                if let Some(p) = ctx.alias_of(name) {
+                    let t = ctx.scope.lookup(name).cloned().unwrap();
+                    let w = self.width_of_type(&t, span)?;
+                    return Ok(IrExpr::Read { path: p.clone(), width: w });
+                }
+                if let Some((t, v)) = self.env.consts.get(name) {
+                    let w = t.width(self.env).or(ctx_width).unwrap_or(32);
+                    return Ok(IrExpr::Const { width: w, value: *v });
+                }
+                Err(FrontendError::typecheck(span, format!("unknown name '{name}'")))
+            }
+            Expr::Member { base, member, .. } => {
+                // error.X
+                if let Expr::Ident { name, .. } = base.as_ref() {
+                    if name == "error" {
+                        let code = self.env.error_code(member).ok_or_else(|| {
+                            FrontendError::typecheck(span, format!("unknown error {member}"))
+                        })?;
+                        return Ok(IrExpr::Const { width: ERROR_WIDTH, value: code as u128 });
+                    }
+                    if ctx.scope.lookup(name).is_none() {
+                        if let Some((v, repr)) = self.env.enum_value(name, member) {
+                            return Ok(IrExpr::Const { width: repr, value: v });
+                        }
+                    }
+                }
+                let bt = self.type_of(base, ctx)?;
+                // `t.apply().hit` / `.miss`: lower the base (hoisting the
+                // ApplyTable statement), then read the synthetic hit slot.
+                if let Type::ApplyResult { table } = &bt {
+                    let table = table.clone();
+                    let _ = self.lower_expr(base, ctx, out, Some(1))?;
+                    let hit = IrExpr::Read {
+                        path: Path::new(format!("{table}.$hit")),
+                        width: 1,
+                    };
+                    return Ok(match member.as_str() {
+                        "hit" => hit,
+                        "miss" => IrExpr::Unary { op: IrUnOp::Not, arg: Box::new(hit), width: 1 },
+                        other => {
+                            return Err(FrontendError::typecheck(
+                                span,
+                                format!("unknown apply-result member '{other}'"),
+                            ))
+                        }
+                    });
+                }
+                match (&bt, member.as_str()) {
+                    (Type::Stack(elem, n), "last") => {
+                        let ew = self.width_of_type(elem, span)?;
+                        let sp = self.lvalue_path(base, ctx, out)?;
+                        self.stack_element_mux(&sp, *n, ew, true)
+                    }
+                    (Type::Stack(_, _), "lastIndex") => {
+                        let sp = self.lvalue_path(base, ctx, out)?;
+                        Ok(IrExpr::Binary {
+                            op: IrBinOp::Sub,
+                            lhs: Box::new(IrExpr::Read { path: sp.next_index(), width: 32 }),
+                            rhs: Box::new(IrExpr::Const { width: 32, value: 1 }),
+                            width: 32,
+                        })
+                    }
+                    (Type::Stack(_, n), "size") => {
+                        Ok(IrExpr::Const { width: ctx_width.unwrap_or(32), value: *n as u128 })
+                    }
+                    _ => {
+                        // Field read through `stack.last.field` / `.next.field`:
+                        // mux chain over the constant element indices.
+                        if let Expr::Member { base: sbase, member: smember, .. } = base.as_ref() {
+                            if smember == "last" || smember == "next" {
+                                if let Type::Stack(_, n) = self.type_of(sbase, ctx)? {
+                                    let t = type_of_expr(self.env, e, &ctx.scope)?;
+                                    let w = self.width_of_type(&t, span)?;
+                                    let sp = self.lvalue_path(sbase, ctx, out)?;
+                                    return self.stack_field_mux(
+                                        &sp,
+                                        n,
+                                        member,
+                                        w,
+                                        smember == "last",
+                                    );
+                                }
+                            }
+                        }
+                        let t = type_of_expr(self.env, e, &ctx.scope)?;
+                        let w = self.width_of_type(&t, span)?;
+                        let p = self.lvalue_path(e, ctx, out)?;
+                        Ok(IrExpr::Read { path: p, width: w })
+                    }
+                }
+            }
+            Expr::Index { base, index, .. } => {
+                let bt = self.type_of(base, ctx)?;
+                let Type::Stack(elem, n) = &bt else {
+                    return Err(FrontendError::typecheck(span, "index on non-stack"));
+                };
+                let ew = self.width_of_type(elem, span)?;
+                let sp = self.lvalue_path(base, ctx, out)?;
+                match const_eval(self.env, index) {
+                    Some(i) => {
+                        // Whole-header reads are rare; read as concatenation of
+                        // fields is not needed — field access continues below
+                        // via lvalue_path, so a direct Read of the element
+                        // path only appears for scalar stacks.
+                        Ok(IrExpr::Read { path: sp.indexed(i as u32), width: ew })
+                    }
+                    None => {
+                        // Dynamic index read: mux chain over constant indices.
+                        let idx = self.lower_expr(index, ctx, out, Some(32))?;
+                        let mut acc = IrExpr::Const { width: ew, value: 0 };
+                        for i in (0..*n).rev() {
+                            let cond = IrExpr::Binary {
+                                op: IrBinOp::Eq,
+                                lhs: Box::new(idx.clone()),
+                                rhs: Box::new(IrExpr::Const {
+                                    width: idx.width(),
+                                    value: i as u128,
+                                }),
+                                width: 1,
+                            };
+                            acc = IrExpr::Mux {
+                                cond: Box::new(cond),
+                                then_e: Box::new(IrExpr::Read {
+                                    path: sp.indexed(i),
+                                    width: ew,
+                                }),
+                                else_e: Box::new(acc),
+                                width: ew,
+                            };
+                        }
+                        Ok(acc)
+                    }
+                }
+            }
+            Expr::Slice { base, hi, lo, .. } => {
+                let (Some(h), Some(l)) = (const_eval(self.env, hi), const_eval(self.env, lo))
+                else {
+                    return Err(FrontendError::typecheck(span, "slice bounds must be constant"));
+                };
+                let b = self.lower_expr(base, ctx, out, None)?;
+                Ok(IrExpr::Slice { base: Box::new(b), hi: h as u32, lo: l as u32 })
+            }
+            Expr::Unary { op, arg, .. } => {
+                let a = self.lower_expr(arg, ctx, out, ctx_width)?;
+                let w = a.width();
+                Ok(match op {
+                    UnaryOp::Not | UnaryOp::BitNot => {
+                        IrExpr::Unary { op: IrUnOp::Not, arg: Box::new(a), width: w }
+                    }
+                    UnaryOp::Neg => IrExpr::Unary { op: IrUnOp::Neg, arg: Box::new(a), width: w },
+                })
+            }
+            Expr::Binary { op, lhs, rhs, .. } => self.lower_binary(*op, lhs, rhs, ctx, out, ctx_width, span),
+            Expr::Ternary { cond, then_e, else_e, .. } => {
+                let c = self.lower_expr(cond, ctx, out, Some(1))?;
+                let t = self.lower_expr(then_e, ctx, out, ctx_width)?;
+                let f = self.lower_expr(else_e, ctx, out, Some(t.width()))?;
+                let w = t.width();
+                Ok(IrExpr::Mux { cond: Box::new(c), then_e: Box::new(t), else_e: Box::new(f), width: w })
+            }
+            Expr::Cast { ty, arg, .. } => {
+                let to = self.env.resolve(ty, span)?;
+                let tw = self.width_of_type(&to, span)?;
+                let at = self.type_of(arg, ctx)?;
+                let a = self.lower_expr(arg, ctx, out, Some(tw))?;
+                if a.width() == tw {
+                    return Ok(a);
+                }
+                match at {
+                    Type::Int(_) => Ok(IrExpr::SignCast { arg: Box::new(a), width: tw }),
+                    Type::Bool => Ok(IrExpr::Cast { arg: Box::new(a), width: tw }),
+                    _ => Ok(IrExpr::Cast { arg: Box::new(a), width: tw }),
+                }
+            }
+            Expr::Call { callee, type_args, args, .. } => {
+                // Expression-position calls: isValid, lookahead, table.apply()
+                // member reads, and value-returning extern methods (hoisted).
+                if let Expr::Member { base, member, .. } = callee.as_ref() {
+                    let bt = self.type_of(base, ctx)?;
+                    match (&bt, member.as_str()) {
+                        (Type::Header(_), "isValid") => {
+                            let hp = self.lvalue_path(base, ctx, out)?;
+                            return Ok(IrExpr::IsValid { path: hp });
+                        }
+                        (Type::PacketIn, "lookahead") => {
+                            let t = self.env.resolve(&type_args[0], span)?;
+                            let w = self.width_of_type(&t, span)?;
+                            return Ok(IrExpr::Lookahead { width: w });
+                        }
+                        (Type::PacketIn, "length") => {
+                            return Ok(IrExpr::Read { path: Path::new("$packet_length"), width: 32 });
+                        }
+                        (Type::Table(tname), "apply") => {
+                            // `t.apply().hit` — apply, then read synthetic slot.
+                            let id = self.stmt_id(format!("apply {tname}"), span);
+                            out.push(IrStmt::ApplyTable { id, table: tname.clone() });
+                            return Ok(IrExpr::Read {
+                                path: Path::new(format!("{tname}.$applied")),
+                                width: 1,
+                            });
+                        }
+                        (Type::Extern { name, type_args: targs }, m) => {
+                            let sig = self.env.extern_method(name, targs, m).ok_or_else(|| {
+                                FrontendError::typecheck(span, format!("unknown method {m}"))
+                            })?;
+                            let ret = self.env.resolve(&sig.ret, span)?;
+                            let w = self.width_of_type(&ret, span)?;
+                            let (tmp, tw) = self.temp(w);
+                            let inst = match base.as_ref() {
+                                Expr::Ident { name, .. } => ctx
+                                    .alias_of(name)
+                                    .map(|p| p.as_str().to_string())
+                                    .unwrap_or_else(|| name.clone()),
+                                _ => String::new(),
+                            };
+                            let mut irargs =
+                                self.lower_extern_args(&sig.params, args, ctx, out)?;
+                            irargs.push(IrArg::Out(tmp.clone(), tw));
+                            let id = self.stmt_id(format!("extern {m}"), span);
+                            out.push(IrStmt::ExternCall {
+                                id,
+                                name: m.to_string(),
+                                instance: Some(inst),
+                                args: irargs,
+                            });
+                            return Ok(IrExpr::Read { path: tmp, width: tw });
+                        }
+                        _ => {}
+                    }
+                }
+                // Member-access on an apply result: `t.apply().hit` parses as
+                // Member(Call(...)) and is handled in Expr::Member above via
+                // typing; handle extern functions returning values here.
+                if let Expr::Ident { name, .. } = callee.as_ref() {
+                    if let Some(sig) = self.env.extern_fns.get(name).cloned() {
+                        let ret_t = self.env.resolve(&sig.ret, span).ok();
+                        let w = ret_t
+                            .as_ref()
+                            .and_then(|t| t.width(self.env))
+                            .or(ctx_width)
+                            .unwrap_or(32);
+                        let (tmp, tw) = self.temp(w);
+                        let mut irargs = self.lower_extern_args(&sig.params, args, ctx, out)?;
+                        irargs.push(IrArg::Out(tmp.clone(), tw));
+                        let id = self.stmt_id(format!("extern {name}"), span);
+                        out.push(IrStmt::ExternCall {
+                            id,
+                            name: name.clone(),
+                            instance: None,
+                            args: irargs,
+                        });
+                        return Ok(IrExpr::Read { path: tmp, width: tw });
+                    }
+                }
+                Err(FrontendError::typecheck(span, "unsupported call in expression"))
+            }
+            Expr::List { .. } | Expr::Mask { .. } | Expr::Range { .. } => {
+                Err(FrontendError::typecheck(span, "expression form not allowed here"))
+            }
+        }
+    }
+
+    /// Field read through `.last`/`.next`: mux over `$next`.
+    fn stack_field_mux(
+        &mut self,
+        sp: &Path,
+        n: u32,
+        field: &str,
+        fw: u32,
+        last: bool,
+    ) -> LResult<IrExpr> {
+        let next = IrExpr::Read { path: sp.next_index(), width: 32 };
+        let mut acc = IrExpr::Const { width: fw, value: 0 };
+        for i in (0..n).rev() {
+            let target = if last { i + 1 } else { i };
+            let cond = IrExpr::Binary {
+                op: IrBinOp::Eq,
+                lhs: Box::new(next.clone()),
+                rhs: Box::new(IrExpr::Const { width: 32, value: target as u128 }),
+                width: 1,
+            };
+            acc = IrExpr::Mux {
+                cond: Box::new(cond),
+                then_e: Box::new(IrExpr::Read { path: sp.indexed(i).child(field), width: fw }),
+                else_e: Box::new(acc),
+                width: fw,
+            };
+        }
+        Ok(acc)
+    }
+
+    /// `.last` (or `.next` reads): mux over `$next` (- 1 for last).
+    fn stack_element_mux(&mut self, sp: &Path, n: u32, ew: u32, last: bool) -> LResult<IrExpr> {
+        let next = IrExpr::Read { path: sp.next_index(), width: 32 };
+        let mut acc = IrExpr::Const { width: ew, value: 0 };
+        for i in (0..n).rev() {
+            let target = if last { i + 1 } else { i };
+            let cond = IrExpr::Binary {
+                op: IrBinOp::Eq,
+                lhs: Box::new(next.clone()),
+                rhs: Box::new(IrExpr::Const { width: 32, value: target as u128 }),
+                width: 1,
+            };
+            acc = IrExpr::Mux {
+                cond: Box::new(cond),
+                then_e: Box::new(IrExpr::Read { path: sp.indexed(i), width: ew }),
+                else_e: Box::new(acc),
+                width: ew,
+            };
+        }
+        Ok(acc)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lower_binary(
+        &mut self,
+        op: BinaryOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        ctx: &mut Ctx,
+        out: &mut Vec<IrStmt>,
+        ctx_width: Option<u32>,
+        span: Span,
+    ) -> LResult<IrExpr> {
+        let lt = self.type_of(lhs, ctx)?;
+        let rt = self.type_of(rhs, ctx)?;
+        let signed = matches!(lt, Type::Int(_)) || matches!(rt, Type::Int(_));
+        // Operand width: prefer the sized side.
+        let operand_width = lt
+            .width(self.env)
+            .or_else(|| rt.width(self.env))
+            .or(match op {
+                BinaryOp::And | BinaryOp::Or => Some(1),
+                _ => ctx_width,
+            });
+        let (l, r) = match op {
+            BinaryOp::Shl | BinaryOp::Shr => {
+                let l = self.lower_expr(lhs, ctx, out, ctx_width)?;
+                let lw = l.width();
+                let mut r = self.lower_expr(rhs, ctx, out, Some(lw))?;
+                // Normalize shift amount width to the left operand's.
+                if r.width() != lw {
+                    r = IrExpr::Cast { arg: Box::new(r), width: lw };
+                }
+                (l, r)
+            }
+            BinaryOp::Concat => {
+                let l = self.lower_expr(lhs, ctx, out, None)?;
+                let r = self.lower_expr(rhs, ctx, out, None)?;
+                (l, r)
+            }
+            _ => {
+                let l = self.lower_expr(lhs, ctx, out, operand_width)?;
+                let r = self.lower_expr(rhs, ctx, out, Some(l.width()))?;
+                (l, r)
+            }
+        };
+        let w = l.width();
+        let irop = match op {
+            BinaryOp::Add => IrBinOp::Add,
+            BinaryOp::Sub => IrBinOp::Sub,
+            BinaryOp::Mul => IrBinOp::Mul,
+            BinaryOp::Div => IrBinOp::Div,
+            BinaryOp::Mod => IrBinOp::Mod,
+            BinaryOp::BitAnd => IrBinOp::And,
+            BinaryOp::BitOr => IrBinOp::Or,
+            BinaryOp::BitXor => IrBinOp::Xor,
+            BinaryOp::And => IrBinOp::And,
+            BinaryOp::Or => IrBinOp::Or,
+            BinaryOp::Shl => IrBinOp::Shl,
+            BinaryOp::Shr => {
+                if signed {
+                    IrBinOp::AShr
+                } else {
+                    IrBinOp::Shr
+                }
+            }
+            BinaryOp::Eq => IrBinOp::Eq,
+            BinaryOp::Neq => IrBinOp::Neq,
+            BinaryOp::Lt => {
+                if signed {
+                    IrBinOp::Slt
+                } else {
+                    IrBinOp::Ult
+                }
+            }
+            BinaryOp::Le => {
+                if signed {
+                    IrBinOp::Sle
+                } else {
+                    IrBinOp::Ule
+                }
+            }
+            BinaryOp::Gt => {
+                if signed {
+                    IrBinOp::Sgt
+                } else {
+                    IrBinOp::Ugt
+                }
+            }
+            BinaryOp::Ge => {
+                if signed {
+                    IrBinOp::Sge
+                } else {
+                    IrBinOp::Uge
+                }
+            }
+            BinaryOp::Concat => IrBinOp::Concat,
+        };
+        let out_width = match irop {
+            IrBinOp::Eq
+            | IrBinOp::Neq
+            | IrBinOp::Ult
+            | IrBinOp::Ule
+            | IrBinOp::Ugt
+            | IrBinOp::Uge
+            | IrBinOp::Slt
+            | IrBinOp::Sle
+            | IrBinOp::Sgt
+            | IrBinOp::Sge => 1,
+            IrBinOp::Concat => l.width() + r.width(),
+            _ => w,
+        };
+        if l.width() != r.width() && irop != IrBinOp::Concat {
+            return Err(FrontendError::typecheck(
+                span,
+                format!("operand width mismatch: {} vs {}", l.width(), r.width()),
+            ));
+        }
+        Ok(IrExpr::Binary { op: irop, lhs: Box::new(l), rhs: Box::new(r), width: out_width })
+    }
+}
+
+fn concat_all(mut parts: Vec<IrExpr>) -> IrExpr {
+    let mut acc = parts.remove(0);
+    for p in parts {
+        let w = acc.width() + p.width();
+        acc = IrExpr::Binary { op: IrBinOp::Concat, lhs: Box::new(acc), rhs: Box::new(p), width: w };
+    }
+    acc
+}
+
+/// Reconstruct a short source-like description of an expression (table key
+/// control-plane names).
+pub fn describe_expr(e: &Expr) -> String {
+    match e {
+        Expr::Ident { name, .. } => name.clone(),
+        Expr::Member { base, member, .. } => format!("{}.{}", describe_expr(base), member),
+        Expr::Index { base, index, .. } => format!("{}[{}]", describe_expr(base), describe_expr(index)),
+        Expr::Slice { base, .. } => format!("{}[:]", describe_expr(base)),
+        Expr::Int { value, .. } => format!("{value}"),
+        _ => "expr".to_string(),
+    }
+}

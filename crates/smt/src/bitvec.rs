@@ -1,0 +1,635 @@
+//! Arbitrary-precision, fixed-width bitvectors.
+//!
+//! P4 values routinely have widths like `bit<48>` (MAC addresses), `bit<128>`
+//! (IPv6 addresses), or wider concatenations built by the packet model, so a
+//! `u128` is not enough. `BitVec` stores little-endian 64-bit limbs and keeps
+//! the invariant that all bits at positions `>= width` are zero.
+//!
+//! All arithmetic is modular in `width` bits, matching the semantics of the
+//! P4 `bit<N>` type and of SMT-LIB `QF_BV`.
+
+use std::fmt;
+
+/// A fixed-width bitvector value with arbitrary precision.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    width: usize,
+    /// Little-endian limbs. `limbs.len() == max(1, ceil(width / 64))` unless
+    /// `width == 0`, in which case `limbs` is empty.
+    limbs: Vec<u64>,
+}
+
+fn limbs_for(width: usize) -> usize {
+    width.div_ceil(64)
+}
+
+impl BitVec {
+    /// The zero-width bitvector (identity for concatenation).
+    pub fn empty() -> Self {
+        BitVec { width: 0, limbs: Vec::new() }
+    }
+
+    /// All-zero value of the given width.
+    pub fn zeros(width: usize) -> Self {
+        BitVec { width, limbs: vec![0; limbs_for(width)] }
+    }
+
+    /// All-one value of the given width.
+    pub fn ones(width: usize) -> Self {
+        let mut v = BitVec { width, limbs: vec![u64::MAX; limbs_for(width)] };
+        v.normalize();
+        v
+    }
+
+    /// Construct from a `u128`, truncating to `width` bits.
+    pub fn from_u128(width: usize, value: u128) -> Self {
+        let mut limbs = vec![0u64; limbs_for(width)];
+        if !limbs.is_empty() {
+            limbs[0] = value as u64;
+        }
+        if limbs.len() >= 2 {
+            limbs[1] = (value >> 64) as u64;
+        }
+        let mut v = BitVec { width, limbs };
+        v.normalize();
+        v
+    }
+
+    /// Construct from a `u64`, truncating to `width` bits.
+    pub fn from_u64(width: usize, value: u64) -> Self {
+        Self::from_u128(width, value as u128)
+    }
+
+    /// Construct from a boolean as a 1-bit vector.
+    pub fn from_bool(b: bool) -> Self {
+        Self::from_u64(1, b as u64)
+    }
+
+    /// Construct from little-endian limbs, truncating to `width`.
+    pub fn from_limbs(width: usize, mut limbs: Vec<u64>) -> Self {
+        limbs.resize(limbs_for(width), 0);
+        let mut v = BitVec { width, limbs };
+        v.normalize();
+        v
+    }
+
+    /// Construct from big-endian bytes; width is `bytes.len() * 8`.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let width = bytes.len() * 8;
+        let mut v = BitVec::zeros(width);
+        for (i, b) in bytes.iter().rev().enumerate() {
+            // byte i (little-endian order) occupies bits [8i, 8i+8)
+            v.limbs[i / 8] |= (*b as u64) << ((i % 8) * 8);
+        }
+        v
+    }
+
+    /// Big-endian byte representation. Requires `width % 8 == 0`.
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        assert!(self.width.is_multiple_of(8), "to_bytes_be on width {}", self.width);
+        let n = self.width / 8;
+        let mut out = vec![0u8; n];
+        for i in 0..n {
+            let byte = (self.limbs[i / 8] >> ((i % 8) * 8)) as u8;
+            out[n - 1 - i] = byte;
+        }
+        out
+    }
+
+    /// Parse from a hex string (no prefix), producing a value of `width` bits.
+    pub fn from_hex(width: usize, hex: &str) -> Option<Self> {
+        let mut v = BitVec::zeros(width);
+        for ch in hex.chars() {
+            let d = ch.to_digit(16)? as u64;
+            v = v.shl_const(4).or(&BitVec::from_u64(width, d));
+        }
+        Some(v)
+    }
+
+    fn normalize(&mut self) {
+        if self.width == 0 {
+            self.limbs.clear();
+            return;
+        }
+        let rem = self.width % 64;
+        if rem != 0 {
+            let last = self.limbs.len() - 1;
+            self.limbs[last] &= (1u64 << rem) - 1;
+        }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The raw little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Bit at position `i` (little-endian; bit 0 is least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.width);
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i` to `b`.
+    pub fn set_bit(&mut self, i: usize, b: bool) {
+        assert!(i < self.width);
+        let mask = 1u64 << (i % 64);
+        if b {
+            self.limbs[i / 64] |= mask;
+        } else {
+            self.limbs[i / 64] &= !mask;
+        }
+    }
+
+    /// True if every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// True if this is a 1-bit value equal to 1.
+    pub fn is_true(&self) -> bool {
+        self.width == 1 && self.limbs[0] == 1
+    }
+
+    /// Value as `u64` if it fits, else `None`.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.limbs.iter().skip(1).any(|&l| l != 0) {
+            None
+        } else {
+            Some(self.limbs.first().copied().unwrap_or(0))
+        }
+    }
+
+    /// Value as `u128` if it fits, else `None`.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.limbs.iter().skip(2).any(|&l| l != 0) {
+            None
+        } else {
+            let lo = self.limbs.first().copied().unwrap_or(0) as u128;
+            let hi = self.limbs.get(1).copied().unwrap_or(0) as u128;
+            Some(lo | (hi << 64))
+        }
+    }
+
+    fn binary_assert(&self, rhs: &BitVec) {
+        assert_eq!(self.width, rhs.width, "width mismatch: {} vs {}", self.width, rhs.width);
+    }
+
+    /// Modular addition.
+    pub fn add(&self, rhs: &BitVec) -> BitVec {
+        self.binary_assert(rhs);
+        let mut out = BitVec::zeros(self.width);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len() {
+            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        out.normalize();
+        out
+    }
+
+    /// Modular subtraction.
+    pub fn sub(&self, rhs: &BitVec) -> BitVec {
+        self.add(&rhs.negate())
+    }
+
+    /// Two's-complement negation.
+    pub fn negate(&self) -> BitVec {
+        if self.width == 0 {
+            return self.clone();
+        }
+        self.not().add(&BitVec::from_u64(self.width, 1))
+    }
+
+    /// Modular multiplication (schoolbook).
+    pub fn mul(&self, rhs: &BitVec) -> BitVec {
+        self.binary_assert(rhs);
+        let n = self.limbs.len();
+        let mut acc = vec![0u64; n];
+        for i in 0..n {
+            let a = self.limbs[i] as u128;
+            if a == 0 {
+                continue;
+            }
+            let mut carry: u128 = 0;
+            for j in 0..n - i {
+                let cur = acc[i + j] as u128 + a * rhs.limbs[j] as u128 + carry;
+                acc[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+        }
+        let mut out = BitVec { width: self.width, limbs: acc };
+        out.normalize();
+        out
+    }
+
+    /// Unsigned division; division by zero yields all-ones (SMT-LIB semantics).
+    pub fn udiv(&self, rhs: &BitVec) -> BitVec {
+        self.binary_assert(rhs);
+        if rhs.is_zero() {
+            return BitVec::ones(self.width);
+        }
+        self.divmod(rhs).0
+    }
+
+    /// Unsigned remainder; remainder by zero yields the dividend (SMT-LIB).
+    pub fn urem(&self, rhs: &BitVec) -> BitVec {
+        self.binary_assert(rhs);
+        if rhs.is_zero() {
+            return self.clone();
+        }
+        self.divmod(rhs).1
+    }
+
+    /// Restoring long division by bits. Slow but simple; widths are small.
+    fn divmod(&self, rhs: &BitVec) -> (BitVec, BitVec) {
+        let mut q = BitVec::zeros(self.width);
+        let mut r = BitVec::zeros(self.width);
+        for i in (0..self.width).rev() {
+            r = r.shl_const(1);
+            r.set_bit(0, self.bit(i));
+            if r.ult(rhs) {
+                continue;
+            }
+            r = r.sub(rhs);
+            q.set_bit(i, true);
+        }
+        (q, r)
+    }
+
+    /// Bitwise AND.
+    pub fn and(&self, rhs: &BitVec) -> BitVec {
+        self.binary_assert(rhs);
+        let limbs = self.limbs.iter().zip(&rhs.limbs).map(|(a, b)| a & b).collect();
+        BitVec { width: self.width, limbs }
+    }
+
+    /// Bitwise OR.
+    pub fn or(&self, rhs: &BitVec) -> BitVec {
+        self.binary_assert(rhs);
+        let limbs = self.limbs.iter().zip(&rhs.limbs).map(|(a, b)| a | b).collect();
+        BitVec { width: self.width, limbs }
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&self, rhs: &BitVec) -> BitVec {
+        self.binary_assert(rhs);
+        let limbs = self.limbs.iter().zip(&rhs.limbs).map(|(a, b)| a ^ b).collect();
+        BitVec { width: self.width, limbs }
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> BitVec {
+        let limbs = self.limbs.iter().map(|a| !a).collect();
+        let mut v = BitVec { width: self.width, limbs };
+        v.normalize();
+        v
+    }
+
+    /// Left shift by a constant amount; shifts `>= width` yield zero.
+    pub fn shl_const(&self, amount: usize) -> BitVec {
+        if amount >= self.width {
+            return BitVec::zeros(self.width);
+        }
+        let mut out = BitVec::zeros(self.width);
+        let limb_shift = amount / 64;
+        let bit_shift = amount % 64;
+        for i in (0..self.limbs.len()).rev() {
+            if i < limb_shift {
+                break;
+            }
+            let mut v = self.limbs[i - limb_shift] << bit_shift;
+            if bit_shift > 0 && i > limb_shift {
+                v |= self.limbs[i - limb_shift - 1] >> (64 - bit_shift);
+            }
+            out.limbs[i] = v;
+        }
+        out.normalize();
+        out
+    }
+
+    /// Logical right shift by a constant amount; shifts `>= width` yield zero.
+    pub fn lshr_const(&self, amount: usize) -> BitVec {
+        if amount >= self.width {
+            return BitVec::zeros(self.width);
+        }
+        let mut out = BitVec::zeros(self.width);
+        let limb_shift = amount / 64;
+        let bit_shift = amount % 64;
+        for i in 0..self.limbs.len() - limb_shift {
+            let mut v = self.limbs[i + limb_shift] >> bit_shift;
+            if bit_shift > 0 && i + limb_shift + 1 < self.limbs.len() {
+                v |= self.limbs[i + limb_shift + 1] << (64 - bit_shift);
+            }
+            out.limbs[i] = v;
+        }
+        out
+    }
+
+    /// Arithmetic right shift by a constant amount (sign bit replicated).
+    pub fn ashr_const(&self, amount: usize) -> BitVec {
+        if self.width == 0 {
+            return self.clone();
+        }
+        let sign = self.bit(self.width - 1);
+        if amount >= self.width {
+            return if sign { BitVec::ones(self.width) } else { BitVec::zeros(self.width) };
+        }
+        let mut out = self.lshr_const(amount);
+        if sign {
+            for i in self.width - amount..self.width {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Left shift where the amount is itself a bitvector (saturating).
+    pub fn shl(&self, amount: &BitVec) -> BitVec {
+        match amount.to_u64() {
+            Some(a) if (a as usize) < self.width => self.shl_const(a as usize),
+            _ => BitVec::zeros(self.width),
+        }
+    }
+
+    /// Logical right shift with a bitvector amount (saturating).
+    pub fn lshr(&self, amount: &BitVec) -> BitVec {
+        match amount.to_u64() {
+            Some(a) if (a as usize) < self.width => self.lshr_const(a as usize),
+            _ => BitVec::zeros(self.width),
+        }
+    }
+
+    /// Arithmetic right shift with a bitvector amount (saturating).
+    pub fn ashr(&self, amount: &BitVec) -> BitVec {
+        match amount.to_u64() {
+            Some(a) if (a as usize) < self.width => self.ashr_const(a as usize),
+            _ => self.ashr_const(self.width),
+        }
+    }
+
+    /// Concatenation: `self` becomes the high bits, `low` the low bits
+    /// (SMT-LIB `concat` order).
+    pub fn concat(&self, low: &BitVec) -> BitVec {
+        let width = self.width + low.width;
+        let mut out = BitVec::zeros(width);
+        for i in 0..low.width {
+            if low.bit(i) {
+                out.set_bit(i, true);
+            }
+        }
+        for i in 0..self.width {
+            if self.bit(i) {
+                out.set_bit(low.width + i, true);
+            }
+        }
+        out
+    }
+
+    /// Extract bits `[lo, hi]` inclusive (SMT-LIB `extract` order, `hi >= lo`).
+    pub fn extract(&self, hi: usize, lo: usize) -> BitVec {
+        assert!(hi >= lo && hi < self.width, "extract [{hi}:{lo}] of width {}", self.width);
+        let mut out = BitVec::zeros(hi - lo + 1);
+        for i in lo..=hi {
+            if self.bit(i) {
+                out.set_bit(i - lo, true);
+            }
+        }
+        out
+    }
+
+    /// Zero-extend to `width` bits (must be `>= self.width`).
+    pub fn zext(&self, width: usize) -> BitVec {
+        assert!(width >= self.width);
+        let mut out = BitVec::zeros(width);
+        out.limbs[..self.limbs.len()].copy_from_slice(&self.limbs);
+        out
+    }
+
+    /// Sign-extend to `width` bits (must be `>= self.width`).
+    pub fn sext(&self, width: usize) -> BitVec {
+        assert!(width >= self.width);
+        let mut out = self.zext(width);
+        if self.width > 0 && self.bit(self.width - 1) {
+            for i in self.width..width {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Truncate or extend (zero-fill) to an arbitrary width, P4 cast style.
+    pub fn cast(&self, width: usize) -> BitVec {
+        if width == self.width {
+            self.clone()
+        } else if width < self.width {
+            if width == 0 { BitVec::empty() } else { self.extract(width - 1, 0) }
+        } else {
+            self.zext(width)
+        }
+    }
+
+    /// Unsigned less-than.
+    pub fn ult(&self, rhs: &BitVec) -> bool {
+        self.binary_assert(rhs);
+        for i in (0..self.limbs.len()).rev() {
+            if self.limbs[i] != rhs.limbs[i] {
+                return self.limbs[i] < rhs.limbs[i];
+            }
+        }
+        false
+    }
+
+    /// Unsigned less-or-equal.
+    pub fn ule(&self, rhs: &BitVec) -> bool {
+        !rhs.ult(self)
+    }
+
+    /// Signed less-than (two's complement).
+    pub fn slt(&self, rhs: &BitVec) -> bool {
+        self.binary_assert(rhs);
+        if self.width == 0 {
+            return false;
+        }
+        let sa = self.bit(self.width - 1);
+        let sb = rhs.bit(self.width - 1);
+        if sa != sb {
+            return sa;
+        }
+        self.ult(rhs)
+    }
+
+    /// Signed less-or-equal.
+    pub fn sle(&self, rhs: &BitVec) -> bool {
+        !rhs.slt(self)
+    }
+
+    /// Number of one bits.
+    pub fn count_ones(&self) -> usize {
+        self.limbs.iter().map(|l| l.count_ones() as usize).sum()
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}w{}", self.width, self)
+    }
+}
+
+impl fmt::Display for BitVec {
+    /// Hex display, most significant digit first, zero-padded to the width.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.width == 0 {
+            return write!(f, "0x<empty>");
+        }
+        write!(f, "0x")?;
+        let digits = self.width.div_ceil(4);
+        for d in (0..digits).rev() {
+            let lo = d * 4;
+            let hi = (lo + 3).min(self.width - 1);
+            let nib = self.extract(hi, lo).to_u64().unwrap();
+            write!(f, "{nib:x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_u128() {
+        let v = BitVec::from_u128(100, 0xDEAD_BEEF_CAFE_BABE_1234_5678u128);
+        assert_eq!(v.to_u128(), Some(0xDEAD_BEEF_CAFE_BABE_1234_5678u128));
+    }
+
+    #[test]
+    fn truncation_on_construction() {
+        let v = BitVec::from_u64(4, 0xFF);
+        assert_eq!(v.to_u64(), Some(0xF));
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = BitVec::from_u128(128, u128::MAX);
+        let b = BitVec::from_u64(128, 1);
+        assert!(a.add(&b).is_zero());
+    }
+
+    #[test]
+    fn add_modular_wrap() {
+        let a = BitVec::from_u64(8, 0xFF);
+        let b = BitVec::from_u64(8, 2);
+        assert_eq!(a.add(&b).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn sub_and_negate() {
+        let a = BitVec::from_u64(16, 5);
+        let b = BitVec::from_u64(16, 7);
+        assert_eq!(a.sub(&b).to_u64(), Some(0xFFFE));
+        assert_eq!(BitVec::from_u64(8, 1).negate().to_u64(), Some(0xFF));
+    }
+
+    #[test]
+    fn mul_wide() {
+        let a = BitVec::from_u128(128, u64::MAX as u128);
+        let b = BitVec::from_u128(128, u64::MAX as u128);
+        let expect = (u64::MAX as u128).wrapping_mul(u64::MAX as u128);
+        assert_eq!(a.mul(&b).to_u128(), Some(expect));
+    }
+
+    #[test]
+    fn div_rem() {
+        let a = BitVec::from_u64(32, 100);
+        let b = BitVec::from_u64(32, 7);
+        assert_eq!(a.udiv(&b).to_u64(), Some(14));
+        assert_eq!(a.urem(&b).to_u64(), Some(2));
+    }
+
+    #[test]
+    fn div_by_zero_smtlib() {
+        let a = BitVec::from_u64(8, 42);
+        let z = BitVec::zeros(8);
+        assert_eq!(a.udiv(&z).to_u64(), Some(0xFF));
+        assert_eq!(a.urem(&z).to_u64(), Some(42));
+    }
+
+    #[test]
+    fn shifts() {
+        let a = BitVec::from_u64(16, 0x00F0);
+        assert_eq!(a.shl_const(4).to_u64(), Some(0x0F00));
+        assert_eq!(a.lshr_const(4).to_u64(), Some(0x000F));
+        assert_eq!(a.shl_const(16).to_u64(), Some(0));
+        let neg = BitVec::from_u64(8, 0x80);
+        assert_eq!(neg.ashr_const(3).to_u64(), Some(0xF0));
+    }
+
+    #[test]
+    fn shift_across_limbs() {
+        let a = BitVec::from_u64(128, 1);
+        assert_eq!(a.shl_const(100).lshr_const(100).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn concat_and_extract() {
+        let hi = BitVec::from_u64(8, 0xAB);
+        let lo = BitVec::from_u64(8, 0xCD);
+        let c = hi.concat(&lo);
+        assert_eq!(c.width(), 16);
+        assert_eq!(c.to_u64(), Some(0xABCD));
+        assert_eq!(c.extract(15, 8).to_u64(), Some(0xAB));
+        assert_eq!(c.extract(7, 0).to_u64(), Some(0xCD));
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let bytes = [0xDE, 0xAD, 0xBE, 0xEF, 0x01];
+        let v = BitVec::from_bytes_be(&bytes);
+        assert_eq!(v.width(), 40);
+        assert_eq!(v.to_bytes_be(), bytes);
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = BitVec::from_u64(8, 0x80); // -128 signed
+        let b = BitVec::from_u64(8, 0x01);
+        assert!(b.ult(&a));
+        assert!(a.slt(&b));
+        assert!(a.sle(&a));
+        assert!(a.ule(&a));
+    }
+
+    #[test]
+    fn sext_zext() {
+        let v = BitVec::from_u64(4, 0b1010);
+        assert_eq!(v.zext(8).to_u64(), Some(0x0A));
+        assert_eq!(v.sext(8).to_u64(), Some(0xFA));
+    }
+
+    #[test]
+    fn hex_parse_and_display() {
+        let v = BitVec::from_hex(16, "BeeF").unwrap();
+        assert_eq!(v.to_u64(), Some(0xBEEF));
+        assert_eq!(format!("{v}"), "0xbeef");
+        let odd = BitVec::from_u64(9, 0x1FF);
+        assert_eq!(format!("{odd}"), "0x1ff");
+    }
+
+    #[test]
+    fn empty_vector() {
+        let e = BitVec::empty();
+        assert_eq!(e.width(), 0);
+        assert!(e.is_zero());
+        let v = BitVec::from_u64(8, 7);
+        assert_eq!(e.concat(&v).to_u64(), Some(7));
+        assert_eq!(v.concat(&e).to_u64(), Some(7));
+    }
+}

@@ -1,0 +1,562 @@
+//! Bit-blasting: translation of bitvector terms into CNF over the SAT solver.
+//!
+//! Every term maps to a vector of literals, least-significant bit first.
+//! Translation is cached per term, so shared subterms (the term pool is
+//! hash-consed) are encoded once — this is what makes the incremental solver
+//! facade cheap: pushing a new path constraint only encodes the new nodes.
+
+use crate::bitvec::BitVec;
+use crate::sat::{Lit, SatSolver, SatVar};
+use crate::term::{BinOp, Node, TermId, TermPool, VarId};
+use std::collections::HashMap;
+
+/// Bit-blaster with a per-term encoding cache.
+pub struct Blaster {
+    cache: HashMap<TermId, Vec<Lit>>,
+    /// SAT variables backing each pool variable's bits (LSB first).
+    var_bits: HashMap<VarId, Vec<SatVar>>,
+    /// A literal constrained to be true.
+    true_lit: Lit,
+}
+
+impl Blaster {
+    /// Create a blaster over `sat`, claiming one variable pinned to true.
+    pub fn new(sat: &mut SatSolver) -> Self {
+        let t = sat.new_var();
+        sat.add_clause(&[Lit::positive(t)]);
+        Blaster { cache: HashMap::new(), var_bits: HashMap::new(), true_lit: Lit::positive(t) }
+    }
+
+    fn false_lit(&self) -> Lit {
+        self.true_lit.negate()
+    }
+
+    fn const_lit(&self, b: bool) -> Lit {
+        if b {
+            self.true_lit
+        } else {
+            self.false_lit()
+        }
+    }
+
+    fn is_true(&self, l: Lit) -> bool {
+        l == self.true_lit
+    }
+
+    fn is_false(&self, l: Lit) -> bool {
+        l == self.false_lit()
+    }
+
+    /// SAT variables backing a pool variable, if it was ever encoded.
+    pub fn bits_of_var(&self, v: VarId) -> Option<&[SatVar]> {
+        self.var_bits.get(&v).map(|b| b.as_slice())
+    }
+
+    /// Extract the model value of a pool variable after a Sat result.
+    /// Bits that were never encoded are zero.
+    pub fn model_value(&self, sat: &SatSolver, pool: &TermPool, v: VarId) -> BitVec {
+        let width = pool.var_info(v).width;
+        let mut out = BitVec::zeros(width);
+        if let Some(bits) = self.var_bits.get(&v) {
+            for (i, &sv) in bits.iter().enumerate() {
+                if sat.model_value(sv) {
+                    out.set_bit(i, true);
+                }
+            }
+        }
+        out
+    }
+
+    // ---- gate primitives (Tseitin) --------------------------------------
+
+    fn gate_and(&mut self, sat: &mut SatSolver, a: Lit, b: Lit) -> Lit {
+        if self.is_false(a) || self.is_false(b) {
+            return self.false_lit();
+        }
+        if self.is_true(a) {
+            return b;
+        }
+        if self.is_true(b) {
+            return a;
+        }
+        if a == b {
+            return a;
+        }
+        if a == b.negate() {
+            return self.false_lit();
+        }
+        let c = Lit::positive(sat.new_var());
+        sat.add_clause(&[a.negate(), b.negate(), c]);
+        sat.add_clause(&[a, c.negate()]);
+        sat.add_clause(&[b, c.negate()]);
+        c
+    }
+
+    fn gate_or(&mut self, sat: &mut SatSolver, a: Lit, b: Lit) -> Lit {
+        self.gate_and(sat, a.negate(), b.negate()).negate()
+    }
+
+    fn gate_xor(&mut self, sat: &mut SatSolver, a: Lit, b: Lit) -> Lit {
+        if self.is_false(a) {
+            return b;
+        }
+        if self.is_false(b) {
+            return a;
+        }
+        if self.is_true(a) {
+            return b.negate();
+        }
+        if self.is_true(b) {
+            return a.negate();
+        }
+        if a == b {
+            return self.false_lit();
+        }
+        if a == b.negate() {
+            return self.true_lit;
+        }
+        let c = Lit::positive(sat.new_var());
+        sat.add_clause(&[a.negate(), b.negate(), c.negate()]);
+        sat.add_clause(&[a, b, c.negate()]);
+        sat.add_clause(&[a.negate(), b, c]);
+        sat.add_clause(&[a, b.negate(), c]);
+        c
+    }
+
+    /// Multiplexer: `sel ? t : e`.
+    fn gate_mux(&mut self, sat: &mut SatSolver, sel: Lit, t: Lit, e: Lit) -> Lit {
+        if self.is_true(sel) {
+            return t;
+        }
+        if self.is_false(sel) {
+            return e;
+        }
+        if t == e {
+            return t;
+        }
+        let a = self.gate_and(sat, sel, t);
+        let b = self.gate_and(sat, sel.negate(), e);
+        self.gate_or(sat, a, b)
+    }
+
+    /// Full adder returning (sum, carry).
+    fn full_adder(&mut self, sat: &mut SatSolver, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+        let axb = self.gate_xor(sat, a, b);
+        let sum = self.gate_xor(sat, axb, cin);
+        let c1 = self.gate_and(sat, a, b);
+        let c2 = self.gate_and(sat, axb, cin);
+        let cout = self.gate_or(sat, c1, c2);
+        (sum, cout)
+    }
+
+    fn ripple_add(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit], mut carry: Lit) -> Vec<Lit> {
+        let mut out = Vec::with_capacity(a.len());
+        for i in 0..a.len() {
+            let (s, c) = self.full_adder(sat, a[i], b[i], carry);
+            out.push(s);
+            carry = c;
+        }
+        out
+    }
+
+    fn blast_mul(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let w = a.len();
+        let mut acc = vec![self.false_lit(); w];
+        for (i, &bi) in b.iter().enumerate() {
+            if self.is_false(bi) {
+                continue;
+            }
+            // Partial product: (a << i) & b_i, added into acc.
+            let mut pp = vec![self.false_lit(); w];
+            for j in 0..w - i {
+                pp[i + j] = self.gate_and(sat, a[j], bi);
+            }
+            let f = self.false_lit();
+            acc = self.ripple_add(sat, &acc, &pp, f);
+        }
+        acc
+    }
+
+    /// `a < b` unsigned, as a single literal.
+    fn blast_ult(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit]) -> Lit {
+        let mut lt = self.false_lit();
+        for i in 0..a.len() {
+            // If bits differ at i (scanning toward MSB), the result so far is b_i.
+            let diff = self.gate_xor(sat, a[i], b[i]);
+            lt = self.gate_mux(sat, diff, b[i], lt);
+        }
+        lt
+    }
+
+    fn blast_eq(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit]) -> Lit {
+        let mut acc = self.true_lit;
+        for i in 0..a.len() {
+            let x = self.gate_xor(sat, a[i], b[i]);
+            acc = self.gate_and(sat, acc, x.negate());
+        }
+        acc
+    }
+
+    /// Barrel shifter. `fill` supplies bits shifted in; `left` picks direction.
+    fn blast_shift(
+        &mut self,
+        sat: &mut SatSolver,
+        a: &[Lit],
+        amount: &[Lit],
+        left: bool,
+        fill: Lit,
+    ) -> Vec<Lit> {
+        let w = a.len();
+        let mut cur: Vec<Lit> = a.to_vec();
+        let stages = usize::BITS as usize - (w.max(1) - 1).leading_zeros() as usize;
+        for (s, &abit) in amount.iter().enumerate().take(stages.max(1)) {
+            let dist = 1usize << s;
+            let mut next = Vec::with_capacity(w);
+            for i in 0..w {
+                let shifted = if left {
+                    if i >= dist { cur[i - dist] } else { fill }
+                } else if i + dist < w {
+                    cur[i + dist]
+                } else {
+                    fill
+                };
+                next.push(self.gate_mux(sat, abit, shifted, cur[i]));
+            }
+            cur = next;
+        }
+        // Any set amount bit beyond the stage range forces a full shift-out.
+        let mut overflow = self.false_lit();
+        for &abit in amount.iter().skip(stages.max(1)) {
+            overflow = self.gate_or(sat, overflow, abit);
+        }
+        // Amounts >= w within the staged range also overflow; detect by
+        // comparing amount >= w when w is not a power of two covered above.
+        if !self.is_false(overflow) || !w.is_power_of_two() {
+            let wbits: Vec<Lit> = (0..amount.len())
+                .map(|i| self.const_lit(i < usize::BITS as usize && (w >> i) & 1 == 1))
+                .collect();
+            let lt_w = self.blast_ult(sat, amount, &wbits);
+            let ge_w = lt_w.negate();
+            let ov = self.gate_or(sat, overflow, ge_w);
+            cur = cur.iter().map(|&l| self.gate_mux(sat, ov, fill, l)).collect();
+        }
+        cur
+    }
+
+    fn blast_udiv_urem(
+        &mut self,
+        sat: &mut SatSolver,
+        pool: &mut TermPool,
+        a: TermId,
+        b: TermId,
+    ) -> (Vec<Lit>, Vec<Lit>) {
+        // Introduce fresh q, r with: b != 0 -> (a == b*q + r at 2w, r < b)
+        //                            b == 0 -> (q == ones, r == a)
+        let w = pool.width(a);
+        let q = pool.fresh_var("udiv_q", w);
+        let r = pool.fresh_var("udiv_r", w);
+        let a2 = pool.zext(a, 2 * w);
+        let b2 = pool.zext(b, 2 * w);
+        let q2 = pool.zext(q, 2 * w);
+        let r2 = pool.zext(r, 2 * w);
+        let prod = pool.mul(b2, q2);
+        let sum = pool.add(prod, r2);
+        let exact = pool.eq(sum, a2);
+        let rem_lt = pool.ult(r, b);
+        let zero = pool.const_u128(w, 0);
+        let bz = pool.eq(b, zero);
+        let ones = pool.constant(BitVec::ones(w));
+        let q_ones = pool.eq(q, ones);
+        let r_a = pool.eq(r, a);
+        let div_ok = pool.and(exact, rem_lt);
+        let zero_case = pool.and(q_ones, r_a);
+        let side = pool.ite(bz, zero_case, div_ok);
+        let side_l = self.blast(sat, pool, side)[0];
+        sat.add_clause(&[side_l]);
+        let ql = self.blast(sat, pool, q);
+        let rl = self.blast(sat, pool, r);
+        (ql, rl)
+    }
+
+    /// Translate a term, returning its literals (LSB first). Results cached.
+    pub fn blast(&mut self, sat: &mut SatSolver, pool: &mut TermPool, id: TermId) -> Vec<Lit> {
+        if let Some(c) = self.cache.get(&id) {
+            return c.clone();
+        }
+        let node = pool.node(id).clone();
+        let out: Vec<Lit> = match node {
+            Node::Const(v) => (0..v.width()).map(|i| self.const_lit(v.bit(i))).collect(),
+            Node::Var(v) => {
+                let width = pool.var_info(v).width;
+                let bits: Vec<SatVar> = (0..width).map(|_| sat.new_var()).collect();
+                self.var_bits.insert(v, bits.clone());
+                bits.into_iter().map(Lit::positive).collect()
+            }
+            Node::Not(a) => {
+                let al = self.blast(sat, pool, a);
+                al.into_iter().map(Lit::negate).collect()
+            }
+            Node::Neg(a) => {
+                let al = self.blast(sat, pool, a);
+                let inv: Vec<Lit> = al.into_iter().map(Lit::negate).collect();
+                let one: Vec<Lit> = (0..inv.len())
+                    .map(|i| self.const_lit(i == 0))
+                    .collect();
+                let f = self.false_lit();
+                self.ripple_add(sat, &inv, &one, f)
+            }
+            Node::Extract { hi, lo, arg } => {
+                let al = self.blast(sat, pool, arg);
+                al[lo as usize..=hi as usize].to_vec()
+            }
+            Node::Ite(c, t, e) => {
+                let cl = self.blast(sat, pool, c)[0];
+                let tl = self.blast(sat, pool, t);
+                let el = self.blast(sat, pool, e);
+                tl.iter()
+                    .zip(&el)
+                    .map(|(&a, &b)| self.gate_mux(sat, cl, a, b))
+                    .collect()
+            }
+            Node::Bin(op, a, b) => {
+                // UDiv/URem introduce fresh pool variables, handled separately.
+                if matches!(op, BinOp::UDiv | BinOp::URem) {
+                    let (q, r) = self.blast_udiv_urem(sat, pool, a, b);
+                    let out = if op == BinOp::UDiv { q } else { r };
+                    self.cache.insert(id, out.clone());
+                    return out;
+                }
+                let al = self.blast(sat, pool, a);
+                let bl = self.blast(sat, pool, b);
+                match op {
+                    BinOp::Add => {
+                        let f = self.false_lit();
+                        self.ripple_add(sat, &al, &bl, f)
+                    }
+                    BinOp::Sub => {
+                        let binv: Vec<Lit> = bl.iter().map(|l| l.negate()).collect();
+                        let t = self.true_lit;
+                        self.ripple_add(sat, &al, &binv, t)
+                    }
+                    BinOp::Mul => self.blast_mul(sat, &al, &bl),
+                    BinOp::And => al
+                        .iter()
+                        .zip(&bl)
+                        .map(|(&x, &y)| self.gate_and(sat, x, y))
+                        .collect(),
+                    BinOp::Or => al
+                        .iter()
+                        .zip(&bl)
+                        .map(|(&x, &y)| self.gate_or(sat, x, y))
+                        .collect(),
+                    BinOp::Xor => al
+                        .iter()
+                        .zip(&bl)
+                        .map(|(&x, &y)| self.gate_xor(sat, x, y))
+                        .collect(),
+                    BinOp::Shl => {
+                        let f = self.false_lit();
+                        self.blast_shift(sat, &al, &bl, true, f)
+                    }
+                    BinOp::LShr => {
+                        let f = self.false_lit();
+                        self.blast_shift(sat, &al, &bl, false, f)
+                    }
+                    BinOp::AShr => {
+                        let sign = *al.last().expect("ashr of zero-width term");
+                        self.blast_shift(sat, &al, &bl, false, sign)
+                    }
+                    BinOp::Concat => {
+                        // `a` is the high part: result = bl ++ al (LSB first).
+                        let mut out = bl.clone();
+                        out.extend_from_slice(&al);
+                        out
+                    }
+                    BinOp::Eq => vec![self.blast_eq(sat, &al, &bl)],
+                    BinOp::Ult => vec![self.blast_ult(sat, &al, &bl)],
+                    BinOp::Ule => {
+                        let gt = self.blast_ult(sat, &bl, &al);
+                        vec![gt.negate()]
+                    }
+                    BinOp::Slt => {
+                        let (af, bf) = (self.flip_msb(&al), self.flip_msb(&bl));
+                        vec![self.blast_ult(sat, &af, &bf)]
+                    }
+                    BinOp::Sle => {
+                        let (af, bf) = (self.flip_msb(&al), self.flip_msb(&bl));
+                        let gt = self.blast_ult(sat, &bf, &af);
+                        vec![gt.negate()]
+                    }
+                    BinOp::UDiv | BinOp::URem => unreachable!(),
+                }
+            }
+        };
+        debug_assert_eq!(out.len(), pool.width(id), "blasted width mismatch");
+        self.cache.insert(id, out.clone());
+        out
+    }
+
+    fn flip_msb(&self, bits: &[Lit]) -> Vec<Lit> {
+        let mut v = bits.to_vec();
+        if let Some(last) = v.last_mut() {
+            *last = last.negate();
+        }
+        v
+    }
+
+    /// Blast a 1-bit term and return its literal for use as an assumption.
+    pub fn assertion_lit(&mut self, sat: &mut SatSolver, pool: &mut TermPool, t: TermId) -> Lit {
+        assert_eq!(pool.width(t), 1, "assertions must be 1-bit terms");
+        self.blast(sat, pool, t)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::SatResult;
+
+    /// Assert `t` and solve; on Sat, return the model as an Assignment.
+    fn solve_term(pool: &mut TermPool, t: TermId) -> Option<crate::eval::Assignment> {
+        let mut sat = SatSolver::new();
+        let mut bl = Blaster::new(&mut sat);
+        let l = bl.assertion_lit(&mut sat, pool, t);
+        sat.add_clause(&[l]);
+        if sat.solve(&[]) == SatResult::Unsat {
+            return None;
+        }
+        let mut asg = crate::eval::Assignment::new();
+        for vi in 0..pool.num_vars() {
+            let v = VarId(vi as u32);
+            asg.set(v, bl.model_value(&sat, pool, v));
+        }
+        Some(asg)
+    }
+
+    #[test]
+    fn solve_addition_equation() {
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let c3 = p.const_u128(8, 3);
+        let c100 = p.const_u128(8, 100);
+        let s = p.add(x, c3);
+        let eq = p.eq(s, c100);
+        let asg = solve_term(&mut p, eq).expect("sat");
+        assert!(crate::eval::eval(&p, &asg, eq).is_true());
+    }
+
+    #[test]
+    fn unsat_contradiction() {
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let c1 = p.const_u128(8, 1);
+        let c2 = p.const_u128(8, 2);
+        let e1 = p.eq(x, c1);
+        let e2 = p.eq(x, c2);
+        let both = p.and(e1, e2);
+        assert!(solve_term(&mut p, both).is_none());
+    }
+
+    #[test]
+    fn solve_multiplication() {
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let c6 = p.const_u128(8, 6);
+        let c42 = p.const_u128(8, 42);
+        let m = p.mul(x, c6);
+        let eq = p.eq(m, c42);
+        let asg = solve_term(&mut p, eq).expect("sat");
+        assert!(crate::eval::eval(&p, &asg, eq).is_true());
+    }
+
+    #[test]
+    fn solve_wide_value() {
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 100);
+        let big = p.constant(BitVec::from_u128(100, 0xDEAD_BEEF_0000_1111_2222u128));
+        let one = p.const_u128(100, 1);
+        let s = p.add(x, one);
+        let eq = p.eq(s, big);
+        let asg = solve_term(&mut p, eq).expect("sat");
+        assert!(crate::eval::eval(&p, &asg, eq).is_true());
+    }
+
+    #[test]
+    fn solve_ult_boundary() {
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 4);
+        let c1 = p.const_u128(4, 1);
+        let lt = p.ult(x, c1);
+        let asg = solve_term(&mut p, lt).expect("sat");
+        assert!(crate::eval::eval(&p, &asg, x).is_zero());
+    }
+
+    #[test]
+    fn solve_shift_symbolic_amount() {
+        let mut p = TermPool::new();
+        let amt = p.fresh_var("amt", 8);
+        let one = p.const_u128(8, 1);
+        let c16 = p.const_u128(8, 16);
+        let sh = p.bin(BinOp::Shl, one, amt);
+        let eq = p.eq(sh, c16);
+        let asg = solve_term(&mut p, eq).expect("sat");
+        assert!(crate::eval::eval(&p, &asg, eq).is_true());
+        // The only solution is amt == 4.
+        let av = asg.iter().find(|(v, _)| p.var_info(**v).name == "amt").unwrap().1;
+        assert_eq!(av.to_u64(), Some(4));
+    }
+
+    #[test]
+    fn shift_out_of_range_is_zero() {
+        let mut p = TermPool::new();
+        let amt = p.fresh_var("amt", 8);
+        let c1 = p.const_u128(8, 1);
+        let c9 = p.const_u128(8, 9);
+        let ge = p.ule(c9, amt); // amt >= 9 > width 8
+        let sh = p.bin(BinOp::Shl, c1, amt);
+        let zero = p.const_u128(8, 0);
+        let nz = p.neq(sh, zero);
+        let both = p.and(ge, nz);
+        assert!(solve_term(&mut p, both).is_none(), "shl by >= width must be 0");
+    }
+
+    #[test]
+    fn solve_udiv() {
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let c7 = p.const_u128(8, 7);
+        let c5 = p.const_u128(8, 5);
+        let d = p.bin(BinOp::UDiv, x, c7);
+        let eq = p.eq(d, c5); // x / 7 == 5  =>  x in [35, 41]
+        let asg = solve_term(&mut p, eq).expect("sat");
+        let xv = asg.iter().find(|(v, _)| p.var_info(**v).name == "x").unwrap().1;
+        let xn = xv.to_u64().unwrap();
+        assert!((35..=41).contains(&xn), "x = {xn}");
+    }
+
+    #[test]
+    fn concat_extract_round_trip() {
+        let mut p = TermPool::new();
+        let hi = p.fresh_var("hi", 8);
+        let lo = p.fresh_var("lo", 8);
+        let cat = p.concat(hi, lo);
+        let cafe = p.const_u128(16, 0xCAFE);
+        let eq = p.eq(cat, cafe);
+        let asg = solve_term(&mut p, eq).expect("sat");
+        let hv = asg.iter().find(|(v, _)| p.var_info(**v).name == "hi").unwrap().1;
+        let lv = asg.iter().find(|(v, _)| p.var_info(**v).name == "lo").unwrap().1;
+        assert_eq!(hv.to_u64(), Some(0xCA));
+        assert_eq!(lv.to_u64(), Some(0xFE));
+    }
+
+    #[test]
+    fn signed_comparison() {
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let zero = p.const_u128(8, 0);
+        let slt = p.bin(BinOp::Slt, x, zero);
+        let asg = solve_term(&mut p, slt).expect("sat");
+        let xv = asg.iter().find(|(v, _)| p.var_info(**v).name == "x").unwrap().1;
+        assert!(xv.bit(7), "x must be negative (MSB set)");
+    }
+}

@@ -1,0 +1,34 @@
+//! # p4t-smt — the constraint-solving substrate for p4testgen
+//!
+//! The paper's P4Testgen encodes path constraints as `QF_BV` formulas and
+//! solves them with Z3 in incremental mode. No Z3 binding is available in
+//! this build environment, so this crate implements the needed slice of an
+//! SMT solver from scratch:
+//!
+//! * [`bitvec::BitVec`] — arbitrary-precision fixed-width bitvector values
+//!   with SMT-LIB semantics (modular arithmetic, `udiv`-by-zero = all-ones).
+//! * [`term::TermPool`] — a hash-consed term DAG with constant folding and
+//!   the algebraic simplifications the paper's taint mitigation relies on.
+//! * [`blast::Blaster`] — Tseitin bit-blasting of terms into CNF, cached per
+//!   term so shared path-prefix structure is encoded once.
+//! * [`sat::SatSolver`] — a CDCL SAT solver (two-watched literals, VSIDS,
+//!   first-UIP learning, Luby restarts, assumptions).
+//! * [`solver::Solver`] — the incremental push/pop facade used by the
+//!   symbolic executor, with timing statistics for the Fig. 7 experiment.
+//! * [`mod@eval`] — reference concrete evaluation of terms, used for model
+//!   checking, concolic execution, and cross-validation property tests.
+//!
+//! The crate is self-contained (no dependencies) and fully synchronous: SAT
+//! solving is CPU-bound, so per the Tokio guidance there is no async here.
+
+pub mod bitvec;
+pub mod blast;
+pub mod eval;
+pub mod sat;
+pub mod solver;
+pub mod term;
+
+pub use bitvec::BitVec;
+pub use eval::{eval, Assignment};
+pub use solver::{CheckResult, Solver};
+pub use term::{BinOp, Node, TermId, TermPool, VarId};

@@ -1,0 +1,785 @@
+//! A CDCL SAT solver with two-watched literals, VSIDS branching, first-UIP
+//! clause learning, phase saving, Luby restarts, and assumption-based
+//! incremental solving.
+//!
+//! This plays the role Z3's SAT core plays in the paper: path constraints are
+//! bit-blasted (see [`crate::blast`]) into CNF and solved here. The design
+//! follows MiniSat's architecture, favoring clarity over heroic optimization —
+//! the paper itself reports that constraint solving is under 10% of P4Testgen
+//! CPU time (Fig. 7), a property our Fig. 7 harness re-measures.
+
+/// A propositional variable, numbered from 0.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct SatVar(pub u32);
+
+/// A literal: variable plus sign. `Lit(2v)` is the positive literal of `v`,
+/// `Lit(2v + 1)` the negative one.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    pub fn positive(v: SatVar) -> Lit {
+        Lit(v.0 << 1)
+    }
+    pub fn negative(v: SatVar) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+    pub fn new(v: SatVar, positive: bool) -> Lit {
+        if positive {
+            Lit::positive(v)
+        } else {
+            Lit::negative(v)
+        }
+    }
+    pub fn var(self) -> SatVar {
+        SatVar(self.0 >> 1)
+    }
+    /// True if this is the positive polarity.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Result of a solve call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    Sat,
+    Unsat,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Value {
+    True,
+    False,
+    Unassigned,
+}
+
+impl Value {
+    fn from_bool(b: bool) -> Value {
+        if b {
+            Value::True
+        } else {
+            Value::False
+        }
+    }
+    fn negate(self) -> Value {
+        match self {
+            Value::True => Value::False,
+            Value::False => Value::True,
+            Value::Unassigned => Value::Unassigned,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct ClauseRef(u32);
+
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    /// Activity for learnt-clause reduction.
+    activity: f64,
+    deleted: bool,
+}
+
+/// Statistics from the solver, surfaced in the Fig. 7 harness.
+#[derive(Default, Clone, Debug)]
+pub struct SatStats {
+    pub decisions: u64,
+    pub propagations: u64,
+    pub conflicts: u64,
+    pub restarts: u64,
+    pub learnt_clauses: u64,
+}
+
+/// The solver. Variables are created with [`SatSolver::new_var`], clauses
+/// added with [`SatSolver::add_clause`], and satisfiability queried with
+/// [`SatSolver::solve`]. Clauses persist across solve calls; per-query
+/// context is passed via assumptions, which is how the incremental push/pop
+/// facade in [`crate::solver`] is built.
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<ClauseRef>>,
+    assigns: Vec<Value>,
+    levels: Vec<u32>,
+    reasons: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    // VSIDS
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: Vec<SatVar>,
+    heap_pos: Vec<Option<u32>>,
+    phases: Vec<bool>,
+    // scratch for analyze
+    seen: Vec<bool>,
+    ok: bool,
+    cla_inc: f64,
+    pub stats: SatStats,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLA_DECAY: f64 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+
+impl Default for SatSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SatSolver {
+    pub fn new() -> Self {
+        SatSolver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            levels: Vec::new(),
+            reasons: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
+            phases: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            cla_inc: 1.0,
+            stats: SatStats::default(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Create a fresh variable.
+    pub fn new_var(&mut self) -> SatVar {
+        let v = SatVar(self.assigns.len() as u32);
+        self.assigns.push(Value::Unassigned);
+        self.levels.push(0);
+        self.reasons.push(None);
+        self.activity.push(0.0);
+        self.phases.push(false);
+        self.seen.push(false);
+        self.heap_pos.push(None);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_insert(v);
+        v
+    }
+
+    fn value_lit(&self, l: Lit) -> Value {
+        let v = self.assigns[l.var().0 as usize];
+        if l.is_positive() {
+            v
+        } else {
+            v.negate()
+        }
+    }
+
+    /// Model value of a variable after a `Sat` result.
+    pub fn model_value(&self, v: SatVar) -> bool {
+        self.assigns[v.0 as usize] == Value::True
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Add a clause. Returns `false` if the formula became trivially unsat.
+    /// If a model from a previous solve is still live, it is invalidated.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.backtrack(0);
+        if !self.ok {
+            return false;
+        }
+        // Simplify: drop duplicate/false literals, detect tautology/satisfied.
+        let mut cl: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            match self.value_lit(l) {
+                Value::True => return true, // already satisfied at level 0
+                Value::False => continue,
+                Value::Unassigned => {
+                    if cl.contains(&l.negate()) {
+                        return true; // tautology
+                    }
+                    if !cl.contains(&l) {
+                        cl.push(l);
+                    }
+                }
+            }
+        }
+        match cl.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(cl[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(cl, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = ClauseRef(self.clauses.len() as u32);
+        self.watches[lits[0].negate().index()].push(cref);
+        self.watches[lits[1].negate().index()].push(cref);
+        self.clauses.push(Clause { lits, learnt, activity: 0.0, deleted: false });
+        cref
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.value_lit(l), Value::Unassigned);
+        let v = l.var().0 as usize;
+        self.assigns[v] = Value::from_bool(l.is_positive());
+        self.levels[v] = self.decision_level();
+        self.reasons[v] = reason;
+        self.phases[v] = l.is_positive();
+        self.trail.push(l);
+    }
+
+    /// Boolean constraint propagation. Returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            // Clauses watching ~p need inspection. `p` was assigned true,
+            // so clauses containing ~p may have lost a watch.
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut i = 0;
+            'clauses: while i < ws.len() {
+                let cref = ws[i];
+                let ci = cref.0 as usize;
+                if self.clauses[ci].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Normalize so lits[0] is the other watched literal.
+                let false_lit = p.negate();
+                if self.clauses[ci].lits[0] == false_lit {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci].lits[1], false_lit);
+                let first = self.clauses[ci].lits[0];
+                if self.value_lit(first) == Value::True {
+                    i += 1;
+                    continue;
+                }
+                // Search for a replacement watch.
+                for k in 2..self.clauses[ci].lits.len() {
+                    let lk = self.clauses[ci].lits[k];
+                    if self.value_lit(lk) != Value::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[lk.negate().index()].push(cref);
+                        ws.swap_remove(i);
+                        continue 'clauses;
+                    }
+                }
+                // No replacement: clause is unit or conflicting.
+                if self.value_lit(first) == Value::False {
+                    // Conflict. Restore remaining watches and return.
+                    self.watches[p.index()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+                self.enqueue(first, Some(cref));
+                i += 1;
+            }
+            self.watches[p.index()] = ws;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: SatVar) {
+        let vi = v.0 as usize;
+        self.activity[vi] += self.var_inc;
+        if self.activity[vi] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_LIMIT;
+            }
+            self.var_inc *= 1.0 / RESCALE_LIMIT;
+        }
+        self.heap_update(v);
+    }
+
+    fn bump_clause(&mut self, c: ClauseRef) {
+        let ci = c.0 as usize;
+        self.clauses[ci].activity += self.cla_inc;
+        if self.clauses[ci].activity > RESCALE_LIMIT {
+            for cl in &mut self.clauses {
+                cl.activity *= 1.0 / RESCALE_LIMIT;
+            }
+            self.cla_inc *= 1.0 / RESCALE_LIMIT;
+        }
+    }
+
+    /// Conflict analysis producing a first-UIP learnt clause and the level to
+    /// backtrack to.
+    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 reserved for the UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut trail_idx = self.trail.len();
+        loop {
+            self.bump_clause(conflict);
+            let lits: Vec<Lit> = self.clauses[conflict.0 as usize].lits.clone();
+            let skip = usize::from(p.is_some());
+            for &q in lits.iter().skip(skip) {
+                let qv = q.var().0 as usize;
+                if self.seen[qv] || self.levels[qv] == 0 {
+                    continue;
+                }
+                self.seen[qv] = true;
+                self.bump_var(q.var());
+                if self.levels[qv] == self.decision_level() {
+                    counter += 1;
+                } else {
+                    learnt.push(q);
+                }
+            }
+            // Walk the trail back to the next marked literal.
+            loop {
+                trail_idx -= 1;
+                let l = self.trail[trail_idx];
+                if self.seen[l.var().0 as usize] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.unwrap().var().0 as usize;
+            self.seen[pv] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            conflict = self.reasons[pv].expect("non-decision literal must have a reason");
+        }
+        learnt[0] = p.unwrap().negate();
+        // Backtrack level: second-highest level in the learnt clause.
+        let mut bt = 0u32;
+        let mut max_i = 1usize;
+        for (i, &l) in learnt.iter().enumerate().skip(1) {
+            let lv = self.levels[l.var().0 as usize];
+            if lv > bt {
+                bt = lv;
+                max_i = i;
+            }
+        }
+        if learnt.len() > 1 {
+            learnt.swap(1, max_i);
+        }
+        for &l in &learnt {
+            self.seen[l.var().0 as usize] = false;
+        }
+        (learnt, bt)
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let l = self.trail.pop().unwrap();
+                let v = l.var();
+                self.assigns[v.0 as usize] = Value::Unassigned;
+                self.reasons[v.0 as usize] = None;
+                if self.heap_pos[v.0 as usize].is_none() {
+                    self.heap_insert(v);
+                }
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap_pop() {
+            if self.assigns[v.0 as usize] == Value::Unassigned {
+                return Some(Lit::new(v, self.phases[v.0 as usize]));
+            }
+        }
+        None
+    }
+
+    /// Reduce the learnt clause database, keeping the more active half.
+    fn reduce_db(&mut self) {
+        let mut learnts: Vec<(f64, usize)> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.deleted && c.lits.len() > 2)
+            .map(|(i, c)| (c.activity, i))
+            .collect();
+        learnts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let locked: Vec<bool> = learnts
+            .iter()
+            .map(|&(_, i)| {
+                self.clauses[i]
+                    .lits
+                    .first()
+                    .is_some_and(|l| self.reasons[l.var().0 as usize] == Some(ClauseRef(i as u32)))
+            })
+            .collect();
+        for (k, &(_, i)) in learnts.iter().take(learnts.len() / 2).enumerate() {
+            if !locked[k] {
+                self.clauses[i].deleted = true;
+            }
+        }
+    }
+
+    /// Solve under the given assumptions. The assumptions hold only for this
+    /// call; learned clauses persist.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.backtrack(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatResult::Unsat;
+        }
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_idx = 0u32;
+        let mut restart_limit = 32 * luby(restart_idx);
+        let mut max_learnts = (self.clauses.len() as f64 * 0.5).max(2000.0);
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                // Conflicts at or below the assumption prefix mean the
+                // assumptions themselves are inconsistent with the clauses.
+                let (learnt, bt_level) = self.analyze(conflict);
+                let assumption_level = self.assumption_level(assumptions);
+                if self.decision_level() <= assumption_level {
+                    return SatResult::Unsat;
+                }
+                let bt = bt_level;
+                self.backtrack(bt);
+                self.stats.learnt_clauses += 1;
+                if learnt.len() == 1 {
+                    if self.decision_level() > 0 {
+                        self.backtrack(0);
+                        // Re-establish assumptions on the next loop iterations.
+                    }
+                    if self.value_lit(learnt[0]) == Value::False {
+                        self.ok = false;
+                        return SatResult::Unsat;
+                    }
+                    if self.value_lit(learnt[0]) == Value::Unassigned {
+                        self.enqueue(learnt[0], None);
+                    }
+                } else {
+                    // The learnt clause is asserting at the backtrack level,
+                    // unless we had to jump further back for assumptions.
+                    let cref = self.attach_clause(learnt.clone(), true);
+                    if self.value_lit(learnt[0]) == Value::Unassigned {
+                        self.enqueue(learnt[0], Some(cref));
+                    }
+                }
+                self.var_inc /= VAR_DECAY;
+                self.cla_inc /= CLA_DECAY;
+                if self.stats.learnt_clauses > max_learnts as u64 {
+                    self.reduce_db();
+                    max_learnts *= 1.3;
+                }
+            } else {
+                if conflicts_since_restart >= restart_limit {
+                    self.stats.restarts += 1;
+                    restart_idx += 1;
+                    restart_limit = 32 * luby(restart_idx);
+                    conflicts_since_restart = 0;
+                    self.backtrack(0);
+                    continue;
+                }
+                // Establish pending assumptions as decisions.
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.value_lit(a) {
+                        Value::True => {
+                            // Already implied; open an empty decision level so
+                            // each assumption still owns one level.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        Value::False => return SatResult::Unsat,
+                        Value::Unassigned => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch() {
+                    None => return SatResult::Sat,
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+
+    fn assumption_level(&self, assumptions: &[Lit]) -> u32 {
+        (assumptions.len() as u32).min(self.decision_level())
+    }
+
+    // ---- activity-ordered heap ------------------------------------------
+
+    fn heap_less(&self, a: SatVar, b: SatVar) -> bool {
+        self.activity[a.0 as usize] > self.activity[b.0 as usize]
+    }
+
+    fn heap_insert(&mut self, v: SatVar) {
+        let i = self.heap.len();
+        self.heap.push(v);
+        self.heap_pos[v.0 as usize] = Some(i as u32);
+        self.heap_up(i);
+    }
+
+    fn heap_pop(&mut self) -> Option<SatVar> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.heap_pos[top.0 as usize] = None;
+        let last = self.heap.pop().unwrap();
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last.0 as usize] = Some(0);
+            self.heap_down(0);
+        }
+        Some(top)
+    }
+
+    fn heap_update(&mut self, v: SatVar) {
+        if let Some(i) = self.heap_pos[v.0 as usize] {
+            self.heap_up(i as usize);
+        }
+    }
+
+    fn heap_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(self.heap[i], self.heap[parent]) {
+                self.heap_swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.heap_less(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.heap_less(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.heap_pos[self.heap[i].0 as usize] = Some(i as u32);
+        self.heap_pos[self.heap[j].0 as usize] = Some(j as u32);
+    }
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, ...
+fn luby(i: u32) -> u64 {
+    let mut k = 1u32;
+    while (1u64 << k) < (i as u64 + 2) {
+        k += 1;
+    }
+    if (1u64 << k) == i as u64 + 2 {
+        return 1u64 << (k - 1);
+    }
+    luby(i + 1 - (1u32 << (k - 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut SatSolver, n: usize) -> Vec<SatVar> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = SatSolver::new();
+        let v = s.new_var();
+        s.add_clause(&[Lit::positive(v)]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert!(s.model_value(v));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = SatSolver::new();
+        let v = s.new_var();
+        s.add_clause(&[Lit::positive(v)]);
+        s.add_clause(&[Lit::negative(v)]);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn implication_chain() {
+        let mut s = SatSolver::new();
+        let vs = lits(&mut s, 10);
+        for w in vs.windows(2) {
+            s.add_clause(&[Lit::negative(w[0]), Lit::positive(w[1])]);
+        }
+        s.add_clause(&[Lit::positive(vs[0])]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        for &v in &vs {
+            assert!(s.model_value(v));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: p[i][j] = pigeon i in hole j.
+        let mut s = SatSolver::new();
+        let mut p = [[SatVar(0); 2]; 3];
+        for row in &mut p {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[Lit::positive(row[0]), Lit::positive(row[1])]);
+        }
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in i1 + 1..3 {
+                    s.add_clause(&[Lit::negative(p[i1][j]), Lit::negative(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_are_transient() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::negative(a), Lit::positive(b)]);
+        assert_eq!(s.solve(&[Lit::positive(a), Lit::negative(b)]), SatResult::Unsat);
+        // The same formula is satisfiable without the assumptions.
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert_eq!(s.solve(&[Lit::positive(a)]), SatResult::Sat);
+        assert!(s.model_value(b));
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = SatSolver::new();
+        let vs = lits(&mut s, 3);
+        s.add_clause(&[Lit::positive(vs[0]), Lit::positive(vs[1])]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        s.add_clause(&[Lit::negative(vs[0])]);
+        s.add_clause(&[Lit::negative(vs[1])]);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn random_3sat_consistency() {
+        // Random 3-SAT at low clause density must be satisfiable and the
+        // model must satisfy every clause.
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..20 {
+            let mut s = SatSolver::new();
+            let n = 30;
+            let vs = lits(&mut s, n);
+            let mut cls = Vec::new();
+            for _ in 0..60 {
+                let c: Vec<Lit> = (0..3)
+                    .map(|_| {
+                        let v = vs[(next() % n as u64) as usize];
+                        Lit::new(v, next() % 2 == 0)
+                    })
+                    .collect();
+                cls.push(c.clone());
+                s.add_clause(&c);
+            }
+            if s.solve(&[]) == SatResult::Sat {
+                for c in &cls {
+                    assert!(
+                        c.iter().any(|l| s.model_value(l.var()) == l.is_positive()),
+                        "model violates clause"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u32), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn xor_constraint_all_solutions_reachable() {
+        // Encode a XOR b (CNF) and enumerate both solutions via blocking.
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::positive(a), Lit::positive(b)]);
+        s.add_clause(&[Lit::negative(a), Lit::negative(b)]);
+        let mut solutions = Vec::new();
+        while s.solve(&[]) == SatResult::Sat {
+            let m = (s.model_value(a), s.model_value(b));
+            solutions.push(m);
+            s.add_clause(&[Lit::new(a, !m.0), Lit::new(b, !m.1)]);
+        }
+        solutions.sort();
+        assert_eq!(solutions, vec![(false, true), (true, false)]);
+    }
+}

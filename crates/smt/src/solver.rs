@@ -1,0 +1,291 @@
+//! Incremental solver facade: push/pop scopes over assertions, model
+//! extraction, and solve statistics.
+//!
+//! This is the interface the symbolic executor talks to — the analogue of
+//! the paper's "Z3 configured with incremental solving". Assertions are
+//! tracked per scope as *terms*; each `check` encodes exactly the cone of
+//! the current assertion set into a fresh SAT instance and solves it.
+//!
+//! Why fresh-per-check rather than one monotonically growing SAT instance:
+//! path constraints from packet programs are overwhelmingly easy (measured
+//! on our corpus: thousands of checks, a few dozen conflicts in total), so
+//! learned clauses carry almost no value — but a shared clause database
+//! forces every solve to assign every Tseitin variable ever created by any
+//! path, which made solving scale with the *total* work of the run instead
+//! of the size of the current path. A fresh instance per check keeps each
+//! solve proportional to its own cone. Z3's incremental mode performs the
+//! equivalent cone restriction internally; our CDCL core does not, so this
+//! facade makes the choice explicit. (See EXPERIMENTS.md, Fig. 7.)
+
+use crate::blast::Blaster;
+use crate::eval::Assignment;
+use crate::sat::{SatResult, SatSolver};
+use crate::term::{TermId, TermPool, VarId};
+use std::time::{Duration, Instant};
+
+/// Result of a `check` call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckResult {
+    Sat,
+    Unsat,
+}
+
+/// Cumulative timing and counter statistics, read by the Fig. 7 harness.
+#[derive(Default, Clone, Debug)]
+pub struct SolverStats {
+    pub checks: u64,
+    pub sat_results: u64,
+    pub unsat_results: u64,
+    /// Wall time spent inside `check` (bit-blasting + SAT search).
+    pub solve_time: Duration,
+    /// Wall time spent purely in the SAT search.
+    pub sat_time: Duration,
+}
+
+/// Bitvector solver with scoped assertions.
+pub struct Solver {
+    /// Terms asserted, partitioned into scopes by `scope_marks`.
+    asserted_terms: Vec<TermId>,
+    scope_marks: Vec<usize>,
+    /// The SAT instance and blaster from the most recent check (kept for
+    /// model extraction).
+    last: Option<(SatSolver, Blaster)>,
+    /// Accumulated SAT-core statistics across all checks.
+    sat_totals: crate::sat::SatStats,
+    pub stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    pub fn new() -> Self {
+        Solver {
+            asserted_terms: Vec::new(),
+            scope_marks: Vec::new(),
+            last: None,
+            sat_totals: crate::sat::SatStats::default(),
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Open a new assertion scope.
+    pub fn push(&mut self) {
+        self.scope_marks.push(self.asserted_terms.len());
+    }
+
+    /// Discard all assertions added since the matching `push`.
+    pub fn pop(&mut self) {
+        let mark = self.scope_marks.pop().expect("pop without matching push");
+        self.asserted_terms.truncate(mark);
+    }
+
+    /// Current scope depth.
+    pub fn depth(&self) -> usize {
+        self.scope_marks.len()
+    }
+
+    /// Assert a 1-bit term in the current scope.
+    pub fn assert(&mut self, pool: &mut TermPool, t: TermId) {
+        assert_eq!(pool.width(t), 1, "assertions must be 1-bit terms");
+        self.asserted_terms.push(t);
+    }
+
+    /// Check satisfiability of all assertions in all scopes.
+    pub fn check(&mut self, pool: &mut TermPool) -> CheckResult {
+        self.check_assuming(pool, &[])
+    }
+
+    /// Check with extra transient assumptions (1-bit terms).
+    pub fn check_assuming(&mut self, pool: &mut TermPool, extra: &[TermId]) -> CheckResult {
+        let t0 = Instant::now();
+        let mut sat = SatSolver::new();
+        let mut blaster = Blaster::new(&mut sat);
+        let mut ok = true;
+        for &t in self.asserted_terms.iter().chain(extra) {
+            debug_assert_eq!(pool.width(t), 1, "assumptions must be 1-bit terms");
+            let l = blaster.assertion_lit(&mut sat, pool, t);
+            if !sat.add_clause(&[l]) {
+                ok = false;
+                break;
+            }
+        }
+        let t1 = Instant::now();
+        let res = if ok { sat.solve(&[]) } else { SatResult::Unsat };
+        self.stats.sat_time += t1.elapsed();
+        self.stats.solve_time += t0.elapsed();
+        self.stats.checks += 1;
+        accumulate(&mut self.sat_totals, &sat.stats);
+        self.last = Some((sat, blaster));
+        match res {
+            SatResult::Sat => {
+                self.stats.sat_results += 1;
+                CheckResult::Sat
+            }
+            SatResult::Unsat => {
+                self.stats.unsat_results += 1;
+                CheckResult::Unsat
+            }
+        }
+    }
+
+    /// Model value of one variable after a Sat check. Variables that did not
+    /// occur in the checked formula evaluate to zero.
+    pub fn model_value(&self, pool: &TermPool, v: VarId) -> crate::bitvec::BitVec {
+        match &self.last {
+            Some((sat, blaster)) => blaster.model_value(sat, pool, v),
+            None => crate::bitvec::BitVec::zeros(pool.var_info(v).width),
+        }
+    }
+
+    /// Full model over the given variables after a Sat check.
+    pub fn model(&self, pool: &TermPool, vars: &[VarId]) -> Assignment {
+        let mut asg = Assignment::new();
+        for &v in vars {
+            asg.set(v, self.model_value(pool, v));
+        }
+        asg
+    }
+
+    /// Model over every variable mentioned in the current assertions.
+    pub fn model_of_assertions(&self, pool: &TermPool) -> Assignment {
+        let mut vars = Vec::new();
+        for &t in &self.asserted_terms {
+            vars.extend(pool.vars_of(t));
+        }
+        vars.sort();
+        vars.dedup();
+        self.model(pool, &vars)
+    }
+
+    /// The asserted terms, outermost scope first (diagnostics).
+    pub fn assertions(&self) -> &[TermId] {
+        &self.asserted_terms
+    }
+
+    /// SAT-core statistics accumulated over all checks.
+    pub fn sat_stats(&self) -> &crate::sat::SatStats {
+        &self.sat_totals
+    }
+}
+
+fn accumulate(total: &mut crate::sat::SatStats, one: &crate::sat::SatStats) {
+    total.decisions += one.decisions;
+    total.propagations += one.propagations;
+    total.conflicts += one.conflicts;
+    total.restarts += one.restarts;
+    total.learnt_clauses += one.learnt_clauses;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+
+    #[test]
+    fn push_pop_restores_satisfiability() {
+        let mut pool = TermPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh_var("x", 8);
+        let c5 = pool.const_u128(8, 5);
+        let c6 = pool.const_u128(8, 6);
+        let eq5 = pool.eq(x, c5);
+        let eq6 = pool.eq(x, c6);
+        s.assert(&mut pool, eq5);
+        assert_eq!(s.check(&mut pool), CheckResult::Sat);
+        s.push();
+        s.assert(&mut pool, eq6);
+        assert_eq!(s.check(&mut pool), CheckResult::Unsat);
+        s.pop();
+        assert_eq!(s.check(&mut pool), CheckResult::Sat);
+        let m = s.model_of_assertions(&pool);
+        assert!(eval(&pool, &m, eq5).is_true());
+    }
+
+    #[test]
+    fn nested_scopes() {
+        let mut pool = TermPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh_var("x", 4);
+        let lims: Vec<_> = (1..=3)
+            .map(|i| {
+                let c = pool.const_u128(4, 1 << i);
+                pool.ult(x, c)
+            })
+            .collect();
+        for &l in &lims {
+            s.push();
+            s.assert(&mut pool, l);
+        }
+        assert_eq!(s.depth(), 3);
+        assert_eq!(s.check(&mut pool), CheckResult::Sat);
+        s.pop();
+        s.pop();
+        s.pop();
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.check(&mut pool), CheckResult::Sat);
+    }
+
+    #[test]
+    fn transient_assumptions() {
+        let mut pool = TermPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh_var("x", 8);
+        let zero = pool.const_u128(8, 0);
+        let pos = pool.neq(x, zero);
+        s.assert(&mut pool, pos);
+        let isz = pool.eq(x, zero);
+        assert_eq!(s.check_assuming(&mut pool, &[isz]), CheckResult::Unsat);
+        assert_eq!(s.check(&mut pool), CheckResult::Sat);
+    }
+
+    #[test]
+    fn model_satisfies_complex_constraint() {
+        let mut pool = TermPool::new();
+        let mut s = Solver::new();
+        // (x + y == 0xBEEF) && (x & 0xFF == 0x42)
+        let x = pool.fresh_var("x", 16);
+        let y = pool.fresh_var("y", 16);
+        let sum = pool.add(x, y);
+        let beef = pool.const_u128(16, 0xBEEF);
+        let c1 = pool.eq(sum, beef);
+        let mask = pool.const_u128(16, 0xFF);
+        let lowx = pool.and(x, mask);
+        let c42 = pool.const_u128(16, 0x42);
+        let c2 = pool.eq(lowx, c42);
+        s.assert(&mut pool, c1);
+        s.assert(&mut pool, c2);
+        assert_eq!(s.check(&mut pool), CheckResult::Sat);
+        let m = s.model_of_assertions(&pool);
+        assert!(eval(&pool, &m, c1).is_true());
+        assert!(eval(&pool, &m, c2).is_true());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut pool = TermPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh_var("x", 8);
+        let c = pool.const_u128(8, 9);
+        let eq = pool.eq(x, c);
+        s.assert(&mut pool, eq);
+        s.check(&mut pool);
+        s.check(&mut pool);
+        assert_eq!(s.stats.checks, 2);
+        assert_eq!(s.stats.sat_results, 2);
+    }
+
+    #[test]
+    fn model_before_any_check_is_zero() {
+        let mut pool = TermPool::new();
+        let s = Solver::new();
+        let x = pool.fresh_var("x", 8);
+        let crate::term::Node::Var(v) = *pool.node(x) else {
+            panic!()
+        };
+        assert!(s.model_value(&pool, v).is_zero());
+    }
+}

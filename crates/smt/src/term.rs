@@ -1,0 +1,701 @@
+//! Hash-consed bitvector term language.
+//!
+//! Terms form a DAG interned in a [`TermPool`]: structurally identical terms
+//! share one [`TermId`]. Booleans are 1-bit bitvectors, so the whole language
+//! is `QF_BV`. Constructors perform constant folding and a small set of
+//! algebraic simplifications — notably the ones the paper relies on for taint
+//! mitigation (e.g. `x * 0 == 0` so a tainted multiplicand is neutralized).
+
+use crate::bitvec::BitVec;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of an interned term in a [`TermPool`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub(crate) u32);
+
+impl fmt::Debug for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Index of a symbolic variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Raw index, usable as a dense table key.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Binary operations. All operands must have equal width except `Concat`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    UDiv,
+    URem,
+    And,
+    Or,
+    Xor,
+    /// Shift amount is the right operand (same width as left).
+    Shl,
+    LShr,
+    AShr,
+    /// Left operand supplies the high bits.
+    Concat,
+    /// Comparisons produce a 1-bit result.
+    Eq,
+    Ult,
+    Ule,
+    Slt,
+    Sle,
+}
+
+impl BinOp {
+    /// Whether the result of this operation is a 1-bit boolean.
+    pub fn is_predicate(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ult | BinOp::Ule | BinOp::Slt | BinOp::Sle)
+    }
+}
+
+/// A term node. Obtain instances through [`TermPool`] constructors only.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Node {
+    Const(BitVec),
+    Var(VarId),
+    Not(TermId),
+    Neg(TermId),
+    Bin(BinOp, TermId, TermId),
+    Extract { hi: u32, lo: u32, arg: TermId },
+    /// `cond` must be 1-bit; branches must have equal width.
+    Ite(TermId, TermId, TermId),
+}
+
+/// Metadata about a symbolic variable.
+#[derive(Clone, Debug)]
+pub struct VarInfo {
+    pub name: String,
+    pub width: usize,
+}
+
+/// Arena and interner for terms.
+#[derive(Default)]
+pub struct TermPool {
+    nodes: Vec<Node>,
+    widths: Vec<u32>,
+    dedup: HashMap<Node, TermId>,
+    vars: Vec<VarInfo>,
+}
+
+impl TermPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern(&mut self, node: Node, width: usize) -> TermId {
+        if let Some(&id) = self.dedup.get(&node) {
+            return id;
+        }
+        let id = TermId(self.nodes.len() as u32);
+        self.nodes.push(node.clone());
+        self.widths.push(width as u32);
+        self.dedup.insert(node, id);
+        id
+    }
+
+    /// Node backing a term.
+    pub fn node(&self, id: TermId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Bit width of a term.
+    pub fn width(&self, id: TermId) -> usize {
+        self.widths[id.0 as usize] as usize
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Variable metadata.
+    pub fn var_info(&self, v: VarId) -> &VarInfo {
+        &self.vars[v.0 as usize]
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Declare a fresh symbolic variable and return a term referring to it.
+    pub fn fresh_var(&mut self, name: impl Into<String>, width: usize) -> TermId {
+        let v = VarId(self.vars.len() as u32);
+        self.vars.push(VarInfo { name: name.into(), width });
+        // A Var node is unique per VarId, so interning cannot merge two vars.
+        self.intern(Node::Var(v), width)
+    }
+
+    /// Constant term.
+    pub fn constant(&mut self, value: BitVec) -> TermId {
+        let w = value.width();
+        self.intern(Node::Const(value), w)
+    }
+
+    /// Constant from a `u128`.
+    pub fn const_u128(&mut self, width: usize, value: u128) -> TermId {
+        self.constant(BitVec::from_u128(width, value))
+    }
+
+    /// The 1-bit constant 1.
+    pub fn mk_true(&mut self) -> TermId {
+        self.const_u128(1, 1)
+    }
+
+    /// The 1-bit constant 0.
+    pub fn mk_false(&mut self) -> TermId {
+        self.const_u128(1, 0)
+    }
+
+    /// If the term is a constant, its value.
+    pub fn as_const(&self, id: TermId) -> Option<&BitVec> {
+        match self.node(id) {
+            Node::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True if the term is the 1-bit constant 1.
+    pub fn is_const_true(&self, id: TermId) -> bool {
+        self.as_const(id).is_some_and(|v| v.is_true())
+    }
+
+    /// True if the term is the 1-bit constant 0.
+    pub fn is_const_false(&self, id: TermId) -> bool {
+        self.as_const(id).is_some_and(|v| v.width() == 1 && v.is_zero())
+    }
+
+    /// Bitwise NOT (for 1-bit terms this is boolean negation).
+    pub fn not(&mut self, a: TermId) -> TermId {
+        if let Some(v) = self.as_const(a) {
+            return self.constant(v.not());
+        }
+        // Involution: not(not(x)) = x.
+        if let Node::Not(inner) = *self.node(a) {
+            return inner;
+        }
+        let w = self.width(a);
+        self.intern(Node::Not(a), w)
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&mut self, a: TermId) -> TermId {
+        if let Some(v) = self.as_const(a) {
+            return self.constant(v.negate());
+        }
+        let w = self.width(a);
+        self.intern(Node::Neg(a), w)
+    }
+
+    /// General binary constructor with folding and simplification.
+    pub fn bin(&mut self, op: BinOp, a: TermId, b: TermId) -> TermId {
+        use BinOp::*;
+        if op != Concat {
+            assert_eq!(
+                self.width(a),
+                self.width(b),
+                "operand width mismatch in {op:?}: {:?}({}) vs {:?}({})",
+                a,
+                self.width(a),
+                b,
+                self.width(b)
+            );
+        }
+        // Constant folding.
+        if let (Some(va), Some(vb)) = (self.as_const(a), self.as_const(b)) {
+            let (va, vb) = (va.clone(), vb.clone());
+            let folded = match op {
+                Add => va.add(&vb),
+                Sub => va.sub(&vb),
+                Mul => va.mul(&vb),
+                UDiv => va.udiv(&vb),
+                URem => va.urem(&vb),
+                And => va.and(&vb),
+                Or => va.or(&vb),
+                Xor => va.xor(&vb),
+                Shl => va.shl(&vb),
+                LShr => va.lshr(&vb),
+                AShr => va.ashr(&vb),
+                Concat => va.concat(&vb),
+                Eq => BitVec::from_bool(va == vb),
+                Ult => BitVec::from_bool(va.ult(&vb)),
+                Ule => BitVec::from_bool(va.ule(&vb)),
+                Slt => BitVec::from_bool(va.slt(&vb)),
+                Sle => BitVec::from_bool(va.sle(&vb)),
+            };
+            return self.constant(folded);
+        }
+        let w = self.width(a);
+        // Algebraic simplifications (includes the taint-mitigation rules).
+        match op {
+            Add | Sub | Xor | Or | Shl | LShr | AShr => {
+                if self.is_zero_const(b) {
+                    return a;
+                }
+                if (op == Add || op == Xor || op == Or) && self.is_zero_const(a) {
+                    return b;
+                }
+            }
+            Mul => {
+                if self.is_zero_const(a) {
+                    return a;
+                }
+                if self.is_zero_const(b) {
+                    return b;
+                }
+                if self.is_one_const(a) {
+                    return b;
+                }
+                if self.is_one_const(b) {
+                    return a;
+                }
+            }
+            And => {
+                if self.is_zero_const(a) {
+                    return a;
+                }
+                if self.is_zero_const(b) {
+                    return b;
+                }
+                if self.is_ones_const(a) {
+                    return b;
+                }
+                if self.is_ones_const(b) {
+                    return a;
+                }
+                if a == b {
+                    return a;
+                }
+            }
+            Eq => {
+                if a == b {
+                    return self.mk_true();
+                }
+                // For 1-bit equality against a constant, fold to identity/not.
+                if w == 1 {
+                    if self.is_const_true(b) {
+                        return a;
+                    }
+                    if self.is_const_true(a) {
+                        return b;
+                    }
+                    if self.is_const_false(b) {
+                        return self.not(a);
+                    }
+                    if self.is_const_false(a) {
+                        return self.not(b);
+                    }
+                }
+            }
+            Ult => {
+                if a == b {
+                    return self.mk_false();
+                }
+                if self.is_zero_const(b) {
+                    return self.mk_false();
+                }
+            }
+            Ule | Sle
+                if a == b => {
+                    return self.mk_true();
+                }
+            Slt
+                if a == b => {
+                    return self.mk_false();
+                }
+            Concat => {
+                if self.width(a) == 0 {
+                    return b;
+                }
+                if self.width(b) == 0 {
+                    return a;
+                }
+            }
+            _ => {}
+        }
+        // Or with identical operands, xor with self.
+        if a == b {
+            match op {
+                Or => return a,
+                Xor | Sub => return self.constant(BitVec::zeros(w)),
+                _ => {}
+            }
+        }
+        let result_w = match op {
+            Concat => self.width(a) + self.width(b),
+            _ if op.is_predicate() => 1,
+            _ => w,
+        };
+        self.intern(Node::Bin(op, a, b), result_w)
+    }
+
+    fn is_zero_const(&self, id: TermId) -> bool {
+        self.as_const(id).is_some_and(|v| v.is_zero())
+    }
+
+    fn is_one_const(&self, id: TermId) -> bool {
+        self.as_const(id).is_some_and(|v| v.to_u64() == Some(1))
+    }
+
+    fn is_ones_const(&self, id: TermId) -> bool {
+        self.as_const(id).is_some_and(|v| *v == BitVec::ones(v.width()))
+    }
+
+    /// Extract bits `[lo, hi]` inclusive.
+    pub fn extract(&mut self, hi: usize, lo: usize, arg: TermId) -> TermId {
+        let aw = self.width(arg);
+        assert!(hi >= lo && hi < aw, "extract [{hi}:{lo}] of width {aw}");
+        if lo == 0 && hi + 1 == aw {
+            return arg;
+        }
+        if let Some(v) = self.as_const(arg) {
+            let v = v.extract(hi, lo);
+            return self.constant(v);
+        }
+        // extract over concat: descend into the side that fully contains the slice.
+        if let Node::Bin(BinOp::Concat, a, b) = *self.node(arg) {
+            let bw = self.width(b);
+            if hi < bw {
+                return self.extract(hi, lo, b);
+            }
+            if lo >= bw {
+                return self.extract(hi - bw, lo - bw, a);
+            }
+        }
+        // extract over extract: compose offsets.
+        if let Node::Extract { lo: ilo, arg: inner, .. } = *self.node(arg) {
+            return self.extract(hi + ilo as usize, lo + ilo as usize, inner);
+        }
+        self.intern(Node::Extract { hi: hi as u32, lo: lo as u32, arg }, hi - lo + 1)
+    }
+
+    /// If-then-else; `cond` must be 1-bit.
+    pub fn ite(&mut self, cond: TermId, then_t: TermId, else_t: TermId) -> TermId {
+        assert_eq!(self.width(cond), 1, "ite condition must be 1-bit");
+        assert_eq!(self.width(then_t), self.width(else_t), "ite branch width mismatch");
+        if self.is_const_true(cond) {
+            return then_t;
+        }
+        if self.is_const_false(cond) {
+            return else_t;
+        }
+        if then_t == else_t {
+            return then_t;
+        }
+        // 1-bit ite with constant branches is just cond or !cond.
+        if self.width(then_t) == 1 && self.is_const_true(then_t) && self.is_const_false(else_t) {
+            return cond;
+        }
+        if self.width(then_t) == 1 && self.is_const_false(then_t) && self.is_const_true(else_t) {
+            return self.not(cond);
+        }
+        let w = self.width(then_t);
+        self.intern(Node::Ite(cond, then_t, else_t), w)
+    }
+
+    // ---- convenience wrappers -------------------------------------------
+
+    pub fn add(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bin(BinOp::Add, a, b)
+    }
+    pub fn sub(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bin(BinOp::Sub, a, b)
+    }
+    pub fn mul(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bin(BinOp::Mul, a, b)
+    }
+    pub fn and(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bin(BinOp::And, a, b)
+    }
+    pub fn or(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bin(BinOp::Or, a, b)
+    }
+    pub fn xor(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bin(BinOp::Xor, a, b)
+    }
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bin(BinOp::Eq, a, b)
+    }
+    pub fn neq(&mut self, a: TermId, b: TermId) -> TermId {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+    pub fn ult(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bin(BinOp::Ult, a, b)
+    }
+    pub fn ule(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bin(BinOp::Ule, a, b)
+    }
+    pub fn concat(&mut self, hi: TermId, lo: TermId) -> TermId {
+        self.bin(BinOp::Concat, hi, lo)
+    }
+
+    /// Concatenate a list of terms, first element highest.
+    pub fn concat_all(&mut self, parts: &[TermId]) -> TermId {
+        let mut it = parts.iter();
+        let first = *it.next().expect("concat_all of empty list");
+        it.fold(first, |acc, &p| self.concat(acc, p))
+    }
+
+    /// Zero-extend to `width`.
+    pub fn zext(&mut self, a: TermId, width: usize) -> TermId {
+        let aw = self.width(a);
+        assert!(width >= aw);
+        if width == aw {
+            return a;
+        }
+        let zeros = self.constant(BitVec::zeros(width - aw));
+        self.concat(zeros, a)
+    }
+
+    /// Sign-extend to `width`.
+    pub fn sext(&mut self, a: TermId, width: usize) -> TermId {
+        let aw = self.width(a);
+        assert!(width >= aw && aw > 0);
+        if width == aw {
+            return a;
+        }
+        let sign = self.extract(aw - 1, aw - 1, a);
+        let mut ext = sign;
+        while self.width(ext) < width - aw {
+            let have = self.width(ext);
+            let take = (width - aw - have).min(have);
+            let part = self.extract(take - 1, 0, ext);
+            ext = self.concat(ext, part);
+        }
+        self.concat(ext, a)
+    }
+
+    /// P4-style cast: truncate or zero-extend to `width`.
+    pub fn cast(&mut self, a: TermId, width: usize) -> TermId {
+        let aw = self.width(a);
+        if width == aw {
+            a
+        } else if width < aw {
+            self.extract(width - 1, 0, a)
+        } else {
+            self.zext(a, width)
+        }
+    }
+
+    /// Boolean AND over a list (empty list is `true`).
+    pub fn and_all(&mut self, parts: &[TermId]) -> TermId {
+        let mut acc = self.mk_true();
+        for &p in parts {
+            acc = self.and(acc, p);
+        }
+        acc
+    }
+
+    /// Collect the set of variables appearing in a term.
+    pub fn vars_of(&self, root: TermId) -> Vec<VarId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(t) = stack.pop() {
+            if seen[t.0 as usize] {
+                continue;
+            }
+            seen[t.0 as usize] = true;
+            match self.node(t) {
+                Node::Const(_) => {}
+                Node::Var(v) => out.push(*v),
+                Node::Not(a) | Node::Neg(a) | Node::Extract { arg: a, .. } => stack.push(*a),
+                Node::Bin(_, a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+                Node::Ite(c, a, b) => {
+                    stack.push(*c);
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Render a term as an s-expression (for debugging and trace output).
+    pub fn display(&self, id: TermId) -> String {
+        let mut s = String::new();
+        self.display_into(id, &mut s, 0);
+        s
+    }
+
+    fn display_into(&self, id: TermId, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        if depth > 24 {
+            out.push_str("...");
+            return;
+        }
+        match self.node(id) {
+            Node::Const(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Node::Var(v) => out.push_str(&self.var_info(*v).name),
+            Node::Not(a) => {
+                out.push_str("(not ");
+                self.display_into(*a, out, depth + 1);
+                out.push(')');
+            }
+            Node::Neg(a) => {
+                out.push_str("(neg ");
+                self.display_into(*a, out, depth + 1);
+                out.push(')');
+            }
+            Node::Bin(op, a, b) => {
+                let _ = write!(out, "({op:?} ");
+                self.display_into(*a, out, depth + 1);
+                out.push(' ');
+                self.display_into(*b, out, depth + 1);
+                out.push(')');
+            }
+            Node::Extract { hi, lo, arg } => {
+                let _ = write!(out, "(extract[{hi}:{lo}] ");
+                self.display_into(*arg, out, depth + 1);
+                out.push(')');
+            }
+            Node::Ite(c, a, b) => {
+                out.push_str("(ite ");
+                self.display_into(*c, out, depth + 1);
+                out.push(' ');
+                self.display_into(*a, out, depth + 1);
+                out.push(' ');
+                self.display_into(*b, out, depth + 1);
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut p = TermPool::new();
+        let a = p.const_u128(8, 5);
+        let b = p.const_u128(8, 5);
+        assert_eq!(a, b);
+        let x = p.fresh_var("x", 8);
+        let s1 = p.add(x, a);
+        let s2 = p.add(x, b);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn distinct_vars_not_merged() {
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let y = p.fresh_var("x", 8); // same name, distinct identity
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut p = TermPool::new();
+        let a = p.const_u128(8, 250);
+        let b = p.const_u128(8, 10);
+        let s = p.add(a, b);
+        assert_eq!(p.as_const(s).unwrap().to_u64(), Some(4));
+    }
+
+    #[test]
+    fn taint_mitigation_mul_zero() {
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 16);
+        let z = p.const_u128(16, 0);
+        let m = p.mul(x, z);
+        assert!(p.as_const(m).unwrap().is_zero());
+    }
+
+    #[test]
+    fn eq_self_is_true() {
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 32);
+        let e = p.eq(x, x);
+        assert!(p.is_const_true(e));
+    }
+
+    #[test]
+    fn ite_simplifications() {
+        let mut p = TermPool::new();
+        let c = p.fresh_var("c", 1);
+        let t = p.mk_true();
+        let f = p.mk_false();
+        assert_eq!(p.ite(c, t, f), c);
+        let notc = p.ite(c, f, t);
+        let expect = p.not(c);
+        assert_eq!(notc, expect);
+        let x = p.fresh_var("x", 8);
+        assert_eq!(p.ite(c, x, x), x);
+    }
+
+    #[test]
+    fn extract_through_concat() {
+        let mut p = TermPool::new();
+        let hi = p.fresh_var("hi", 8);
+        let lo = p.fresh_var("lo", 8);
+        let c = p.concat(hi, lo);
+        assert_eq!(p.extract(15, 8, c), hi);
+        assert_eq!(p.extract(7, 0, c), lo);
+    }
+
+    #[test]
+    fn extract_of_extract_composes() {
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 32);
+        let outer = p.extract(23, 8, x);
+        let inner = p.extract(7, 4, outer);
+        let direct = p.extract(15, 12, x);
+        assert_eq!(inner, direct);
+    }
+
+    #[test]
+    fn sext_matches_bitvec() {
+        let mut p = TermPool::new();
+        let v = p.constant(BitVec::from_u64(4, 0b1010));
+        let e = p.sext(v, 12);
+        assert_eq!(p.as_const(e).unwrap().to_u64(), Some(0xFFA));
+    }
+
+    #[test]
+    fn vars_of_collects() {
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let y = p.fresh_var("y", 8);
+        let s = p.add(x, y);
+        let e = p.eq(s, x);
+        assert_eq!(p.vars_of(e).len(), 2);
+    }
+
+    #[test]
+    fn not_involution() {
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let n = p.not(x);
+        assert_eq!(p.not(n), x);
+    }
+}

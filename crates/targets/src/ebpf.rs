@@ -1,0 +1,235 @@
+//! The `ebpf_model` target extension (§6.1.3): an end-host filter target.
+//!
+//! ebpf_model-specific behaviors (Appendix A.1):
+//! * only two blocks — a parser and a `filter` control; no deparser;
+//! * the filter's `accept` out-parameter decides the verdict: `false` drops
+//!   the packet;
+//! * because there is no deparser, deparsing is implicit: every valid header
+//!   is re-emitted in declaration order, followed by the unparsed payload
+//!   ("extract or advance have no effect on the size of the outgoing
+//!   packet" — the original packet passes through);
+//! * a failing `extract`/`advance` drops the packet in the kernel.
+
+use p4testgen_core::state::{ExecState, FinishReason, SymOutput};
+use p4testgen_core::sym::Sym;
+use p4testgen_core::target::{ExecCtx, ExtArg, ExternOutcome, PipeStep, Target, UninitPolicy};
+use p4t_frontend::types::Type;
+use p4t_ir::{IrBlock, IrProgram, Path};
+
+/// The ebpf_model target.
+#[derive(Clone, Default)]
+pub struct EbpfModel;
+
+impl EbpfModel {
+    pub fn new() -> Self {
+        EbpfModel
+    }
+}
+
+/// Architecture prelude for ebpf_model.
+pub const EBPF_PRELUDE: &str = r#"
+extern CounterArray {
+    CounterArray(bit<32> max_index, bool sparse);
+    void increment(in bit<32> index);
+    void add(in bit<32> index, in bit<32> value);
+}
+extern array_table {
+    array_table(bit<32> size);
+}
+extern hash_table {
+    hash_table(bit<32> size);
+}
+"#;
+
+impl Target for EbpfModel {
+    fn name(&self) -> &str {
+        "ebpf_model"
+    }
+
+    fn prelude(&self) -> &str {
+        EBPF_PRELUDE
+    }
+
+    fn pipeline(&self, prog: &IrProgram) -> Result<Vec<PipeStep>, String> {
+        if prog.package != "ebpfFilter" {
+            return Err(format!(
+                "ebpf_model expects an ebpfFilter package, got '{}'",
+                prog.package
+            ));
+        }
+        let args = &prog.package_args;
+        if args.len() != 2 {
+            return Err(format!("ebpfFilter expects 2 blocks, got {}", args.len()));
+        }
+        Ok(vec![
+            PipeStep::Block {
+                block: args[0].clone(),
+                bindings: crate::v1model::bind_params(prog, &args[0], &["hdr"])?,
+            },
+            PipeStep::Block {
+                block: args[1].clone(),
+                bindings: crate::v1model::bind_params(prog, &args[1], &["hdr", "accept"])?,
+            },
+            PipeStep::Hook("verdict".to_string()),
+        ])
+    }
+
+    fn init(&self, ctx: &mut ExecCtx, st: &mut ExecState) {
+        let accept = ctx.constant(1, 0);
+        st.write_global("accept", accept);
+        let port = ctx.constant(9, 0); // eBPF has no port concept; use 0.
+        st.write_global("$input_port", port);
+    }
+
+    fn uninit_policy(&self) -> UninitPolicy {
+        UninitPolicy::Taint
+    }
+
+    fn hook(&self, name: &str, ctx: &mut ExecCtx, st: &mut ExecState) {
+        match name {
+            "parser_reject" => {
+                // A failing extract drops the packet in the kernel.
+                st.log("ebpf: parser error -> drop".to_string());
+                st.finish(FinishReason::Dropped);
+            }
+            "verdict" => {
+                let accept = st
+                    .read_global("accept")
+                    .cloned()
+                    .unwrap_or_else(|| ctx.constant(1, 0));
+                match ctx.pool.as_const(accept.term) {
+                    Some(v) if v.is_true() => self.accept_packet(ctx, st),
+                    Some(_) => {
+                        st.log("ebpf: filter rejected packet".to_string());
+                        st.finish(FinishReason::Dropped);
+                    }
+                    None => {
+                        let mut acc = ctx.fork(st, accept.term);
+                        self.accept_packet(ctx, &mut acc);
+                        acc.finish(FinishReason::Completed);
+                        ctx.forks.push(acc);
+                        let na = ctx.pool.not(accept.term);
+                        let mut rej = ctx.fork(st, na);
+                        rej.finish(FinishReason::Dropped);
+                        ctx.forks.push(rej);
+                        st.finish(FinishReason::Infeasible);
+                    }
+                }
+            }
+            other => {
+                st.log(format!("ebpf: unknown hook '{other}' ignored"));
+            }
+        }
+    }
+
+    fn extern_call(
+        &self,
+        name: &str,
+        instance: Option<&str>,
+        _args: &[ExtArg],
+        _ctx: &mut ExecCtx,
+        st: &mut ExecState,
+    ) -> ExternOutcome {
+        match name {
+            "increment" | "add" => {
+                st.log(format!("ebpf counter {:?} {name}", instance));
+                ExternOutcome::Handled
+            }
+            _ => ExternOutcome::Unknown,
+        }
+    }
+
+    fn finalize(&self, _ctx: &mut ExecCtx, _st: &mut ExecState) {
+        // The verdict hook already produced the output or the drop.
+    }
+
+    fn port_width(&self) -> u32 {
+        9
+    }
+}
+
+impl EbpfModel {
+    /// Implicit deparsing: emit every valid header of the parsed header
+    /// struct in declaration order, then the unparsed payload (§6.1.3).
+    fn accept_packet(&self, ctx: &mut ExecCtx, st: &mut ExecState) {
+        let prog = ctx.prog;
+        // Find the parser's header struct type from its out parameter.
+        let header_ty = prog.blocks.values().find_map(|b| match b {
+            IrBlock::Parser(p) => p.params.iter().find_map(|prm| match &prm.ty {
+                Type::Struct(s) => Some(s.clone()),
+                _ => None,
+            }),
+            _ => None,
+        });
+        let mut parts: Vec<Sym> = Vec::new();
+        if let Some(ty) = header_ty {
+            collect_valid_headers(ctx, st, &ty, &Path::new("hdr"), &mut parts);
+        }
+        // Followed by the remaining live packet (the unparsed payload).
+        if let Some(rest) = st.packet.live_value(ctx.pool) {
+            parts.push(rest);
+        }
+        let payload = parts.into_iter().reduce(|a, b| {
+            let t = ctx.pool.concat(a.term, b.term);
+            Sym::with_taint(t, a.taint.concat(&b.taint))
+        });
+        let port = ctx.constant(9, 0);
+        st.outputs.push(SymOutput { port, payload });
+        st.log("ebpf: filter accepted packet".to_string());
+    }
+}
+
+/// Concatenate the fields of every *concretely valid* header below a struct
+/// type. Symbolically valid headers would need a fork; the filter model only
+/// emits headers whose validity is decided by the path already taken.
+fn collect_valid_headers(
+    ctx: &mut ExecCtx,
+    st: &mut ExecState,
+    ty_name: &str,
+    base: &Path,
+    out: &mut Vec<Sym>,
+) {
+    let prog = ctx.prog;
+    let Some(fields) = prog.env.fields_of(ty_name) else {
+        return;
+    };
+    let fields: Vec<_> = fields.to_vec();
+    for f in fields {
+        let fp = base.child(&f.name);
+        match &f.ty {
+            Type::Header(hn) => {
+                let valid = st
+                    .read_global(fp.valid().as_str())
+                    .and_then(|s| ctx.pool.as_const(s.term))
+                    .map(|v| v.is_true())
+                    .unwrap_or(false);
+                if valid {
+                    let mut header_bits: Option<Sym> = None;
+                    let hfields: Vec<_> = prog.env.fields_of(hn).unwrap_or(&[]).to_vec();
+                    for hf in hfields {
+                        let w = hf.ty.width(&prog.env).unwrap_or(0);
+                        if w == 0 {
+                            continue;
+                        }
+                        let v = st
+                            .read_global(fp.child(&hf.name).as_str())
+                            .cloned()
+                            .unwrap_or_else(|| ctx.constant(w, 0));
+                        header_bits = Some(match header_bits {
+                            None => v,
+                            Some(a) => {
+                                let t = ctx.pool.concat(a.term, v.term);
+                                Sym::with_taint(t, a.taint.concat(&v.taint))
+                            }
+                        });
+                    }
+                    if let Some(h) = header_bits {
+                        out.push(h);
+                    }
+                }
+            }
+            Type::Struct(sn) => collect_valid_headers(ctx, st, sn, &fp, out),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # p4t-targets — target extensions for p4testgen
+//!
+//! The paper instantiates P4Testgen for four architectures (Table 1); this
+//! crate provides all four, each implementing the
+//! [`Target`](p4testgen_core::Target) trait from `p4testgen-core` without
+//! touching the core executor — the extensibility claim the paper validates:
+//!
+//! * [`v1model`] — BMv2's architecture (§6.1.1), including `clone`,
+//!   recirculation, checksums, and P4-constraints support.
+//! * [`tofino`] — the `tna` (Tofino 1) and `t2na` (Tofino 2) architectures
+//!   (§6.1.2): prepended intrinsic metadata, frame check sequences,
+//!   64-byte minimum packets, drop-on-parser-error in the ingress parser,
+//!   and (for t2na) the ghost thread.
+//! * [`ebpf`] — the `ebpf_model` end-host target (§6.1.3): parser + filter,
+//!   no deparser, implicit header emission.
+
+pub mod common;
+pub mod ebpf;
+pub mod tofino;
+pub mod v1model;
+
+pub use ebpf::EbpfModel;
+pub use tofino::{Tofino, TofinoVariant};
+pub use v1model::V1Model;

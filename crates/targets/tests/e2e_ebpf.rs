@@ -1,0 +1,125 @@
+//! End-to-end test generation for the ebpf_model target (§6.1.3).
+
+use p4t_targets::EbpfModel;
+use p4testgen_core::{Testgen, TestgenConfig, TestSpec};
+
+pub const EBPF_FILTER: &str = r#"
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+header ipv4_t {
+    bit<4> version; bit<4> ihl; bit<8> tos; bit<16> totalLen;
+    bit<16> id; bit<3> flags; bit<13> fragOffset;
+    bit<8> ttl; bit<8> protocol; bit<16> checksum;
+    bit<32> src; bit<32> dst;
+}
+struct headers_t { ethernet_t eth; ipv4_t ipv4; }
+
+parser prs(packet_in pkt, out headers_t hdr) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.etherType) {
+            0x0800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control pipe(inout headers_t hdr, out bool pass) {
+    apply {
+        pass = false;
+        if (hdr.ipv4.isValid()) {
+            if (hdr.ipv4.ttl > 1) {
+                pass = true;
+            }
+        }
+    }
+}
+ebpfFilter(prs(), pipe()) main;
+"#;
+
+fn generate(src: &str) -> (Vec<TestSpec>, p4testgen_core::RunSummary) {
+    let mut tg =
+        Testgen::new("ebpf_test", src, EbpfModel::new(), TestgenConfig::default()).expect("compiles");
+    let mut tests = Vec::new();
+    let summary = tg.run(|t| {
+        tests.push(t.clone());
+        true
+    });
+    (tests, summary)
+}
+
+#[test]
+fn ebpf_filter_accept_and_drop_paths() {
+    let (tests, summary) = generate(EBPF_FILTER);
+    assert!(summary.tests >= 4, "expected several paths: {summary:?}");
+    // At least one accepted packet: IPv4 with ttl > 1.
+    let accepted: Vec<_> = tests.iter().filter(|t| !t.expects_drop()).collect();
+    assert!(!accepted.is_empty(), "an accept test exists");
+    for t in &accepted {
+        assert_eq!(&t.input_packet[12..14], &[0x08, 0x00], "accepted packets are IPv4");
+        let ttl = t.input_packet[14 + 8];
+        assert!(ttl > 1, "accepted packets have ttl > 1, got {ttl}");
+        // The filter does not modify the packet: output == input.
+        assert_eq!(t.outputs[0].packet.data, t.input_packet, "eBPF passthrough");
+    }
+    // Dropped: non-IPv4, ttl <= 1, and short-packet paths.
+    let dropped: Vec<_> = tests.iter().filter(|t| t.expects_drop()).collect();
+    assert!(dropped.len() >= 2);
+    assert!((summary.coverage.percent - 100.0).abs() < 1e-9, "{}", summary.coverage);
+}
+
+#[test]
+fn ebpf_short_packets_are_dropped() {
+    let (tests, _) = generate(EBPF_FILTER);
+    // Failing extract drops in the kernel (Appendix A.1): every test whose
+    // packet is shorter than Ethernet must be a drop test.
+    for t in tests.iter().filter(|t| t.input_packet.len() < 14) {
+        assert!(t.expects_drop(), "short packet must drop, got {t:?}");
+    }
+    assert!(tests.iter().any(|t| t.input_packet.len() < 14), "a short test exists");
+}
+
+#[test]
+fn ebpf_advance_and_counters() {
+    // `advance` skips bytes without affecting the output (the eBPF filter
+    // passes the original packet through); CounterArray is control-plane
+    // only and must not disturb generation.
+    let src = r#"
+header preamble_t { bit<32> tag; }
+header body_t { bit<8> kind; }
+struct headers_t { preamble_t pre; body_t body; }
+parser prs(packet_in pkt, out headers_t hdr) {
+    state start {
+        pkt.extract(hdr.pre);
+        pkt.advance(16);
+        pkt.extract(hdr.body);
+        transition accept;
+    }
+}
+control pipe(inout headers_t hdr, out bool pass) {
+    CounterArray(32w64, true) counters;
+    apply {
+        pass = false;
+        if (hdr.body.kind == 0x42) {
+            counters.increment((bit<32>) hdr.body.kind);
+            pass = true;
+        }
+    }
+}
+ebpfFilter(prs(), pipe()) main;
+"#;
+    let (tests, summary) = generate(src);
+    assert!((summary.coverage.percent - 100.0).abs() < 1e-9, "{}", summary.coverage);
+    let accepted = tests.iter().find(|t| !t.expects_drop()).expect("accept path");
+    // Input: 4B preamble + 2B skipped + 1B kind = 7 bytes minimum; the kind
+    // byte (offset 6) must be 0x42.
+    assert_eq!(accepted.input_packet.len(), 7);
+    assert_eq!(accepted.input_packet[6], 0x42);
+    // Output = valid headers re-emitted + nothing else consumed after body.
+    assert!(!accepted.outputs.is_empty());
+    // Short-packet paths (failing either extract or the advance) must drop.
+    assert!(tests.iter().filter(|t| t.input_packet.len() < 7).all(|t| t.expects_drop()));
+}

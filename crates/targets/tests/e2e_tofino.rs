@@ -1,0 +1,332 @@
+//! End-to-end test generation for the tna/t2na targets (§6.1.2) —
+//! including the Fig. 4 program (drop/resubmit on TTL) and the packet-sizing
+//! behavior of the two-parser pipeline (Fig. 6).
+
+use p4t_targets::{Tofino, TofinoVariant};
+use p4testgen_core::{Testgen, TestgenConfig, TestSpec};
+
+/// A Tofino program in the shape of the paper's Fig. 4/6: ingress parser
+/// extracts intrinsic metadata + Ethernet + IPv4; the ingress control drops
+/// on ttl == 0; the egress parser re-parses metadata + Ethernet.
+pub const TOFINO_FIG4: &str = r#"
+header tofino_md_t { bit<64> pad; }
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+header ipv4_t {
+    bit<4> version; bit<4> ihl; bit<8> tos; bit<16> totalLen;
+    bit<16> id; bit<3> flags; bit<13> fragOffset;
+    bit<8> ttl; bit<8> protocol; bit<16> checksum;
+    bit<32> src; bit<32> dst;
+}
+struct headers_t { tofino_md_t tofino_md; ethernet_t eth; ipv4_t ipv4; }
+struct meta_t { bit<8> depth; }
+
+parser IPrs(packet_in pkt, out headers_t hdr, out meta_t meta, out ingress_intrinsic_metadata_t ig_intr_md) {
+    state start {
+        pkt.extract(hdr.tofino_md);
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.etherType) {
+            0x0800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+control Ing(inout headers_t hdr, inout meta_t meta,
+            in ingress_intrinsic_metadata_t ig_intr_md,
+            in ingress_intrinsic_metadata_from_parser_t ig_prsr_md,
+            inout ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md,
+            inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+    apply {
+        ig_tm_md.ucast_egress_port = 9w5;
+        if (hdr.ipv4.isValid()) {
+            if (hdr.ipv4.ttl == 0) {
+                ig_dprsr_md.drop_ctl = 1;
+            }
+        }
+    }
+}
+control IDep(packet_out pkt, inout headers_t hdr, in ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md) {
+    apply {
+        pkt.emit(hdr.eth);
+        pkt.emit(hdr.ipv4);
+    }
+}
+parser EPrs(packet_in pkt, out headers_t hdr, out meta_t emeta, out egress_intrinsic_metadata_t eg_intr_md) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition accept;
+    }
+}
+control Egr(inout headers_t hdr, inout meta_t emeta,
+            in egress_intrinsic_metadata_t eg_intr_md,
+            in egress_intrinsic_metadata_from_parser_t eg_prsr_md,
+            inout egress_intrinsic_metadata_for_deparser_t eg_dprsr_md,
+            inout egress_intrinsic_metadata_for_output_port_t eg_oport_md) {
+    apply { }
+}
+control EDep(packet_out pkt, inout headers_t hdr, in egress_intrinsic_metadata_for_deparser_t eg_dprsr_md) {
+    apply { pkt.emit(hdr.eth); }
+}
+Pipeline(IPrs(), Ing(), IDep(), EPrs(), Egr(), EDep()) main;
+"#;
+
+fn generate(src: &str, variant: TofinoVariant) -> (Vec<TestSpec>, p4testgen_core::RunSummary) {
+    let target = match variant {
+        TofinoVariant::Tna => Tofino::tna(),
+        TofinoVariant::T2na => Tofino::t2na(),
+    };
+    let mut tg = Testgen::new("tofino_test", src, target, TestgenConfig::default()).expect("compiles");
+    let mut tests = Vec::new();
+    let summary = tg.run(|t| {
+        tests.push(t.clone());
+        true
+    });
+    (tests, summary)
+}
+
+#[test]
+fn tofino_drop_and_forward_paths() {
+    let (tests, summary) = generate(TOFINO_FIG4, TofinoVariant::Tna);
+    assert!(summary.tests >= 3, "expected several paths: {summary:?}");
+    // There is a forwarded IPv4 test with ttl != 0 and a dropped one with 0.
+    let fwd = tests
+        .iter()
+        .find(|t| !t.expects_drop() && t.input_packet.len() > 14 + 8)
+        .expect("forwarded test");
+    assert_eq!(fwd.outputs[0].port, 5, "forwarded to port 5");
+    let dropped: Vec<_> = tests.iter().filter(|t| t.expects_drop()).collect();
+    assert!(!dropped.is_empty(), "a ttl==0 drop test exists");
+    assert!((summary.coverage.percent - 100.0).abs() < 1e-9, "{}", summary.coverage);
+}
+
+#[test]
+fn tofino_min_packet_size_precondition() {
+    // Tofino packets are at least 64 bytes (Appendix A.1); the prepended
+    // intrinsic metadata and FCS are NOT part of the test's input packet.
+    let (tests, _) = generate(TOFINO_FIG4, TofinoVariant::Tna);
+    for t in &tests {
+        assert!(
+            t.input_packet.len() >= 64,
+            "input below the 64-byte Tofino minimum: {}",
+            t.input_packet.len()
+        );
+    }
+}
+
+#[test]
+fn tofino_output_excludes_intrinsic_metadata() {
+    // The 64 bits of intrinsic metadata are parseable but are not emitted:
+    // the egress packet starts with the Ethernet header.
+    let (tests, _) = generate(TOFINO_FIG4, TofinoVariant::Tna);
+    let fwd = tests.iter().find(|t| !t.expects_drop()).expect("forwarded test");
+    let out = &fwd.outputs[0].packet;
+    // Output = eth (14B) + payload; never the tofino_md 8 bytes.
+    assert!(out.data.len() >= 14);
+    // dst comes straight from the input packet's first byte.
+    assert_eq!(out.data[0], fwd.input_packet[0], "output starts at Ethernet");
+}
+
+#[test]
+fn t2na_accepts_ghost_pipeline() {
+    let ghost_prog = format!(
+        "{}\n{}",
+        TOFINO_FIG4.replace(
+            "Pipeline(IPrs(), Ing(), IDep(), EPrs(), Egr(), EDep()) main;",
+            ""
+        ),
+        r#"
+control Ghost(inout meta_t gmeta) { apply { } }
+Pipeline(IPrs(), Ing(), IDep(), EPrs(), Egr(), EDep(), Ghost()) main;
+"#
+    );
+    let (tests, summary) = generate(&ghost_prog, TofinoVariant::T2na);
+    assert!(summary.tests >= 3, "t2na with ghost runs: {summary:?}");
+    // t2na prepends 128 bits, so programs still work identically.
+    assert!(!tests.is_empty());
+    // tna must reject the 7-block pipeline.
+    let err = Testgen::new("x", &ghost_prog, Tofino::tna(), TestgenConfig::default());
+    assert!(err.is_err(), "tna must reject ghost pipelines");
+}
+
+#[test]
+fn tofino_tainted_metadata_read_blocks_entry_synthesis() {
+    // A program keying a table on the tainted intrinsic metadata must not
+    // synthesize entries for it (flaky tests), falling back to the default.
+    let src = r#"
+header tofino_md_t { bit<64> pad; }
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+struct headers_t { tofino_md_t tofino_md; ethernet_t eth; }
+struct meta_t { bit<8> x; }
+parser IPrs(packet_in pkt, out headers_t hdr, out meta_t meta, out ingress_intrinsic_metadata_t ig_intr_md) {
+    state start {
+        pkt.extract(hdr.tofino_md);
+        pkt.extract(hdr.eth);
+        transition accept;
+    }
+}
+control Ing(inout headers_t hdr, inout meta_t meta,
+            in ingress_intrinsic_metadata_t ig_intr_md,
+            in ingress_intrinsic_metadata_from_parser_t ig_prsr_md,
+            inout ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md,
+            inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+    action fwd(bit<9> p) { ig_tm_md.ucast_egress_port = p; }
+    action nop() { ig_tm_md.ucast_egress_port = 9w1; }
+    table t {
+        key = { hdr.tofino_md.pad: exact; }
+        actions = { fwd; nop; }
+        default_action = nop();
+    }
+    apply { t.apply(); }
+}
+control IDep(packet_out pkt, inout headers_t hdr, in ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md) {
+    apply { pkt.emit(hdr.eth); }
+}
+parser EPrs(packet_in pkt, out headers_t hdr, out meta_t emeta, out egress_intrinsic_metadata_t eg_intr_md) {
+    state start { pkt.extract(hdr.eth); transition accept; }
+}
+control Egr(inout headers_t hdr, inout meta_t emeta,
+            in egress_intrinsic_metadata_t eg_intr_md,
+            in egress_intrinsic_metadata_from_parser_t eg_prsr_md,
+            inout egress_intrinsic_metadata_for_deparser_t eg_dprsr_md,
+            inout egress_intrinsic_metadata_for_output_port_t eg_oport_md) {
+    apply { }
+}
+control EDep(packet_out pkt, inout headers_t hdr, in egress_intrinsic_metadata_for_deparser_t eg_dprsr_md) {
+    apply { pkt.emit(hdr.eth); }
+}
+Pipeline(IPrs(), Ing(), IDep(), EPrs(), Egr(), EDep()) main;
+"#;
+    let (tests, _) = generate(src, TofinoVariant::Tna);
+    // No synthesized entries anywhere: the key is tainted (it parses the
+    // chip-prepended metadata, which is unpredictable).
+    for t in &tests {
+        assert!(
+            t.entries.is_empty(),
+            "tainted exact key must not synthesize entries: {:?}",
+            t.entries
+        );
+    }
+    assert!(!tests.is_empty());
+}
+
+#[test]
+fn tofino_bypass_egress_skips_egress_control() {
+    // A program that sets bypass_egress: the egress control's rewrite must
+    // not appear in the output of the bypass path.
+    let src = r#"
+header tofino_md_t { bit<64> pad; }
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+struct headers_t { tofino_md_t tofino_md; ethernet_t eth; }
+struct meta_t { bit<8> x; }
+parser IPrs(packet_in pkt, out headers_t hdr, out meta_t meta, out ingress_intrinsic_metadata_t ig_intr_md) {
+    state start { pkt.extract(hdr.tofino_md); pkt.extract(hdr.eth); transition accept; }
+}
+control Ing(inout headers_t hdr, inout meta_t meta,
+            in ingress_intrinsic_metadata_t ig_intr_md,
+            in ingress_intrinsic_metadata_from_parser_t ig_prsr_md,
+            inout ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md,
+            inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+    apply {
+        ig_tm_md.ucast_egress_port = 9w2;
+        if (hdr.eth.etherType == 0xB1B1) {
+            ig_tm_md.bypass_egress = 1;
+        }
+    }
+}
+control IDep(packet_out pkt, inout headers_t hdr, in ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md) {
+    apply { pkt.emit(hdr.eth); }
+}
+parser EPrs(packet_in pkt, out headers_t hdr, out meta_t emeta, out egress_intrinsic_metadata_t eg_intr_md) {
+    state start { pkt.extract(hdr.eth); transition accept; }
+}
+control Egr(inout headers_t hdr, inout meta_t emeta,
+            in egress_intrinsic_metadata_t eg_intr_md,
+            in egress_intrinsic_metadata_from_parser_t eg_prsr_md,
+            inout egress_intrinsic_metadata_for_deparser_t eg_dprsr_md,
+            inout egress_intrinsic_metadata_for_output_port_t eg_oport_md) {
+    apply { hdr.eth.src = 48w0xEEEEEEEEEEEE; }
+}
+control EDep(packet_out pkt, inout headers_t hdr, in egress_intrinsic_metadata_for_deparser_t eg_dprsr_md) {
+    apply { pkt.emit(hdr.eth); }
+}
+Pipeline(IPrs(), Ing(), IDep(), EPrs(), Egr(), EDep()) main;
+"#;
+    let (tests, _) = generate(src, TofinoVariant::Tna);
+    let bypass = tests
+        .iter()
+        .find(|t| !t.expects_drop() && t.input_packet.len() >= 14 && t.input_packet[12..14] == [0xB1, 0xB1])
+        .expect("bypass path test");
+    // Egress rewrite must NOT have happened: src bytes stay from the input.
+    assert_ne!(&bypass.outputs[0].packet.data[6..12], &[0xEE; 6], "egress must be skipped");
+    let normal = tests
+        .iter()
+        .find(|t| !t.expects_drop() && t.input_packet.len() >= 14 && t.input_packet[12..14] != [0xB1, 0xB1])
+        .expect("non-bypass test");
+    assert_eq!(&normal.outputs[0].packet.data[6..12], &[0xEE; 6], "egress rewrite applies");
+}
+
+#[test]
+fn tofino_parser_err_read_prevents_drop() {
+    // Appendix A.1: a too-short packet is dropped in the ingress parser,
+    // *unless* the ingress control reads parser_err — then execution
+    // continues with the offending header unspecified.
+    let reads_err = r#"
+header tofino_md_t { bit<64> pad; }
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+// A jumbo header pushing the parse chain past the 64-byte minimum, so a
+// too-short packet is actually possible on Tofino.
+header jumbo_t {
+    bit<128> a; bit<128> b; bit<128> c; bit<112> d; bit<16> tag;
+}
+struct headers_t { tofino_md_t tofino_md; ethernet_t eth; jumbo_t jumbo; }
+struct meta_t { bit<8> x; }
+parser IPrs(packet_in pkt, out headers_t hdr, out meta_t meta, out ingress_intrinsic_metadata_t ig_intr_md) {
+    state start {
+        pkt.extract(hdr.tofino_md);
+        pkt.extract(hdr.eth);
+        pkt.extract(hdr.jumbo);
+        transition accept;
+    }
+}
+control Ing(inout headers_t hdr, inout meta_t meta,
+            in ingress_intrinsic_metadata_t ig_intr_md,
+            in ingress_intrinsic_metadata_from_parser_t ig_prsr_md,
+            inout ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md,
+            inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+    apply {
+        ig_tm_md.ucast_egress_port = 9w2;
+        if (ig_prsr_md.parser_err != 0) {
+            ig_tm_md.ucast_egress_port = 9w8;
+        }
+    }
+}
+control IDep(packet_out pkt, inout headers_t hdr, in ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md) {
+    apply { pkt.emit(hdr.eth); }
+}
+parser EPrs(packet_in pkt, out headers_t hdr, out meta_t emeta, out egress_intrinsic_metadata_t eg_intr_md) {
+    state start { pkt.extract(hdr.eth); transition accept; }
+}
+control Egr(inout headers_t hdr, inout meta_t emeta,
+            in egress_intrinsic_metadata_t eg_intr_md,
+            in egress_intrinsic_metadata_from_parser_t eg_prsr_md,
+            inout egress_intrinsic_metadata_for_deparser_t eg_dprsr_md,
+            inout egress_intrinsic_metadata_for_output_port_t eg_oport_md) {
+    apply { }
+}
+control EDep(packet_out pkt, inout headers_t hdr, in egress_intrinsic_metadata_for_deparser_t eg_dprsr_md) {
+    apply { pkt.emit(hdr.eth); }
+}
+Pipeline(IPrs(), Ing(), IDep(), EPrs(), Egr(), EDep()) main;
+"#;
+    let (tests, _) = generate(reads_err, TofinoVariant::Tna);
+    // The short-packet path must NOT be a drop (parser_err read) and must
+    // leave on port 8.
+    let short = tests
+        .iter()
+        .find(|t| t.outputs.first().is_some_and(|o| o.port == 8))
+        .expect("parser-error path continues to ingress");
+    assert!(!short.expects_drop());
+}

@@ -1,0 +1,212 @@
+//! End-to-end test generation for the paper's Fig. 1 examples on v1model.
+
+use p4t_targets::V1Model;
+use p4testgen_core::{Testgen, TestgenConfig, TestSpec};
+
+pub const FIG1A: &str = r#"
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<9> output_port; }
+
+parser MyParser(packet_in pkt, out headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition accept;
+    }
+}
+control MyVerify(inout headers_t hdr, inout meta_t meta) { apply { } }
+control MyIngress(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    action set_out(bit<9> port) {
+        meta.output_port = port;
+        sm.egress_spec = port;
+    }
+    action noop() { }
+    table forward_table {
+        key = { hdr.eth.etherType: exact @name("type"); }
+        actions = { noop; set_out; }
+        default_action = noop();
+    }
+    apply {
+        hdr.eth.etherType = 0xBEEF;
+        forward_table.apply();
+    }
+}
+control MyEgress(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control MyCompute(inout headers_t hdr, inout meta_t meta) { apply { } }
+control MyDeparser(packet_out pkt, in headers_t hdr) {
+    apply { pkt.emit(hdr.eth); }
+}
+V1Switch(MyParser(), MyVerify(), MyIngress(), MyEgress(), MyCompute(), MyDeparser()) main;
+"#;
+
+fn generate(src: &str, config: TestgenConfig) -> (Vec<TestSpec>, p4testgen_core::RunSummary) {
+    let mut tg = Testgen::new("test", src, V1Model::new(), config).expect("program compiles");
+    let mut tests = Vec::new();
+    let summary = tg.run(|t| {
+        tests.push(t.clone());
+        true
+    });
+    (tests, summary)
+}
+
+#[test]
+fn fig1a_generates_the_papers_four_tests() {
+    let (tests, summary) = generate(FIG1A, TestgenConfig::default());
+    // The paper's Fig 1c: 4 tests — miss/noop, hit/set_out, hit/noop, and
+    // the short-packet path.
+    assert_eq!(summary.tests, 4, "expected 4 tests, summary: {summary:?}");
+    // Every test's output must carry etherType rewritten to 0xBEEF (except
+    // the short-packet path, whose ethernet header never parsed).
+    let full_tests: Vec<_> = tests.iter().filter(|t| t.input_packet.len() == 14).collect();
+    assert_eq!(full_tests.len(), 3, "three full-packet tests");
+    for t in &full_tests {
+        assert!(!t.expects_drop());
+        let out = &t.outputs[0].packet;
+        assert_eq!(out.data.len(), 14);
+        assert_eq!(&out.data[12..14], &[0xBE, 0xEF], "etherType rewritten");
+    }
+    // One test has a synthesized table entry with key 0xBEEF and set_out.
+    let set_out = tests
+        .iter()
+        .find(|t| t.entries.iter().any(|e| e.action.ends_with("set_out")))
+        .expect("a set_out test exists");
+    let entry = &set_out.entries[0];
+    match &entry.keys[0] {
+        p4testgen_core::KeyMatch::Exact { name, value } => {
+            assert_eq!(name, "type");
+            assert_eq!(value, &vec![0xBE, 0xEF], "entry key must match the rewritten type");
+        }
+        other => panic!("expected exact match, got {other:?}"),
+    }
+    // The set_out test's output port equals the synthesized action argument.
+    let port_arg = &entry.action_args[0];
+    assert_eq!(port_arg.0, "port");
+    let port_val = u16::from_be_bytes([port_arg.1[0], port_arg.1[1]]) as u32;
+    assert_eq!(set_out.outputs[0].port, port_val);
+    // There is a hit test that runs noop: same entry shape, no port change.
+    let noop_hit = tests
+        .iter()
+        .find(|t| !t.entries.is_empty() && t.entries[0].action.ends_with("noop"));
+    assert!(noop_hit.is_some(), "a noop-entry test exists");
+    // The short-packet test: 12 bytes (96 bits: dst+src, no etherType),
+    // matching Fig 1c line 7.
+    let short = tests
+        .iter()
+        .find(|t| t.input_packet.len() < 14)
+        .expect("short-packet test exists");
+    assert_eq!(short.input_packet.len(), 12, "96-bit short packet");
+    // On BMv2 a parser error does not drop; the packet is forwarded with the
+    // header invalid: nothing emitted, the unparsed content passes through
+    // (Fig 1c line 7: 96 bits in, 96 bits out).
+    assert!(!short.expects_drop());
+    assert_eq!(short.outputs[0].packet.data.len(), 12);
+    // Full statement coverage.
+    assert!(
+        (summary.coverage.percent - 100.0).abs() < 1e-9,
+        "coverage: {}",
+        summary.coverage
+    );
+}
+
+#[test]
+fn fig1a_all_outputs_are_deterministic() {
+    let (tests, _) = generate(FIG1A, TestgenConfig::default());
+    for t in &tests {
+        for o in &t.outputs {
+            assert!(o.packet.is_fully_exact(), "no tainted bits expected: {}", o.packet.to_hex());
+        }
+    }
+}
+
+#[test]
+fn fixed_packet_size_precondition_removes_short_paths() {
+    let mut config = TestgenConfig::default();
+    config.preconditions = p4testgen_core::Preconditions::with_fixed_packet(64);
+    let (tests, summary) = generate(FIG1A, config);
+    assert_eq!(summary.tests, 3, "short-packet path removed");
+    for t in &tests {
+        assert_eq!(t.input_packet.len(), 64);
+    }
+}
+
+#[test]
+fn deterministic_across_runs_with_same_seed() {
+    let (t1, _) = generate(FIG1A, TestgenConfig::default());
+    let (t2, _) = generate(FIG1A, TestgenConfig::default());
+    assert_eq!(t1, t2, "same seed must give identical tests");
+}
+
+/// The paper's Fig 1b: checksum validation via concolic execution (§5.4).
+pub const FIG1B: &str = r#"
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<1> checksum_err; }
+
+parser MyParser(packet_in pkt, out headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition accept;
+    }
+}
+control MyVerify(inout headers_t hdr, inout meta_t meta) {
+    apply {
+        verify_checksum(hdr.eth.isValid(), { hdr.eth.dst, hdr.eth.src },
+                        hdr.eth.etherType, HashAlgorithm.csum16);
+    }
+}
+control MyIngress(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    apply {
+        if (sm.checksum_error == 1) {
+            mark_to_drop(sm);
+        }
+    }
+}
+control MyEgress(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control MyCompute(inout headers_t hdr, inout meta_t meta) { apply { } }
+control MyDeparser(packet_out pkt, in headers_t hdr) {
+    apply { pkt.emit(hdr.eth); }
+}
+V1Switch(MyParser(), MyVerify(), MyIngress(), MyEgress(), MyCompute(), MyDeparser()) main;
+"#;
+
+/// RFC 1071 internet checksum over byte slices (reference for assertions).
+fn csum16_bytes(bytes: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let hi = bytes[i] as u32;
+        let lo = if i + 1 < bytes.len() { bytes[i + 1] as u32 } else { 0 };
+        sum += (hi << 8) | lo;
+        i += 2;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[test]
+fn fig1b_checksum_tests_via_concolic_execution() {
+    let (tests, summary) = generate(FIG1B, TestgenConfig::default());
+    // The paper's Fig 1c example 2: 3 tests — short packet (forwarded),
+    // checksum match (forwarded), checksum mismatch (dropped).
+    assert_eq!(summary.tests, 3, "expected 3 tests: {summary:?}");
+    let short = tests.iter().find(|t| t.input_packet.len() < 14).expect("short test");
+    assert!(!short.expects_drop(), "short packet skips checksum and forwards");
+    let full: Vec<_> = tests.iter().filter(|t| t.input_packet.len() == 14).collect();
+    assert_eq!(full.len(), 2);
+    let forwarded = full.iter().find(|t| !t.expects_drop()).expect("checksum-match test");
+    let dropped = full.iter().find(|t| t.expects_drop()).expect("checksum-mismatch test");
+    // The forwarded test's etherType equals the checksum of dst++src;
+    // the dropped test's does not.
+    let check = |t: &TestSpec| {
+        let expected = csum16_bytes(&t.input_packet[0..12]);
+        let actual = u16::from_be_bytes([t.input_packet[12], t.input_packet[13]]);
+        (expected, actual)
+    };
+    let (e, a) = check(forwarded);
+    assert_eq!(e, a, "forwarded packet must carry a correct checksum");
+    let (e, a) = check(dropped);
+    assert_ne!(e, a, "dropped packet must carry a broken checksum");
+    assert!((summary.coverage.percent - 100.0).abs() < 1e-9);
+}

@@ -1,0 +1,192 @@
+//! Extensibility demo: implement a brand-new target architecture in ~100
+//! lines without touching the core executor — the paper's central claim
+//! ("each of these extensions only required effort commensurate with the
+//! complexity of the target", §6.1).
+//!
+//! The fictitious "punt" architecture has one parser and one control; the
+//! control sets a 2-bit verdict: 0 = drop, 1 = forward to a port, 2 = punt
+//! to the CPU port (448), chosen by the target, not the program.
+//!
+//! Run with: `cargo run --example custom_target`
+
+use p4t_ir::IrProgram;
+use p4testgen_core::state::{ExecState, FinishReason, SymOutput};
+use p4testgen_core::target::{ExecCtx, ExtArg, ExternOutcome, PipeStep, Target, UninitPolicy};
+use p4testgen_core::{Testgen, TestgenConfig};
+
+/// The CPU port of the punt architecture.
+const CPU_PORT: u128 = 448;
+
+struct PuntTarget;
+
+impl Target for PuntTarget {
+    fn name(&self) -> &str {
+        "punt"
+    }
+
+    // 1. The architecture prelude: the types and externs programs see.
+    fn prelude(&self) -> &str {
+        r#"
+struct punt_metadata_t {
+    bit<9> in_port;
+    bit<9> out_port;
+    bit<2> verdict;
+}
+extern void punt_to_cpu(inout punt_metadata_t md);
+"#
+    }
+
+    // 2. The pipeline template: parser then control, then a verdict hook.
+    fn pipeline(&self, prog: &IrProgram) -> Result<Vec<PipeStep>, String> {
+        if prog.package != "PuntPipeline" {
+            return Err(format!("punt expects PuntPipeline, got {}", prog.package));
+        }
+        let args = &prog.package_args;
+        Ok(vec![
+            PipeStep::Block {
+                block: args[0].clone(),
+                bindings: p4t_targets::v1model::bind_params(prog, &args[0], &["hdr", "md"])?,
+            },
+            PipeStep::Block {
+                block: args[1].clone(),
+                bindings: p4t_targets::v1model::bind_params(prog, &args[1], &["hdr", "md"])?,
+            },
+            PipeStep::FlushEmit,
+            PipeStep::Hook("verdict".to_string()),
+        ])
+    }
+
+    // 3. Target state initialization.
+    fn init(&self, ctx: &mut ExecCtx, st: &mut ExecState) {
+        let port = ctx.fresh("input_port", 9);
+        st.write_global("md.in_port", port.clone());
+        st.write_global("$input_port", port);
+        let z2 = ctx.constant(2, 0);
+        st.write_global("md.verdict", z2);
+    }
+
+    fn uninit_policy(&self) -> UninitPolicy {
+        UninitPolicy::Zero
+    }
+
+    // 4. Target-defined interstitial control flow (the Fig. 5 green boxes).
+    fn hook(&self, name: &str, ctx: &mut ExecCtx, st: &mut ExecState) {
+        match name {
+            "parser_reject" => st.finish(FinishReason::Dropped),
+            "verdict" => {
+                let v = st
+                    .read_global("md.verdict")
+                    .cloned()
+                    .unwrap_or_else(|| ctx.constant(2, 0));
+                // Fork the three verdict outcomes symbolically.
+                for (val, label) in [(0u128, "drop"), (1, "forward"), (2, "punt")] {
+                    let c = ctx.constant(2, val);
+                    let cond = ctx.pool.eq(v.term, c.term);
+                    if ctx.pool.is_const_false(cond) {
+                        continue;
+                    }
+                    let mut f = ctx.fork(st, cond);
+                    match label {
+                        "drop" => f.finish(FinishReason::Dropped),
+                        "forward" => {
+                            let port = f
+                                .read_global("md.out_port")
+                                .cloned()
+                                .unwrap_or_else(|| ctx.constant(9, 0));
+                            let payload = f.packet.live_value(ctx.pool);
+                            f.outputs.push(SymOutput { port, payload });
+                        }
+                        _ => {
+                            let cpu = ctx.constant(9, CPU_PORT);
+                            let payload = f.packet.live_value(ctx.pool);
+                            f.outputs.push(SymOutput { port: cpu, payload });
+                        }
+                    }
+                    ctx.forks.push(f);
+                }
+                st.finish(FinishReason::Infeasible); // superseded by forks
+            }
+            _ => {}
+        }
+    }
+
+    // 5. Target externs.
+    fn extern_call(
+        &self,
+        name: &str,
+        _instance: Option<&str>,
+        _args: &[ExtArg],
+        ctx: &mut ExecCtx,
+        st: &mut ExecState,
+    ) -> ExternOutcome {
+        match name {
+            "punt_to_cpu" => {
+                let two = ctx.constant(2, 2);
+                st.write_global("md.verdict", two);
+                ExternOutcome::Handled
+            }
+            _ => ExternOutcome::Unknown,
+        }
+    }
+
+    fn finalize(&self, _ctx: &mut ExecCtx, _st: &mut ExecState) {
+        // Verdicts were decided by the hook.
+    }
+}
+
+const PROGRAM: &str = r#"
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+struct headers_t { ethernet_t eth; }
+
+parser P(packet_in pkt, out headers_t hdr, inout punt_metadata_t md) {
+    state start { pkt.extract(hdr.eth); transition accept; }
+}
+control C(inout headers_t hdr, inout punt_metadata_t md) {
+    apply {
+        if (hdr.eth.etherType == 0x88CC) {
+            punt_to_cpu(md);      // LLDP goes to the CPU
+        } else {
+            md.verdict = 1;
+            md.out_port = 5;
+        }
+    }
+}
+PuntPipeline(P(), C()) main;
+"#;
+
+fn main() {
+    let mut tg = Testgen::new("punt_demo", PROGRAM, PuntTarget, TestgenConfig::default())
+        .expect("program compiles against the custom architecture");
+    let mut tests = Vec::new();
+    let summary = tg.run(|t| {
+        tests.push(t.clone());
+        true
+    });
+    println!(
+        "custom 'punt' target: {} tests, {:.0}% coverage",
+        summary.tests, summary.coverage.percent
+    );
+    for t in &tests {
+        let verdict = match t.outputs.first() {
+            None => "drop".to_string(),
+            Some(o) if o.port as u128 == CPU_PORT => "punt to CPU".to_string(),
+            Some(o) => format!("forward to port {}", o.port),
+        };
+        println!(
+            "  test {}: {} byte packet, etherType 0x{:02X}{:02X} -> {}",
+            t.id,
+            t.input_packet.len(),
+            t.input_packet.get(12).copied().unwrap_or(0),
+            t.input_packet.get(13).copied().unwrap_or(0),
+            verdict
+        );
+    }
+    // The LLDP punt path must exist, with the right EtherType synthesized.
+    assert!(tests.iter().any(|t| t
+        .outputs
+        .first()
+        .is_some_and(|o| o.port as u128 == CPU_PORT
+            && t.input_packet[12..14] == [0x88, 0xCC])));
+    println!("\nA complete target extension — pipeline template, hooks, externs —");
+    println!("in about a hundred lines, with zero changes to the core executor.");
+}

@@ -1,0 +1,203 @@
+//! The p4testgen command-line tool: generate packet tests for a P4 program.
+//!
+//! ```text
+//! p4testgen --target v1model --backend stf [options] program.p4
+//!
+//! options:
+//!   --target <v1model|tna|t2na|ebpf_model>   architecture (required)
+//!   --backend <stf|ptf|proto|json>           output format   [stf]
+//!   --max-tests <N>                          stop after N tests (0 = all) [0]
+//!   --seed <N>                               value-selection seed [1]
+//!   --strategy <dfs|bfs|random>              path selection [dfs]
+//!   --fixed-packet-size <BYTES>              fixed-input-size precondition
+//!   --with-constraints                       honor @entry_restriction
+//!   --out <FILE>                             write tests here (default stdout)
+//!   --coverage                               print the coverage report
+//!   --validate                               run tests on the software model
+//! ```
+
+use p4t_backends::{ProtoBackend, PtfBackend, StfBackend, TestBackend};
+use p4t_interp::{execute_and_check, Arch, FaultSet};
+use p4t_targets::{EbpfModel, Tofino, V1Model};
+use p4testgen_core::{Preconditions, RunSummary, Strategy, Target, Testgen, TestgenConfig, TestSpec};
+use std::io::Write;
+use std::process::ExitCode;
+
+struct Options {
+    target: String,
+    backend: String,
+    program: String,
+    max_tests: u64,
+    seed: u64,
+    strategy: Strategy,
+    fixed_packet: Option<u32>,
+    with_constraints: bool,
+    out: Option<String>,
+    coverage: bool,
+    validate: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: p4testgen --target <v1model|tna|t2na|ebpf_model> [--backend stf|ptf|proto|json]\n\
+         \t[--max-tests N] [--seed N] [--strategy dfs|bfs|random]\n\
+         \t[--fixed-packet-size BYTES] [--with-constraints] [--out FILE]\n\
+         \t[--coverage] [--validate] <program.p4>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        target: String::new(),
+        backend: "stf".to_string(),
+        program: String::new(),
+        max_tests: 0,
+        seed: 1,
+        strategy: Strategy::Dfs,
+        fixed_packet: None,
+        with_constraints: false,
+        out: None,
+        coverage: false,
+        validate: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--target" => opts.target = args.next().unwrap_or_else(|| usage()),
+            "--backend" => opts.backend = args.next().unwrap_or_else(|| usage()),
+            "--max-tests" => {
+                opts.max_tests = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                opts.seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--strategy" => {
+                opts.strategy = match args.next().as_deref() {
+                    Some("dfs") => Strategy::Dfs,
+                    Some("bfs") => Strategy::Bfs,
+                    Some("random") => Strategy::RandomBacktrack,
+                    _ => usage(),
+                }
+            }
+            "--fixed-packet-size" => {
+                opts.fixed_packet =
+                    Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--with-constraints" => opts.with_constraints = true,
+            "--out" => opts.out = Some(args.next().unwrap_or_else(|| usage())),
+            "--coverage" => opts.coverage = true,
+            "--validate" => opts.validate = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => opts.program = other.to_string(),
+            _ => usage(),
+        }
+    }
+    if opts.target.is_empty() || opts.program.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn generate<T: Target>(
+    name: &str,
+    source: &str,
+    target: T,
+    config: TestgenConfig,
+) -> Result<(Vec<TestSpec>, RunSummary, p4t_ir::IrProgram), String> {
+    let mut tg = Testgen::new(name, source, target, config)?;
+    let mut tests = Vec::new();
+    let summary = tg.run(|t| {
+        tests.push(t.clone());
+        true
+    });
+    Ok((tests, summary, tg.prog.clone()))
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let source = match std::fs::read_to_string(&opts.program) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("p4testgen: cannot read {}: {e}", opts.program);
+            return ExitCode::from(2);
+        }
+    };
+    let mut config = TestgenConfig::default();
+    config.max_tests = opts.max_tests;
+    config.seed = opts.seed;
+    config.strategy = opts.strategy;
+    config.preconditions = Preconditions {
+        fixed_packet_bytes: opts.fixed_packet,
+        apply_entry_restrictions: opts.with_constraints,
+    };
+    let name = opts.program.rsplit('/').next().unwrap_or(&opts.program);
+    let result = match opts.target.as_str() {
+        "v1model" => generate(name, &source, V1Model::new(), config).map(|r| (r, Arch::V1Model)),
+        "tna" => generate(name, &source, Tofino::tna(), config).map(|r| (r, Arch::Tna)),
+        "t2na" => generate(name, &source, Tofino::t2na(), config).map(|r| (r, Arch::T2na)),
+        "ebpf_model" => generate(name, &source, EbpfModel::new(), config).map(|r| (r, Arch::Ebpf)),
+        other => {
+            eprintln!("p4testgen: unknown target '{other}'");
+            return ExitCode::from(2);
+        }
+    };
+    let ((tests, summary, prog), arch) = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("p4testgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "p4testgen: {} tests over {} paths ({} infeasible, {} abandoned)",
+        summary.tests, summary.paths_explored, summary.infeasible_paths, summary.abandoned_paths
+    );
+    if opts.coverage {
+        eprint!("{}", summary.coverage);
+    }
+    // Render the suite.
+    let rendered = match opts.backend.as_str() {
+        "stf" => StfBackend.emit_suite(&tests),
+        "ptf" => PtfBackend.emit_suite(&tests),
+        "proto" => ProtoBackend.emit_suite(&tests),
+        "json" => {
+            let items: Vec<String> = tests.iter().map(|t| ProtoBackend.emit_json(t)).collect();
+            format!("[{}]\n", items.join(",\n"))
+        }
+        other => {
+            eprintln!("p4testgen: unknown backend '{other}'");
+            return ExitCode::from(2);
+        }
+    };
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, rendered) {
+                eprintln!("p4testgen: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("p4testgen: wrote {path}");
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            let _ = stdout.write_all(rendered.as_bytes());
+        }
+    }
+    // Optional validation pass on the software model.
+    if opts.validate {
+        let mut fails = 0;
+        for t in &tests {
+            let v = execute_and_check(&prog, arch, FaultSet::none(), t);
+            if !v.is_pass() {
+                eprintln!("p4testgen: test {} FAILED on the software model: {v}", t.id);
+                fails += 1;
+            }
+        }
+        if fails > 0 {
+            eprintln!("p4testgen: {fails}/{} tests failed validation", tests.len());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("p4testgen: all {} tests pass on the software model", tests.len());
+    }
+    ExitCode::SUCCESS
+}

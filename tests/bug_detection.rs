@@ -1,0 +1,50 @@
+//! The Table 2/3 experiment as a test: every fault in the 25-bug catalog
+//! must be exposed by at least one generated corpus test, with the
+//! exception/wrong-code classification matching the paper's totals.
+
+use p4t_bench::campaign::{generate_corpus_tests, run_campaign, unfaulted_pass_rate};
+use p4t_interp::{Fault, FaultClass, FaultTargetClass};
+
+#[test]
+fn all_25_catalog_faults_are_detected_with_table2_counts() {
+    let corpus = generate_corpus_tests(0);
+    // Precondition: the oracle itself is sound.
+    let (pass, total) = unfaulted_pass_rate(&corpus);
+    assert_eq!(pass, total, "unfaulted models must pass every test");
+
+    let result = run_campaign(&corpus);
+    // Every fault detected.
+    for d in &result.detections {
+        assert!(
+            d.observed.is_some(),
+            "fault {} ({}) was not detected by any corpus test",
+            d.fault.label(),
+            d.fault.description()
+        );
+        // And it manifested with the class the catalog assigns.
+        assert_eq!(
+            d.observed.unwrap(),
+            d.fault.class(),
+            "fault {} manifested as {:?}, catalog says {:?} (via {})",
+            d.fault.label(),
+            d.observed.unwrap(),
+            d.fault.class(),
+            d.detail
+        );
+    }
+    // Table 2's exact counts.
+    assert_eq!(result.count(FaultTargetClass::Bmv2, FaultClass::Exception), 8);
+    assert_eq!(result.count(FaultTargetClass::Bmv2, FaultClass::WrongCode), 1);
+    assert_eq!(result.count(FaultTargetClass::Tofino, FaultClass::Exception), 9);
+    assert_eq!(result.count(FaultTargetClass::Tofino, FaultClass::WrongCode), 7);
+    assert_eq!(result.detected(), 25);
+}
+
+#[test]
+fn catalog_is_stable() {
+    // The campaign result depends on the catalog order being deterministic.
+    let c1 = Fault::catalog();
+    let c2 = Fault::catalog();
+    assert_eq!(c1, c2);
+    assert_eq!(c1.len(), 25);
+}

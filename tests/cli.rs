@@ -1,0 +1,109 @@
+//! Integration tests for the `p4testgen` command-line binary.
+
+use std::process::Command;
+
+const PROGRAM: &str = r#"
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<8> x; }
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    state start { pkt.extract(hdr.eth); transition accept; }
+}
+control VC(inout headers_t hdr, inout meta_t meta) { apply { } }
+control Ing(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    action fwd(bit<9> p) { sm.egress_spec = p; }
+    action nop() { }
+    table t {
+        key = { hdr.eth.etherType: exact @name("etype"); }
+        actions = { fwd; nop; }
+        default_action = nop();
+    }
+    apply { t.apply(); }
+}
+control Eg(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control CC(inout headers_t hdr, inout meta_t meta) { apply { } }
+control Dep(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.eth); } }
+V1Switch(P(), VC(), Ing(), Eg(), CC(), Dep()) main;
+"#;
+
+fn write_program() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("p4testgen_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("prog.p4");
+    std::fs::write(&path, PROGRAM).unwrap();
+    path
+}
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_p4testgen"))
+}
+
+#[test]
+fn cli_generates_stf_and_validates() {
+    let prog = write_program();
+    let out = bin()
+        .args(["--target", "v1model", "--backend", "stf", "--coverage", "--validate"])
+        .arg(&prog)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("packet 0"), "{stdout}");
+    assert!(stdout.contains("add Ing.t etype:"), "{stdout}");
+    assert!(stderr.contains("statement coverage: 4/4 (100.0%)"), "{stderr}");
+    assert!(stderr.contains("tests pass on the software model"), "{stderr}");
+}
+
+#[test]
+fn cli_json_backend_is_parseable() {
+    let prog = write_program();
+    let out = bin()
+        .args(["--target", "v1model", "--backend", "json"])
+        .arg(&prog)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let parsed: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("stdout is valid JSON");
+    assert!(parsed.as_array().is_some_and(|a| !a.is_empty()));
+}
+
+#[test]
+fn cli_rejects_unknown_target() {
+    let prog = write_program();
+    let out = bin().args(["--target", "nonesuch"]).arg(&prog).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown target"));
+}
+
+#[test]
+fn cli_reports_compile_errors_with_location() {
+    let dir = std::env::temp_dir().join(format!("p4testgen_cli_bad_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.p4");
+    std::fs::write(&path, "control C( { }").unwrap();
+    let out = bin().args(["--target", "v1model"]).arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error"), "{stderr}");
+}
+
+#[test]
+fn cli_max_tests_and_seed_are_honored() {
+    let prog = write_program();
+    let run = |seed: &str| {
+        let out = bin()
+            .args(["--target", "v1model", "--max-tests", "2", "--seed", seed])
+            .arg(&prog)
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let a1 = run("7");
+    let a2 = run("7");
+    assert_eq!(a1, a2, "same seed, same suite");
+    let packets = a1.matches("\npacket ").count();
+    assert_eq!(packets, 2, "max-tests honored");
+}

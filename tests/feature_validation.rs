@@ -1,0 +1,536 @@
+//! Per-feature end-to-end validation: each test exercises one P4 construct
+//! or target behavior — generation properties are asserted structurally,
+//! and every generated test is executed on the concrete software model
+//! (differential oracle check).
+
+use p4t_interp::{execute_and_check, Arch, FaultSet};
+use p4t_targets::V1Model;
+use p4testgen_core::{KeyMatch, Testgen, TestgenConfig, TestSpec};
+
+fn gen_and_validate(name: &str, src: &str) -> (Vec<TestSpec>, p4testgen_core::RunSummary) {
+    let mut tg = Testgen::new(name, src, V1Model::new(), TestgenConfig::default())
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let mut tests = Vec::new();
+    let summary = tg.run(|t| {
+        tests.push(t.clone());
+        true
+    });
+    for t in &tests {
+        let v = execute_and_check(&tg.prog, Arch::V1Model, FaultSet::none(), t);
+        assert!(v.is_pass(), "{name} test {}: {v}\ntrace: {:#?}", t.id, t.trace);
+    }
+    (tests, summary)
+}
+
+fn wrap_v1(ingress_body: &str, extra_decls: &str) -> String {
+    format!(
+        r#"
+header ethernet_t {{ bit<48> dst; bit<48> src; bit<16> etherType; }}
+struct headers_t {{ ethernet_t eth; }}
+struct meta_t {{ bit<32> scratch; bit<16> s16; bit<8> s8; }}
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {{
+    state start {{ pkt.extract(hdr.eth); transition accept; }}
+}}
+control VC(inout headers_t hdr, inout meta_t meta) {{ apply {{ }} }}
+control Ing(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {{
+{extra_decls}
+    apply {{
+{ingress_body}
+    }}
+}}
+control Eg(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {{ apply {{ }} }}
+control CC(inout headers_t hdr, inout meta_t meta) {{ apply {{ }} }}
+control Dep(packet_out pkt, in headers_t hdr) {{ apply {{ pkt.emit(hdr.eth); }} }}
+V1Switch(P(), VC(), Ing(), Eg(), CC(), Dep()) main;
+"#
+    )
+}
+
+#[test]
+fn feature_ternary_and_optional_match_kinds() {
+    let src = wrap_v1(
+        "        t.apply();",
+        r#"
+    action fwd(bit<9> p) { sm.egress_spec = p; }
+    action nop() { }
+    table t {
+        key = {
+            hdr.eth.dst: ternary @name("dmac");
+            hdr.eth.etherType: optional @name("etype");
+        }
+        actions = { fwd; nop; }
+        default_action = nop();
+    }"#,
+    );
+    let (tests, _) = gen_and_validate("ternary_optional", &src);
+    // Synthesized ternary entries carry full masks; priority is set.
+    let with_entry = tests.iter().find(|t| !t.entries.is_empty()).expect("hit test");
+    let e = &with_entry.entries[0];
+    assert!(e.priority > 0, "ternary entries need a priority");
+    assert!(matches!(e.keys[0], KeyMatch::Ternary { .. }));
+    assert!(matches!(e.keys[1], KeyMatch::Optional { .. } | KeyMatch::Ternary { .. }));
+}
+
+#[test]
+fn feature_range_match_kind() {
+    let src = wrap_v1(
+        "        t.apply();",
+        r#"
+    action fwd(bit<9> p) { sm.egress_spec = p; }
+    action nop() { }
+    table t {
+        key = { hdr.eth.etherType: range @name("etype"); }
+        actions = { fwd; nop; }
+        default_action = nop();
+    }"#,
+    );
+    let (tests, _) = gen_and_validate("range_kind", &src);
+    let with_entry = tests.iter().find(|t| !t.entries.is_empty()).expect("hit test");
+    let KeyMatch::Range { lo, hi, .. } = &with_entry.entries[0].keys[0] else {
+        panic!("expected range key");
+    };
+    // lo <= key <= hi must hold for the input packet's etherType.
+    let key = &with_entry.input_packet[12..14];
+    assert!(lo.as_slice() <= key && key <= hi.as_slice(), "lo={lo:?} key={key:?} hi={hi:?}");
+}
+
+#[test]
+fn feature_const_entries_with_priority() {
+    let src = wrap_v1(
+        "        t.apply();",
+        r#"
+    action a1() { sm.egress_spec = 1; }
+    action a2() { sm.egress_spec = 2; }
+    action nop() { }
+    table t {
+        key = { hdr.eth.etherType: ternary @name("etype"); }
+        actions = { a1; a2; nop; }
+        const entries = {
+            @priority(10) 0x1234 &&& 0xFFFF: a1();
+            @priority(1)  0x1234 &&& 0xFF00: a2();
+        }
+        default_action = nop();
+    }"#,
+    );
+    let (tests, _) = gen_and_validate("const_priority", &src);
+    // Among tests with no installed entries (const-entry paths), the 0x1234
+    // packet must go to port 1 (priority 10 wins); a 0x12xx (xx != 34)
+    // packet to port 2.
+    let const_tests: Vec<_> = tests
+        .iter()
+        .filter(|t| t.entries.is_empty() && t.input_packet.len() == 14)
+        .collect();
+    let p1 = const_tests
+        .iter()
+        .find(|t| t.outputs.first().is_some_and(|o| o.port == 1))
+        .expect("priority-10 const entry test");
+    assert_eq!(&p1.input_packet[12..14], &[0x12, 0x34]);
+    let p2 = const_tests
+        .iter()
+        .find(|t| t.outputs.first().is_some_and(|o| o.port == 2))
+        .expect("priority-1 const entry test");
+    assert_eq!(p2.input_packet[12], 0x12);
+    assert_ne!(p2.input_packet[13], 0x34);
+}
+
+#[test]
+fn feature_exit_terminates_block() {
+    let src = wrap_v1(
+        r#"        sm.egress_spec = 1;
+        if (hdr.eth.etherType == 0xDEAD) {
+            exit;
+        }
+        sm.egress_spec = 2;"#,
+        "",
+    );
+    let (tests, summary) = gen_and_validate("exit_stmt", &src);
+    assert!((summary.coverage.percent - 100.0).abs() < 1e-9);
+    // 0xDEAD packets leave on port 1 (exit skips the reassignment).
+    let exited = tests
+        .iter()
+        .find(|t| t.input_packet.len() == 14 && t.input_packet[12..14] == [0xDE, 0xAD])
+        .expect("exit path test");
+    assert_eq!(exited.outputs[0].port, 1);
+    let normal = tests
+        .iter()
+        .find(|t| t.input_packet.len() == 14 && t.input_packet[12..14] != [0xDE, 0xAD])
+        .expect("fallthrough test");
+    assert_eq!(normal.outputs[0].port, 2);
+}
+
+#[test]
+fn feature_hash_extern_concolic() {
+    let src = wrap_v1(
+        r#"        hash(meta.s16, HashAlgorithm.crc16, 16w0, { hdr.eth.dst }, 16w0xFFFF);
+        hdr.eth.etherType = meta.s16;
+        sm.egress_spec = 1;"#,
+        "",
+    );
+    let (tests, _) = gen_and_validate("hash_concolic", &src);
+    // The full-packet test's output etherType must equal
+    // crc16(dst) % 0xFFFF (the concolic binding, checked by the interp run
+    // in gen_and_validate — here we just confirm the path existed).
+    assert!(tests.iter().any(|t| !t.expects_drop() && t.input_packet.len() == 14));
+}
+
+#[test]
+fn feature_random_taints_output() {
+    let src = wrap_v1(
+        r#"        random(meta.s16, 16w0, 16w0xFFFF);
+        hdr.eth.etherType = meta.s16;
+        sm.egress_spec = 1;"#,
+        "",
+    );
+    let (tests, _) = gen_and_validate("random_taint", &src);
+    let t = tests.iter().find(|t| !t.expects_drop()).expect("forwarded test");
+    let out = &t.outputs[0].packet;
+    // The etherType bytes (12..14) must be don't-care.
+    assert_eq!(out.mask[12], 0, "random output must be masked: {}", out.to_hex());
+    assert_eq!(out.mask[13], 0);
+    // Everything before must still be exact.
+    assert!(out.mask[..12].iter().all(|&m| m == 0xFF));
+}
+
+#[test]
+fn feature_truncate() {
+    let src = wrap_v1(
+        r#"        truncate(32w10);
+        sm.egress_spec = 1;"#,
+        "",
+    );
+    let (tests, _) = gen_and_validate("truncate", &src);
+    let t = tests.iter().find(|t| !t.expects_drop()).expect("forwarded");
+    assert_eq!(t.outputs[0].packet.data.len(), 10, "truncated to 10 bytes");
+}
+
+#[test]
+fn feature_recirculate_bounded() {
+    let src = wrap_v1(
+        r#"        if (hdr.eth.etherType == 0x9999) {
+            hdr.eth.etherType = 0x9998;
+            recirculate_preserving_field_list(8w0);
+        }
+        sm.egress_spec = 3;"#,
+        "",
+    );
+    let (tests, summary) = gen_and_validate("recirculate", &src);
+    assert!((summary.coverage.percent - 100.0).abs() < 1e-9);
+    // A 0x9999 packet recirculates once and leaves with 0x9998.
+    let recirc = tests
+        .iter()
+        .find(|t| t.input_packet.len() == 14 && t.input_packet[12..14] == [0x99, 0x99])
+        .expect("recirculation test");
+    assert!(!recirc.expects_drop());
+    assert_eq!(&recirc.outputs[0].packet.data[12..14], &[0x99, 0x98]);
+}
+
+#[test]
+fn feature_clone_produces_two_outputs() {
+    let src = wrap_v1(
+        r#"        if (hdr.eth.etherType == 0x5555) {
+            clone(CloneType.I2E, 32w7);
+        }
+        sm.egress_spec = 4;"#,
+        "",
+    );
+    let (tests, _) = gen_and_validate("clone", &src);
+    let cloned = tests
+        .iter()
+        .find(|t| t.outputs.len() == 2)
+        .expect("clone path yields two output packets");
+    assert_eq!(&cloned.input_packet[12..14], &[0x55, 0x55]);
+    // A mirror-session config entry must be present.
+    assert!(cloned.entries.iter().any(|e| e.table == "$clone_session"));
+    // Both outputs carry the same payload.
+    assert_eq!(cloned.outputs[0].packet.data, cloned.outputs[1].packet.data);
+}
+
+#[test]
+fn feature_direct_action_call() {
+    let src = wrap_v1(
+        "        setp(9w9);",
+        r#"
+    action setp(bit<9> p) { sm.egress_spec = p; }"#,
+    );
+    let (tests, _) = gen_and_validate("direct_call", &src);
+    let t = tests.iter().find(|t| !t.expects_drop()).expect("forwarded");
+    assert_eq!(t.outputs[0].port, 9);
+}
+
+#[test]
+fn feature_lookahead() {
+    let src = r#"
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<16> peeked; }
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    state start {
+        meta.peeked = pkt.lookahead<bit<16>>();
+        pkt.extract(hdr.eth);
+        transition accept;
+    }
+}
+control VC(inout headers_t hdr, inout meta_t meta) { apply { } }
+control Ing(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    apply {
+        // lookahead peeked the first 16 bits == high 16 bits of dst.
+        if (meta.peeked == hdr.eth.dst[47:32]) {
+            sm.egress_spec = 1;
+        } else {
+            sm.egress_spec = 2;
+        }
+    }
+}
+control Eg(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control CC(inout headers_t hdr, inout meta_t meta) { apply { } }
+control Dep(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.eth); } }
+V1Switch(P(), VC(), Ing(), Eg(), CC(), Dep()) main;
+"#.to_string();
+    let (tests, _) = gen_and_validate("lookahead", &src);
+    // The equality branch is always true (lookahead == extracted bits), so
+    // only port-1 outputs exist among forwarded full packets.
+    for t in tests.iter().filter(|t| !t.expects_drop() && t.input_packet.len() == 14) {
+        assert_eq!(t.outputs[0].port, 1, "lookahead must agree with extract");
+    }
+}
+
+#[test]
+fn feature_register_roundtrip_in_spec() {
+    let src = wrap_v1(
+        r#"        reg.read(meta.scratch, 32w5);
+        meta.scratch = meta.scratch + 1;
+        reg.write(32w5, meta.scratch);
+        hdr.eth.etherType = meta.scratch[15:0];
+        sm.egress_spec = 1;"#,
+        r#"
+    register<bit<32>>(32) reg;"#,
+    );
+    let (tests, _) = gen_and_validate("register_spec", &src);
+    let t = tests.iter().find(|t| !t.expects_drop()).expect("forwarded");
+    assert_eq!(t.register_init.len(), 1, "read requires an init");
+    assert_eq!(t.register_expect.len(), 1, "write requires an expectation");
+    assert_eq!(t.register_init[0].index, 5);
+    // expectation = init + 1 (mod 2^32)
+    let init = u32::from_be_bytes(t.register_init[0].value.clone().try_into().unwrap());
+    let fin = u32::from_be_bytes(t.register_expect[0].value.clone().try_into().unwrap());
+    assert_eq!(fin, init.wrapping_add(1));
+}
+
+#[test]
+fn feature_update_checksum_writes_field() {
+    let src = wrap_v1(
+        r#"        update_checksum(true, { hdr.eth.dst, hdr.eth.src }, hdr.eth.etherType, HashAlgorithm.csum16);
+        sm.egress_spec = 1;"#,
+        "",
+    );
+    // gen_and_validate runs the interp: its concrete csum16 must equal the
+    // concolic binding's result for every generated test.
+    gen_and_validate("update_checksum", &src);
+}
+
+#[test]
+fn feature_switch_fallthrough_labels() {
+    let src = wrap_v1(
+        r#"        switch (t.apply().action_run) {
+            a1:
+            a2: { meta.s8 = 7; hdr.eth.src = 48w1; }
+            default: { hdr.eth.src = 48w2; }
+        }"#,
+        r#"
+    action a1() { sm.egress_spec = 1; }
+    action a2() { sm.egress_spec = 2; }
+    action other() { sm.egress_spec = 3; }
+    table t {
+        key = { hdr.eth.etherType: exact @name("etype"); }
+        actions = { a1; a2; other; }
+        default_action = other();
+    }"#,
+    );
+    let (tests, _) = gen_and_validate("switch_fallthrough", &src);
+    // Both a1 and a2 paths run the shared body (src = 1).
+    for port in [1u32, 2] {
+        let t = tests
+            .iter()
+            .find(|t| t.outputs.first().is_some_and(|o| o.port == port))
+            .unwrap_or_else(|| panic!("no test for port {port}"));
+        assert_eq!(
+            &t.outputs[0].packet.data[6..12],
+            &[0, 0, 0, 0, 0, 1],
+            "fallthrough body must run for port {port}"
+        );
+    }
+    let def = tests
+        .iter()
+        .find(|t| t.outputs.first().is_some_and(|o| o.port == 3))
+        .expect("default case");
+    assert_eq!(&def.outputs[0].packet.data[6..12], &[0, 0, 0, 0, 0, 2]);
+}
+
+#[test]
+fn feature_hit_miss_expression() {
+    let src = wrap_v1(
+        r#"        if (t.apply().hit) {
+            hdr.eth.src = 48w0xAA;
+        } else {
+            hdr.eth.src = 48w0xBB;
+        }
+        sm.egress_spec = 1;"#,
+        r#"
+    action nop() { }
+    action go() { }
+    table t {
+        key = { hdr.eth.etherType: exact @name("etype"); }
+        actions = { go; nop; }
+        default_action = nop();
+    }"#,
+    );
+    let (tests, summary) = gen_and_validate("hit_miss", &src);
+    assert!((summary.coverage.percent - 100.0).abs() < 1e-9);
+    // Hit tests carry 0xAA in src, miss tests 0xBB.
+    let hit = tests.iter().find(|t| !t.entries.is_empty()).expect("hit test");
+    assert_eq!(hit.outputs[0].packet.data[11], 0xAA);
+    let miss = tests
+        .iter()
+        .find(|t| t.entries.is_empty() && t.input_packet.len() == 14)
+        .expect("miss test");
+    assert_eq!(miss.outputs[0].packet.data[11], 0xBB);
+}
+
+#[test]
+fn feature_varbit_extract_and_emit() {
+    let (tests, summary) = gen_and_validate("varbit", &p4t_corpus::VARBIT_PROG);
+    assert!((summary.coverage.percent - 100.0).abs() < 1e-9);
+    // The ihl==6 path parses 32 bits of options that reappear in the output.
+    assert!(tests.iter().any(|t| {
+        t.input_packet.len() >= 14 + 20 + 4 && !t.expects_drop()
+    }));
+}
+
+#[test]
+fn feature_stack_push_pop() {
+    let (tests, _) = gen_and_validate("stack_quirks", &p4t_corpus::BMV2_QUIRKS);
+    assert!(!tests.is_empty());
+}
+
+#[test]
+fn stf_text_round_trip_executes_on_the_model() {
+    // The full toolchain loop: oracle → STF file → STF parser → software
+    // model, the way BMv2's STF driver consumes P4C test files.
+    use p4t_backends::{parse_stf, StfBackend, TestBackend};
+    let src = wrap_v1(
+        "        t.apply();",
+        r#"
+    action fwd(bit<9> p) { sm.egress_spec = p; }
+    action nop() { }
+    table t {
+        key = { hdr.eth.dst: exact @name("dmac"); }
+        actions = { fwd; nop; }
+        default_action = nop();
+    }"#,
+    );
+    let mut tg = Testgen::new("stf_loop", &src, V1Model::new(), TestgenConfig::default()).unwrap();
+    let mut tests = Vec::new();
+    tg.run(|t| {
+        tests.push(t.clone());
+        true
+    });
+    let stf_text = StfBackend.emit_suite(&tests);
+    let parsed = parse_stf(&stf_text).expect("emitted STF parses back");
+    assert_eq!(parsed.len(), tests.len());
+    for (orig, from_text) in tests.iter().zip(&parsed) {
+        // The re-parsed test must pass on the model exactly like the
+        // original spec does.
+        let v = execute_and_check(&tg.prog, Arch::V1Model, FaultSet::none(), from_text);
+        assert!(v.is_pass(), "test {} via STF text: {v}", orig.id);
+    }
+}
+
+#[test]
+fn feature_meter_color_is_control_plane_state() {
+    // Meter colors are control-plane configuration (the spec initializes
+    // them like register contents), so meter-dependent branches are
+    // deterministic and the RED-drop path is testable — unlike the paper's
+    // up4 run, where missing meter configuration in STF/PTF left the RED
+    // path uncovered (their 95% coverage note).
+    let src = wrap_v1(
+        r#"        flow_meter.execute_meter(32w4, meta.s8);
+        if (meta.s8 == 2) {
+            mark_to_drop(sm);
+        } else {
+            sm.egress_spec = 6;
+        }"#,
+        r#"
+    meter(64, MeterType.packets) flow_meter;"#,
+    );
+    let (tests, summary) = gen_and_validate("meter_color", &src);
+    assert!((summary.coverage.percent - 100.0).abs() < 1e-9, "{}", summary.coverage);
+    // The RED path: expects drop, with the color pinned via register_init.
+    let red = tests.iter().find(|t| t.expects_drop()).expect("RED drop test");
+    let init = red
+        .register_init
+        .iter()
+        .find(|r| r.instance.contains("flow_meter"))
+        .expect("meter color configured");
+    assert_eq!(init.value.last(), Some(&2), "configured color must be RED");
+    // The green path: forwarded, with a non-RED color configured.
+    let green = tests
+        .iter()
+        .find(|t| !t.expects_drop() && t.input_packet.len() == 14)
+        .expect("GREEN forward test");
+    let ginit = green
+        .register_init
+        .iter()
+        .find(|r| r.instance.contains("flow_meter"))
+        .expect("meter color configured");
+    assert_ne!(ginit.value.last(), Some(&2));
+}
+
+#[test]
+fn feature_up4_red_path_covered() {
+    // The corpus up4 analogue must cover the meter-RED drop (the paper's
+    // documented coverage gap, closed by meter configuration).
+    let mut tg = Testgen::new("up4", &p4t_corpus::UP4_SIM, V1Model::new(), TestgenConfig::default())
+        .unwrap();
+    let mut red_seen = false;
+    let summary = tg.run(|t| {
+        if t.expects_drop()
+            && t.register_init.iter().any(|r| r.instance.contains("flow_meter") && r.value.last() == Some(&2))
+        {
+            red_seen = true;
+        }
+        true
+    });
+    assert!(red_seen, "a RED-meter drop test must exist");
+    assert!((summary.coverage.percent - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn feature_resubmit_reinjects_original_packet() {
+    // Resubmit differs from recirculate: the ORIGINAL packet re-enters the
+    // ingress parser (not the deparsed one). The rewrite below would be
+    // visible after recirculation, but resubmission re-parses the original
+    // and takes the non-resubmit branch the second time around (etherType
+    // is rewritten only transiently).
+    let src = wrap_v1(
+        r#"        if (hdr.eth.etherType == 0x7777) {
+            hdr.eth.etherType = 0x7778;
+            resubmit_preserving_field_list(8w0);
+        } else {
+            sm.egress_spec = 2;
+        }"#,
+        "",
+    );
+    let (tests, summary) = gen_and_validate("resubmit", &src);
+    assert!((summary.coverage.percent - 100.0).abs() < 1e-9);
+    // The resubmit path loops: first pass rewrites + resubmits the original
+    // 0x7777 packet; the second pass sees 0x7777 again, rewrites, and the
+    // recirc bound stops further resubmission — the final pass forwards
+    // with the rewritten type.
+    let re = tests
+        .iter()
+        .find(|t| t.input_packet.len() == 14 && t.input_packet[12..14] == [0x77, 0x77])
+        .expect("resubmit test");
+    assert!(!re.expects_drop());
+    // Output carries the rewrite of the final pass.
+    assert_eq!(&re.outputs[0].packet.data[12..14], &[0x77, 0x78]);
+}
