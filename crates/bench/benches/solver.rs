@@ -22,20 +22,20 @@ fn bench_bitvec(c: &mut Criterion) {
 /// A path-constraint shape typical of parser select chains: equalities over
 /// packet slices plus a table-key equality.
 fn parser_path_check(width_headers: usize) -> CheckResult {
-    let mut pool = TermPool::new();
+    let pool = TermPool::new();
     let mut solver = Solver::new();
     let pkt = pool.fresh_var("pkt", 112 + width_headers * 32);
     let ethertype = pool.extract(112 + width_headers * 32 - 97, 112 + width_headers * 32 - 112, pkt);
     let c800 = pool.const_u128(16, 0x0800);
     let is_ip = pool.eq(ethertype, c800);
-    solver.assert(&mut pool, is_ip);
+    solver.assert(&pool, is_ip);
     for i in 0..width_headers {
         let field = pool.extract(i * 32 + 31, i * 32, pkt);
         let key = pool.fresh_var(format!("key{i}"), 32);
         let eq = pool.eq(field, key);
-        solver.assert(&mut pool, eq);
+        solver.assert(&pool, eq);
     }
-    solver.check(&mut pool)
+    solver.check(&pool)
 }
 
 fn bench_solver(c: &mut Criterion) {
@@ -48,7 +48,7 @@ fn bench_solver(c: &mut Criterion) {
     // Checksum-style: equality binding a 16-bit var against a sum chain.
     c.bench_function("solver/arith_chain", |b| {
         b.iter(|| {
-            let mut pool = TermPool::new();
+            let pool = TermPool::new();
             let mut solver = Solver::new();
             let mut acc = pool.const_u128(16, 0);
             for i in 0..8 {
@@ -57,8 +57,8 @@ fn bench_solver(c: &mut Criterion) {
             }
             let target = pool.const_u128(16, 0xBEEF);
             let eq = pool.eq(acc, target);
-            solver.assert(&mut pool, eq);
-            black_box(solver.check(&mut pool))
+            solver.assert(&pool, eq);
+            black_box(solver.check(&pool))
         })
     });
 }

@@ -4,6 +4,8 @@
 //! * `table4b/*` — middleblock under each precondition (the Table 4b rows).
 //! * `fig7/throughput` — paths/second on the corpus (the Fig. 7 substrate).
 //! * `fig1/examples` — the paper's worked examples.
+//! * `parallel/*` — the same fork-heavy program at 1/2/4/8 exploration
+//!   workers (wall-clock scaling of the work-stealing pool).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use p4t_targets::{Tofino, V1Model};
@@ -84,9 +86,29 @@ fn bench_fig7(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_parallel(c: &mut Criterion) {
+    // ~4^4 feasible paths of chained-table branching: enough independent
+    // subtrees that stealing keeps every worker busy.
+    let src = p4t_corpus::generate_synthetic(4, 3);
+    let mut g = c.benchmark_group("parallel");
+    g.sample_size(10);
+    for jobs in [1usize, 2, 4, 8] {
+        g.bench_function(&format!("jobs{jobs}"), |b| {
+            b.iter(|| {
+                let mut config = TestgenConfig::default();
+                config.jobs = jobs;
+                let mut tg =
+                    Testgen::new("synthetic_4x3", &src, V1Model::new(), config).unwrap();
+                black_box(tg.run(|_| true).tests)
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = bench_table4a, bench_table4b, bench_fig1, bench_fig7
+    targets = bench_table4a, bench_table4b, bench_fig1, bench_fig7, bench_parallel
 }
 criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Parallel-scaling measurement for the exploration engine: runs fork-heavy
+//! corpus programs at 1/2/4/8 workers and writes `BENCH_testgen.json` with
+//! wall-clock times and speedups relative to the sequential run.
+//!
+//! Usage: `bench_testgen_json [OUT_PATH]` (default `BENCH_testgen.json`).
+//! Build with `--release`; debug-build timings are not meaningful.
+
+use p4t_targets::V1Model;
+use p4testgen_core::{Testgen, TestgenConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+const JOB_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 3;
+
+#[derive(Serialize)]
+struct Doc {
+    benchmark: &'static str,
+    host_cpus: usize,
+    reps_per_point: usize,
+    metric: &'static str,
+    note: &'static str,
+    results: Vec<ProgramResult>,
+}
+
+#[derive(Serialize)]
+struct ProgramResult {
+    program: &'static str,
+    runs: Vec<RunPoint>,
+}
+
+#[derive(Serialize)]
+struct RunPoint {
+    jobs: usize,
+    wall_seconds: f64,
+    tests: u64,
+    paths: u64,
+    speedup_vs_jobs1: f64,
+}
+
+struct Workload {
+    name: &'static str,
+    src: String,
+}
+
+fn measure(w: &Workload, jobs: usize) -> (f64, u64, u64) {
+    let mut best = f64::INFINITY;
+    let mut tests = 0;
+    let mut paths = 0;
+    for _ in 0..REPS {
+        let mut config = TestgenConfig::default();
+        config.jobs = jobs;
+        let mut tg = Testgen::new(w.name, &w.src, V1Model::new(), config).unwrap();
+        let t0 = Instant::now();
+        let s = tg.run(|_| true);
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt);
+        tests = s.tests;
+        paths = s.paths_explored;
+    }
+    (best, tests, paths)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_testgen.json".to_string());
+    let workloads = [
+        Workload { name: "synthetic_4x3", src: p4t_corpus::generate_synthetic(4, 3) },
+        Workload { name: "synthetic_5x3", src: p4t_corpus::generate_synthetic(5, 3) },
+        Workload { name: "up4_sim", src: p4t_corpus::UP4_SIM.clone() },
+    ];
+    let mut results = Vec::new();
+    for w in &workloads {
+        let mut baseline = 0.0f64;
+        let mut runs = Vec::new();
+        for jobs in JOB_COUNTS {
+            let (secs, tests, paths) = measure(w, jobs);
+            if jobs == 1 {
+                baseline = secs;
+            }
+            let speedup = baseline / secs.max(1e-9);
+            eprintln!(
+                "{}: jobs={jobs} {secs:.3}s ({tests} tests, {paths} paths, {speedup:.2}x)",
+                w.name
+            );
+            runs.push(RunPoint {
+                jobs,
+                wall_seconds: secs,
+                tests,
+                paths,
+                speedup_vs_jobs1: speedup,
+            });
+        }
+        results.push(ProgramResult { program: w.name, runs });
+    }
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let doc = Doc {
+        benchmark: "parallel path exploration scaling",
+        host_cpus,
+        reps_per_point: REPS,
+        metric: "best-of-reps wall-clock seconds for a full generation run",
+        note: "exploration is CPU-bound, so the attainable speedup is bounded by \
+               host_cpus; on a single-core host the interesting number is the \
+               overhead of running the worker pool at all (speedup ~1.0 means \
+               the pool adds no serialization cost)",
+        results,
+    };
+    let rendered = serde_json::to_string_pretty(&doc).expect("render json");
+    std::fs::write(&out_path, rendered + "\n").expect("write BENCH_testgen.json");
+    eprintln!("wrote {out_path}");
+}

@@ -64,7 +64,7 @@ impl ConcolicRegistry {
 /// extra equality constraints to add, or `None` if no consistent concrete
 /// assignment was found within `max_retries`.
 pub fn resolve_concolics(
-    pool: &mut TermPool,
+    pool: &TermPool,
     solver: &mut Solver,
     registry: &ConcolicRegistry,
     bindings: &[ConcolicBinding],
@@ -265,13 +265,13 @@ mod tests {
     fn resolve_simple_binding() {
         // result = csum16(x) with x otherwise unconstrained; the loop must
         // find a consistent concrete assignment.
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut solver = Solver::new();
         let reg = ConcolicRegistry::with_builtins();
         let x = pool.fresh_var("x", 32);
         let r = pool.fresh_var("csum_result", 16);
         let bindings = vec![ConcolicBinding { func: "csum16".into(), args: vec![x], result: r }];
-        let eqs = resolve_concolics(&mut pool, &mut solver, &reg, &bindings, &[], 3)
+        let eqs = resolve_concolics(&pool, &mut solver, &reg, &bindings, &[], 3)
             .expect("resolvable");
         assert!(!eqs.is_empty());
     }
@@ -280,7 +280,7 @@ mod tests {
     fn resolve_fails_on_contradiction() {
         // Constrain result != csum16(x) for the concrete x chosen — since x
         // is pinned by a path constraint, no retry can succeed.
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut solver = Solver::new();
         let reg = ConcolicRegistry::with_builtins();
         let x = pool.fresh_var("x", 32);
@@ -293,7 +293,7 @@ mod tests {
         let pin_r = pool.eq(r, wrong_c);
         let bindings = vec![ConcolicBinding { func: "csum16".into(), args: vec![x], result: r }];
         let out =
-            resolve_concolics(&mut pool, &mut solver, &reg, &bindings, &[pin, pin_r], 2);
+            resolve_concolics(&pool, &mut solver, &reg, &bindings, &[pin, pin_r], 2);
         assert!(out.is_none());
     }
 }

@@ -7,6 +7,7 @@
 
 use p4t_ir::{IrProgram, StmtId};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Accumulates covered statements over a generation run.
 #[derive(Clone, Debug, Default)]
@@ -74,6 +75,107 @@ impl CoverageTracker {
     }
 }
 
+/// Thread-safe statement-coverage accumulator for parallel exploration.
+///
+/// A fixed-size atomic bitset indexed by [`StmtId`] (statement ids are
+/// assigned densely at lowering time, but dead-code elimination may leave
+/// gaps, so the bitset is sized by the maximum surviving id). Workers record
+/// coverage with [`SharedCoverage::add`] without any lock; the `epoch`
+/// counter bumps whenever a *new* statement is covered, which lets the
+/// coverage-first selector cache per-state novelty counts and invalidate
+/// them only when global coverage actually grows.
+#[derive(Debug)]
+pub struct SharedCoverage {
+    words: Vec<AtomicU64>,
+    covered: AtomicUsize,
+    epoch: AtomicU64,
+    total: usize,
+}
+
+impl SharedCoverage {
+    pub fn new(prog: &IrProgram) -> Self {
+        let max_id = prog.statements.iter().map(|s| s.id.0 as usize + 1).max().unwrap_or(0);
+        SharedCoverage {
+            words: (0..max_id.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            covered: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            total: prog.num_statements(),
+        }
+    }
+
+    /// Record the statements covered by one path; returns how many were new.
+    pub fn add(&self, stmts: &BTreeSet<StmtId>) -> usize {
+        let mut new = 0;
+        for id in stmts {
+            let i = id.0 as usize;
+            let Some(word) = self.words.get(i / 64) else { continue };
+            let bit = 1u64 << (i % 64);
+            if word.fetch_or(bit, Ordering::AcqRel) & bit == 0 {
+                new += 1;
+            }
+        }
+        if new > 0 {
+            self.covered.fetch_add(new, Ordering::AcqRel);
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        new
+    }
+
+    pub fn contains(&self, id: StmtId) -> bool {
+        let i = id.0 as usize;
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w.load(Ordering::Acquire) & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Monotone counter that advances whenever new coverage lands; cheap to
+    /// poll, used to invalidate cached novelty scores.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    pub fn covered_count(&self) -> usize {
+        self.covered.load(Ordering::Acquire)
+    }
+
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.covered_count() as f64 / self.total as f64
+        }
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.covered_count() >= self.total
+    }
+
+    /// Build the end-of-run report.
+    pub fn report(&self, prog: &IrProgram) -> CoverageReport {
+        let missed: Vec<MissedStatement> = prog
+            .statements
+            .iter()
+            .filter(|s| !self.contains(s.id))
+            .map(|s| MissedStatement {
+                id: s.id,
+                block: s.block.clone(),
+                line: s.line,
+                describe: s.describe.clone(),
+            })
+            .collect();
+        CoverageReport {
+            total: self.total,
+            covered: self.covered_count(),
+            percent: self.fraction() * 100.0,
+            missed,
+        }
+    }
+}
+
 /// A statement never covered by any generated test.
 #[derive(Clone, Debug)]
 pub struct MissedStatement {
@@ -126,5 +228,49 @@ mod tests {
         s.insert(StmtId(3));
         t.add(&s);
         assert!(t.is_full());
+    }
+
+    #[test]
+    fn shared_coverage_counts_and_epochs() {
+        let sc = SharedCoverage {
+            words: (0..2).map(|_| AtomicU64::new(0)).collect(),
+            covered: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            total: 4,
+        };
+        let mut s = BTreeSet::new();
+        s.insert(StmtId(0));
+        s.insert(StmtId(65)); // second word
+        assert_eq!(sc.add(&s), 2);
+        let e = sc.epoch();
+        assert_eq!(sc.add(&s), 0, "idempotent");
+        assert_eq!(sc.epoch(), e, "epoch only advances on new coverage");
+        assert!(sc.contains(StmtId(65)));
+        assert!(!sc.contains(StmtId(1)));
+        assert!(!sc.contains(StmtId(500)), "out-of-range ids are not covered");
+        assert_eq!(sc.covered_count(), 2);
+    }
+
+    #[test]
+    fn shared_coverage_concurrent_adds_count_once() {
+        let sc = SharedCoverage {
+            words: (0..4).map(|_| AtomicU64::new(0)).collect(),
+            covered: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            total: 200,
+        };
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let sc = &sc;
+                scope.spawn(move || {
+                    // Overlapping ranges: each statement hit by two threads.
+                    let s: BTreeSet<StmtId> =
+                        (t * 50..(t + 2) * 50).map(|i| StmtId(i % 200)).collect();
+                    sc.add(&s);
+                });
+            }
+        });
+        assert_eq!(sc.covered_count(), 200, "each bit counted exactly once");
+        assert!(sc.is_full());
     }
 }

@@ -115,7 +115,7 @@ pub fn eval_expr(
 }
 
 fn eval_binary(ctx: &mut ExecCtx, op: IrBinOp, a: &Sym, b: &Sym, width: u32) -> Sym {
-    let pool = &mut *ctx.pool;
+    let pool = ctx.pool;
     let (term, taint) = match op {
         IrBinOp::And => (pool.bin(BinOp::And, a.term, b.term), SymOps::and_taint(pool, a, b)),
         IrBinOp::Or => (pool.bin(BinOp::Or, a.term, b.term), SymOps::bitwise_taint(a, b)),

@@ -93,7 +93,7 @@ impl PacketModel {
     /// In L the chunk is inserted *before* any trailing target-appended
     /// content (e.g. Tofino's frame check sequence stays at the very end of
     /// the wire no matter how much the input packet grows).
-    pub fn grow_input(&mut self, pool: &mut TermPool, bits: u32) -> Sym {
+    pub fn grow_input(&mut self, pool: &TermPool, bits: u32) -> Sym {
         let name = format!("pkt_in_{}", self.chunk_counter);
         self.chunk_counter += 1;
         let term = pool.fresh_var(name, bits as usize);
@@ -116,7 +116,7 @@ impl PacketModel {
     /// Consume exactly `bits` from the front of the live packet, growing the
     /// input if the live packet is shorter (the Fig. 6 "allocate a new packet
     /// variable" rule). Returns the consumed content as one value.
-    pub fn read(&mut self, pool: &mut TermPool, bits: u32) -> Sym {
+    pub fn read(&mut self, pool: &TermPool, bits: u32) -> Sym {
         let shortfall = (bits as u64).saturating_sub(self.live_bits());
         if shortfall > 0 {
             self.grow_input(pool, shortfall as u32);
@@ -125,7 +125,7 @@ impl PacketModel {
     }
 
     /// Consume exactly `bits` without growing; `None` if not enough content.
-    pub fn consume(&mut self, pool: &mut TermPool, bits: u32) -> Option<Sym> {
+    pub fn consume(&mut self, pool: &TermPool, bits: u32) -> Option<Sym> {
         if (self.live_bits()) < bits as u64 {
             return None;
         }
@@ -173,7 +173,7 @@ impl PacketModel {
 
     /// Peek `bits` from the front without consuming, growing I if needed
     /// (`lookahead` semantics).
-    pub fn peek(&mut self, pool: &mut TermPool, bits: u32) -> Sym {
+    pub fn peek(&mut self, pool: &TermPool, bits: u32) -> Sym {
         let shortfall = (bits as u64).saturating_sub(self.live_bits());
         if shortfall > 0 {
             self.grow_input(pool, shortfall as u32);
@@ -220,7 +220,7 @@ impl PacketModel {
 
     /// The live packet as a single value (the expected output packet).
     /// `None` when the live packet is empty.
-    pub fn live_value(&self, pool: &mut TermPool) -> Option<Sym> {
+    pub fn live_value(&self, pool: &TermPool) -> Option<Sym> {
         let mut acc: Option<Sym> = None;
         for seg in &self.live {
             acc = Some(match acc {
@@ -236,7 +236,7 @@ impl PacketModel {
 
     /// The required input packet as a single value. `None` when no input
     /// content was required on this path.
-    pub fn input_value(&self, pool: &mut TermPool) -> Option<Sym> {
+    pub fn input_value(&self, pool: &TermPool) -> Option<Sym> {
         let mut acc: Option<Sym> = None;
         for sym in &self.input {
             acc = Some(match acc {
@@ -257,10 +257,10 @@ mod tests {
 
     #[test]
     fn read_grows_input_on_demand() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut pm = PacketModel::new();
         assert_eq!(pm.input_bits(), 0);
-        let v = pm.read(&mut pool, 112);
+        let v = pm.read(&pool, 112);
         assert_eq!(v.width(), 112);
         assert_eq!(pm.input_bits(), 112);
         assert_eq!(pm.live_bits(), 0);
@@ -268,43 +268,43 @@ mod tests {
 
     #[test]
     fn partial_segment_consumption() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut pm = PacketModel::new();
-        pm.grow_input(&mut pool, 32);
-        let first = pm.consume(&mut pool, 8).unwrap();
+        pm.grow_input(&pool, 32);
+        let first = pm.consume(&pool, 8).unwrap();
         assert_eq!(first.width(), 8);
         assert_eq!(pm.live_bits(), 24);
-        let rest = pm.consume(&mut pool, 24).unwrap();
+        let rest = pm.consume(&pool, 24).unwrap();
         assert_eq!(rest.width(), 24);
         assert_eq!(pm.input_bits(), 32);
     }
 
     #[test]
     fn consume_fails_without_content() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut pm = PacketModel::new();
-        pm.grow_input(&mut pool, 8);
-        assert!(pm.consume(&mut pool, 16).is_none());
+        pm.grow_input(&pool, 8);
+        assert!(pm.consume(&pool, 16).is_none());
         // The failed consume did not disturb the buffer.
         assert_eq!(pm.live_bits(), 8);
     }
 
     #[test]
     fn msb_first_wire_order() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut pm = PacketModel::new();
         // Prepend a known 16-bit constant as target content.
         let c = pool.constant(BitVec::from_u128(16, 0xABCD));
         pm.prepend_target(Sym::clean(c, 16));
-        let first_byte = pm.consume(&mut pool, 8).unwrap();
+        let first_byte = pm.consume(&pool, 8).unwrap();
         assert_eq!(pool.as_const(first_byte.term).unwrap().to_u64(), Some(0xAB));
-        let second_byte = pm.consume(&mut pool, 8).unwrap();
+        let second_byte = pm.consume(&pool, 8).unwrap();
         assert_eq!(pool.as_const(second_byte.term).unwrap().to_u64(), Some(0xCD));
     }
 
     #[test]
     fn emit_then_flush_prepends_in_order() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut pm = PacketModel::new();
         let a = pool.constant(BitVec::from_u128(8, 0x11));
         let b = pool.constant(BitVec::from_u128(8, 0x22));
@@ -315,27 +315,27 @@ mod tests {
         assert_eq!(pm.emit_bits(), 16);
         pm.flush_emit();
         assert_eq!(pm.emit_bits(), 0);
-        let out = pm.live_value(&mut pool).unwrap();
+        let out = pm.live_value(&pool).unwrap();
         assert_eq!(pool.as_const(out.term).unwrap().to_u64(), Some(0x112233));
     }
 
     #[test]
     fn peek_does_not_consume() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut pm = PacketModel::new();
-        let v1 = pm.peek(&mut pool, 16);
+        let v1 = pm.peek(&pool, 16);
         assert_eq!(pm.live_bits(), 16); // grown but not consumed
-        let v2 = pm.consume(&mut pool, 16).unwrap();
+        let v2 = pm.consume(&pool, 16).unwrap();
         assert_eq!(v1.term, v2.term);
     }
 
     #[test]
     fn target_content_not_in_input() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut pm = PacketModel::new();
         let meta = pool.fresh_var("tofino_meta", 64);
         pm.prepend_target(Sym::tainted(meta, 64));
-        pm.read(&mut pool, 64 + 112);
+        pm.read(&pool, 64 + 112);
         // 64 bits came from the target; only 112 had to come from the input.
         assert_eq!(pm.input_bits(), 112);
     }

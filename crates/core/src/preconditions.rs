@@ -17,7 +17,7 @@ use p4t_smt::{BitVec, TermId, TermPool};
 /// synthesized entry's key variables. Returns `Ok(None)` when the
 /// restriction references no known key (vacuous).
 pub fn compile_restriction(
-    pool: &mut TermPool,
+    pool: &TermPool,
     source: &str,
     keys: &[SynthKeyMatch],
 ) -> Result<Option<TermId>, String> {
@@ -38,7 +38,7 @@ fn key_term(keys: &[SynthKeyMatch], name: &str) -> Option<(TermId, u32)> {
 }
 
 fn compile_expr(
-    pool: &mut TermPool,
+    pool: &TermPool,
     e: &Expr,
     keys: &[SynthKeyMatch],
     any_key: &mut bool,
@@ -158,7 +158,7 @@ impl Preconditions {
 mod tests {
     use super::*;
 
-    fn keys(pool: &mut TermPool) -> Vec<SynthKeyMatch> {
+    fn keys(pool: &TermPool) -> Vec<SynthKeyMatch> {
         let a = pool.fresh_var("a", 8);
         let b = pool.fresh_var("b", 16);
         vec![
@@ -185,49 +185,49 @@ mod tests {
 
     #[test]
     fn compiles_simple_comparison() {
-        let mut pool = TermPool::new();
-        let ks = keys(&mut pool);
-        let c = compile_restriction(&mut pool, "a != 0", &ks).unwrap();
+        let pool = TermPool::new();
+        let ks = keys(&pool);
+        let c = compile_restriction(&pool, "a != 0", &ks).unwrap();
         assert!(c.is_some());
     }
 
     #[test]
     fn dotted_key_names_resolve() {
-        let mut pool = TermPool::new();
-        let ks = keys(&mut pool);
-        let c = compile_restriction(&mut pool, "hdr.x.b == 5 && a < 10", &ks).unwrap();
+        let pool = TermPool::new();
+        let ks = keys(&pool);
+        let c = compile_restriction(&pool, "hdr.x.b == 5 && a < 10", &ks).unwrap();
         assert!(c.is_some());
     }
 
     #[test]
     fn suffix_matching_on_key_names() {
-        let mut pool = TermPool::new();
-        let ks = keys(&mut pool);
+        let pool = TermPool::new();
+        let ks = keys(&pool);
         // `b` alone matches the key named `hdr.x.b`.
-        let c = compile_restriction(&mut pool, "b > 100", &ks).unwrap();
+        let c = compile_restriction(&pool, "b > 100", &ks).unwrap();
         assert!(c.is_some());
     }
 
     #[test]
     fn unknown_key_is_error() {
-        let mut pool = TermPool::new();
-        let ks = keys(&mut pool);
-        assert!(compile_restriction(&mut pool, "zzz == 1", &ks).is_err());
+        let pool = TermPool::new();
+        let ks = keys(&pool);
+        assert!(compile_restriction(&pool, "zzz == 1", &ks).is_err());
     }
 
     #[test]
     fn restriction_actually_constrains() {
         use p4t_smt::{CheckResult, Solver};
-        let mut pool = TermPool::new();
-        let ks = keys(&mut pool);
-        let c = compile_restriction(&mut pool, "a == 7", &ks).unwrap().unwrap();
+        let pool = TermPool::new();
+        let ks = keys(&pool);
+        let c = compile_restriction(&pool, "a == 7", &ks).unwrap().unwrap();
         let mut solver = Solver::new();
-        solver.assert(&mut pool, c);
+        solver.assert(&pool, c);
         // Also assert a != 7: unsat.
         let a = ks[0].value.unwrap();
         let seven = pool.const_u128(8, 7);
         let neq = pool.neq(a, seven);
-        solver.assert(&mut pool, neq);
-        assert_eq!(solver.check(&mut pool), CheckResult::Unsat);
+        solver.assert(&pool, neq);
+        assert_eq!(solver.check(&pool), CheckResult::Unsat);
     }
 }

@@ -8,7 +8,7 @@ use crate::packet::PacketModel;
 use crate::sym::Sym;
 use p4t_ir::{IrStmt, Path, StmtId};
 use p4t_smt::{BitVec, TermId, TermPool};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// A continuation command. The continuation stack generalizes control flow
 /// (§5.1.2): target pipelines, recirculation, and block chaining are all
@@ -103,8 +103,18 @@ pub struct SymOutput {
 #[derive(Clone, Debug)]
 pub struct ExecState {
     pub id: u64,
-    /// Flattened storage: global path → symbolic value.
-    env: HashMap<String, Sym>,
+    /// Fork trail: at every fork event the surviving parent appends `0` and
+    /// child `i` appends `i + 1` (indexed before feasibility pruning). The
+    /// trail uniquely identifies a path in the exploration tree regardless of
+    /// which worker explored it or in what order, so it serves as the
+    /// schedule-independent identity used for deterministic test ordering and
+    /// per-path RNG seeding under parallel exploration.
+    pub trail: Vec<u32>,
+    /// Flattened storage: global path → symbolic value. A `BTreeMap` so that
+    /// iteration (e.g. [`ExecState::snapshot_prefix`], used for clone /
+    /// resubmit metadata) is deterministic and independent of insertion
+    /// history — a requirement for reproducible parallel exploration.
+    env: BTreeMap<String, Sym>,
     /// Alias frames: local head segment → global head segment.
     frames: Vec<HashMap<String, String>>,
     /// Path constraints (1-bit terms), in collection order.
@@ -133,7 +143,8 @@ impl ExecState {
     pub fn new(id: u64) -> Self {
         ExecState {
             id,
-            env: HashMap::new(),
+            trail: Vec::new(),
+            env: BTreeMap::new(),
             frames: vec![HashMap::new()],
             constraints: Vec::new(),
             packet: PacketModel::new(),
@@ -295,7 +306,7 @@ impl ExecState {
 }
 
 /// Helper: a zero value of a given width.
-pub fn zero_sym(pool: &mut TermPool, width: u32) -> Sym {
+pub fn zero_sym(pool: &TermPool, width: u32) -> Sym {
     let t = pool.constant(BitVec::zeros(width as usize));
     Sym::clean(t, width)
 }
@@ -332,12 +343,12 @@ mod tests {
 
     #[test]
     fn env_read_write_via_alias() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut st = ExecState::new(0);
         let mut frame = HashMap::new();
         frame.insert("m".to_string(), "meta".to_string());
         st.push_frame(frame);
-        let v = zero_sym(&mut pool, 8);
+        let v = zero_sym(&pool, 8);
         st.write(&Path::new("m.x"), v.clone());
         assert_eq!(st.read_global("meta.x"), Some(&v));
         assert_eq!(st.read(&Path::new("m.x")), Some(&v));
@@ -345,9 +356,9 @@ mod tests {
 
     #[test]
     fn clear_prefix_scopes_correctly() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut st = ExecState::new(0);
-        let v = zero_sym(&mut pool, 8);
+        let v = zero_sym(&pool, 8);
         st.write_global("meta.x", v.clone());
         st.write_global("meta.y", v.clone());
         st.write_global("metadata.z", v.clone());
@@ -359,7 +370,7 @@ mod tests {
 
     #[test]
     fn constraints_skip_trivial_true() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut st = ExecState::new(0);
         let t = pool.mk_true();
         st.add_constraint(&pool, t);

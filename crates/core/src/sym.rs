@@ -118,7 +118,7 @@ impl SymOps {
 
 /// Create a fresh, fully tainted symbolic value (a havoc value): the model of
 /// "the target may put anything here".
-pub fn havoc(pool: &mut TermPool, name: &str, width: u32) -> Sym {
+pub fn havoc(pool: &TermPool, name: &str, width: u32) -> Sym {
     let t = pool.fresh_var(format!("havoc_{name}"), width as usize);
     Sym::tainted(t, width)
 }
@@ -129,7 +129,7 @@ mod tests {
 
     #[test]
     fn clean_and_tainted_constructors() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let t = pool.const_u128(8, 5);
         assert!(!Sym::clean(t, 8).is_tainted());
         assert!(Sym::tainted(t, 8).is_fully_tainted());
@@ -137,7 +137,7 @@ mod tests {
 
     #[test]
     fn and_with_constant_clears_taint() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let x = pool.fresh_var("x", 8);
         let tainted = Sym::tainted(x, 8);
         let mask = pool.const_u128(8, 0x0F);
@@ -149,7 +149,7 @@ mod tests {
 
     #[test]
     fn concat_and_slice_taint() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let x = pool.fresh_var("x", 8);
         let c = pool.const_u128(8, 0);
         let hi = Sym::tainted(x, 8);
@@ -163,7 +163,7 @@ mod tests {
 
     #[test]
     fn mux_taint_spreads_from_condition() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let c = pool.fresh_var("c", 1);
         let a = pool.const_u128(8, 1);
         let cond_tainted = Sym::tainted(c, 1);

@@ -17,6 +17,7 @@ use crate::sym::Sym;
 use crate::sym::havoc;
 use p4t_ir::{IrProgram, Path};
 use p4t_smt::{BitVec, TermId, TermPool};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 pub use crate::state::Cmd;
 
@@ -68,11 +69,14 @@ impl ExtArg {
 /// Execution context shared by the executor, hooks, and externs: the term
 /// pool, the program, and the fork buffer.
 pub struct ExecCtx<'a> {
-    pub pool: &'a mut TermPool,
+    pub pool: &'a TermPool,
     pub prog: &'a IrProgram,
     /// States forked during the current step; collected by the driver.
     pub forks: Vec<ExecState>,
-    next_id: &'a mut u64,
+    /// Shared state-id counter. State ids are diagnostic labels only (path
+    /// identity is the fork trail), so a relaxed atomic shared across workers
+    /// is sufficient.
+    next_id: &'a AtomicU64,
     /// Parser-state visit bound (loop unrolling depth).
     pub parser_loop_bound: u32,
     /// Deterministic seed for value choices.
@@ -83,9 +87,9 @@ pub struct ExecCtx<'a> {
 
 impl<'a> ExecCtx<'a> {
     pub fn new(
-        pool: &'a mut TermPool,
+        pool: &'a TermPool,
         prog: &'a IrProgram,
-        next_id: &'a mut u64,
+        next_id: &'a AtomicU64,
         parser_loop_bound: u32,
         seed: u64,
     ) -> Self {
@@ -103,8 +107,8 @@ impl<'a> ExecCtx<'a> {
     /// Fork `st`, adding `constraint` to the fork. The fork continues from
     /// the same continuation stack.
     pub fn fork(&mut self, st: &ExecState, constraint: TermId) -> ExecState {
-        *self.next_id += 1;
-        let mut f = st.fork(*self.next_id);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut f = st.fork(id);
         f.add_constraint(self.pool, constraint);
         f
     }
@@ -147,7 +151,12 @@ pub enum UninitPolicy {
 }
 
 /// A target extension.
-pub trait Target {
+///
+/// Targets must be `Send + Sync`: one target instance is shared by all
+/// exploration workers. In practice target extensions are stateless policy
+/// objects (all per-path state lives in [`ExecState`]), so this bound is
+/// free.
+pub trait Target: Send + Sync {
     /// Architecture name (e.g. "v1model").
     fn name(&self) -> &str;
 

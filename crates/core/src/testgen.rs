@@ -1,9 +1,32 @@
 //! The test-generation driver (§4): path exploration, feasibility checking,
 //! concolic resolution, and test emission, with per-phase timing for the
 //! Fig. 7 experiment.
+//!
+//! # Parallel exploration
+//!
+//! Exploration runs on a pool of `config.jobs` workers. Each worker owns a
+//! [`crossbeam::deque::Worker`] of pending states (owner side is LIFO for
+//! DFS locality; thieves steal from the FIFO end, handing them the oldest —
+//! and therefore shallowest, largest — subtrees) and its own [`Solver`].
+//! The term pool is shared: interning is `&self` and thread-safe, so
+//! `TermId`s are valid across workers and hash-consing dedups structurally
+//! identical path-prefix terms globally.
+//!
+//! Determinism: a path's identity is its *fork trail* (the sequence of
+//! branch indices taken at each fork event), which is independent of the
+//! schedule. Per-test randomness is seeded from `seed ^ hash(trail)`, and
+//! finished tests are buffered per worker, merged, and sorted by trail
+//! before the `on_test` callback runs — so a fixed seed yields the same
+//! test suite, in the same order, for any worker count. `max_tests = k`
+//! stays deterministic too: it selects the k lexicographically-smallest
+//! test trails (enforced by a shared top-k heap that prunes subtrees which
+//! can no longer contribute), not whichever k tests raced to finish first.
+//! The remaining caveat is `max_paths` and `stop_at_full_coverage`: those
+//! caps trigger on whichever paths finish first, which under parallelism
+//! may cut off a different subset of the (fully deterministic) path space.
 
 use crate::concolic::{resolve_concolics, ConcolicRegistry};
-use crate::coverage::{CoverageReport, CoverageTracker};
+use crate::coverage::{CoverageReport, SharedCoverage};
 use crate::exec;
 use crate::preconditions::Preconditions;
 use crate::state::{Cmd, ExecState, FinishReason, RegisterOp, SynthKeyMatch};
@@ -11,10 +34,16 @@ use crate::target::{ExecCtx, Target};
 use crate::testspec::{
     KeyMatch, MaskedBytes, OutputPacketSpec, RegisterSpec, TableEntrySpec, TestSpec,
 };
+use crossbeam::deque::{Steal, Stealer, Worker as WorkerDeque};
 use p4t_ir::IrProgram;
+use p4t_smt::sat::SatStats;
+use p4t_smt::solver::SolverStats;
 use p4t_smt::{eval, Assignment, BitVec, CheckResult, Solver, TermId, TermPool, VarId};
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Path-selection strategy (§6: DFS by default; continuations make other
@@ -53,6 +82,19 @@ pub struct TestgenConfig {
     /// Skip solver calls for forks whose constraints are syntactically
     /// trivial (pure-constant conditions); always sound, just lazier.
     pub eager_pruning: bool,
+    /// Exploration worker threads. `1` (the default) explores on the calling
+    /// thread with the identical code path the workers run, so results for
+    /// a fixed seed are the same set at any job count. Defaults to the
+    /// `P4TESTGEN_JOBS` environment variable when set.
+    pub jobs: usize,
+}
+
+fn default_jobs() -> usize {
+    std::env::var("P4TESTGEN_JOBS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&j| j >= 1)
+        .unwrap_or(1)
 }
 
 impl Default for TestgenConfig {
@@ -68,11 +110,16 @@ impl Default for TestgenConfig {
             stop_at_full_coverage: false,
             concolic_retries: 3,
             eager_pruning: true,
+            jobs: default_jobs(),
         }
     }
 }
 
 /// Per-phase timing, the data behind our Fig. 7 reproduction.
+///
+/// Under parallel exploration `stepping`/`solving`/`emission` are *CPU*
+/// time summed across workers, while `total` is wall-clock time — so the
+/// phase components may legitimately sum to more than `total`.
 #[derive(Clone, Debug, Default)]
 pub struct PhaseStats {
     /// Time stepping the symbolic executor (program interpretation).
@@ -82,6 +129,15 @@ pub struct PhaseStats {
     /// Time concretizing models into test specifications.
     pub emission: Duration,
     pub total: Duration,
+}
+
+impl PhaseStats {
+    fn absorb(&mut self, other: &PhaseStats) {
+        self.stepping += other.stepping;
+        self.solving += other.solving;
+        self.emission += other.emission;
+        self.total += other.total;
+    }
 }
 
 /// End-of-run summary.
@@ -94,18 +150,113 @@ pub struct RunSummary {
     pub coverage: CoverageReport,
     pub phases: PhaseStats,
     pub solver_checks: u64,
+    /// Fork-feasibility checks answered from the constraint-set memo
+    /// instead of the solver.
+    pub memo_hits: u64,
 }
 
-/// The generation driver. Owns the term pool, the incremental solver, the
-/// target extension, and the compiled program.
+/// Memoizes fork-feasibility verdicts by constraint *set*. Different
+/// interleavings frequently reconverge on the same constraint set (e.g.
+/// sibling table branches re-deriving a parser prefix); hash consing makes
+/// the sorted `TermId` vector a cheap canonical key. Only the sat/unsat
+/// verdict is cached — emission-time checks always run, because they need a
+/// fresh model.
+struct FeasMemo {
+    map: Mutex<HashMap<Vec<TermId>, bool>>,
+    hits: AtomicU64,
+}
+
+impl FeasMemo {
+    fn new() -> Self {
+        FeasMemo { map: Mutex::new(HashMap::new()), hits: AtomicU64::new(0) }
+    }
+
+    fn key(constraints: &[TermId]) -> Vec<TermId> {
+        let mut k = constraints.to_vec();
+        k.sort_unstable();
+        k.dedup();
+        k
+    }
+
+    fn lookup(&self, key: &[TermId]) -> Option<bool> {
+        let hit = self.map.lock().get(key).copied();
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn record(&self, key: Vec<TermId>, sat: bool) {
+        self.map.lock().insert(key, sat);
+    }
+}
+
+/// A queued state plus its cached coverage-novelty score. The score is the
+/// count of statements this path covered that are still globally uncovered;
+/// it is stamped with the [`SharedCoverage`] epoch so it is recomputed only
+/// when global coverage has actually grown since it was cached.
+struct Pending {
+    st: ExecState,
+    novelty: Option<(u64, usize)>,
+}
+
+/// Everything the workers share for one run.
+struct Shared<'a, T: Target> {
+    prog: &'a IrProgram,
+    target: &'a T,
+    pool: &'a TermPool,
+    config: &'a TestgenConfig,
+    concolics: &'a ConcolicRegistry,
+    program_name: &'a str,
+    next_id: AtomicU64,
+    /// States queued or being processed; exploration is done when a worker
+    /// finds no work and this is zero.
+    live: AtomicU64,
+    /// Cooperative stop: set on reaching a cap; workers drain their queues
+    /// without processing.
+    stop: AtomicBool,
+    /// With `max_tests = k`: the k lexicographically-smallest emitted
+    /// trails so far (a max-heap, so the worst retained trail is at the
+    /// top). A pending state whose trail is ≥ the heap's top once the heap
+    /// is full can only produce tests outside the final top-k (descendant
+    /// trails extend, and therefore lexicographically follow, the state's
+    /// trail) and is pruned. This makes the capped suite exactly "the first
+    /// k tests in canonical trail order" — deterministic for a fixed seed
+    /// at any job count and across repeated runs, unlike a stop-at-k flag,
+    /// which would cap whichever paths happened to finish first.
+    best: Mutex<BinaryHeap<Vec<u32>>>,
+    /// Paths claimed for processing (for the `max_paths` cap).
+    paths_started: AtomicU64,
+    coverage: SharedCoverage,
+    memo: FeasMemo,
+    stealers: Vec<Stealer<Pending>>,
+}
+
+/// Per-worker results, merged on the main thread after the join.
+#[derive(Default)]
+struct WorkerOut {
+    phases: PhaseStats,
+    paths: u64,
+    infeasible: u64,
+    abandoned: u64,
+    solver_stats: SolverStats,
+    sat_stats: SatStats,
+    /// (fork trail, provisional spec); sorted and renumbered by the merger.
+    tests: Vec<(Vec<u32>, TestSpec)>,
+}
+
+/// The generation driver. Owns the term pool, the target extension, and the
+/// compiled program; each exploration worker owns its solver.
 pub struct Testgen<T: Target> {
     pub prog: IrProgram,
     pub target: T,
     pool: TermPool,
-    solver: Solver,
     pub config: TestgenConfig,
     pub concolics: ConcolicRegistry,
     program_name: String,
+    /// Solver statistics merged across all workers of all runs.
+    solver_totals: SolverStats,
+    sat_totals: SatStats,
 }
 
 impl<T: Target> Testgen<T> {
@@ -119,10 +270,11 @@ impl<T: Target> Testgen<T> {
             prog,
             target,
             pool: TermPool::new(),
-            solver: Solver::new(),
             config,
             concolics: ConcolicRegistry::with_builtins(),
             program_name: program_name.to_string(),
+            solver_totals: SolverStats::default(),
+            sat_totals: SatStats::default(),
         })
     }
 
@@ -131,35 +283,46 @@ impl<T: Target> Testgen<T> {
         &self.prog
     }
 
-    /// Solver timing and SAT-core statistics (Fig. 7 analysis).
-    pub fn solver_stats(&self) -> (Duration, Duration, p4t_smt::sat::SatStats) {
-        (
-            self.solver.stats.solve_time,
-            self.solver.stats.sat_time,
-            self.solver.sat_stats().clone(),
-        )
+    /// Solver timing and SAT-core statistics (Fig. 7 analysis), summed over
+    /// every worker's solver.
+    pub fn solver_stats(&self) -> (Duration, Duration, SatStats) {
+        (self.solver_totals.solve_time, self.solver_totals.sat_time, self.sat_totals.clone())
     }
 
     /// Run generation, invoking `on_test` for every emitted test. Returning
     /// `false` from the callback stops the run.
+    ///
+    /// With `config.jobs > 1` exploration fans out over a work-stealing
+    /// thread pool; emitted tests are collected, canonically ordered by
+    /// fork trail, renumbered, and only then delivered to `on_test` on the
+    /// calling thread.
     pub fn run(&mut self, mut on_test: impl FnMut(&TestSpec) -> bool) -> RunSummary {
         let t_start = Instant::now();
-        let mut phases = PhaseStats::default();
-        let mut coverage = CoverageTracker::new(&self.prog);
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut next_id: u64 = 0;
-        let mut tests: u64 = 0;
-        let mut paths: u64 = 0;
-        let mut infeasible: u64 = 0;
-        let mut abandoned: u64 = 0;
+        let jobs = self.config.jobs.max(1);
+        let shared = Shared {
+            prog: &self.prog,
+            target: &self.target,
+            pool: &self.pool,
+            config: &self.config,
+            concolics: &self.concolics,
+            program_name: &self.program_name,
+            next_id: AtomicU64::new(0),
+            live: AtomicU64::new(1),
+            stop: AtomicBool::new(false),
+            best: Mutex::new(BinaryHeap::new()),
+            paths_started: AtomicU64::new(0),
+            coverage: SharedCoverage::new(&self.prog),
+            memo: FeasMemo::new(),
+            stealers: Vec::new(),
+        };
 
         // Initial state.
         let mut init = ExecState::new(0);
         {
             let mut ctx = ExecCtx::new(
-                &mut self.pool,
-                &self.prog,
-                &mut next_id,
+                shared.pool,
+                shared.prog,
+                &shared.next_id,
                 self.config.parser_loop_bound,
                 self.config.seed,
             );
@@ -170,143 +333,375 @@ impl<T: Target> Testgen<T> {
             }
         }
         init.continuations.push(Cmd::PipeStep(0));
-        let mut worklist: Vec<ExecState> = vec![init];
 
-        'outer: while let Some(mut st) = self.select(&mut worklist, &mut rng, &coverage) {
-            if self.config.max_paths > 0 && paths >= self.config.max_paths {
+        let deques: Vec<WorkerDeque<Pending>> =
+            (0..jobs).map(|_| WorkerDeque::new_lifo()).collect();
+        let mut shared = shared;
+        shared.stealers = deques.iter().map(|d| d.stealer()).collect();
+        let shared = shared;
+        deques[0].push(Pending { st: init, novelty: None });
+
+        let outs: Vec<WorkerOut> = if jobs == 1 {
+            let local = deques.into_iter().next().expect("one deque");
+            vec![run_worker(&shared, 0, local)]
+        } else {
+            let sh = &shared;
+            crossbeam::scope(move |s| {
+                let handles: Vec<_> = deques
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, local)| s.spawn(move |_| run_worker(sh, i, local)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("exploration worker panicked"))
+                    .collect()
+            })
+            .expect("exploration scope")
+        };
+
+        // Merge per-worker results.
+        let mut phases = PhaseStats::default();
+        let mut paths = 0u64;
+        let mut infeasible = 0u64;
+        let mut abandoned = 0u64;
+        let mut merged: Vec<(Vec<u32>, TestSpec)> = Vec::new();
+        for mut o in outs {
+            phases.absorb(&o.phases);
+            paths += o.paths;
+            infeasible += o.infeasible;
+            abandoned += o.abandoned;
+            merge_solver_stats(&mut self.solver_totals, &o.solver_stats);
+            merge_sat_stats(&mut self.sat_totals, &o.sat_stats);
+            merged.append(&mut o.tests);
+        }
+        let solver_checks = self.solver_totals.checks;
+        let memo_hits = shared.memo.hits.load(Ordering::Relaxed);
+
+        // Canonical order: lexicographic by fork trail — the order a
+        // sequential DFS-of-the-fork-tree would discover the paths in,
+        // independent of worker scheduling.
+        merged.sort_by(|a, b| a.0.cmp(&b.0));
+        if self.config.max_tests > 0 {
+            merged.truncate(self.config.max_tests as usize);
+        }
+        let mut tests = 0u64;
+        for (i, (_, spec)) in merged.iter_mut().enumerate() {
+            spec.id = i as u64;
+        }
+        for (_, spec) in &merged {
+            tests += 1;
+            if !on_test(spec) {
                 break;
             }
-            let mut steps: u64 = 0;
-            // Drive this state until it forks, finishes, or exhausts budget.
-            while st.is_running() {
-                let Some(cmd) = st.continuations.pop() else {
-                    st.finish(FinishReason::Completed);
-                    break;
-                };
-                steps += 1;
-                if steps > self.config.max_steps_per_path {
-                    st.finish(FinishReason::Abandoned("step budget exhausted".into()));
-                    break;
-                }
-                let t0 = Instant::now();
-                let mut ctx = ExecCtx::new(
-                    &mut self.pool,
-                    &self.prog,
-                    &mut next_id,
-                    self.config.parser_loop_bound,
-                    self.config.seed,
-                );
-                ctx.apply_entry_restrictions =
-                    self.config.preconditions.apply_entry_restrictions;
-                let res = exec::step(&mut ctx, &mut st, &self.target, cmd);
-                let forks = std::mem::take(&mut ctx.forks);
-                phases.stepping += t0.elapsed();
-                if let Err(e) = res {
-                    st.finish(FinishReason::Abandoned(e.0));
-                    break;
-                }
-                if !forks.is_empty() {
-                    // Feasibility-check forks before queueing them.
-                    for f in forks {
-                        if f.trivially_unsat(&self.pool) {
-                            infeasible += 1;
-                            continue;
-                        }
-                        if self.config.eager_pruning && !f.constraints.is_empty() {
-                            let t1 = Instant::now();
-                            let sat = self.solver.check_assuming(&mut self.pool, &f.constraints)
-                                == CheckResult::Sat;
-                            phases.solving += t1.elapsed();
-                            if !sat {
-                                infeasible += 1;
-                                continue;
-                            }
-                        }
-                        worklist.push(f);
-                    }
-                    if !st.is_running() {
-                        break; // superseded by forks
-                    }
-                }
-            }
-            paths += 1;
-            match st.finished.clone() {
-                Some(FinishReason::Completed) | Some(FinishReason::Dropped) => {
-                    let t2 = Instant::now();
-                    let solving_before = phases.solving;
-                    let emitted = self.emit_test(&st, tests, &mut phases);
-                    let nested_solving = phases.solving - solving_before;
-                    phases.emission += t2.elapsed().saturating_sub(nested_solving);
-                    match emitted {
-                        Some(spec) => {
-                            tests += 1;
-                            coverage.add(&st.covered);
-                            if !on_test(&spec) {
-                                break 'outer;
-                            }
-                            if self.config.max_tests > 0 && tests >= self.config.max_tests {
-                                break 'outer;
-                            }
-                            if self.config.stop_at_full_coverage && coverage.is_full() {
-                                break 'outer;
-                            }
-                        }
-                        None => abandoned += 1,
-                    }
-                }
-                Some(FinishReason::Infeasible) => infeasible += 1,
-                Some(FinishReason::Abandoned(_)) | None => abandoned += 1,
-            }
         }
+
         phases.total = t_start.elapsed();
         RunSummary {
             tests,
             paths_explored: paths,
             infeasible_paths: infeasible,
             abandoned_paths: abandoned,
-            coverage: coverage.report(&self.prog),
+            coverage: shared.coverage.report(&self.prog),
             phases,
-            solver_checks: self.solver.stats.checks,
+            solver_checks,
+            memo_hits,
+        }
+    }
+}
+
+fn merge_solver_stats(into: &mut SolverStats, from: &SolverStats) {
+    into.checks += from.checks;
+    into.sat_results += from.sat_results;
+    into.unsat_results += from.unsat_results;
+    into.solve_time += from.solve_time;
+    into.sat_time += from.sat_time;
+}
+
+fn merge_sat_stats(into: &mut SatStats, from: &SatStats) {
+    into.decisions += from.decisions;
+    into.propagations += from.propagations;
+    into.conflicts += from.conflicts;
+    into.restarts += from.restarts;
+    into.learnt_clauses += from.learnt_clauses;
+}
+
+/// Mix a fork trail into a 64-bit seed (splitmix64 steps per element, so
+/// sibling trails diverge completely).
+fn trail_hash(trail: &[u32]) -> u64 {
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15 ^ (trail.len() as u64);
+    for &t in trail {
+        h ^= u64::from(t).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+    }
+    h
+}
+
+/// One exploration worker: drives states popped from its local deque,
+/// queues feasible forks locally, and steals when idle.
+struct PathWorker<'a, 'b, T: Target> {
+    sh: &'b Shared<'a, T>,
+    solver: Solver,
+    rng: StdRng,
+    phases: PhaseStats,
+    paths: u64,
+    infeasible: u64,
+    abandoned: u64,
+    tests: Vec<(Vec<u32>, TestSpec)>,
+}
+
+fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pending>) -> WorkerOut {
+    let mut w = PathWorker {
+        sh,
+        solver: Solver::new(),
+        // Worker-local RNG (used only by RandomBacktrack selection, which is
+        // schedule-dependent anyway). Test-emission RNG is per-path.
+        rng: StdRng::seed_from_u64(
+            sh.config.seed ^ (widx as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+        ),
+        phases: PhaseStats::default(),
+        paths: 0,
+        infeasible: 0,
+        abandoned: 0,
+        tests: Vec::new(),
+    };
+    loop {
+        let pending = w.select_local(&local).or_else(|| w.steal(widx));
+        let Some(p) = pending else {
+            if sh.live.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            std::thread::yield_now();
+            continue;
+        };
+        let mut discard = sh.stop.load(Ordering::Relaxed);
+        if !discard && sh.config.max_tests > 0 {
+            // Subtree pruning for the deterministic test cap: every test in
+            // this state's subtree has a trail ≥ the state's trail, so once
+            // k better trails exist the subtree cannot reach the final
+            // top-k. (The converse holds under any schedule: the heap's top
+            // only ever improves, so a state that could still contribute is
+            // never pruned — the final suite is schedule-independent.)
+            let best = sh.best.lock();
+            discard = best.len() as u64 >= sh.config.max_tests
+                && best.peek().is_some_and(|worst| p.st.trail >= *worst);
+        }
+        if !discard && sh.config.max_paths > 0 {
+            let n = sh.paths_started.fetch_add(1, Ordering::Relaxed);
+            if n >= sh.config.max_paths {
+                sh.stop.store(true, Ordering::Relaxed);
+                discard = true;
+            }
+        }
+        if !discard {
+            w.process(p.st, &local);
+        }
+        sh.live.fetch_sub(1, Ordering::AcqRel);
+    }
+    WorkerOut {
+        phases: w.phases,
+        paths: w.paths,
+        infeasible: w.infeasible,
+        abandoned: w.abandoned,
+        solver_stats: w.solver.stats.clone(),
+        sat_stats: w.solver.sat_stats().clone(),
+        tests: w.tests,
+    }
+}
+
+impl<T: Target> PathWorker<'_, '_, T> {
+    /// Pop the next state from the local deque per the configured strategy.
+    fn select_local(&mut self, local: &WorkerDeque<Pending>) -> Option<Pending> {
+        let sh = self.sh;
+        match sh.config.strategy {
+            Strategy::Dfs => local.pop(),
+            // O(1) front pop — the deque replaces the old `Vec::remove(0)`.
+            Strategy::Bfs => local.with(|d| d.pop_front()),
+            Strategy::RandomBacktrack => {
+                let rng = &mut self.rng;
+                local.with(|d| {
+                    if d.is_empty() {
+                        None
+                    } else {
+                        let i = rng.gen_range(0..d.len());
+                        d.swap_remove_back(i)
+                    }
+                })
+            }
+            Strategy::CoverageFirst => local.with(|d| {
+                if d.is_empty() {
+                    return None;
+                }
+                // Most novel statements covered wins; ties go to the most
+                // recent state (DFS-like locality). Novelty counts are
+                // cached per state and recomputed only when the global
+                // coverage epoch has advanced.
+                let epoch = sh.coverage.epoch();
+                let mut best = (0usize, 0usize);
+                for i in 0..d.len() {
+                    let p = d.get_mut(i).expect("index in range");
+                    let novel = match p.novelty {
+                        Some((e, n)) if e == epoch => n,
+                        _ => {
+                            let n = p
+                                .st
+                                .covered
+                                .iter()
+                                .filter(|id| !sh.coverage.contains(**id))
+                                .count();
+                            p.novelty = Some((epoch, n));
+                            n
+                        }
+                    };
+                    if (novel, i) >= best {
+                        best = (novel, i);
+                    }
+                }
+                d.swap_remove_back(best.1)
+            }),
         }
     }
 
-    fn select(
-        &self,
-        worklist: &mut Vec<ExecState>,
-        rng: &mut StdRng,
-        coverage: &CoverageTracker,
-    ) -> Option<ExecState> {
-        if worklist.is_empty() {
-            return None;
+    /// Round-robin steal from the other workers' deques.
+    fn steal(&self, widx: usize) -> Option<Pending> {
+        let n = self.sh.stealers.len();
+        for k in 1..n {
+            let i = (widx + k) % n;
+            loop {
+                match self.sh.stealers[i].steal() {
+                    Steal::Success(p) => return Some(p),
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
         }
-        match self.config.strategy {
-            Strategy::Dfs => worklist.pop(),
-            Strategy::Bfs => Some(worklist.remove(0)),
-            Strategy::RandomBacktrack => {
-                let i = rng.gen_range(0..worklist.len());
-                Some(worklist.swap_remove(i))
+        None
+    }
+
+    /// Fork-feasibility check with memoization on the constraint set.
+    fn fork_feasible(&mut self, f: &ExecState) -> bool {
+        let sh = self.sh;
+        let key = FeasMemo::key(&f.constraints);
+        if let Some(sat) = sh.memo.lookup(&key) {
+            return sat;
+        }
+        let t1 = Instant::now();
+        let sat = self.solver.check_assuming(sh.pool, &f.constraints) == CheckResult::Sat;
+        self.phases.solving += t1.elapsed();
+        sh.memo.record(key, sat);
+        sat
+    }
+
+    /// Drive one state until it forks into children, finishes, or exhausts
+    /// its budget; then emit a test if it completed.
+    fn process(&mut self, mut st: ExecState, local: &WorkerDeque<Pending>) {
+        let sh = self.sh;
+        let mut steps: u64 = 0;
+        while st.is_running() {
+            let Some(cmd) = st.continuations.pop() else {
+                st.finish(FinishReason::Completed);
+                break;
+            };
+            steps += 1;
+            if steps > sh.config.max_steps_per_path {
+                st.finish(FinishReason::Abandoned("step budget exhausted".into()));
+                break;
             }
-            Strategy::CoverageFirst => {
-                // Most novel statements already covered on the path wins;
-                // ties go to the most recent state (DFS-like locality).
-                let (best, _) = worklist
-                    .iter()
-                    .enumerate()
-                    .map(|(i, st)| {
-                        let novel =
-                            st.covered.iter().filter(|id| !coverage.contains(**id)).count();
-                        (i, novel)
-                    })
-                    .max_by_key(|&(i, novel)| (novel, i))?;
-                Some(worklist.swap_remove(best))
+            let t0 = Instant::now();
+            let mut ctx = ExecCtx::new(
+                sh.pool,
+                sh.prog,
+                &sh.next_id,
+                sh.config.parser_loop_bound,
+                sh.config.seed,
+            );
+            ctx.apply_entry_restrictions = sh.config.preconditions.apply_entry_restrictions;
+            let res = exec::step(&mut ctx, &mut st, sh.target, cmd);
+            let forks = std::mem::take(&mut ctx.forks);
+            self.phases.stepping += t0.elapsed();
+            if let Err(e) = res {
+                st.finish(FinishReason::Abandoned(e.0));
+                break;
             }
+            if !forks.is_empty() {
+                // Extend the fork trails *before* feasibility pruning, so a
+                // path's trail does not depend on which siblings happened to
+                // be pruned (pruning verdicts are deterministic, but this
+                // keeps trail assignment trivially schedule-independent).
+                // Children are pushed in reverse so the owner's LIFO pop
+                // explores the lowest fork index — lex-smallest trail —
+                // first, which under a test cap reaches the retained top-k
+                // quickly and lets the subtree pruning close the rest.
+                st.trail.push(0);
+                for (i, mut f) in forks.into_iter().enumerate().rev() {
+                    f.trail.push(i as u32 + 1);
+                    if f.trivially_unsat(sh.pool) {
+                        self.infeasible += 1;
+                        continue;
+                    }
+                    if sh.config.eager_pruning
+                        && !f.constraints.is_empty()
+                        && !self.fork_feasible(&f)
+                    {
+                        self.infeasible += 1;
+                        continue;
+                    }
+                    sh.live.fetch_add(1, Ordering::AcqRel);
+                    local.push(Pending { st: f, novelty: None });
+                }
+                if !st.is_running() {
+                    break; // superseded by forks
+                }
+            }
+        }
+        self.paths += 1;
+        match st.finished.clone() {
+            Some(FinishReason::Completed) | Some(FinishReason::Dropped) => {
+                let t2 = Instant::now();
+                let solving_before = self.phases.solving;
+                let emitted = self.emit_test(&st);
+                let nested_solving = self.phases.solving - solving_before;
+                self.phases.emission += t2.elapsed().saturating_sub(nested_solving);
+                match emitted {
+                    Some(spec) => {
+                        sh.coverage.add(&st.covered);
+                        let mut keep = true;
+                        if sh.config.max_tests > 0 {
+                            let mut best = sh.best.lock();
+                            if (best.len() as u64) < sh.config.max_tests {
+                                best.push(st.trail.clone());
+                            } else if best.peek().is_some_and(|worst| st.trail < *worst) {
+                                best.pop();
+                                best.push(st.trail.clone());
+                            } else {
+                                // Outside the retained top-k; the merger
+                                // would truncate it anyway.
+                                keep = false;
+                            }
+                        }
+                        if keep {
+                            self.tests.push((st.trail.clone(), spec));
+                        }
+                        if sh.config.stop_at_full_coverage && sh.coverage.is_full() {
+                            sh.stop.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    None => self.abandoned += 1,
+                }
+            }
+            Some(FinishReason::Infeasible) => self.infeasible += 1,
+            Some(FinishReason::Abandoned(_)) | None => self.abandoned += 1,
         }
     }
 
     /// Concretize a finished state into a test specification; `None` when
     /// the path must be discarded (unsat, unresolvable concolics, or a
-    /// tainted output port).
-    fn emit_test(&mut self, st: &ExecState, test_id: u64, phases: &mut PhaseStats) -> Option<TestSpec> {
+    /// tainted output port). The spec's `id` is provisional — the merger
+    /// renumbers after trail-sorting.
+    fn emit_test(&mut self, st: &ExecState) -> Option<TestSpec> {
+        let sh = self.sh;
         // Tainted output port, or control flow that branched on a tainted
         // value: the test would be flaky (§5.3 / footnote 2) — drop it.
         if st.flag("taint_flaky") == 1 {
@@ -320,64 +715,66 @@ impl<T: Target> Testgen<T> {
         // Resolve concolic bindings (§5.4); adds equality constraints.
         let t0 = Instant::now();
         let extra = resolve_concolics(
-            &mut self.pool,
+            sh.pool,
             &mut self.solver,
-            &self.concolics,
+            sh.concolics,
             &st.concolics,
             &st.constraints,
-            self.config.concolic_retries,
+            sh.config.concolic_retries,
         );
         let mut assumptions = st.constraints.clone();
         match extra {
             Some(eqs) => assumptions.extend(eqs),
             None => {
-                phases.solving += t0.elapsed();
+                self.phases.solving += t0.elapsed();
                 return None;
             }
         }
-        let sat = self.solver.check_assuming(&mut self.pool, &assumptions) == CheckResult::Sat;
-        phases.solving += t0.elapsed();
+        let sat = self.solver.check_assuming(sh.pool, &assumptions) == CheckResult::Sat;
+        self.phases.solving += t0.elapsed();
         if !sat {
             return None;
         }
         // Randomize free control-plane choices (the paper: "the output port
         // is chosen at random"): propose seeded random values for synthesized
         // entry arguments and fall back to the unbiased model when the
-        // proposal is inconsistent with the path constraints.
+        // proposal is inconsistent with the path constraints. Seeded by the
+        // fork trail so the choice is a function of the path, not of the
+        // order in which workers reached it.
         let t1 = Instant::now();
         let mut proposals: Vec<TermId> = Vec::new();
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ (test_id << 17) ^ 0x9E37_79B9);
+        let mut rng = StdRng::seed_from_u64(sh.config.seed ^ trail_hash(&st.trail));
         for e in &st.entries {
             for (_, t, w) in &e.args {
                 let r: u128 = rng.gen::<u128>() & mask_ones(*w);
-                let c = self.pool.constant(BitVec::from_u128(*w as usize, r));
-                proposals.push(self.pool.eq(*t, c));
+                let c = sh.pool.constant(BitVec::from_u128(*w as usize, r));
+                proposals.push(sh.pool.eq(*t, c));
             }
         }
         if !proposals.is_empty() {
             let mut with_rand = assumptions.clone();
             with_rand.extend(proposals.iter().copied());
-            if self.solver.check_assuming(&mut self.pool, &with_rand) == CheckResult::Sat {
+            if self.solver.check_assuming(sh.pool, &with_rand) == CheckResult::Sat {
                 assumptions = with_rand;
             } else {
                 // Re-establish the model without the proposals.
-                let _ = self.solver.check_assuming(&mut self.pool, &assumptions);
+                let _ = self.solver.check_assuming(sh.pool, &assumptions);
             }
         }
-        phases.solving += t1.elapsed();
+        self.phases.solving += t1.elapsed();
         // Gather every variable the test depends on and extract the model.
         let model = self.model_for(st, &assumptions);
         // Input packet.
         let mut input_bits = BitVec::empty();
         for chunk in &st.packet.input {
-            input_bits = input_bits.concat(&eval(&self.pool, &model, chunk.term));
+            input_bits = input_bits.concat(&eval(sh.pool, &model, chunk.term));
         }
         let input_packet = bits_to_bytes(&input_bits);
         // Input port (targets record it in a conventional slot).
         let input_port = st
             .read_global("$input_port")
             .map(|s| {
-                eval(&self.pool, &model, s.term)
+                eval(sh.pool, &model, s.term)
                     .to_u64()
                     .unwrap_or(0) as u32
             })
@@ -385,11 +782,10 @@ impl<T: Target> Testgen<T> {
         // Outputs.
         let mut outputs = Vec::new();
         for out in &st.outputs {
-            let port =
-                eval(&self.pool, &model, out.port.term).to_u64().unwrap_or(0) as u32;
+            let port = eval(sh.pool, &model, out.port.term).to_u64().unwrap_or(0) as u32;
             let packet = match &out.payload {
                 Some(p) => {
-                    let data = eval(&self.pool, &model, p.term);
+                    let data = eval(sh.pool, &model, p.term);
                     masked_bytes(&data, &p.taint)
                 }
                 None => MaskedBytes::exact(Vec::new()),
@@ -408,7 +804,7 @@ impl<T: Target> Testgen<T> {
                     .args
                     .iter()
                     .map(|(n, t, w)| {
-                        (n.clone(), value_bytes(&eval(&self.pool, &model, *t), *w))
+                        (n.clone(), value_bytes(&eval(sh.pool, &model, *t), *w))
                     })
                     .collect(),
                 priority: e.priority,
@@ -422,24 +818,24 @@ impl<T: Target> Testgen<T> {
                 RegisterOp::Read { instance, index, result, width } => {
                     register_init.push(RegisterSpec {
                         instance: instance.clone(),
-                        index: eval(&self.pool, &model, *index).to_u64().unwrap_or(0),
-                        value: value_bytes(&eval(&self.pool, &model, *result), *width),
+                        index: eval(sh.pool, &model, *index).to_u64().unwrap_or(0),
+                        value: value_bytes(&eval(sh.pool, &model, *result), *width),
                     });
                 }
                 RegisterOp::Write { instance, index, value, width } => {
                     register_expect.push(RegisterSpec {
                         instance: instance.clone(),
-                        index: eval(&self.pool, &model, *index).to_u64().unwrap_or(0),
-                        value: value_bytes(&eval(&self.pool, &model, *value), *width),
+                        index: eval(sh.pool, &model, *index).to_u64().unwrap_or(0),
+                        value: value_bytes(&eval(sh.pool, &model, *value), *width),
                     });
                 }
             }
         }
         Some(TestSpec {
-            id: test_id,
-            program: self.program_name.clone(),
-            target: self.target.name().to_string(),
-            seed: self.config.seed,
+            id: 0,
+            program: sh.program_name.to_string(),
+            target: sh.target.name().to_string(),
+            seed: sh.config.seed,
             input_port,
             input_packet,
             entries,
@@ -452,52 +848,54 @@ impl<T: Target> Testgen<T> {
     }
 
     fn model_for(&self, st: &ExecState, assumptions: &[TermId]) -> Assignment {
+        let pool = self.sh.pool;
         let mut vars: Vec<VarId> = Vec::new();
         for &c in assumptions {
-            vars.extend(self.pool.vars_of(c));
+            vars.extend(pool.vars_of(c));
         }
         for chunk in &st.packet.input {
-            vars.extend(self.pool.vars_of(chunk.term));
+            vars.extend(pool.vars_of(chunk.term));
         }
         for out in &st.outputs {
-            vars.extend(self.pool.vars_of(out.port.term));
+            vars.extend(pool.vars_of(out.port.term));
             if let Some(p) = &out.payload {
-                vars.extend(self.pool.vars_of(p.term));
+                vars.extend(pool.vars_of(p.term));
             }
         }
         for e in &st.entries {
             for k in &e.keys {
                 for t in [k.value, k.mask, k.hi].into_iter().flatten() {
-                    vars.extend(self.pool.vars_of(t));
+                    vars.extend(pool.vars_of(t));
                 }
             }
             for (_, t, _) in &e.args {
-                vars.extend(self.pool.vars_of(*t));
+                vars.extend(pool.vars_of(*t));
             }
         }
         for op in &st.register_ops {
             match op {
                 RegisterOp::Read { index, result, .. } => {
-                    vars.extend(self.pool.vars_of(*index));
-                    vars.extend(self.pool.vars_of(*result));
+                    vars.extend(pool.vars_of(*index));
+                    vars.extend(pool.vars_of(*result));
                 }
                 RegisterOp::Write { index, value, .. } => {
-                    vars.extend(self.pool.vars_of(*index));
-                    vars.extend(self.pool.vars_of(*value));
+                    vars.extend(pool.vars_of(*index));
+                    vars.extend(pool.vars_of(*value));
                 }
             }
         }
         if let Some(p) = st.read_global("$input_port") {
-            vars.extend(self.pool.vars_of(p.term));
+            vars.extend(pool.vars_of(p.term));
         }
         vars.sort();
         vars.dedup();
-        self.solver.model(&self.pool, &vars)
+        self.solver.model(pool, &vars)
     }
 
     fn concretize_key(&self, k: &SynthKeyMatch, model: &Assignment) -> KeyMatch {
+        let pool = self.sh.pool;
         let val = |t: Option<TermId>| {
-            t.map(|t| value_bytes(&eval(&self.pool, model, t), k.width)).unwrap_or_default()
+            t.map(|t| value_bytes(&eval(pool, model, t), k.width)).unwrap_or_default()
         };
         match k.match_kind.as_str() {
             "ternary" => KeyMatch::Ternary {
@@ -519,7 +917,7 @@ impl<T: Target> Testgen<T> {
                 // Zero mask encodes the wildcard.
                 let wildcard = k
                     .mask
-                    .map(|m| eval(&self.pool, model, m).is_zero())
+                    .map(|m| eval(pool, model, m).is_zero())
                     .unwrap_or(false);
                 KeyMatch::Optional {
                     name: k.key_name.clone(),
@@ -565,4 +963,32 @@ fn masked_bytes(data: &BitVec, taint: &BitVec) -> MaskedBytes {
     let d = bits_to_bytes(data);
     let m = bits_to_bytes(&taint.not());
     MaskedBytes { data: d, mask: m }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trail_hash_distinguishes_siblings_and_depth() {
+        assert_ne!(trail_hash(&[1]), trail_hash(&[2]));
+        assert_ne!(trail_hash(&[0, 1]), trail_hash(&[1, 0]));
+        assert_ne!(trail_hash(&[]), trail_hash(&[0]));
+        assert_eq!(trail_hash(&[3, 1, 4]), trail_hash(&[3, 1, 4]));
+    }
+
+    #[test]
+    fn feas_memo_key_is_canonical() {
+        let p = TermPool::new();
+        let x = p.fresh_var("x", 1);
+        let y = p.fresh_var("y", 1);
+        let a = FeasMemo::key(&[y, x, y]);
+        let b = FeasMemo::key(&[x, y]);
+        assert_eq!(a, b);
+        let memo = FeasMemo::new();
+        assert_eq!(memo.lookup(&a), None);
+        memo.record(a.clone(), true);
+        assert_eq!(memo.lookup(&a), Some(true));
+        assert_eq!(memo.hits.load(Ordering::Relaxed), 1);
+    }
 }

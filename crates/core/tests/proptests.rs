@@ -12,11 +12,11 @@ proptest! {
     /// exactly the shortfall.
     #[test]
     fn packet_read_conserves_bits(reads in proptest::collection::vec(1u32..200, 1..12)) {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut pm = PacketModel::new();
         let mut total: u64 = 0;
         for r in &reads {
-            let v = pm.read(&mut pool, *r);
+            let v = pm.read(&pool, *r);
             prop_assert_eq!(v.width(), *r);
             total += *r as u64;
         }
@@ -27,10 +27,10 @@ proptest! {
     /// Pre-grown content is consumed before new input is allocated.
     #[test]
     fn packet_pregrow_then_read(pre in 1u32..256, read in 1u32..256) {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut pm = PacketModel::new();
-        pm.grow_input(&mut pool, pre);
-        let _ = pm.read(&mut pool, read);
+        pm.grow_input(&pool, pre);
+        let _ = pm.read(&pool, read);
         let expect_input = pre.max(read) as u64;
         prop_assert_eq!(pm.input_bits(), expect_input);
         prop_assert_eq!(pm.live_bits(), (pre as u64).saturating_sub(read as u64));
@@ -39,18 +39,18 @@ proptest! {
     /// Target-prepended content never counts toward I.
     #[test]
     fn packet_target_content_not_in_input(meta in 1u32..128, read in 1u32..300) {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut pm = PacketModel::new();
         let m = pool.fresh_var("meta", meta as usize);
         pm.prepend_target(Sym::tainted(m, meta));
-        let _ = pm.read(&mut pool, read);
+        let _ = pm.read(&pool, read);
         prop_assert_eq!(pm.input_bits(), (read as u64).saturating_sub(meta as u64));
     }
 
     /// flush_emit preserves emit order and moves all bits from E to L.
     #[test]
     fn packet_flush_emit_moves_everything(emits in proptest::collection::vec(1u32..64, 1..8)) {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut pm = PacketModel::new();
         let mut total = 0u64;
         for (i, w) in emits.iter().enumerate() {
@@ -68,19 +68,19 @@ proptest! {
     /// packet no matter how the input grows afterwards.
     #[test]
     fn packet_fcs_stays_last(pre in 8u32..64, extra_reads in proptest::collection::vec(8u32..128, 1..4)) {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut pm = PacketModel::new();
-        pm.grow_input(&mut pool, pre);
+        pm.grow_input(&pool, pre);
         let fcs = pool.fresh_var("fcs", 32);
         pm.append_target(Sym::tainted(fcs, 32));
         for r in &extra_reads {
             // Read beyond the current non-FCS content, forcing growth.
-            let _ = pm.read(&mut pool, *r);
+            let _ = pm.read(&pool, *r);
         }
         // The remaining live content must end with the (tainted) FCS bits
         // unless the reads consumed into it.
         if pm.live_bits() >= 32 {
-            let live = pm.live_value(&mut pool).unwrap();
+            let live = pm.live_value(&pool).unwrap();
             let w = live.taint.width();
             let tail_taint = live.taint.extract(31, 0);
             prop_assert_eq!(tail_taint, BitVec::ones(32), "live width {}", w);
@@ -112,7 +112,7 @@ proptest! {
     /// constant can only narrow taint; concat concatenates.
     #[test]
     fn taint_laws(ta in any::<u64>(), tb in any::<u64>(), c in any::<u64>()) {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let xa = pool.fresh_var("a", 64);
         let xb = pool.fresh_var("b", 64);
         let a = Sym::with_taint(xa, BitVec::from_u64(64, ta));
@@ -137,7 +137,7 @@ proptest! {
     #[test]
     fn taint_slice(t in any::<u64>(), hi in 0u32..64, lo in 0u32..64) {
         prop_assume!(hi >= lo);
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let x = pool.fresh_var("x", 64);
         let s = Sym::with_taint(x, BitVec::from_u64(64, t));
         let sliced = SymOps::slice_taint(&s, hi, lo);

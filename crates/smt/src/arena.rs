@@ -1,0 +1,201 @@
+//! Append-only concurrent arena with lock-free reads.
+//!
+//! The parallel exploration engine shares one [`crate::TermPool`] across all
+//! workers, so term lookups (`node`, `width`) sit on the hottest path of
+//! every worker simultaneously. This arena makes those lookups wait-free:
+//!
+//! * Storage is a spine of geometrically growing chunks (1 Ki, 2 Ki, 4 Ki,
+//!   ... slots). Chunks are allocated once and **never reallocated or
+//!   moved**, so a `&T` handed out for an index stays valid for the arena's
+//!   lifetime — exactly the stability guarantee `TermId` relies on.
+//! * Appends are serialized by a mutex (interning already funnels writers
+//!   through per-shard consing locks, so append contention is secondary).
+//! * Reads take no lock at all: the length is published with a `Release`
+//!   store after the slot is written, and readers `Acquire`-load it, which
+//!   transfers visibility of both the chunk pointer and the slot contents.
+//!
+//! Safety argument, in one place: a slot is written exactly once (under the
+//! append mutex, at an index >= every previously published length) and is
+//! only read at indices < an `Acquire`-loaded length. Writers are mutually
+//! serialized by the mutex; the `Release`/`Acquire` pair on `len` orders
+//! each write before any read of that index. No slot is ever written twice,
+//! so no `&T` can ever alias a write.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+/// log2 of the first chunk's slot count.
+const BASE_BITS: u32 = 10;
+/// Slot count of the first chunk.
+const BASE: usize = 1 << BASE_BITS;
+/// Chunk `i` holds `BASE << i` slots; 22 chunks cover ~4 Gi slots, past the
+/// `u32` index space `TermId` uses.
+const MAX_CHUNKS: usize = 22;
+
+/// Map a global slot index to (chunk, offset within chunk).
+#[inline]
+fn locate(idx: usize) -> (usize, usize) {
+    let chunk = ((idx >> BASE_BITS) + 1).ilog2() as usize;
+    let chunk_start = BASE * ((1usize << chunk) - 1);
+    (chunk, idx - chunk_start)
+}
+
+/// Append-only arena: `push` from any thread behind an internal lock,
+/// `get` from any thread without one.
+pub struct Arena<T> {
+    chunks: [AtomicPtr<T>; MAX_CHUNKS],
+    /// Number of initialized slots; published with `Release` after each push.
+    len: AtomicUsize,
+    /// Serializes writers (and lazy chunk allocation).
+    append: Mutex<()>,
+}
+
+// `push(&self, T)` moves values in from other threads (needs `T: Send`);
+// `get(&self) -> &T` shares them across threads (needs `T: Sync`).
+unsafe impl<T: Send> Send for Arena<T> {}
+unsafe impl<T: Send + Sync> Sync for Arena<T> {}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    pub fn new() -> Self {
+        Arena {
+            chunks: [const { AtomicPtr::new(std::ptr::null_mut()) }; MAX_CHUNKS],
+            len: AtomicUsize::new(0),
+            append: Mutex::new(()),
+        }
+    }
+
+    /// Number of initialized slots.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a value, returning its index.
+    pub fn push(&self, value: T) -> usize {
+        let _guard = self.append.lock();
+        // Only writers mutate `len`, and they hold the mutex: Relaxed is fine.
+        let idx = self.len.load(Ordering::Relaxed);
+        let (chunk, offset) = locate(idx);
+        assert!(chunk < MAX_CHUNKS, "arena exhausted ({idx} slots)");
+        let mut ptr = self.chunks[chunk].load(Ordering::Relaxed);
+        if ptr.is_null() {
+            let cap = BASE << chunk;
+            let mut storage: Vec<T> = Vec::with_capacity(cap);
+            ptr = storage.as_mut_ptr();
+            std::mem::forget(storage);
+            // Release so the `len` publication below carries this pointer to
+            // readers (it also rides the next writer's mutex acquisition).
+            self.chunks[chunk].store(ptr, Ordering::Release);
+        }
+        // SAFETY: `offset < cap` by construction of `locate`; the slot is
+        // uninitialized (indices are handed out exactly once, and this one
+        // is >= every previously published len).
+        unsafe { ptr.add(offset).write(value) };
+        self.len.store(idx + 1, Ordering::Release);
+        idx
+    }
+
+    /// Read a slot. Panics if `idx` was never pushed.
+    #[inline]
+    pub fn get(&self, idx: usize) -> &T {
+        let len = self.len.load(Ordering::Acquire);
+        assert!(idx < len, "arena index {idx} out of bounds (len {len})");
+        let (chunk, offset) = locate(idx);
+        let ptr = self.chunks[chunk].load(Ordering::Acquire);
+        // SAFETY: `idx < len` and the Acquire load of `len` synchronizes with
+        // the Release store that published this slot, so the chunk pointer is
+        // non-null and the slot is initialized. Slots are never written
+        // again, so the reference stays valid and unaliased by writes.
+        unsafe { &*ptr.add(offset) }
+    }
+}
+
+impl<T> Drop for Arena<T> {
+    fn drop(&mut self) {
+        let len = *self.len.get_mut();
+        for chunk in 0..MAX_CHUNKS {
+            let ptr = *self.chunks[chunk].get_mut();
+            if ptr.is_null() {
+                break; // chunks fill in order; the rest were never allocated
+            }
+            let cap = BASE << chunk;
+            let chunk_start = BASE * ((1usize << chunk) - 1);
+            let initialized = len.saturating_sub(chunk_start).min(cap);
+            // SAFETY: reconstructs the Vec forgotten in `push` with its true
+            // capacity and the count of slots actually written.
+            drop(unsafe { Vec::from_raw_parts(ptr, initialized, cap) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locate_chunk_boundaries() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(BASE - 1), (0, BASE - 1));
+        assert_eq!(locate(BASE), (1, 0));
+        assert_eq!(locate(3 * BASE - 1), (1, 2 * BASE - 1));
+        assert_eq!(locate(3 * BASE), (2, 0));
+    }
+
+    #[test]
+    fn push_get_across_chunks() {
+        let a = Arena::new();
+        for i in 0..5_000usize {
+            assert_eq!(a.push(i * 3), i);
+        }
+        assert_eq!(a.len(), 5_000);
+        for i in 0..5_000usize {
+            assert_eq!(*a.get(i), i * 3);
+        }
+    }
+
+    #[test]
+    fn drops_contents() {
+        use std::sync::atomic::AtomicU32;
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let a = Arena::new();
+        for _ in 0..2_500 {
+            a.push(D);
+        }
+        drop(a);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 2_500);
+    }
+
+    #[test]
+    fn concurrent_push_and_read() {
+        let a = Arena::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let a = &a;
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        let idx = a.push(t * 1_000_000 + i);
+                        // Every index this thread received must read back
+                        // the exact value it wrote.
+                        assert_eq!(*a.get(idx), t * 1_000_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.len(), 8_000);
+    }
+}

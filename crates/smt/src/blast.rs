@@ -246,7 +246,7 @@ impl Blaster {
     fn blast_udiv_urem(
         &mut self,
         sat: &mut SatSolver,
-        pool: &mut TermPool,
+        pool: &TermPool,
         a: TermId,
         b: TermId,
     ) -> (Vec<Lit>, Vec<Lit>) {
@@ -279,7 +279,7 @@ impl Blaster {
     }
 
     /// Translate a term, returning its literals (LSB first). Results cached.
-    pub fn blast(&mut self, sat: &mut SatSolver, pool: &mut TermPool, id: TermId) -> Vec<Lit> {
+    pub fn blast(&mut self, sat: &mut SatSolver, pool: &TermPool, id: TermId) -> Vec<Lit> {
         if let Some(c) = self.cache.get(&id) {
             return c.clone();
         }
@@ -405,7 +405,7 @@ impl Blaster {
     }
 
     /// Blast a 1-bit term and return its literal for use as an assumption.
-    pub fn assertion_lit(&mut self, sat: &mut SatSolver, pool: &mut TermPool, t: TermId) -> Lit {
+    pub fn assertion_lit(&mut self, sat: &mut SatSolver, pool: &TermPool, t: TermId) -> Lit {
         assert_eq!(pool.width(t), 1, "assertions must be 1-bit terms");
         self.blast(sat, pool, t)[0]
     }
@@ -417,7 +417,7 @@ mod tests {
     use crate::sat::SatResult;
 
     /// Assert `t` and solve; on Sat, return the model as an Assignment.
-    fn solve_term(pool: &mut TermPool, t: TermId) -> Option<crate::eval::Assignment> {
+    fn solve_term(pool: &TermPool, t: TermId) -> Option<crate::eval::Assignment> {
         let mut sat = SatSolver::new();
         let mut bl = Blaster::new(&mut sat);
         let l = bl.assertion_lit(&mut sat, pool, t);
@@ -435,71 +435,71 @@ mod tests {
 
     #[test]
     fn solve_addition_equation() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let x = p.fresh_var("x", 8);
         let c3 = p.const_u128(8, 3);
         let c100 = p.const_u128(8, 100);
         let s = p.add(x, c3);
         let eq = p.eq(s, c100);
-        let asg = solve_term(&mut p, eq).expect("sat");
+        let asg = solve_term(&p, eq).expect("sat");
         assert!(crate::eval::eval(&p, &asg, eq).is_true());
     }
 
     #[test]
     fn unsat_contradiction() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let x = p.fresh_var("x", 8);
         let c1 = p.const_u128(8, 1);
         let c2 = p.const_u128(8, 2);
         let e1 = p.eq(x, c1);
         let e2 = p.eq(x, c2);
         let both = p.and(e1, e2);
-        assert!(solve_term(&mut p, both).is_none());
+        assert!(solve_term(&p, both).is_none());
     }
 
     #[test]
     fn solve_multiplication() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let x = p.fresh_var("x", 8);
         let c6 = p.const_u128(8, 6);
         let c42 = p.const_u128(8, 42);
         let m = p.mul(x, c6);
         let eq = p.eq(m, c42);
-        let asg = solve_term(&mut p, eq).expect("sat");
+        let asg = solve_term(&p, eq).expect("sat");
         assert!(crate::eval::eval(&p, &asg, eq).is_true());
     }
 
     #[test]
     fn solve_wide_value() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let x = p.fresh_var("x", 100);
         let big = p.constant(BitVec::from_u128(100, 0xDEAD_BEEF_0000_1111_2222u128));
         let one = p.const_u128(100, 1);
         let s = p.add(x, one);
         let eq = p.eq(s, big);
-        let asg = solve_term(&mut p, eq).expect("sat");
+        let asg = solve_term(&p, eq).expect("sat");
         assert!(crate::eval::eval(&p, &asg, eq).is_true());
     }
 
     #[test]
     fn solve_ult_boundary() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let x = p.fresh_var("x", 4);
         let c1 = p.const_u128(4, 1);
         let lt = p.ult(x, c1);
-        let asg = solve_term(&mut p, lt).expect("sat");
+        let asg = solve_term(&p, lt).expect("sat");
         assert!(crate::eval::eval(&p, &asg, x).is_zero());
     }
 
     #[test]
     fn solve_shift_symbolic_amount() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let amt = p.fresh_var("amt", 8);
         let one = p.const_u128(8, 1);
         let c16 = p.const_u128(8, 16);
         let sh = p.bin(BinOp::Shl, one, amt);
         let eq = p.eq(sh, c16);
-        let asg = solve_term(&mut p, eq).expect("sat");
+        let asg = solve_term(&p, eq).expect("sat");
         assert!(crate::eval::eval(&p, &asg, eq).is_true());
         // The only solution is amt == 4.
         let av = asg.iter().find(|(v, _)| p.var_info(**v).name == "amt").unwrap().1;
@@ -508,7 +508,7 @@ mod tests {
 
     #[test]
     fn shift_out_of_range_is_zero() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let amt = p.fresh_var("amt", 8);
         let c1 = p.const_u128(8, 1);
         let c9 = p.const_u128(8, 9);
@@ -517,18 +517,18 @@ mod tests {
         let zero = p.const_u128(8, 0);
         let nz = p.neq(sh, zero);
         let both = p.and(ge, nz);
-        assert!(solve_term(&mut p, both).is_none(), "shl by >= width must be 0");
+        assert!(solve_term(&p, both).is_none(), "shl by >= width must be 0");
     }
 
     #[test]
     fn solve_udiv() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let x = p.fresh_var("x", 8);
         let c7 = p.const_u128(8, 7);
         let c5 = p.const_u128(8, 5);
         let d = p.bin(BinOp::UDiv, x, c7);
         let eq = p.eq(d, c5); // x / 7 == 5  =>  x in [35, 41]
-        let asg = solve_term(&mut p, eq).expect("sat");
+        let asg = solve_term(&p, eq).expect("sat");
         let xv = asg.iter().find(|(v, _)| p.var_info(**v).name == "x").unwrap().1;
         let xn = xv.to_u64().unwrap();
         assert!((35..=41).contains(&xn), "x = {xn}");
@@ -536,13 +536,13 @@ mod tests {
 
     #[test]
     fn concat_extract_round_trip() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let hi = p.fresh_var("hi", 8);
         let lo = p.fresh_var("lo", 8);
         let cat = p.concat(hi, lo);
         let cafe = p.const_u128(16, 0xCAFE);
         let eq = p.eq(cat, cafe);
-        let asg = solve_term(&mut p, eq).expect("sat");
+        let asg = solve_term(&p, eq).expect("sat");
         let hv = asg.iter().find(|(v, _)| p.var_info(**v).name == "hi").unwrap().1;
         let lv = asg.iter().find(|(v, _)| p.var_info(**v).name == "lo").unwrap().1;
         assert_eq!(hv.to_u64(), Some(0xCA));
@@ -551,11 +551,11 @@ mod tests {
 
     #[test]
     fn signed_comparison() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let x = p.fresh_var("x", 8);
         let zero = p.const_u128(8, 0);
         let slt = p.bin(BinOp::Slt, x, zero);
-        let asg = solve_term(&mut p, slt).expect("sat");
+        let asg = solve_term(&p, slt).expect("sat");
         let xv = asg.iter().find(|(v, _)| p.var_info(**v).name == "x").unwrap().1;
         assert!(xv.bit(7), "x must be negative (MSB set)");
     }

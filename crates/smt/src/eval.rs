@@ -108,7 +108,7 @@ mod tests {
 
     #[test]
     fn eval_arith() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let x = p.fresh_var("x", 8);
         let y = p.fresh_var("y", 8);
         let s = p.add(x, y);
@@ -128,7 +128,7 @@ mod tests {
 
     #[test]
     fn missing_vars_are_zero() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let x = p.fresh_var("x", 16);
         let one = p.const_u128(16, 1);
         let s = p.add(x, one);
@@ -137,7 +137,7 @@ mod tests {
 
     #[test]
     fn eval_ite() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let c = p.fresh_var("c", 1);
         let a = p.const_u128(8, 7);
         let b = p.const_u128(8, 9);

@@ -9,6 +9,9 @@
 //!   with SMT-LIB semantics (modular arithmetic, `udiv`-by-zero = all-ones).
 //! * [`term::TermPool`] — a hash-consed term DAG with constant folding and
 //!   the algebraic simplifications the paper's taint mitigation relies on.
+//!   Interning is `&self` and thread-safe: storage is an [`arena::Arena`]
+//!   (append-only, lock-free reads) and the consing maps are sharded, so
+//!   one pool serves all exploration workers concurrently.
 //! * [`blast::Blaster`] — Tseitin bit-blasting of terms into CNF, cached per
 //!   term so shared path-prefix structure is encoded once.
 //! * [`sat::SatSolver`] — a CDCL SAT solver (two-watched literals, VSIDS,
@@ -18,9 +21,11 @@
 //! * [`mod@eval`] — reference concrete evaluation of terms, used for model
 //!   checking, concolic execution, and cross-validation property tests.
 //!
-//! The crate is self-contained (no dependencies) and fully synchronous: SAT
-//! solving is CPU-bound, so per the Tokio guidance there is no async here.
+//! The crate is fully synchronous (SAT solving is CPU-bound, so per the
+//! Tokio guidance there is no async here); its only dependency is
+//! `parking_lot`, for the term pool's sharded interning locks.
 
+pub mod arena;
 pub mod bitvec;
 pub mod blast;
 pub mod eval;

@@ -16,6 +16,17 @@
 //! solve proportional to its own cone. Z3's incremental mode performs the
 //! equivalent cone restriction internally; our CDCL core does not, so this
 //! facade makes the choice explicit. (See EXPERIMENTS.md, Fig. 7.)
+//!
+//! Fresh-per-check also makes parallel exploration nearly free: a `Solver`
+//! carries no cross-check SAT state (only statistics and the last model),
+//! so each exploration worker simply owns its own instance — no shared
+//! clause database to lock, no cross-worker invalidation. The term pool is
+//! the only shared solver-side structure, and its interning is `&self` and
+//! thread-safe, so `TermId`s can flow between workers while CNF encoding
+//! stays worker-local. It also keeps checks deterministic per path: CNF
+//! variables are numbered by the blaster's structural traversal of the
+//! current cone alone, so a path's model is a function of its constraint
+//! set, never of what other workers solved before it.
 
 use crate::blast::Blaster;
 use crate::eval::Assignment;
@@ -89,18 +100,18 @@ impl Solver {
     }
 
     /// Assert a 1-bit term in the current scope.
-    pub fn assert(&mut self, pool: &mut TermPool, t: TermId) {
+    pub fn assert(&mut self, pool: &TermPool, t: TermId) {
         assert_eq!(pool.width(t), 1, "assertions must be 1-bit terms");
         self.asserted_terms.push(t);
     }
 
     /// Check satisfiability of all assertions in all scopes.
-    pub fn check(&mut self, pool: &mut TermPool) -> CheckResult {
+    pub fn check(&mut self, pool: &TermPool) -> CheckResult {
         self.check_assuming(pool, &[])
     }
 
     /// Check with extra transient assumptions (1-bit terms).
-    pub fn check_assuming(&mut self, pool: &mut TermPool, extra: &[TermId]) -> CheckResult {
+    pub fn check_assuming(&mut self, pool: &TermPool, extra: &[TermId]) -> CheckResult {
         let t0 = Instant::now();
         let mut sat = SatSolver::new();
         let mut blaster = Blaster::new(&mut sat);
@@ -187,27 +198,27 @@ mod tests {
 
     #[test]
     fn push_pop_restores_satisfiability() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut s = Solver::new();
         let x = pool.fresh_var("x", 8);
         let c5 = pool.const_u128(8, 5);
         let c6 = pool.const_u128(8, 6);
         let eq5 = pool.eq(x, c5);
         let eq6 = pool.eq(x, c6);
-        s.assert(&mut pool, eq5);
-        assert_eq!(s.check(&mut pool), CheckResult::Sat);
+        s.assert(&pool, eq5);
+        assert_eq!(s.check(&pool), CheckResult::Sat);
         s.push();
-        s.assert(&mut pool, eq6);
-        assert_eq!(s.check(&mut pool), CheckResult::Unsat);
+        s.assert(&pool, eq6);
+        assert_eq!(s.check(&pool), CheckResult::Unsat);
         s.pop();
-        assert_eq!(s.check(&mut pool), CheckResult::Sat);
+        assert_eq!(s.check(&pool), CheckResult::Sat);
         let m = s.model_of_assertions(&pool);
         assert!(eval(&pool, &m, eq5).is_true());
     }
 
     #[test]
     fn nested_scopes() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut s = Solver::new();
         let x = pool.fresh_var("x", 4);
         let lims: Vec<_> = (1..=3)
@@ -218,33 +229,33 @@ mod tests {
             .collect();
         for &l in &lims {
             s.push();
-            s.assert(&mut pool, l);
+            s.assert(&pool, l);
         }
         assert_eq!(s.depth(), 3);
-        assert_eq!(s.check(&mut pool), CheckResult::Sat);
+        assert_eq!(s.check(&pool), CheckResult::Sat);
         s.pop();
         s.pop();
         s.pop();
         assert_eq!(s.depth(), 0);
-        assert_eq!(s.check(&mut pool), CheckResult::Sat);
+        assert_eq!(s.check(&pool), CheckResult::Sat);
     }
 
     #[test]
     fn transient_assumptions() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut s = Solver::new();
         let x = pool.fresh_var("x", 8);
         let zero = pool.const_u128(8, 0);
         let pos = pool.neq(x, zero);
-        s.assert(&mut pool, pos);
+        s.assert(&pool, pos);
         let isz = pool.eq(x, zero);
-        assert_eq!(s.check_assuming(&mut pool, &[isz]), CheckResult::Unsat);
-        assert_eq!(s.check(&mut pool), CheckResult::Sat);
+        assert_eq!(s.check_assuming(&pool, &[isz]), CheckResult::Unsat);
+        assert_eq!(s.check(&pool), CheckResult::Sat);
     }
 
     #[test]
     fn model_satisfies_complex_constraint() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut s = Solver::new();
         // (x + y == 0xBEEF) && (x & 0xFF == 0x42)
         let x = pool.fresh_var("x", 16);
@@ -256,9 +267,9 @@ mod tests {
         let lowx = pool.and(x, mask);
         let c42 = pool.const_u128(16, 0x42);
         let c2 = pool.eq(lowx, c42);
-        s.assert(&mut pool, c1);
-        s.assert(&mut pool, c2);
-        assert_eq!(s.check(&mut pool), CheckResult::Sat);
+        s.assert(&pool, c1);
+        s.assert(&pool, c2);
+        assert_eq!(s.check(&pool), CheckResult::Sat);
         let m = s.model_of_assertions(&pool);
         assert!(eval(&pool, &m, c1).is_true());
         assert!(eval(&pool, &m, c2).is_true());
@@ -266,21 +277,21 @@ mod tests {
 
     #[test]
     fn stats_accumulate() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let mut s = Solver::new();
         let x = pool.fresh_var("x", 8);
         let c = pool.const_u128(8, 9);
         let eq = pool.eq(x, c);
-        s.assert(&mut pool, eq);
-        s.check(&mut pool);
-        s.check(&mut pool);
+        s.assert(&pool, eq);
+        s.check(&pool);
+        s.check(&pool);
         assert_eq!(s.stats.checks, 2);
         assert_eq!(s.stats.sat_results, 2);
     }
 
     #[test]
     fn model_before_any_check_is_zero() {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let s = Solver::new();
         let x = pool.fresh_var("x", 8);
         let crate::term::Node::Var(v) = *pool.node(x) else {

@@ -6,9 +6,12 @@
 //! algebraic simplifications — notably the ones the paper relies on for taint
 //! mitigation (e.g. `x * 0 == 0` so a tainted multiplicand is neutralized).
 
+use crate::arena::Arena;
 use crate::bitvec::BitVec;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{DefaultHasher, Hash, Hasher};
 
 /// Index of an interned term in a [`TermPool`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -83,53 +86,85 @@ pub struct VarInfo {
     pub width: usize,
 }
 
+/// One interned term: node plus cached width, stored as a unit so the two
+/// can never go out of sync under concurrent appends.
+struct TermData {
+    node: Node,
+    width: u32,
+}
+
+/// Number of consing-map shards. Shards cut writer contention roughly
+/// `SHARDS`-fold; a power of two keeps shard selection a mask.
+const DEDUP_SHARDS: usize = 16;
+
 /// Arena and interner for terms.
-#[derive(Default)]
+///
+/// Safe to share across threads (`&TermPool` is all any worker needs):
+/// term/variable storage is an append-only [`Arena`] with lock-free reads,
+/// and deduplication goes through consing maps sharded by node hash, so
+/// concurrent interning of unrelated terms rarely contends. Structurally
+/// identical terms receive the same [`TermId`] regardless of which thread
+/// interns first — the shard lock is held across the arena append, so one
+/// of two racing threads inserts and the other observes that entry.
 pub struct TermPool {
-    nodes: Vec<Node>,
-    widths: Vec<u32>,
-    dedup: HashMap<Node, TermId>,
-    vars: Vec<VarInfo>,
+    terms: Arena<TermData>,
+    vars: Arena<VarInfo>,
+    dedup: [Mutex<HashMap<Node, TermId>>; DEDUP_SHARDS],
+}
+
+impl Default for TermPool {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TermPool {
     pub fn new() -> Self {
-        Self::default()
+        TermPool {
+            terms: Arena::new(),
+            vars: Arena::new(),
+            dedup: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
     }
 
-    fn intern(&mut self, node: Node, width: usize) -> TermId {
-        if let Some(&id) = self.dedup.get(&node) {
+    fn intern(&self, node: Node, width: usize) -> TermId {
+        // Shard by the node's own (deterministic) hash; the per-shard
+        // HashMap re-hashes internally, which is cheap next to allocation.
+        let mut h = DefaultHasher::new();
+        node.hash(&mut h);
+        let mut shard = self.dedup[h.finish() as usize & (DEDUP_SHARDS - 1)].lock();
+        if let Some(&id) = shard.get(&node) {
             return id;
         }
-        let id = TermId(self.nodes.len() as u32);
-        self.nodes.push(node.clone());
-        self.widths.push(width as u32);
-        self.dedup.insert(node, id);
+        let idx = self.terms.push(TermData { node: node.clone(), width: width as u32 });
+        assert!(idx <= u32::MAX as usize, "term pool overflow");
+        let id = TermId(idx as u32);
+        shard.insert(node, id);
         id
     }
 
     /// Node backing a term.
     pub fn node(&self, id: TermId) -> &Node {
-        &self.nodes[id.0 as usize]
+        &self.terms.get(id.0 as usize).node
     }
 
     /// Bit width of a term.
     pub fn width(&self, id: TermId) -> usize {
-        self.widths[id.0 as usize] as usize
+        self.terms.get(id.0 as usize).width as usize
     }
 
     /// Number of interned terms.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.terms.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.terms.is_empty()
     }
 
     /// Variable metadata.
     pub fn var_info(&self, v: VarId) -> &VarInfo {
-        &self.vars[v.0 as usize]
+        self.vars.get(v.0 as usize)
     }
 
     /// Number of declared variables.
@@ -138,31 +173,31 @@ impl TermPool {
     }
 
     /// Declare a fresh symbolic variable and return a term referring to it.
-    pub fn fresh_var(&mut self, name: impl Into<String>, width: usize) -> TermId {
-        let v = VarId(self.vars.len() as u32);
-        self.vars.push(VarInfo { name: name.into(), width });
+    pub fn fresh_var(&self, name: impl Into<String>, width: usize) -> TermId {
+        let vidx = self.vars.push(VarInfo { name: name.into(), width });
+        let v = VarId(vidx as u32);
         // A Var node is unique per VarId, so interning cannot merge two vars.
         self.intern(Node::Var(v), width)
     }
 
     /// Constant term.
-    pub fn constant(&mut self, value: BitVec) -> TermId {
+    pub fn constant(&self, value: BitVec) -> TermId {
         let w = value.width();
         self.intern(Node::Const(value), w)
     }
 
     /// Constant from a `u128`.
-    pub fn const_u128(&mut self, width: usize, value: u128) -> TermId {
+    pub fn const_u128(&self, width: usize, value: u128) -> TermId {
         self.constant(BitVec::from_u128(width, value))
     }
 
     /// The 1-bit constant 1.
-    pub fn mk_true(&mut self) -> TermId {
+    pub fn mk_true(&self) -> TermId {
         self.const_u128(1, 1)
     }
 
     /// The 1-bit constant 0.
-    pub fn mk_false(&mut self) -> TermId {
+    pub fn mk_false(&self) -> TermId {
         self.const_u128(1, 0)
     }
 
@@ -185,7 +220,7 @@ impl TermPool {
     }
 
     /// Bitwise NOT (for 1-bit terms this is boolean negation).
-    pub fn not(&mut self, a: TermId) -> TermId {
+    pub fn not(&self, a: TermId) -> TermId {
         if let Some(v) = self.as_const(a) {
             return self.constant(v.not());
         }
@@ -198,7 +233,7 @@ impl TermPool {
     }
 
     /// Two's-complement negation.
-    pub fn neg(&mut self, a: TermId) -> TermId {
+    pub fn neg(&self, a: TermId) -> TermId {
         if let Some(v) = self.as_const(a) {
             return self.constant(v.negate());
         }
@@ -207,7 +242,7 @@ impl TermPool {
     }
 
     /// General binary constructor with folding and simplification.
-    pub fn bin(&mut self, op: BinOp, a: TermId, b: TermId) -> TermId {
+    pub fn bin(&self, op: BinOp, a: TermId, b: TermId) -> TermId {
         use BinOp::*;
         if op != Concat {
             assert_eq!(
@@ -361,7 +396,7 @@ impl TermPool {
     }
 
     /// Extract bits `[lo, hi]` inclusive.
-    pub fn extract(&mut self, hi: usize, lo: usize, arg: TermId) -> TermId {
+    pub fn extract(&self, hi: usize, lo: usize, arg: TermId) -> TermId {
         let aw = self.width(arg);
         assert!(hi >= lo && hi < aw, "extract [{hi}:{lo}] of width {aw}");
         if lo == 0 && hi + 1 == aw {
@@ -389,7 +424,7 @@ impl TermPool {
     }
 
     /// If-then-else; `cond` must be 1-bit.
-    pub fn ite(&mut self, cond: TermId, then_t: TermId, else_t: TermId) -> TermId {
+    pub fn ite(&self, cond: TermId, then_t: TermId, else_t: TermId) -> TermId {
         assert_eq!(self.width(cond), 1, "ite condition must be 1-bit");
         assert_eq!(self.width(then_t), self.width(else_t), "ite branch width mismatch");
         if self.is_const_true(cond) {
@@ -414,50 +449,50 @@ impl TermPool {
 
     // ---- convenience wrappers -------------------------------------------
 
-    pub fn add(&mut self, a: TermId, b: TermId) -> TermId {
+    pub fn add(&self, a: TermId, b: TermId) -> TermId {
         self.bin(BinOp::Add, a, b)
     }
-    pub fn sub(&mut self, a: TermId, b: TermId) -> TermId {
+    pub fn sub(&self, a: TermId, b: TermId) -> TermId {
         self.bin(BinOp::Sub, a, b)
     }
-    pub fn mul(&mut self, a: TermId, b: TermId) -> TermId {
+    pub fn mul(&self, a: TermId, b: TermId) -> TermId {
         self.bin(BinOp::Mul, a, b)
     }
-    pub fn and(&mut self, a: TermId, b: TermId) -> TermId {
+    pub fn and(&self, a: TermId, b: TermId) -> TermId {
         self.bin(BinOp::And, a, b)
     }
-    pub fn or(&mut self, a: TermId, b: TermId) -> TermId {
+    pub fn or(&self, a: TermId, b: TermId) -> TermId {
         self.bin(BinOp::Or, a, b)
     }
-    pub fn xor(&mut self, a: TermId, b: TermId) -> TermId {
+    pub fn xor(&self, a: TermId, b: TermId) -> TermId {
         self.bin(BinOp::Xor, a, b)
     }
-    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+    pub fn eq(&self, a: TermId, b: TermId) -> TermId {
         self.bin(BinOp::Eq, a, b)
     }
-    pub fn neq(&mut self, a: TermId, b: TermId) -> TermId {
+    pub fn neq(&self, a: TermId, b: TermId) -> TermId {
         let e = self.eq(a, b);
         self.not(e)
     }
-    pub fn ult(&mut self, a: TermId, b: TermId) -> TermId {
+    pub fn ult(&self, a: TermId, b: TermId) -> TermId {
         self.bin(BinOp::Ult, a, b)
     }
-    pub fn ule(&mut self, a: TermId, b: TermId) -> TermId {
+    pub fn ule(&self, a: TermId, b: TermId) -> TermId {
         self.bin(BinOp::Ule, a, b)
     }
-    pub fn concat(&mut self, hi: TermId, lo: TermId) -> TermId {
+    pub fn concat(&self, hi: TermId, lo: TermId) -> TermId {
         self.bin(BinOp::Concat, hi, lo)
     }
 
     /// Concatenate a list of terms, first element highest.
-    pub fn concat_all(&mut self, parts: &[TermId]) -> TermId {
+    pub fn concat_all(&self, parts: &[TermId]) -> TermId {
         let mut it = parts.iter();
         let first = *it.next().expect("concat_all of empty list");
         it.fold(first, |acc, &p| self.concat(acc, p))
     }
 
     /// Zero-extend to `width`.
-    pub fn zext(&mut self, a: TermId, width: usize) -> TermId {
+    pub fn zext(&self, a: TermId, width: usize) -> TermId {
         let aw = self.width(a);
         assert!(width >= aw);
         if width == aw {
@@ -468,7 +503,7 @@ impl TermPool {
     }
 
     /// Sign-extend to `width`.
-    pub fn sext(&mut self, a: TermId, width: usize) -> TermId {
+    pub fn sext(&self, a: TermId, width: usize) -> TermId {
         let aw = self.width(a);
         assert!(width >= aw && aw > 0);
         if width == aw {
@@ -486,7 +521,7 @@ impl TermPool {
     }
 
     /// P4-style cast: truncate or zero-extend to `width`.
-    pub fn cast(&mut self, a: TermId, width: usize) -> TermId {
+    pub fn cast(&self, a: TermId, width: usize) -> TermId {
         let aw = self.width(a);
         if width == aw {
             a
@@ -498,7 +533,7 @@ impl TermPool {
     }
 
     /// Boolean AND over a list (empty list is `true`).
-    pub fn and_all(&mut self, parts: &[TermId]) -> TermId {
+    pub fn and_all(&self, parts: &[TermId]) -> TermId {
         let mut acc = self.mk_true();
         for &p in parts {
             acc = self.and(acc, p);
@@ -508,7 +543,7 @@ impl TermPool {
 
     /// Collect the set of variables appearing in a term.
     pub fn vars_of(&self, root: TermId) -> Vec<VarId> {
-        let mut seen = vec![false; self.nodes.len()];
+        let mut seen = vec![false; self.len()];
         let mut out = Vec::new();
         let mut stack = vec![root];
         while let Some(t) = stack.pop() {
@@ -595,7 +630,7 @@ mod tests {
 
     #[test]
     fn hash_consing_dedups() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let a = p.const_u128(8, 5);
         let b = p.const_u128(8, 5);
         assert_eq!(a, b);
@@ -607,7 +642,7 @@ mod tests {
 
     #[test]
     fn distinct_vars_not_merged() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let x = p.fresh_var("x", 8);
         let y = p.fresh_var("x", 8); // same name, distinct identity
         assert_ne!(x, y);
@@ -615,7 +650,7 @@ mod tests {
 
     #[test]
     fn constant_folding() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let a = p.const_u128(8, 250);
         let b = p.const_u128(8, 10);
         let s = p.add(a, b);
@@ -624,7 +659,7 @@ mod tests {
 
     #[test]
     fn taint_mitigation_mul_zero() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let x = p.fresh_var("x", 16);
         let z = p.const_u128(16, 0);
         let m = p.mul(x, z);
@@ -633,7 +668,7 @@ mod tests {
 
     #[test]
     fn eq_self_is_true() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let x = p.fresh_var("x", 32);
         let e = p.eq(x, x);
         assert!(p.is_const_true(e));
@@ -641,7 +676,7 @@ mod tests {
 
     #[test]
     fn ite_simplifications() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let c = p.fresh_var("c", 1);
         let t = p.mk_true();
         let f = p.mk_false();
@@ -655,7 +690,7 @@ mod tests {
 
     #[test]
     fn extract_through_concat() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let hi = p.fresh_var("hi", 8);
         let lo = p.fresh_var("lo", 8);
         let c = p.concat(hi, lo);
@@ -665,7 +700,7 @@ mod tests {
 
     #[test]
     fn extract_of_extract_composes() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let x = p.fresh_var("x", 32);
         let outer = p.extract(23, 8, x);
         let inner = p.extract(7, 4, outer);
@@ -675,7 +710,7 @@ mod tests {
 
     #[test]
     fn sext_matches_bitvec() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let v = p.constant(BitVec::from_u64(4, 0b1010));
         let e = p.sext(v, 12);
         assert_eq!(p.as_const(e).unwrap().to_u64(), Some(0xFFA));
@@ -683,7 +718,7 @@ mod tests {
 
     #[test]
     fn vars_of_collects() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let x = p.fresh_var("x", 8);
         let y = p.fresh_var("y", 8);
         let s = p.add(x, y);
@@ -692,8 +727,35 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_interning_converges_on_one_id() {
+        let p = TermPool::new();
+        let x = p.fresh_var("x", 32);
+        // Eight threads race to build the same expression chain; hash consing
+        // must hand every thread the identical TermId at every step.
+        let ids: Vec<TermId> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut acc = x;
+                        for i in 0..200u128 {
+                            let c = p.const_u128(32, i);
+                            let sum = p.add(acc, c);
+                            acc = p.xor(sum, x);
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        // Widths stayed attached to the right nodes despite racing appends.
+        assert_eq!(p.width(ids[0]), 32);
+    }
+
+    #[test]
     fn not_involution() {
-        let mut p = TermPool::new();
+        let p = TermPool::new();
         let x = p.fresh_var("x", 8);
         let n = p.not(x);
         assert_eq!(p.not(n), x);

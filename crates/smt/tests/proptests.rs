@@ -136,7 +136,7 @@ fn arb_expr() -> impl Strategy<Value = E> {
 
 const W: u32 = 16;
 
-fn to_term(e: &E, pool: &mut TermPool, vars: &[TermId]) -> TermId {
+fn to_term(e: &E, pool: &TermPool, vars: &[TermId]) -> TermId {
     match e {
         E::Var(i) => vars[i % vars.len()],
         E::Const(c) => pool.const_u128(W as usize, *c as u128 & mask(W)),
@@ -192,9 +192,9 @@ proptest! {
     /// eval() must agree with the independent reference implementation.
     #[test]
     fn term_eval_matches_reference(e in arb_expr(), env: [u64; 3]) {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let vars: Vec<TermId> = (0..3).map(|i| pool.fresh_var(format!("v{i}"), W as usize)).collect();
-        let t = to_term(&e, &mut pool, &vars);
+        let t = to_term(&e, &pool, &vars);
         let mut asg = Assignment::new();
         for (i, &v) in vars.iter().enumerate() {
             let p4t_smt::Node::Var(vid) = *pool.node(v) else { unreachable!() };
@@ -209,17 +209,17 @@ proptest! {
     /// extraction against the reference evaluator.
     #[test]
     fn solver_models_satisfy_formula(e in arb_expr(), env: [u64; 3]) {
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let vars: Vec<TermId> = (0..3).map(|i| pool.fresh_var(format!("v{i}"), W as usize)).collect();
-        let t = to_term(&e, &mut pool, &vars);
+        let t = to_term(&e, &pool, &vars);
         // The formula expr == reference(env) is satisfiable by construction
         // (env itself is a witness).
         let rv = reference(&e, &env);
         let c = pool.const_u128(W as usize, rv as u128);
         let goal = pool.eq(t, c);
         let mut solver = Solver::new();
-        solver.assert(&mut pool, goal);
-        prop_assert_eq!(solver.check(&mut pool), CheckResult::Sat);
+        solver.assert(&pool, goal);
+        prop_assert_eq!(solver.check(&pool), CheckResult::Sat);
         let model = solver.model_of_assertions(&pool);
         prop_assert!(eval(&pool, &model, goal).is_true(),
             "model does not satisfy the formula it was produced for");
@@ -230,15 +230,15 @@ proptest! {
     #[test]
     fn solver_detects_contradiction(a: u64, b: u64, w in 1u32..=32) {
         prop_assume!((a & mask(w) as u64) != (b & mask(w) as u64));
-        let mut pool = TermPool::new();
+        let pool = TermPool::new();
         let x = pool.fresh_var("x", w as usize);
         let ca = pool.const_u128(w as usize, a as u128 & mask(w));
         let cb = pool.const_u128(w as usize, b as u128 & mask(w));
         let e1 = pool.eq(x, ca);
         let e2 = pool.eq(x, cb);
         let mut solver = Solver::new();
-        solver.assert(&mut pool, e1);
-        solver.assert(&mut pool, e2);
-        prop_assert_eq!(solver.check(&mut pool), CheckResult::Unsat);
+        solver.assert(&pool, e1);
+        solver.assert(&pool, e2);
+        prop_assert_eq!(solver.check(&pool), CheckResult::Unsat);
     }
 }

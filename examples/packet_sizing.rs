@@ -19,7 +19,7 @@ fn report(stage: &str, pm: &PacketModel) {
 }
 
 fn main() {
-    let mut pool = TermPool::new();
+    let pool = TermPool::new();
     let mut pm = PacketModel::new();
 
     println!("Fig. 6: packet sizing for a Tofino program\n");
@@ -32,16 +32,16 @@ fn main() {
     report("target prepends 64b intrinsic metadata", &pm);
 
     // IngressParser: extract(ingress_meta) — consumes the prepended bits.
-    let _ = pm.read(&mut pool, 64);
+    let _ = pm.read(&pool, 64);
     report("ingress parser: extract(ingress_meta)", &pm);
 
     // extract(hdr.eth): L is empty, so a 112-bit input chunk is allocated
     // (grows I — "a larger packet is needed to pass this extract").
-    let eth = pm.read(&mut pool, 112);
+    let eth = pm.read(&pool, 112);
     report("ingress parser: extract(hdr.eth) grows I", &pm);
 
     // extract(hdr.ipv4): another 160 bits of required input.
-    let ipv4 = pm.read(&mut pool, 160);
+    let ipv4 = pm.read(&pool, 160);
     report("ingress parser: extract(hdr.ipv4) grows I", &pm);
 
     // IngressDeparser: emit(hdr.eth); emit(hdr.ipv4) accumulate in E.
@@ -58,19 +58,19 @@ fn main() {
     // for the egress pipeline too.
     let emeta = pool.fresh_var("egress_metadata", 64);
     pm.prepend_target(Sym::tainted(emeta, 64));
-    let _ = pm.read(&mut pool, 64);
+    let _ = pm.read(&pool, 64);
     report("egress parser: extract(egress_meta)", &pm);
 
     // extract(hdr.eth) again: L still holds the 272 deparsed bits, so this
     // consumes from L without touching I.
-    let _ = pm.read(&mut pool, 112);
+    let _ = pm.read(&pool, 112);
     report("egress parser: extract(hdr.eth) from L", &pm);
 
     // Suppose the egress parser reads deeper than the ingress deparser
     // emitted (e.g. a full IPv4 + 64 bits of options): the remaining 160
     // bits of L are not enough, so I grows again — exactly the multi-parser
     // subtlety Fig. 6 illustrates.
-    let _ = pm.read(&mut pool, 160 + 64);
+    let _ = pm.read(&pool, 160 + 64);
     report("egress parser reads past L: I grows again", &pm);
 
     // EgressDeparser emits the final packet.

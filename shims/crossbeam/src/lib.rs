@@ -1,0 +1,225 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! `crossbeam::scope` (scoped threads) and `crossbeam::deque` (per-worker
+//! work-stealing deques).
+//!
+//! The scope implementation delegates to `std::thread::scope`; the deques
+//! are mutex-backed rather than lock-free. Operation-for-operation they are
+//! slower than real crossbeam under heavy contention, but the exploration
+//! engine batches whole `ExecState`s (milliseconds of work per pop), so the
+//! queue cost is noise; the API and the stealing semantics match.
+
+pub mod deque {
+    use parking_lot::Mutex;
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    /// Result of a steal attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    /// A LIFO worker deque: the owner pushes/pops at the back; thieves steal
+    /// from the front (oldest, shallowest states first — the standard
+    /// breadth-stealing heuristic that hands thieves the largest subtrees).
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// A handle thieves use to take work from the front of a [`Worker`].
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Default for Worker<T> {
+        fn default() -> Self {
+            Self::new_lifo()
+        }
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_lifo() -> Self {
+            Worker { inner: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { inner: self.inner.clone() }
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner.lock().push_back(value);
+        }
+
+        /// Owner-side pop (LIFO end).
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().pop_back()
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.lock().len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().is_empty()
+        }
+
+        /// Lock the deque for a compound owner-side operation (strategy
+        /// selection needs to scan; not part of upstream crossbeam, but the
+        /// shim can afford the honesty of exposing its mutex).
+        pub fn with<R>(&self, f: impl FnOnce(&mut VecDeque<T>) -> R) -> R {
+            f(&mut self.inner.lock())
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one item from the front (FIFO end).
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().is_empty()
+        }
+    }
+
+    /// A global FIFO injector queue.
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner.lock().push_back(value);
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().is_empty()
+        }
+    }
+}
+
+pub mod thread {
+    /// Scope handle passed to `crossbeam::scope` closures.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. Crossbeam's closure receives the scope
+        /// again (for nested spawns); we pass `()`-compatible re-wrapping.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+            }
+        }
+    }
+
+    /// Create a scope for spawning threads that may borrow from the caller.
+    /// Returns `Ok(result)` like crossbeam (std scope propagates panics from
+    /// unjoined threads itself, so the error arm is vestigial but keeps call
+    /// sites' `.expect(...)` working).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn scoped_threads_borrow() {
+        let data = vec![1, 2, 3];
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        let sum_ref = &sum;
+        super::scope(|s| {
+            for &v in &data {
+                s.spawn(move |_| sum_ref.fetch_add(v, std::sync::atomic::Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.into_inner(), 6);
+    }
+
+    #[test]
+    fn worker_lifo_stealer_fifo() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(1)); // oldest
+        assert_eq!(w.pop(), Some(3)); // newest
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.steal(), Steal::Success("a"));
+        assert_eq!(inj.steal(), Steal::Success("b"));
+        assert!(inj.is_empty());
+    }
+}

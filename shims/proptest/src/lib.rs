@@ -1,0 +1,798 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses (see
+//! `shims/README.md`).
+//!
+//! Differences from upstream, by design:
+//! - **No shrinking.** A failing case reports the generated inputs via the
+//!   assertion message; it is not minimized. The deterministic seed makes
+//!   failures reproducible (`PROPTEST_SEED` overrides it).
+//! - **Strategies are plain generators** (`gen_one(&self, rng)`), not value
+//!   trees. `prop_recursive` builds a finite strategy tower of the requested
+//!   depth with leaf-vs-recurse mixing, so generated structures have random
+//!   bounded depth.
+//! - **String "regex" strategies** support the pattern subset used in the
+//!   test suites: character classes with ranges and escapes, `\PC`, and the
+//!   `*`, `+`, `?`, `{m}`, `{m,n}` quantifiers.
+
+pub mod test_runner {
+    use rand::prelude::*;
+    use std::fmt;
+
+    /// Deterministic per-run generator handed to strategies.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        pub fn next_u128(&mut self) -> u128 {
+            ((self.0.next_u64() as u128) << 64) | self.0.next_u64() as u128
+        }
+
+        /// Uniform in `[lo, hi]` (inclusive).
+        pub fn range_u128(&mut self, lo: u128, hi: u128) -> u128 {
+            debug_assert!(lo <= hi);
+            let span = hi.wrapping_sub(lo).wrapping_add(1);
+            if span == 0 {
+                return self.next_u128();
+            }
+            lo.wrapping_add(self.next_u128() % span)
+        }
+
+        /// Uniform in `[0, n)`.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0);
+            self.range_u128(0, n as u128 - 1) as usize
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases, max_global_rejects: 65_536 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases, ..Default::default() }
+        }
+    }
+
+    /// Why one generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        Fail(String),
+        /// `prop_assume!` miss: the case is skipped, not failed.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Drive one property until `config.cases` cases pass (macro back end).
+    pub fn run_cases<F>(config: ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        const DEFAULT_SEED: u64 = 0x5EED_0F04;
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SEED);
+        let mut rng = TestRng::from_seed(seed);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < config.cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= config.max_global_rejects,
+                        "proptest shim: too many rejected cases \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest case failed (after {passed} passing cases, \
+                         seed {seed}): {msg}"
+                    );
+                }
+            }
+        }
+    }
+
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A value generator. Upstream proptest strategies also carry shrinking
+    /// machinery; the shim only generates.
+    pub trait Strategy {
+        type Value;
+
+        fn gen_one(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { strategy: self, map: f }
+        }
+
+        /// Bounded recursive strategy: at each of `depth` levels, pick the
+        /// leaf (`self`) with probability 1/3 or recurse with 2/3, so trees
+        /// have random depth up to `depth`. `_desired_size` and
+        /// `_expected_branch_size` are accepted for API compatibility.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let base = self.boxed();
+            let mut current = base.clone();
+            for _ in 0..depth {
+                let deeper = recurse(current).boxed();
+                current =
+                    Union::new(vec![base.clone(), deeper.clone(), deeper]).boxed();
+            }
+            current
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn gen_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.gen_one(rng)
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn gen_one(&self, rng: &mut TestRng) -> T {
+            self.0.gen_dyn(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        strategy: S,
+        map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn gen_one(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.strategy.gen_one(rng))
+        }
+    }
+
+    /// Uniform choice between same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn gen_one(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len());
+            self.options[i].gen_one(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_one(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.range_u128(self.start as u128, self.end as u128 - 1) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_one(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    rng.range_u128(*self.start() as u128, *self.end() as u128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, u128);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_one(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.gen_one(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    }
+
+    /// Always produces clones of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen_one(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn gen_one(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    // Bias 1/8 of draws to the edge values that flush out
+                    // boundary bugs; upstream's binary search shrinking
+                    // reaches them, the shim biases toward them instead.
+                    match rng.next_u64() & 7 {
+                        0 => <$t>::MIN,
+                        1 => <$t>::MAX,
+                        _ => rng.next_u128() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, u128, i8, i16, i32, i64, isize, i128);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<T> Copy for Any<T> {}
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn gen_one(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Accepted element-count specifications for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_one(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n =
+                rng.range_u128(self.size.lo as u128, self.size.hi_inclusive as u128) as usize;
+            (0..n).map(|_| self.element.gen_one(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    /// One repeated unit of the pattern: a set of candidate chars plus a
+    /// repetition count range.
+    struct Atom {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Printable pool for `\PC` (not-control): ASCII printables plus a few
+    /// multi-byte characters so UTF-8 handling gets exercised.
+    fn printable_pool() -> Vec<char> {
+        let mut pool: Vec<char> = (0x20u8..0x7F).map(char::from).collect();
+        pool.extend(['é', 'λ', '→', '世', '😀']);
+        pool
+    }
+
+    fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<char> {
+        match chars.next().expect("proptest shim regex: dangling backslash") {
+            'P' => {
+                // Only the `\PC` (non-control) class is supported.
+                let c = chars.next();
+                assert_eq!(
+                    c,
+                    Some('C'),
+                    "proptest shim regex: unsupported \\P class {c:?}"
+                );
+                printable_pool()
+            }
+            'n' => vec!['\n'],
+            't' => vec!['\t'],
+            'r' => vec!['\r'],
+            '0' => vec!['\0'],
+            other => vec![other], // \\ \" \- \[ \] etc.
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<char> {
+        let mut set = Vec::new();
+        loop {
+            let c = match chars.next() {
+                Some(']') => return set,
+                Some('\\') => {
+                    set.extend(parse_escape(chars));
+                    continue;
+                }
+                Some(c) => c,
+                None => panic!("proptest shim regex: unterminated character class"),
+            };
+            // Range `a-z` (a `-` that is not followed by `]` and not first).
+            if chars.peek() == Some(&'-') {
+                let mut look = chars.clone();
+                look.next();
+                if look.peek().is_some_and(|&e| e != ']') {
+                    chars.next(); // consume '-'
+                    let end = chars.next().unwrap();
+                    assert!(c <= end, "proptest shim regex: inverted range {c}-{end}");
+                    set.extend(c..=end);
+                    continue;
+                }
+            }
+            set.push(c);
+        }
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars>,
+    ) -> (usize, usize) {
+        match chars.peek() {
+            Some('*') => {
+                chars.next();
+                (0, 32)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 32)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = lo.trim().parse().expect("regex {m,n}: bad m");
+                        let hi = if hi.trim().is_empty() {
+                            lo + 32
+                        } else {
+                            hi.trim().parse().expect("regex {m,n}: bad n")
+                        };
+                        (lo, hi)
+                    }
+                    None => {
+                        let n = spec.trim().parse().expect("regex {m}: bad m");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<Atom> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let choices = match c {
+                '[' => parse_class(&mut chars),
+                '\\' => parse_escape(&mut chars),
+                other => vec![other],
+            };
+            let (min, max) = parse_quantifier(&mut chars);
+            atoms.push(Atom { choices, min, max });
+        }
+        atoms
+    }
+
+    /// Generate a random string matching the supported regex subset.
+    pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(pattern);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.range_u128(atom.min as u128, atom.max as u128) as usize;
+            for _ in 0..n {
+                if atom.choices.is_empty() {
+                    continue;
+                }
+                out.push(atom.choices[rng.below(atom.choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Map, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+// ---- macros ---------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases($config, |__rng| {
+                $crate::__proptest_bind!(__rng, $body, $($params)*)
+            });
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $body:block $(,)?) => {
+        (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+            $body
+            ::std::result::Result::Ok(())
+        })()
+    };
+    ($rng:ident, $body:block, $name:ident in $strategy:expr $(, $($rest:tt)*)?) => {{
+        let $name = $crate::strategy::Strategy::gen_one(&($strategy), $rng);
+        $crate::__proptest_bind!($rng, $body $(, $($rest)*)?)
+    }};
+    ($rng:ident, $body:block, $name:ident : $ty:ty $(, $($rest:tt)*)?) => {{
+        let $name: $ty =
+            $crate::strategy::Strategy::gen_one(&$crate::arbitrary::any::<$ty>(), $rng);
+        $crate::__proptest_bind!($rng, $body $(, $($rest)*)?)
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+                            stringify!($left), stringify!($right), __l, __r
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`: {}",
+                            stringify!($left), stringify!($right), __l, __r, format!($($fmt)+)
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `{} != {}`\n  both: `{:?}`",
+                            stringify!($left), stringify!($right), __l
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($option)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_any_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..500 {
+            let v = (3u32..17).gen_one(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (1u32..=128).gen_one(&mut rng);
+            assert!((1..=128).contains(&w));
+            let arr: [u64; 3] = any::<[u64; 3]>().gen_one(&mut rng);
+            assert_eq!(arr.len(), 3);
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf(u8),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(v) => {
+                    assert!(*v < 255, "leaf out of its strategy range");
+                    0
+                }
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0u8..255)
+            .prop_map(T::Leaf)
+            .prop_recursive(4, 24, 2, |inner| {
+                (inner.clone(), inner)
+                    .prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = TestRng::from_seed(9);
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = strat.gen_one(&mut rng);
+            assert!(depth(&t) <= 4);
+            saw_node |= matches!(t, T::Node(..));
+        }
+        assert!(saw_node, "recursion never recursed");
+    }
+
+    #[test]
+    fn string_patterns_match_their_own_grammar() {
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..100 {
+            let s = "[a-z0-9{}();=<>.,+*&|! \n\t\"@_-]{0,200}".gen_one(&mut rng);
+            assert!(s.chars().count() <= 200);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase()
+                        || c.is_ascii_digit()
+                        || "{}();=<>.,+*&|! \n\t\"@_-".contains(c),
+                    "unexpected char {c:?}"
+                );
+            }
+            let p = "\\PC*".gen_one(&mut rng);
+            assert!(p.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro front end: mixed `in`/typed params, assume, asserts.
+        #[test]
+        fn macro_front_end(a: u64, b in 1u64..1000, v in crate::collection::vec(any::<u8>(), 1..8)) {
+            prop_assume!(b != 500);
+            prop_assert!((1..1000).contains(&b));
+            prop_assert_eq!(v.len(), v.len(), "lengths {} {}", v.len(), v.len());
+            prop_assert_ne!(b, 500);
+            let _ = a;
+        }
+    }
+}

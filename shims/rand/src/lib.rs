@@ -1,0 +1,229 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors API-compatible shims for its external dependencies (see
+//! `shims/README.md`). This one provides `StdRng`, `SeedableRng`, and the
+//! `Rng` methods (`gen`, `gen_range`, `gen_bool`, `fill_bytes`) backed by
+//! xoshiro256** — a high-quality, deterministic, seedable generator.
+//!
+//! Determinism note: unlike upstream `rand`, the stream produced for a
+//! given seed is *stable across versions of this shim by construction*,
+//! which the test-generation driver relies on for reproducible suites.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random generators.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Value-producing random generator operations.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// Generate a uniformly random value of `T`.
+    fn gen<T: RandValue>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::rand_from(self)
+    }
+
+    /// Generate a value uniformly in the given range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: RandRangeValue,
+        R: Into<RandRange<T>>,
+        Self: Sized,
+    {
+        let r: RandRange<T> = range.into();
+        T::rand_in(self, r.lo, r.hi_inclusive)
+    }
+
+    /// True with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53 bits of randomness, like upstream.
+        let v = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        v < p
+    }
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait RandValue {
+    fn rand_from<R: Rng>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_rand_value_int {
+    ($($t:ty),*) => {$(
+        impl RandValue for $t {
+            fn rand_from<R: Rng>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_rand_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RandValue for u128 {
+    fn rand_from<R: Rng>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl RandValue for i128 {
+    fn rand_from<R: Rng>(rng: &mut R) -> Self {
+        u128::rand_from(rng) as i128
+    }
+}
+
+impl RandValue for bool {
+    fn rand_from<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A half-open or inclusive range request, normalized to inclusive bounds.
+pub struct RandRange<T> {
+    lo: T,
+    hi_inclusive: T,
+}
+
+/// Integer types [`Rng::gen_range`] supports.
+pub trait RandRangeValue: Copy + PartialOrd {
+    fn rand_in<R: Rng>(rng: &mut R, lo: Self, hi_inclusive: Self) -> Self;
+    fn pred(self) -> Self;
+}
+
+macro_rules! impl_rand_range_value {
+    ($($t:ty),*) => {$(
+        impl RandRangeValue for $t {
+            fn rand_in<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range.
+                    return u128::rand_from(rng) as $t;
+                }
+                // Rejection-free modulo is fine here: callers use small spans
+                // for worklist indexing, where the bias is ≪ 2^-64.
+                let v = u128::rand_from(rng) % span;
+                ((lo as u128).wrapping_add(v)) as $t
+            }
+            fn pred(self) -> Self { self - 1 }
+        }
+    )*};
+}
+impl_rand_range_value!(u8, u16, u32, u64, usize);
+
+impl<T: RandRangeValue> From<Range<T>> for RandRange<T> {
+    fn from(r: Range<T>) -> Self {
+        RandRange { lo: r.start, hi_inclusive: r.end.pred() }
+    }
+}
+
+impl<T: RandRangeValue> From<RangeInclusive<T>> for RandRange<T> {
+    fn from(r: RangeInclusive<T>) -> Self {
+        RandRange { lo: *r.start(), hi_inclusive: *r.end() }
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256** generator seeded via splitmix64 (deterministic stream).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u32 = r.gen_range(5..=5);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn gen_u128_uses_full_width() {
+        let mut r = StdRng::seed_from_u64(7);
+        let mut high_bits_seen = false;
+        for _ in 0..10 {
+            let v: u128 = r.gen();
+            if v >> 64 != 0 {
+                high_bits_seen = true;
+            }
+        }
+        assert!(high_bits_seen);
+    }
+}

@@ -1,0 +1,416 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors API-compatible shims for its external dependencies (see
+//! `shims/README.md`). Upstream serde is a visitor-based zero-copy
+//! framework; this shim collapses the data model to a concrete JSON-like
+//! [`value::Value`] tree, which is all `serde_json` round-tripping of the
+//! test-spec types needs. The `Serialize`/`Deserialize` traits and the
+//! derive macros (re-exported under the `derive` feature, as upstream does)
+//! keep their names so `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile unchanged.
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    /// The self-describing data-model tree both traits go through.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Number(Number),
+        String(String),
+        Array(Vec<Value>),
+        /// Insertion-ordered so serialization output is deterministic.
+        Object(Vec<(String, Value)>),
+    }
+
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub enum Number {
+        U(u64),
+        I(i64),
+        F(f64),
+    }
+
+    impl Value {
+        pub const NULL: Value = Value::Null;
+
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Number(Number::U(n)) => Some(*n),
+                Value::Number(Number::I(n)) if *n >= 0 => Some(*n as u64),
+                _ => None,
+            }
+        }
+
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Number(Number::I(n)) => Some(*n),
+                Value::Number(Number::U(n)) => i64::try_from(*n).ok(),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(Number::F(f)) => Some(*f),
+                Value::Number(Number::U(n)) => Some(*n as f64),
+                Value::Number(Number::I(n)) => Some(*n as f64),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+            match self {
+                Value::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+
+        /// Object-field lookup (`None` on non-objects and missing keys).
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+
+        fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::Number(_) => "number",
+                Value::String(_) => "string",
+                Value::Array(_) => "array",
+                Value::Object(_) => "object",
+            }
+        }
+    }
+
+    pub(crate) fn kind_of(v: &Value) -> &'static str {
+        v.kind()
+    }
+}
+
+use value::{Number, Value};
+
+/// Deserialization error (also reused by `serde_json` as its error type).
+#[derive(Clone, Debug)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+
+    fn expected(what: &'static str, got: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", value::kind_of(got)))
+    }
+}
+
+/// Types convertible into the data-model tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the data-model tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Behavior when a struct field is absent (overridden by `Option` to
+    /// default to `None`, matching upstream's treatment under serde_json).
+    #[doc(hidden)]
+    fn absent_field(name: &str) -> Result<Self, DeError> {
+        Err(DeError(format!("missing field `{name}`")))
+    }
+}
+
+// ---- primitive impls ------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| DeError::expected("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::I(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| DeError::expected("integer", v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", v))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_owned).ok_or_else(|| DeError::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent_field(_name: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let arr = v.as_array().ok_or_else(|| DeError::expected("tuple array", v))?;
+                let expect = [$( $n, )+].len();
+                if arr.len() != expect {
+                    return Err(DeError(format!(
+                        "expected tuple of {expect} elements, found {}", arr.len())));
+                }
+                Ok(($($t::from_value(&arr[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ---- helpers used by derive-generated code --------------------------------
+
+#[doc(hidden)]
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Look up and deserialize one struct field.
+    pub fn de_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+        match v.get(name) {
+            Some(fv) => T::from_value(fv)
+                .map_err(|e| DeError(format!("field `{name}`: {}", e.0))),
+            None => {
+                if v.as_object().is_none() {
+                    return Err(DeError::expected("object", v));
+                }
+                T::absent_field(name)
+            }
+        }
+    }
+
+    /// Externally-tagged enum encoding for a struct/newtype variant.
+    pub fn variant(tag: &str, inner: Value) -> Value {
+        Value::Object(vec![(tag.to_owned(), inner)])
+    }
+
+    /// Split an externally-tagged enum value into `(tag, payload)`.
+    /// Unit variants are encoded as a bare string with a null payload.
+    pub fn variant_parts(v: &Value) -> Result<(&str, &Value), DeError> {
+        match v {
+            Value::String(s) => Ok((s.as_str(), &Value::NULL)),
+            Value::Object(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), &entries[0].1))
+            }
+            other => Err(DeError::expected("enum (string or single-key object)", other)),
+        }
+    }
+
+    pub fn unknown_variant(ty: &str, tag: &str) -> DeError {
+        DeError(format!("unknown variant `{tag}` for {ty}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::value::{Number, Value};
+    use super::{Deserialize, Serialize};
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(42u32.to_value(), Value::Number(Number::U(42)));
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&Value::Number(Number::U(7))).unwrap(), 7);
+        assert!(u8::from_value(&Value::Number(Number::U(300))).is_err());
+        let v: Vec<(String, Vec<u8>)> = vec![("port".into(), vec![2, 3])];
+        let enc = v.to_value();
+        assert_eq!(<Vec<(String, Vec<u8>)>>::from_value(&enc).unwrap(), v);
+    }
+
+    #[test]
+    fn option_field_semantics() {
+        let obj = Value::Object(vec![("a".into(), Value::Number(Number::U(1)))]);
+        let a: Option<u64> = super::__private::de_field(&obj, "a").unwrap();
+        let b: Option<u64> = super::__private::de_field(&obj, "b").unwrap();
+        assert_eq!(a, Some(1));
+        assert_eq!(b, None);
+        let missing: Result<u64, _> = super::__private::de_field(&obj, "b");
+        assert!(missing.is_err());
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Array(vec![Value::Bool(true)]);
+        assert!(v.as_array().is_some_and(|a| !a.is_empty()));
+        assert!(v.as_object().is_none());
+        let o = Value::Object(vec![("k".into(), Value::String("x".into()))]);
+        assert_eq!(o.get("k").and_then(Value::as_str), Some("x"));
+        assert_eq!(o.get("nope"), None);
+    }
+}

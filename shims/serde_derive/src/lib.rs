@@ -1,0 +1,357 @@
+//! Offline stand-in for serde's derive macros (see `shims/README.md`).
+//!
+//! Upstream `serde_derive` parses the full Rust grammar through `syn`;
+//! offline we cannot depend on `syn`/`quote`, so this crate walks the raw
+//! `proc_macro` token stream directly. That restricts it to the shapes the
+//! workspace actually derives on — non-generic structs with named fields
+//! and non-generic enums with unit / tuple / struct variants — and it
+//! produces impls of the shim `serde` traits (`to_value`/`from_value` over
+//! `serde::value::Value`) rather than upstream's visitor API. Field and
+//! variant encodings (externally-tagged enums, field-name objects) match
+//! what upstream + `serde_json` would emit, so serialized output is
+//! byte-compatible for these shapes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named fields of a struct or struct variant.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Number of tuple fields.
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Skip attributes (`#[...]` / `#![...]`) starting at `i`; returns the new
+/// index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() && is_punct(&tokens[i], '#') {
+        i += 1;
+        if i < tokens.len() && is_punct(&tokens[i], '!') {
+            i += 1;
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => i += 1,
+            _ => panic!("serde shim derive: malformed attribute"),
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Parse the named fields of a brace-delimited body, returning their names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde shim derive: expected field name, got {:?}", tokens[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        assert!(
+            i < tokens.len() && is_punct(&tokens[i], ':'),
+            "serde shim derive: expected `:` after field name `{}`",
+            fields.last().unwrap()
+        );
+        i += 1;
+        // Consume the type: scan to the next comma outside angle brackets
+        // (groups are atomic token trees, so parens/brackets need no depth
+        // tracking of their own).
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            if is_punct(&tokens[i], '<') {
+                angle += 1;
+            } else if is_punct(&tokens[i], '>') {
+                angle -= 1;
+            } else if angle == 0 && is_punct(&tokens[i], ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Count the comma-separated types in a paren-delimited tuple body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut angle = 0i32;
+    let mut last_was_comma = false;
+    for tt in &tokens {
+        if is_punct(tt, '<') {
+            angle += 1;
+        } else if is_punct(tt, '>') {
+            angle -= 1;
+        }
+        last_was_comma = angle == 0 && is_punct(tt, ',');
+        if last_was_comma {
+            n += 1;
+        }
+    }
+    if last_was_comma {
+        n -= 1; // trailing comma
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde shim derive: expected variant name, got {:?}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(tt) if is_punct(tt, ',')) {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde shim derive: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(tokens.get(i), Some(tt) if is_punct(tt, '<')) {
+        panic!(
+            "serde shim derive: generic type `{name}` is not supported \
+             (offline shim covers only the concrete shapes this workspace derives on)"
+        );
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => panic!(
+            "serde shim derive: `{name}` must have a brace-delimited body \
+             (tuple/unit structs are not supported)"
+        ),
+    };
+    let shape = match keyword.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body)),
+        "enum" => Shape::Enum(parse_variants(body)),
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__obj.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __obj: ::std::vec::Vec<(::std::string::String, \
+                 ::serde::value::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::value::Value::Object(__obj)"
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::value::Value::String({vn:?}.to_string()),\n"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::__private::variant({vn:?}, \
+                             ::serde::Serialize::to_value(__f0)),\n"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let elems: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::__private::variant({vn:?}, \
+                                 ::serde::value::Value::Array(vec![{elems}])),\n",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "__obj.push(({f:?}.to_string(), \
+                                         ::serde::Serialize::to_value({f})));\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {{\n\
+                                 let mut __obj: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::value::Value)> = ::std::vec::Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::__private::variant({vn:?}, \
+                                 ::serde::value::Value::Object(__obj))\n}}\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde shim derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::de_field(__v, {f:?})?,\n"))
+                .collect();
+            format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),\n"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let elems: String = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_value(&__arr[{k}])?,")
+                                })
+                                .collect();
+                            format!(
+                                "{vn:?} => {{\n\
+                                 let __arr = __inner.as_array().ok_or_else(|| \
+                                 ::serde::DeError::custom(\
+                                 \"expected array payload for variant {vn}\"))?;\n\
+                                 if __arr.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                                 \"wrong tuple arity for variant {vn}\"));\n}}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({elems}))\n}}\n"
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::__private::de_field(__inner, {f:?})?,\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vn:?} => ::std::result::Result::Ok(\
+                                 {name}::{vn} {{\n{inits}}}),\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (__tag, __inner) = ::serde::__private::variant_parts(__v)?;\n\
+                 match __tag {{\n{arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::__private::unknown_variant({name:?}, __other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::value::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde shim derive: generated Deserialize impl parses")
+}

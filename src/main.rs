@@ -8,7 +8,8 @@
 //!   --backend <stf|ptf|proto|json>           output format   [stf]
 //!   --max-tests <N>                          stop after N tests (0 = all) [0]
 //!   --seed <N>                               value-selection seed [1]
-//!   --strategy <dfs|bfs|random>              path selection [dfs]
+//!   --strategy <dfs|bfs|random|coverage>     path selection [dfs]
+//!   --jobs, -j <N>                           exploration worker threads [1]
 //!   --fixed-packet-size <BYTES>              fixed-input-size precondition
 //!   --with-constraints                       honor @entry_restriction
 //!   --out <FILE>                             write tests here (default stdout)
@@ -35,12 +36,13 @@ struct Options {
     out: Option<String>,
     coverage: bool,
     validate: bool,
+    jobs: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: p4testgen --target <v1model|tna|t2na|ebpf_model> [--backend stf|ptf|proto|json]\n\
-         \t[--max-tests N] [--seed N] [--strategy dfs|bfs|random]\n\
+         \t[--max-tests N] [--seed N] [--strategy dfs|bfs|random|coverage] [--jobs N]\n\
          \t[--fixed-packet-size BYTES] [--with-constraints] [--out FILE]\n\
          \t[--coverage] [--validate] <program.p4>"
     );
@@ -60,6 +62,7 @@ fn parse_args() -> Options {
         out: None,
         coverage: false,
         validate: false,
+        jobs: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -77,8 +80,17 @@ fn parse_args() -> Options {
                     Some("dfs") => Strategy::Dfs,
                     Some("bfs") => Strategy::Bfs,
                     Some("random") => Strategy::RandomBacktrack,
+                    Some("coverage") => Strategy::CoverageFirst,
                     _ => usage(),
                 }
+            }
+            "--jobs" | "-j" => {
+                opts.jobs = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&j| j >= 1)
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--fixed-packet-size" => {
                 opts.fixed_packet =
@@ -127,6 +139,9 @@ fn main() -> ExitCode {
     config.max_tests = opts.max_tests;
     config.seed = opts.seed;
     config.strategy = opts.strategy;
+    if let Some(jobs) = opts.jobs {
+        config.jobs = jobs; // otherwise the P4TESTGEN_JOBS default applies
+    }
     config.preconditions = Preconditions {
         fixed_packet_bytes: opts.fixed_packet,
         apply_entry_restrictions: opts.with_constraints,

@@ -1,0 +1,161 @@
+//! Determinism of parallel exploration: for a fixed seed, the emitted test
+//! suite must be the same at any worker count. Path identity is the fork
+//! trail (schedule-independent), per-path randomness is seeded from the
+//! trail, and emission is trail-sorted — so full-exploration runs must
+//! agree not just as sets but in order.
+
+use p4testgen_core::{Testgen, TestgenConfig, TestSpec};
+use p4t_targets::V1Model;
+
+fn run_with_jobs(name: &str, src: &str, jobs: usize) -> (Vec<TestSpec>, p4testgen_core::RunSummary) {
+    let mut config = TestgenConfig::default();
+    config.seed = 7;
+    config.jobs = jobs;
+    let mut tg = Testgen::new(name, src, V1Model::new(), config)
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let mut tests = Vec::new();
+    let summary = tg.run(|t| {
+        tests.push(t.clone());
+        true
+    });
+    (tests, summary)
+}
+
+/// Canonical, order-insensitive fingerprint of a suite.
+fn suite_set(tests: &[TestSpec]) -> Vec<String> {
+    let mut v: Vec<String> = tests
+        .iter()
+        .map(|t| {
+            // Ids are assigned by emission order; exclude them from the
+            // set fingerprint (they are checked separately for ordering).
+            let mut t = t.clone();
+            t.id = 0;
+            serde_json::to_string(&t).expect("serialize")
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn corpus_programs_same_suite_at_jobs_1_and_4() {
+    for (name, src, target) in p4t_corpus::all_programs() {
+        if target != "v1model" {
+            continue;
+        }
+        let (seq, sum1) = run_with_jobs(name, &src, 1);
+        let (par, sum4) = run_with_jobs(name, &src, 4);
+        assert!(!seq.is_empty(), "{name}: no tests generated");
+        assert_eq!(
+            suite_set(&seq),
+            suite_set(&par),
+            "{name}: test sets differ between jobs=1 and jobs=4"
+        );
+        // The trail sort makes the order (and therefore the ids) identical
+        // too, not just the sets.
+        assert_eq!(seq, par, "{name}: suite order differs between jobs=1 and jobs=4");
+        assert_eq!(
+            sum1.coverage.covered, sum4.coverage.covered,
+            "{name}: coverage differs between jobs=1 and jobs=4"
+        );
+        assert_eq!(sum1.tests, sum4.tests, "{name}: test counts differ");
+    }
+}
+
+#[test]
+fn fork_heavy_stress_jobs_8_no_duplicates_and_coverage_matches() {
+    // ~4^4 feasible paths: enough branching that all 8 workers stay busy
+    // and the work-stealing paths actually execute.
+    let src = p4t_corpus::generate_synthetic(4, 3);
+    let (seq, sum1) = run_with_jobs("synthetic_4x3", &src, 1);
+    let (par, sum8) = run_with_jobs("synthetic_4x3", &src, 8);
+    assert!(seq.len() > 50, "expected a fork-heavy corpus, got {} tests", seq.len());
+
+    // No path may be emitted twice under work stealing.
+    let set = suite_set(&par);
+    let mut dedup = set.clone();
+    dedup.dedup();
+    assert_eq!(set.len(), dedup.len(), "duplicate tests emitted at jobs=8");
+
+    assert_eq!(suite_set(&seq), set, "jobs=8 test set differs from sequential");
+    assert_eq!(seq, par, "jobs=8 suite order differs from sequential");
+    assert_eq!(
+        sum1.coverage.covered, sum8.coverage.covered,
+        "parallel coverage differs from sequential"
+    );
+    assert_eq!(sum1.paths_explored, sum8.paths_explored, "path counts differ");
+    assert_eq!(sum1.infeasible_paths, sum8.infeasible_paths, "infeasible counts differ");
+}
+
+#[test]
+fn strategies_explore_same_set_in_parallel() {
+    use p4testgen_core::Strategy;
+    // Full exploration visits the same path set under any strategy; with a
+    // parallel worker pool that must stay true (the strategy only orders
+    // each worker's local deque).
+    let src = p4t_corpus::generate_synthetic(3, 2);
+    let base = {
+        let (t, _) = run_with_jobs("synthetic_3x2", &src, 1);
+        suite_set(&t)
+    };
+    for strategy in [Strategy::Bfs, Strategy::RandomBacktrack, Strategy::CoverageFirst] {
+        let mut config = TestgenConfig::default();
+        config.seed = 7;
+        config.jobs = 4;
+        config.strategy = strategy;
+        let mut tg = Testgen::new("synthetic_3x2", &src, V1Model::new(), config).unwrap();
+        let mut tests = Vec::new();
+        tg.run(|t| {
+            tests.push(t.clone());
+            true
+        });
+        assert_eq!(
+            base,
+            suite_set(&tests),
+            "{strategy:?} at jobs=4 explored a different test set"
+        );
+    }
+}
+
+#[test]
+fn max_tests_cap_is_deterministic_across_job_counts() {
+    // The cap selects the k lexicographically-smallest test trails, so the
+    // capped suite must also be identical at any worker count — not just
+    // the full exploration.
+    let src = p4t_corpus::generate_synthetic(4, 3);
+    for cap in [1u64, 7, 25] {
+        let run = |jobs: usize| {
+            let mut config = TestgenConfig::default();
+            config.seed = 7;
+            config.jobs = jobs;
+            config.max_tests = cap;
+            let mut tg = Testgen::new("synthetic_4x3", &src, V1Model::new(), config).unwrap();
+            let mut tests = Vec::new();
+            tg.run(|t| {
+                tests.push(t.clone());
+                true
+            });
+            tests
+        };
+        let seq = run(1);
+        assert_eq!(seq.len() as u64, cap, "cap honored at jobs=1");
+        for jobs in [4usize, 8] {
+            let par = run(jobs);
+            assert_eq!(seq, par, "capped suite (max_tests={cap}) differs at jobs={jobs}");
+        }
+    }
+}
+
+#[test]
+fn feasibility_memo_reports_hits() {
+    // Chained identical tables reconverge on identical constraint sets, so
+    // the memo must absorb some of the fork-feasibility solver calls.
+    let src = p4t_corpus::generate_synthetic(3, 2);
+    let (_, summary) = run_with_jobs("synthetic_3x2", &src, 2);
+    assert!(
+        summary.memo_hits > 0,
+        "expected feasibility-memo hits on a reconverging program, got 0 \
+         (solver checks: {})",
+        summary.solver_checks
+    );
+}
