@@ -1,0 +1,156 @@
+//! Deterministic fault injection for exploration robustness.
+//!
+//! A [`FaultPlan`] lets tests and benches *force* every degradation path the
+//! engine supports — Unknown solver verdicts, mid-path panics, expired
+//! deadlines — instead of waiting for them to occur in production. All
+//! injection is keyed by the schedule-independent fork trail (see
+//! `crates/core/src/testgen.rs`), so a faulted run is exactly as
+//! deterministic across worker counts as a clean one: the same trails are
+//! poisoned no matter which worker reaches them or in what order.
+//!
+//! The plan lives in [`crate::testgen::TestgenConfig`] but is intentionally
+//! not reachable from the CLI; production runs always carry the empty plan,
+//! which is checked with two branch-predictable comparisons per path.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// Mix a fork trail into a 64-bit value (splitmix64 steps per element, so
+/// sibling trails diverge completely). Shared with the per-path RNG seeding
+/// in the driver: a path's randomness and its fault verdicts are both pure
+/// functions of its trail.
+pub fn trail_hash(trail: &[u32]) -> u64 {
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15 ^ (trail.len() as u64);
+    for &t in trail {
+        h ^= u64::from(t).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+    }
+    h
+}
+
+/// A seeded, trail-keyed fault-injection plan (test/bench only).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the sampled (permille) injection below.
+    pub seed: u64,
+    /// Force every solver query issued for one of these exact trails to
+    /// come back Unknown (both attempts, including the rotated-seed retry).
+    unknown_trails: BTreeSet<Vec<u32>>,
+    /// Panic while processing a state whose trail matches one of these.
+    panic_trails: BTreeSet<Vec<u32>>,
+    /// Additionally force Unknown on roughly `unknown_permille`/1000 of all
+    /// queries, sampled by `hash(seed, trail)` — schedule-independent.
+    pub unknown_permille: u32,
+    /// Shrink the run deadline (overrides `TestgenConfig::deadline`).
+    pub deadline_override: Option<Duration>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan { seed, ..FaultPlan::default() }
+    }
+
+    /// True when the plan injects nothing (the production state).
+    pub fn is_empty(&self) -> bool {
+        self.unknown_trails.is_empty()
+            && self.panic_trails.is_empty()
+            && self.unknown_permille == 0
+            && self.deadline_override.is_none()
+    }
+
+    /// Force Unknown verdicts for all solver queries issued at `trail`.
+    pub fn force_unknown_at(&mut self, trail: Vec<u32>) -> &mut Self {
+        self.unknown_trails.insert(trail);
+        self
+    }
+
+    /// Inject a panic when a worker processes the state with `trail`.
+    pub fn force_panic_at(&mut self, trail: Vec<u32>) -> &mut Self {
+        self.panic_trails.insert(trail);
+        self
+    }
+
+    /// Shrink the run deadline.
+    pub fn with_deadline(&mut self, deadline: Duration) -> &mut Self {
+        self.deadline_override = Some(deadline);
+        self
+    }
+
+    /// Should the query issued for this trail be forced Unknown?
+    pub fn wants_unknown(&self, trail: &[u32]) -> bool {
+        if self.unknown_permille > 0
+            && (trail_hash(trail) ^ self.seed) % 1000 < u64::from(self.unknown_permille.min(1000))
+        {
+            return true;
+        }
+        !self.unknown_trails.is_empty() && self.unknown_trails.contains(trail)
+    }
+
+    /// Should processing this trail panic?
+    pub fn wants_panic(&self, trail: &[u32]) -> bool {
+        !self.panic_trails.is_empty() && self.panic_trails.contains(trail)
+    }
+
+    /// Number of explicitly planned Unknown trails (test bookkeeping).
+    pub fn planned_unknowns(&self) -> usize {
+        self.unknown_trails.len()
+    }
+
+    /// Number of explicitly planned panic trails (test bookkeeping).
+    pub fn planned_panics(&self) -> usize {
+        self.panic_trails.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trail_hash_distinguishes_siblings_and_depth() {
+        assert_ne!(trail_hash(&[1]), trail_hash(&[2]));
+        assert_ne!(trail_hash(&[0, 1]), trail_hash(&[1, 0]));
+        assert_ne!(trail_hash(&[]), trail_hash(&[0]));
+        assert_eq!(trail_hash(&[3, 1, 4]), trail_hash(&[3, 1, 4]));
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert!(!plan.wants_unknown(&[]));
+        assert!(!plan.wants_unknown(&[0, 1, 2]));
+        assert!(!plan.wants_panic(&[0]));
+    }
+
+    #[test]
+    fn explicit_trails_fire_exactly() {
+        let mut plan = FaultPlan::new(7);
+        plan.force_unknown_at(vec![0, 2]).force_panic_at(vec![1]);
+        assert!(plan.wants_unknown(&[0, 2]));
+        assert!(!plan.wants_unknown(&[0, 1]));
+        assert!(plan.wants_panic(&[1]));
+        assert!(!plan.wants_panic(&[0, 2]));
+        assert!(!plan.is_empty());
+        assert_eq!(plan.planned_unknowns(), 1);
+        assert_eq!(plan.planned_panics(), 1);
+    }
+
+    #[test]
+    fn permille_sampling_is_deterministic_and_roughly_calibrated() {
+        let mut plan = FaultPlan::new(42);
+        plan.unknown_permille = 250;
+        let trails: Vec<Vec<u32>> = (0..1000u32).map(|i| vec![i, i % 5]).collect();
+        let hits: usize = trails.iter().filter(|t| plan.wants_unknown(t)).count();
+        // Deterministic: the same trail answers the same way forever.
+        let hits2: usize = trails.iter().filter(|t| plan.wants_unknown(t)).count();
+        assert_eq!(hits, hits2);
+        assert!((150..350).contains(&hits), "250 permille sampled {hits}/1000");
+        // permille 1000 catches (nearly) everything.
+        plan.unknown_permille = 1000;
+        let all: usize = trails.iter().filter(|t| plan.wants_unknown(t)).count();
+        assert!(all >= 999, "permille=1000 hit only {all}/1000");
+    }
+}

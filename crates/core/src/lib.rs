@@ -29,10 +29,14 @@
 //! * [`testgen`] — the driver: path selection (DFS default), eager
 //!   infeasible-path pruning, and test emission with per-phase timing
 //!   (Fig. 7).
+//! * [`fault`] — deterministic, trail-keyed fault injection for exercising
+//!   the driver's degradation paths (Unknown verdicts, panicking paths,
+//!   shrunken deadlines) from tests and benches.
 
 pub mod concolic;
 pub mod coverage;
 pub mod exec;
+pub mod fault;
 pub mod packet;
 pub mod preconditions;
 pub mod state;
@@ -43,9 +47,13 @@ pub mod testgen;
 pub mod testspec;
 
 pub use coverage::{CoverageReport, CoverageTracker};
+pub use fault::FaultPlan;
 pub use preconditions::Preconditions;
 pub use state::{Cmd, ExecState, FinishReason};
 pub use sym::Sym;
 pub use target::{ExecCtx, ExtArg, ExternOutcome, PipeStep, Target, UninitPolicy};
-pub use testgen::{PhaseStats, RunSummary, Strategy, Testgen, TestgenConfig};
+pub use testgen::{
+    classify_abandon_reason, reason, ErrorStats, PanicRecord, PhaseStats, RunError, RunSummary,
+    Strategy, Testgen, TestgenConfig,
+};
 pub use testspec::{KeyMatch, MaskedBytes, OutputPacketSpec, TableEntrySpec, TestSpec};

@@ -417,3 +417,24 @@ fn division_and_modulo() {
         .expect("division branch solvable");
     assert_eq!(hit.input_packet[0], 30, "7*4+2");
 }
+
+#[test]
+fn clean_runs_report_clean_error_stats() {
+    // A healthy, unbudgeted, unfaulted run must report zero degradation:
+    // no Unknowns, no retries, no panics, no deadline, no model defaults —
+    // the invariant the fault-tolerance machinery is a strict no-op against.
+    let src = mini_wrap(
+        "    state start { pkt.extract(hdr.a); transition accept; }",
+        r#"        if (hdr.a.v == 0x2A) {
+            m.port = 1;
+        } else {
+            m.port = 2;
+        }"#,
+    );
+    let (tests, summary) = run_mini(&src);
+    assert!(!tests.is_empty());
+    assert!(summary.errors.is_clean(), "clean run degraded: {}", summary.errors);
+    assert_eq!(summary.errors.model_defaults, 0);
+    assert!(summary.errors.abandoned_by_reason.is_empty(), "{:?}", summary.errors.abandoned_by_reason);
+    assert_eq!(summary.test_trails.len(), tests.len(), "trails parallel the emitted suite");
+}

@@ -25,6 +25,20 @@ use std::collections::HashMap;
 #[derive(Clone, Debug)]
 pub struct InterpException(pub String);
 
+impl InterpException {
+    /// The canonical parser-loop-bound exception (the model's runaway
+    /// guard), recognizable so callers can classify it separately from
+    /// genuine toolchain crashes.
+    pub fn parser_loop_bound() -> Self {
+        InterpException("parser loop bound exceeded".into())
+    }
+
+    /// Is this the parser-loop-bound guard firing?
+    pub fn is_parser_loop_bound(&self) -> bool {
+        self.0.contains("parser loop bound")
+    }
+}
+
 /// What actually happened when the test ran.
 #[derive(Clone, Debug, Default)]
 pub struct InterpResult {
@@ -128,6 +142,10 @@ pub struct Interp<'p> {
     clone_sessions: HashMap<u64, u64>,
     trace: Vec<String>,
     garbage_counter: u8,
+    /// Runaway guard for the parser state machine (how many state visits
+    /// before the model gives up); mirrors the symbolic executor's
+    /// configurable bound.
+    parser_loop_bound: u32,
 }
 
 impl<'p> Interp<'p> {
@@ -150,7 +168,14 @@ impl<'p> Interp<'p> {
             clone_sessions: HashMap::new(),
             trace: Vec::new(),
             garbage_counter: 0,
+            parser_loop_bound: 64,
         }
+    }
+
+    /// Override the parser-loop runaway guard (default 64 state visits).
+    pub fn with_parser_loop_bound(mut self, bound: u32) -> Self {
+        self.parser_loop_bound = bound;
+        self
     }
 
     /// Execute a test specification end to end.
@@ -686,8 +711,8 @@ impl<'p> Interp<'p> {
         let mut visits = 0;
         while state != "accept" && state != "reject" {
             visits += 1;
-            if visits > 64 {
-                return Err(InterpException("parser loop bound exceeded".into()));
+            if visits > self.parser_loop_bound {
+                return Err(InterpException::parser_loop_bound());
             }
             let Some(s) = p.states.get(&state) else {
                 return Err(InterpException(format!("unknown state '{state}'")));

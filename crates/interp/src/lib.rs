@@ -40,3 +40,17 @@ pub fn execute_and_check(
     let interp = Interp::new(prog, arch, faults);
     check(spec, interp.run(spec))
 }
+
+/// Like [`execute_and_check`], with an explicit parser-loop runaway bound
+/// for the model (callers thread `TestgenConfig::interp_parser_loop_bound`
+/// through here so the symbolic and concrete bounds can be tuned together).
+pub fn execute_and_check_with_bound(
+    prog: &IrProgram,
+    arch: Arch,
+    faults: FaultSet,
+    spec: &TestSpec,
+    parser_loop_bound: u32,
+) -> Verdict {
+    let interp = Interp::new(prog, arch, faults).with_parser_loop_bound(parser_loop_bound);
+    check(spec, interp.run(spec))
+}

@@ -329,3 +329,24 @@ fn priority_orders_installed_entries() {
     let interp = Interp::new(&prog, Arch::V1Model, FaultSet::none());
     assert_eq!(check(&s, interp.run(&s)), Verdict::Pass);
 }
+
+#[test]
+fn parser_loop_bound_is_configurable_and_classified() {
+    let prog = compile_v1(FWD);
+    let s = spec(
+        eth_packet(0x0800),
+        vec![fwd_entry(0x0800, 5)],
+        vec![OutputPacketSpec { port: 5, packet: MaskedBytes::exact(eth_packet(0x0800)) }],
+    );
+    // Bound 0: even the single `start` visit trips the runaway guard, and
+    // the exception is recognizable as the canonical loop-bound crash.
+    let interp = Interp::new(&prog, Arch::V1Model, FaultSet::none()).with_parser_loop_bound(0);
+    let err = interp.run(&s).expect_err("bound 0 must trip the guard");
+    assert!(err.is_parser_loop_bound(), "unexpected exception: {}", err.0);
+    // The default bound leaves this one-state parser untouched.
+    let interp = Interp::new(&prog, Arch::V1Model, FaultSet::none());
+    assert_eq!(check(&s, interp.run(&s)), Verdict::Pass);
+    // And the verdict path classifies the crash as an exception.
+    let v = p4t_interp::execute_and_check_with_bound(&prog, Arch::V1Model, FaultSet::none(), &s, 0);
+    assert!(matches!(v, Verdict::Exception(ref m) if m.contains("parser loop bound")), "{v}");
+}

@@ -35,5 +35,6 @@ pub mod term;
 
 pub use bitvec::BitVec;
 pub use eval::{eval, Assignment};
+pub use sat::SolveBudget;
 pub use solver::{CheckResult, Solver};
 pub use term::{BinOp, Node, TermId, TermPool, VarId};

@@ -51,6 +51,48 @@ impl Lit {
 pub enum SatResult {
     Sat,
     Unsat,
+    /// The solve budget was exhausted before a verdict was reached. The
+    /// solver state stays consistent: clauses (including those learnt during
+    /// the attempt) persist, and a later solve may still answer Sat/Unsat.
+    Unknown,
+}
+
+/// Resource budget for one [`SatSolver::solve_budgeted`] call. A zero field
+/// means "unlimited" for that resource; [`SolveBudget::default`] is fully
+/// unlimited. Budgets are what make the engine degrade gracefully instead of
+/// stalling a whole run on one pathological path (the role timeouts play for
+/// Z3 in the paper).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveBudget {
+    /// Maximum conflicts before giving up.
+    pub conflicts: u64,
+    /// Maximum decisions before giving up.
+    pub decisions: u64,
+    /// Maximum propagations before giving up.
+    pub propagations: u64,
+}
+
+impl SolveBudget {
+    /// No limits at all (the default).
+    pub const UNLIMITED: SolveBudget = SolveBudget { conflicts: 0, decisions: 0, propagations: 0 };
+
+    /// A conflict-count budget (the usual knob; conflicts dominate runtime
+    /// on hard instances).
+    pub fn conflicts(n: u64) -> SolveBudget {
+        SolveBudget { conflicts: n, ..Self::UNLIMITED }
+    }
+
+    pub fn is_unlimited(&self) -> bool {
+        *self == Self::UNLIMITED
+    }
+}
+
+/// One step of splitmix64 — used for deterministic phase scrambling.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -446,9 +488,31 @@ impl SatSolver {
         }
     }
 
+    /// Deterministically scramble the saved phases from `seed`. A zero seed
+    /// is the identity (leaves phases untouched). Used by the facade's
+    /// retry-with-rotated-seed path: a different initial polarity explores
+    /// the search space in a different order, which often lets a retry of a
+    /// budget-exhausted query finish within the same budget.
+    pub fn seed_phases(&mut self, seed: u64) {
+        if seed == 0 {
+            return;
+        }
+        for (v, phase) in self.phases.iter_mut().enumerate() {
+            *phase = splitmix64(seed ^ (v as u64)) & 1 == 1;
+        }
+    }
+
     /// Solve under the given assumptions. The assumptions hold only for this
     /// call; learned clauses persist.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.solve_budgeted(assumptions, &SolveBudget::UNLIMITED)
+    }
+
+    /// Solve under the given assumptions and resource budget. Returns
+    /// [`SatResult::Unknown`] when the budget is exhausted; the solver state
+    /// remains consistent and reusable (budgets never mark the instance
+    /// unsat, and clauses learnt during the attempt are kept).
+    pub fn solve_budgeted(&mut self, assumptions: &[Lit], budget: &SolveBudget) -> SatResult {
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -457,11 +521,26 @@ impl SatSolver {
             self.ok = false;
             return SatResult::Unsat;
         }
+        let start_conflicts = self.stats.conflicts;
+        let start_decisions = self.stats.decisions;
+        let start_propagations = self.stats.propagations;
         let mut conflicts_since_restart = 0u64;
         let mut restart_idx = 0u32;
         let mut restart_limit = 32 * luby(restart_idx);
         let mut max_learnts = (self.clauses.len() as f64 * 0.5).max(2000.0);
         loop {
+            if !budget.is_unlimited() {
+                let over = (budget.conflicts > 0
+                    && self.stats.conflicts - start_conflicts >= budget.conflicts)
+                    || (budget.decisions > 0
+                        && self.stats.decisions - start_decisions >= budget.decisions)
+                    || (budget.propagations > 0
+                        && self.stats.propagations - start_propagations >= budget.propagations);
+                if over {
+                    self.backtrack(0);
+                    return SatResult::Unknown;
+                }
+            }
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
@@ -762,6 +841,81 @@ mod tests {
         let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
         for (i, &e) in expect.iter().enumerate() {
             assert_eq!(luby(i as u32), e, "luby({i})");
+        }
+    }
+
+    /// Pigeonhole n+1 pigeons into n holes (unsat, needs many conflicts).
+    fn pigeonhole(s: &mut SatSolver, holes: usize) {
+        let pigeons = holes + 1;
+        let p: Vec<Vec<SatVar>> =
+            (0..pigeons).map(|_| (0..holes).map(|_| s.new_var()).collect()).collect();
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().map(|&v| Lit::positive(v)).collect();
+            s.add_clause(&lits);
+        }
+        for i1 in 0..pigeons {
+            for i2 in i1 + 1..pigeons {
+                for (&a, &b) in p[i1].iter().zip(&p[i2]) {
+                    s.add_clause(&[Lit::negative(a), Lit::negative(b)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown_then_recovers() {
+        let mut s = SatSolver::new();
+        pigeonhole(&mut s, 6);
+        assert_eq!(
+            s.solve_budgeted(&[], &SolveBudget::conflicts(3)),
+            SatResult::Unknown,
+            "PH(7,6) cannot be refuted in 3 conflicts"
+        );
+        // The same instance must still answer Unsat without a budget —
+        // Unknown leaves the solver consistent, it does not poison it.
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn decision_budget_returns_unknown_on_easy_sat() {
+        // 8 independent binary clauses need roughly one decision each; a
+        // 3-decision budget cannot finish, but unlimited solving can.
+        let mut s = SatSolver::new();
+        for _ in 0..8 {
+            let a = s.new_var();
+            let b = s.new_var();
+            s.add_clause(&[Lit::positive(a), Lit::positive(b)]);
+        }
+        let b = SolveBudget { decisions: 3, ..SolveBudget::UNLIMITED };
+        assert_eq!(s.solve_budgeted(&[], &b), SatResult::Unknown);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_solve() {
+        let mut s = SatSolver::new();
+        pigeonhole(&mut s, 3);
+        assert_eq!(s.solve_budgeted(&[], &SolveBudget::UNLIMITED), SatResult::Unsat);
+    }
+
+    #[test]
+    fn seeded_phases_keep_models_valid() {
+        // Phase scrambling may change *which* model is found, never whether
+        // one is found; the found model must still satisfy every clause.
+        for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            let mut s = SatSolver::new();
+            let vs = lits(&mut s, 12);
+            let mut cls = Vec::new();
+            for w in vs.windows(3) {
+                let c = vec![Lit::positive(w[0]), Lit::negative(w[1]), Lit::positive(w[2])];
+                s.add_clause(&c);
+                cls.push(c);
+            }
+            s.seed_phases(seed);
+            assert_eq!(s.solve(&[]), SatResult::Sat, "seed {seed}");
+            for c in &cls {
+                assert!(c.iter().any(|l| s.model_value(l.var()) == l.is_positive()));
+            }
         }
     }
 

@@ -30,7 +30,7 @@
 
 use crate::blast::Blaster;
 use crate::eval::Assignment;
-use crate::sat::{SatResult, SatSolver};
+use crate::sat::{SatResult, SatSolver, SolveBudget};
 use crate::term::{TermId, TermPool, VarId};
 use std::time::{Duration, Instant};
 
@@ -39,6 +39,11 @@ use std::time::{Duration, Instant};
 pub enum CheckResult {
     Sat,
     Unsat,
+    /// The per-query budget was exhausted before a verdict. The paper's
+    /// P4Testgen gets the same tri-state from Z3 timeouts and abandons the
+    /// path; callers here must do likewise (a model after Unknown is
+    /// meaningless — every unfixed variable reads as zero).
+    Unknown,
 }
 
 /// Cumulative timing and counter statistics, read by the Fig. 7 harness.
@@ -47,6 +52,8 @@ pub struct SolverStats {
     pub checks: u64,
     pub sat_results: u64,
     pub unsat_results: u64,
+    /// Checks that exhausted their budget without a verdict.
+    pub unknown_results: u64,
     /// Wall time spent inside `check` (bit-blasting + SAT search).
     pub solve_time: Duration,
     /// Wall time spent purely in the SAT search.
@@ -63,6 +70,10 @@ pub struct Solver {
     last: Option<(SatSolver, Blaster)>,
     /// Accumulated SAT-core statistics across all checks.
     sat_totals: crate::sat::SatStats,
+    /// Per-query resource budget (unlimited by default).
+    budget: SolveBudget,
+    /// Initial-phase scramble seed for the next checks (0 = default phases).
+    phase_seed: u64,
     pub stats: SolverStats,
 }
 
@@ -79,8 +90,27 @@ impl Solver {
             scope_marks: Vec::new(),
             last: None,
             sat_totals: crate::sat::SatStats::default(),
+            budget: SolveBudget::UNLIMITED,
+            phase_seed: 0,
             stats: SolverStats::default(),
         }
+    }
+
+    /// Set the per-query resource budget applied to every subsequent check.
+    /// Budget exhaustion surfaces as [`CheckResult::Unknown`].
+    pub fn set_budget(&mut self, budget: SolveBudget) {
+        self.budget = budget;
+    }
+
+    pub fn budget(&self) -> SolveBudget {
+        self.budget
+    }
+
+    /// Scramble initial decision phases for subsequent checks (0 restores the
+    /// default). Used to retry an Unknown query along a different search
+    /// order; with fresh-per-check SAT instances this is fully deterministic.
+    pub fn set_phase_seed(&mut self, seed: u64) {
+        self.phase_seed = seed;
     }
 
     /// Open a new assertion scope.
@@ -125,7 +155,12 @@ impl Solver {
             }
         }
         let t1 = Instant::now();
-        let res = if ok { sat.solve(&[]) } else { SatResult::Unsat };
+        let res = if ok {
+            sat.seed_phases(self.phase_seed);
+            sat.solve_budgeted(&[], &self.budget)
+        } else {
+            SatResult::Unsat
+        };
         self.stats.sat_time += t1.elapsed();
         self.stats.solve_time += t0.elapsed();
         self.stats.checks += 1;
@@ -139,6 +174,10 @@ impl Solver {
             SatResult::Unsat => {
                 self.stats.unsat_results += 1;
                 CheckResult::Unsat
+            }
+            SatResult::Unknown => {
+                self.stats.unknown_results += 1;
+                CheckResult::Unknown
             }
         }
     }
@@ -287,6 +326,65 @@ mod tests {
         s.check(&pool);
         assert_eq!(s.stats.checks, 2);
         assert_eq!(s.stats.sat_results, 2);
+    }
+
+    /// A 24×24→48-bit factoring constraint: hard enough that a one-conflict
+    /// budget can never finish it.
+    fn hard_query(pool: &TermPool, s: &mut Solver) {
+        let x = pool.fresh_var("x", 48);
+        let y = pool.fresh_var("y", 48);
+        let prod = pool.mul(x, y);
+        // 0xB4D5_2F9E_1D03 = 198341*957463 — force a nontrivial factoring.
+        let target = pool.const_u128(48, 198_341u128 * 957_463u128);
+        let one = pool.const_u128(48, 1);
+        s.assert(pool, pool.eq(prod, target));
+        s.assert(pool, pool.ult(one, x));
+        s.assert(pool, pool.ult(one, y));
+        s.assert(pool, pool.ult(x, y));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let pool = TermPool::new();
+        let mut s = Solver::new();
+        hard_query(&pool, &mut s);
+        s.set_budget(crate::sat::SolveBudget::conflicts(2));
+        assert_eq!(s.check(&pool), CheckResult::Unknown);
+        assert_eq!(s.stats.unknown_results, 1);
+        assert_eq!(s.stats.checks, 1);
+    }
+
+    #[test]
+    fn budgeted_checks_are_deterministic() {
+        // Same formula, same budget, same phase seed -> same verdict, every
+        // time (fresh-per-check SAT instances carry no hidden state).
+        let outcome = |seed: u64| {
+            let pool = TermPool::new();
+            let mut s = Solver::new();
+            hard_query(&pool, &mut s);
+            s.set_budget(crate::sat::SolveBudget::conflicts(50));
+            s.set_phase_seed(seed);
+            (s.check(&pool), s.check(&pool))
+        };
+        for seed in [0u64, 7, 0x1234] {
+            let (a, b) = outcome(seed);
+            assert_eq!(a, b, "seed {seed}: two identical checks disagree");
+            let (a2, _) = outcome(seed);
+            assert_eq!(a, a2, "seed {seed}: run-to-run nondeterminism");
+        }
+    }
+
+    #[test]
+    fn easy_queries_unaffected_by_budget() {
+        let pool = TermPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh_var("x", 8);
+        let c = pool.const_u128(8, 42);
+        s.assert(&pool, pool.eq(x, c));
+        s.set_budget(crate::sat::SolveBudget::conflicts(1));
+        assert_eq!(s.check(&pool), CheckResult::Sat);
+        let m = s.model_of_assertions(&pool);
+        assert!(eval(&pool, &m, pool.eq(x, c)).is_true());
     }
 
     #[test]

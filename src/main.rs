@@ -10,6 +10,9 @@
 //!   --seed <N>                               value-selection seed [1]
 //!   --strategy <dfs|bfs|random|coverage>     path selection [dfs]
 //!   --jobs, -j <N>                           exploration worker threads [1]
+//!   --solver-budget <N>                      per-query conflict budget (0 = unlimited) [0]
+//!   --deadline <SECONDS>                     wall-clock run deadline (graceful drain)
+//!   --model-loop-bound <N>                   software-model parser loop bound [64]
 //!   --fixed-packet-size <BYTES>              fixed-input-size precondition
 //!   --with-constraints                       honor @entry_restriction
 //!   --out <FILE>                             write tests here (default stdout)
@@ -18,11 +21,12 @@
 //! ```
 
 use p4t_backends::{ProtoBackend, PtfBackend, StfBackend, TestBackend};
-use p4t_interp::{execute_and_check, Arch, FaultSet};
+use p4t_interp::{execute_and_check_with_bound, Arch, FaultSet};
 use p4t_targets::{EbpfModel, Tofino, V1Model};
 use p4testgen_core::{Preconditions, RunSummary, Strategy, Target, Testgen, TestgenConfig, TestSpec};
 use std::io::Write;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Options {
     target: String,
@@ -37,12 +41,16 @@ struct Options {
     coverage: bool,
     validate: bool,
     jobs: Option<usize>,
+    solver_budget: Option<u64>,
+    deadline: Option<Duration>,
+    model_loop_bound: Option<u32>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: p4testgen --target <v1model|tna|t2na|ebpf_model> [--backend stf|ptf|proto|json]\n\
          \t[--max-tests N] [--seed N] [--strategy dfs|bfs|random|coverage] [--jobs N]\n\
+         \t[--solver-budget N] [--deadline SECONDS] [--model-loop-bound N]\n\
          \t[--fixed-packet-size BYTES] [--with-constraints] [--out FILE]\n\
          \t[--coverage] [--validate] <program.p4>"
     );
@@ -63,6 +71,9 @@ fn parse_args() -> Options {
         coverage: false,
         validate: false,
         jobs: None,
+        solver_budget: None,
+        deadline: None,
+        model_loop_bound: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -92,6 +103,23 @@ fn parse_args() -> Options {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--solver-budget" => {
+                opts.solver_budget =
+                    Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--deadline" => {
+                opts.deadline = Some(
+                    args.next()
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .filter(|&s| s > 0.0)
+                        .map(Duration::from_secs_f64)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--model-loop-bound" => {
+                opts.model_loop_bound =
+                    Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+            }
             "--fixed-packet-size" => {
                 opts.fixed_packet =
                     Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
@@ -119,10 +147,12 @@ fn generate<T: Target>(
 ) -> Result<(Vec<TestSpec>, RunSummary, p4t_ir::IrProgram), String> {
     let mut tg = Testgen::new(name, source, target, config)?;
     let mut tests = Vec::new();
-    let summary = tg.run(|t| {
-        tests.push(t.clone());
-        true
-    });
+    let summary = tg
+        .try_run(|t| {
+            tests.push(t.clone());
+            true
+        })
+        .map_err(|e| e.to_string())?;
     Ok((tests, summary, tg.prog.clone()))
 }
 
@@ -142,11 +172,21 @@ fn main() -> ExitCode {
     if let Some(jobs) = opts.jobs {
         config.jobs = jobs; // otherwise the P4TESTGEN_JOBS default applies
     }
+    if let Some(budget) = opts.solver_budget {
+        config.solver_budget = budget; // else P4TESTGEN_SOLVER_BUDGET applies
+    }
+    if let Some(deadline) = opts.deadline {
+        config.deadline = Some(deadline); // else P4TESTGEN_DEADLINE applies
+    }
+    if let Some(bound) = opts.model_loop_bound {
+        config.interp_parser_loop_bound = bound;
+    }
     config.preconditions = Preconditions {
         fixed_packet_bytes: opts.fixed_packet,
         apply_entry_restrictions: opts.with_constraints,
     };
     let name = opts.program.rsplit('/').next().unwrap_or(&opts.program);
+    let model_loop_bound = config.interp_parser_loop_bound;
     let result = match opts.target.as_str() {
         "v1model" => generate(name, &source, V1Model::new(), config).map(|r| (r, Arch::V1Model)),
         "tna" => generate(name, &source, Tofino::tna(), config).map(|r| (r, Arch::Tna)),
@@ -168,6 +208,25 @@ fn main() -> ExitCode {
         "p4testgen: {} tests over {} paths ({} infeasible, {} abandoned)",
         summary.tests, summary.paths_explored, summary.infeasible_paths, summary.abandoned_paths
     );
+    // Graceful-degradation report: the run completed, but not cleanly.
+    if !summary.errors.is_clean() {
+        eprintln!("p4testgen: degraded run: {}", summary.errors);
+    }
+    if summary.errors.model_defaults > 0 {
+        eprintln!(
+            "p4testgen: warning: {} model value(s) silently defaulted to 0 — \
+             emitted tests may under-constrain those fields",
+            summary.errors.model_defaults
+        );
+    }
+    for p in &summary.errors.panics {
+        eprintln!(
+            "p4testgen: isolated panic at trail {:?}: {}{}",
+            p.trail,
+            p.payload,
+            p.last_trace.as_deref().map(|t| format!(" (last trace: {t})")).unwrap_or_default()
+        );
+    }
     if opts.coverage {
         eprint!("{}", summary.coverage);
     }
@@ -201,12 +260,26 @@ fn main() -> ExitCode {
     // Optional validation pass on the software model.
     if opts.validate {
         let mut fails = 0;
+        let mut loop_bound_hits = 0;
         for t in &tests {
-            let v = execute_and_check(&prog, arch, FaultSet::none(), t);
+            let v = execute_and_check_with_bound(&prog, arch, FaultSet::none(), t, model_loop_bound);
             if !v.is_pass() {
+                if let p4t_interp::Verdict::Exception(m) = &v {
+                    if p4testgen_core::classify_abandon_reason(m)
+                        == p4testgen_core::reason::PARSER_LOOP_BOUND
+                    {
+                        loop_bound_hits += 1;
+                    }
+                }
                 eprintln!("p4testgen: test {} FAILED on the software model: {v}", t.id);
                 fails += 1;
             }
+        }
+        if loop_bound_hits > 0 {
+            eprintln!(
+                "p4testgen: {loop_bound_hits} failure(s) were the model's parser loop bound \
+                 ({model_loop_bound}); raise it with --model-loop-bound"
+            );
         }
         if fails > 0 {
             eprintln!("p4testgen: {fails}/{} tests failed validation", tests.len());

@@ -107,3 +107,37 @@ fn cli_max_tests_and_seed_are_honored() {
     let packets = a1.matches("\npacket ").count();
     assert_eq!(packets, 2, "max-tests honored");
 }
+
+#[test]
+fn cli_accepts_robustness_flags_and_stays_deterministic() {
+    let prog = write_program();
+    let run = || {
+        let out = bin()
+            .args([
+                "--target",
+                "v1model",
+                "--solver-budget",
+                "100000",
+                "--deadline",
+                "300",
+                "--model-loop-bound",
+                "64",
+                "--validate",
+            ])
+            .arg(&prog)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (out1, err1) = run();
+    let (out2, _) = run();
+    assert_eq!(out1, out2, "generous budget/deadline must not perturb the suite");
+    // A generous budget is never exhausted on this tiny program, so the run
+    // must not report degradation.
+    assert!(!err1.contains("degraded run"), "{err1}");
+    assert!(err1.contains("tests pass on the software model"), "{err1}");
+}

@@ -146,6 +146,186 @@ fn max_tests_cap_is_deterministic_across_job_counts() {
     }
 }
 
+fn run_with_config(
+    name: &str,
+    src: &str,
+    config: TestgenConfig,
+) -> (Vec<TestSpec>, p4testgen_core::RunSummary) {
+    let mut tg = Testgen::new(name, src, V1Model::new(), config)
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let mut tests = Vec::new();
+    let summary = tg
+        .try_run(|t| {
+            tests.push(t.clone());
+            true
+        })
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    (tests, summary)
+}
+
+/// Serialized specs with ids zeroed, *in emission order* (for subsequence
+/// and exact-sequence comparisons across runs that renumber differently).
+fn suite_seq(tests: &[TestSpec]) -> Vec<String> {
+    tests
+        .iter()
+        .map(|t| {
+            let mut t = t.clone();
+            t.id = 0;
+            serde_json::to_string(&t).expect("serialize")
+        })
+        .collect()
+}
+
+#[test]
+fn fault_plan_injections_are_exact_and_schedule_independent() {
+    use p4testgen_core::reason;
+    let src = p4t_corpus::generate_synthetic(4, 3);
+    let (base, base_sum) = run_with_jobs("synthetic_4x3", &src, 1);
+    assert!(base_sum.errors.is_clean(), "clean baseline expected: {}", base_sum.errors);
+    assert_eq!(base_sum.test_trails.len(), base.len(), "trails parallel the suite");
+    assert!(base.len() > 10, "need a fork-heavy corpus, got {} tests", base.len());
+
+    // Poison 5 emitted leaf trails with Unknown verdicts and 1 with a panic.
+    let unknown_trails: Vec<Vec<u32>> =
+        [0usize, 2, 4, 6, 8].iter().map(|&i| base_sum.test_trails[i].clone()).collect();
+    let panic_trail = base_sum.test_trails[1].clone();
+    let poisoned: Vec<Vec<u32>> = unknown_trails
+        .iter()
+        .cloned()
+        .chain(std::iter::once(panic_trail.clone()))
+        .collect();
+    let expected: Vec<String> = suite_seq(&base)
+        .into_iter()
+        .zip(&base_sum.test_trails)
+        .filter(|(_, trail)| !poisoned.contains(trail))
+        .map(|(s, _)| s)
+        .collect();
+
+    let mut reference: Option<(Vec<String>, p4testgen_core::ErrorStats)> = None;
+    for jobs in [1usize, 4, 8] {
+        let mut config = TestgenConfig::default();
+        config.seed = 7;
+        config.jobs = jobs;
+        config.fault_plan.seed = 99;
+        for t in &unknown_trails {
+            config.fault_plan.force_unknown_at(t.clone());
+        }
+        config.fault_plan.force_panic_at(panic_trail.clone());
+        let (tests, summary) = run_with_config("synthetic_4x3", &src, config);
+
+        // The run completed without aborting the process, and lost exactly
+        // the poisoned paths — nothing else.
+        assert_eq!(suite_seq(&tests), expected, "jobs={jobs}: suite != base minus poisoned");
+        let e = &summary.errors;
+        assert_eq!(e.unknown_queries, 5, "jobs={jobs}: unknown_queries");
+        assert_eq!(e.budget_retries, 5, "jobs={jobs}: budget_retries");
+        assert_eq!(e.panicked_paths, 1, "jobs={jobs}: panicked_paths");
+        assert!(!e.deadline_expired, "jobs={jobs}: no deadline configured");
+        assert_eq!(e.panics.len(), 1, "jobs={jobs}: one panic record");
+        assert_eq!(e.panics[0].trail, panic_trail, "jobs={jobs}: panic recorded at its trail");
+        assert!(
+            e.panics[0].payload.contains("injected fault"),
+            "jobs={jobs}: panic payload captured, got {:?}",
+            e.panics[0].payload
+        );
+        assert_eq!(
+            e.abandoned_by_reason.get(reason::SOLVER_UNKNOWN).copied(),
+            Some(5),
+            "jobs={jobs}: solver-unknown abandon count"
+        );
+        assert_eq!(
+            e.abandoned_by_reason.get(reason::PANIC).copied(),
+            Some(1),
+            "jobs={jobs}: panic abandon count"
+        );
+
+        // Deterministic across worker counts, including the error taxonomy.
+        let fingerprint = (suite_seq(&tests), e.clone());
+        match &reference {
+            None => reference = Some(fingerprint),
+            Some(r) => {
+                assert_eq!(r.0, fingerprint.0, "jobs={jobs}: faulted suite differs");
+                assert_eq!(r.1, fingerprint.1, "jobs={jobs}: error stats differ");
+            }
+        }
+    }
+}
+
+#[test]
+fn deadline_expiry_drains_to_a_prefix_consistent_subset() {
+    use std::time::Duration;
+    let src = p4t_corpus::generate_synthetic(4, 3);
+    let (full, _) = run_with_jobs("synthetic_4x3", &src, 4);
+    let full_seq = suite_seq(&full);
+
+    // An already-expired deadline: the run must still complete gracefully,
+    // with an empty suite and the expiry reported.
+    let mut config = TestgenConfig::default();
+    config.seed = 7;
+    config.jobs = 4;
+    config.deadline = Some(Duration::ZERO);
+    let (tests, summary) = run_with_config("synthetic_4x3", &src, config);
+    assert!(tests.is_empty(), "expired-at-start run emitted {} tests", tests.len());
+    assert!(summary.errors.deadline_expired, "deadline expiry not reported");
+    assert!(
+        summary.errors.abandoned_by_reason.get(p4testgen_core::reason::DEADLINE).copied()
+            >= Some(1),
+        "drained states not attributed to the deadline"
+    );
+
+    // The fault plan can shrink the deadline too (overriding the config).
+    let mut config = TestgenConfig::default();
+    config.seed = 7;
+    config.jobs = 4;
+    config.fault_plan.with_deadline(Duration::ZERO);
+    let (tests, summary) = run_with_config("synthetic_4x3", &src, config);
+    assert!(tests.is_empty(), "fault-plan deadline did not cut the run");
+    assert!(summary.errors.deadline_expired);
+
+    // A mid-run expiry (any outcome from empty to complete is legal): the
+    // emitted suite must be a subsequence of the full deterministic suite —
+    // same specs, same relative order, nothing new.
+    let mut config = TestgenConfig::default();
+    config.seed = 7;
+    config.jobs = 4;
+    config.deadline = Some(Duration::from_millis(5));
+    let (tests, summary) = run_with_config("synthetic_4x3", &src, config);
+    let got = suite_seq(&tests);
+    let mut it = full_seq.iter();
+    for spec in &got {
+        assert!(
+            it.any(|f| f == spec),
+            "deadline run emitted a test that is not a subsequence of the full suite"
+        );
+    }
+    if (got.len() as u64) < full.len() as u64 {
+        assert!(summary.errors.deadline_expired, "partial suite without reported expiry");
+    }
+}
+
+#[test]
+fn saturating_unknown_injection_still_terminates_deterministically() {
+    // Force *every* solver query Unknown: nothing can be emitted, but the
+    // run must terminate cleanly with identical books at any worker count.
+    let src = p4t_corpus::generate_synthetic(3, 2);
+    let mut reference: Option<(u64, p4testgen_core::ErrorStats)> = None;
+    for jobs in [1usize, 4] {
+        let mut config = TestgenConfig::default();
+        config.seed = 7;
+        config.jobs = jobs;
+        config.fault_plan.seed = 5;
+        config.fault_plan.unknown_permille = 1000;
+        let (tests, summary) = run_with_config("synthetic_3x2", &src, config);
+        assert!(tests.is_empty(), "jobs={jobs}: saturated Unknowns still emitted tests");
+        assert!(summary.errors.unknown_queries > 0, "jobs={jobs}: no Unknowns counted");
+        let fp = (summary.errors.unknown_queries, summary.errors.clone());
+        match &reference {
+            None => reference = Some(fp),
+            Some(r) => assert_eq!(*r, fp, "jobs={jobs}: saturated-fault run not deterministic"),
+        }
+    }
+}
+
 #[test]
 fn feasibility_memo_reports_hits() {
     // Chained identical tables reconverge on identical constraint sets, so
