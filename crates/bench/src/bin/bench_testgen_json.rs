@@ -5,9 +5,11 @@
 //! Usage: `bench_testgen_json [OUT_PATH]` (default `BENCH_testgen.json`).
 //! Build with `--release`; debug-build timings are not meaningful.
 
+use p4t_obs::Registry;
 use p4t_targets::V1Model;
 use p4testgen_core::{Testgen, TestgenConfig};
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 
 const JOB_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -36,6 +38,24 @@ struct RunPoint {
     tests: u64,
     paths: u64,
     speedup_vs_jobs1: f64,
+    /// Engine internals folded from the metrics registry of the run's last
+    /// repetition (counts are deterministic across reps; only timing and
+    /// contention vary).
+    engine: EnginePoint,
+}
+
+#[derive(Default, Serialize)]
+struct EnginePoint {
+    solver_checks: u64,
+    sat_conflicts: u64,
+    sat_propagations: u64,
+    memo_lookups: u64,
+    memo_hits: u64,
+    pool_terms: u64,
+    pool_intern_contention: u64,
+    worker_steals: u64,
+    worker_busy_ns: u64,
+    worker_idle_ns: u64,
 }
 
 struct Workload {
@@ -43,13 +63,20 @@ struct Workload {
     src: String,
 }
 
-fn measure(w: &Workload, jobs: usize) -> (f64, u64, u64) {
+fn counter(reg: &Registry, name: &str) -> u64 {
+    reg.counter_value(name, &[]).unwrap_or(0)
+}
+
+fn measure(w: &Workload, jobs: usize) -> (f64, u64, u64, EnginePoint) {
     let mut best = f64::INFINITY;
     let mut tests = 0;
     let mut paths = 0;
+    let mut engine = EnginePoint::default();
     for _ in 0..REPS {
         let mut config = TestgenConfig::default();
         config.jobs = jobs;
+        let reg = Arc::new(Registry::new());
+        config.obs.metrics = Some(reg.clone());
         let mut tg = Testgen::new(w.name, &w.src, V1Model::new(), config).unwrap();
         let t0 = Instant::now();
         let s = tg.run(|_| true);
@@ -57,8 +84,22 @@ fn measure(w: &Workload, jobs: usize) -> (f64, u64, u64) {
         best = best.min(dt);
         tests = s.tests;
         paths = s.paths_explored;
+        engine = EnginePoint {
+            solver_checks: counter(&reg, "p4testgen_solver_checks_total"),
+            sat_conflicts: counter(&reg, "p4testgen_sat_conflicts_total"),
+            sat_propagations: counter(&reg, "p4testgen_sat_propagations_total"),
+            memo_lookups: counter(&reg, "p4testgen_memo_lookups_total"),
+            memo_hits: counter(&reg, "p4testgen_memo_hits_total"),
+            pool_terms: reg.gauge_value("p4testgen_pool_terms", &[]).unwrap_or(0),
+            pool_intern_contention: reg
+                .gauge_value("p4testgen_pool_intern_contention", &[])
+                .unwrap_or(0),
+            worker_steals: counter(&reg, "p4testgen_worker_steals_total"),
+            worker_busy_ns: counter(&reg, "p4testgen_worker_busy_ns_total"),
+            worker_idle_ns: counter(&reg, "p4testgen_worker_idle_ns_total"),
+        };
     }
-    (best, tests, paths)
+    (best, tests, paths, engine)
 }
 
 fn main() {
@@ -73,14 +114,15 @@ fn main() {
         let mut baseline = 0.0f64;
         let mut runs = Vec::new();
         for jobs in JOB_COUNTS {
-            let (secs, tests, paths) = measure(w, jobs);
+            let (secs, tests, paths, engine) = measure(w, jobs);
             if jobs == 1 {
                 baseline = secs;
             }
             let speedup = baseline / secs.max(1e-9);
             eprintln!(
-                "{}: jobs={jobs} {secs:.3}s ({tests} tests, {paths} paths, {speedup:.2}x)",
-                w.name
+                "{}: jobs={jobs} {secs:.3}s ({tests} tests, {paths} paths, {speedup:.2}x, \
+                 {} solver checks, {} steals)",
+                w.name, engine.solver_checks, engine.worker_steals
             );
             runs.push(RunPoint {
                 jobs,
@@ -88,6 +130,7 @@ fn main() {
                 tests,
                 paths,
                 speedup_vs_jobs1: speedup,
+                engine,
             });
         }
         results.push(ProgramResult { program: w.name, runs });

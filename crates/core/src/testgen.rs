@@ -37,15 +37,19 @@ use crate::testspec::{
 };
 use crossbeam::deque::{Steal, Stealer, Worker as WorkerDeque};
 use p4t_ir::IrProgram;
-use p4t_smt::sat::SatStats;
-use p4t_smt::solver::SolverStats;
+use p4t_obs::trace::{EngineEvent, PathOutcome, PathRecord, PathTiming, TraceLog};
+use p4t_obs::Registry;
+use p4t_smt::sat::{SatStats, LEARNT_SIZE_BOUNDS};
+use p4t_smt::solver::{SolverStats, CONFLICTS_PER_CHECK_BOUNDS};
 use p4t_smt::{eval, Assignment, BitVec, CheckResult, SolveBudget, Solver, TermId, TermPool, VarId};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::value::{Number, Value};
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Path-selection strategy (§6: DFS by default; continuations make other
@@ -62,6 +66,29 @@ pub enum Strategy {
     /// yet covered globally (the paper's "heuristics to try to maximize
     /// coverage with the fewest number of paths").
     CoverageFirst,
+}
+
+/// Observability switches for a run. The default is fully off, and "off"
+/// really is free: workers check `trace`/`metrics` once per *path* (never
+/// per step), no trace records are allocated, and the metrics fold at merge
+/// time never runs.
+#[derive(Clone, Default)]
+pub struct ObsConfig {
+    /// Collect a structured trace (per-path records keyed by fork trail plus
+    /// engine-level scheduler events) into [`RunSummary::trace`].
+    pub trace: bool,
+    /// Fold end-of-run metrics (solver internals, pool stats, memo hit
+    /// rate, queue depths, per-worker busy/idle) into this registry.
+    pub metrics: Option<Arc<Registry>>,
+}
+
+impl std::fmt::Debug for ObsConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsConfig")
+            .field("trace", &self.trace)
+            .field("metrics", &self.metrics.is_some())
+            .finish()
+    }
 }
 
 /// Generation configuration.
@@ -108,6 +135,9 @@ pub struct TestgenConfig {
     /// Deterministic fault injection (tests/benches only); the default plan
     /// is empty and injects nothing.
     pub fault_plan: FaultPlan,
+    /// Observability switches (structured tracing + metrics registry); the
+    /// default is fully disabled and adds no hot-path cost.
+    pub obs: ObsConfig,
 }
 
 fn default_jobs() -> usize {
@@ -152,24 +182,36 @@ impl Default for TestgenConfig {
             deadline: default_deadline(),
             interp_parser_loop_bound: 64,
             fault_plan: FaultPlan::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
 
 /// Per-phase timing, the data behind our Fig. 7 reproduction.
 ///
-/// Under parallel exploration `stepping`/`solving`/`emission` are *CPU*
-/// time summed across workers, while `total` is wall-clock time — so the
-/// phase components may legitimately sum to more than `total`.
+/// Two clocks are reported and must not be conflated. `stepping`,
+/// `solving`, `emission`, and `busy` are **CPU time summed across
+/// workers** — with `jobs = 8` they can legitimately total up to 8× the
+/// run's duration. `total` is the run's true **wall-clock** time, measured
+/// once on the coordinating thread. [`PhaseStats::utilization`] relates the
+/// two: busy CPU time as a fraction of the `workers × total` capacity, so
+/// 1.0 means no worker ever starved.
 #[derive(Clone, Debug, Default)]
 pub struct PhaseStats {
-    /// Time stepping the symbolic executor (program interpretation).
+    /// CPU time stepping the symbolic executor, summed across workers.
     pub stepping: Duration,
-    /// Time inside the solver (bit-blasting + SAT search).
+    /// CPU time inside the solver (bit-blasting + SAT search), summed.
     pub solving: Duration,
-    /// Time concretizing models into test specifications.
+    /// CPU time concretizing models into test specifications, summed.
     pub emission: Duration,
+    /// CPU time workers spent holding a state (processing, as opposed to
+    /// polling empty queues), summed across workers. Superset of the three
+    /// phase components above.
+    pub busy: Duration,
+    /// Wall-clock duration of the whole run (single clock, not summed).
     pub total: Duration,
+    /// Number of exploration workers that produced the summed figures.
+    pub workers: u32,
 }
 
 impl PhaseStats {
@@ -177,7 +219,19 @@ impl PhaseStats {
         self.stepping += other.stepping;
         self.solving += other.solving;
         self.emission += other.emission;
-        self.total += other.total;
+        self.busy += other.busy;
+        // `total` and `workers` are run-level, set once by the merger.
+    }
+
+    /// Fraction of the pool's wall-clock capacity (`workers × total`) spent
+    /// busy. Low values under `--jobs > 1` mean workers starved for work.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.total.as_secs_f64() * f64::from(self.workers.max(1));
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / capacity).min(1.0)
+        }
     }
 }
 
@@ -351,6 +405,120 @@ pub struct RunSummary {
     /// parallel to the test ids. This is the schedule-independent identity
     /// tests and fault plans key on.
     pub test_trails: Vec<Vec<u32>>,
+    /// Structured run trace, populated when [`ObsConfig::trace`] is set:
+    /// per-path records in canonical trail order plus engine events. `None`
+    /// when tracing is off (the default).
+    pub trace: Option<TraceLog>,
+}
+
+impl RunSummary {
+    /// Machine-readable summary (the `--summary-json` payload). Durations
+    /// are nanosecond integers; the schema is documented in DESIGN.md
+    /// ("Observability") and checked by `tests/cli.rs`.
+    pub fn to_json(&self) -> Value {
+        let dur = |d: Duration| Value::Number(Number::U(d.as_nanos() as u64));
+        let trails = |ts: &[Vec<u32>]| {
+            Value::Array(
+                ts.iter()
+                    .map(|t| {
+                        Value::Array(
+                            t.iter().map(|b| Value::Number(Number::U(u64::from(*b)))).collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let coverage = Value::Object(vec![
+            ("total".into(), Value::Number(Number::U(self.coverage.total as u64))),
+            ("covered".into(), Value::Number(Number::U(self.coverage.covered as u64))),
+            ("percent".into(), Value::Number(Number::F(self.coverage.percent))),
+            (
+                "missed".into(),
+                Value::Array(
+                    self.coverage
+                        .missed
+                        .iter()
+                        .map(|m| {
+                            Value::Object(vec![
+                                ("block".into(), Value::String(m.block.clone())),
+                                ("line".into(), Value::Number(Number::U(u64::from(m.line)))),
+                                ("statement".into(), Value::String(m.describe.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        let phases = Value::Object(vec![
+            ("stepping_ns".into(), dur(self.phases.stepping)),
+            ("solving_ns".into(), dur(self.phases.solving)),
+            ("emission_ns".into(), dur(self.phases.emission)),
+            ("busy_ns".into(), dur(self.phases.busy)),
+            ("wall_ns".into(), dur(self.phases.total)),
+            ("workers".into(), Value::Number(Number::U(u64::from(self.phases.workers)))),
+            ("utilization".into(), Value::Number(Number::F(self.phases.utilization()))),
+        ]);
+        let errors = Value::Object(vec![
+            ("unknown_queries".into(), Value::Number(Number::U(self.errors.unknown_queries))),
+            ("budget_retries".into(), Value::Number(Number::U(self.errors.budget_retries))),
+            ("panicked_paths".into(), Value::Number(Number::U(self.errors.panicked_paths))),
+            ("deadline_expired".into(), Value::Bool(self.errors.deadline_expired)),
+            ("model_defaults".into(), Value::Number(Number::U(self.errors.model_defaults))),
+            (
+                "abandoned_by_reason".into(),
+                Value::Object(
+                    self.errors
+                        .abandoned_by_reason
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Number(Number::U(*v))))
+                        .collect(),
+                ),
+            ),
+            (
+                "panics".into(),
+                Value::Array(
+                    self.errors
+                        .panics
+                        .iter()
+                        .map(|p| {
+                            Value::Object(vec![
+                                (
+                                    "trail".into(),
+                                    Value::Array(
+                                        p.trail
+                                            .iter()
+                                            .map(|b| Value::Number(Number::U(u64::from(*b))))
+                                            .collect(),
+                                    ),
+                                ),
+                                ("payload".into(), Value::String(p.payload.clone())),
+                                (
+                                    "last_trace".into(),
+                                    match &p.last_trace {
+                                        Some(t) => Value::String(t.clone()),
+                                        None => Value::Null,
+                                    },
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        Value::Object(vec![
+            ("schema".into(), Value::String("p4testgen-run-summary/v1".into())),
+            ("tests".into(), Value::Number(Number::U(self.tests))),
+            ("paths_explored".into(), Value::Number(Number::U(self.paths_explored))),
+            ("infeasible_paths".into(), Value::Number(Number::U(self.infeasible_paths))),
+            ("abandoned_paths".into(), Value::Number(Number::U(self.abandoned_paths))),
+            ("coverage".into(), coverage),
+            ("phases".into(), phases),
+            ("solver_checks".into(), Value::Number(Number::U(self.solver_checks))),
+            ("memo_hits".into(), Value::Number(Number::U(self.memo_hits))),
+            ("errors".into(), errors),
+            ("test_trails".into(), trails(&self.test_trails)),
+        ])
+    }
 }
 
 /// Memoizes fork-feasibility verdicts by constraint *set*. Different
@@ -362,11 +530,16 @@ pub struct RunSummary {
 struct FeasMemo {
     map: Mutex<HashMap<Vec<TermId>, bool>>,
     hits: AtomicU64,
+    lookups: AtomicU64,
 }
 
 impl FeasMemo {
     fn new() -> Self {
-        FeasMemo { map: Mutex::new(HashMap::new()), hits: AtomicU64::new(0) }
+        FeasMemo {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+        }
     }
 
     fn key(constraints: &[TermId]) -> Vec<TermId> {
@@ -377,6 +550,7 @@ impl FeasMemo {
     }
 
     fn lookup(&self, key: &[TermId]) -> Option<bool> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         let hit = self.map.lock().get(key).copied();
         if hit.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -459,6 +633,11 @@ impl<T: Target> Shared<'_, T> {
     }
 }
 
+/// Queue-depth histogram bounds (inclusive upper bounds; +Inf implicit).
+/// Sampled once per dequeued state, so the histogram answers "how deep was
+/// my local queue when I took work" — the signal for steal pressure.
+const QUEUE_DEPTH_BOUNDS: [u64; 8] = [0, 1, 2, 4, 8, 16, 32, 64];
+
 /// Per-worker results, merged on the main thread after the join.
 #[derive(Default)]
 struct WorkerOut {
@@ -471,6 +650,18 @@ struct WorkerOut {
     errors: ErrorStats,
     /// (fork trail, provisional spec); sorted and renumbered by the merger.
     tests: Vec<(Vec<u32>, TestSpec)>,
+    /// This worker's trace buffer (populated only under `ObsConfig::trace`).
+    trace: Option<TraceLog>,
+    /// Successful steals from sibling deques.
+    steals: u64,
+    /// Busy→idle transitions (the worker found no local or stealable work).
+    parks: u64,
+    /// Wall-clock this worker spent *not* holding a state.
+    idle: Duration,
+    /// Local-queue depth histogram (populated only when metrics are on).
+    queue_depth_hist: [u64; QUEUE_DEPTH_BOUNDS.len() + 1],
+    /// Sum of the sampled depths (the histogram's `_sum` series).
+    queue_depth_sum: u64,
 }
 
 /// The generation driver. Owns the term pool, the target extension, and the
@@ -643,15 +834,40 @@ impl<T: Target> Testgen<T> {
         let mut abandoned = 0u64;
         let mut errors = ErrorStats::default();
         let mut merged: Vec<(Vec<u32>, TestSpec)> = Vec::new();
+        // This run's own solver/SAT totals (`self.*_totals` span *all* runs
+        // of this Testgen; metrics folding must not re-count earlier runs).
+        let mut run_solver = SolverStats::default();
+        let mut run_sat = SatStats::default();
+        let mut trace = self.config.obs.trace.then(TraceLog::new);
+        let mut steals = 0u64;
+        let mut parks = 0u64;
+        let mut idle = Duration::ZERO;
+        let mut queue_depth_hist = [0u64; QUEUE_DEPTH_BOUNDS.len() + 1];
+        let mut queue_depth_sum = 0u64;
         for mut o in outs {
             phases.absorb(&o.phases);
             paths += o.paths;
             infeasible += o.infeasible;
             abandoned += o.abandoned;
             errors.absorb(&o.errors);
-            merge_solver_stats(&mut self.solver_totals, &o.solver_stats);
-            merge_sat_stats(&mut self.sat_totals, &o.sat_stats);
+            merge_solver_stats(&mut run_solver, &o.solver_stats);
+            merge_sat_stats(&mut run_sat, &o.sat_stats);
             merged.append(&mut o.tests);
+            if let (Some(t), Some(wt)) = (&mut trace, o.trace.take()) {
+                t.absorb(wt);
+            }
+            steals += o.steals;
+            parks += o.parks;
+            idle += o.idle;
+            for (acc, c) in queue_depth_hist.iter_mut().zip(o.queue_depth_hist.iter()) {
+                *acc += c;
+            }
+            queue_depth_sum += o.queue_depth_sum;
+        }
+        merge_solver_stats(&mut self.solver_totals, &run_solver);
+        merge_sat_stats(&mut self.sat_totals, &run_sat);
+        if let Some(t) = &mut trace {
+            t.canonicalize();
         }
         errors.deadline_expired |= shared.deadline_hit.load(Ordering::Relaxed);
         // Canonical panic order too: by trail, like the test suite itself.
@@ -680,6 +896,31 @@ impl<T: Target> Testgen<T> {
         }
 
         phases.total = t_start.elapsed();
+        phases.workers = jobs as u32;
+
+        if let Some(reg) = &self.config.obs.metrics {
+            fold_run_metrics(
+                reg,
+                &FoldInputs {
+                    tests,
+                    infeasible,
+                    abandoned,
+                    errors: &errors,
+                    run_solver: &run_solver,
+                    run_sat: &run_sat,
+                    memo_lookups: shared.memo.lookups.load(Ordering::Relaxed),
+                    memo_hits,
+                    pool: &self.pool,
+                    phases: &phases,
+                    idle,
+                    steals,
+                    parks,
+                    queue_depth_hist: &queue_depth_hist,
+                    queue_depth_sum,
+                },
+            );
+        }
+
         Ok(RunSummary {
             tests,
             paths_explored: paths,
@@ -691,8 +932,118 @@ impl<T: Target> Testgen<T> {
             memo_hits,
             errors,
             test_trails,
+            trace,
         })
     }
+}
+
+/// Everything [`fold_run_metrics`] reads, bundled to keep the call site flat.
+struct FoldInputs<'a> {
+    tests: u64,
+    infeasible: u64,
+    abandoned: u64,
+    errors: &'a ErrorStats,
+    run_solver: &'a SolverStats,
+    run_sat: &'a SatStats,
+    memo_lookups: u64,
+    memo_hits: u64,
+    pool: &'a TermPool,
+    phases: &'a PhaseStats,
+    idle: Duration,
+    steals: u64,
+    parks: u64,
+    queue_depth_hist: &'a [u64],
+    queue_depth_sum: u64,
+}
+
+/// Fold one run's merged statistics into the metrics registry. Runs once at
+/// merge time on the coordinating thread — the exploration hot path never
+/// touches the registry. The metric catalogue here is documented in
+/// DESIGN.md ("Observability").
+fn fold_run_metrics(reg: &Registry, f: &FoldInputs<'_>) {
+    let paths_help = "explored paths by terminal outcome";
+    reg.counter_with("p4testgen_paths_total", paths_help, &[("outcome", "emitted")]).add(f.tests);
+    reg.counter_with("p4testgen_paths_total", paths_help, &[("outcome", "infeasible")])
+        .add(f.infeasible);
+    reg.counter_with("p4testgen_paths_total", paths_help, &[("outcome", "abandoned")])
+        .add(f.abandoned);
+    reg.counter("p4testgen_tests_emitted_total", "tests delivered to the backend").add(f.tests);
+    for (reason, n) in &f.errors.abandoned_by_reason {
+        reg.counter_with(
+            "p4testgen_abandoned_total",
+            "abandoned paths by taxonomy reason",
+            &[("reason", reason)],
+        )
+        .add(*n);
+    }
+
+    let s = f.run_solver;
+    reg.counter("p4testgen_solver_checks_total", "solver checks issued").add(s.checks);
+    let verdict_help = "solver verdicts by kind";
+    reg.counter_with("p4testgen_solver_results_total", verdict_help, &[("verdict", "sat")])
+        .add(s.sat_results);
+    reg.counter_with("p4testgen_solver_results_total", verdict_help, &[("verdict", "unsat")])
+        .add(s.unsat_results);
+    reg.counter_with("p4testgen_solver_results_total", verdict_help, &[("verdict", "unknown")])
+        .add(s.unknown_results);
+    reg.counter("p4testgen_solver_solve_ns_total", "wall time inside check (ns)")
+        .add(s.solve_time.as_nanos() as u64);
+
+    let sat = f.run_sat;
+    reg.counter("p4testgen_sat_decisions_total", "SAT decisions").add(sat.decisions);
+    reg.counter("p4testgen_sat_propagations_total", "SAT unit propagations").add(sat.propagations);
+    reg.counter("p4testgen_sat_conflicts_total", "SAT conflicts").add(sat.conflicts);
+    reg.counter("p4testgen_sat_restarts_total", "SAT restarts").add(sat.restarts);
+    reg.counter("p4testgen_sat_learnt_clauses_total", "learnt clauses").add(sat.learnt_clauses);
+    reg.counter("p4testgen_sat_learnt_literals_total", "literals across learnt clauses")
+        .add(sat.learnt_literals);
+    reg.histogram(
+        "p4testgen_sat_learnt_clause_size",
+        "learnt clause sizes (literals)",
+        &LEARNT_SIZE_BOUNDS,
+    )
+    .merge_prebucketed(&sat.learnt_size_hist, sat.learnt_literals);
+    reg.histogram(
+        "p4testgen_sat_conflicts_per_check",
+        "SAT conflicts per solver check",
+        &CONFLICTS_PER_CHECK_BOUNDS,
+    )
+    .merge_prebucketed(&s.conflicts_per_check_hist, sat.conflicts);
+
+    reg.counter("p4testgen_memo_lookups_total", "feasibility-memo lookups").add(f.memo_lookups);
+    reg.counter("p4testgen_memo_hits_total", "feasibility-memo hits").add(f.memo_hits);
+
+    reg.gauge("p4testgen_pool_terms", "interned terms in the pool").set(f.pool.len() as u64);
+    reg.gauge("p4testgen_pool_vars", "declared symbolic variables").set(f.pool.num_vars() as u64);
+    reg.gauge(
+        "p4testgen_pool_intern_contention",
+        "interns that found their consing shard locked (pool lifetime)",
+    )
+    .set(f.pool.intern_contention());
+
+    reg.counter("p4testgen_worker_steals_total", "successful work steals").add(f.steals);
+    reg.counter("p4testgen_worker_parks_total", "busy-to-idle worker transitions").add(f.parks);
+    reg.counter("p4testgen_worker_busy_ns_total", "summed worker busy time (ns)")
+        .add(f.phases.busy.as_nanos() as u64);
+    reg.counter("p4testgen_worker_idle_ns_total", "summed worker idle time (ns)")
+        .add(f.idle.as_nanos() as u64);
+    reg.histogram(
+        "p4testgen_queue_depth",
+        "local queue depth sampled at each dequeue",
+        &QUEUE_DEPTH_BOUNDS,
+    )
+    .merge_prebucketed(f.queue_depth_hist, f.queue_depth_sum);
+
+    reg.counter("p4testgen_unknown_queries_total", "solver queries ending Unknown after retry")
+        .add(f.errors.unknown_queries);
+    reg.counter("p4testgen_budget_retries_total", "Unknown queries retried with a rotated phase seed")
+        .add(f.errors.budget_retries);
+    reg.counter("p4testgen_panicked_paths_total", "paths isolated after panicking")
+        .add(f.errors.panicked_paths);
+    reg.counter("p4testgen_model_defaults_total", "model evaluations that fell back to zero")
+        .add(f.errors.model_defaults);
+    reg.gauge("p4testgen_deadline_expired", "1 when the run deadline expired")
+        .set(u64::from(f.errors.deadline_expired));
 }
 
 fn merge_solver_stats(into: &mut SolverStats, from: &SolverStats) {
@@ -702,6 +1053,10 @@ fn merge_solver_stats(into: &mut SolverStats, from: &SolverStats) {
     into.unknown_results += from.unknown_results;
     into.solve_time += from.solve_time;
     into.sat_time += from.sat_time;
+    for (i, f) in into.conflicts_per_check_hist.iter_mut().zip(from.conflicts_per_check_hist.iter())
+    {
+        *i += f;
+    }
 }
 
 fn merge_sat_stats(into: &mut SatStats, from: &SatStats) {
@@ -710,6 +1065,10 @@ fn merge_sat_stats(into: &mut SatStats, from: &SatStats) {
     into.conflicts += from.conflicts;
     into.restarts += from.restarts;
     into.learnt_clauses += from.learnt_clauses;
+    into.learnt_literals += from.learnt_literals;
+    for (i, f) in into.learnt_size_hist.iter_mut().zip(from.learnt_size_hist.iter()) {
+        *i += f;
+    }
 }
 
 /// Render a panic payload as text when possible.
@@ -727,6 +1086,7 @@ fn panic_payload_text(p: &(dyn std::any::Any + Send)) -> String {
 /// queues feasible forks locally, and steals when idle.
 struct PathWorker<'a, 'b, T: Target> {
     sh: &'b Shared<'a, T>,
+    widx: u32,
     solver: Solver,
     rng: StdRng,
     phases: PhaseStats,
@@ -735,6 +1095,18 @@ struct PathWorker<'a, 'b, T: Target> {
     abandoned: u64,
     errors: ErrorStats,
     tests: Vec<(Vec<u32>, TestSpec)>,
+    /// Trace buffer; `None` (the default) costs one pointer test per path.
+    trace: Option<TraceLog>,
+    /// Sequence number for this worker's engine events.
+    event_seq: u32,
+    /// Successful steals (counted even with tracing off — one add per steal).
+    steals: u64,
+    /// Logical queries issued while processing the current path. Counted at
+    /// the query *sites* (fork admission, emission verdict) rather than from
+    /// raw solver-check deltas, so a memo hit counts like a solver round
+    /// trip — raw deltas would differ with which worker warmed the memo,
+    /// breaking the trace determinism contract.
+    path_checks: u64,
 }
 
 /// If a worker dies *outside* the per-path panic isolation, its `live`
@@ -757,10 +1129,13 @@ impl Drop for AbortGuard<'_> {
 
 fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pending>) -> WorkerOut {
     let _abort_guard = AbortGuard { aborted: &sh.aborted, stop: &sh.stop };
+    let t_worker = Instant::now();
+    let metrics_on = sh.config.obs.metrics.is_some();
     let mut solver = Solver::new();
     solver.set_budget(SolveBudget::conflicts(sh.config.solver_budget));
     let mut w = PathWorker {
         sh,
+        widx: widx as u32,
         solver,
         // Worker-local RNG (used only by RandomBacktrack selection, which is
         // schedule-dependent anyway). Test-emission RNG is per-path.
@@ -773,25 +1148,65 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
         abandoned: 0,
         errors: ErrorStats::default(),
         tests: Vec::new(),
+        trace: sh.config.obs.trace.then(TraceLog::new),
+        event_seq: 0,
+        steals: 0,
+        path_checks: 0,
     };
+    w.engine_event("worker-start", None);
+    let mut parks = 0u64;
+    let mut queue_depth_hist = [0u64; QUEUE_DEPTH_BOUNDS.len() + 1];
+    let mut queue_depth_sum = 0u64;
+    // Busy→idle edge detector: `park` fires once per transition, not per
+    // polling iteration (an idle worker spins through here constantly).
+    let mut was_busy = true;
+    let mut deadline_seen = false;
     loop {
         if sh.aborted.load(Ordering::Relaxed) {
             break;
         }
-        let pending = w.select_local(&local).or_else(|| w.steal(widx));
+        let pending = match w.select_local(&local) {
+            Some(p) => Some(p),
+            None => w.steal(widx),
+        };
         let Some(p) = pending else {
+            if was_busy {
+                was_busy = false;
+                parks += 1;
+                w.engine_event("park", None);
+            }
             if sh.live.load(Ordering::Acquire) == 0 {
                 break;
             }
             std::thread::yield_now();
             continue;
         };
+        was_busy = true;
+        let t_busy = Instant::now();
+        if metrics_on {
+            let depth = local.len() as u64;
+            queue_depth_hist[QUEUE_DEPTH_BOUNDS.partition_point(|&b| b < depth)] += 1;
+            queue_depth_sum += depth;
+        }
         // Deadline first: a drained state is *abandoned* (undecided), unlike
         // a cap-stop discard, which just truncates a fully-decided run.
         let deadline_cut = sh.deadline_expired();
         if deadline_cut {
             w.abandoned += 1;
             w.errors.bump_reason(reason::DEADLINE);
+            if !deadline_seen {
+                deadline_seen = true;
+                w.engine_event("deadline", None);
+            }
+            if let Some(tr) = &mut w.trace {
+                tr.paths.push(PathRecord {
+                    trail: p.st.trail.clone(),
+                    steps: 0,
+                    checks: 0,
+                    outcome: PathOutcome::Abandoned(reason::DEADLINE.to_string()),
+                    timing: PathTiming::default(),
+                });
+            }
         }
         let mut discard = deadline_cut || sh.stop.load(Ordering::Relaxed);
         if !discard && sh.config.max_tests > 0 {
@@ -830,11 +1245,25 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
                         last_trace: st.trace.last().cloned(),
                     });
                 }
+                if let Some(tr) = &mut w.trace {
+                    // Step/check counts died with the unwound frame; the
+                    // trail survives in the state and identifies the path.
+                    tr.paths.push(PathRecord {
+                        trail: st.trail.clone(),
+                        steps: 0,
+                        checks: 0,
+                        outcome: PathOutcome::Panicked,
+                        timing: PathTiming::default(),
+                    });
+                }
             }
         }
+        w.phases.busy += t_busy.elapsed();
         sh.live.fetch_sub(1, Ordering::AcqRel);
     }
+    w.engine_event("worker-stop", None);
     WorkerOut {
+        idle: t_worker.elapsed().saturating_sub(w.phases.busy),
         phases: w.phases,
         paths: w.paths,
         infeasible: w.infeasible,
@@ -843,10 +1272,48 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
         sat_stats: w.solver.sat_stats().clone(),
         errors: w.errors,
         tests: w.tests,
+        trace: w.trace,
+        steals: w.steals,
+        parks,
+        queue_depth_hist,
+        queue_depth_sum,
     }
 }
 
 impl<T: Target> PathWorker<'_, '_, T> {
+    /// Record an engine-level trace event (no-op, and no allocation, when
+    /// tracing is off). Callers building a `detail` string should gate on
+    /// `self.trace.is_some()` first.
+    fn engine_event(&mut self, event: &str, detail: Option<String>) {
+        if let Some(tr) = &mut self.trace {
+            let seq = self.event_seq;
+            self.event_seq += 1;
+            tr.engine.push(EngineEvent {
+                worker: self.widx,
+                seq,
+                event: event.to_string(),
+                detail,
+                at_ns: self.sh.started.elapsed().as_nanos() as u64,
+            });
+        }
+    }
+
+    /// Record the terminal state of one path (no-op when tracing is off).
+    /// Pruned forks pass `checks: 0` — their admission query is attributed
+    /// to the parent path that issued it.
+    fn path_record(
+        &mut self,
+        trail: &[u32],
+        steps: u64,
+        checks: u64,
+        outcome: PathOutcome,
+        timing: PathTiming,
+    ) {
+        if let Some(tr) = &mut self.trace {
+            tr.paths.push(PathRecord { trail: trail.to_vec(), steps, checks, outcome, timing });
+        }
+    }
+
     /// Pop the next state from the local deque per the configured strategy.
     fn select_local(&mut self, local: &WorkerDeque<Pending>) -> Option<Pending> {
         let sh = self.sh;
@@ -900,13 +1367,19 @@ impl<T: Target> PathWorker<'_, '_, T> {
     }
 
     /// Round-robin steal from the other workers' deques.
-    fn steal(&self, widx: usize) -> Option<Pending> {
+    fn steal(&mut self, widx: usize) -> Option<Pending> {
         let n = self.sh.stealers.len();
         for k in 1..n {
             let i = (widx + k) % n;
             loop {
                 match self.sh.stealers[i].steal() {
-                    Steal::Success(p) => return Some(p),
+                    Steal::Success(p) => {
+                        self.steals += 1;
+                        if self.trace.is_some() {
+                            self.engine_event("steal", Some(format!("from={i}")));
+                        }
+                        return Some(p);
+                    }
                     Steal::Empty => break,
                     Steal::Retry => continue,
                 }
@@ -947,6 +1420,9 @@ impl<T: Target> PathWorker<'_, '_, T> {
         let mut res = self.solver.check_assuming(sh.pool, assumptions);
         if res == CheckResult::Unknown && sh.config.budget_retry {
             self.errors.budget_retries += 1;
+            if self.trace.is_some() {
+                self.engine_event("budget-retry", Some(format!("trail={trail:?}")));
+            }
             self.solver.set_phase_seed((sh.config.seed ^ trail_hash(trail)) | 1);
             res = self.solver.check_assuming(sh.pool, assumptions);
             self.solver.set_phase_seed(0);
@@ -960,6 +1436,9 @@ impl<T: Target> PathWorker<'_, '_, T> {
     /// Fork-feasibility check with memoization on the constraint set.
     fn fork_feasible(&mut self, f: &ExecState) -> CheckResult {
         let sh = self.sh;
+        // One logical query regardless of how it resolves (injected fault,
+        // memo hit, or solver round trip) — see the `path_checks` field docs.
+        self.path_checks += 1;
         // Fault injection comes before the memo: a memoized verdict must
         // never swallow a planned fault on some schedules but not others.
         if self.injected_unknown(&f.trail) {
@@ -984,6 +1463,13 @@ impl<T: Target> PathWorker<'_, '_, T> {
     /// its budget; then emit a test if it completed.
     fn process(&mut self, st: &mut ExecState, local: &WorkerDeque<Pending>) {
         let sh = self.sh;
+        // Per-path span bookkeeping: reset the logical-query counter and
+        // remember the phase clocks so the deltas at the end of this call
+        // are this path's own cost. Plain copies — nothing here allocates
+        // or branches on whether tracing is enabled.
+        self.path_checks = 0;
+        let phases_at_entry =
+            (self.phases.stepping, self.phases.solving, self.phases.emission);
         self.maybe_panic(&st.trail);
         let mut steps: u64 = 0;
         while st.is_running() {
@@ -1031,6 +1517,13 @@ impl<T: Target> PathWorker<'_, '_, T> {
                     f.trail.push(i as u32 + 1);
                     if f.trivially_unsat(sh.pool) {
                         self.infeasible += 1;
+                        self.path_record(
+                            &f.trail,
+                            0,
+                            0,
+                            PathOutcome::Infeasible,
+                            PathTiming::default(),
+                        );
                         continue;
                     }
                     if sh.config.eager_pruning && !f.constraints.is_empty() {
@@ -1038,6 +1531,13 @@ impl<T: Target> PathWorker<'_, '_, T> {
                             CheckResult::Sat => {}
                             CheckResult::Unsat => {
                                 self.infeasible += 1;
+                                self.path_record(
+                                    &f.trail,
+                                    0,
+                                    0,
+                                    PathOutcome::Infeasible,
+                                    PathTiming::default(),
+                                );
                                 continue;
                             }
                             CheckResult::Unknown => {
@@ -1045,6 +1545,15 @@ impl<T: Target> PathWorker<'_, '_, T> {
                                 // is *abandoned* (budget or injected fault).
                                 self.abandoned += 1;
                                 self.errors.bump_reason(reason::SOLVER_UNKNOWN);
+                                if self.trace.is_some() {
+                                    self.path_record(
+                                        &f.trail,
+                                        0,
+                                        0,
+                                        PathOutcome::Abandoned(reason::SOLVER_UNKNOWN.to_string()),
+                                        PathTiming::default(),
+                                    );
+                                }
                                 continue;
                             }
                         }
@@ -1061,7 +1570,14 @@ impl<T: Target> PathWorker<'_, '_, T> {
             }
         }
         self.paths += 1;
-        match st.finished.clone() {
+        // Taxonomy keys are &'static strs, so the outcome is carried without
+        // allocating; the owned PathOutcome is built only when tracing.
+        enum Out {
+            Emitted,
+            Infeasible,
+            Abandoned(&'static str),
+        }
+        let outcome = match st.finished.clone() {
             Some(FinishReason::Completed) | Some(FinishReason::Dropped) => {
                 let t2 = Instant::now();
                 let solving_before = self.phases.solving;
@@ -1091,22 +1607,45 @@ impl<T: Target> PathWorker<'_, '_, T> {
                         if sh.config.stop_at_full_coverage && sh.coverage.is_full() {
                             sh.stop.store(true, Ordering::Relaxed);
                         }
+                        Out::Emitted
                     }
                     Err(key) => {
                         self.abandoned += 1;
                         self.errors.bump_reason(key);
+                        Out::Abandoned(key)
                     }
                 }
             }
-            Some(FinishReason::Infeasible) => self.infeasible += 1,
+            Some(FinishReason::Infeasible) => {
+                self.infeasible += 1;
+                Out::Infeasible
+            }
             Some(FinishReason::Abandoned(msg)) => {
                 self.abandoned += 1;
-                self.errors.bump_reason(classify_abandon_reason(&msg));
+                let key = classify_abandon_reason(&msg);
+                self.errors.bump_reason(key);
+                Out::Abandoned(key)
             }
             None => {
                 self.abandoned += 1;
                 self.errors.bump_reason(reason::EXEC_ERROR);
+                Out::Abandoned(reason::EXEC_ERROR)
             }
+        };
+        if self.trace.is_some() {
+            let timing = PathTiming {
+                step_ns: (self.phases.stepping - phases_at_entry.0).as_nanos() as u64,
+                solve_ns: (self.phases.solving - phases_at_entry.1).as_nanos() as u64,
+                emit_ns: (self.phases.emission - phases_at_entry.2).as_nanos() as u64,
+            };
+            let outcome = match outcome {
+                Out::Emitted => PathOutcome::Emitted,
+                Out::Infeasible => PathOutcome::Infeasible,
+                Out::Abandoned(key) => PathOutcome::Abandoned(key.to_string()),
+            };
+            let checks = self.path_checks;
+            let trail = st.trail.clone();
+            self.path_record(&trail, steps, checks, outcome, timing);
         }
     }
 
@@ -1122,6 +1661,7 @@ impl<T: Target> PathWorker<'_, '_, T> {
         // (For leaf trails that were eagerly pruned as forks the injection
         // already fired in `fork_feasible` and execution never got here.)
         if self.injected_unknown(&st.trail) {
+            self.path_checks += 1;
             return Err(reason::SOLVER_UNKNOWN);
         }
         // Tainted output port, or control flow that branched on a tainted
@@ -1153,6 +1693,7 @@ impl<T: Target> PathWorker<'_, '_, T> {
                 return Err(reason::CONCOLIC_UNRESOLVED);
             }
         }
+        self.path_checks += 1;
         let verdict = self.checked(&st.trail, &assumptions);
         self.phases.solving += t0.elapsed();
         match verdict {

@@ -146,6 +146,20 @@ pub struct Interp<'p> {
     /// before the model gives up); mirrors the symbolic executor's
     /// configurable bound.
     parser_loop_bound: u32,
+    stats: InterpStats,
+}
+
+/// Work counters for one model execution. Returned by
+/// [`Interp::run_counted`] so callers can aggregate how much concrete
+/// interpretation a validation pass actually performed — the counters are
+/// reported even when the run ended in an exception, which is exactly when
+/// the work spent matters for profiling.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InterpStats {
+    /// Statements executed across all blocks (parsers, controls, actions).
+    pub statements: u64,
+    /// Parser state visits, summed over every parser invocation.
+    pub parser_visits: u64,
 }
 
 impl<'p> Interp<'p> {
@@ -169,6 +183,7 @@ impl<'p> Interp<'p> {
             trace: Vec::new(),
             garbage_counter: 0,
             parser_loop_bound: 64,
+            stats: InterpStats::default(),
         }
     }
 
@@ -179,7 +194,22 @@ impl<'p> Interp<'p> {
     }
 
     /// Execute a test specification end to end.
-    pub fn run(mut self, spec: &TestSpec) -> IResult<InterpResult> {
+    pub fn run(self, spec: &TestSpec) -> IResult<InterpResult> {
+        self.run_counted(spec).0
+    }
+
+    /// Like [`Interp::run`], additionally returning the work counters —
+    /// even when the model raised an exception.
+    pub fn run_counted(mut self, spec: &TestSpec) -> (IResult<InterpResult>, InterpStats) {
+        let outcome = self.run_inner(spec);
+        let stats = self.stats;
+        match outcome {
+            Ok(()) => (Ok(self.result()), stats),
+            Err(e) => (Err(e), stats),
+        }
+    }
+
+    fn run_inner(&mut self, spec: &TestSpec) -> IResult<()> {
         self.install_control_plane(spec)?;
         // Assemble the wire packet the pipeline sees.
         let mut wire = BitVec::from_bytes_be(&spec.input_packet);
@@ -188,7 +218,7 @@ impl<'p> Interp<'p> {
                 let meta_bits = if self.arch == Arch::Tna { 64 } else { 128 };
                 if spec.input_packet.len() < 64 {
                     self.trace.push("packet below 64B minimum: dropped".into());
-                    return Ok(self.result());
+                    return Ok(());
                 }
                 if self.faults.has(Fault::MinSizeBoundary) && spec.input_packet.len() == 64 {
                     return Err(InterpException("crash on minimum-size packet".into()));
@@ -201,8 +231,7 @@ impl<'p> Interp<'p> {
         }
         self.packet = CPacket::new(wire);
         self.write_env("$input_port", BitVec::from_u64(9, spec.input_port as u64));
-        self.run_pipeline(spec)?;
-        Ok(self.result())
+        self.run_pipeline(spec)
     }
 
     fn result(mut self) -> InterpResult {
@@ -711,6 +740,7 @@ impl<'p> Interp<'p> {
         let mut visits = 0;
         while state != "accept" && state != "reject" {
             visits += 1;
+            self.stats.parser_visits += 1;
             if visits > self.parser_loop_bound {
                 return Err(InterpException::parser_loop_bound());
             }
@@ -810,6 +840,7 @@ impl<'p> Interp<'p> {
         if self.exited {
             return Ok(true);
         }
+        self.stats.statements += 1;
         match s {
             IrStmt::DeclVar { path, width, .. } => {
                 let v = match self.arch {

@@ -24,7 +24,7 @@ pub mod interp;
 pub mod verdict;
 
 pub use faults::{Fault, FaultClass, FaultSet, FaultTargetClass};
-pub use interp::{Arch, Interp, InterpException, InterpResult};
+pub use interp::{Arch, Interp, InterpException, InterpResult, InterpStats};
 pub use verdict::{check, Verdict};
 
 use p4t_ir::IrProgram;
@@ -51,6 +51,21 @@ pub fn execute_and_check_with_bound(
     spec: &TestSpec,
     parser_loop_bound: u32,
 ) -> Verdict {
+    execute_and_check_counted(prog, arch, faults, spec, parser_loop_bound).0
+}
+
+/// Like [`execute_and_check_with_bound`], additionally returning the model's
+/// work counters so validation drivers can aggregate how much concrete
+/// interpretation the pass performed (statements executed, parser state
+/// visits). The counters are meaningful even on failing verdicts.
+pub fn execute_and_check_counted(
+    prog: &IrProgram,
+    arch: Arch,
+    faults: FaultSet,
+    spec: &TestSpec,
+    parser_loop_bound: u32,
+) -> (Verdict, InterpStats) {
     let interp = Interp::new(prog, arch, faults).with_parser_loop_bound(parser_loop_bound);
-    check(spec, interp.run(spec))
+    let (result, stats) = interp.run_counted(spec);
+    (check(spec, result), stats)
 }

@@ -1,0 +1,86 @@
+//! Leveled CLI diagnostics.
+//!
+//! All human-facing stderr output from the driver goes through one [`Diag`]
+//! so every line carries the `p4testgen:` prefix and respects the
+//! `--quiet` / `-v` verbosity selection. Structured outputs (`--trace-out`,
+//! `--metrics-out`, `--summary-json`) bypass this entirely — they are data,
+//! not diagnostics.
+
+use std::fmt::Display;
+
+/// Verbosity levels, in increasing order of chattiness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Only errors (`--quiet`).
+    Error,
+    /// Errors + warnings.
+    Warn,
+    /// Default: errors, warnings, and the run summary.
+    Info,
+    /// Everything, including per-stage detail (`-v`).
+    Verbose,
+}
+
+/// Stderr diagnostic sink with a fixed `p4testgen:` prefix.
+#[derive(Clone, Copy, Debug)]
+pub struct Diag {
+    level: Level,
+}
+
+impl Default for Diag {
+    fn default() -> Self {
+        Diag { level: Level::Info }
+    }
+}
+
+impl Diag {
+    pub fn new(level: Level) -> Self {
+        Diag { level }
+    }
+
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    pub fn error(&self, msg: impl Display) {
+        self.emit(Level::Error, "error: ", msg);
+    }
+
+    pub fn warn(&self, msg: impl Display) {
+        self.emit(Level::Warn, "warning: ", msg);
+    }
+
+    pub fn info(&self, msg: impl Display) {
+        self.emit(Level::Info, "", msg);
+    }
+
+    pub fn verbose(&self, msg: impl Display) {
+        self.emit(Level::Verbose, "", msg);
+    }
+
+    fn emit(&self, at: Level, tag: &str, msg: impl Display) {
+        if at <= self.level {
+            eprintln!("p4testgen: {tag}{msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_gates_output() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Verbose);
+        let quiet = Diag::new(Level::Error);
+        assert_eq!(quiet.level(), Level::Error);
+        // warn/info/verbose are suppressed at Error level — smoke-test the
+        // gating predicate directly (output itself goes to stderr).
+        assert!(Level::Warn > quiet.level());
+        assert!(Level::Info > quiet.level());
+        let verbose = Diag::new(Level::Verbose);
+        assert!(Level::Verbose <= verbose.level());
+    }
+}

@@ -1,0 +1,546 @@
+//! Lock-free metrics registry.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-wrapped atomics:
+//! hot-path updates are single atomic RMW operations with `Relaxed` ordering
+//! (no cross-metric ordering is needed — exports are point-in-time reads of
+//! independent cells). The [`Registry`] lock is taken only at registration
+//! and export time, never on the exploration hot path.
+//!
+//! Exports render in two shapes:
+//! * Prometheus text exposition format ([`Registry::render_prometheus`]) —
+//!   `# HELP` / `# TYPE` headers, cumulative `_bucket{le=...}` series for
+//!   histograms, with label values escaped per the format spec;
+//! * a JSON document ([`Registry::render_json`]) mirroring the same data for
+//!   scripting (`--metrics-out FILE.json`).
+
+use parking_lot::Mutex;
+use serde::value::{Number, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic counter. Saturates at `u64::MAX` instead of wrapping, so a
+/// counter that overflows reads as "pegged" rather than restarting from a
+/// small value (which exporters would misread as a reset).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`, saturating at `u64::MAX`. The CAS loop only retries under
+    /// write contention on the same cell; it never blocks.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        // Fast path: plain fetch_add when far from the ceiling. fetch_add
+        // returns the previous value, so detect overflow after the fact and
+        // repair by pegging — concurrent adders all converge to MAX.
+        let prev = self.0.fetch_add(n, Ordering::Relaxed);
+        if prev.checked_add(n).is_none() {
+            self.0.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge for instantaneous values (pool sizes, queue depths).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if it is below it (high-water marks).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket histogram over `u64` observations.
+///
+/// Buckets are stored *non-cumulative* (each atomic counts only its own
+/// range) so an observation touches exactly one bucket cell plus the
+/// count/sum cells; the cumulative `le`-form Prometheus expects is computed
+/// at render time.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper bounds (inclusive), strictly increasing. An implicit +Inf
+    /// bucket follows the last bound.
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` cells; the last is the +Inf overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// `bounds` must be strictly increasing (checked in debug builds).
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "histogram bounds must be strictly increasing");
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.observe_n(v, 1);
+    }
+
+    /// Record `n` observations of the same value `v` in one shot — used to
+    /// fold pre-aggregated per-check arrays into the registry without a
+    /// per-sample loop.
+    #[inline]
+    pub fn observe_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = self.bucket_index(v);
+        self.buckets[idx].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+    }
+
+    /// Fold a pre-aggregated histogram with the *same bounds* into this one:
+    /// `counts` are non-cumulative per-bucket counts (including the final
+    /// +Inf cell) and `sum` is the total of the underlying observations.
+    /// This is how single-threaded stats arrays (e.g. the SAT core's
+    /// learnt-clause sizes) reach the shared registry without re-sampling.
+    pub fn merge_prebucketed(&self, counts: &[u64], sum: u64) {
+        debug_assert_eq!(counts.len(), self.buckets.len(), "bucket layout mismatch");
+        let mut total = 0u64;
+        for (cell, &c) in self.buckets.iter().zip(counts) {
+            cell.fetch_add(c, Ordering::Relaxed);
+            total = total.saturating_add(c);
+        }
+        self.count.fetch_add(total, Ordering::Relaxed);
+        self.sum.fetch_add(sum, Ordering::Relaxed);
+    }
+
+    /// Binary search for the first bound >= v; misses land in +Inf.
+    #[inline]
+    fn bucket_index(&self, v: u64) -> usize {
+        self.bounds.partition_point(|&b| b < v)
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Non-cumulative per-bucket counts (last entry is the +Inf bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+}
+
+enum Kind {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct MetricEntry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    kind: Kind,
+}
+
+/// Named-metric registry. Registration dedups on `(name, labels)` and hands
+/// back the existing `Arc`, so independently-initialised components share
+/// cells; the same `name` must keep the same metric kind and help text.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Vec<MetricEntry>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut inner = self.inner.lock();
+        if let Some(e) = find(&inner, name, labels) {
+            if let Kind::Counter(c) = &e.kind {
+                return Arc::clone(c);
+            }
+            panic!("metric `{name}` re-registered with a different kind");
+        }
+        let c = Arc::new(Counter::new());
+        inner.push(entry(name, help, labels, Kind::Counter(Arc::clone(&c))));
+        c
+    }
+
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut inner = self.inner.lock();
+        if let Some(e) = find(&inner, name, labels) {
+            if let Kind::Gauge(g) = &e.kind {
+                return Arc::clone(g);
+            }
+            panic!("metric `{name}` re-registered with a different kind");
+        }
+        let g = Arc::new(Gauge::new());
+        inner.push(entry(name, help, labels, Kind::Gauge(Arc::clone(&g))));
+        g
+    }
+
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Arc<Histogram> {
+        self.histogram_with(name, help, bounds, &[])
+    }
+
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[u64],
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        let mut inner = self.inner.lock();
+        if let Some(e) = find(&inner, name, labels) {
+            if let Kind::Histogram(h) = &e.kind {
+                return Arc::clone(h);
+            }
+            panic!("metric `{name}` re-registered with a different kind");
+        }
+        let h = Arc::new(Histogram::new(bounds));
+        inner.push(entry(name, help, labels, Kind::Histogram(Arc::clone(&h))));
+        h
+    }
+
+    /// Read a counter back by name+labels (used by the bench emitter to fold
+    /// registry values into its JSON document).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let inner = self.inner.lock();
+        match &find(&inner, name, labels)?.kind {
+            Kind::Counter(c) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let inner = self.inner.lock();
+        match &find(&inner, name, labels)?.kind {
+            Kind::Gauge(g) => Some(g.get()),
+            _ => None,
+        }
+    }
+
+    /// Prometheus text exposition format.
+    ///
+    /// Metrics render in registration order; series sharing a name emit one
+    /// `HELP`/`TYPE` header. Histograms emit cumulative `_bucket{le="..."}`
+    /// series plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        let mut last_header: Option<String> = None;
+        for e in inner.iter() {
+            if last_header.as_deref() != Some(e.name.as_str()) {
+                let ty = match e.kind {
+                    Kind::Counter(_) => "counter",
+                    Kind::Gauge(_) => "gauge",
+                    Kind::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# HELP {} {}\n", e.name, escape_help(&e.help)));
+                out.push_str(&format!("# TYPE {} {}\n", e.name, ty));
+                last_header = Some(e.name.clone());
+            }
+            match &e.kind {
+                Kind::Counter(c) => {
+                    out.push_str(&format!("{}{} {}\n", e.name, label_set(&e.labels, None), c.get()));
+                }
+                Kind::Gauge(g) => {
+                    out.push_str(&format!("{}{} {}\n", e.name, label_set(&e.labels, None), g.get()));
+                }
+                Kind::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let mut cum = 0u64;
+                    for (i, c) in counts.iter().enumerate() {
+                        cum = cum.saturating_add(*c);
+                        let le = match h.bounds().get(i) {
+                            Some(b) => b.to_string(),
+                            None => "+Inf".to_string(),
+                        };
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            e.name,
+                            label_set(&e.labels, Some(&le)),
+                            cum
+                        ));
+                    }
+                    out.push_str(&format!("{}_sum{} {}\n", e.name, label_set(&e.labels, None), h.sum()));
+                    out.push_str(&format!("{}_count{} {}\n", e.name, label_set(&e.labels, None), h.count()));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON document mirroring the Prometheus export:
+    /// `{"metrics":[{"name","type","help","labels":{...},"value"| "buckets"/"sum"/"count"}]}`.
+    pub fn render_json(&self) -> Value {
+        let inner = self.inner.lock();
+        let mut metrics = Vec::new();
+        for e in inner.iter() {
+            let mut obj: Vec<(String, Value)> = vec![
+                ("name".into(), Value::String(e.name.clone())),
+                ("help".into(), Value::String(e.help.clone())),
+                (
+                    "labels".into(),
+                    Value::Object(
+                        e.labels
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Value::String(v.clone())))
+                            .collect(),
+                    ),
+                ),
+            ];
+            match &e.kind {
+                Kind::Counter(c) => {
+                    obj.push(("type".into(), Value::String("counter".into())));
+                    obj.push(("value".into(), Value::Number(Number::U(c.get()))));
+                }
+                Kind::Gauge(g) => {
+                    obj.push(("type".into(), Value::String("gauge".into())));
+                    obj.push(("value".into(), Value::Number(Number::U(g.get()))));
+                }
+                Kind::Histogram(h) => {
+                    obj.push(("type".into(), Value::String("histogram".into())));
+                    obj.push((
+                        "bounds".into(),
+                        Value::Array(h.bounds().iter().map(|b| Value::Number(Number::U(*b))).collect()),
+                    ));
+                    obj.push((
+                        "buckets".into(),
+                        Value::Array(
+                            h.bucket_counts().iter().map(|c| Value::Number(Number::U(*c))).collect(),
+                        ),
+                    ));
+                    obj.push(("sum".into(), Value::Number(Number::U(h.sum()))));
+                    obj.push(("count".into(), Value::Number(Number::U(h.count()))));
+                }
+            }
+            metrics.push(Value::Object(obj));
+        }
+        Value::Object(vec![("metrics".into(), Value::Array(metrics))])
+    }
+}
+
+fn find<'a>(
+    entries: &'a [MetricEntry],
+    name: &str,
+    labels: &[(&str, &str)],
+) -> Option<&'a MetricEntry> {
+    entries.iter().find(|e| {
+        e.name == name
+            && e.labels.len() == labels.len()
+            && e.labels.iter().zip(labels).all(|((k, v), (lk, lv))| k == lk && v == lv)
+    })
+}
+
+fn entry(name: &str, help: &str, labels: &[(&str, &str)], kind: Kind) -> MetricEntry {
+    MetricEntry {
+        name: name.to_string(),
+        help: help.to_string(),
+        labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        kind,
+    }
+}
+
+/// Render a label set, optionally with an extra `le` label (histogram
+/// buckets). Empty set with no `le` renders as nothing.
+fn label_set(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{}=\"{}\"", k, escape_label(v))).collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{}\"", escape_label(le)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Label values escape `\`, `"` and newline per the exposition format.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// HELP text escapes `\` and newline (quotes are legal there).
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucketing_is_inclusive_upper_bound() {
+        let h = Histogram::new(&[1, 8, 64]);
+        h.observe(0); // -> le=1
+        h.observe(1); // -> le=1 (inclusive)
+        h.observe(2); // -> le=8
+        h.observe(8); // -> le=8
+        h.observe(9); // -> le=64
+        h.observe(64); // -> le=64
+        h.observe(65); // -> +Inf
+        h.observe(u64::MAX); // -> +Inf
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2, 2]);
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn histogram_observe_n_folds_preaggregated_counts() {
+        let h = Histogram::new(&[10]);
+        h.observe_n(5, 3);
+        h.observe_n(100, 2);
+        h.observe_n(7, 0); // no-op
+        assert_eq!(h.bucket_counts(), vec![3, 2]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5 * 3 + 100 * 2);
+    }
+
+    #[test]
+    fn histogram_sum_saturates() {
+        let h = Histogram::new(&[1]);
+        h.observe_n(u64::MAX, 3);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        // Further increments stay pegged rather than wrapping to small values.
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_set_and_high_water() {
+        let g = Gauge::new();
+        g.set(7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7);
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+    }
+
+    #[test]
+    fn registry_dedups_and_reads_back() {
+        let r = Registry::new();
+        let a = r.counter("p4testgen_x_total", "x things");
+        let b = r.counter("p4testgen_x_total", "x things");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+        assert_eq!(r.counter_value("p4testgen_x_total", &[]), Some(7));
+        // Different labels are a distinct series.
+        let c = r.counter_with("p4testgen_x_total", "x things", &[("kind", "other")]);
+        c.inc();
+        assert_eq!(r.counter_value("p4testgen_x_total", &[("kind", "other")]), Some(1));
+        assert_eq!(r.counter_value("p4testgen_x_total", &[]), Some(7));
+    }
+
+    #[test]
+    fn prometheus_text_format_shape() {
+        let r = Registry::new();
+        r.counter_with("p4testgen_paths_total", "paths by outcome", &[("outcome", "emitted")])
+            .add(5);
+        r.counter_with("p4testgen_paths_total", "paths by outcome", &[("outcome", "infeasible")])
+            .add(2);
+        let h = r.histogram("p4testgen_conflicts", "conflicts per check", &[1, 10]);
+        h.observe(0);
+        h.observe(4);
+        h.observe(100);
+        let text = r.render_prometheus();
+        // One HELP/TYPE pair per metric name even with multiple label sets.
+        assert_eq!(text.matches("# HELP p4testgen_paths_total").count(), 1);
+        assert_eq!(text.matches("# TYPE p4testgen_paths_total counter").count(), 1);
+        assert!(text.contains("p4testgen_paths_total{outcome=\"emitted\"} 5\n"));
+        assert!(text.contains("p4testgen_paths_total{outcome=\"infeasible\"} 2\n"));
+        // Histogram buckets are cumulative and end at +Inf == count.
+        assert!(text.contains("p4testgen_conflicts_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("p4testgen_conflicts_bucket{le=\"10\"} 2\n"));
+        assert!(text.contains("p4testgen_conflicts_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("p4testgen_conflicts_sum 104\n"));
+        assert!(text.contains("p4testgen_conflicts_count 3\n"));
+    }
+
+    #[test]
+    fn prometheus_label_escaping() {
+        let r = Registry::new();
+        r.counter_with("m", "h", &[("file", "a\\b\"c\nd")]).inc();
+        let text = r.render_prometheus();
+        assert!(text.contains("m{file=\"a\\\\b\\\"c\\nd\"} 1\n"), "got: {text}");
+    }
+
+    #[test]
+    fn json_export_parses_and_matches() {
+        let r = Registry::new();
+        r.counter("p4testgen_tests_emitted_total", "emitted tests").add(9);
+        let h = r.histogram("p4testgen_depth", "queue depth", &[2, 4]);
+        h.observe(3);
+        let doc = serde_json::to_string(&r.render_json()).unwrap();
+        let v: Value = serde_json::from_str(&doc).unwrap();
+        let metrics = v.get("metrics").and_then(Value::as_array).unwrap();
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics[0].get("value").and_then(Value::as_u64), Some(9));
+        assert_eq!(metrics[1].get("count").and_then(Value::as_u64), Some(1));
+    }
+}

@@ -130,7 +130,15 @@ struct Clause {
     deleted: bool,
 }
 
-/// Statistics from the solver, surfaced in the Fig. 7 harness.
+/// Upper bounds (inclusive) for the learnt-clause-size histogram in
+/// [`SatStats`]; an implicit overflow bucket follows the last bound. The
+/// bounds are part of the stats schema — the observability layer registers
+/// its `p4testgen_sat_learnt_clause_size` histogram with these exact bounds
+/// so pre-bucketed counts fold in without re-sampling.
+pub const LEARNT_SIZE_BOUNDS: [u64; 8] = [1, 2, 3, 4, 8, 16, 32, 64];
+
+/// Statistics from the solver, surfaced in the Fig. 7 harness and folded
+/// into the metrics registry by the exploration engine.
 #[derive(Default, Clone, Debug)]
 pub struct SatStats {
     pub decisions: u64,
@@ -138,6 +146,11 @@ pub struct SatStats {
     pub conflicts: u64,
     pub restarts: u64,
     pub learnt_clauses: u64,
+    /// Total literals across all learnt clauses (mean size = literals/clauses).
+    pub learnt_literals: u64,
+    /// Non-cumulative learnt-clause-size histogram: cell `i` counts clauses
+    /// with `len <= LEARNT_SIZE_BOUNDS[i]`; the final cell is the overflow.
+    pub learnt_size_hist: [u64; LEARNT_SIZE_BOUNDS.len() + 1],
 }
 
 /// The solver. Variables are created with [`SatSolver::new_var`], clauses
@@ -558,6 +571,10 @@ impl SatSolver {
                 let bt = bt_level;
                 self.backtrack(bt);
                 self.stats.learnt_clauses += 1;
+                self.stats.learnt_literals += learnt.len() as u64;
+                let size = learnt.len() as u64;
+                self.stats.learnt_size_hist
+                    [LEARNT_SIZE_BOUNDS.partition_point(|&b| b < size)] += 1;
                 if learnt.len() == 1 {
                     if self.decision_level() > 0 {
                         self.backtrack(0);

@@ -46,7 +46,15 @@ pub enum CheckResult {
     Unknown,
 }
 
-/// Cumulative timing and counter statistics, read by the Fig. 7 harness.
+/// Upper bounds (inclusive) for the conflicts-per-check histogram in
+/// [`SolverStats`]; an implicit overflow bucket follows the last bound.
+/// `le=0` is its own bucket because conflict-free checks are the common
+/// case on packet-program path constraints — the histogram's whole point
+/// is to show how heavy that head is versus the hard tail.
+pub const CONFLICTS_PER_CHECK_BOUNDS: [u64; 8] = [0, 1, 2, 4, 16, 64, 256, 1024];
+
+/// Cumulative timing and counter statistics, read by the Fig. 7 harness and
+/// folded into the metrics registry by the exploration engine.
 #[derive(Default, Clone, Debug)]
 pub struct SolverStats {
     pub checks: u64,
@@ -58,6 +66,11 @@ pub struct SolverStats {
     pub solve_time: Duration,
     /// Wall time spent purely in the SAT search.
     pub sat_time: Duration,
+    /// Non-cumulative histogram of SAT conflicts per check: cell `i` counts
+    /// checks with `conflicts <= CONFLICTS_PER_CHECK_BOUNDS[i]`; the final
+    /// cell is the overflow. Fresh-per-check SAT instances make this exact:
+    /// each instance's conflict total is one check's cost.
+    pub conflicts_per_check_hist: [u64; CONFLICTS_PER_CHECK_BOUNDS.len() + 1],
 }
 
 /// Bitvector solver with scoped assertions.
@@ -164,6 +177,8 @@ impl Solver {
         self.stats.sat_time += t1.elapsed();
         self.stats.solve_time += t0.elapsed();
         self.stats.checks += 1;
+        self.stats.conflicts_per_check_hist
+            [CONFLICTS_PER_CHECK_BOUNDS.partition_point(|&b| b < sat.stats.conflicts)] += 1;
         accumulate(&mut self.sat_totals, &sat.stats);
         self.last = Some((sat, blaster));
         match res {
@@ -228,6 +243,10 @@ fn accumulate(total: &mut crate::sat::SatStats, one: &crate::sat::SatStats) {
     total.conflicts += one.conflicts;
     total.restarts += one.restarts;
     total.learnt_clauses += one.learnt_clauses;
+    total.learnt_literals += one.learnt_literals;
+    for (t, o) in total.learnt_size_hist.iter_mut().zip(one.learnt_size_hist.iter()) {
+        *t += o;
+    }
 }
 
 #[cfg(test)]

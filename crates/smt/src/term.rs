@@ -110,6 +110,10 @@ pub struct TermPool {
     terms: Arena<TermData>,
     vars: Arena<VarInfo>,
     dedup: [Mutex<HashMap<Node, TermId>>; DEDUP_SHARDS],
+    /// Times an `intern` found its consing shard already locked by another
+    /// thread. A contention *sample*, not a cycle count — but enough to tell
+    /// whether 16 shards still suffice as worker counts grow.
+    contended_interns: std::sync::atomic::AtomicU64,
 }
 
 impl Default for TermPool {
@@ -124,6 +128,7 @@ impl TermPool {
             terms: Arena::new(),
             vars: Arena::new(),
             dedup: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            contended_interns: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -132,7 +137,16 @@ impl TermPool {
         // HashMap re-hashes internally, which is cheap next to allocation.
         let mut h = DefaultHasher::new();
         node.hash(&mut h);
-        let mut shard = self.dedup[h.finish() as usize & (DEDUP_SHARDS - 1)].lock();
+        let slot = &self.dedup[h.finish() as usize & (DEDUP_SHARDS - 1)];
+        // try_lock-then-lock: the uncontended path costs the same as a plain
+        // lock; only an actually-held shard pays the extra atomic increment.
+        let mut shard = match slot.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.contended_interns.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                slot.lock()
+            }
+        };
         if let Some(&id) = shard.get(&node) {
             return id;
         }
@@ -170,6 +184,13 @@ impl TermPool {
     /// Number of declared variables.
     pub fn num_vars(&self) -> usize {
         self.vars.len()
+    }
+
+    /// Times an interning thread found its consing shard locked by another
+    /// thread (see the field docs; exported as
+    /// `p4testgen_pool_intern_contention_total`).
+    pub fn intern_contention(&self) -> u64 {
+        self.contended_interns.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Declare a fresh symbolic variable and return a term referring to it.

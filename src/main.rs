@@ -18,14 +18,21 @@
 //!   --out <FILE>                             write tests here (default stdout)
 //!   --coverage                               print the coverage report
 //!   --validate                               run tests on the software model
+//!   --trace-out <FILE>                       stream structured run trace (JSONL)
+//!   --metrics-out <FILE>                     export metrics (.json → JSON, else Prometheus text)
+//!   --summary-json [FILE]                    machine-readable run summary (stdout unless FILE)
+//!   --quiet                                  only errors on stderr
+//!   -v, --verbose                            chattier stderr diagnostics
 //! ```
 
 use p4t_backends::{ProtoBackend, PtfBackend, StfBackend, TestBackend};
-use p4t_interp::{execute_and_check_with_bound, Arch, FaultSet};
+use p4t_interp::{execute_and_check_counted, Arch, FaultSet, InterpStats};
+use p4t_obs::{Diag, Level, Registry};
 use p4t_targets::{EbpfModel, Tofino, V1Model};
 use p4testgen_core::{Preconditions, RunSummary, Strategy, Target, Testgen, TestgenConfig, TestSpec};
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Options {
@@ -44,6 +51,11 @@ struct Options {
     solver_budget: Option<u64>,
     deadline: Option<Duration>,
     model_loop_bound: Option<u32>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    /// `None` = off; `Some(None)` = stdout; `Some(Some(path))` = file.
+    summary_json: Option<Option<String>>,
+    verbosity: Level,
 }
 
 fn usage() -> ! {
@@ -52,7 +64,8 @@ fn usage() -> ! {
          \t[--max-tests N] [--seed N] [--strategy dfs|bfs|random|coverage] [--jobs N]\n\
          \t[--solver-budget N] [--deadline SECONDS] [--model-loop-bound N]\n\
          \t[--fixed-packet-size BYTES] [--with-constraints] [--out FILE]\n\
-         \t[--coverage] [--validate] <program.p4>"
+         \t[--coverage] [--validate] [--trace-out FILE] [--metrics-out FILE]\n\
+         \t[--summary-json [FILE]] [--quiet] [-v|--verbose] <program.p4>"
     );
     std::process::exit(2);
 }
@@ -74,8 +87,12 @@ fn parse_args() -> Options {
         solver_budget: None,
         deadline: None,
         model_loop_bound: None,
+        trace_out: None,
+        metrics_out: None,
+        summary_json: None,
+        verbosity: Level::Info,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--target" => opts.target = args.next().unwrap_or_else(|| usage()),
@@ -128,6 +145,20 @@ fn parse_args() -> Options {
             "--out" => opts.out = Some(args.next().unwrap_or_else(|| usage())),
             "--coverage" => opts.coverage = true,
             "--validate" => opts.validate = true,
+            "--trace-out" => opts.trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics-out" => opts.metrics_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--summary-json" => {
+                // Optional FILE operand: consume the next argument only when
+                // it is unambiguously a summary destination (a .json path);
+                // otherwise the summary goes to stdout.
+                let file = match args.peek() {
+                    Some(next) if next.ends_with(".json") => args.next(),
+                    _ => None,
+                };
+                opts.summary_json = Some(file);
+            }
+            "--quiet" => opts.verbosity = Level::Error,
+            "-v" | "--verbose" => opts.verbosity = Level::Verbose,
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => opts.program = other.to_string(),
             _ => usage(),
@@ -158,10 +189,11 @@ fn generate<T: Target>(
 
 fn main() -> ExitCode {
     let opts = parse_args();
+    let diag = Diag::new(opts.verbosity);
     let source = match std::fs::read_to_string(&opts.program) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("p4testgen: cannot read {}: {e}", opts.program);
+            diag.error(format!("cannot read {}: {e}", opts.program));
             return ExitCode::from(2);
         }
     };
@@ -185,6 +217,11 @@ fn main() -> ExitCode {
         fixed_packet_bytes: opts.fixed_packet,
         apply_entry_restrictions: opts.with_constraints,
     };
+    // Observability: trace collection is on only when a sink was named, and
+    // the metrics registry exists only when it will be exported.
+    config.obs.trace = opts.trace_out.is_some();
+    let registry = opts.metrics_out.as_ref().map(|_| Arc::new(Registry::new()));
+    config.obs.metrics = registry.clone();
     let name = opts.program.rsplit('/').next().unwrap_or(&opts.program);
     let model_loop_bound = config.interp_parser_loop_bound;
     let result = match opts.target.as_str() {
@@ -193,39 +230,50 @@ fn main() -> ExitCode {
         "t2na" => generate(name, &source, Tofino::t2na(), config).map(|r| (r, Arch::T2na)),
         "ebpf_model" => generate(name, &source, EbpfModel::new(), config).map(|r| (r, Arch::Ebpf)),
         other => {
-            eprintln!("p4testgen: unknown target '{other}'");
+            diag.error(format!("unknown target '{other}'"));
             return ExitCode::from(2);
         }
     };
     let ((tests, summary, prog), arch) = match result {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("p4testgen: {e}");
+            diag.error(e);
             return ExitCode::FAILURE;
         }
     };
-    eprintln!(
-        "p4testgen: {} tests over {} paths ({} infeasible, {} abandoned)",
+    diag.info(format!(
+        "{} tests over {} paths ({} infeasible, {} abandoned)",
         summary.tests, summary.paths_explored, summary.infeasible_paths, summary.abandoned_paths
-    );
+    ));
+    diag.verbose(format!(
+        "phases: stepping {:?}, solving {:?}, emission {:?}; {} workers at {:.0}% utilization; \
+         {} solver checks, {} memo hits",
+        summary.phases.stepping,
+        summary.phases.solving,
+        summary.phases.emission,
+        summary.phases.workers,
+        summary.phases.utilization() * 100.0,
+        summary.solver_checks,
+        summary.memo_hits
+    ));
     // Graceful-degradation report: the run completed, but not cleanly.
     if !summary.errors.is_clean() {
-        eprintln!("p4testgen: degraded run: {}", summary.errors);
+        diag.warn(format!("degraded run: {}", summary.errors));
     }
     if summary.errors.model_defaults > 0 {
-        eprintln!(
-            "p4testgen: warning: {} model value(s) silently defaulted to 0 — \
+        diag.warn(format!(
+            "{} model value(s) silently defaulted to 0 — \
              emitted tests may under-constrain those fields",
             summary.errors.model_defaults
-        );
+        ));
     }
     for p in &summary.errors.panics {
-        eprintln!(
-            "p4testgen: isolated panic at trail {:?}: {}{}",
+        diag.warn(format!(
+            "isolated panic at trail {:?}: {}{}",
             p.trail,
             p.payload,
             p.last_trace.as_deref().map(|t| format!(" (last trace: {t})")).unwrap_or_default()
-        );
+        ));
     }
     if opts.coverage {
         eprint!("{}", summary.coverage);
@@ -240,29 +288,36 @@ fn main() -> ExitCode {
             format!("[{}]\n", items.join(",\n"))
         }
         other => {
-            eprintln!("p4testgen: unknown backend '{other}'");
+            diag.error(format!("unknown backend '{other}'"));
             return ExitCode::from(2);
         }
     };
     match &opts.out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, rendered) {
-                eprintln!("p4testgen: cannot write {path}: {e}");
+                diag.error(format!("cannot write {path}: {e}"));
                 return ExitCode::FAILURE;
             }
-            eprintln!("p4testgen: wrote {path}");
+            diag.info(format!("wrote {path}"));
         }
         None => {
             let mut stdout = std::io::stdout().lock();
             let _ = stdout.write_all(rendered.as_bytes());
         }
     }
-    // Optional validation pass on the software model.
+    // Optional validation pass on the software model. Failures do not abort
+    // here — telemetry sinks are flushed below either way, and the exit code
+    // reflects the validation outcome.
+    let mut validation_failed = false;
     if opts.validate {
         let mut fails = 0;
         let mut loop_bound_hits = 0;
+        let mut model = InterpStats::default();
         for t in &tests {
-            let v = execute_and_check_with_bound(&prog, arch, FaultSet::none(), t, model_loop_bound);
+            let (v, stats) =
+                execute_and_check_counted(&prog, arch, FaultSet::none(), t, model_loop_bound);
+            model.statements += stats.statements;
+            model.parser_visits += stats.parser_visits;
             if !v.is_pass() {
                 if let p4t_interp::Verdict::Exception(m) = &v {
                     if p4testgen_core::classify_abandon_reason(m)
@@ -271,21 +326,75 @@ fn main() -> ExitCode {
                         loop_bound_hits += 1;
                     }
                 }
-                eprintln!("p4testgen: test {} FAILED on the software model: {v}", t.id);
+                diag.error(format!("test {} FAILED on the software model: {v}", t.id));
                 fails += 1;
             }
         }
+        if let Some(reg) = &registry {
+            reg.counter("p4testgen_model_runs_total", "software-model executions (--validate)")
+                .add(tests.len() as u64);
+            reg.counter("p4testgen_model_statements_total", "statements the software model executed")
+                .add(model.statements);
+            reg.counter("p4testgen_model_parser_visits_total", "software-model parser state visits")
+                .add(model.parser_visits);
+        }
         if loop_bound_hits > 0 {
-            eprintln!(
-                "p4testgen: {loop_bound_hits} failure(s) were the model's parser loop bound \
+            diag.warn(format!(
+                "{loop_bound_hits} failure(s) were the model's parser loop bound \
                  ({model_loop_bound}); raise it with --model-loop-bound"
-            );
+            ));
         }
         if fails > 0 {
-            eprintln!("p4testgen: {fails}/{} tests failed validation", tests.len());
+            diag.error(format!("{fails}/{} tests failed validation", tests.len()));
+            validation_failed = true;
+        } else {
+            diag.info(format!("all {} tests pass on the software model", tests.len()));
+        }
+    }
+    // Flush the machine-readable telemetry sinks.
+    if let Some(path) = &opts.trace_out {
+        let jsonl = summary.trace.as_ref().map(|t| t.to_jsonl()).unwrap_or_default();
+        if let Err(e) = std::fs::write(path, jsonl) {
+            diag.error(format!("cannot write {path}: {e}"));
             return ExitCode::FAILURE;
         }
-        eprintln!("p4testgen: all {} tests pass on the software model", tests.len());
+        diag.verbose(format!("wrote trace {path}"));
+    }
+    if let (Some(path), Some(reg)) = (&opts.metrics_out, &registry) {
+        // Format follows the destination: .json gets the JSON export,
+        // anything else the Prometheus text exposition.
+        let rendered = if path.ends_with(".json") {
+            let mut s = serde_json::to_string_pretty(&reg.render_json()).unwrap_or_default();
+            s.push('\n');
+            s
+        } else {
+            reg.render_prometheus()
+        };
+        if let Err(e) = std::fs::write(path, rendered) {
+            diag.error(format!("cannot write {path}: {e}"));
+            return ExitCode::FAILURE;
+        }
+        diag.verbose(format!("wrote metrics {path}"));
+    }
+    if let Some(dest) = &opts.summary_json {
+        let mut s = serde_json::to_string_pretty(&summary.to_json()).unwrap_or_default();
+        s.push('\n');
+        match dest {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, s) {
+                    diag.error(format!("cannot write {path}: {e}"));
+                    return ExitCode::FAILURE;
+                }
+                diag.verbose(format!("wrote summary {path}"));
+            }
+            None => {
+                let mut stdout = std::io::stdout().lock();
+                let _ = stdout.write_all(s.as_bytes());
+            }
+        }
+    }
+    if validation_failed {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

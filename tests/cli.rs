@@ -109,6 +109,112 @@ fn cli_max_tests_and_seed_are_honored() {
 }
 
 #[test]
+fn cli_observability_outputs_round_trip() {
+    let prog = write_program();
+    let dir = prog.parent().unwrap();
+    let trace = dir.join("trace.jsonl");
+    let metrics = dir.join("metrics.json");
+    let summary = dir.join("summary.json");
+    let suite = dir.join("suite.stf");
+    let out = bin()
+        .args(["--target", "v1model", "--validate", "--jobs", "2", "--quiet"])
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .arg("--summary-json")
+        .arg(&summary)
+        .arg("--out")
+        .arg(&suite)
+        .arg(&prog)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    // --quiet leaves only errors on stderr; the run is clean, so: nothing.
+    assert!(
+        out.stderr.is_empty(),
+        "--quiet still wrote diagnostics: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The trace is JSONL; path records carry trails, engine records workers.
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    let mut path_lines = 0;
+    for line in trace_text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("trace line parses");
+        match v.get("k").and_then(|k| k.as_str()) {
+            Some("path") => {
+                path_lines += 1;
+                assert!(v.get("trail").is_some(), "{line}");
+                assert!(v.get("outcome").is_some(), "{line}");
+            }
+            Some("engine") => assert!(v.get("worker").is_some(), "{line}"),
+            other => panic!("unknown trace record kind {other:?}: {line}"),
+        }
+    }
+    assert!(path_lines > 0, "no path records in the trace");
+
+    // The metrics export parses and its counters agree with the summary.
+    let metrics_v: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).expect("metrics JSON");
+    let summary_v: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&summary).unwrap()).expect("summary JSON");
+    assert_eq!(
+        summary_v.get("schema").and_then(|s| s.as_str()),
+        Some("p4testgen-run-summary/v1")
+    );
+    let tests_emitted = metrics_v
+        .get("metrics")
+        .and_then(|m| m.as_array())
+        .expect("metrics array")
+        .iter()
+        .find(|m| {
+            m.get("name").and_then(|n| n.as_str()) == Some("p4testgen_tests_emitted_total")
+        })
+        .and_then(|m| m.get("value"))
+        .and_then(|v| v.as_u64())
+        .expect("tests_emitted counter present");
+    assert_eq!(Some(tests_emitted), summary_v.get("tests").and_then(|v| v.as_u64()));
+    // --validate folds the software-model counters in too.
+    assert!(
+        metrics_v.get("metrics").and_then(|m| m.as_array()).unwrap().iter().any(|m| {
+            m.get("name").and_then(|n| n.as_str()) == Some("p4testgen_model_statements_total")
+                && m.get("value").and_then(|v| v.as_u64()).is_some_and(|v| v > 0)
+        }),
+        "model statement counter missing or zero"
+    );
+}
+
+#[test]
+fn cli_metrics_prometheus_text_and_summary_stdout() {
+    let prog = write_program();
+    let dir = prog.parent().unwrap();
+    let metrics = dir.join("metrics.prom");
+    let suite = dir.join("suite2.stf");
+    let out = bin()
+        .args(["--target", "v1model", "--quiet", "--summary-json"])
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .arg("--out")
+        .arg(&suite)
+        .arg(&prog)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    // --summary-json without a .json operand goes to stdout (the suite went
+    // to --out, so stdout is exactly the summary document).
+    let summary: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("stdout is the summary JSON");
+    assert!(summary.get("phases").is_some());
+    // A non-.json destination gets the Prometheus text exposition.
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(text.contains("# TYPE p4testgen_paths_total counter"), "{text}");
+    assert!(text.contains("p4testgen_paths_total{outcome=\"emitted\"}"), "{text}");
+    assert!(text.contains("# TYPE p4testgen_queue_depth histogram"), "{text}");
+    assert!(text.contains("p4testgen_queue_depth_bucket{le=\"+Inf\"}"), "{text}");
+}
+
+#[test]
 fn cli_accepts_robustness_flags_and_stays_deterministic() {
     let prog = write_program();
     let run = || {

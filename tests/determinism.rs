@@ -326,6 +326,71 @@ fn saturating_unknown_injection_still_terminates_deterministically() {
     }
 }
 
+/// Run with tracing on and return the schedule-independent residue of the
+/// JSONL trace: path records only, timing stripped.
+fn stripped_trace(src: &str, configure: impl Fn(&mut TestgenConfig), jobs: usize) -> String {
+    let mut config = TestgenConfig::default();
+    config.seed = 7;
+    config.jobs = jobs;
+    config.obs.trace = true;
+    configure(&mut config);
+    let (_, summary) = run_with_config("synthetic", src, config);
+    let trace = summary.trace.expect("trace collected when obs.trace is set");
+    p4t_obs::trace::strip_schedule_dependent(&trace.to_jsonl())
+}
+
+#[test]
+fn trace_jsonl_is_schedule_independent_after_stripping_timing() {
+    let src = p4t_corpus::generate_synthetic(4, 3);
+    let base = stripped_trace(&src, |_| {}, 1);
+    assert!(!base.is_empty(), "tracing produced no path records");
+    // Every surviving line is a path record keyed by its fork trail, with
+    // the timing object gone.
+    for line in base.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("trace line parses");
+        assert_eq!(v.get("k").and_then(|k| k.as_str()), Some("path"), "{line}");
+        assert!(v.get("trail").is_some(), "path record without a trail: {line}");
+        assert!(v.get("t").is_none(), "timing survived stripping: {line}");
+        assert!(v.get("outcome").is_some(), "path record without outcome: {line}");
+    }
+    for jobs in [4usize, 8] {
+        assert_eq!(
+            base,
+            stripped_trace(&src, |_| {}, jobs),
+            "stripped trace differs between jobs=1 and jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn trace_stays_deterministic_under_fault_injection() {
+    // The PR 2 fault plan poisons specific trails with Unknown verdicts and
+    // a panic; the stripped trace must still be identical at any worker
+    // count, with the injected outcomes visible in the path records.
+    let src = p4t_corpus::generate_synthetic(4, 3);
+    let (_, base_sum) = run_with_jobs("synthetic_4x3", &src, 1);
+    let unknown_trails: Vec<Vec<u32>> =
+        [0usize, 2, 4].iter().map(|&i| base_sum.test_trails[i].clone()).collect();
+    let panic_trail = base_sum.test_trails[1].clone();
+    let configure = |config: &mut TestgenConfig| {
+        config.fault_plan.seed = 99;
+        for t in &unknown_trails {
+            config.fault_plan.force_unknown_at(t.clone());
+        }
+        config.fault_plan.force_panic_at(panic_trail.clone());
+    };
+    let base = stripped_trace(&src, configure, 1);
+    assert!(base.contains("\"abandoned\""), "injected Unknowns not visible in the trace");
+    assert!(base.contains("\"panicked\""), "injected panic not visible in the trace");
+    for jobs in [4usize, 8] {
+        assert_eq!(
+            base,
+            stripped_trace(&src, configure, jobs),
+            "faulted stripped trace differs between jobs=1 and jobs={jobs}"
+        );
+    }
+}
+
 #[test]
 fn feasibility_memo_reports_hits() {
     // Chained identical tables reconverge on identical constraint sets, so
