@@ -53,7 +53,7 @@ pub use state::{Cmd, ExecState, FinishReason};
 pub use sym::Sym;
 pub use target::{ExecCtx, ExtArg, ExternOutcome, PipeStep, Target, UninitPolicy};
 pub use testgen::{
-    classify_abandon_reason, reason, ErrorStats, PanicRecord, PhaseStats, RunError, RunSummary,
-    Strategy, Testgen, TestgenConfig,
+    classify_abandon_reason, reason, BuildError, ErrorStats, PanicRecord, PhaseStats, RunError,
+    RunSummary, Strategy, Testgen, TestgenConfig,
 };
 pub use testspec::{KeyMatch, MaskedBytes, OutputPacketSpec, TableEntrySpec, TestSpec};

@@ -21,7 +21,9 @@ pub fn compile_restriction(
     source: &str,
     keys: &[SynthKeyMatch],
 ) -> Result<Option<TermId>, String> {
-    let expr = parse_expression(source).map_err(|e| e.to_string())?;
+    let expr = parse_expression(source).map_err(|diags| {
+        diags.iter().map(ToString::to_string).collect::<Vec<_>>().join("; ")
+    })?;
     let mut any_key = false;
     let t = compile_expr(pool, &expr, keys, &mut any_key)?;
     if any_key {

@@ -309,6 +309,9 @@ pub struct ErrorStats {
     pub abandoned_by_reason: BTreeMap<String, u64>,
     /// Detail for the first few isolated panics, trail-sorted.
     pub panics: Vec<PanicRecord>,
+    /// Warning-severity frontend diagnostics from compiling the program
+    /// (the program still compiled; errors abort the build instead).
+    pub frontend_warnings: u64,
 }
 
 /// Cap on retained [`PanicRecord`]s (counters keep counting past it).
@@ -329,6 +332,7 @@ impl ErrorStats {
             *self.abandoned_by_reason.entry(k.clone()).or_insert(0) += v;
         }
         self.panics.extend(other.panics.iter().cloned());
+        self.frontend_warnings += other.frontend_warnings;
     }
 
     /// True when the run degraded in no way at all.
@@ -358,9 +362,47 @@ impl std::fmt::Display for ErrorStats {
                 write!(f, " {k}={v}")?;
             }
         }
+        if self.frontend_warnings > 0 {
+            write!(f, "; {} frontend warning(s)", self.frontend_warnings)?;
+        }
         Ok(())
     }
 }
+
+/// A build that could not produce a [`Testgen`]: the frontend rejected the
+/// program, or the target extension rejected the compiled pipeline.
+/// Returned by [`Testgen::new_checked`]; [`Testgen::new`] flattens it to a
+/// string for API compatibility.
+#[derive(Clone, Debug)]
+pub enum BuildError {
+    /// The frontend produced error diagnostics. `prelude_lines` is the
+    /// number of source lines the target's architecture prelude occupies
+    /// ahead of the user's program — subtract it (e.g. via
+    /// `SourceMap::render`'s `line_offset`) to report positions in the
+    /// user's file.
+    Frontend { diagnostics: Vec<p4t_frontend::Diagnostic>, prelude_lines: u32 },
+    /// The program compiled but the target rejected the pipeline shape.
+    Target(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Frontend { diagnostics, .. } => {
+                for (i, d) in diagnostics.iter().enumerate() {
+                    if i > 0 {
+                        writeln!(f)?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                Ok(())
+            }
+            BuildError::Target(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 /// A run that could not produce a summary: one or more workers died outside
 /// the per-path isolation (a harness bug, not a path bug). Surfaced as a
@@ -464,6 +506,10 @@ impl RunSummary {
             ("panicked_paths".into(), Value::Number(Number::U(self.errors.panicked_paths))),
             ("deadline_expired".into(), Value::Bool(self.errors.deadline_expired)),
             ("model_defaults".into(), Value::Number(Number::U(self.errors.model_defaults))),
+            (
+                "frontend_warnings".into(),
+                Value::Number(Number::U(self.errors.frontend_warnings)),
+            ),
             (
                 "abandoned_by_reason".into(),
                 Value::Object(
@@ -673,6 +719,8 @@ pub struct Testgen<T: Target> {
     pub config: TestgenConfig,
     pub concolics: ConcolicRegistry,
     program_name: String,
+    /// Warning diagnostics from the frontend (program still compiled).
+    frontend_warnings: Vec<p4t_frontend::Diagnostic>,
     /// Solver statistics merged across all workers of all runs.
     solver_totals: SolverStats,
     sat_totals: SatStats,
@@ -681,10 +729,29 @@ pub struct Testgen<T: Target> {
 impl<T: Target> Testgen<T> {
     /// Compile `source` (with the target's prelude prepended) and prepare a
     /// generation run.
+    ///
+    /// Convenience wrapper over [`Testgen::new_checked`] that flattens the
+    /// structured [`BuildError`] into a rendered string.
     pub fn new(program_name: &str, source: &str, target: T, config: TestgenConfig) -> Result<Self, String> {
-        let full = format!("{}\n{}", target.prelude(), source);
-        let prog = p4t_ir::compile(&full).map_err(|e| e.to_string())?;
-        target.pipeline(&prog)?; // validate early
+        Self::new_checked(program_name, source, target, config).map_err(|e| e.to_string())
+    }
+
+    /// Compile `source` (with the target's prelude prepended) and prepare a
+    /// generation run, preserving structured frontend diagnostics for
+    /// rendering against the user's source.
+    pub fn new_checked(
+        program_name: &str,
+        source: &str,
+        target: T,
+        config: TestgenConfig,
+    ) -> Result<Self, BuildError> {
+        let prelude = target.prelude();
+        let full = format!("{prelude}\n{source}");
+        // Number of newlines ahead of the user's first line in `full`.
+        let prelude_lines = prelude.matches('\n').count() as u32 + 1;
+        let (prog, frontend_warnings) = p4t_ir::compile_full(&full)
+            .map_err(|diagnostics| BuildError::Frontend { diagnostics, prelude_lines })?;
+        target.pipeline(&prog).map_err(BuildError::Target)?; // validate early
         Ok(Testgen {
             prog,
             target,
@@ -692,9 +759,15 @@ impl<T: Target> Testgen<T> {
             config,
             concolics: ConcolicRegistry::with_builtins(),
             program_name: program_name.to_string(),
+            frontend_warnings,
             solver_totals: SolverStats::default(),
             sat_totals: SatStats::default(),
         })
+    }
+
+    /// Warning diagnostics from the frontend compile (empty when clean).
+    pub fn frontend_warnings(&self) -> &[p4t_frontend::Diagnostic] {
+        &self.frontend_warnings
     }
 
     /// Access the compiled program.
@@ -870,6 +943,7 @@ impl<T: Target> Testgen<T> {
             t.canonicalize();
         }
         errors.deadline_expired |= shared.deadline_hit.load(Ordering::Relaxed);
+        errors.frontend_warnings = self.frontend_warnings.len() as u64;
         // Canonical panic order too: by trail, like the test suite itself.
         errors.panics.sort_by(|a, b| a.trail.cmp(&b.trail));
         errors.panics.truncate(MAX_PANIC_RECORDS);

@@ -16,6 +16,11 @@
 //!   registers) used to trigger the fault catalog.
 //! * [`generate_synthetic`] — a parameterized program generator for
 //!   path-count scaling sweeps.
+//! * [`fuzz`] — the deterministic fuzzing harness behind the `p4fuzz`
+//!   binary: mutates seed programs and checks that the frontend never
+//!   panics (it must reject bad inputs with diagnostics instead).
+
+pub mod fuzz;
 
 use std::sync::LazyLock;
 

@@ -22,7 +22,7 @@ fn all_corpus_programs_compile() {
                 assert!(prog.num_statements() > 0, "{name}: no statements");
                 assert!(!prog.package_args.is_empty(), "{name}: no package");
             }
-            Err(e) => panic!("{name} failed to compile: {e}"),
+            Err(e) => panic!("{name} failed to compile: {e:?}"),
         }
     }
 }
@@ -33,7 +33,7 @@ fn synthetic_generator_scales() {
         let src = p4t_corpus::generate_synthetic(t, a);
         let full = format!("{}\n{}", prelude_for("v1model"), src);
         let prog = p4t_ir::compile(&full)
-            .unwrap_or_else(|e| panic!("synthetic({t},{a}) failed: {e}"));
+            .unwrap_or_else(|e| panic!("synthetic({t},{a}) failed: {e:?}"));
         let tables: Vec<_> = prog.all_tables().collect();
         assert_eq!(tables.len(), t as usize);
     }

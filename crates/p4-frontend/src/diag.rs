@@ -1,0 +1,173 @@
+//! Source-mapped diagnostic rendering.
+//!
+//! [`SourceMap`] indexes a source string by line so diagnostics can be
+//! rendered compiler-style: a `file:line:col` header, the offending source
+//! line, and a caret marking the span. Spans carry byte offsets into the
+//! *preprocessed* source; preprocessing preserves line structure (comments
+//! and directives are blanked in place), so line numbers always refer to the
+//! original file. Columns on lines rewritten by `#define` substitution are
+//! relative to the substituted text and may drift from the original — the
+//! rendered line text still comes from the original source, which keeps the
+//! context readable even when the caret is approximate.
+
+use crate::error::{Diagnostic, Severity};
+use crate::token::Span;
+use std::fmt::Write as _;
+
+/// A line-indexed view of a source file for diagnostic rendering.
+#[derive(Debug)]
+pub struct SourceMap {
+    /// Display name for the file (path or synthetic name).
+    name: String,
+    /// Byte offset at which each line starts.
+    line_starts: Vec<usize>,
+    source: String,
+}
+
+impl SourceMap {
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> Self {
+        let source = source.into();
+        let mut line_starts = vec![0];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        SourceMap { name: name.into(), line_starts, source }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of lines in the source.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// The text of a 1-based line, without its trailing newline.
+    pub fn line_text(&self, line: u32) -> Option<&str> {
+        let idx = (line as usize).checked_sub(1)?;
+        let start = *self.line_starts.get(idx)?;
+        let end = self
+            .line_starts
+            .get(idx + 1)
+            .map(|&e| e.saturating_sub(1))
+            .unwrap_or(self.source.len());
+        self.source.get(start..end.max(start))
+    }
+
+    /// 1-based (line, col) for a byte offset into the source.
+    pub fn line_col(&self, offset: usize) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        let col = offset - self.line_starts[line] + 1;
+        (line as u32 + 1, col as u32)
+    }
+
+    /// Render one diagnostic with source context:
+    ///
+    /// ```text
+    /// prog.p4:3:14: error[P0001]: expected ';'
+    ///     bit<8> x
+    ///              ^
+    /// ```
+    ///
+    /// `line_offset` is subtracted from the diagnostic's line number before
+    /// rendering — callers that prepend synthetic source (an architecture
+    /// prelude) use it to report positions in the user's file. Diagnostics
+    /// that land inside the synthetic region (adjusted line < 1) are rendered
+    /// without source context and marked as such.
+    pub fn render(&self, d: &Diagnostic, line_offset: u32) -> String {
+        let sev = match d.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let line = d.span.start.line;
+        let col = d.span.start.col;
+        let mut out = String::new();
+        if line <= line_offset {
+            let _ = write!(
+                out,
+                "{}:{}:{}: {sev}[{}]: {} (in architecture prelude)",
+                self.name, line, col, d.code, d.message
+            );
+            return out;
+        }
+        let user_line = line - line_offset;
+        let _ =
+            write!(out, "{}:{}:{}: {sev}[{}]: {}", self.name, user_line, col, d.code, d.message);
+        if let Some(text) = self.line_text(user_line) {
+            let _ = write!(out, "\n    {text}");
+            let caret_col = (col as usize).saturating_sub(1).min(text.len());
+            let pad: String = text
+                .chars()
+                .take(caret_col)
+                .map(|c| if c == '\t' { '\t' } else { ' ' })
+                .collect();
+            let width = span_width(&d.span).max(1).min(text.len().saturating_sub(caret_col).max(1));
+            let _ = write!(out, "\n    {pad}{}", "^".repeat(width));
+        }
+        out
+    }
+
+    /// Render a batch of diagnostics, one block per diagnostic.
+    pub fn render_all(&self, diags: &[Diagnostic], line_offset: u32) -> String {
+        let mut out = String::new();
+        for d in diags {
+            out.push_str(&self.render(d, line_offset));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Width in bytes of a span confined to one line (else 1).
+fn span_width(span: &Span) -> usize {
+    if span.start.line == span.end.line && span.end.offset > span.start.offset {
+        span.end.offset - span.start.offset
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Diagnostic;
+    use crate::token::{Pos, Span};
+
+    fn diag_at(line: u32, col: u32, offset: usize) -> Diagnostic {
+        let pos = Pos { offset, line, col };
+        Diagnostic::parse(Span { start: pos, end: pos }, "boom")
+    }
+
+    #[test]
+    fn line_text_and_line_col() {
+        let sm = SourceMap::new("f.p4", "abc\ndef\n");
+        assert_eq!(sm.line_text(1), Some("abc"));
+        assert_eq!(sm.line_text(2), Some("def"));
+        assert_eq!(sm.line_col(0), (1, 1));
+        assert_eq!(sm.line_col(5), (2, 2));
+    }
+
+    #[test]
+    fn render_has_caret() {
+        let sm = SourceMap::new("f.p4", "abc\ndef\n");
+        let r = sm.render(&diag_at(2, 2, 5), 0);
+        assert!(r.contains("f.p4:2:2: error[P0001]: boom"), "{r}");
+        assert!(r.contains("def"), "{r}");
+        assert!(r.ends_with("     ^"), "{r:?}");
+    }
+
+    #[test]
+    fn prelude_offset_adjusts_lines() {
+        let sm = SourceMap::new("f.p4", "user line\n");
+        let r = sm.render(&diag_at(11, 3, 0), 10);
+        assert!(r.contains("f.p4:1:3"), "{r}");
+        let inside = sm.render(&diag_at(4, 1, 0), 10);
+        assert!(inside.contains("architecture prelude"), "{inside}");
+    }
+}

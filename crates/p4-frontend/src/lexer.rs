@@ -4,50 +4,104 @@
 //! `#include` lines are dropped (architecture preludes are provided as
 //! built-in source by the target extensions), `#define NAME VALUE` performs
 //! simple token-free textual substitution of object-like macros, and any
-//! other directive is ignored with a note.
+//! other directive is ignored.
+//!
+//! Both passes are **total**: malformed input produces spanned diagnostics
+//! and the lexer recovers (skipping the offending byte, or closing an
+//! unterminated literal at end of input) so that a best-effort token stream
+//! is always available for parser recovery. The token stream always ends in
+//! `Tok::Eof`.
 
-use crate::error::FrontendError;
+use crate::error::{codes, DiagSink, Diagnostic};
 use crate::token::{IntLit, Keyword, Pos, Span, Tok, Token};
 use std::collections::HashMap;
 
 /// Lex a complete source string into tokens (ending in `Tok::Eof`).
-pub fn lex(source: &str) -> Result<Vec<Token>, FrontendError> {
-    let pre = preprocess(source);
-    Lexer::new(&pre).run()
+///
+/// Returns `Err` when any lexical error was found; the error vector contains
+/// every diagnostic from the preprocessor and tokenizer.
+pub fn lex(source: &str) -> Result<Vec<Token>, Vec<Diagnostic>> {
+    let (tokens, diags) = lex_all(source);
+    if diags.iter().any(Diagnostic::is_error) {
+        Err(diags)
+    } else {
+        Ok(tokens)
+    }
+}
+
+/// Total variant of [`lex`]: always returns the best-effort token stream
+/// alongside any diagnostics, so the parser can keep going after lexical
+/// errors.
+pub fn lex_all(source: &str) -> (Vec<Token>, Vec<Diagnostic>) {
+    let mut diags = DiagSink::new();
+    let pre = preprocess(source, &mut diags);
+    let tokens = Lexer::new(&pre).run(&mut diags);
+    (tokens, diags.into_vec())
 }
 
 /// Strip comments and handle `#` directives, preserving line structure so
-/// diagnostics line numbers stay meaningful.
-fn preprocess(src: &str) -> String {
-    // Remove block comments first (replace with spaces, keep newlines).
+/// diagnostic line numbers stay meaningful. Problems (an unterminated block
+/// comment) are reported through `diags`.
+fn preprocess(src: &str, diags: &mut DiagSink) -> String {
+    // Remove block comments first (replace with spaces, keep newlines),
+    // tracking positions so an unterminated comment gets a real span.
     let mut no_block = String::with_capacity(src.len());
     let mut chars = src.chars().peekable();
+    let mut offset = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
     while let Some(c) = chars.next() {
         if c == '/' && chars.peek() == Some(&'*') {
+            let open = Pos { offset, line, col };
+            offset += 2;
+            col += 2;
             chars.next();
-            loop {
-                match chars.next() {
-                    None => break,
-                    Some('*') if chars.peek() == Some(&'/') => {
-                        chars.next();
-                        no_block.push(' ');
-                        break;
-                    }
-                    Some('\n') => no_block.push('\n'),
-                    Some(_) => {}
+            let mut closed = false;
+            while let Some(c) = chars.next() {
+                let len = c.len_utf8();
+                offset += len;
+                if c == '\n' {
+                    line += 1;
+                    col = 1;
+                    no_block.push('\n');
+                } else {
+                    col += 1;
+                }
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    offset += 1;
+                    col += 1;
+                    no_block.push(' ');
+                    closed = true;
+                    break;
                 }
             }
+            if !closed {
+                diags.push(
+                    Diagnostic::lex(open, "unterminated block comment")
+                        .with_code(codes::LEX_UNTERMINATED_COMMENT),
+                );
+            }
         } else {
+            offset += c.len_utf8();
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
             no_block.push(c);
         }
     }
     // Line comments, directives, and object-like macro substitution.
     let mut defines: HashMap<String, String> = HashMap::new();
     let mut out = String::with_capacity(no_block.len());
-    for line in no_block.lines() {
-        let line = match line.find("//") {
-            Some(i) => &line[..i],
-            None => line,
+    let mut line_start = 0usize;
+    for (line_idx, raw_line) in no_block.lines().enumerate() {
+        let raw_len = raw_line.len();
+        let line = match raw_line.find("//") {
+            Some(i) => &raw_line[..i],
+            None => raw_line,
         };
         let trimmed = line.trim_start();
         if let Some(rest) = trimmed.strip_prefix('#') {
@@ -61,11 +115,27 @@ fn preprocess(src: &str) -> String {
                         defines.insert(name.to_string(), val);
                     }
                 }
+            } else if rest.starts_with("pragma") {
+                // Recognized but deliberately not interpreted; worth telling
+                // the user since pragmas often change target semantics.
+                let col = (line.len() - trimmed.len()) as u32 + 1;
+                let pos = Pos {
+                    offset: line_start + (line.len() - trimmed.len()),
+                    line: line_idx as u32 + 1,
+                    col,
+                };
+                diags.push(
+                    Diagnostic::lex(pos, "#pragma directive is ignored")
+                        .with_code(codes::WARN_IGNORED_DIRECTIVE)
+                        .warning(),
+                );
             }
             // #include, #if(n)def, #endif, #pragma: dropped.
             out.push('\n');
+            line_start += raw_len + 1;
             continue;
         }
+        line_start += raw_len + 1;
         if defines.is_empty() {
             out.push_str(line);
         } else {
@@ -138,7 +208,11 @@ impl<'a> Lexer<'a> {
         Some(c)
     }
 
-    fn run(mut self) -> Result<Vec<Token>, FrontendError> {
+    /// Tokenize the whole input. Never fails: bytes that cannot start a token
+    /// produce a diagnostic and are skipped, and unterminated literals are
+    /// closed at end of input with a diagnostic. The returned stream always
+    /// ends with `Tok::Eof`.
+    fn run(mut self, diags: &mut DiagSink) -> Vec<Token> {
         let mut out = Vec::new();
         loop {
             while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
@@ -147,10 +221,10 @@ impl<'a> Lexer<'a> {
             let start = self.here();
             let Some(c) = self.peek() else {
                 out.push(Token { tok: Tok::Eof, span: Span { start, end: start } });
-                return Ok(out);
+                return out;
             };
             let tok = if c.is_ascii_digit() {
-                self.lex_number(start)?
+                self.lex_number(start, diags)
             } else if c.is_ascii_alphabetic() || c == b'_' {
                 let word = self.lex_word();
                 match Keyword::from_str(&word) {
@@ -159,38 +233,32 @@ impl<'a> Lexer<'a> {
                 }
             } else if c == b'"' {
                 self.bump();
-                let mut s = String::new();
-                loop {
-                    match self.bump() {
-                        None => {
-                            return Err(FrontendError::lex(start, "unterminated string literal"))
-                        }
-                        Some(b'"') => break,
-                        Some(b'\\') => {
-                            match self.bump() {
-                                Some(b'n') => s.push('\n'),
-                                Some(b't') => s.push('\t'),
-                                Some(other) => s.push(other as char),
-                                None => {
-                                    return Err(FrontendError::lex(
-                                        start,
-                                        "unterminated string escape",
-                                    ))
-                                }
-                            };
-                        }
-                        Some(other) => s.push(other as char),
-                    }
-                }
-                Tok::Str(s)
+                self.lex_string(start, diags)
             } else if c == b'@' {
                 self.bump();
                 if !matches!(self.peek(), Some(c) if c.is_ascii_alphabetic() || c == b'_') {
-                    return Err(FrontendError::lex(start, "expected identifier after '@'"));
+                    diags.push(
+                        Diagnostic::lex(start, "expected identifier after '@'")
+                            .with_code(codes::LEX_BAD_ANNOTATION),
+                    );
+                    continue;
                 }
                 Tok::At(self.lex_word())
             } else {
-                self.lex_symbol(start)?
+                match self.lex_symbol() {
+                    Some(t) => t,
+                    None => {
+                        // Unlexable byte: report once and skip it.
+                        diags.push(
+                            Diagnostic::lex(
+                                start,
+                                format!("unexpected character '{}'", c as char),
+                            )
+                            .with_code(codes::LEX_UNEXPECTED_CHAR),
+                        );
+                        continue;
+                    }
+                }
             };
             let end = self.here();
             out.push(Token { tok, span: Span { start, end } });
@@ -205,58 +273,121 @@ impl<'a> Lexer<'a> {
         String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
     }
 
-    fn lex_number(&mut self, start: Pos) -> Result<Tok, FrontendError> {
+    /// Lex a string body, the opening `"` having been consumed. An
+    /// unterminated string (or escape) at end of input is closed with a
+    /// diagnostic rather than discarded, so the parser still sees the token.
+    fn lex_string(&mut self, start: Pos, diags: &mut DiagSink) -> Tok {
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => {
+                    diags.push(
+                        Diagnostic::lex(start, "unterminated string literal")
+                            .with_code(codes::LEX_UNTERMINATED_STRING),
+                    );
+                    break;
+                }
+                Some(b'"') => break,
+                // Strings do not span lines; a bare newline means the
+                // closing quote is missing.
+                Some(b'\n') => {
+                    diags.push(
+                        Diagnostic::lex(start, "unterminated string literal")
+                            .with_code(codes::LEX_UNTERMINATED_STRING),
+                    );
+                    break;
+                }
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(other) => s.push(other as char),
+                    None => {
+                        diags.push(
+                            Diagnostic::lex(start, "unterminated string escape")
+                                .with_code(codes::LEX_UNTERMINATED_ESCAPE),
+                        );
+                        break;
+                    }
+                },
+                Some(other) => s.push(other as char),
+            }
+        }
+        Tok::Str(s)
+    }
+
+    fn lex_number(&mut self, start: Pos, diags: &mut DiagSink) -> Tok {
         // First scan digits; if followed by 'w' or 's', it was a width prefix.
-        let first = self.lex_digits(10, start)?;
+        let first = self.lex_digits(10, start, diags);
         match self.peek() {
             Some(b'w') | Some(b's') => {
                 let signed = self.peek() == Some(b's');
                 self.bump();
-                let width: u32 = first.try_into().map_err(|_| {
-                    FrontendError::lex(start, "literal width does not fit in u32")
-                })?;
-                if width == 0 {
-                    return Err(FrontendError::lex(start, "zero-width literal"));
-                }
-                let value = self.lex_based_value(start)?;
-                Ok(Tok::Int(IntLit { value, width: Some(width), signed }))
+                let width: u32 = match first.try_into() {
+                    Ok(w) => w,
+                    Err(_) => {
+                        diags.push(
+                            Diagnostic::lex(start, "literal width does not fit in u32")
+                                .with_code(codes::LEX_WIDTH_TOO_LARGE),
+                        );
+                        32
+                    }
+                };
+                let width = if width == 0 {
+                    diags.push(
+                        Diagnostic::lex(start, "zero-width literal")
+                            .with_code(codes::LEX_ZERO_WIDTH),
+                    );
+                    1
+                } else {
+                    width
+                };
+                let value = self.lex_based_value(start, diags);
+                Tok::Int(IntLit { value, width: Some(width), signed })
             }
             Some(b'x' | b'X' | b'b' | b'B' | b'o' | b'O' | b'd' | b'D') if first == 0 => {
                 // 0x..., 0b..., 0o... with no width prefix.
-                let value = self.lex_base_suffix(start)?;
-                Ok(Tok::Int(IntLit { value, width: None, signed: false }))
+                let value = self.lex_base_suffix(start, diags);
+                Tok::Int(IntLit { value, width: None, signed: false })
             }
-            _ => Ok(Tok::Int(IntLit { value: first, width: None, signed: false })),
+            _ => Tok::Int(IntLit { value: first, width: None, signed: false }),
         }
     }
 
     /// After a width prefix (`8w`), parse `255`, `0xFF`, `0b1010`, etc.
-    fn lex_based_value(&mut self, start: Pos) -> Result<u128, FrontendError> {
+    fn lex_based_value(&mut self, start: Pos, diags: &mut DiagSink) -> u128 {
         if self.peek() == Some(b'0')
             && matches!(self.peek2(), Some(b'x' | b'X' | b'b' | b'B' | b'o' | b'O' | b'd' | b'D'))
         {
             self.bump();
-            self.lex_base_suffix(start)
+            self.lex_base_suffix(start, diags)
         } else {
-            self.lex_digits(10, start)
+            self.lex_digits(10, start, diags)
         }
     }
 
     /// Parse the `x1F` part, the leading `0` having been consumed.
-    fn lex_base_suffix(&mut self, start: Pos) -> Result<u128, FrontendError> {
+    fn lex_base_suffix(&mut self, start: Pos, diags: &mut DiagSink) -> u128 {
         let base = match self.bump() {
             Some(b'x' | b'X') => 16,
             Some(b'b' | b'B') => 2,
             Some(b'o' | b'O') => 8,
             Some(b'd' | b'D') => 10,
-            _ => return Err(FrontendError::lex(start, "bad numeric base")),
+            _ => {
+                diags.push(
+                    Diagnostic::lex(start, "bad numeric base").with_code(codes::LEX_BAD_BASE),
+                );
+                return 0;
+            }
         };
-        self.lex_digits(base, start)
+        self.lex_digits(base, start, diags)
     }
 
-    fn lex_digits(&mut self, base: u32, start: Pos) -> Result<u128, FrontendError> {
+    /// Scan digits in `base`, reporting overflow and empty digit runs.
+    /// Returns 0 on error so lexing can continue with a placeholder value.
+    fn lex_digits(&mut self, base: u32, start: Pos, diags: &mut DiagSink) -> u128 {
         let mut any = false;
         let mut value: u128 = 0;
+        let mut overflowed = false;
         loop {
             match self.peek() {
                 Some(b'_') => {
@@ -264,25 +395,33 @@ impl<'a> Lexer<'a> {
                 }
                 Some(c) if (c as char).is_digit(base) => {
                     any = true;
-                    value = value
-                        .checked_mul(base as u128)
-                        .and_then(|v| v.checked_add((c as char).to_digit(base).unwrap() as u128))
-                        .ok_or_else(|| {
-                            FrontendError::lex(start, "integer literal exceeds 128 bits")
-                        })?;
+                    let digit = (c as char).to_digit(base).unwrap_or(0) as u128;
+                    match value.checked_mul(base as u128).and_then(|v| v.checked_add(digit)) {
+                        Some(v) => value = v,
+                        None => overflowed = true,
+                    }
                     self.bump();
                 }
                 _ => break,
             }
         }
-        if !any {
-            return Err(FrontendError::lex(start, "expected digits"));
+        if overflowed {
+            diags.push(
+                Diagnostic::lex(start, "integer literal exceeds 128 bits")
+                    .with_code(codes::LEX_INT_OVERFLOW),
+            );
+            return 0;
         }
-        Ok(value)
+        if !any {
+            diags.push(Diagnostic::lex(start, "expected digits").with_code(codes::LEX_EXPECTED_DIGITS));
+        }
+        value
     }
 
-    fn lex_symbol(&mut self, start: Pos) -> Result<Tok, FrontendError> {
-        let c = self.bump().unwrap();
+    /// Lex a punctuation token. Returns `None` (without consuming anything
+    /// beyond the first byte) for bytes that cannot start a token.
+    fn lex_symbol(&mut self) -> Option<Tok> {
+        let c = self.bump()?;
         let t = match c {
             b'(' => Tok::LParen,
             b')' => Tok::RParen,
@@ -373,14 +512,9 @@ impl<'a> Lexer<'a> {
                     Tok::Pipe
                 }
             }
-            other => {
-                return Err(FrontendError::lex(
-                    start,
-                    format!("unexpected character '{}'", other as char),
-                ))
-            }
+            _ => return None,
         };
-        Ok(t)
+        Some(t)
     }
 }
 
@@ -483,5 +617,47 @@ mod tests {
     fn lex_error_on_garbage() {
         assert!(lex("`").is_err());
         assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_has_code_and_recovers() {
+        let (tokens, diags) = lex_all("a \"oops");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::LEX_UNTERMINATED_STRING);
+        assert_eq!(diags[0].span.start.line, 1);
+        assert_eq!(diags[0].span.start.col, 3);
+        // The partial string still becomes a token and the stream ends in Eof.
+        assert_eq!(tokens[1].tok, Tok::Str("oops".into()));
+        assert_eq!(tokens.last().map(|t| t.tok.clone()), Some(Tok::Eof));
+    }
+
+    #[test]
+    fn unterminated_block_comment_has_span() {
+        let (tokens, diags) = lex_all("x /* never closed\nmore");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::LEX_UNTERMINATED_COMMENT);
+        assert_eq!(diags[0].span.start.line, 1);
+        assert_eq!(diags[0].span.start.col, 3);
+        assert_eq!(tokens[0].tok, Tok::Ident("x".into()));
+    }
+
+    #[test]
+    fn bad_bytes_are_skipped_not_fatal() {
+        let (tokens, diags) = lex_all("a ` $ b");
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.code == codes::LEX_UNEXPECTED_CHAR));
+        let kinds: Vec<_> = tokens.iter().map(|t| t.tok.clone()).collect();
+        assert_eq!(
+            kinds,
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn overflow_and_zero_width_recover() {
+        let (_, diags) = lex_all("340282366920938463463374607431768211456 0w1");
+        let codes_seen: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert!(codes_seen.contains(&codes::LEX_INT_OVERFLOW));
+        assert!(codes_seen.contains(&codes::LEX_ZERO_WIDTH));
     }
 }

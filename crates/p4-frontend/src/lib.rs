@@ -14,12 +14,22 @@
 //! * [`mod@typecheck`] — builds a [`types::TypeEnv`] and checks the program;
 //!   the resulting [`typecheck::CheckedProgram`] feeds IR lowering.
 //!
+//! Every stage is **total**: it returns `Result<_, Vec<Diagnostic>>` rather
+//! than panicking or stopping at the first problem. The parser recovers at
+//! `;` / `}` / declaration boundaries, the typechecker poisons failed types
+//! to suppress cascading errors, and a recursion-depth guard plus a per-file
+//! diagnostic cap bound work on adversarial inputs. See DESIGN.md for the
+//! diagnostic architecture.
+//!
 //! Out of scope (documented in DESIGN.md): header unions, tuples beyond
 //! `select` arguments, nested control instantiation, function declarations,
 //! and `value_set`s. Architecture preludes (v1model, tna, ...) are supplied
 //! as source strings by the target extensions and parsed with this grammar.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod ast;
+pub mod diag;
 pub mod error;
 pub mod lexer;
 pub mod parser;
@@ -28,12 +38,35 @@ pub mod typecheck;
 pub mod types;
 
 pub use ast::Program;
-pub use error::FrontendError;
+pub use diag::SourceMap;
+pub use error::{codes, Diagnostic, FrontendError, Phase, Severity};
 pub use parser::{parse, parse_expression};
 pub use typecheck::{typecheck, CheckedProgram};
 pub use types::{Type, TypeEnv};
 
 /// Parse and typecheck a source string in one step.
-pub fn frontend(source: &str) -> Result<CheckedProgram, FrontendError> {
-    typecheck(parse(source)?)
+///
+/// On failure, the returned diagnostics contain every problem found (up to
+/// the per-file cap), ordered by phase then source position. Warnings from a
+/// clean run are carried on the [`CheckedProgram`].
+pub fn frontend(source: &str) -> Result<CheckedProgram, Vec<Diagnostic>> {
+    let (prog, parse_diags) = parser::parse_all(source);
+    if parse_diags.iter().any(Diagnostic::is_error) {
+        return Err(parse_diags);
+    }
+    match typecheck(prog) {
+        Ok(mut checked) => {
+            if !parse_diags.is_empty() {
+                let mut warnings = parse_diags;
+                warnings.append(&mut checked.warnings);
+                checked.warnings = warnings;
+            }
+            Ok(checked)
+        }
+        Err(type_diags) => {
+            let mut all = parse_diags;
+            all.extend(type_diags);
+            Err(all)
+        }
+    }
 }

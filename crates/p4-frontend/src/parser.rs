@@ -1,4 +1,4 @@
-//! Recursive-descent parser for the P4-16 subset.
+//! Recursive-descent parser for the P4-16 subset, with error recovery.
 //!
 //! Grammar notes:
 //! * `>>` is lexed as two `>` tokens; the parser fuses adjacent `>`s into a
@@ -8,37 +8,90 @@
 //!   that can begin an expression.
 //! * Architecture preludes (v1model definitions etc.) are plain P4 source
 //!   parsed with the same grammar; `#include` lines are dropped by the lexer.
+//!
+//! Error recovery: parsing is **total**. Individual productions return
+//! `Result` and abort locally, but the declaration / statement / field /
+//! table-property loops catch those errors, record them, and synchronize at
+//! `;`, `}`, or the next top-level declaration keyword before continuing, so
+//! one file yields many diagnostics. A recursion-depth guard bounds stack
+//! use on adversarial nesting and the per-file diagnostic cap bounds total
+//! work (see [`crate::error::MAX_DIAGNOSTICS`]).
 
 use crate::ast::*;
-use crate::error::FrontendError;
-use crate::lexer::lex;
+use crate::error::{codes, DiagSink, Diagnostic};
+use crate::lexer::lex_all;
 use crate::token::{IntLit, Keyword, Span, Tok, Token};
 
+/// Maximum nesting depth for expressions, statements, and types. Each level
+/// costs a bounded number of stack frames — and the expression ladder is
+/// ~14 frames per level, several KiB each in unoptimized builds — so the
+/// budget must fit a 2 MiB thread stack with headroom (48 levels measured
+/// safe under a debug-profile test runner). Real P4 programs nest
+/// expressions ~10 deep; anything near this limit is adversarial input
+/// (`((((…))))`, `if(c) if(c) …`).
+const MAX_DEPTH: u32 = 48;
+
 /// Parse a full program from source.
-pub fn parse(source: &str) -> Result<Program, FrontendError> {
-    let tokens = lex(source)?;
-    Parser { tokens, pos: 0 }.program()
+///
+/// Returns `Err` when any error was found; the vector carries every
+/// diagnostic (lexical and syntactic) discovered up to the per-file cap.
+pub fn parse(source: &str) -> Result<Program, Vec<Diagnostic>> {
+    let (prog, diags) = parse_all(source);
+    if diags.iter().any(Diagnostic::is_error) {
+        Err(diags)
+    } else {
+        Ok(prog)
+    }
+}
+
+/// Total variant of [`parse`]: always returns the best-effort program (with
+/// declarations that failed to parse dropped) alongside all diagnostics.
+pub fn parse_all(source: &str) -> (Program, Vec<Diagnostic>) {
+    let (tokens, lex_diags) = lex_all(source);
+    let mut p = Parser::new(tokens);
+    p.diags.extend(lex_diags);
+    let prog = p.program();
+    (prog, p.diags.into_vec())
 }
 
 /// Parse a single expression (used by the P4-constraints sub-language).
-pub fn parse_expression(source: &str) -> Result<Expr, FrontendError> {
-    let tokens = lex(source)?;
-    let mut p = Parser { tokens, pos: 0 };
-    let e = p.expr()?;
-    p.expect(Tok::Eof)?;
-    Ok(e)
+pub fn parse_expression(source: &str) -> Result<Expr, Vec<Diagnostic>> {
+    let (tokens, lex_diags) = lex_all(source);
+    if lex_diags.iter().any(Diagnostic::is_error) {
+        return Err(lex_diags);
+    }
+    let mut p = Parser::new(tokens);
+    match p.expr().and_then(|e| {
+        p.expect(Tok::Eof)?;
+        Ok(e)
+    }) {
+        Ok(e) => Ok(e),
+        Err(d) => Err(vec![d]),
+    }
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: u32,
+    diags: DiagSink,
 }
 
-type PResult<T> = Result<T, FrontendError>;
+type PResult<T> = Result<T, Diagnostic>;
 
 impl Parser {
+    fn new(mut tokens: Vec<Token>) -> Self {
+        // The lexer guarantees a trailing Eof; enforce it anyway so the
+        // indexing in peek()/bump() below is provably in bounds.
+        if !matches!(tokens.last().map(|t| &t.tok), Some(Tok::Eof)) {
+            let span = tokens.last().map(|t| t.span).unwrap_or_default();
+            tokens.push(Token { tok: Tok::Eof, span });
+        }
+        Parser { tokens, pos: 0, depth: 0, diags: DiagSink::new() }
+    }
+
     fn peek(&self) -> &Tok {
-        &self.tokens[self.pos].tok
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].tok
     }
 
     fn peek_at(&self, n: usize) -> &Tok {
@@ -46,15 +99,15 @@ impl Parser {
     }
 
     fn span(&self) -> Span {
-        self.tokens[self.pos].span
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
     }
 
     fn prev_span(&self) -> Span {
-        self.tokens[self.pos.saturating_sub(1)].span
+        self.tokens[self.pos.saturating_sub(1).min(self.tokens.len() - 1)].span
     }
 
     fn bump(&mut self) -> Token {
-        let t = self.tokens[self.pos].clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
         if self.pos + 1 < self.tokens.len() {
             self.pos += 1;
         }
@@ -74,10 +127,13 @@ impl Parser {
         if *self.peek() == t {
             Ok(self.bump().span)
         } else {
-            Err(FrontendError::parse(
-                self.span(),
-                format!("expected {t}, found {}", self.peek()),
-            ))
+            let code = if *self.peek() == Tok::Eof {
+                codes::PARSE_UNEXPECTED_EOF
+            } else {
+                codes::PARSE_GENERIC
+            };
+            Err(Diagnostic::parse(self.span(), format!("expected {t}, found {}", self.peek()))
+                .with_code(code))
         }
     }
 
@@ -100,9 +156,11 @@ impl Parser {
                 let sp = self.bump().span;
                 Ok(("size".into(), sp))
             }
-            other => {
-                Err(FrontendError::parse(self.span(), format!("expected identifier, found {other}")))
-            }
+            other => Err(Diagnostic::parse(
+                self.span(),
+                format!("expected identifier, found {other}"),
+            )
+            .with_code(codes::PARSE_EXPECTED_IDENT)),
         }
     }
 
@@ -112,7 +170,119 @@ impl Parser {
                 let sp = self.bump().span;
                 Ok((i.value, sp))
             }
-            other => Err(FrontendError::parse(self.span(), format!("expected integer, found {other}"))),
+            other => Err(Diagnostic::parse(self.span(), format!("expected integer, found {other}"))
+                .with_code(codes::PARSE_EXPECTED_INT)),
+        }
+    }
+
+    // ---- recovery --------------------------------------------------------
+
+    /// Guard against runaway recursion. Called on entry to every recursive
+    /// production; the caller pairs it with a decrement.
+    fn enter(&mut self) -> PResult<()> {
+        if self.depth >= MAX_DEPTH {
+            return Err(Diagnostic::parse(
+                self.span(),
+                format!("nesting exceeds the maximum depth of {MAX_DEPTH}"),
+            )
+            .with_code(codes::PARSE_RECURSION_LIMIT));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    /// Could `t` begin a top-level declaration?
+    fn is_decl_start(t: &Tok) -> bool {
+        matches!(
+            t,
+            Tok::Kw(
+                Keyword::Const
+                    | Keyword::Typedef
+                    | Keyword::Header
+                    | Keyword::Struct
+                    | Keyword::Enum
+                    | Keyword::MatchKind
+                    | Keyword::Parser
+                    | Keyword::Control
+                    | Keyword::Extern
+                    | Keyword::Action
+                    | Keyword::Package
+            )
+        )
+    }
+
+    /// After a failed top-level declaration: skip to a `;` (consumed), a
+    /// closing `}` (consumed, balancing any braces opened while skipping), or
+    /// the next declaration keyword. Guarantees progress past `start`.
+    fn sync_decl(&mut self, start: usize) {
+        if self.pos == start && *self.peek() != Tok::Eof {
+            self.bump();
+        }
+        let mut depth = 0i32;
+        loop {
+            match self.peek() {
+                Tok::Eof => return,
+                Tok::Semi if depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                t if depth == 0 && Self::is_decl_start(t) => return,
+                Tok::LBrace => {
+                    depth += 1;
+                    self.bump();
+                }
+                Tok::RBrace => {
+                    depth -= 1;
+                    self.bump();
+                    if depth <= 0 {
+                        return;
+                    }
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// After a failed statement or body item: skip to a `;` (consumed), a
+    /// balanced `{...}` block (consumed), or the enclosing `}` / end of input
+    /// (left in place for the caller's loop). Guarantees progress past
+    /// `start`.
+    fn sync_stmt(&mut self, start: usize) {
+        if self.pos == start && !matches!(self.peek(), Tok::Eof | Tok::RBrace) {
+            self.bump();
+        }
+        let mut depth = 0i32;
+        loop {
+            match self.peek() {
+                Tok::Eof => return,
+                Tok::Semi if depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                Tok::RBrace if depth == 0 => return,
+                Tok::LBrace | Tok::LParen | Tok::LBracket => {
+                    depth += 1;
+                    self.bump();
+                }
+                Tok::RBrace => {
+                    depth -= 1;
+                    self.bump();
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                Tok::RParen | Tok::RBracket => {
+                    if depth > 0 {
+                        depth -= 1;
+                    }
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
         }
     }
 
@@ -139,7 +309,7 @@ impl Parser {
                             args.push(AnnotationArg::Ident(s));
                         }
                         other => {
-                            return Err(FrontendError::parse(
+                            return Err(Diagnostic::parse(
                                 self.span(),
                                 format!("unsupported annotation argument {other}"),
                             ))
@@ -166,6 +336,13 @@ impl Parser {
     }
 
     fn type_ref(&mut self) -> PResult<TypeRef> {
+        self.enter()?;
+        let r = self.type_ref_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn type_ref_inner(&mut self) -> PResult<TypeRef> {
         let base = match self.peek().clone() {
             Tok::Kw(Keyword::Bool) => {
                 self.bump();
@@ -225,7 +402,8 @@ impl Parser {
                 }
             }
             other => {
-                return Err(FrontendError::parse(self.span(), format!("expected type, found {other}")))
+                return Err(Diagnostic::parse(self.span(), format!("expected type, found {other}"))
+                    .with_code(codes::PARSE_EXPECTED_TYPE))
             }
         };
         // Header stacks: `T[N]`.
@@ -246,12 +424,22 @@ impl Parser {
 
     // ---- program ----------------------------------------------------------
 
-    fn program(&mut self) -> PResult<Program> {
+    fn program(&mut self) -> Program {
         let mut decls = Vec::new();
         while *self.peek() != Tok::Eof {
-            decls.push(self.declaration()?);
+            if self.diags.capped() {
+                break;
+            }
+            let start = self.pos;
+            match self.declaration() {
+                Ok(d) => decls.push(d),
+                Err(e) => {
+                    self.diags.push(e);
+                    self.sync_decl(start);
+                }
+            }
         }
-        Ok(Program { decls })
+        Program { decls }
     }
 
     fn declaration(&mut self) -> PResult<Decl> {
@@ -296,7 +484,7 @@ impl Parser {
                 let (name, _) = self.expect_ident()?;
                 self.expect(Tok::LBrace)?;
                 let mut members = Vec::new();
-                while *self.peek() != Tok::RBrace {
+                while !matches!(self.peek(), Tok::RBrace | Tok::Eof) {
                     let (m, _) = self.expect_ident()?;
                     let v = if self.eat(Tok::Assign) { Some(self.expr()?) } else { None };
                     members.push((m, v));
@@ -311,7 +499,7 @@ impl Parser {
                 self.bump();
                 self.expect(Tok::LBrace)?;
                 let mut members = Vec::new();
-                while *self.peek() != Tok::RBrace {
+                while !matches!(self.peek(), Tok::RBrace | Tok::Eof) {
                     let (m, _) = self.expect_ident()?;
                     members.push(m);
                     if !self.eat(Tok::Comma) {
@@ -325,7 +513,7 @@ impl Parser {
                 self.bump();
                 self.expect(Tok::LBrace)?;
                 let mut members = Vec::new();
-                while *self.peek() != Tok::RBrace {
+                while !matches!(self.peek(), Tok::RBrace | Tok::Eof) {
                     let (m, _) = self.expect_ident()?;
                     members.push(m);
                     if !self.eat(Tok::Comma) {
@@ -356,9 +544,11 @@ impl Parser {
                 self.expect(Tok::Semi)?;
                 Ok(Decl::Instantiation(Instantiation { ty, args, name, annotations, span }))
             }
-            other => {
-                Err(FrontendError::parse(span, format!("unexpected token at top level: {other}")))
-            }
+            other => Err(Diagnostic::parse(
+                span,
+                format!("expected a declaration, found {other}"),
+            )
+            .with_code(codes::PARSE_EXPECTED_DECL)),
         }
     }
 
@@ -366,7 +556,10 @@ impl Parser {
         let mut depth = 0i32;
         loop {
             match self.peek() {
-                Tok::Eof => return Err(FrontendError::parse(self.span(), "unexpected EOF")),
+                Tok::Eof => {
+                    return Err(Diagnostic::parse(self.span(), "unexpected end of input")
+                        .with_code(codes::PARSE_UNEXPECTED_EOF))
+                }
                 Tok::Semi if depth == 0 => {
                     self.bump();
                     return Ok(());
@@ -389,22 +582,36 @@ impl Parser {
     fn field_list(&mut self) -> PResult<Vec<Field>> {
         self.expect(Tok::LBrace)?;
         let mut fields = Vec::new();
-        while *self.peek() != Tok::RBrace {
-            let annotations = self.annotations()?;
-            let span = self.span();
-            let ty = self.type_ref()?;
-            let (name, _) = self.expect_ident()?;
-            self.expect(Tok::Semi)?;
-            fields.push(Field { ty, name, annotations, span });
+        while !matches!(self.peek(), Tok::RBrace | Tok::Eof) {
+            if self.diags.capped() {
+                break;
+            }
+            let start = self.pos;
+            match self.field_item() {
+                Ok(f) => fields.push(f),
+                Err(e) => {
+                    self.diags.push(e);
+                    self.sync_stmt(start);
+                }
+            }
         }
         self.expect(Tok::RBrace)?;
         Ok(fields)
     }
 
+    fn field_item(&mut self) -> PResult<Field> {
+        let annotations = self.annotations()?;
+        let span = self.span();
+        let ty = self.type_ref()?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(Tok::Semi)?;
+        Ok(Field { ty, name, annotations, span })
+    }
+
     fn param_list(&mut self) -> PResult<Vec<Param>> {
         self.expect(Tok::LParen)?;
         let mut params = Vec::new();
-        while *self.peek() != Tok::RParen {
+        while !matches!(self.peek(), Tok::RParen | Tok::Eof) {
             let _anns = self.annotations()?;
             let span = self.span();
             let direction = match self.peek() {
@@ -484,7 +691,7 @@ impl Parser {
             self.expect(Tok::LBrace)?;
             let mut constructors = Vec::new();
             let mut methods = Vec::new();
-            while *self.peek() != Tok::RBrace {
+            while !matches!(self.peek(), Tok::RBrace | Tok::Eof) {
                 let _anns = self.annotations()?;
                 let mspan = self.span();
                 if *self.peek() == Tok::Ident(name.clone()) && *self.peek_at(1) == Tok::LParen {
@@ -542,34 +749,65 @@ impl Parser {
         self.expect(Tok::LBrace)?;
         let mut locals = Vec::new();
         let mut states = Vec::new();
-        while *self.peek() != Tok::RBrace {
-            let sanns = self.annotations()?;
-            if *self.peek() == Tok::Kw(Keyword::State) {
-                let sspan = self.span();
-                self.bump();
-                let (sname, _) = self.expect_ident()?;
-                self.expect(Tok::LBrace)?;
-                let mut stmts = Vec::new();
-                let mut transition = Transition::Direct("reject".into());
-                loop {
-                    match self.peek() {
-                        Tok::RBrace => break,
-                        Tok::Kw(Keyword::Transition) => {
-                            self.bump();
-                            transition = self.transition()?;
-                            break;
-                        }
-                        _ => stmts.push(self.statement()?),
-                    }
+        while !matches!(self.peek(), Tok::RBrace | Tok::Eof) {
+            if self.diags.capped() {
+                break;
+            }
+            let start = self.pos;
+            match self.parser_item(&mut locals, &mut states) {
+                Ok(()) => {}
+                Err(e) => {
+                    self.diags.push(e);
+                    self.sync_stmt(start);
                 }
-                self.expect(Tok::RBrace)?;
-                states.push(ParserState { name: sname, stmts, transition, annotations: sanns, span: sspan });
-            } else {
-                locals.push(self.statement()?);
             }
         }
         self.expect(Tok::RBrace)?;
         Ok(Decl::Parser(ParserDecl { name, params, locals, states, annotations, span }))
+    }
+
+    fn parser_item(
+        &mut self,
+        locals: &mut Vec<Stmt>,
+        states: &mut Vec<ParserState>,
+    ) -> PResult<()> {
+        let sanns = self.annotations()?;
+        if *self.peek() == Tok::Kw(Keyword::State) {
+            let sspan = self.span();
+            self.bump();
+            let (sname, _) = self.expect_ident()?;
+            self.expect(Tok::LBrace)?;
+            let mut stmts = Vec::new();
+            let mut transition = Transition::Direct("reject".into());
+            loop {
+                match self.peek() {
+                    Tok::RBrace | Tok::Eof => break,
+                    Tok::Kw(Keyword::Transition) => {
+                        self.bump();
+                        transition = self.transition()?;
+                        break;
+                    }
+                    _ => {
+                        if self.diags.capped() {
+                            break;
+                        }
+                        let start = self.pos;
+                        match self.statement() {
+                            Ok(s) => stmts.push(s),
+                            Err(e) => {
+                                self.diags.push(e);
+                                self.sync_stmt(start);
+                            }
+                        }
+                    }
+                }
+            }
+            self.expect(Tok::RBrace)?;
+            states.push(ParserState { name: sname, stmts, transition, annotations: sanns, span: sspan });
+        } else {
+            locals.push(self.statement()?);
+        }
+        Ok(())
     }
 
     fn transition(&mut self) -> PResult<Transition> {
@@ -581,7 +819,7 @@ impl Parser {
             self.expect(Tok::RParen)?;
             self.expect(Tok::LBrace)?;
             let mut cases = Vec::new();
-            while *self.peek() != Tok::RBrace {
+            while !matches!(self.peek(), Tok::RBrace | Tok::Eof) {
                 let cspan = self.span();
                 let keys = self.keyset()?;
                 self.expect(Tok::Colon)?;
@@ -610,7 +848,7 @@ impl Parser {
         if *self.peek() == Tok::LParen {
             self.bump();
             let mut keys = Vec::new();
-            while *self.peek() != Tok::RParen {
+            while !matches!(self.peek(), Tok::RParen | Tok::Eof) {
                 keys.push(self.keyset_expr()?);
                 if !self.eat(Tok::Comma) {
                     break;
@@ -666,36 +904,23 @@ impl Parser {
         let mut locals = Vec::new();
         let mut instantiations = Vec::new();
         let mut apply = Vec::new();
-        loop {
-            let danns = self.annotations()?;
-            match self.peek().clone() {
-                Tok::RBrace => break,
-                Tok::Kw(Keyword::Action) => actions.push(self.action_decl(danns)?),
-                Tok::Kw(Keyword::Table) => tables.push(self.table_decl(danns)?),
-                Tok::Kw(Keyword::Apply) => {
-                    self.bump();
-                    let b = self.block()?;
-                    if let Stmt::Block { stmts, .. } = b {
-                        apply = stmts;
-                    }
+        while !matches!(self.peek(), Tok::RBrace | Tok::Eof) {
+            if self.diags.capped() {
+                break;
+            }
+            let start = self.pos;
+            match self.control_item(
+                &mut actions,
+                &mut tables,
+                &mut locals,
+                &mut instantiations,
+                &mut apply,
+            ) {
+                Ok(()) => {}
+                Err(e) => {
+                    self.diags.push(e);
+                    self.sync_stmt(start);
                 }
-                Tok::Ident(_) if self.looks_like_instantiation() => {
-                    let ispan = self.span();
-                    let ty = self.type_ref()?;
-                    self.expect(Tok::LParen)?;
-                    let args = self.expr_list(Tok::RParen)?;
-                    self.expect(Tok::RParen)?;
-                    let (iname, _) = self.expect_ident()?;
-                    self.expect(Tok::Semi)?;
-                    instantiations.push(Instantiation {
-                        ty,
-                        args,
-                        name: iname,
-                        annotations: danns,
-                        span: ispan,
-                    });
-                }
-                _ => locals.push(self.statement()?),
             }
         }
         self.expect(Tok::RBrace)?;
@@ -710,6 +935,45 @@ impl Parser {
             annotations,
             span,
         }))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn control_item(
+        &mut self,
+        actions: &mut Vec<ActionDecl>,
+        tables: &mut Vec<TableDecl>,
+        locals: &mut Vec<Stmt>,
+        instantiations: &mut Vec<Instantiation>,
+        apply: &mut Vec<Stmt>,
+    ) -> PResult<()> {
+        let danns = self.annotations()?;
+        match self.peek().clone() {
+            Tok::Kw(Keyword::Action) => actions.push(self.action_decl(danns)?),
+            Tok::Kw(Keyword::Table) => tables.push(self.table_decl(danns)?),
+            Tok::Kw(Keyword::Apply) => {
+                self.bump();
+                let (stmts, _) = self.block_stmts()?;
+                *apply = stmts;
+            }
+            Tok::Ident(_) if self.looks_like_instantiation() => {
+                let ispan = self.span();
+                let ty = self.type_ref()?;
+                self.expect(Tok::LParen)?;
+                let args = self.expr_list(Tok::RParen)?;
+                self.expect(Tok::RParen)?;
+                let (iname, _) = self.expect_ident()?;
+                self.expect(Tok::Semi)?;
+                instantiations.push(Instantiation {
+                    ty,
+                    args,
+                    name: iname,
+                    annotations: danns,
+                    span: ispan,
+                });
+            }
+            _ => locals.push(self.statement()?),
+        }
+        Ok(())
     }
 
     /// At a control-local position: `Name<...>(...) id;` or `Name(...) id;`.
@@ -742,10 +1006,7 @@ impl Parser {
         self.expect(Tok::Kw(Keyword::Action))?;
         let (name, _) = self.expect_ident()?;
         let params = self.param_list()?;
-        let body = match self.block()? {
-            Stmt::Block { stmts, .. } => stmts,
-            _ => unreachable!(),
-        };
+        let (body, _) = self.block_stmts()?;
         Ok(ActionDecl { name, params, body, annotations, span })
     }
 
@@ -754,51 +1015,58 @@ impl Parser {
         self.expect(Tok::Kw(Keyword::Table))?;
         let (name, _) = self.expect_ident()?;
         self.expect(Tok::LBrace)?;
-        let mut keys = Vec::new();
-        let mut actions = Vec::new();
-        let mut default_action = None;
-        let mut entries = Vec::new();
-        let mut size = None;
-        while *self.peek() != Tok::RBrace {
-            let is_const = self.eat(Tok::Kw(Keyword::Const));
-            match self.peek().clone() {
-                Tok::Kw(Keyword::Key) => {
-                    self.bump();
-                    self.expect(Tok::Assign)?;
-                    self.expect(Tok::LBrace)?;
-                    while *self.peek() != Tok::RBrace {
-                        let kspan = self.span();
-                        let expr = self.expr()?;
-                        self.expect(Tok::Colon)?;
-                        let (mk, _) = self.expect_ident()?;
-                        let kanns = self.annotations()?;
-                        self.expect(Tok::Semi)?;
-                        keys.push(TableKey { expr, match_kind: mk, annotations: kanns, span: kspan });
-                    }
-                    self.expect(Tok::RBrace)?;
+        let mut t = TableDecl {
+            name,
+            keys: Vec::new(),
+            actions: Vec::new(),
+            default_action: None,
+            entries: Vec::new(),
+            size: None,
+            annotations,
+            span,
+        };
+        while !matches!(self.peek(), Tok::RBrace | Tok::Eof) {
+            if self.diags.capped() {
+                break;
+            }
+            let start = self.pos;
+            match self.table_item(&mut t) {
+                Ok(()) => {}
+                Err(e) => {
+                    self.diags.push(e);
+                    self.sync_stmt(start);
                 }
-                Tok::Kw(Keyword::Actions) => {
-                    self.bump();
-                    self.expect(Tok::Assign)?;
-                    self.expect(Tok::LBrace)?;
-                    while *self.peek() != Tok::RBrace {
-                        let aanns = self.annotations()?;
-                        let aspan = self.span();
-                        let (aname, _) = self.expect_ident()?;
-                        let mut args = Vec::new();
-                        if *self.peek() == Tok::LParen {
-                            self.bump();
-                            args = self.expr_list(Tok::RParen)?;
-                            self.expect(Tok::RParen)?;
-                        }
-                        self.expect(Tok::Semi)?;
-                        actions.push(ActionRef { name: aname, args, annotations: aanns, span: aspan });
-                    }
-                    self.expect(Tok::RBrace)?;
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(t)
+    }
+
+    fn table_item(&mut self, t: &mut TableDecl) -> PResult<()> {
+        let is_const = self.eat(Tok::Kw(Keyword::Const));
+        match self.peek().clone() {
+            Tok::Kw(Keyword::Key) => {
+                self.bump();
+                self.expect(Tok::Assign)?;
+                self.expect(Tok::LBrace)?;
+                while !matches!(self.peek(), Tok::RBrace | Tok::Eof) {
+                    let kspan = self.span();
+                    let expr = self.expr()?;
+                    self.expect(Tok::Colon)?;
+                    let (mk, _) = self.expect_ident()?;
+                    let kanns = self.annotations()?;
+                    self.expect(Tok::Semi)?;
+                    t.keys.push(TableKey { expr, match_kind: mk, annotations: kanns, span: kspan });
                 }
-                Tok::Kw(Keyword::DefaultAction) => {
-                    self.bump();
-                    self.expect(Tok::Assign)?;
+                self.expect(Tok::RBrace)?;
+            }
+            Tok::Kw(Keyword::Actions) => {
+                self.bump();
+                self.expect(Tok::Assign)?;
+                self.expect(Tok::LBrace)?;
+                while !matches!(self.peek(), Tok::RBrace | Tok::Eof) {
+                    let aanns = self.annotations()?;
+                    let aspan = self.span();
                     let (aname, _) = self.expect_ident()?;
                     let mut args = Vec::new();
                     if *self.peek() == Tok::LParen {
@@ -807,72 +1075,107 @@ impl Parser {
                         self.expect(Tok::RParen)?;
                     }
                     self.expect(Tok::Semi)?;
-                    default_action = Some((aname, args, is_const));
+                    t.actions.push(ActionRef { name: aname, args, annotations: aanns, span: aspan });
                 }
-                Tok::Kw(Keyword::Entries) => {
+                self.expect(Tok::RBrace)?;
+            }
+            Tok::Kw(Keyword::DefaultAction) => {
+                self.bump();
+                self.expect(Tok::Assign)?;
+                let (aname, _) = self.expect_ident()?;
+                let mut args = Vec::new();
+                if *self.peek() == Tok::LParen {
                     self.bump();
-                    self.expect(Tok::Assign)?;
-                    self.expect(Tok::LBrace)?;
-                    while *self.peek() != Tok::RBrace {
-                        let eanns = self.annotations()?;
-                        let espan = self.span();
-                        let ekeys = self.keyset()?;
-                        self.expect(Tok::Colon)?;
-                        let (aname, _) = self.expect_ident()?;
-                        let mut args = Vec::new();
-                        if *self.peek() == Tok::LParen {
-                            self.bump();
-                            args = self.expr_list(Tok::RParen)?;
-                            self.expect(Tok::RParen)?;
-                        }
-                        self.expect(Tok::Semi)?;
-                        entries.push(TableEntry {
-                            keys: ekeys,
-                            action: aname,
-                            args,
-                            annotations: eanns,
-                            span: espan,
-                        });
+                    args = self.expr_list(Tok::RParen)?;
+                    self.expect(Tok::RParen)?;
+                }
+                self.expect(Tok::Semi)?;
+                t.default_action = Some((aname, args, is_const));
+            }
+            Tok::Kw(Keyword::Entries) => {
+                self.bump();
+                self.expect(Tok::Assign)?;
+                self.expect(Tok::LBrace)?;
+                while !matches!(self.peek(), Tok::RBrace | Tok::Eof) {
+                    let eanns = self.annotations()?;
+                    let espan = self.span();
+                    let ekeys = self.keyset()?;
+                    self.expect(Tok::Colon)?;
+                    let (aname, _) = self.expect_ident()?;
+                    let mut args = Vec::new();
+                    if *self.peek() == Tok::LParen {
+                        self.bump();
+                        args = self.expr_list(Tok::RParen)?;
+                        self.expect(Tok::RParen)?;
                     }
-                    self.expect(Tok::RBrace)?;
-                }
-                Tok::Kw(Keyword::Size) => {
-                    self.bump();
-                    self.expect(Tok::Assign)?;
-                    let (n, _) = self.expect_int()?;
                     self.expect(Tok::Semi)?;
-                    size = Some(n as u64);
+                    t.entries.push(TableEntry {
+                        keys: ekeys,
+                        action: aname,
+                        args,
+                        annotations: eanns,
+                        span: espan,
+                    });
                 }
-                Tok::Ident(_) => {
-                    // Unknown table property (implementation, meters, ...): skip.
-                    self.skip_to_semi()?;
-                }
-                other => {
-                    return Err(FrontendError::parse(
-                        self.span(),
-                        format!("unexpected token in table body: {other}"),
-                    ))
-                }
+                self.expect(Tok::RBrace)?;
+            }
+            Tok::Kw(Keyword::Size) => {
+                self.bump();
+                self.expect(Tok::Assign)?;
+                let (n, _) = self.expect_int()?;
+                self.expect(Tok::Semi)?;
+                t.size = Some(n as u64);
+            }
+            Tok::Ident(_) => {
+                // Unknown table property (implementation, meters, ...): skip.
+                self.skip_to_semi()?;
+            }
+            other => {
+                return Err(Diagnostic::parse(
+                    self.span(),
+                    format!("unexpected token in table body: {other}"),
+                ))
             }
         }
-        self.expect(Tok::RBrace)?;
-        Ok(TableDecl { name, keys, actions, default_action, entries, size, annotations, span })
+        Ok(())
     }
 
     // ---- statements -----------------------------------------------------------
 
     fn block(&mut self) -> PResult<Stmt> {
-        let span = self.span();
-        self.expect(Tok::LBrace)?;
+        let (stmts, span) = self.block_stmts()?;
+        Ok(Stmt::Block { stmts, span })
+    }
+
+    /// A `{ ... }` statement list with per-statement recovery.
+    fn block_stmts(&mut self) -> PResult<(Vec<Stmt>, Span)> {
+        let span = self.expect(Tok::LBrace)?;
         let mut stmts = Vec::new();
-        while *self.peek() != Tok::RBrace {
-            stmts.push(self.statement()?);
+        while !matches!(self.peek(), Tok::RBrace | Tok::Eof) {
+            if self.diags.capped() {
+                break;
+            }
+            let start = self.pos;
+            match self.statement() {
+                Ok(s) => stmts.push(s),
+                Err(e) => {
+                    self.diags.push(e);
+                    self.sync_stmt(start);
+                }
+            }
         }
         let end = self.expect(Tok::RBrace)?;
-        Ok(Stmt::Block { stmts, span: span.merge(end) })
+        Ok((stmts, span.merge(end)))
     }
 
     fn statement(&mut self) -> PResult<Stmt> {
+        self.enter()?;
+        let r = self.statement_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn statement_inner(&mut self) -> PResult<Stmt> {
         let _anns = self.annotations()?;
         let span = self.span();
         match self.peek().clone() {
@@ -901,7 +1204,7 @@ impl Parser {
                 self.expect(Tok::RParen)?;
                 self.expect(Tok::LBrace)?;
                 let mut cases = Vec::new();
-                while *self.peek() != Tok::RBrace {
+                while !matches!(self.peek(), Tok::RBrace | Tok::Eof) {
                     let cspan = self.span();
                     let label = if self.eat(Tok::Kw(Keyword::Default)) {
                         None
@@ -964,10 +1267,11 @@ impl Parser {
                     self.expect(Tok::Semi)?;
                     match &e {
                         Expr::Call { .. } => Ok(Stmt::Call { call: e, span }),
-                        _ => Err(FrontendError::parse(
+                        _ => Err(Diagnostic::parse(
                             span,
                             "expected assignment or call statement",
-                        )),
+                        )
+                        .with_code(codes::PARSE_EXPECTED_STMT)),
                     }
                 }
             }
@@ -978,7 +1282,7 @@ impl Parser {
 
     fn expr_list(&mut self, terminator: Tok) -> PResult<Vec<Expr>> {
         let mut out = Vec::new();
-        while *self.peek() != terminator {
+        while *self.peek() != terminator && *self.peek() != Tok::Eof {
             out.push(self.expr()?);
             if !self.eat(Tok::Comma) {
                 break;
@@ -988,7 +1292,10 @@ impl Parser {
     }
 
     pub(crate) fn expr(&mut self) -> PResult<Expr> {
-        self.ternary_expr()
+        self.enter()?;
+        let r = self.ternary_expr();
+        self.depth -= 1;
+        r
     }
 
     fn ternary_expr(&mut self) -> PResult<Expr> {
@@ -1078,7 +1385,11 @@ impl Parser {
     fn gt_gt_adjacent(&self) -> bool {
         *self.peek() == Tok::Gt
             && *self.peek_at(1) == Tok::Gt
-            && self.tokens[self.pos].span.end.offset == self.tokens[self.pos + 1].span.start.offset
+            && self
+                .tokens
+                .get(self.pos + 1)
+                .map(|next| self.tokens[self.pos].span.end.offset == next.span.start.offset)
+                .unwrap_or(false)
     }
 
     fn relational_expr(&mut self) -> PResult<Expr> {
@@ -1163,6 +1474,13 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> PResult<Expr> {
+        self.enter()?;
+        let r = self.unary_expr_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_expr_inner(&mut self) -> PResult<Expr> {
         let span = self.span();
         match self.peek() {
             Tok::Not => {
@@ -1355,7 +1673,63 @@ impl Parser {
                 self.expect(Tok::RParen)?;
                 Ok(e)
             }
-            other => Err(FrontendError::parse(span, format!("expected expression, found {other}"))),
+            other => Err(Diagnostic::parse(span, format!("expected expression, found {other}"))
+                .with_code(codes::PARSE_EXPECTED_EXPR)),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_multiple_errors() {
+        let src = "header h_t { bit<8> }\nstruct s_t { h_t h; }\nconst bit<8> C = ;\n";
+        let (prog, diags) = parse_all(src);
+        let errors: Vec<_> = diags.iter().filter(|d| d.is_error()).collect();
+        assert!(errors.len() >= 2, "expected 2+ errors, got {errors:?}");
+        // The struct between the two bad declarations still parses.
+        assert!(prog.decls.iter().any(|d| matches!(d, Decl::Struct { name, .. } if name == "s_t")));
+    }
+
+    #[test]
+    fn statement_recovery_keeps_later_statements() {
+        let src = "control c(inout bit<8> x) { apply { x = ; x = 1; } }";
+        let (prog, diags) = parse_all(src);
+        assert!(diags.iter().any(|d| d.is_error()));
+        let Some(Decl::Control(c)) = prog.decls.first() else {
+            panic!("control did not survive recovery: {prog:?}")
+        };
+        assert_eq!(c.apply.len(), 1, "statement after the error should survive");
+    }
+
+    #[test]
+    fn depth_guard_reports_instead_of_overflowing() {
+        let mut src = String::from("const bit<8> C = ");
+        for _ in 0..10_000 {
+            src.push('(');
+        }
+        src.push('1');
+        for _ in 0..10_000 {
+            src.push(')');
+        }
+        src.push(';');
+        let err = parse(&src).unwrap_err();
+        assert!(err.iter().any(|d| d.code == codes::PARSE_RECURSION_LIMIT), "{err:?}");
+    }
+
+    #[test]
+    fn diagnostic_cap_bounds_output() {
+        let src = "const bit<8> C = ;\n".repeat(500);
+        let err = parse(&src).unwrap_err();
+        assert!(err.len() <= crate::error::MAX_DIAGNOSTICS + 1, "got {}", err.len());
+        assert!(err.iter().any(|d| d.code == codes::DIAG_CAP));
+    }
+
+    #[test]
+    fn eof_in_declaration_is_reported() {
+        let err = parse("header h_t { bit<8> f;").unwrap_err();
+        assert!(err.iter().any(|d| d.code == codes::PARSE_UNEXPECTED_EOF), "{err:?}");
     }
 }

@@ -9,11 +9,18 @@
 //! width mismatches on sized operands, bad match kinds, transitions to
 //! undefined states), while staying permissive where the spec delegates to
 //! targets (extern argument coercions, list expressions).
+//!
+//! The checker accumulates diagnostics instead of stopping at the first
+//! problem: a declaration that fails to resolve is entered into the
+//! environment as [`Type::Poison`], which silently satisfies later checks so
+//! one mistake produces one diagnostic rather than a cascade. Lowering only
+//! runs on error-free programs, so poison never escapes the frontend.
 
 use crate::ast::*;
-use crate::error::FrontendError;
+use crate::error::{codes, DiagSink, Diagnostic, FrontendError};
 use crate::token::Span;
 use crate::types::{Type, TypeDef, TypeEnv, ResolvedField, ERROR_WIDTH};
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// A program that has passed type checking.
@@ -21,6 +28,8 @@ use std::collections::HashMap;
 pub struct CheckedProgram {
     pub program: Program,
     pub env: TypeEnv,
+    /// Warning-severity diagnostics from a clean run.
+    pub warnings: Vec<Diagnostic>,
 }
 
 /// Lexical scope: a stack of name → type frames.
@@ -43,7 +52,12 @@ impl Scope {
     }
 
     pub fn declare(&mut self, name: &str, ty: Type) {
-        self.frames.last_mut().unwrap().insert(name.to_string(), ty);
+        if self.frames.is_empty() {
+            self.frames.push(HashMap::new());
+        }
+        if let Some(frame) = self.frames.last_mut() {
+            frame.insert(name.to_string(), ty);
+        }
     }
 
     pub fn lookup(&self, name: &str) -> Option<&Type> {
@@ -52,42 +66,75 @@ impl Scope {
 }
 
 /// Typecheck a parsed program against a (possibly empty) prelude environment.
-pub fn typecheck(program: Program) -> Result<CheckedProgram, FrontendError> {
+///
+/// Returns every diagnostic found (up to the per-file cap). `Err` iff any
+/// diagnostic is an error; warnings from a clean run are carried on the
+/// [`CheckedProgram`].
+pub fn typecheck(program: Program) -> Result<CheckedProgram, Vec<Diagnostic>> {
     let mut env = TypeEnv::new();
-    collect_declarations(&program, &mut env)?;
-    let checker = Checker { env: &env };
+    let mut sink = DiagSink::new();
+    collect_declarations_into(&program, &mut env, &mut sink);
+    let checker = Checker { env: &env, diags: RefCell::new(sink) };
     for decl in &program.decls {
+        if checker.capped() {
+            break;
+        }
         match decl {
-            Decl::Parser(p) => checker.check_parser(p)?,
-            Decl::Control(c) => checker.check_control(c)?,
+            Decl::Parser(p) => checker.check_parser(p),
+            Decl::Control(c) => checker.check_control(c),
             Decl::Action(a) => {
                 let mut scope = Scope::new();
-                checker.check_action(a, &mut scope, &HashMap::new())?;
+                checker.check_action(a, &mut scope);
             }
             _ => {}
         }
     }
-    Ok(CheckedProgram { program, env })
+    let sink = checker.diags.into_inner();
+    if sink.has_errors() {
+        Err(sink.into_vec())
+    } else {
+        Ok(CheckedProgram { program, env, warnings: sink.into_vec() })
+    }
 }
 
-/// Pass 1: populate the type environment from declarations, in order.
+/// Pass 1 (compatibility form): populate the type environment, stopping at
+/// the first error. IR lowering uses this to rebuild an environment from an
+/// already-checked program, where no errors can occur.
 pub fn collect_declarations(program: &Program, env: &mut TypeEnv) -> Result<(), FrontendError> {
+    let mut sink = DiagSink::new();
+    collect_declarations_into(program, env, &mut sink);
+    match sink.into_vec().into_iter().find(Diagnostic::is_error) {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Pass 1: populate the type environment from declarations, in order,
+/// accumulating diagnostics. Declarations that fail to resolve are entered
+/// as poison so references to them do not cascade.
+fn collect_declarations_into(program: &Program, env: &mut TypeEnv, diags: &mut DiagSink) {
     for decl in &program.decls {
+        if diags.capped() {
+            return;
+        }
         match decl {
-            Decl::Header { name, fields, span, .. } => {
-                let rf = resolve_fields(env, fields, *span)?;
-                for f in &rf {
-                    if !matches!(f.ty, Type::Bit(_) | Type::Int(_) | Type::Bool | Type::Varbit(_)) {
-                        return Err(FrontendError::typecheck(
-                            *span,
+            Decl::Header { name, fields, .. } => {
+                let rf = resolve_fields_into(env, fields, diags);
+                for (f, src) in rf.iter().zip(fields) {
+                    if !matches!(
+                        f.ty,
+                        Type::Bit(_) | Type::Int(_) | Type::Bool | Type::Varbit(_) | Type::Poison
+                    ) {
+                        diags.push(FrontendError::typecheck(
+                            src.span,
                             format!("header field '{}' must have a fixed-width type", f.name),
                         ));
                     }
                 }
                 env.types.insert(name.clone(), TypeDef::Header(rf));
             }
-            Decl::Struct { name, fields, span, .. } => {
-                let rf = resolve_fields(env, fields, *span)?;
+            Decl::Struct { name, fields, .. } => {
+                let rf = resolve_fields_into(env, fields, diags);
                 env.types.insert(name.clone(), TypeDef::Struct(rf));
             }
             Decl::Enum { name, underlying, members, span } => {
@@ -95,10 +142,11 @@ pub fn collect_declarations(program: &Program, env: &mut TypeEnv) -> Result<(), 
                     Some(TypeRef::Bit(w)) => *w,
                     Some(TypeRef::Int(w)) => *w,
                     Some(_) => {
-                        return Err(FrontendError::typecheck(
+                        diags.push(FrontendError::typecheck(
                             *span,
                             "enum underlying type must be bit<N> or int<N>",
-                        ))
+                        ));
+                        32
                     }
                     // Spec leaves representation-less enums abstract; we pick
                     // 32 bits for the runtime encoding.
@@ -108,25 +156,57 @@ pub fn collect_declarations(program: &Program, env: &mut TypeEnv) -> Result<(), 
                 let mut next: u128 = 0;
                 for (m, v) in members {
                     let val = match v {
-                        Some(e) => const_eval(env, e).ok_or_else(|| {
-                            FrontendError::typecheck(*span, "enum member value must be constant")
-                        })?,
+                        Some(e) => match const_eval(env, e) {
+                            Some(v) => v,
+                            None => {
+                                diags.push(
+                                    FrontendError::typecheck(
+                                        *span,
+                                        "enum member value must be constant",
+                                    )
+                                    .with_code(codes::TYPE_NOT_CONST),
+                                );
+                                next
+                            }
+                        },
                         None => next,
                     };
-                    next = val + 1;
+                    next = val.wrapping_add(1);
                     resolved.push((m.clone(), val));
                 }
                 env.types.insert(name.clone(), TypeDef::Enum { repr, members: resolved });
             }
             Decl::Typedef { ty, name, span } => {
-                let t = env.resolve(ty, *span)?;
+                let t = match env.resolve(ty, *span) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        diags.push(e);
+                        Type::Poison
+                    }
+                };
                 env.types.insert(name.clone(), TypeDef::Alias(t));
             }
             Decl::Const { ty, name, value, span } => {
-                let t = env.resolve(ty, *span)?;
-                let v = const_eval(env, value).ok_or_else(|| {
-                    FrontendError::typecheck(*span, format!("'{name}' is not a constant expression"))
-                })?;
+                let t = match env.resolve(ty, *span) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        diags.push(e);
+                        Type::Poison
+                    }
+                };
+                let v = match const_eval(env, value) {
+                    Some(v) => v,
+                    None => {
+                        diags.push(
+                            FrontendError::typecheck(
+                                *span,
+                                format!("'{name}' is not a constant expression"),
+                            )
+                            .with_code(codes::TYPE_NOT_CONST),
+                        );
+                        0
+                    }
+                };
                 env.consts.insert(name.clone(), (t, v));
             }
             Decl::ErrorDecl { members, .. } => {
@@ -152,22 +232,25 @@ pub fn collect_declarations(program: &Program, env: &mut TypeEnv) -> Result<(), 
             _ => {}
         }
     }
-    Ok(())
 }
 
-fn resolve_fields(
+fn resolve_fields_into(
     env: &TypeEnv,
     fields: &[Field],
-    span: Span,
-) -> Result<Vec<ResolvedField>, FrontendError> {
+    diags: &mut DiagSink,
+) -> Vec<ResolvedField> {
     fields
         .iter()
-        .map(|f| {
-            Ok(ResolvedField {
-                name: f.name.clone(),
-                ty: env.resolve(&f.ty, span)?,
-                annotations: f.annotations.clone(),
-            })
+        .map(|f| ResolvedField {
+            name: f.name.clone(),
+            ty: match env.resolve(&f.ty, f.span) {
+                Ok(t) => t,
+                Err(e) => {
+                    diags.push(e);
+                    Type::Poison
+                }
+            },
+            annotations: f.annotations.clone(),
         })
         .collect()
 }
@@ -219,58 +302,86 @@ pub fn const_eval(env: &TypeEnv, e: &Expr) -> Option<u128> {
     })
 }
 
-/// Per-block checking context.
+/// Per-block checking context. Diagnostics accumulate in the sink; checks
+/// keep going after a failure so one pass reports everything.
 struct Checker<'a> {
     env: &'a TypeEnv,
+    diags: RefCell<DiagSink>,
 }
 
 impl<'a> Checker<'a> {
-    fn scope_from_params(&self, params: &[Param]) -> Result<Scope, FrontendError> {
-        let mut scope = Scope::new();
-        for p in params {
-            let t = self.env.resolve(&p.ty, p.span)?;
-            scope.declare(&p.name, t);
-        }
-        Ok(scope)
+    fn report(&self, d: Diagnostic) {
+        self.diags.borrow_mut().push(d);
     }
 
-    fn check_parser(&self, p: &ParserDecl) -> Result<(), FrontendError> {
-        let mut scope = self.scope_from_params(&p.params)?;
+    fn capped(&self) -> bool {
+        self.diags.borrow().capped()
+    }
+
+    /// Resolve a surface type, reporting failures and poisoning the result.
+    fn resolve_or_poison(&self, ty: &TypeRef, span: Span) -> Type {
+        match self.env.resolve(ty, span) {
+            Ok(t) => t,
+            Err(e) => {
+                self.report(e);
+                Type::Poison
+            }
+        }
+    }
+
+    fn scope_from_params(&self, params: &[Param]) -> Scope {
+        let mut scope = Scope::new();
+        for p in params {
+            let t = self.resolve_or_poison(&p.ty, p.span);
+            scope.declare(&p.name, t);
+        }
+        scope
+    }
+
+    fn check_parser(&self, p: &ParserDecl) {
+        let mut scope = self.scope_from_params(&p.params);
         for l in &p.locals {
-            self.check_stmt(l, &mut scope, &HashMap::new())?;
+            self.check_stmt(l, &mut scope);
         }
         let state_names: Vec<&str> = p.states.iter().map(|s| s.name.as_str()).collect();
         if !state_names.contains(&"start") {
-            return Err(FrontendError::typecheck(
+            self.report(FrontendError::typecheck(
                 p.span,
                 format!("parser '{}' has no start state", p.name),
             ));
         }
         for st in &p.states {
+            if self.capped() {
+                return;
+            }
             scope.push();
             for s in &st.stmts {
-                self.check_stmt(s, &mut scope, &HashMap::new())?;
+                self.check_stmt(s, &mut scope);
             }
             match &st.transition {
                 Transition::Direct(next) => {
-                    self.check_state_ref(next, &state_names, st.span)?;
+                    self.check_state_ref(next, &state_names, st.span);
                 }
                 Transition::Select { exprs, cases, span } => {
                     for e in exprs {
-                        let t = self.type_of(e, &scope)?;
-                        if t.width(self.env).is_none() {
-                            return Err(FrontendError::typecheck(
-                                *span,
-                                format!("select argument has non-scalar type {t}"),
-                            ));
+                        match self.type_of(e, &scope) {
+                            Ok(t) => {
+                                if t.width(self.env).is_none() && !matches!(t, Type::Poison) {
+                                    self.report(FrontendError::typecheck(
+                                        *span,
+                                        format!("select argument has non-scalar type {t}"),
+                                    ));
+                                }
+                            }
+                            Err(e) => self.report(e),
                         }
                     }
                     for c in cases {
-                        self.check_state_ref(&c.next_state, &state_names, c.span)?;
+                        self.check_state_ref(&c.next_state, &state_names, c.span);
                         if c.keys.len() != exprs.len()
                             && !(c.keys.len() == 1 && matches!(c.keys[0], Expr::Dontcare { .. }))
                         {
-                            return Err(FrontendError::typecheck(
+                            self.report(FrontendError::typecheck(
                                 c.span,
                                 format!(
                                     "select case has {} keys but select has {} arguments",
@@ -280,58 +391,50 @@ impl<'a> Checker<'a> {
                             ));
                         }
                         for k in &c.keys {
-                            self.check_keyset_expr(k, &scope)?;
+                            self.check_keyset_expr(k, &scope);
                         }
                     }
                 }
             }
             scope.pop();
         }
-        Ok(())
     }
 
-    fn check_state_ref(
-        &self,
-        name: &str,
-        states: &[&str],
-        span: Span,
-    ) -> Result<(), FrontendError> {
-        if name == "accept" || name == "reject" || states.contains(&name) {
-            Ok(())
-        } else {
-            Err(FrontendError::typecheck(span, format!("transition to undefined state '{name}'")))
+    fn check_state_ref(&self, name: &str, states: &[&str], span: Span) {
+        if name != "accept" && name != "reject" && !states.contains(&name) {
+            self.report(
+                FrontendError::typecheck(span, format!("transition to undefined state '{name}'"))
+                    .with_code(codes::TYPE_UNKNOWN_SYMBOL),
+            );
         }
     }
 
-    fn check_keyset_expr(&self, e: &Expr, scope: &Scope) -> Result<(), FrontendError> {
-        match e {
+    fn check_keyset_expr(&self, e: &Expr, scope: &Scope) {
+        let r = match e {
             Expr::Dontcare { .. } => Ok(()),
-            Expr::Mask { value, mask, .. } => {
-                self.type_of(value, scope)?;
-                self.type_of(mask, scope)?;
-                Ok(())
-            }
+            Expr::Mask { value, mask, .. } => self
+                .type_of(value, scope)
+                .and_then(|_| self.type_of(mask, scope))
+                .map(|_| ()),
             Expr::Range { lo, hi, .. } => {
-                self.type_of(lo, scope)?;
-                self.type_of(hi, scope)?;
-                Ok(())
+                self.type_of(lo, scope).and_then(|_| self.type_of(hi, scope)).map(|_| ())
             }
-            other => {
-                self.type_of(other, scope)?;
-                Ok(())
-            }
+            other => self.type_of(other, scope).map(|_| ()),
+        };
+        if let Err(e) = r {
+            self.report(e);
         }
     }
 
-    fn check_control(&self, c: &ControlDecl) -> Result<(), FrontendError> {
-        let mut scope = self.scope_from_params(&c.params)?;
+    fn check_control(&self, c: &ControlDecl) {
+        let mut scope = self.scope_from_params(&c.params);
         // Declare instantiations (registers, counters, sub-externs).
         for inst in &c.instantiations {
-            let t = self.env.resolve(&inst.ty, inst.span)?;
+            let t = self.resolve_or_poison(&inst.ty, inst.span);
             scope.declare(&inst.name, t);
         }
         for l in &c.locals {
-            self.check_stmt(l, &mut scope, &HashMap::new())?;
+            self.check_stmt(l, &mut scope);
         }
         // Action signatures (for table refs and calls).
         let mut actions: HashMap<String, Vec<Param>> = HashMap::new();
@@ -340,13 +443,19 @@ impl<'a> Checker<'a> {
             actions.insert(a.name.clone(), a.params.clone());
         }
         for a in &c.actions {
+            if self.capped() {
+                return;
+            }
             scope.push();
-            self.check_action(a, &mut scope, &actions)?;
+            self.check_action(a, &mut scope);
             scope.pop();
         }
         // Tables.
         for t in &c.tables {
-            self.check_table(t, &scope, &actions)?;
+            if self.capped() {
+                return;
+            }
+            self.check_table(t, &scope, &actions);
             scope.declare(&t.name, Type::Table(t.name.clone()));
         }
         // Apply block.
@@ -355,63 +464,61 @@ impl<'a> Checker<'a> {
             scope.declare(&t.name, Type::Table(t.name.clone()));
         }
         for s in &c.apply {
-            self.check_stmt(s, &mut scope, &actions)?;
+            self.check_stmt(s, &mut scope);
         }
         scope.pop();
-        Ok(())
     }
 
-    fn check_action(
-        &self,
-        a: &ActionDecl,
-        scope: &mut Scope,
-        actions: &HashMap<String, Vec<Param>>,
-    ) -> Result<(), FrontendError> {
+    fn check_action(&self, a: &ActionDecl, scope: &mut Scope) {
         scope.push();
         for p in &a.params {
-            let t = self.env.resolve(&p.ty, p.span)?;
+            let t = self.resolve_or_poison(&p.ty, p.span);
             scope.declare(&p.name, t);
         }
         for s in &a.body {
-            self.check_stmt(s, scope, actions)?;
+            self.check_stmt(s, scope);
         }
         scope.pop();
-        Ok(())
     }
 
-    fn check_table(
-        &self,
-        t: &TableDecl,
-        scope: &Scope,
-        actions: &HashMap<String, Vec<Param>>,
-    ) -> Result<(), FrontendError> {
+    fn check_table(&self, t: &TableDecl, scope: &Scope, actions: &HashMap<String, Vec<Param>>) {
         for k in &t.keys {
-            let kt = self.type_of(&k.expr, scope)?;
-            if kt.width(self.env).is_none() {
-                return Err(FrontendError::typecheck(
-                    k.span,
-                    format!("table key has non-scalar type {kt}"),
-                ));
+            match self.type_of(&k.expr, scope) {
+                Ok(kt) => {
+                    if kt.width(self.env).is_none() && !matches!(kt, Type::Poison) {
+                        self.report(FrontendError::typecheck(
+                            k.span,
+                            format!("table key has non-scalar type {kt}"),
+                        ));
+                    }
+                }
+                Err(e) => self.report(e),
             }
             if !self.env.is_match_kind(&k.match_kind) {
-                return Err(FrontendError::typecheck(
-                    k.span,
-                    format!("unknown match kind '{}'", k.match_kind),
-                ));
+                self.report(
+                    FrontendError::typecheck(
+                        k.span,
+                        format!("unknown match kind '{}'", k.match_kind),
+                    )
+                    .with_code(codes::TYPE_UNKNOWN_SYMBOL),
+                );
             }
         }
         for a in &t.actions {
             if !actions.contains_key(&a.name) {
-                return Err(FrontendError::typecheck(
-                    a.span,
-                    format!("table '{}' references unknown action '{}'", t.name, a.name),
-                ));
+                self.report(
+                    FrontendError::typecheck(
+                        a.span,
+                        format!("table '{}' references unknown action '{}'", t.name, a.name),
+                    )
+                    .with_code(codes::TYPE_UNKNOWN_SYMBOL),
+                );
             }
         }
         if let Some((name, _, _)) = &t.default_action {
             let listed = t.actions.iter().any(|a| &a.name == name);
             if !listed && name != "NoAction" {
-                return Err(FrontendError::typecheck(
+                self.report(FrontendError::typecheck(
                     t.span,
                     format!("default action '{name}' is not in the actions list"),
                 ));
@@ -419,7 +526,7 @@ impl<'a> Checker<'a> {
         }
         for e in &t.entries {
             if e.keys.len() != t.keys.len() {
-                return Err(FrontendError::typecheck(
+                self.report(FrontendError::typecheck(
                     e.span,
                     format!(
                         "entry has {} keys but table '{}' has {}",
@@ -430,139 +537,169 @@ impl<'a> Checker<'a> {
                 ));
             }
             if !t.actions.iter().any(|a| a.name == e.action) {
-                return Err(FrontendError::typecheck(
-                    e.span,
-                    format!("entry action '{}' is not in the actions list", e.action),
-                ));
+                self.report(
+                    FrontendError::typecheck(
+                        e.span,
+                        format!("entry action '{}' is not in the actions list", e.action),
+                    )
+                    .with_code(codes::TYPE_UNKNOWN_SYMBOL),
+                );
             }
             for k in &e.keys {
-                self.check_keyset_expr(k, scope)?;
+                self.check_keyset_expr(k, scope);
             }
         }
-        Ok(())
     }
 
-    #[allow(clippy::only_used_in_recursion)]
-    fn check_stmt(
-        &self,
-        s: &Stmt,
-        scope: &mut Scope,
-        actions: &HashMap<String, Vec<Param>>,
-    ) -> Result<(), FrontendError> {
+    fn check_stmt(&self, s: &Stmt, scope: &mut Scope) {
+        if self.capped() {
+            return;
+        }
         match s {
             Stmt::VarDecl { ty, name, init, span } => {
-                let t = self.env.resolve(ty, *span)?;
+                let t = self.resolve_or_poison(ty, *span);
                 if let Some(e) = init {
-                    let et = self.type_of(e, scope)?;
-                    self.require_assignable(&t, &et, *span)?;
+                    match self.type_of(e, scope) {
+                        Ok(et) => self.check_assignable(&t, &et, *span),
+                        Err(e) => self.report(e),
+                    }
                 }
                 scope.declare(name, t);
-                Ok(())
             }
             Stmt::ConstDecl { ty, name, init, span } => {
-                let t = self.env.resolve(ty, *span)?;
-                let et = self.type_of(init, scope)?;
-                self.require_assignable(&t, &et, *span)?;
+                let t = self.resolve_or_poison(ty, *span);
+                match self.type_of(init, scope) {
+                    Ok(et) => self.check_assignable(&t, &et, *span),
+                    Err(e) => self.report(e),
+                }
                 scope.declare(name, t);
-                Ok(())
             }
             Stmt::Assign { lhs, rhs, span } => {
-                let lt = self.type_of(lhs, scope)?;
+                let lt = match self.type_of(lhs, scope) {
+                    Ok(t) => Some(t),
+                    Err(e) => {
+                        self.report(e);
+                        None
+                    }
+                };
                 if !is_lvalue(lhs) {
-                    return Err(FrontendError::typecheck(*span, "left side is not assignable"));
+                    self.report(
+                        FrontendError::typecheck(*span, "left side is not assignable")
+                            .with_code(codes::TYPE_NOT_LVALUE),
+                    );
                 }
-                let rt = self.type_of(rhs, scope)?;
-                self.require_assignable(&lt, &rt, *span)
+                match self.type_of(rhs, scope) {
+                    Ok(rt) => {
+                        if let Some(lt) = lt {
+                            self.check_assignable(&lt, &rt, *span);
+                        }
+                    }
+                    Err(e) => self.report(e),
+                }
             }
             Stmt::Call { call, .. } => {
-                self.type_of(call, scope)?;
-                Ok(())
+                if let Err(e) = self.type_of(call, scope) {
+                    self.report(e);
+                }
             }
             Stmt::If { cond, then_s, else_s, span } => {
-                let ct = self.type_of(cond, scope)?;
-                if ct != Type::Bool {
-                    return Err(FrontendError::typecheck(
-                        *span,
-                        format!("if condition has type {ct}, expected bool"),
-                    ));
+                match self.type_of(cond, scope) {
+                    Ok(ct) => {
+                        if ct != Type::Bool && ct != Type::Poison {
+                            self.report(
+                                FrontendError::typecheck(
+                                    *span,
+                                    format!("if condition has type {ct}, expected bool"),
+                                )
+                                .with_code(codes::TYPE_MISMATCH),
+                            );
+                        }
+                    }
+                    Err(e) => self.report(e),
                 }
                 scope.push();
-                self.check_stmt(then_s, scope, actions)?;
+                self.check_stmt(then_s, scope);
                 scope.pop();
                 if let Some(e) = else_s {
                     scope.push();
-                    self.check_stmt(e, scope, actions)?;
+                    self.check_stmt(e, scope);
                     scope.pop();
                 }
-                Ok(())
             }
             Stmt::Switch { scrutinee, cases, span } => {
-                let st = self.type_of(scrutinee, scope)?;
-                let table = match &st {
-                    Type::Enum { .. } => None,
-                    Type::ApplyResult { .. } => {
-                        return Err(FrontendError::typecheck(
-                            *span,
-                            "switch must match on table.apply().action_run",
-                        ))
-                    }
-                    Type::Action(t) => Some(t.clone()),
-                    other => {
-                        return Err(FrontendError::typecheck(
-                            *span,
-                            format!("cannot switch on type {other}"),
-                        ))
-                    }
-                };
-                let _ = table;
+                match self.type_of(scrutinee, scope) {
+                    Ok(st) => match &st {
+                        Type::Enum { .. } | Type::Action(_) | Type::Poison => {}
+                        Type::ApplyResult { .. } => {
+                            self.report(FrontendError::typecheck(
+                                *span,
+                                "switch must match on table.apply().action_run",
+                            ));
+                        }
+                        other => {
+                            self.report(FrontendError::typecheck(
+                                *span,
+                                format!("cannot switch on type {other}"),
+                            ));
+                        }
+                    },
+                    Err(e) => self.report(e),
+                }
                 for c in cases {
                     if let Some(body) = &c.body {
                         scope.push();
-                        self.check_stmt(body, scope, actions)?;
+                        self.check_stmt(body, scope);
                         scope.pop();
                     }
                 }
-                Ok(())
             }
             Stmt::Block { stmts, .. } => {
                 scope.push();
                 for s in stmts {
-                    self.check_stmt(s, scope, actions)?;
+                    self.check_stmt(s, scope);
                 }
                 scope.pop();
-                Ok(())
             }
-            Stmt::Exit { .. } | Stmt::Return { .. } | Stmt::Empty { .. } => Ok(()),
+            Stmt::Exit { .. } | Stmt::Return { .. } | Stmt::Empty { .. } => {}
         }
     }
 
-    fn require_assignable(&self, to: &Type, from: &Type, span: Span) -> Result<(), FrontendError> {
-        let ok = match (to, from) {
-            _ if to == from => true,
-            (Type::Bit(_) | Type::Int(_), Type::InfInt) => true,
-            (Type::Error, Type::Bit(w)) | (Type::Bit(w), Type::Error) => *w == ERROR_WIDTH,
-            (Type::Enum { repr, .. }, Type::Bit(w)) => repr == w,
-            (Type::Bit(w), Type::Enum { repr, .. }) => repr == w,
-            (Type::Varbit(_), Type::Bit(_)) => true,
-            // List expressions initialize structs/headers member-wise; the
-            // detailed check happens at lowering.
-            (Type::Struct(_) | Type::Header(_), Type::Struct(_)) => from == &Type::Struct("<list>".into()),
-            _ => false,
-        };
-        if ok {
-            Ok(())
-        } else {
-            Err(FrontendError::typecheck(
-                span,
-                format!("cannot assign value of type {from} to {to}"),
-            ))
+    fn check_assignable(&self, to: &Type, from: &Type, span: Span) {
+        if let Err(e) = require_assignable(to, from, span) {
+            self.report(e);
         }
     }
 
     // ---- expression typing ------------------------------------------------
 
-    pub fn type_of(&self, e: &Expr, scope: &Scope) -> Result<Type, FrontendError> {
+    fn type_of(&self, e: &Expr, scope: &Scope) -> Result<Type, FrontendError> {
         type_of_expr(self.env, e, scope)
+    }
+}
+
+/// Whether a value of type `from` can be assigned to a slot of type `to`.
+fn require_assignable(to: &Type, from: &Type, span: Span) -> Result<(), FrontendError> {
+    let ok = match (to, from) {
+        (Type::Poison, _) | (_, Type::Poison) => true,
+        _ if to == from => true,
+        (Type::Bit(_) | Type::Int(_), Type::InfInt) => true,
+        (Type::Error, Type::Bit(w)) | (Type::Bit(w), Type::Error) => *w == ERROR_WIDTH,
+        (Type::Enum { repr, .. }, Type::Bit(w)) => repr == w,
+        (Type::Bit(w), Type::Enum { repr, .. }) => repr == w,
+        (Type::Varbit(_), Type::Bit(_)) => true,
+        // List expressions initialize structs/headers member-wise; the
+        // detailed check happens at lowering.
+        (Type::Struct(_) | Type::Header(_), Type::Struct(_)) => from == &Type::Struct("<list>".into()),
+        _ => false,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(FrontendError::typecheck(
+            span,
+            format!("cannot assign value of type {from} to {to}"),
+        )
+        .with_code(codes::TYPE_MISMATCH))
     }
 }
 
@@ -588,7 +725,8 @@ pub fn type_of_expr(env: &TypeEnv, e: &Expr, scope: &Scope) -> Result<Type, Fron
             if env.extern_fns.contains_key(name) {
                 return Ok(Type::Action(name.clone()));
             }
-            Err(FrontendError::typecheck(span, format!("unknown name '{name}'")))
+            Err(FrontendError::typecheck(span, format!("unknown name '{name}'"))
+                .with_code(codes::TYPE_UNKNOWN_SYMBOL))
         }
         Expr::Member { base, member, .. } => {
             // `error.X`
@@ -597,7 +735,8 @@ pub fn type_of_expr(env: &TypeEnv, e: &Expr, scope: &Scope) -> Result<Type, Fron
                     return if env.error_code(member).is_some() {
                         Ok(Type::Error)
                     } else {
-                        Err(FrontendError::typecheck(span, format!("unknown error '{member}'")))
+                        Err(FrontendError::typecheck(span, format!("unknown error '{member}'"))
+                            .with_code(codes::TYPE_UNKNOWN_SYMBOL))
                     };
                 }
                 // `EnumName.Member` when not shadowed by a local.
@@ -609,7 +748,8 @@ pub fn type_of_expr(env: &TypeEnv, e: &Expr, scope: &Scope) -> Result<Type, Fron
                             Err(FrontendError::typecheck(
                                 span,
                                 format!("enum {name} has no member '{member}'"),
-                            ))
+                            )
+                            .with_code(codes::TYPE_BAD_MEMBER))
                         };
                     }
                 }
@@ -621,10 +761,12 @@ pub fn type_of_expr(env: &TypeEnv, e: &Expr, scope: &Scope) -> Result<Type, Fron
             let bt = type_of_expr(env, base, scope)?;
             let it = type_of_expr(env, index, scope)?;
             if !it.is_numeric() {
-                return Err(FrontendError::typecheck(span, "stack index must be numeric"));
+                return Err(FrontendError::typecheck(span, "stack index must be numeric")
+                    .with_code(codes::TYPE_MISMATCH));
             }
             match bt {
                 Type::Stack(elem, _) => Ok(*elem),
+                Type::Poison => Ok(Type::Poison),
                 other => Err(FrontendError::typecheck(
                     span,
                     format!("cannot index into type {other}"),
@@ -633,8 +775,12 @@ pub fn type_of_expr(env: &TypeEnv, e: &Expr, scope: &Scope) -> Result<Type, Fron
         }
         Expr::Slice { base, hi, lo, .. } => {
             let bt = type_of_expr(env, base, scope)?;
+            if matches!(bt, Type::Poison) {
+                return Ok(Type::Poison);
+            }
             let (Some(h), Some(l)) = (const_eval(env, hi), const_eval(env, lo)) else {
-                return Err(FrontendError::typecheck(span, "slice bounds must be constant"));
+                return Err(FrontendError::typecheck(span, "slice bounds must be constant")
+                    .with_code(codes::TYPE_NOT_CONST));
             };
             let bw = bt.width(env).ok_or_else(|| {
                 FrontendError::typecheck(span, format!("cannot slice type {bt}"))
@@ -651,17 +797,19 @@ pub fn type_of_expr(env: &TypeEnv, e: &Expr, scope: &Scope) -> Result<Type, Fron
             let at = type_of_expr(env, arg, scope)?;
             match op {
                 UnaryOp::Not => {
-                    if at == Type::Bool {
+                    if at == Type::Bool || at == Type::Poison {
                         Ok(Type::Bool)
                     } else {
-                        Err(FrontendError::typecheck(span, format!("! applied to {at}")))
+                        Err(FrontendError::typecheck(span, format!("! applied to {at}"))
+                            .with_code(codes::TYPE_MISMATCH))
                     }
                 }
                 UnaryOp::BitNot | UnaryOp::Neg => {
                     if at.is_numeric() {
                         Ok(at)
                     } else {
-                        Err(FrontendError::typecheck(span, format!("operator applied to {at}")))
+                        Err(FrontendError::typecheck(span, format!("operator applied to {at}"))
+                            .with_code(codes::TYPE_MISMATCH))
                     }
                 }
             }
@@ -673,13 +821,15 @@ pub fn type_of_expr(env: &TypeEnv, e: &Expr, scope: &Scope) -> Result<Type, Fron
         }
         Expr::Ternary { cond, then_e, else_e, .. } => {
             let ct = type_of_expr(env, cond, scope)?;
-            if ct != Type::Bool {
-                return Err(FrontendError::typecheck(span, "ternary condition must be bool"));
+            if ct != Type::Bool && ct != Type::Poison {
+                return Err(FrontendError::typecheck(span, "ternary condition must be bool")
+                    .with_code(codes::TYPE_MISMATCH));
             }
             let tt = type_of_expr(env, then_e, scope)?;
             let et = type_of_expr(env, else_e, scope)?;
             merge_numeric(&tt, &et).ok_or_else(|| {
                 FrontendError::typecheck(span, format!("ternary branches disagree: {tt} vs {et}"))
+                    .with_code(codes::TYPE_MISMATCH)
             })
         }
         Expr::Cast { ty, arg, .. } => {
@@ -699,8 +849,10 @@ pub fn type_of_expr(env: &TypeEnv, e: &Expr, scope: &Scope) -> Result<Type, Fron
 
 fn member_type(env: &TypeEnv, bt: &Type, member: &str, span: Span) -> Result<Type, FrontendError> {
     match bt {
+        Type::Poison => Ok(Type::Poison),
         Type::Header(n) | Type::Struct(n) => env.field_type(n, member).ok_or_else(|| {
             FrontendError::typecheck(span, format!("type {n} has no field '{member}'"))
+                .with_code(codes::TYPE_BAD_MEMBER)
         }),
         Type::Stack(elem, _) => match member {
             "next" | "last" => Ok((**elem).clone()),
@@ -709,7 +861,8 @@ fn member_type(env: &TypeEnv, bt: &Type, member: &str, span: Span) -> Result<Typ
             _ => Err(FrontendError::typecheck(
                 span,
                 format!("header stack has no member '{member}'"),
-            )),
+            )
+            .with_code(codes::TYPE_BAD_MEMBER)),
         },
         Type::ApplyResult { table } => match member {
             "hit" | "miss" => Ok(Type::Bool),
@@ -717,12 +870,14 @@ fn member_type(env: &TypeEnv, bt: &Type, member: &str, span: Span) -> Result<Typ
             _ => Err(FrontendError::typecheck(
                 span,
                 format!("apply result has no member '{member}'"),
-            )),
+            )
+            .with_code(codes::TYPE_BAD_MEMBER)),
         },
         other => Err(FrontendError::typecheck(
             span,
             format!("cannot access member '{member}' on type {other}"),
-        )),
+        )
+        .with_code(codes::TYPE_BAD_MEMBER)),
     }
 }
 
@@ -734,12 +889,19 @@ fn binary_type(
     span: Span,
 ) -> Result<Type, FrontendError> {
     use BinaryOp::*;
+    if matches!(lt, Type::Poison) || matches!(rt, Type::Poison) {
+        return Ok(match op {
+            And | Or | Eq | Neq | Lt | Le | Gt | Ge => Type::Bool,
+            _ => Type::Poison,
+        });
+    }
     match op {
         And | Or => {
             if *lt == Type::Bool && *rt == Type::Bool {
                 Ok(Type::Bool)
             } else {
-                Err(FrontendError::typecheck(span, format!("boolean operator on {lt} and {rt}")))
+                Err(FrontendError::typecheck(span, format!("boolean operator on {lt} and {rt}"))
+                    .with_code(codes::TYPE_MISMATCH))
             }
         }
         Eq | Neq => {
@@ -750,39 +912,48 @@ fn binary_type(
                 if lt.is_equatable() || rt.is_equatable() {
                     Ok(Type::Bool)
                 } else {
-                    Err(FrontendError::typecheck(span, format!("cannot compare {lt}")))
+                    Err(FrontendError::typecheck(span, format!("cannot compare {lt}"))
+                        .with_code(codes::TYPE_MISMATCH))
                 }
             } else {
-                Err(FrontendError::typecheck(span, format!("cannot compare {lt} with {rt}")))
+                Err(FrontendError::typecheck(span, format!("cannot compare {lt} with {rt}"))
+                    .with_code(codes::TYPE_MISMATCH))
             }
         }
-        Lt | Le | Gt | Ge => {
-            merge_numeric(lt, rt)
-                .map(|_| Type::Bool)
-                .ok_or_else(|| FrontendError::typecheck(span, format!("cannot order {lt} and {rt}")))
-        }
+        Lt | Le | Gt | Ge => merge_numeric(lt, rt).map(|_| Type::Bool).ok_or_else(|| {
+            FrontendError::typecheck(span, format!("cannot order {lt} and {rt}"))
+                .with_code(codes::TYPE_MISMATCH)
+        }),
         Shl | Shr => {
             if lt.is_numeric() && rt.is_numeric() {
                 Ok(lt.clone())
             } else {
-                Err(FrontendError::typecheck(span, format!("shift on {lt} by {rt}")))
+                Err(FrontendError::typecheck(span, format!("shift on {lt} by {rt}"))
+                    .with_code(codes::TYPE_MISMATCH))
             }
         }
         Concat => {
             let (Some(lw), Some(rw)) = (lt.width(env), rt.width(env)) else {
-                return Err(FrontendError::typecheck(span, format!("cannot concat {lt} and {rt}")));
+                return Err(FrontendError::typecheck(
+                    span,
+                    format!("cannot concat {lt} and {rt}"),
+                )
+                .with_code(codes::TYPE_MISMATCH));
             };
             Ok(Type::Bit(lw + rw))
         }
         _ => merge_numeric(lt, rt).ok_or_else(|| {
             FrontendError::typecheck(span, format!("arithmetic on {lt} and {rt}"))
+                .with_code(codes::TYPE_MISMATCH)
         }),
     }
 }
 
-/// Merge two numeric types (InfInt adapts to the sized operand).
+/// Merge two numeric types (InfInt adapts to the sized operand; poison
+/// merges with anything).
 fn merge_numeric(a: &Type, b: &Type) -> Option<Type> {
     match (a, b) {
+        (Type::Poison, _) | (_, Type::Poison) => Some(Type::Poison),
         _ if a == b && a.is_numeric() => Some(a.clone()),
         (Type::InfInt, t) if t.is_numeric() => Some(t.clone()),
         (t, Type::InfInt) if t.is_numeric() => Some(t.clone()),
@@ -805,49 +976,85 @@ fn call_type(
             // Builtin methods on headers, packets, tables, stacks, externs.
             let bt = type_of_expr(env, base, scope)?;
             match (&bt, member.as_str()) {
+                (Type::Poison, _) => Ok(Type::Poison),
                 (Type::Header(_), "isValid") => Ok(Type::Bool),
                 (Type::Header(_), "setValid" | "setInvalid") => Ok(Type::Void),
                 (Type::Struct(_), "isValid") => Ok(Type::Bool), // tolerated on metadata unions
                 (Type::PacketIn, "extract") => {
                     if args.is_empty() || args.len() > 2 {
-                        return Err(FrontendError::typecheck(span, "extract takes 1 or 2 arguments"));
+                        return Err(FrontendError::typecheck(
+                            span,
+                            "extract takes 1 or 2 arguments",
+                        )
+                        .with_code(codes::TYPE_BAD_CALL));
                     }
                     let ht = type_of_expr(env, &args[0], scope)?;
-                    if !matches!(ht, Type::Header(_)) {
+                    if !matches!(ht, Type::Header(_) | Type::Poison) {
                         return Err(FrontendError::typecheck(
                             span,
                             format!("extract argument must be a header, got {ht}"),
-                        ));
+                        )
+                        .with_code(codes::TYPE_BAD_CALL));
                     }
                     Ok(Type::Void)
                 }
-                (Type::PacketIn, "advance") => Ok(Type::Void),
+                (Type::PacketIn, "advance") => {
+                    if args.len() != 1 {
+                        return Err(FrontendError::typecheck(
+                            span,
+                            "advance takes exactly 1 argument",
+                        )
+                        .with_code(codes::TYPE_BAD_CALL));
+                    }
+                    Ok(Type::Void)
+                }
                 (Type::PacketIn, "length") => Ok(Type::Bit(32)),
                 (Type::PacketIn, "lookahead") => {
                     let [t] = type_args else {
                         return Err(FrontendError::typecheck(
                             span,
                             "lookahead requires one type argument",
-                        ));
+                        )
+                        .with_code(codes::TYPE_BAD_CALL));
                     };
                     env.resolve(t, span)
                 }
-                (Type::PacketOut, "emit") => Ok(Type::Void),
+                (Type::PacketOut, "emit") => {
+                    if args.len() != 1 {
+                        return Err(FrontendError::typecheck(
+                            span,
+                            "emit takes exactly 1 argument",
+                        )
+                        .with_code(codes::TYPE_BAD_CALL));
+                    }
+                    Ok(Type::Void)
+                }
                 (Type::Table(name), "apply") => Ok(Type::ApplyResult { table: name.clone() }),
-                (Type::Stack(_, _), "push_front" | "pop_front") => Ok(Type::Void),
+                (Type::Stack(_, _), "push_front" | "pop_front") => {
+                    if args.len() != 1 {
+                        return Err(FrontendError::typecheck(
+                            span,
+                            format!("{member} takes exactly 1 argument"),
+                        )
+                        .with_code(codes::TYPE_BAD_CALL));
+                    }
+                    Ok(Type::Void)
+                }
                 (Type::Extern { name, type_args: targs }, m) => {
                     let sig = env.extern_method(name, targs, m).ok_or_else(|| {
                         FrontendError::typecheck(
                             span,
                             format!("extern {name} has no method '{m}'"),
                         )
+                        .with_code(codes::TYPE_BAD_CALL)
                     })?;
                     check_extern_args(env, &sig, type_args, args, scope, span)
                 }
                 (other, m) => Err(FrontendError::typecheck(
                     span,
                     format!("no method '{m}' on type {other}"),
-                )),
+                )
+                .with_code(codes::TYPE_BAD_CALL)),
             }
         }
         Expr::Ident { name, .. } => {
@@ -868,7 +1075,8 @@ fn call_type(
         other => Err(FrontendError::typecheck(
             span,
             format!("cannot call expression {other:?}"),
-        )),
+        )
+        .with_code(codes::TYPE_BAD_CALL)),
     }
 }
 
@@ -891,7 +1099,8 @@ fn check_extern_args(
                 sig.params.len(),
                 args.len()
             ),
-        ));
+        )
+        .with_code(codes::TYPE_BAD_CALL));
     }
     let mut bindings: HashMap<String, Type> = HashMap::new();
     for (i, tp) in sig.type_params.iter().enumerate() {
@@ -905,7 +1114,8 @@ fn check_extern_args(
             return Err(FrontendError::typecheck(
                 span,
                 format!("argument for out parameter '{}' must be an lvalue", param.name),
-            ));
+            )
+            .with_code(codes::TYPE_NOT_LVALUE));
         }
         if let TypeRef::Named(n) = &param.ty {
             if sig.type_params.contains(n) {
@@ -926,7 +1136,8 @@ fn check_extern_args(
                     "extern '{}' parameter '{}' expects {pt}, got {at}",
                     sig.name, param.name
                 ),
-            ));
+            )
+            .with_code(codes::TYPE_BAD_CALL));
         }
     }
     match &sig.ret {
@@ -936,6 +1147,7 @@ fn check_extern_args(
                     span,
                     format!("cannot infer return type of extern '{}'", sig.name),
                 )
+                .with_code(codes::TYPE_BAD_CALL)
             })
         }
         other => env.resolve(other, span),
@@ -950,5 +1162,68 @@ pub fn is_lvalue(e: &Expr) -> bool {
         Expr::Index { base, .. } => is_lvalue(base),
         Expr::Slice { base, .. } => is_lvalue(base),
         _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<CheckedProgram, Vec<Diagnostic>> {
+        typecheck(parse(src).expect("parse"))
+    }
+
+    #[test]
+    fn reports_multiple_independent_errors() {
+        let src = r#"
+            header h_t { bit<8> x; }
+            control c(inout h_t h) {
+                apply {
+                    h.nope = 1;
+                    h.also_nope = 2;
+                }
+            }
+        "#;
+        let errs = check(src).expect_err("should fail");
+        assert!(errs.len() >= 2, "expected both bad fields reported: {errs:?}");
+        assert!(errs.iter().all(|e| e.code == codes::TYPE_BAD_MEMBER), "{errs:?}");
+    }
+
+    #[test]
+    fn poisoned_type_does_not_cascade() {
+        // `nosuch_t` is unknown; uses of `m` after that must not produce
+        // further diagnostics.
+        let src = r#"
+            control c() {
+                apply {
+                    nosuch_t m;
+                    m = m + 1;
+                    bit<8> y = m[3:0] ++ m.f;
+                }
+            }
+        "#;
+        let errs = check(src).expect_err("should fail");
+        assert_eq!(errs.len(), 1, "poison should suppress cascades: {errs:?}");
+        assert_eq!(errs[0].code, codes::TYPE_UNKNOWN_TYPE);
+    }
+
+    #[test]
+    fn clean_program_has_no_warnings() {
+        let src = r#"
+            header h_t { bit<8> x; }
+            control c(inout h_t h) {
+                apply { h.x = 1; }
+            }
+        "#;
+        let checked = check(src).expect("should typecheck");
+        assert!(checked.warnings.is_empty());
+    }
+
+    #[test]
+    fn scope_declare_without_frames_does_not_panic() {
+        let mut s = Scope::default();
+        s.declare("x", Type::Bool);
+        assert_eq!(s.lookup("x"), Some(&Type::Bool));
     }
 }

@@ -41,6 +41,13 @@ pub enum Type {
     Void,
     /// A generic type parameter inside an extern signature.
     TypeVar(String),
+    /// Placeholder for a type that failed to resolve. Poison propagates
+    /// silently through later checks (it is numeric, equatable, assignable
+    /// to and from anything) so one bad declaration produces one diagnostic
+    /// instead of a cascade. Poison never reaches IR lowering: it is only
+    /// created on paths that also record an error diagnostic, and lowering
+    /// runs only on error-free programs.
+    Poison,
 }
 
 /// Bit width of error values at runtime.
@@ -69,7 +76,7 @@ impl Type {
     }
 
     pub fn is_numeric(&self) -> bool {
-        matches!(self, Type::Bit(_) | Type::Int(_) | Type::InfInt)
+        matches!(self, Type::Bit(_) | Type::Int(_) | Type::InfInt | Type::Poison)
     }
 
     /// True when values of this type can be compared with `==`.
@@ -84,6 +91,7 @@ impl Type {
                 | Type::Enum { .. }
                 | Type::Header(_)
                 | Type::Struct(_)
+                | Type::Poison
         )
     }
 }
@@ -110,6 +118,7 @@ impl fmt::Display for Type {
             Type::String => write!(f, "string"),
             Type::Void => write!(f, "void"),
             Type::TypeVar(n) => write!(f, "{n}"),
+            Type::Poison => write!(f, "<error>"),
         }
     }
 }
@@ -194,7 +203,8 @@ impl TypeEnv {
                         return Err(FrontendError::typecheck(
                             span,
                             format!("unknown generic type '{name}'"),
-                        ))
+                        )
+                        .with_code(crate::error::codes::TYPE_UNKNOWN_TYPE))
                     }
                 }
             }
@@ -217,7 +227,8 @@ impl TypeEnv {
             Some(TypeDef::ExternObject(_)) => {
                 Ok(Type::Extern { name: name.to_string(), type_args: Vec::new() })
             }
-            None => Err(FrontendError::typecheck(span, format!("unknown type '{name}'"))),
+            None => Err(FrontendError::typecheck(span, format!("unknown type '{name}'"))
+                .with_code(crate::error::codes::TYPE_UNKNOWN_TYPE)),
         }
     }
 

@@ -16,7 +16,8 @@ fn expect_error(src: &str, needle: &str) {
     match frontend(src) {
         Ok(_) => panic!("expected an error mentioning '{needle}'"),
         Err(e) => {
-            let msg = e.to_string();
+            let msg =
+                e.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n");
             assert!(
                 msg.contains(needle),
                 "error should mention '{needle}', got: {msg}"
@@ -279,5 +280,5 @@ fn errors_carry_line_numbers() {
     let src = "\n\n\nheader h_t { bad_type f; }\nstruct hs { h_t h; }";
     let err = frontend(&wrap(src)).unwrap_err();
     // The prelude is 2 lines; the header is on line ~6 of the combined file.
-    assert!(err.span.start.line >= 4, "line info: {err}");
+    assert!(err[0].span.start.line >= 4, "line info: {err:?}");
 }

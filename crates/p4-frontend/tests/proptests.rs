@@ -111,7 +111,7 @@ proptest! {
     fn expression_parse_eval_parenthesized(r in arb_r()) {
         let src = render(&r);
         let expr = parse_expression(&src)
-            .unwrap_or_else(|e| panic!("failed to parse {src}: {e}"));
+            .unwrap_or_else(|e| panic!("failed to parse {src}: {e:?}"));
         let env = TypeEnv::new();
         let got = const_eval(&env, &expr).expect("constant expression");
         prop_assert_eq!(got, reference(&r), "src: {}", src);
@@ -123,7 +123,7 @@ proptest! {
     fn expression_parse_eval_flat(r in arb_r()) {
         let src = render_flat(&r);
         let expr = parse_expression(&src)
-            .unwrap_or_else(|e| panic!("failed to parse {src}: {e}"));
+            .unwrap_or_else(|e| panic!("failed to parse {src}: {e:?}"));
         let env = TypeEnv::new();
         let got = const_eval(&env, &expr).expect("constant expression");
         prop_assert_eq!(got, reference(&r), "src: {}", src);

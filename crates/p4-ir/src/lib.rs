@@ -22,12 +22,17 @@ pub use ir::*;
 pub use lower::lower;
 pub use passes::{fold_expr, optimize};
 
-use p4t_frontend::error::FrontendError;
+use p4t_frontend::error::Diagnostic;
 
 /// Frontend + lowering + midend in one call.
-pub fn compile(source: &str) -> Result<IrProgram, FrontendError> {
+pub fn compile(source: &str) -> Result<IrProgram, Vec<Diagnostic>> {
+    compile_full(source).map(|(prog, _)| prog)
+}
+
+/// Like [`compile`], but also surfaces warning diagnostics from a clean run.
+pub fn compile_full(source: &str) -> Result<(IrProgram, Vec<Diagnostic>), Vec<Diagnostic>> {
     let checked = p4t_frontend::frontend(source)?;
     let mut prog = lower(&checked)?;
     optimize(&mut prog);
-    Ok(prog)
+    Ok((prog, checked.warnings))
 }

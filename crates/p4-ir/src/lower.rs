@@ -15,7 +15,17 @@ use p4t_frontend::types::{Type, TypeEnv, ERROR_WIDTH};
 use std::collections::HashMap;
 
 /// Lower a checked program to IR.
-pub fn lower(checked: &CheckedProgram) -> Result<IrProgram, FrontendError> {
+///
+/// Lowering runs only on programs that passed typechecking, so any error
+/// here reflects a frontend/lowering disagreement; it is reported as a
+/// single diagnostic for uniformity with the other stages.
+pub fn lower(
+    checked: &CheckedProgram,
+) -> Result<IrProgram, Vec<p4t_frontend::error::Diagnostic>> {
+    lower_inner(checked).map_err(|e| vec![e])
+}
+
+fn lower_inner(checked: &CheckedProgram) -> Result<IrProgram, FrontendError> {
     let mut lw = Lowerer {
         env: &checked.env,
         next_stmt: 0,
@@ -727,6 +737,15 @@ impl<'a> Lowerer<'a> {
 
     // ---- calls ---------------------------------------------------------------
 
+    /// `args[i]`, or a diagnostic instead of a panic. The typechecker
+    /// enforces builtin-method arity before lowering runs, so this firing
+    /// means a checker gap — report it rather than crashing.
+    fn arg<'e>(args: &'e [Expr], i: usize, span: Span, what: &str) -> LResult<&'e Expr> {
+        args.get(i).ok_or_else(|| {
+            FrontendError::typecheck(span, format!("{what} is missing argument {}", i + 1))
+        })
+    }
+
     fn lower_call_stmt(
         &mut self,
         call: &Expr,
@@ -743,14 +762,16 @@ impl<'a> Lowerer<'a> {
                 match (&bt, member.as_str()) {
                     (Type::PacketIn, "extract") => self.lower_extract(args, span, ctx, out),
                     (Type::PacketIn, "advance") => {
-                        let bits = self.lower_expr(&args[0], ctx, out, Some(32))?;
+                        let bits_arg = Self::arg(args, 0, span, "advance")?;
+                        let bits = self.lower_expr(bits_arg, ctx, out, Some(32))?;
                         let id = self.stmt_id("advance", span);
                         out.push(IrStmt::Advance { id, bits });
                         Ok(())
                     }
                     (Type::PacketOut, "emit") => {
-                        let ht = self.type_of(&args[0], ctx)?;
-                        let hp = self.lvalue_path(&args[0], ctx, out)?;
+                        let target = Self::arg(args, 0, span, "emit")?;
+                        let ht = self.type_of(target, ctx)?;
+                        let hp = self.lvalue_path(target, ctx, out)?;
                         let id = self.stmt_id(format!("emit {hp}"), span);
                         match ht {
                             Type::Header(hn) => {
@@ -794,7 +815,8 @@ impl<'a> Lowerer<'a> {
                     }
                     (Type::Stack(_, _), "push_front" | "pop_front") => {
                         let sp = self.lvalue_path(base, ctx, out)?;
-                        let count = const_eval(self.env, &args[0]).unwrap_or(1) as u32;
+                        let count =
+                            args.first().and_then(|a| const_eval(self.env, a)).unwrap_or(1) as u32;
                         let id = self.stmt_id(format!("{member} {sp}"), span);
                         out.push(IrStmt::StackOp { id, stack: sp, push: member == "push_front", count });
                         Ok(())
@@ -919,7 +941,7 @@ impl<'a> Lowerer<'a> {
         } else {
             None
         };
-        let target = &args[0];
+        let target = Self::arg(args, 0, span, "extract")?;
         // extract(stack.next): elaborate into a conditional chain over the
         // constant indices (the paper's midend transformation).
         if let Expr::Member { base, member, .. } = target {
@@ -1255,7 +1277,13 @@ impl<'a> Lowerer<'a> {
                             return Ok(IrExpr::IsValid { path: hp });
                         }
                         (Type::PacketIn, "lookahead") => {
-                            let t = self.env.resolve(&type_args[0], span)?;
+                            let ta = type_args.first().ok_or_else(|| {
+                                FrontendError::typecheck(
+                                    span,
+                                    "lookahead requires one type argument",
+                                )
+                            })?;
+                            let t = self.env.resolve(ta, span)?;
                             let w = self.width_of_type(&t, span)?;
                             return Ok(IrExpr::Lookahead { width: w });
                         }

@@ -1,0 +1,16 @@
+//! Regenerate the `examples/p4/` seed corpus from the embedded evaluation
+//! programs. Run with `cargo run --example dump_corpus`.
+
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let dir = Path::new("examples/p4");
+    fs::create_dir_all(dir).expect("create examples/p4");
+    for (name, source, arch) in p4testgen::corpus::all_programs() {
+        let path = dir.join(format!("{name}.p4"));
+        let banner = format!("// arch: {arch}\n");
+        fs::write(&path, format!("{banner}{source}")).expect("write example");
+        println!("wrote {}", path.display());
+    }
+}

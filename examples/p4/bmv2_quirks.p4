@@ -1,0 +1,75 @@
+// arch: v1model
+
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+header vlan_t { bit<3> pcp; bit<1> dei; bit<12> vid; bit<16> etherType; }
+header ipv4_t {
+    bit<4> version; bit<4> ihl; bit<8> tos; bit<16> totalLen;
+    bit<16> id; bit<3> flags; bit<13> fragOffset;
+    bit<8> ttl; bit<8> protocol; bit<16> checksum;
+    bit<32> src; bit<32> dst;
+}
+header tcp_t {
+    bit<16> srcPort; bit<16> dstPort; bit<32> seq; bit<32> ack;
+    bit<4> dataOffset; bit<4> res; bit<8> flags; bit<16> window;
+    bit<16> checksum; bit<16> urgentPtr;
+}
+header udp_t { bit<16> srcPort; bit<16> dstPort; bit<16> len; bit<16> checksum; }
+
+header tag_t { bit<16> a; bit<16> b; }
+struct headers_t { ethernet_t eth; vlan_t[2] vlans; tag_t tag; }
+struct meta_t { bit<12> v; }
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.etherType) {
+            0x8100: parse_vlan;
+            default: accept;
+        }
+    }
+    state parse_vlan {
+        pkt.extract(hdr.vlans.next);
+        transition select(hdr.vlans.last.etherType) {
+            0x8100: parse_vlan;
+            default: accept;
+        }
+    }
+}
+control VC(inout headers_t hdr, inout meta_t meta) { apply { } }
+control Ing(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    action set_port(bit<9> p) { sm.egress_spec = p; }
+    action keep() { }
+    table stack_key {
+        key = { hdr.vlans[0].vid: exact; }
+        actions = { set_port; keep; }
+        default_action = keep();
+    }
+    table dup_keys {
+        key = {
+            hdr.eth.src: exact @name("mac");
+            hdr.eth.dst: exact @name("mac");
+        }
+        actions = { set_port; keep; }
+        default_action = keep();
+    }
+    apply {
+        if (hdr.vlans[0].isValid()) {
+            stack_key.apply();
+            hdr.vlans.pop_front(1);
+        } else {
+            dup_keys.apply();
+        }
+        hdr.tag.setValid();
+        hdr.tag.a = 0xAAAA;
+    }
+}
+control Eg(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control CC(inout headers_t hdr, inout meta_t meta) { apply { } }
+control Dep(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.eth);
+        pkt.emit(hdr.vlans[0]);
+        pkt.emit(hdr.vlans[1]);
+        pkt.emit(hdr.tag);
+    }
+}
+V1Switch(P(), VC(), Ing(), Eg(), CC(), Dep()) main;

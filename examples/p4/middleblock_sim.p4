@@ -1,0 +1,163 @@
+// arch: v1model
+
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+header vlan_t { bit<3> pcp; bit<1> dei; bit<12> vid; bit<16> etherType; }
+header ipv4_t {
+    bit<4> version; bit<4> ihl; bit<8> tos; bit<16> totalLen;
+    bit<16> id; bit<3> flags; bit<13> fragOffset;
+    bit<8> ttl; bit<8> protocol; bit<16> checksum;
+    bit<32> src; bit<32> dst;
+}
+header tcp_t {
+    bit<16> srcPort; bit<16> dstPort; bit<32> seq; bit<32> ack;
+    bit<4> dataOffset; bit<4> res; bit<8> flags; bit<16> window;
+    bit<16> checksum; bit<16> urgentPtr;
+}
+header udp_t { bit<16> srcPort; bit<16> dstPort; bit<16> len; bit<16> checksum; }
+
+struct headers_t { ethernet_t eth; vlan_t vlan; ipv4_t ipv4; tcp_t tcp; udp_t udp; }
+struct meta_t {
+    bit<12> vid;
+    bit<16> l4_sport;
+    bit<16> l4_dport;
+    bit<1>  ipv4_ok;
+    bit<9>  nexthop_port;
+    bit<48> nexthop_mac;
+}
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.etherType) {
+            0x8100: parse_vlan;
+            0x0800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_vlan {
+        pkt.extract(hdr.vlan);
+        transition select(hdr.vlan.etherType) {
+            0x0800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            8w6: parse_tcp;
+            8w17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_tcp { pkt.extract(hdr.tcp); transition accept; }
+    state parse_udp { pkt.extract(hdr.udp); transition accept; }
+}
+
+control VC(inout headers_t hdr, inout meta_t meta) {
+    apply {
+        verify_checksum(hdr.ipv4.isValid(),
+            { hdr.ipv4.version, hdr.ipv4.ihl, hdr.ipv4.tos, hdr.ipv4.totalLen,
+              hdr.ipv4.id, hdr.ipv4.flags, hdr.ipv4.fragOffset,
+              hdr.ipv4.ttl, hdr.ipv4.protocol, hdr.ipv4.src, hdr.ipv4.dst },
+            hdr.ipv4.checksum, HashAlgorithm.csum16);
+    }
+}
+
+control Ing(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    action drop_it() { mark_to_drop(sm); }
+    action permit() { }
+    action mirror(bit<32> session) { clone(CloneType.I2E, session); }
+    action set_vid(bit<12> vid) { meta.vid = vid; }
+    action l2_fwd(bit<9> port) { sm.egress_spec = port; }
+    action set_nexthop(bit<9> port, bit<48> dmac) {
+        meta.nexthop_port = port;
+        meta.nexthop_mac = dmac;
+        sm.egress_spec = port;
+        hdr.eth.dst = dmac;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+
+    table vlan_table {
+        key = { hdr.vlan.vid: exact @name("vid"); }
+        actions = { set_vid; drop_it; }
+        default_action = set_vid(1);
+    }
+
+    @entry_restriction("dst_port != 0 && dst_port < 32768")
+    table acl {
+        key = {
+            hdr.ipv4.src: ternary @name("src_addr");
+            hdr.ipv4.dst: ternary @name("dst_addr");
+            meta.l4_dport: range @name("dst_port");
+        }
+        actions = { drop_it; permit; mirror; }
+        default_action = permit();
+    }
+
+    table l3_routes {
+        key = { hdr.ipv4.dst: lpm @name("dst"); }
+        actions = { set_nexthop; drop_it; }
+        default_action = drop_it();
+    }
+
+    table l2_table {
+        key = { hdr.eth.dst: exact @name("dmac"); }
+        actions = { l2_fwd; drop_it; }
+        default_action = drop_it();
+    }
+
+    apply {
+        if (hdr.vlan.isValid()) {
+            vlan_table.apply();
+        }
+        if (hdr.ipv4.isValid()) {
+            if (sm.checksum_error == 1) {
+                mark_to_drop(sm);
+            } else {
+                if (hdr.tcp.isValid()) {
+                    meta.l4_sport = hdr.tcp.srcPort;
+                    meta.l4_dport = hdr.tcp.dstPort;
+                }
+                if (hdr.udp.isValid()) {
+                    meta.l4_sport = hdr.udp.srcPort;
+                    meta.l4_dport = hdr.udp.dstPort;
+                }
+                acl.apply();
+                if (sm.egress_spec != 511) {
+                    if (hdr.ipv4.ttl == 0) {
+                        mark_to_drop(sm);
+                    } else {
+                        l3_routes.apply();
+                    }
+                }
+            }
+        } else {
+            l2_table.apply();
+        }
+    }
+}
+
+control Eg(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    apply { }
+}
+
+control CC(inout headers_t hdr, inout meta_t meta) {
+    apply {
+        update_checksum(hdr.ipv4.isValid(),
+            { hdr.ipv4.version, hdr.ipv4.ihl, hdr.ipv4.tos, hdr.ipv4.totalLen,
+              hdr.ipv4.id, hdr.ipv4.flags, hdr.ipv4.fragOffset,
+              hdr.ipv4.ttl, hdr.ipv4.protocol, hdr.ipv4.src, hdr.ipv4.dst },
+            hdr.ipv4.checksum, HashAlgorithm.csum16);
+    }
+}
+
+control Dep(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.eth);
+        pkt.emit(hdr.vlan);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.tcp);
+        pkt.emit(hdr.udp);
+    }
+}
+V1Switch(P(), VC(), Ing(), Eg(), CC(), Dep()) main;

@@ -1,0 +1,36 @@
+// arch: v1model
+
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+header vlan_t { bit<3> pcp; bit<1> dei; bit<12> vid; bit<16> etherType; }
+header ipv4_t {
+    bit<4> version; bit<4> ihl; bit<8> tos; bit<16> totalLen;
+    bit<16> id; bit<3> flags; bit<13> fragOffset;
+    bit<8> ttl; bit<8> protocol; bit<16> checksum;
+    bit<32> src; bit<32> dst;
+}
+header tcp_t {
+    bit<16> srcPort; bit<16> dstPort; bit<32> seq; bit<32> ack;
+    bit<4> dataOffset; bit<4> res; bit<8> flags; bit<16> window;
+    bit<16> checksum; bit<16> urgentPtr;
+}
+header udp_t { bit<16> srcPort; bit<16> dstPort; bit<16> len; bit<16> checksum; }
+
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<32> count; }
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    state start { pkt.extract(hdr.eth); transition accept; }
+}
+control VC(inout headers_t hdr, inout meta_t meta) { apply { } }
+control Ing(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    register<bit<32>>(64) counters;
+    apply {
+        counters.read(meta.count, 32w63);
+        meta.count = meta.count + 1;
+        counters.write(32w63, meta.count);
+        sm.egress_spec = 1;
+    }
+}
+control Eg(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control CC(inout headers_t hdr, inout meta_t meta) { apply { } }
+control Dep(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.eth); } }
+V1Switch(P(), VC(), Ing(), Eg(), CC(), Dep()) main;

@@ -1,0 +1,56 @@
+// arch: v1model
+
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+header vlan_t { bit<3> pcp; bit<1> dei; bit<12> vid; bit<16> etherType; }
+header ipv4_t {
+    bit<4> version; bit<4> ihl; bit<8> tos; bit<16> totalLen;
+    bit<16> id; bit<3> flags; bit<13> fragOffset;
+    bit<8> ttl; bit<8> protocol; bit<16> checksum;
+    bit<32> src; bit<32> dst;
+}
+header tcp_t {
+    bit<16> srcPort; bit<16> dstPort; bit<32> seq; bit<32> ack;
+    bit<4> dataOffset; bit<4> res; bit<8> flags; bit<16> window;
+    bit<16> checksum; bit<16> urgentPtr;
+}
+header udp_t { bit<16> srcPort; bit<16> dstPort; bit<16> len; bit<16> checksum; }
+
+struct headers_t { ethernet_t eth; vlan_t[2] vlans; }
+struct meta_t { bit<12> inner_vid; }
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.etherType) {
+            0x8100: parse_vlan;
+            default: accept;
+        }
+    }
+    state parse_vlan {
+        pkt.extract(hdr.vlans.next);
+        transition select(hdr.vlans.last.etherType) {
+            0x8100: parse_vlan;
+            default: accept;
+        }
+    }
+}
+control VC(inout headers_t hdr, inout meta_t meta) { apply { } }
+control Ing(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    apply {
+        if (hdr.vlans[0].isValid()) {
+            meta.inner_vid = hdr.vlans[0].vid;
+            sm.egress_spec = 2;
+        } else {
+            sm.egress_spec = 1;
+        }
+    }
+}
+control Eg(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control CC(inout headers_t hdr, inout meta_t meta) { apply { } }
+control Dep(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.eth);
+        pkt.emit(hdr.vlans[0]);
+        pkt.emit(hdr.vlans[1]);
+    }
+}
+V1Switch(P(), VC(), Ing(), Eg(), CC(), Dep()) main;

@@ -1,0 +1,218 @@
+// arch: tna
+
+header tofino_md_t { bit<64> pad; }
+
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+header vlan_t { bit<3> pcp; bit<1> dei; bit<12> vid; bit<16> etherType; }
+header ipv4_t {
+    bit<4> version; bit<4> ihl; bit<8> tos; bit<16> totalLen;
+    bit<16> id; bit<3> flags; bit<13> fragOffset;
+    bit<8> ttl; bit<8> protocol; bit<16> checksum;
+    bit<32> src; bit<32> dst;
+}
+header tcp_t {
+    bit<16> srcPort; bit<16> dstPort; bit<32> seq; bit<32> ack;
+    bit<4> dataOffset; bit<4> res; bit<8> flags; bit<16> window;
+    bit<16> checksum; bit<16> urgentPtr;
+}
+header udp_t { bit<16> srcPort; bit<16> dstPort; bit<16> len; bit<16> checksum; }
+
+header ipv6_t {
+    bit<4> version; bit<8> trafficClass; bit<20> flowLabel;
+    bit<16> payloadLen; bit<8> nextHdr; bit<8> hopLimit;
+    bit<64> srcHi; bit<64> srcLo; bit<64> dstHi; bit<64> dstLo;
+}
+struct headers_t { tofino_md_t tofino_md; ethernet_t eth; vlan_t vlan; ipv4_t ipv4; ipv6_t ipv6; tcp_t tcp; udp_t udp; }
+struct meta_t {
+    bit<16> bd;
+    bit<16> nexthop;
+    bit<12> vid;
+    bit<1>  routed;
+    bit<1>  acl_deny;
+    bit<16> ecmp_group;
+    bit<16> l4_dport;
+}
+
+parser IPrs(packet_in pkt, out headers_t hdr, out meta_t meta, out ingress_intrinsic_metadata_t ig_intr_md) {
+    state start {
+        pkt.extract(hdr.tofino_md);
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.etherType) {
+            0x8100: parse_vlan;
+            0x0800: parse_ipv4;
+            0x86DD: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_vlan {
+        pkt.extract(hdr.vlan);
+        transition select(hdr.vlan.etherType) {
+            0x0800: parse_ipv4;
+            0x86DD: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            8w6: parse_tcp;
+            8w17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_ipv6 {
+        pkt.extract(hdr.ipv6);
+        transition select(hdr.ipv6.nextHdr) {
+            8w6: parse_tcp;
+            8w17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_tcp { pkt.extract(hdr.tcp); transition accept; }
+    state parse_udp { pkt.extract(hdr.udp); transition accept; }
+}
+
+control Ing(inout headers_t hdr, inout meta_t meta,
+            in ingress_intrinsic_metadata_t ig_intr_md,
+            in ingress_intrinsic_metadata_from_parser_t ig_prsr_md,
+            inout ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md,
+            inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+    action drop_it() { ig_dprsr_md.drop_ctl = 1; }
+    action set_bd(bit<16> bd) { meta.bd = bd; }
+    action l2_hit(bit<9> port) { ig_tm_md.ucast_egress_port = port; }
+    action route(bit<16> nexthop) { meta.nexthop = nexthop; meta.routed = 1; }
+    action nexthop_set(bit<9> port, bit<48> dmac) {
+        ig_tm_md.ucast_egress_port = port;
+        hdr.eth.dst = dmac;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    action acl_deny_a() { meta.acl_deny = 1; }
+    action acl_permit() { }
+
+    table port_vlan {
+        key = {
+            ig_intr_md.ingress_port: exact @name("port");
+            hdr.vlan.vid: ternary @name("vid");
+        }
+        actions = { set_bd; drop_it; }
+        default_action = set_bd(0);
+    }
+    table l2_fwd {
+        key = {
+            meta.bd: exact @name("bd");
+            hdr.eth.dst: exact @name("dmac");
+        }
+        actions = { l2_hit; drop_it; }
+        default_action = drop_it();
+    }
+    table l3_route {
+        key = { hdr.ipv4.dst: lpm @name("dst"); }
+        actions = { route; drop_it; }
+        default_action = drop_it();
+    }
+    table nexthop_table {
+        key = { meta.nexthop: exact @name("nexthop"); }
+        actions = { nexthop_set; drop_it; }
+        default_action = drop_it();
+    }
+    table acl {
+        key = {
+            hdr.ipv4.src: ternary @name("src");
+            meta.l4_dport: range @name("dport");
+        }
+        actions = { acl_deny_a; acl_permit; }
+        default_action = acl_permit();
+    }
+    action set_ecmp(bit<16> group) { meta.ecmp_group = group; }
+    action no_ecmp() { }
+    table ecmp {
+        key = { meta.nexthop: exact @name("nexthop"); }
+        actions = { set_ecmp; no_ecmp; }
+        default_action = no_ecmp();
+    }
+    action v6_route(bit<16> nexthop) { meta.nexthop = nexthop; meta.routed = 1; }
+    table l3_route_v6 {
+        key = { hdr.ipv6.dstHi: exact @name("dst_hi"); }
+        actions = { v6_route; drop_it; }
+        default_action = drop_it();
+    }
+
+    apply {
+        port_vlan.apply();
+        if (hdr.tcp.isValid()) {
+            meta.l4_dport = hdr.tcp.dstPort;
+        }
+        if (hdr.udp.isValid()) {
+            meta.l4_dport = hdr.udp.dstPort;
+        }
+        if (hdr.ipv4.isValid()) {
+            if (hdr.ipv4.ttl == 0) {
+                drop_it();
+            } else {
+                l3_route.apply();
+                if (meta.routed == 1) {
+                    ecmp.apply();
+                    nexthop_table.apply();
+                }
+                acl.apply();
+                if (meta.acl_deny == 1) {
+                    drop_it();
+                }
+            }
+        } else {
+            if (hdr.ipv6.isValid()) {
+                if (hdr.ipv6.hopLimit == 0) {
+                    drop_it();
+                } else {
+                    l3_route_v6.apply();
+                    if (meta.routed == 1) {
+                        ecmp.apply();
+                        nexthop_table.apply();
+                    }
+                }
+            } else {
+                l2_fwd.apply();
+            }
+        }
+    }
+}
+
+control IDep(packet_out pkt, inout headers_t hdr, in ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md) {
+    apply {
+        pkt.emit(hdr.eth);
+        pkt.emit(hdr.vlan);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.ipv6);
+        pkt.emit(hdr.tcp);
+        pkt.emit(hdr.udp);
+    }
+}
+
+parser EPrs(packet_in pkt, out headers_t hdr, out meta_t emeta, out egress_intrinsic_metadata_t eg_intr_md) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition accept;
+    }
+}
+
+control Egr(inout headers_t hdr, inout meta_t emeta,
+            in egress_intrinsic_metadata_t eg_intr_md,
+            in egress_intrinsic_metadata_from_parser_t eg_prsr_md,
+            inout egress_intrinsic_metadata_for_deparser_t eg_dprsr_md,
+            inout egress_intrinsic_metadata_for_output_port_t eg_oport_md) {
+    action rewrite_smac(bit<48> smac) { hdr.eth.src = smac; }
+    action keep() { }
+    table egress_rewrite {
+        key = { eg_intr_md.egress_port: exact @name("port"); }
+        actions = { rewrite_smac; keep; }
+        default_action = keep();
+    }
+    apply {
+        egress_rewrite.apply();
+    }
+}
+
+control EDep(packet_out pkt, inout headers_t hdr, in egress_intrinsic_metadata_for_deparser_t eg_dprsr_md) {
+    apply { pkt.emit(hdr.eth); }
+}
+Pipeline(IPrs(), Ing(), IDep(), EPrs(), Egr(), EDep()) main;

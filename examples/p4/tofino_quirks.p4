@@ -1,0 +1,75 @@
+// arch: tna
+
+header tofino_md_t { bit<64> pad; }
+
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+header vlan_t { bit<3> pcp; bit<1> dei; bit<12> vid; bit<16> etherType; }
+header ipv4_t {
+    bit<4> version; bit<4> ihl; bit<8> tos; bit<16> totalLen;
+    bit<16> id; bit<3> flags; bit<13> fragOffset;
+    bit<8> ttl; bit<8> protocol; bit<16> checksum;
+    bit<32> src; bit<32> dst;
+}
+header tcp_t {
+    bit<16> srcPort; bit<16> dstPort; bit<32> seq; bit<32> ack;
+    bit<4> dataOffset; bit<4> res; bit<8> flags; bit<16> window;
+    bit<16> checksum; bit<16> urgentPtr;
+}
+header udp_t { bit<16> srcPort; bit<16> dstPort; bit<16> len; bit<16> checksum; }
+
+struct headers_t { tofino_md_t tofino_md; ethernet_t eth; }
+struct meta_t { bit<32> rv; bit<32> hv; bit<48> peek; }
+parser IPrs(packet_in pkt, out headers_t hdr, out meta_t meta, out ingress_intrinsic_metadata_t ig_intr_md) {
+    state start {
+        meta.peek = pkt.lookahead<bit<48>>();
+        pkt.extract(hdr.tofino_md);
+        pkt.extract(hdr.eth);
+        transition accept;
+    }
+}
+control Ing(inout headers_t hdr, inout meta_t meta,
+            in ingress_intrinsic_metadata_t ig_intr_md,
+            in ingress_intrinsic_metadata_from_parser_t ig_prsr_md,
+            inout ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md,
+            inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+    Register<bit<32>, bit<32>>(16) reg;
+    Hash<bit<32>>(HashAlgorithm_t.CRC32) hasher;
+    action fwd(bit<9> p) { ig_tm_md.ucast_egress_port = p; }
+    action fwd_bypass(bit<9> p) {
+        ig_tm_md.ucast_egress_port = p;
+        ig_tm_md.bypass_egress = 1;
+    }
+    table seltab {
+        key = { hdr.eth.etherType: exact @name("type"); }
+        actions = { fwd; fwd_bypass; }
+        const entries = {
+            @priority(10) 0x1111: fwd(9w1);
+            @priority(1) 0x1111: fwd_bypass(9w2);
+        }
+        default_action = fwd(9w7);
+    }
+    apply {
+        meta.rv = reg.read(32w15);
+        reg.write(32w15, meta.rv + 1);
+        meta.hv = hasher.get({ hdr.eth.dst, hdr.eth.src });
+        hdr.eth.src = meta.hv ++ meta.hv[15:0];
+        seltab.apply();
+    }
+}
+control IDep(packet_out pkt, inout headers_t hdr, in ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md) {
+    apply { pkt.emit(hdr.eth); }
+}
+parser EPrs(packet_in pkt, out headers_t hdr, out meta_t emeta, out egress_intrinsic_metadata_t eg_intr_md) {
+    state start { pkt.extract(hdr.eth); transition accept; }
+}
+control Egr(inout headers_t hdr, inout meta_t emeta,
+            in egress_intrinsic_metadata_t eg_intr_md,
+            in egress_intrinsic_metadata_from_parser_t eg_prsr_md,
+            inout egress_intrinsic_metadata_for_deparser_t eg_dprsr_md,
+            inout egress_intrinsic_metadata_for_output_port_t eg_oport_md) {
+    apply { hdr.eth.dst = 48w0xEEEEEEEEEEEE; }
+}
+control EDep(packet_out pkt, inout headers_t hdr, in egress_intrinsic_metadata_for_deparser_t eg_dprsr_md) {
+    apply { pkt.emit(hdr.eth); }
+}
+Pipeline(IPrs(), Ing(), IDep(), EPrs(), Egr(), EDep()) main;

@@ -1,0 +1,126 @@
+// arch: v1model
+
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+header vlan_t { bit<3> pcp; bit<1> dei; bit<12> vid; bit<16> etherType; }
+header ipv4_t {
+    bit<4> version; bit<4> ihl; bit<8> tos; bit<16> totalLen;
+    bit<16> id; bit<3> flags; bit<13> fragOffset;
+    bit<8> ttl; bit<8> protocol; bit<16> checksum;
+    bit<32> src; bit<32> dst;
+}
+header tcp_t {
+    bit<16> srcPort; bit<16> dstPort; bit<32> seq; bit<32> ack;
+    bit<4> dataOffset; bit<4> res; bit<8> flags; bit<16> window;
+    bit<16> checksum; bit<16> urgentPtr;
+}
+header udp_t { bit<16> srcPort; bit<16> dstPort; bit<16> len; bit<16> checksum; }
+
+header gtpu_t {
+    bit<3> version; bit<1> pt; bit<1> spare; bit<1> ex; bit<1> seq_flag; bit<1> npdu;
+    bit<8> msgtype; bit<16> msglen; bit<32> teid;
+}
+struct headers_t { ethernet_t eth; ipv4_t outer_ipv4; udp_t outer_udp; gtpu_t gtpu; ipv4_t ipv4; udp_t udp; }
+struct meta_t {
+    bit<32> teid;
+    bit<32> far_id;
+    bit<1>  needs_decap;
+    bit<1>  needs_encap;
+    bit<8>  meter_color;
+}
+
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.etherType) {
+            0x0800: parse_outer;
+            default: accept;
+        }
+    }
+    state parse_outer {
+        pkt.extract(hdr.outer_ipv4);
+        transition select(hdr.outer_ipv4.protocol) {
+            8w17: parse_outer_udp;
+            default: accept;
+        }
+    }
+    state parse_outer_udp {
+        pkt.extract(hdr.outer_udp);
+        transition select(hdr.outer_udp.dstPort) {
+            16w2152: parse_gtpu;
+            default: accept;
+        }
+    }
+    state parse_gtpu {
+        pkt.extract(hdr.gtpu);
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control VC(inout headers_t hdr, inout meta_t meta) { apply { } }
+
+control Ing(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    meter(1024, MeterType.packets) flow_meter;
+    action drop_it() { mark_to_drop(sm); }
+    action set_pdr(bit<32> far_id, bit<1> decap) {
+        meta.far_id = far_id;
+        meta.needs_decap = decap;
+    }
+    action far_forward(bit<9> port) { sm.egress_spec = port; }
+    action far_tunnel(bit<9> port, bit<32> teid, bit<32> tunnel_dst) {
+        sm.egress_spec = port;
+        meta.needs_encap = 1;
+        meta.teid = teid;
+        hdr.outer_ipv4.dst = tunnel_dst;
+    }
+
+    table pdr_table {
+        key = {
+            hdr.gtpu.teid: exact @name("teid");
+            hdr.ipv4.dst: exact @name("ue_addr");
+        }
+        actions = { set_pdr; drop_it; }
+        default_action = drop_it();
+    }
+
+    table far_table {
+        key = { meta.far_id: exact @name("far_id"); }
+        actions = { far_forward; far_tunnel; drop_it; }
+        default_action = drop_it();
+    }
+
+    apply {
+        if (hdr.gtpu.isValid()) {
+            pdr_table.apply();
+            if (sm.egress_spec != 511) {
+                flow_meter.execute_meter(meta.far_id, meta.meter_color);
+                if (meta.meter_color == 2) {
+                    mark_to_drop(sm);
+                } else {
+                    far_table.apply();
+                    if (meta.needs_decap == 1) {
+                        hdr.outer_ipv4.setInvalid();
+                        hdr.outer_udp.setInvalid();
+                        hdr.gtpu.setInvalid();
+                    }
+                }
+            }
+        } else {
+            drop_it();
+        }
+    }
+}
+
+control Eg(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control CC(inout headers_t hdr, inout meta_t meta) { apply { } }
+control Dep(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.eth);
+        pkt.emit(hdr.outer_ipv4);
+        pkt.emit(hdr.outer_udp);
+        pkt.emit(hdr.gtpu);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.udp);
+    }
+}
+V1Switch(P(), VC(), Ing(), Eg(), CC(), Dep()) main;

@@ -26,14 +26,24 @@
 //! ```
 
 use p4t_backends::{ProtoBackend, PtfBackend, StfBackend, TestBackend};
+use p4t_frontend::{Diagnostic, SourceMap};
 use p4t_interp::{execute_and_check_counted, Arch, FaultSet, InterpStats};
 use p4t_obs::{Diag, Level, Registry};
 use p4t_targets::{EbpfModel, Tofino, V1Model};
-use p4testgen_core::{Preconditions, RunSummary, Strategy, Target, Testgen, TestgenConfig, TestSpec};
+use p4testgen_core::{
+    BuildError, Preconditions, RunSummary, Strategy, Target, Testgen, TestgenConfig, TestSpec,
+};
+use serde::value::{Number, Value};
 use std::io::Write;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Exit codes (documented in README): 0 = tests emitted, 1 = the frontend
+/// rejected the program or generation/validation failed, 2 = usage or I/O
+/// error.
+const EXIT_FRONTEND: u8 = 1;
+const EXIT_USAGE_IO: u8 = 2;
 
 struct Options {
     target: String,
@@ -170,21 +180,88 @@ fn parse_args() -> Options {
     opts
 }
 
+/// Everything a successful generation run produces.
+struct GenOutput {
+    tests: Vec<TestSpec>,
+    summary: RunSummary,
+    prog: p4t_ir::IrProgram,
+    /// Frontend warnings (program still compiled), for rendering.
+    warnings: Vec<Diagnostic>,
+    prelude_lines: u32,
+}
+
+enum GenError {
+    /// The build failed (frontend diagnostics or target pipeline rejection).
+    Build(BuildError),
+    /// Exploration workers died outside the per-path isolation.
+    Run(String),
+}
+
 fn generate<T: Target>(
     name: &str,
     source: &str,
     target: T,
     config: TestgenConfig,
-) -> Result<(Vec<TestSpec>, RunSummary, p4t_ir::IrProgram), String> {
-    let mut tg = Testgen::new(name, source, target, config)?;
+) -> Result<GenOutput, GenError> {
+    let prelude_lines = target.prelude().matches('\n').count() as u32 + 1;
+    let mut tg =
+        Testgen::new_checked(name, source, target, config).map_err(GenError::Build)?;
     let mut tests = Vec::new();
     let summary = tg
         .try_run(|t| {
             tests.push(t.clone());
             true
         })
-        .map_err(|e| e.to_string())?;
-    Ok((tests, summary, tg.prog.clone()))
+        .map_err(|e| GenError::Run(e.to_string()))?;
+    let warnings = tg.frontend_warnings().to_vec();
+    Ok(GenOutput { tests, summary, prog: tg.prog.clone(), warnings, prelude_lines })
+}
+
+/// Machine-readable error payload for `--summary-json` when the frontend
+/// rejects the program (the run never happened, so there is no summary).
+fn diagnostics_json(diagnostics: &[Diagnostic], map: &SourceMap, prelude_lines: u32) -> Value {
+    let items: Vec<Value> = diagnostics
+        .iter()
+        .map(|d| {
+            let line = d.span.start.line.saturating_sub(prelude_lines);
+            Value::Object(vec![
+                ("code".into(), Value::String(d.code.to_string())),
+                ("severity".into(), Value::String(d.severity.to_string())),
+                ("message".into(), Value::String(d.message.clone())),
+                ("file".into(), Value::String(map.name().to_string())),
+                ("line".into(), Value::Number(Number::U(u64::from(line)))),
+                ("col".into(), Value::Number(Number::U(u64::from(d.span.start.col)))),
+            ])
+        })
+        .collect();
+    Value::Object(vec![(
+        "error".into(),
+        Value::Object(vec![
+            ("kind".into(), Value::String("frontend".into())),
+            ("diagnostics".into(), Value::Array(items)),
+        ]),
+    )])
+}
+
+/// Write the `--summary-json` payload to its destination. I/O failures are
+/// reported and mapped to the I/O exit code by the caller.
+fn write_summary(dest: &Option<String>, value: &Value, diag: &Diag) -> Result<(), ()> {
+    let mut s = serde_json::to_string_pretty(value).unwrap_or_default();
+    s.push('\n');
+    match dest {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, s) {
+                diag.error(format!("cannot write {path}: {e}"));
+                return Err(());
+            }
+            diag.verbose(format!("wrote summary {path}"));
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            let _ = stdout.write_all(s.as_bytes());
+        }
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -194,7 +271,7 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => {
             diag.error(format!("cannot read {}: {e}", opts.program));
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE_IO);
         }
     };
     let mut config = TestgenConfig::default();
@@ -231,16 +308,43 @@ fn main() -> ExitCode {
         "ebpf_model" => generate(name, &source, EbpfModel::new(), config).map(|r| (r, Arch::Ebpf)),
         other => {
             diag.error(format!("unknown target '{other}'"));
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE_IO);
         }
     };
-    let ((tests, summary, prog), arch) = match result {
+    let (gen, arch) = match result {
         Ok(r) => r,
-        Err(e) => {
-            diag.error(e);
+        Err(GenError::Build(BuildError::Frontend { diagnostics, prelude_lines })) => {
+            let map = SourceMap::new(&opts.program, &source);
+            eprint!("{}", map.render_all(&diagnostics, prelude_lines));
+            let errors = diagnostics.iter().filter(|d| d.is_error()).count();
+            diag.error(format!(
+                "{}: {errors} error(s); no tests generated",
+                opts.program
+            ));
+            if let Some(dest) = &opts.summary_json {
+                let payload = diagnostics_json(&diagnostics, &map, prelude_lines);
+                if write_summary(dest, &payload, &diag).is_err() {
+                    return ExitCode::from(EXIT_USAGE_IO);
+                }
+            }
+            return ExitCode::from(EXIT_FRONTEND);
+        }
+        Err(GenError::Build(BuildError::Target(msg))) => {
+            diag.error(format!("{}: {msg}", opts.program));
+            return ExitCode::from(EXIT_FRONTEND);
+        }
+        Err(GenError::Run(msg)) => {
+            diag.error(msg);
             return ExitCode::FAILURE;
         }
     };
+    let GenOutput { tests, summary, prog, warnings, prelude_lines } = gen;
+    if !warnings.is_empty() {
+        let map = SourceMap::new(&opts.program, &source);
+        for w in &warnings {
+            diag.warn(map.render(w, prelude_lines));
+        }
+    }
     diag.info(format!(
         "{} tests over {} paths ({} infeasible, {} abandoned)",
         summary.tests, summary.paths_explored, summary.infeasible_paths, summary.abandoned_paths
@@ -289,14 +393,14 @@ fn main() -> ExitCode {
         }
         other => {
             diag.error(format!("unknown backend '{other}'"));
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE_IO);
         }
     };
     match &opts.out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, rendered) {
                 diag.error(format!("cannot write {path}: {e}"));
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_USAGE_IO);
             }
             diag.info(format!("wrote {path}"));
         }
@@ -356,7 +460,7 @@ fn main() -> ExitCode {
         let jsonl = summary.trace.as_ref().map(|t| t.to_jsonl()).unwrap_or_default();
         if let Err(e) = std::fs::write(path, jsonl) {
             diag.error(format!("cannot write {path}: {e}"));
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE_IO);
         }
         diag.verbose(format!("wrote trace {path}"));
     }
@@ -372,25 +476,13 @@ fn main() -> ExitCode {
         };
         if let Err(e) = std::fs::write(path, rendered) {
             diag.error(format!("cannot write {path}: {e}"));
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE_IO);
         }
         diag.verbose(format!("wrote metrics {path}"));
     }
     if let Some(dest) = &opts.summary_json {
-        let mut s = serde_json::to_string_pretty(&summary.to_json()).unwrap_or_default();
-        s.push('\n');
-        match dest {
-            Some(path) => {
-                if let Err(e) = std::fs::write(path, s) {
-                    diag.error(format!("cannot write {path}: {e}"));
-                    return ExitCode::FAILURE;
-                }
-                diag.verbose(format!("wrote summary {path}"));
-            }
-            None => {
-                let mut stdout = std::io::stdout().lock();
-                let _ = stdout.write_all(s.as_bytes());
-            }
+        if write_summary(dest, &summary.to_json(), &diag).is_err() {
+            return ExitCode::from(EXIT_USAGE_IO);
         }
     }
     if validation_failed {

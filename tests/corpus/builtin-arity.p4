@@ -1,0 +1,25 @@
+// arch: v1model
+// Regression companions to emit-no-args.p4: every packet/stack builtin
+// called with the wrong number of arguments. Each must produce a T0204
+// diagnostic, never reach lowering's argument indexing.
+header h_t { bit<8> v; }
+struct headers_t { h_t h; h_t[2] stk; }
+struct meta_t { bit<8> x; }
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    state start {
+        pkt.extract();
+        pkt.advance();
+        transition accept;
+    }
+}
+control VC(inout headers_t hdr, inout meta_t meta) { apply { } }
+control Ing(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    apply {
+        hdr.stk.push_front();
+        hdr.stk.pop_front();
+    }
+}
+control Eg(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control CC(inout headers_t hdr, inout meta_t meta) { apply { } }
+control Dep(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.h, hdr.h); } }
+V1Switch(P(), VC(), Ing(), Eg(), CC(), Dep()) main;

@@ -1,0 +1,4 @@
+// arch: v1model
+// Regression: 80 levels of parenthesis nesting used to overflow the
+// parser stack; the recursion-depth guard now reports P0107 instead.
+const bit<8> x = ((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((((1))))))))))))))))))))))))))))))))))))))))))))))))))))))))))))))))))))))))))))))));

@@ -1,0 +1,19 @@
+// arch: v1model
+// Regression (found by p4fuzz, seed=3): a zero-argument pkt.emit() call
+// passed the typechecker and IR lowering indexed args[0], panicking with
+// "index out of bounds". The typechecker now rejects wrong arity on the
+// packet/stack builtin methods and lowering reports instead of indexing.
+header h_t { bit<8> v; }
+struct headers_t { h_t h; }
+struct meta_t { bit<8> x; }
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    state start { pkt.extract(hdr.h); transition accept; }
+}
+control VC(inout headers_t hdr, inout meta_t meta) { apply { } }
+control Ing(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    apply { sm.egress_spec = 1; }
+}
+control Eg(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control CC(inout headers_t hdr, inout meta_t meta) { apply { } }
+control Dep(packet_out pkt, in headers_t hdr) { apply { pkt.emit(); } }
+V1Switch(P(), VC(), Ing(), Eg(), CC(), Dep()) main;

@@ -1,0 +1,7 @@
+// arch: v1model
+// Regression: input ending in the middle of a construct (here a control's
+// parameter list and an unfinished table) exercises every parser EOF path;
+// each must report P0106/P0001 and stop, never index past the token stream.
+header h_t { bit<8> v; }
+struct headers_t { h_t h; }
+control Ing(inout headers_t hdr, inout

@@ -1,0 +1,6 @@
+// arch: v1model
+// Regression: a block comment left open at end of input must produce an
+// L0102 diagnostic at the `/*`, not loop or panic.
+header h_t { bit<8> v; }
+/* this comment never ends
+control C(inout h_t h) { apply { } }

@@ -1,0 +1,7 @@
+// arch: v1model
+// Regression: a string literal cut off by end of line / end of input used
+// to absorb the rest of the file into the token; the lexer now emits L0101
+// at the opening quote and resynchronizes at the newline.
+@entry_restriction("never closed
+const bit<8> x = 1;
+const string y = "also not closed
