@@ -11,6 +11,16 @@
 //! The plan lives in [`crate::testgen::TestgenConfig`] but is intentionally
 //! not reachable from the CLI; production runs always carry the empty plan,
 //! which is checked with two branch-predictable comparisons per path.
+//!
+//! Interplay with incremental solving: injected Unknowns fire *before* the
+//! memo and the solver, so a forced-Unknown trail never touches the warm
+//! spine core; the engine's rotated-phase-seed retry always solves fresh
+//! (a non-zero phase seed disables the warm path in
+//! `p4t_smt::Solver::check_feasible`); and an injected panic makes the
+//! worker drop its warm core (`reset_warm`) exactly as an organic panic
+//! would. Faulted runs are therefore byte-identical between
+//! `--solver-mode fresh` and `incremental`, which `tests/determinism.rs`
+//! checks directly.
 
 use std::collections::BTreeSet;
 use std::time::Duration;

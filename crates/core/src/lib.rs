@@ -52,6 +52,7 @@ pub use preconditions::Preconditions;
 pub use state::{Cmd, ExecState, FinishReason};
 pub use sym::Sym;
 pub use target::{ExecCtx, ExtArg, ExternOutcome, PipeStep, Target, UninitPolicy};
+pub use p4t_smt::SolverMode;
 pub use testgen::{
     classify_abandon_reason, reason, BuildError, ErrorStats, PanicRecord, PhaseStats, RunError,
     RunSummary, Strategy, Testgen, TestgenConfig,

@@ -40,8 +40,13 @@ use p4t_ir::IrProgram;
 use p4t_obs::trace::{EngineEvent, PathOutcome, PathRecord, PathTiming, TraceLog};
 use p4t_obs::Registry;
 use p4t_smt::sat::{SatStats, LEARNT_SIZE_BOUNDS};
-use p4t_smt::solver::{SolverStats, CONFLICTS_PER_CHECK_BOUNDS};
-use p4t_smt::{eval, Assignment, BitVec, CheckResult, SolveBudget, Solver, TermId, TermPool, VarId};
+use p4t_smt::solver::{
+    IncrementalStats, SolverStats, CONFLICTS_PER_CHECK_BOUNDS, SPINE_PER_CHECK_BOUNDS,
+};
+use p4t_smt::{
+    eval, Assignment, BitVec, CheckResult, ClauseExchange, SolveBudget, Solver, SolverMode, TermId,
+    TermPool, VarId,
+};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -124,6 +129,13 @@ pub struct TestgenConfig {
     /// Retry an Unknown query once with a rotated phase seed before giving
     /// up on the path.
     pub budget_retry: bool,
+    /// Feasibility-check discipline: `Incremental` (the default) keeps one
+    /// warm SAT core per worker along its DFS spine; `Fresh` rebuilds every
+    /// check. Model-bearing checks (emission, concolic resolution) are
+    /// always fresh, so emitted suites are byte-identical in both modes.
+    /// Defaults to the `P4TESTGEN_SOLVER_MODE` environment variable
+    /// (`fresh`/`incremental`) when set.
+    pub solver_mode: SolverMode,
     /// Wall-clock deadline for the whole run, checked cooperatively: on
     /// expiry workers finish in-flight paths, drain their queues, and the
     /// run still emits a deterministic, trail-sorted (partial) suite.
@@ -155,6 +167,13 @@ fn default_solver_budget() -> u64 {
         .unwrap_or(0)
 }
 
+fn default_solver_mode() -> SolverMode {
+    std::env::var("P4TESTGEN_SOLVER_MODE")
+        .ok()
+        .and_then(|s| SolverMode::parse(&s))
+        .unwrap_or_default()
+}
+
 fn default_deadline() -> Option<Duration> {
     std::env::var("P4TESTGEN_DEADLINE")
         .ok()
@@ -179,6 +198,7 @@ impl Default for TestgenConfig {
             jobs: default_jobs(),
             solver_budget: default_solver_budget(),
             budget_retry: true,
+            solver_mode: default_solver_mode(),
             deadline: default_deadline(),
             interp_parser_loop_bound: 64,
             fault_plan: FaultPlan::default(),
@@ -440,6 +460,12 @@ pub struct RunSummary {
     /// Fork-feasibility checks answered from the constraint-set memo
     /// instead of the solver.
     pub memo_hits: u64,
+    /// Feasibility-check discipline this run used.
+    pub solver_mode: SolverMode,
+    /// Warm-spine / simplifier / blast-cache / clause-exchange counters for
+    /// this run (all zero under [`SolverMode::Fresh`] except the blast-cache
+    /// ones, which fresh instances also report).
+    pub solver: IncrementalStats,
     /// Degradation taxonomy (budget Unknowns, isolated panics, deadline,
     /// model-default fallbacks, per-reason abandoned counts).
     pub errors: ErrorStats,
@@ -551,6 +577,36 @@ impl RunSummary {
                 ),
             ),
         ]);
+        let i = &self.solver;
+        let cache_total = i.blast_cache_hits + i.blast_cache_misses;
+        let solver = Value::Object(vec![
+            ("mode".into(), Value::String(self.solver_mode.as_str().into())),
+            ("warm_checks".into(), Value::Number(Number::U(i.warm_checks))),
+            ("fresh_fallbacks".into(), Value::Number(Number::U(i.fresh_fallbacks))),
+            ("rebuilds".into(), Value::Number(Number::U(i.rebuilds))),
+            ("roots_reused".into(), Value::Number(Number::U(i.roots_reused))),
+            ("roots_blasted".into(), Value::Number(Number::U(i.roots_blasted))),
+            ("blast_cache_hits".into(), Value::Number(Number::U(i.blast_cache_hits))),
+            ("blast_cache_misses".into(), Value::Number(Number::U(i.blast_cache_misses))),
+            (
+                "blast_cache_hit_rate".into(),
+                Value::Number(Number::F(if cache_total == 0 {
+                    0.0
+                } else {
+                    i.blast_cache_hits as f64 / cache_total as f64
+                })),
+            ),
+            ("simplify_rewrites".into(), Value::Number(Number::U(i.simplify.rewrites))),
+            ("simplify_substitutions".into(), Value::Number(Number::U(i.simplify.substitutions))),
+            ("simplify_dropped_true".into(), Value::Number(Number::U(i.simplify.dropped_true))),
+            ("simplify_fast_unsat".into(), Value::Number(Number::U(i.simplify.fast_unsat))),
+            ("learnt_exported".into(), Value::Number(Number::U(i.learnt_exported))),
+            ("learnt_imported".into(), Value::Number(Number::U(i.learnt_imported))),
+            (
+                "learnt_import_skipped".into(),
+                Value::Number(Number::U(i.learnt_import_skipped)),
+            ),
+        ]);
         Value::Object(vec![
             ("schema".into(), Value::String("p4testgen-run-summary/v1".into())),
             ("tests".into(), Value::Number(Number::U(self.tests))),
@@ -561,6 +617,7 @@ impl RunSummary {
             ("phases".into(), phases),
             ("solver_checks".into(), Value::Number(Number::U(self.solver_checks))),
             ("memo_hits".into(), Value::Number(Number::U(self.memo_hits))),
+            ("solver".into(), solver),
             ("errors".into(), errors),
             ("test_trails".into(), trails(&self.test_trails)),
         ])
@@ -647,6 +704,10 @@ struct Shared<'a, T: Target> {
     paths_started: AtomicU64,
     coverage: SharedCoverage,
     memo: FeasMemo,
+    /// Cross-worker learnt-clause pool, created when the run is incremental
+    /// with more than one worker. Clause traffic influences only warm-core
+    /// search order, never verdicts, so it cannot perturb the emitted suite.
+    exchange: Option<Arc<ClauseExchange>>,
     stealers: Vec<Stealer<Pending>>,
     /// Run start, for the cooperative deadline below.
     started: Instant,
@@ -693,6 +754,8 @@ struct WorkerOut {
     abandoned: u64,
     solver_stats: SolverStats,
     sat_stats: SatStats,
+    /// Warm-spine / simplifier / blast-cache / exchange counters.
+    inc_stats: IncrementalStats,
     errors: ErrorStats,
     /// (fork trail, provisional spec); sorted and renumbered by the merger.
     tests: Vec<(Vec<u32>, TestSpec)>,
@@ -827,6 +890,8 @@ impl<T: Target> Testgen<T> {
             paths_started: AtomicU64::new(0),
             coverage: SharedCoverage::new(&self.prog),
             memo: FeasMemo::new(),
+            exchange: (self.config.solver_mode == SolverMode::Incremental && jobs > 1)
+                .then(|| Arc::new(ClauseExchange::new())),
             stealers: Vec::new(),
             started: t_start,
             deadline: self.config.fault_plan.deadline_override.or(self.config.deadline),
@@ -911,6 +976,7 @@ impl<T: Target> Testgen<T> {
         // of this Testgen; metrics folding must not re-count earlier runs).
         let mut run_solver = SolverStats::default();
         let mut run_sat = SatStats::default();
+        let mut run_inc = IncrementalStats::default();
         let mut trace = self.config.obs.trace.then(TraceLog::new);
         let mut steals = 0u64;
         let mut parks = 0u64;
@@ -925,6 +991,7 @@ impl<T: Target> Testgen<T> {
             errors.absorb(&o.errors);
             merge_solver_stats(&mut run_solver, &o.solver_stats);
             merge_sat_stats(&mut run_sat, &o.sat_stats);
+            run_inc.absorb(&o.inc_stats);
             merged.append(&mut o.tests);
             if let (Some(t), Some(wt)) = (&mut trace, o.trace.take()) {
                 t.absorb(wt);
@@ -982,6 +1049,7 @@ impl<T: Target> Testgen<T> {
                     errors: &errors,
                     run_solver: &run_solver,
                     run_sat: &run_sat,
+                    run_inc: &run_inc,
                     memo_lookups: shared.memo.lookups.load(Ordering::Relaxed),
                     memo_hits,
                     pool: &self.pool,
@@ -1004,6 +1072,8 @@ impl<T: Target> Testgen<T> {
             phases,
             solver_checks,
             memo_hits,
+            solver_mode: self.config.solver_mode,
+            solver: run_inc,
             errors,
             test_trails,
             trace,
@@ -1019,6 +1089,7 @@ struct FoldInputs<'a> {
     errors: &'a ErrorStats,
     run_solver: &'a SolverStats,
     run_sat: &'a SatStats,
+    run_inc: &'a IncrementalStats,
     memo_lookups: u64,
     memo_hits: u64,
     pool: &'a TermPool,
@@ -1086,6 +1157,55 @@ fn fold_run_metrics(reg: &Registry, f: &FoldInputs<'_>) {
 
     reg.counter("p4testgen_memo_lookups_total", "feasibility-memo lookups").add(f.memo_lookups);
     reg.counter("p4testgen_memo_hits_total", "feasibility-memo hits").add(f.memo_hits);
+
+    // The incremental layer: warm spine core, simplifier, blast cache,
+    // cross-worker clause exchange.
+    let inc = f.run_inc;
+    let warm_help = "feasibility checks by solving discipline";
+    reg.counter_with("p4testgen_feasibility_checks_total", warm_help, &[("path", "warm")])
+        .add(inc.warm_checks);
+    reg.counter_with("p4testgen_feasibility_checks_total", warm_help, &[("path", "fresh_fallback")])
+        .add(inc.fresh_fallbacks);
+    reg.counter("p4testgen_warm_rebuilds_total", "warm-core rebuilds (garbage-growth policy)")
+        .add(inc.rebuilds);
+    let roots_help = "spine constraint encodings by reuse";
+    reg.counter_with("p4testgen_spine_roots_total", roots_help, &[("kind", "reused")])
+        .add(inc.roots_reused);
+    reg.counter_with("p4testgen_spine_roots_total", roots_help, &[("kind", "blasted")])
+        .add(inc.roots_blasted);
+    reg.histogram(
+        "p4testgen_spine_reused_per_check",
+        "assertions reused from the warm core per check",
+        &SPINE_PER_CHECK_BOUNDS,
+    )
+    .merge_prebucketed(&inc.reused_per_check_hist, inc.roots_reused);
+    reg.histogram(
+        "p4testgen_spine_blasted_per_check",
+        "assertions newly blasted per check",
+        &SPINE_PER_CHECK_BOUNDS,
+    )
+    .merge_prebucketed(&inc.blasted_per_check_hist, inc.roots_blasted);
+    let cache_help = "blaster term-cache outcomes";
+    reg.counter_with("p4testgen_blast_cache_total", cache_help, &[("outcome", "hit")])
+        .add(inc.blast_cache_hits);
+    reg.counter_with("p4testgen_blast_cache_total", cache_help, &[("outcome", "miss")])
+        .add(inc.blast_cache_misses);
+    let simp_help = "term-simplifier actions on feasibility checks";
+    reg.counter_with("p4testgen_simplify_total", simp_help, &[("action", "rewrites")])
+        .add(inc.simplify.rewrites);
+    reg.counter_with("p4testgen_simplify_total", simp_help, &[("action", "substitutions")])
+        .add(inc.simplify.substitutions);
+    reg.counter_with("p4testgen_simplify_total", simp_help, &[("action", "dropped_true")])
+        .add(inc.simplify.dropped_true);
+    reg.counter_with("p4testgen_simplify_total", simp_help, &[("action", "fast_unsat")])
+        .add(inc.simplify.fast_unsat);
+    let xch_help = "cross-worker learnt-clause exchange traffic";
+    reg.counter_with("p4testgen_learnt_exchange_total", xch_help, &[("dir", "exported")])
+        .add(inc.learnt_exported);
+    reg.counter_with("p4testgen_learnt_exchange_total", xch_help, &[("dir", "imported")])
+        .add(inc.learnt_imported);
+    reg.counter_with("p4testgen_learnt_exchange_total", xch_help, &[("dir", "import_skipped")])
+        .add(inc.learnt_import_skipped);
 
     reg.gauge("p4testgen_pool_terms", "interned terms in the pool").set(f.pool.len() as u64);
     reg.gauge("p4testgen_pool_vars", "declared symbolic variables").set(f.pool.num_vars() as u64);
@@ -1207,6 +1327,10 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
     let metrics_on = sh.config.obs.metrics.is_some();
     let mut solver = Solver::new();
     solver.set_budget(SolveBudget::conflicts(sh.config.solver_budget));
+    solver.set_mode(sh.config.solver_mode);
+    if let Some(ex) = &sh.exchange {
+        solver.set_exchange(ex.clone(), widx as u32);
+    }
     let mut w = PathWorker {
         sh,
         widx: widx as u32,
@@ -1309,6 +1433,10 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
             let mut st = p.st;
             let outcome = catch_unwind(AssertUnwindSafe(|| w.process(&mut st, &local)));
             if let Err(payload) = outcome {
+                // The warm spine core may have been abandoned mid-push by
+                // the unwound frame; drop it so the next feasibility check
+                // rebuilds from its own (fully specified) constraint set.
+                w.solver.reset_warm();
                 w.abandoned += 1;
                 w.errors.panicked_paths += 1;
                 w.errors.bump_reason(reason::PANIC);
@@ -1344,6 +1472,7 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
         abandoned: w.abandoned,
         solver_stats: w.solver.stats.clone(),
         sat_stats: w.solver.sat_stats().clone(),
+        inc_stats: w.solver.inc_stats.clone(),
         errors: w.errors,
         tests: w.tests,
         trace: w.trace,
@@ -1490,15 +1619,40 @@ impl<T: Target> PathWorker<'_, '_, T> {
     /// schedule-independent), then count the query as Unknown if it still
     /// failed to decide.
     fn checked(&mut self, trail: &[u32], assumptions: &[TermId]) -> CheckResult {
+        self.checked_impl(trail, assumptions, false)
+    }
+
+    /// Like [`PathWorker::checked`] but verdict-only: eligible for the warm
+    /// spine core under `SolverMode::Incremental`. The Unknown retry path is
+    /// identical — with a budget set, `check_feasible` always solves fresh,
+    /// and the rotated phase seed forces fresh too, so retry verdicts are a
+    /// pure function of (constraints, budget, seed, trail) in both modes.
+    fn checked_feasible(&mut self, trail: &[u32], assumptions: &[TermId]) -> CheckResult {
+        self.checked_impl(trail, assumptions, true)
+    }
+
+    fn checked_impl(
+        &mut self,
+        trail: &[u32],
+        assumptions: &[TermId],
+        verdict_only: bool,
+    ) -> CheckResult {
         let sh = self.sh;
-        let mut res = self.solver.check_assuming(sh.pool, assumptions);
+        let query = |solver: &mut Solver| {
+            if verdict_only {
+                solver.check_feasible(sh.pool, assumptions)
+            } else {
+                solver.check_assuming(sh.pool, assumptions)
+            }
+        };
+        let mut res = query(&mut self.solver);
         if res == CheckResult::Unknown && sh.config.budget_retry {
             self.errors.budget_retries += 1;
             if self.trace.is_some() {
                 self.engine_event("budget-retry", Some(format!("trail={trail:?}")));
             }
             self.solver.set_phase_seed((sh.config.seed ^ trail_hash(trail)) | 1);
-            res = self.solver.check_assuming(sh.pool, assumptions);
+            res = query(&mut self.solver);
             self.solver.set_phase_seed(0);
         }
         if res == CheckResult::Unknown {
@@ -1523,7 +1677,7 @@ impl<T: Target> PathWorker<'_, '_, T> {
             return if sat { CheckResult::Sat } else { CheckResult::Unsat };
         }
         let t1 = Instant::now();
-        let res = self.checked(&f.trail, &f.constraints);
+        let res = self.checked_feasible(&f.trail, &f.constraints);
         self.phases.solving += t1.elapsed();
         // Unknown is a verdict about the budget, not the constraint set —
         // never memoize it.

@@ -915,6 +915,63 @@ V1Switch(P(), VC(), Ing(), Eg(), CC(), Dep()) main;
     )
 }
 
+/// Generate a parser "narrowing chain" that stresses the DFS spine: the
+/// first select pins the key (`key == K0`) down a trunk of `depth` further
+/// selects, each offering `fanout` case constants that contradict the pinned
+/// value before falling through to the next state. Every case fork is an
+/// infeasible feasibility check whose fork trail shares a long prefix with
+/// its siblings — exactly the shape the incremental spine solver is built
+/// for. Fresh-per-check re-blasts the whole prefix on each of the roughly
+/// `depth * fanout` checks (quadratic total work in `depth`); the warm core
+/// blasts each trail constraint once and retires the siblings by assumption.
+/// All case constants are globally distinct so the feasibility memo cannot
+/// collapse checks across levels.
+pub fn generate_parser_deep(depth: u32, fanout: u32) -> String {
+    let mut states = String::new();
+    for i in 1..=depth {
+        let next = if i == depth { "accept".to_string() } else { format!("s{}", i + 1) };
+        let mut cases = String::new();
+        for j in 0..fanout {
+            // Distinct per (level, case) and never equal to the pinned
+            // trunk value 0xA0000000.
+            let c = 0x0001_0000u64 * u64::from(i) + u64::from(j) + 1;
+            cases.push_str(&format!("            32w0x{c:08X}: accept;\n"));
+        }
+        states.push_str(&format!(
+            r#"    state s{i} {{
+        transition select(hdr.data.key) {{
+{cases}            default: {next};
+        }}
+    }}
+"#
+        ));
+    }
+    format!(
+        r#"
+header data_t {{ bit<32> key; bit<32> pad; }}
+struct headers_t {{ data_t data; }}
+struct meta_t {{ bit<8> acc; }}
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {{
+    state start {{
+        pkt.extract(hdr.data);
+        transition select(hdr.data.key) {{
+            32w0xA0000000: s1;
+            default: accept;
+        }}
+    }}
+{states}}}
+control VC(inout headers_t hdr, inout meta_t meta) {{ apply {{ }} }}
+control Ing(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {{
+    apply {{ sm.egress_spec = 1; }}
+}}
+control Eg(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {{ apply {{ }} }}
+control CC(inout headers_t hdr, inout meta_t meta) {{ apply {{ }} }}
+control Dep(packet_out pkt, in headers_t hdr) {{ apply {{ pkt.emit(hdr.data); }} }}
+V1Switch(P(), VC(), Ing(), Eg(), CC(), Dep()) main;
+"#
+    )
+}
+
 /// Every named corpus program with its target architecture.
 pub fn all_programs() -> Vec<(&'static str, String, &'static str)> {
     vec![
@@ -929,5 +986,6 @@ pub fn all_programs() -> Vec<(&'static str, String, &'static str)> {
         ("register_prog", REGISTER_PROG.clone(), "v1model"),
         ("bmv2_quirks", BMV2_QUIRKS.clone(), "v1model"),
         ("tofino_quirks", TOFINO_QUIRKS.clone(), "tna"),
+        ("parser_deep_6x4", generate_parser_deep(6, 4), "v1model"),
     ]
 }

@@ -10,13 +10,27 @@ use crate::sat::{Lit, SatSolver, SatVar};
 use crate::term::{BinOp, Node, TermId, TermPool, VarId};
 use std::collections::HashMap;
 
+/// Encoding-cache counters, read by the solver facade's metrics fold.
+#[derive(Default, Clone, Debug)]
+pub struct BlastStats {
+    /// `blast` calls answered from the per-term cache.
+    pub cache_hits: u64,
+    /// `blast` calls that had to encode a new term node.
+    pub cache_misses: u64,
+}
+
 /// Bit-blaster with a per-term encoding cache.
 pub struct Blaster {
     cache: HashMap<TermId, Vec<Lit>>,
     /// SAT variables backing each pool variable's bits (LSB first).
     var_bits: HashMap<VarId, Vec<SatVar>>,
+    /// Pool variables in the order they were first encoded — an append-only
+    /// log so the incremental facade can register newly encoded variables
+    /// (for cross-worker clause translation) without rescanning `var_bits`.
+    encoded_vars: Vec<VarId>,
     /// A literal constrained to be true.
     true_lit: Lit,
+    pub stats: BlastStats,
 }
 
 impl Blaster {
@@ -24,7 +38,13 @@ impl Blaster {
     pub fn new(sat: &mut SatSolver) -> Self {
         let t = sat.new_var();
         sat.add_clause(&[Lit::positive(t)]);
-        Blaster { cache: HashMap::new(), var_bits: HashMap::new(), true_lit: Lit::positive(t) }
+        Blaster {
+            cache: HashMap::new(),
+            var_bits: HashMap::new(),
+            encoded_vars: Vec::new(),
+            true_lit: Lit::positive(t),
+            stats: BlastStats::default(),
+        }
     }
 
     fn false_lit(&self) -> Lit {
@@ -50,6 +70,13 @@ impl Blaster {
     /// SAT variables backing a pool variable, if it was ever encoded.
     pub fn bits_of_var(&self, v: VarId) -> Option<&[SatVar]> {
         self.var_bits.get(&v).map(|b| b.as_slice())
+    }
+
+    /// Pool variables encoded so far, in first-encoding order. Append-only:
+    /// a caller holding a cursor into this slice sees exactly the variables
+    /// encoded since it last looked.
+    pub fn encoded_vars(&self) -> &[VarId] {
+        &self.encoded_vars
     }
 
     /// Extract the model value of a pool variable after a Sat result.
@@ -281,8 +308,10 @@ impl Blaster {
     /// Translate a term, returning its literals (LSB first). Results cached.
     pub fn blast(&mut self, sat: &mut SatSolver, pool: &TermPool, id: TermId) -> Vec<Lit> {
         if let Some(c) = self.cache.get(&id) {
+            self.stats.cache_hits += 1;
             return c.clone();
         }
+        self.stats.cache_misses += 1;
         let node = pool.node(id).clone();
         let out: Vec<Lit> = match node {
             Node::Const(v) => (0..v.width()).map(|i| self.const_lit(v.bit(i))).collect(),
@@ -290,6 +319,7 @@ impl Blaster {
                 let width = pool.var_info(v).width;
                 let bits: Vec<SatVar> = (0..width).map(|_| sat.new_var()).collect();
                 self.var_bits.insert(v, bits.clone());
+                self.encoded_vars.push(v);
                 bits.into_iter().map(Lit::positive).collect()
             }
             Node::Not(a) => {

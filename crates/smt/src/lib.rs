@@ -16,8 +16,16 @@
 //!   term so shared path-prefix structure is encoded once.
 //! * [`sat::SatSolver`] — a CDCL SAT solver (two-watched literals, VSIDS,
 //!   first-UIP learning, Luby restarts, assumptions).
-//! * [`solver::Solver`] — the incremental push/pop facade used by the
-//!   symbolic executor, with timing statistics for the Fig. 7 experiment.
+//! * [`simplify`] — term-level preprocessing for feasibility checks:
+//!   constant folding over the conjunction and equality/substitution
+//!   propagation along the trail, re-interned so the blast cache is keyed
+//!   on simplified structure.
+//! * [`solver::Solver`] — the push/pop facade used by the symbolic
+//!   executor, with timing statistics for the Fig. 7 experiment. Two
+//!   disciplines behind one API: fresh-per-check for model-bearing
+//!   queries, and (by default) warm assumption-based incremental solving
+//!   along the DFS spine for verdict-only feasibility checks, with an
+//!   optional cross-worker learnt-clause exchange.
 //! * [`mod@eval`] — reference concrete evaluation of terms, used for model
 //!   checking, concolic execution, and cross-validation property tests.
 //!
@@ -30,11 +38,13 @@ pub mod bitvec;
 pub mod blast;
 pub mod eval;
 pub mod sat;
+pub mod simplify;
 pub mod solver;
 pub mod term;
 
 pub use bitvec::BitVec;
 pub use eval::{eval, Assignment};
 pub use sat::SolveBudget;
-pub use solver::{CheckResult, Solver};
+pub use simplify::SimplifyStats;
+pub use solver::{ClauseExchange, CheckResult, IncrementalStats, Solver, SolverMode};
 pub use term::{BinOp, Node, TermId, TermPool, VarId};

@@ -218,6 +218,30 @@ impl SatSolver {
         self.assigns.len()
     }
 
+    /// Whether the clause database is still consistent at level 0. Once a
+    /// level-0 conflict latches this false, the instance is permanently
+    /// Unsat — a warm incremental core observing this must rebuild.
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// Total clauses ever attached (original and learnt, including deleted
+    /// slots). Stable indices: a cursor taken here is a high-water mark for
+    /// [`SatSolver::learnt_lits`] scans.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Literals of clause `i` when it is a live learnt clause, else `None`.
+    /// Learnt clauses are consequences of the clause database alone (conflict
+    /// analysis resolves only over attached clauses; assumptions enter as
+    /// decisions and are never resolved on), which is what makes exporting
+    /// them to another solver over the same definitions sound.
+    pub fn learnt_lits(&self, i: usize) -> Option<&[Lit]> {
+        let c = self.clauses.get(i)?;
+        (c.learnt && !c.deleted).then_some(c.lits.as_slice())
+    }
+
     /// Create a fresh variable.
     pub fn new_var(&mut self) -> SatVar {
         let v = SatVar(self.assigns.len() as u32);

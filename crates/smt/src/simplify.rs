@@ -1,0 +1,424 @@
+//! Term-level simplification of constraint conjunctions, run in front of
+//! the bit-blaster by the incremental solver facade.
+// Same panic-freedom bar as the frontend: this runs on every feasibility
+// check, so recoverable handling only (CI runs clippy with these denies).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+//!
+//! The pool's constructors already constant-fold individual terms as they
+//! are built; what they cannot see is the *conjunction* a feasibility check
+//! carries. This pass exploits it:
+//!
+//! * **Equality propagation along the trail** — a constraint of the form
+//!   `x == c` (or a bare 1-bit `x` / `!x`, or `x == y` between variables)
+//!   binds the variable, and every other constraint is rewritten under the
+//!   binding. Substituted constants then cascade through the constructors'
+//!   constant folding, frequently collapsing whole branch conditions.
+//! * **Fast verdicts** — a constraint that folds to constant false decides
+//!   the whole conjunction Unsat with no SAT call; constraints that fold to
+//!   constant true (including the spent defining equalities) are dropped.
+//! * **Structural hashing** — rewritten terms are interned in the same
+//!   hash-consed pool, so the blaster's per-term cache is keyed on the
+//!   *simplified* structure: syntactically different constraints that
+//!   simplify to the same term share one CNF encoding.
+//!
+//! Soundness caveat: dropping a spent defining equality `x == c` preserves
+//! *satisfiability* of the conjunction, not its models (`x` becomes
+//! unconstrained). The pass is therefore only used for verdict-only
+//! feasibility checks — never in front of a check whose model will be read.
+
+use crate::term::{BinOp, Node, TermId, TermPool, VarId};
+use std::collections::{HashMap, HashSet};
+
+/// Bound on binding-collection/rewrite rounds. Each round can expose new
+/// bindings (`y == x + 1` becomes `y == 6` once `x` is bound to `5`), so we
+/// iterate — but packet-program trails settle in one or two rounds, and the
+/// bound keeps the pass linear in practice.
+const MAX_ROUNDS: usize = 4;
+
+/// Counters from [`simplify_conjunction`], accumulated per solver.
+#[derive(Default, Clone, Debug)]
+pub struct SimplifyStats {
+    /// Term nodes whose rewrite produced a structurally different term.
+    pub rewrites: u64,
+    /// Variable occurrences replaced via a trail equality binding.
+    pub substitutions: u64,
+    /// Constraints dropped because they simplified to constant true.
+    pub dropped_true: u64,
+    /// Conjunctions decided unsat by simplification alone (no SAT call).
+    pub fast_unsat: u64,
+}
+
+impl SimplifyStats {
+    pub fn absorb(&mut self, other: &SimplifyStats) {
+        self.rewrites += other.rewrites;
+        self.substitutions += other.substitutions;
+        self.dropped_true += other.dropped_true;
+        self.fast_unsat += other.fast_unsat;
+    }
+}
+
+/// Outcome of simplifying a constraint conjunction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Simplified {
+    /// Equisatisfiable residue, in first-occurrence order (possibly empty,
+    /// meaning the conjunction is trivially satisfiable).
+    Constraints(Vec<TermId>),
+    /// Some constraint folded to constant false: the conjunction is unsat.
+    False,
+}
+
+/// Simplify a conjunction of 1-bit constraints (see the module docs). The
+/// result is equisatisfiable with the input; it is *not* model-preserving.
+/// Deterministic: a pure function of the constraint sequence.
+pub fn simplify_conjunction(
+    pool: &TermPool,
+    constraints: &[TermId],
+    stats: &mut SimplifyStats,
+) -> Simplified {
+    let mut cur: Vec<TermId> = constraints.to_vec();
+    let mut bindings: HashMap<VarId, TermId> = HashMap::new();
+    for round in 0..MAX_ROUNDS {
+        let grew = collect_bindings(pool, &cur, &mut bindings);
+        if !grew && round > 0 {
+            break;
+        }
+        if bindings.is_empty() {
+            // Nothing to substitute; constructors already folded each term,
+            // so only the cheap scan below (false / true / duplicate) can
+            // still change anything.
+            break;
+        }
+        let mut memo: HashMap<TermId, TermId> = HashMap::new();
+        let mut next = Vec::with_capacity(cur.len());
+        for &c in &cur {
+            let r = rewrite(pool, &bindings, &mut memo, stats, c);
+            if pool.is_const_false(r) {
+                stats.fast_unsat += 1;
+                return Simplified::False;
+            }
+            next.push(r);
+        }
+        cur = next;
+        if !grew {
+            break;
+        }
+    }
+    // Final scan: drop constant-true constraints and duplicates, keeping
+    // first-occurrence order; detect constant false.
+    let mut seen: HashSet<TermId> = HashSet::with_capacity(cur.len());
+    let mut out = Vec::with_capacity(cur.len());
+    for &c in &cur {
+        if pool.is_const_false(c) {
+            stats.fast_unsat += 1;
+            return Simplified::False;
+        }
+        if pool.is_const_true(c) {
+            stats.dropped_true += 1;
+            continue;
+        }
+        if seen.insert(c) {
+            out.push(c);
+        }
+    }
+    Simplified::Constraints(out)
+}
+
+/// Harvest variable bindings from the constraint list. Binding sources, in
+/// constraint order with first-binding-wins semantics:
+///
+/// * a bare 1-bit variable `x` (binds `x -> 1`) or its negation `!x`
+///   (binds `x -> 0`);
+/// * `x == <const>` in either operand order;
+/// * `x == y` between two variables of the same width — the *younger*
+///   variable (higher [`VarId`]) binds to the older one, so binding chains
+///   strictly decrease and can never cycle.
+///
+/// Returns whether any new binding was added.
+fn collect_bindings(
+    pool: &TermPool,
+    constraints: &[TermId],
+    bindings: &mut HashMap<VarId, TermId>,
+) -> bool {
+    let as_var = |t: TermId| match *pool.node(t) {
+        Node::Var(v) => Some(v),
+        _ => None,
+    };
+    let mut grew = false;
+    for &c in constraints {
+        let (var, target) = match *pool.node(c) {
+            Node::Var(v) => (Some(v), pool.mk_true()),
+            Node::Not(a) => (as_var(a), pool.mk_false()),
+            Node::Bin(BinOp::Eq, a, b) => match (as_var(a), as_var(b)) {
+                (Some(va), Some(vb)) if va != vb => {
+                    // Younger binds to older; `a`/`b` are the interned Var
+                    // terms themselves.
+                    if va > vb {
+                        (Some(va), b)
+                    } else {
+                        (Some(vb), a)
+                    }
+                }
+                (Some(va), None) if pool.as_const(b).is_some() => (Some(va), b),
+                (None, Some(vb)) if pool.as_const(a).is_some() => (Some(vb), a),
+                _ => (None, c),
+            },
+            _ => (None, c),
+        };
+        if let Some(v) = var {
+            if let std::collections::hash_map::Entry::Vacant(e) = bindings.entry(v) {
+                e.insert(target);
+                grew = true;
+            }
+        }
+    }
+    grew
+}
+
+/// Follow a binding chain (`z -> y -> x -> 5`) to its end. Chains strictly
+/// decrease in [`VarId`] (see [`collect_bindings`]), so the walk terminates;
+/// the explicit bound is belt-and-braces.
+fn resolve(pool: &TermPool, bindings: &HashMap<VarId, TermId>, v: VarId) -> Option<TermId> {
+    let mut cur = *bindings.get(&v)?;
+    for _ in 0..bindings.len() {
+        match *pool.node(cur) {
+            Node::Var(w) => match bindings.get(&w) {
+                Some(&next) if next != cur => cur = next,
+                _ => break,
+            },
+            _ => break,
+        }
+    }
+    Some(cur)
+}
+
+/// Rewrite one term under the bindings, memoized over the DAG. Rebuilding
+/// through the pool constructors re-runs their constant folding, so a
+/// substituted constant cascades upward.
+fn rewrite(
+    pool: &TermPool,
+    bindings: &HashMap<VarId, TermId>,
+    memo: &mut HashMap<TermId, TermId>,
+    stats: &mut SimplifyStats,
+    t: TermId,
+) -> TermId {
+    if let Some(&r) = memo.get(&t) {
+        return r;
+    }
+    let node = pool.node(t).clone();
+    let out = match node {
+        Node::Const(_) => t,
+        Node::Var(v) => match resolve(pool, bindings, v) {
+            Some(r) if r != t => {
+                stats.substitutions += 1;
+                r
+            }
+            _ => t,
+        },
+        Node::Not(a) => {
+            let ra = rewrite(pool, bindings, memo, stats, a);
+            if ra == a {
+                t
+            } else {
+                pool.not(ra)
+            }
+        }
+        Node::Neg(a) => {
+            let ra = rewrite(pool, bindings, memo, stats, a);
+            if ra == a {
+                t
+            } else {
+                pool.neg(ra)
+            }
+        }
+        Node::Extract { hi, lo, arg } => {
+            let ra = rewrite(pool, bindings, memo, stats, arg);
+            if ra == arg {
+                t
+            } else {
+                pool.extract(hi as usize, lo as usize, ra)
+            }
+        }
+        Node::Ite(c, a, b) => {
+            let rc = rewrite(pool, bindings, memo, stats, c);
+            let ra = rewrite(pool, bindings, memo, stats, a);
+            let rb = rewrite(pool, bindings, memo, stats, b);
+            if rc == c && ra == a && rb == b {
+                t
+            } else {
+                pool.ite(rc, ra, rb)
+            }
+        }
+        Node::Bin(op, a, b) => {
+            let ra = rewrite(pool, bindings, memo, stats, a);
+            let rb = rewrite(pool, bindings, memo, stats, b);
+            if ra == a && rb == b {
+                t
+            } else {
+                pool.bin(op, ra, rb)
+            }
+        }
+    };
+    if out != t {
+        stats.rewrites += 1;
+    }
+    memo.insert(t, out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::BitVec;
+    use crate::eval::{eval, Assignment};
+
+    fn simplify(pool: &TermPool, cs: &[TermId]) -> (Simplified, SimplifyStats) {
+        let mut stats = SimplifyStats::default();
+        let r = simplify_conjunction(pool, cs, &mut stats);
+        (r, stats)
+    }
+
+    #[test]
+    fn empty_conjunction_is_trivially_sat() {
+        let p = TermPool::new();
+        let (r, _) = simplify(&p, &[]);
+        assert_eq!(r, Simplified::Constraints(vec![]));
+    }
+
+    #[test]
+    fn const_substitution_folds_dependent_constraint() {
+        let p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let five = p.const_u128(8, 5);
+        let bind = p.eq(x, five);
+        // x + 1 < 3 is false once x == 5.
+        let one = p.const_u128(8, 1);
+        let three = p.const_u128(8, 3);
+        let dep = p.ult(p.add(x, one), three);
+        let (r, stats) = simplify(&p, &[bind, dep]);
+        assert_eq!(r, Simplified::False);
+        assert!(stats.fast_unsat > 0);
+        assert!(stats.substitutions > 0);
+    }
+
+    #[test]
+    fn satisfied_dependents_leave_empty_residue() {
+        let p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let five = p.const_u128(8, 5);
+        let bind = p.eq(x, five);
+        let ten = p.const_u128(8, 10);
+        let dep = p.ult(x, ten); // 5 < 10: true under the binding
+        let (r, stats) = simplify(&p, &[bind, dep]);
+        assert_eq!(r, Simplified::Constraints(vec![]));
+        // Both the defining equality and the satisfied dependent fold away.
+        assert_eq!(stats.dropped_true, 2);
+    }
+
+    #[test]
+    fn var_var_chain_resolves_through_rounds() {
+        let p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let y = p.fresh_var("y", 8);
+        let z = p.fresh_var("z", 8);
+        let c7 = p.const_u128(8, 7);
+        // z == y, y == x, x == 7, z != 7 — unsat, but only visible after
+        // chasing the chain.
+        let cs = [p.eq(z, y), p.eq(y, x), p.eq(x, c7), p.neq(z, c7)];
+        let (r, _) = simplify(&p, &cs);
+        assert_eq!(r, Simplified::False);
+    }
+
+    #[test]
+    fn boolean_literal_bindings() {
+        let p = TermPool::new();
+        let a = p.fresh_var("a", 1);
+        let b = p.fresh_var("b", 1);
+        // a asserted true, b asserted false, and a constraint forcing a == b.
+        let cs = [a, p.not(b), p.eq(a, b)];
+        let (r, _) = simplify(&p, &cs);
+        assert_eq!(r, Simplified::False);
+    }
+
+    #[test]
+    fn conflicting_const_bindings_are_unsat() {
+        let p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let c1 = p.const_u128(8, 1);
+        let c2 = p.const_u128(8, 2);
+        let (r, _) = simplify(&p, &[p.eq(x, c1), p.eq(x, c2)]);
+        assert_eq!(r, Simplified::False);
+    }
+
+    #[test]
+    fn residue_is_deduplicated_in_first_occurrence_order() {
+        let p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let y = p.fresh_var("y", 8);
+        let zero = p.const_u128(8, 0);
+        let c1 = p.neq(x, zero);
+        let c2 = p.neq(y, zero);
+        let (r, _) = simplify(&p, &[c1, c2, c1, c2, c1]);
+        assert_eq!(r, Simplified::Constraints(vec![c1, c2]));
+    }
+
+    /// Satisfiability (not models) must be preserved: anything satisfying
+    /// the residue extends to a model of the original conjunction, and an
+    /// unsat verdict must be genuine. Cross-check with the evaluator on a
+    /// small exhaustive domain.
+    #[test]
+    fn equisatisfiable_on_exhaustive_domain() {
+        let p = TermPool::new();
+        let x = p.fresh_var("x", 3);
+        let y = p.fresh_var("y", 3);
+        let c3 = p.const_u128(3, 3);
+        let c5 = p.const_u128(3, 5);
+        let sum = p.add(x, y);
+        let cases: Vec<Vec<TermId>> = vec![
+            vec![p.eq(x, c3), p.ult(y, x), p.eq(sum, c5)],
+            vec![p.eq(x, y), p.ult(x, c3), p.neq(y, c3)],
+            vec![p.eq(x, c3), p.eq(y, c5), p.ult(sum, c3)],
+            vec![p.eq(x, c3), p.eq(x, c5)],
+        ];
+        for cs in cases {
+            let brute_sat = 'search: {
+                for xv in 0..8u128 {
+                    for yv in 0..8u128 {
+                        let mut asg = Assignment::new();
+                        let Node::Var(vx) = *p.node(x) else { unreachable!() };
+                        let Node::Var(vy) = *p.node(y) else { unreachable!() };
+                        asg.set(vx, BitVec::from_u128(3, xv));
+                        asg.set(vy, BitVec::from_u128(3, yv));
+                        if cs.iter().all(|&c| eval(&p, &asg, c).is_true()) {
+                            break 'search true;
+                        }
+                    }
+                }
+                false
+            };
+            let (r, _) = simplify(&p, &cs);
+            match r {
+                Simplified::False => assert!(!brute_sat, "simplifier declared sat case unsat"),
+                Simplified::Constraints(res) => {
+                    // A non-false residue must not have lost unsatisfiability:
+                    // brute-force the residue too.
+                    let res_sat = 'search: {
+                        for xv in 0..8u128 {
+                            for yv in 0..8u128 {
+                                let mut asg = Assignment::new();
+                                let Node::Var(vx) = *p.node(x) else { unreachable!() };
+                                let Node::Var(vy) = *p.node(y) else { unreachable!() };
+                                asg.set(vx, BitVec::from_u128(3, xv));
+                                asg.set(vy, BitVec::from_u128(3, yv));
+                                if res.iter().all(|&c| eval(&p, &asg, c).is_true()) {
+                                    break 'search true;
+                                }
+                            }
+                        }
+                        false
+                    };
+                    assert_eq!(res_sat, brute_sat, "residue changed satisfiability");
+                }
+            }
+        }
+    }
+}

@@ -1,37 +1,85 @@
-//! Incremental solver facade: push/pop scopes over assertions, model
-//! extraction, and solve statistics.
+//! Solver facade: scoped assertions, model extraction, solve statistics,
+//! and the engine's two checking disciplines — fresh-per-check for
+//! model-bearing queries, warm incremental spine solving for feasibility
+//! verdicts.
 //!
 //! This is the interface the symbolic executor talks to — the analogue of
-//! the paper's "Z3 configured with incremental solving". Assertions are
-//! tracked per scope as *terms*; each `check` encodes exactly the cone of
-//! the current assertion set into a fresh SAT instance and solves it.
+//! the paper's "Z3 configured with incremental solving". Two kinds of query
+//! coexist behind one API, and the split is what reconciles incremental
+//! speed with deterministic output:
 //!
-//! Why fresh-per-check rather than one monotonically growing SAT instance:
-//! path constraints from packet programs are overwhelmingly easy (measured
-//! on our corpus: thousands of checks, a few dozen conflicts in total), so
-//! learned clauses carry almost no value — but a shared clause database
-//! forces every solve to assign every Tseitin variable ever created by any
-//! path, which made solving scale with the *total* work of the run instead
-//! of the size of the current path. A fresh instance per check keeps each
-//! solve proportional to its own cone. Z3's incremental mode performs the
-//! equivalent cone restriction internally; our CDCL core does not, so this
-//! facade makes the choice explicit. (See EXPERIMENTS.md, Fig. 7.)
+//! * [`Solver::check_assuming`] (and [`Solver::check`]) are **model-bearing
+//!   and fresh-per-check**: the cone of the constraint set is encoded into
+//!   a brand-new SAT instance, solved, and kept for model extraction. CNF
+//!   variables are numbered by the blaster's structural traversal of that
+//!   cone alone, so the model is a pure function of the constraint set —
+//!   never of what this worker (or any other) solved before. Every byte of
+//!   an emitted test descends from one of these checks, which is what keeps
+//!   suites byte-identical across job counts *and across solver modes*.
 //!
-//! Fresh-per-check also makes parallel exploration nearly free: a `Solver`
-//! carries no cross-check SAT state (only statistics and the last model),
-//! so each exploration worker simply owns its own instance — no shared
-//! clause database to lock, no cross-worker invalidation. The term pool is
-//! the only shared solver-side structure, and its interning is `&self` and
-//! thread-safe, so `TermId`s can flow between workers while CNF encoding
-//! stays worker-local. It also keeps checks deterministic per path: CNF
-//! variables are numbered by the blaster's structural traversal of the
-//! current cone alone, so a path's model is a function of its constraint
-//! set, never of what other workers solved before it.
+//! * [`Solver::check_feasible`] is **verdict-only**. In
+//!   [`SolverMode::Incremental`] (the default) the solver keeps one warm
+//!   [`SatSolver`] + [`Blaster`] pair whose clause database mirrors the
+//!   worker's DFS spine. Pushing a branch constraint blasts only its new
+//!   cone; the constraint's blasted root literal doubles as its
+//!   **activation literal**: the Tseitin definitions enter the database
+//!   unguarded (definitional clauses are satisfiable on their own and never
+//!   constrain the original variables), and the constraint is *enforced*
+//!   only while its root literal is passed as a solve assumption.
+//!   Backtracking therefore retracts by dropping literals from the
+//!   assumption set — no clause deletion, no rebuild. Sat/Unsat are
+//!   semantic facts about the constraint set, so sharing a clause database
+//!   across checks cannot change them; it only changes how fast they are
+//!   reached.
+//!
+//! The old fresh-per-check-everywhere design was motivated by a real
+//! problem: a monotonically growing instance forces every solve to assign
+//! every Tseitin variable ever created by any path, so solving scaled with
+//! the *total* work of the run. The warm core bounds that instead of
+//! avoiding it: per-root cone costs are tracked, and when the database
+//! grows past a small multiple of the current check's live cone (retired
+//! subtrees' garbage dominating), the core is **rebuilt** from the current
+//! constraint set — the same cone restriction Z3's incremental mode
+//! performs internally, made explicit and deterministic.
+//!
+//! In front of the warm blaster sits a term-level simplification pass
+//! ([`crate::simplify`]): constant folding over the conjunction, equality
+//! substitution along the trail, and — because rewritten terms re-intern
+//! into the hash-consed pool — a blast cache keyed on *simplified*
+//! structure. A constraint that folds to constant false decides the check
+//! with no SAT call at all. The pass preserves satisfiability, not models,
+//! which is exactly why it is confined to the verdict-only path.
+//!
+//! Fresh mode is still used, even under [`SolverMode::Incremental`], when:
+//!
+//! * the query is model-bearing (`check`/`check_assuming`) — emission,
+//!   concolic resolution, and random-proposal re-checks;
+//! * a per-query budget is set — budgeted Unknown verdicts depend on search
+//!   history, and a warm core would make them schedule-dependent;
+//! * a phase-seed retry is active (the engine's rotate-and-retry after
+//!   Unknown) — the scrambled phases must apply to a history-free search;
+//! * the engine recovers from an isolated path panic ([`Solver::reset_warm`])
+//!   — the warm core may have been abandoned mid-push.
+//!
+//! Workers can pool what they learn: bounded learnt clauses whose literals
+//! all map to *shared atoms* (a constraint root or a pool-variable bit) are
+//! exported to a [`ClauseExchange`] and folded into sibling solvers. Learnt
+//! clauses are consequences of the clause database alone — assumptions
+//! enter conflict analysis as decisions and are never resolved on — and the
+//! warm database contains only definitional axioms, so every exported
+//! clause is valid over the term semantics and sound to import anywhere.
+//! Imports influence only warm search order, never verdicts, so fork-trail
+//! determinism survives. (See DESIGN.md "Incremental spine solving".)
 
 use crate::blast::Blaster;
 use crate::eval::Assignment;
-use crate::sat::{SatResult, SatSolver, SolveBudget};
+use crate::sat::{Lit, SatResult, SatSolver, SatVar, SolveBudget};
+use crate::simplify::{simplify_conjunction, Simplified, SimplifyStats};
 use crate::term::{TermId, TermPool, VarId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Result of a `check` call.
@@ -46,12 +94,48 @@ pub enum CheckResult {
     Unknown,
 }
 
+/// How feasibility checks are solved. Model-bearing checks are always
+/// fresh-per-check regardless of mode (see the module docs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SolverMode {
+    /// Every check builds a fresh SAT instance (the pre-incremental
+    /// behavior; also the reference the determinism suite compares against).
+    Fresh,
+    /// Feasibility checks reuse a warm per-worker SAT core along the DFS
+    /// spine (the default).
+    #[default]
+    Incremental,
+}
+
+impl SolverMode {
+    /// Parse a CLI/env spelling.
+    pub fn parse(s: &str) -> Option<SolverMode> {
+        match s {
+            "fresh" => Some(SolverMode::Fresh),
+            "incremental" => Some(SolverMode::Incremental),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SolverMode::Fresh => "fresh",
+            SolverMode::Incremental => "incremental",
+        }
+    }
+}
+
 /// Upper bounds (inclusive) for the conflicts-per-check histogram in
 /// [`SolverStats`]; an implicit overflow bucket follows the last bound.
 /// `le=0` is its own bucket because conflict-free checks are the common
 /// case on packet-program path constraints — the histogram's whole point
 /// is to show how heavy that head is versus the hard tail.
 pub const CONFLICTS_PER_CHECK_BOUNDS: [u64; 8] = [0, 1, 2, 4, 16, 64, 256, 1024];
+
+/// Upper bounds (inclusive) for the per-check spine-reuse histograms in
+/// [`IncrementalStats`] (assertions reused from the warm core vs newly
+/// blasted); an implicit overflow bucket follows the last bound.
+pub const SPINE_PER_CHECK_BOUNDS: [u64; 8] = [0, 1, 2, 4, 8, 16, 32, 64];
 
 /// Cumulative timing and counter statistics, read by the Fig. 7 harness and
 /// folded into the metrics registry by the exploration engine.
@@ -68,9 +152,317 @@ pub struct SolverStats {
     pub sat_time: Duration,
     /// Non-cumulative histogram of SAT conflicts per check: cell `i` counts
     /// checks with `conflicts <= CONFLICTS_PER_CHECK_BOUNDS[i]`; the final
-    /// cell is the overflow. Fresh-per-check SAT instances make this exact:
-    /// each instance's conflict total is one check's cost.
+    /// cell is the overflow. Per-check conflict deltas are exact in both
+    /// modes (warm cores snapshot their counters around each solve).
     pub conflicts_per_check_hist: [u64; CONFLICTS_PER_CHECK_BOUNDS.len() + 1],
+}
+
+/// Counters for the incremental layer (warm spine core, simplifier, blast
+/// cache, cross-worker clause exchange), folded into the metrics registry
+/// and `--summary-json` by the exploration engine.
+#[derive(Default, Clone, Debug)]
+pub struct IncrementalStats {
+    /// Feasibility checks answered by the warm spine core.
+    pub warm_checks: u64,
+    /// Feasibility checks that fell back to a fresh instance while in
+    /// incremental mode (budgeted query, phase-seed retry).
+    pub fresh_fallbacks: u64,
+    /// Warm-core rebuilds triggered by the garbage-growth policy (or by
+    /// defensive recovery).
+    pub rebuilds: u64,
+    /// Spine constraints whose encoding was reused from the warm core.
+    pub roots_reused: u64,
+    /// Spine constraints blasted for the first time (or after a rebuild).
+    pub roots_blasted: u64,
+    /// Per-check histograms of the two counters above (bounds:
+    /// [`SPINE_PER_CHECK_BOUNDS`], final cell overflow).
+    pub reused_per_check_hist: [u64; SPINE_PER_CHECK_BOUNDS.len() + 1],
+    pub blasted_per_check_hist: [u64; SPINE_PER_CHECK_BOUNDS.len() + 1],
+    /// Blaster term-cache hits/misses, across fresh and warm instances.
+    pub blast_cache_hits: u64,
+    pub blast_cache_misses: u64,
+    /// Term-simplification counters (warm path only).
+    pub simplify: SimplifyStats,
+    /// Learnt clauses exported to / imported from the [`ClauseExchange`].
+    pub learnt_exported: u64,
+    pub learnt_imported: u64,
+    /// Exchange clauses skipped on import (an atom not blasted locally).
+    pub learnt_import_skipped: u64,
+}
+
+impl IncrementalStats {
+    pub fn absorb(&mut self, other: &IncrementalStats) {
+        self.warm_checks += other.warm_checks;
+        self.fresh_fallbacks += other.fresh_fallbacks;
+        self.rebuilds += other.rebuilds;
+        self.roots_reused += other.roots_reused;
+        self.roots_blasted += other.roots_blasted;
+        for (t, o) in
+            self.reused_per_check_hist.iter_mut().zip(other.reused_per_check_hist.iter())
+        {
+            *t += o;
+        }
+        for (t, o) in
+            self.blasted_per_check_hist.iter_mut().zip(other.blasted_per_check_hist.iter())
+        {
+            *t += o;
+        }
+        self.blast_cache_hits += other.blast_cache_hits;
+        self.blast_cache_misses += other.blast_cache_misses;
+        self.simplify.absorb(&other.simplify);
+        self.learnt_exported += other.learnt_exported;
+        self.learnt_imported += other.learnt_imported;
+        self.learnt_import_skipped += other.learnt_import_skipped;
+    }
+}
+
+// ---- cross-worker learnt-clause exchange --------------------------------
+
+/// Maximum literals in an exchanged clause. Short clauses prune the most
+/// per byte; long ones rarely transfer.
+const MAX_SHARED_CLAUSE_LITS: usize = 8;
+
+/// Cap on the exchange pool. Once full, further exports are dropped — the
+/// pool is an accelerator, not a log.
+const MAX_SHARED_POOL: usize = 4096;
+
+/// A worker-independent SAT atom: CNF variable numbering is per-worker, so
+/// clauses cross workers in terms of things both sides can name — the root
+/// of a blasted constraint term, or one bit of a pool variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum SharedVar {
+    /// The root literal of a blasted 1-bit term.
+    TermRoot(TermId),
+    /// Bit `i` (LSB-first) of a pool variable.
+    VarBit(VarId, u32),
+}
+
+/// A literal over a [`SharedVar`]; `positive` means "the atom is true".
+#[derive(Clone, Copy, Debug)]
+struct SharedLit {
+    var: SharedVar,
+    positive: bool,
+}
+
+#[derive(Clone, Debug)]
+struct SharedClause {
+    /// Exporting worker, so importers skip their own clauses.
+    source: u32,
+    lits: Vec<SharedLit>,
+}
+
+/// Bounded cross-worker pool of learnt clauses. Append-only: the published
+/// length is the epoch, and each warm core keeps a cursor of how far it has
+/// imported — so every clause is considered exactly once per core, in
+/// publication order. Everything in the pool is a consequence of Tseitin
+/// definitional axioms (see the module docs), hence valid over the term
+/// semantics and sound to fold into any worker's core.
+pub struct ClauseExchange {
+    clauses: Mutex<Vec<SharedClause>>,
+    /// Published length, readable without the lock (the import fast path).
+    published: AtomicUsize,
+}
+
+impl Default for ClauseExchange {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClauseExchange {
+    pub fn new() -> Self {
+        ClauseExchange { clauses: Mutex::new(Vec::new()), published: AtomicUsize::new(0) }
+    }
+
+    /// Current epoch (published clause count).
+    pub fn epoch(&self) -> usize {
+        self.published.load(Ordering::Acquire)
+    }
+
+    /// Append a batch, honoring the pool cap. Returns how many were kept.
+    fn publish(&self, source: u32, batch: Vec<Vec<SharedLit>>) -> u64 {
+        if batch.is_empty() {
+            return 0;
+        }
+        let mut g = self.clauses.lock();
+        let mut added = 0u64;
+        for lits in batch {
+            if g.len() >= MAX_SHARED_POOL {
+                break;
+            }
+            g.push(SharedClause { source, lits });
+            added += 1;
+        }
+        self.published.store(g.len(), Ordering::Release);
+        added
+    }
+
+    /// Clauses published since `cursor` (cloned out to keep the lock short).
+    fn fetch_since(&self, cursor: usize) -> Vec<SharedClause> {
+        let published = self.published.load(Ordering::Acquire);
+        if published <= cursor {
+            return Vec::new();
+        }
+        let g = self.clauses.lock();
+        g[cursor..published.min(g.len())].to_vec()
+    }
+}
+
+// ---- the warm spine core ------------------------------------------------
+
+/// Rebuild when the database holds more than this multiple of the current
+/// check's live-cone variables (plus slack) — retired subtrees' Tseitin
+/// garbage would otherwise make every solve pay for the whole run.
+const REBUILD_GROWTH_FACTOR: u64 = 3;
+const REBUILD_SLACK_VARS: u64 = 512;
+
+/// One worker's warm SAT core: solver, blaster, and the spine bookkeeping.
+struct WarmCore {
+    sat: SatSolver,
+    blaster: Blaster,
+    /// Activation (root) literal per constraint term ever pushed.
+    root_lits: HashMap<TermId, Lit>,
+    /// SAT variables created while blasting each root's cone — shared
+    /// subterms are attributed to the first root that reached them. The
+    /// sum over a check's roots estimates its live cone for the rebuild
+    /// policy.
+    root_cost: HashMap<TermId, u64>,
+    /// Local CNF variable -> shared atom (+ the polarity of the local
+    /// literal that means "atom true").
+    shared_of: HashMap<SatVar, (SharedVar, bool)>,
+    /// Shared atom -> the local literal meaning "atom true".
+    local_of: HashMap<SharedVar, Lit>,
+    /// High-water mark into the blaster's encoded-variable log.
+    var_log_cursor: usize,
+    /// High-water mark into the SAT clause array for learnt-clause export.
+    export_cursor: usize,
+    /// Exchange epoch already imported.
+    import_cursor: usize,
+}
+
+impl WarmCore {
+    fn new() -> Self {
+        let mut sat = SatSolver::new();
+        let blaster = Blaster::new(&mut sat);
+        WarmCore {
+            sat,
+            blaster,
+            root_lits: HashMap::new(),
+            root_cost: HashMap::new(),
+            shared_of: HashMap::new(),
+            local_of: HashMap::new(),
+            var_log_cursor: 0,
+            export_cursor: 0,
+            import_cursor: 0,
+        }
+    }
+
+    /// Get-or-blast the activation literal for a constraint root. Returns
+    /// `(lit, reused)`.
+    fn root_lit(&mut self, pool: &TermPool, t: TermId) -> (Lit, bool) {
+        if let Some(&l) = self.root_lits.get(&t) {
+            return (l, true);
+        }
+        let vars_before = self.sat.num_vars() as u64;
+        let l = self.blaster.assertion_lit(&mut self.sat, pool, t);
+        let cost = (self.sat.num_vars() as u64 - vars_before).max(1);
+        self.root_lits.insert(t, l);
+        self.root_cost.insert(t, cost);
+        self.shared_of.entry(l.var()).or_insert((SharedVar::TermRoot(t), l.is_positive()));
+        self.local_of.entry(SharedVar::TermRoot(t)).or_insert(l);
+        (l, false)
+    }
+
+    /// Register shared atoms for pool variables encoded since last call.
+    fn register_new_var_bits(&mut self) {
+        while self.var_log_cursor < self.blaster.encoded_vars().len() {
+            let v = self.blaster.encoded_vars()[self.var_log_cursor];
+            self.var_log_cursor += 1;
+            let Some(bits) = self.blaster.bits_of_var(v) else { continue };
+            let bits: Vec<SatVar> = bits.to_vec();
+            for (i, sv) in bits.into_iter().enumerate() {
+                let atom = SharedVar::VarBit(v, i as u32);
+                self.shared_of.entry(sv).or_insert((atom, true));
+                self.local_of.entry(atom).or_insert(Lit::positive(sv));
+            }
+        }
+    }
+
+    /// Export bounded learnt clauses whose literals all map to shared atoms.
+    fn export(&mut self, ex: &ClauseExchange, source: u32) -> u64 {
+        let n = self.sat.num_clauses();
+        let mut batch: Vec<Vec<SharedLit>> = Vec::new();
+        for i in self.export_cursor..n {
+            let Some(lits) = self.sat.learnt_lits(i) else { continue };
+            if lits.len() > MAX_SHARED_CLAUSE_LITS {
+                continue;
+            }
+            let mut shared = Vec::with_capacity(lits.len());
+            let mut mappable = true;
+            for &l in lits {
+                match self.shared_of.get(&l.var()) {
+                    Some(&(atom, reg_pos)) => shared
+                        .push(SharedLit { var: atom, positive: l.is_positive() == reg_pos }),
+                    None => {
+                        mappable = false;
+                        break;
+                    }
+                }
+            }
+            if mappable {
+                batch.push(shared);
+            }
+        }
+        self.export_cursor = n;
+        ex.publish(source, batch)
+    }
+
+    /// Fold in exchange clauses published since this core's last import.
+    /// Clauses from `me` or with locally unknown atoms are skipped (the
+    /// epoch cursor still advances — each clause is considered once).
+    /// Returns `(imported, skipped)`.
+    fn import(&mut self, ex: &ClauseExchange, me: u32) -> (u64, u64) {
+        let epoch = ex.epoch();
+        if epoch <= self.import_cursor {
+            return (0, 0);
+        }
+        let batch = ex.fetch_since(self.import_cursor);
+        self.import_cursor = epoch;
+        let mut imported = 0u64;
+        let mut skipped = 0u64;
+        let mut local: Vec<Lit> = Vec::new();
+        for sc in &batch {
+            if sc.source == me {
+                continue;
+            }
+            local.clear();
+            let mut mappable = true;
+            for sl in &sc.lits {
+                match self.local_of.get(&sl.var) {
+                    Some(&base) => {
+                        local.push(if sl.positive { base } else { base.negate() })
+                    }
+                    None => {
+                        mappable = false;
+                        break;
+                    }
+                }
+            }
+            if !mappable {
+                skipped += 1;
+                continue;
+            }
+            self.sat.add_clause(&local);
+            imported += 1;
+            if !self.sat.is_ok() {
+                // A level-0 conflict from a valid clause is impossible over
+                // a definitional database; if it ever happens the caller
+                // rebuilds defensively.
+                break;
+            }
+        }
+        (imported, skipped)
+    }
 }
 
 /// Bitvector solver with scoped assertions.
@@ -78,8 +470,8 @@ pub struct Solver {
     /// Terms asserted, partitioned into scopes by `scope_marks`.
     asserted_terms: Vec<TermId>,
     scope_marks: Vec<usize>,
-    /// The SAT instance and blaster from the most recent check (kept for
-    /// model extraction).
+    /// The SAT instance and blaster from the most recent *model-bearing*
+    /// check (kept for model extraction).
     last: Option<(SatSolver, Blaster)>,
     /// Accumulated SAT-core statistics across all checks.
     sat_totals: crate::sat::SatStats,
@@ -87,7 +479,16 @@ pub struct Solver {
     budget: SolveBudget,
     /// Initial-phase scramble seed for the next checks (0 = default phases).
     phase_seed: u64,
+    /// Feasibility-check discipline (model-bearing checks ignore this).
+    mode: SolverMode,
+    /// The warm spine core, lazily created on the first warm check.
+    warm: Option<WarmCore>,
+    /// Cross-worker learnt-clause pool, when the engine attached one.
+    exchange: Option<Arc<ClauseExchange>>,
+    /// This solver's id on the exchange (skip self-imports).
+    worker_id: u32,
     pub stats: SolverStats,
+    pub inc_stats: IncrementalStats,
 }
 
 impl Default for Solver {
@@ -105,7 +506,12 @@ impl Solver {
             sat_totals: crate::sat::SatStats::default(),
             budget: SolveBudget::UNLIMITED,
             phase_seed: 0,
+            mode: SolverMode::default(),
+            warm: None,
+            exchange: None,
+            worker_id: 0,
             stats: SolverStats::default(),
+            inc_stats: IncrementalStats::default(),
         }
     }
 
@@ -119,9 +525,35 @@ impl Solver {
         self.budget
     }
 
-    /// Scramble initial decision phases for subsequent checks (0 restores the
-    /// default). Used to retry an Unknown query along a different search
-    /// order; with fresh-per-check SAT instances this is fully deterministic.
+    /// Select the feasibility-check discipline (see [`SolverMode`]).
+    pub fn set_mode(&mut self, mode: SolverMode) {
+        self.mode = mode;
+    }
+
+    pub fn mode(&self) -> SolverMode {
+        self.mode
+    }
+
+    /// Attach a cross-worker learnt-clause exchange; `worker_id` must be
+    /// unique among the solvers sharing it.
+    pub fn set_exchange(&mut self, exchange: Arc<ClauseExchange>, worker_id: u32) {
+        self.exchange = Some(exchange);
+        self.worker_id = worker_id;
+    }
+
+    /// Discard the warm spine core. The engine calls this after recovering
+    /// from an isolated path panic — the core may have been abandoned
+    /// mid-push, and the next warm check deterministically rebuilds it from
+    /// that check's own constraint set.
+    pub fn reset_warm(&mut self) {
+        self.warm = None;
+    }
+
+    /// Scramble initial decision phases for subsequent checks (0 restores
+    /// the default). Used to retry an Unknown query along a different
+    /// search order; while a non-zero seed is set, feasibility checks run
+    /// fresh-per-check so the scramble applies to a history-free search and
+    /// stays fully deterministic.
     pub fn set_phase_seed(&mut self, seed: u64) {
         self.phase_seed = seed;
     }
@@ -153,7 +585,10 @@ impl Solver {
         self.check_assuming(pool, &[])
     }
 
-    /// Check with extra transient assumptions (1-bit terms).
+    /// Model-bearing check with extra transient assumptions (1-bit terms).
+    /// Always fresh-per-check: the verdict *and the model* are a pure
+    /// function of the constraint set (plus budget and phase seed) — this
+    /// is the only check whose model may be read afterwards.
     pub fn check_assuming(&mut self, pool: &TermPool, extra: &[TermId]) -> CheckResult {
         let t0 = Instant::now();
         let mut sat = SatSolver::new();
@@ -179,8 +614,125 @@ impl Solver {
         self.stats.checks += 1;
         self.stats.conflicts_per_check_hist
             [CONFLICTS_PER_CHECK_BOUNDS.partition_point(|&b| b < sat.stats.conflicts)] += 1;
+        self.inc_stats.blast_cache_hits += blaster.stats.cache_hits;
+        self.inc_stats.blast_cache_misses += blaster.stats.cache_misses;
         accumulate(&mut self.sat_totals, &sat.stats);
         self.last = Some((sat, blaster));
+        self.count_result(res)
+    }
+
+    /// Verdict-only feasibility check of `asserted ∧ extra`. In incremental
+    /// mode (with no budget and no phase-seed retry active) the query runs
+    /// on the warm spine core; otherwise it behaves exactly like
+    /// [`Solver::check_assuming`]. The model state afterwards is
+    /// **unspecified** — callers needing a model must issue a model-bearing
+    /// check.
+    pub fn check_feasible(&mut self, pool: &TermPool, extra: &[TermId]) -> CheckResult {
+        let warm_eligible = self.mode == SolverMode::Incremental
+            && self.budget.is_unlimited()
+            && self.phase_seed == 0;
+        if !warm_eligible {
+            if self.mode == SolverMode::Incremental {
+                self.inc_stats.fresh_fallbacks += 1;
+            }
+            return self.check_assuming(pool, extra);
+        }
+        self.check_warm(pool, extra)
+    }
+
+    fn check_warm(&mut self, pool: &TermPool, extra: &[TermId]) -> CheckResult {
+        let t0 = Instant::now();
+        self.stats.checks += 1;
+        self.inc_stats.warm_checks += 1;
+        // Term-level simplification over the whole conjunction. A constant-
+        // false residue is a verdict with no SAT work at all.
+        let all: Vec<TermId> =
+            self.asserted_terms.iter().chain(extra).copied().collect();
+        let roots = match simplify_conjunction(pool, &all, &mut self.inc_stats.simplify) {
+            Simplified::False => {
+                self.stats.conflicts_per_check_hist[0] += 1;
+                self.stats.solve_time += t0.elapsed();
+                return self.count_result(SatResult::Unsat);
+            }
+            Simplified::Constraints(cs) => cs,
+        };
+        let mut core = match self.warm.take() {
+            Some(w) if w.sat.is_ok() => w,
+            _ => WarmCore::new(),
+        };
+        // Rebuild policy: estimate this check's live cone from the recorded
+        // per-root costs; when the database has grown well past it, the
+        // garbage from retired subtrees dominates and a rebuild makes every
+        // subsequent solve proportional to the live spine again.
+        let live: u64 = roots.iter().filter_map(|t| core.root_cost.get(t)).sum();
+        let total = core.sat.num_vars() as u64;
+        if !core.root_lits.is_empty()
+            && total > live.saturating_mul(REBUILD_GROWTH_FACTOR) + REBUILD_SLACK_VARS
+        {
+            self.inc_stats.rebuilds += 1;
+            core = WarmCore::new();
+        }
+        // Advance the spine: reuse already-pushed constraints, blast only
+        // the new cones. Each root literal is the constraint's activation
+        // literal, enforced by passing it as an assumption below.
+        let blast_hits0 = core.blaster.stats.cache_hits;
+        let blast_miss0 = core.blaster.stats.cache_misses;
+        let mut assumptions = Vec::with_capacity(roots.len());
+        let mut reused = 0u64;
+        let mut blasted = 0u64;
+        for &c in &roots {
+            let (l, hit) = core.root_lit(pool, c);
+            if hit {
+                reused += 1;
+            } else {
+                blasted += 1;
+            }
+            assumptions.push(l);
+        }
+        core.register_new_var_bits();
+        self.inc_stats.roots_reused += reused;
+        self.inc_stats.roots_blasted += blasted;
+        self.inc_stats.reused_per_check_hist
+            [SPINE_PER_CHECK_BOUNDS.partition_point(|&b| b < reused)] += 1;
+        self.inc_stats.blasted_per_check_hist
+            [SPINE_PER_CHECK_BOUNDS.partition_point(|&b| b < blasted)] += 1;
+        self.inc_stats.blast_cache_hits += core.blaster.stats.cache_hits - blast_hits0;
+        self.inc_stats.blast_cache_misses += core.blaster.stats.cache_misses - blast_miss0;
+        // Fold in what siblings learned since we last looked.
+        if let Some(ex) = self.exchange.clone() {
+            let (imported, skipped) = core.import(&ex, self.worker_id);
+            self.inc_stats.learnt_imported += imported;
+            self.inc_stats.learnt_import_skipped += skipped;
+        }
+        if !core.sat.is_ok() {
+            // Defensive: the definitional database can never conflict at
+            // level 0; if it somehow did, rebuild and re-push this check's
+            // roots so the verdict stays correct.
+            self.inc_stats.rebuilds += 1;
+            core = WarmCore::new();
+            assumptions.clear();
+            for &c in &roots {
+                assumptions.push(core.root_lit(pool, c).0);
+            }
+            core.register_new_var_bits();
+        }
+        let t1 = Instant::now();
+        let conflicts0 = core.sat.stats.conflicts;
+        let sat_before = core.sat.stats.clone();
+        let res = core.sat.solve_budgeted(&assumptions, &SolveBudget::UNLIMITED);
+        self.stats.sat_time += t1.elapsed();
+        self.stats.conflicts_per_check_hist[CONFLICTS_PER_CHECK_BOUNDS
+            .partition_point(|&b| b < core.sat.stats.conflicts - conflicts0)] += 1;
+        accumulate_delta(&mut self.sat_totals, &sat_before, &core.sat.stats);
+        if let Some(ex) = self.exchange.clone() {
+            self.inc_stats.learnt_exported += core.export(&ex, self.worker_id);
+        }
+        self.warm = Some(core);
+        self.stats.solve_time += t0.elapsed();
+        self.count_result(res)
+    }
+
+    fn count_result(&mut self, res: SatResult) -> CheckResult {
         match res {
             SatResult::Sat => {
                 self.stats.sat_results += 1;
@@ -246,6 +798,29 @@ fn accumulate(total: &mut crate::sat::SatStats, one: &crate::sat::SatStats) {
     total.learnt_literals += one.learnt_literals;
     for (t, o) in total.learnt_size_hist.iter_mut().zip(one.learnt_size_hist.iter()) {
         *t += o;
+    }
+}
+
+/// Accumulate the delta between two snapshots of a live solver's counters
+/// (the warm core's stats are cumulative across checks).
+fn accumulate_delta(
+    total: &mut crate::sat::SatStats,
+    before: &crate::sat::SatStats,
+    after: &crate::sat::SatStats,
+) {
+    total.decisions += after.decisions - before.decisions;
+    total.propagations += after.propagations - before.propagations;
+    total.conflicts += after.conflicts - before.conflicts;
+    total.restarts += after.restarts - before.restarts;
+    total.learnt_clauses += after.learnt_clauses - before.learnt_clauses;
+    total.learnt_literals += after.learnt_literals - before.learnt_literals;
+    for ((t, b), a) in total
+        .learnt_size_hist
+        .iter_mut()
+        .zip(before.learnt_size_hist.iter())
+        .zip(after.learnt_size_hist.iter())
+    {
+        *t += a - b;
     }
 }
 
@@ -376,7 +951,8 @@ mod tests {
     #[test]
     fn budgeted_checks_are_deterministic() {
         // Same formula, same budget, same phase seed -> same verdict, every
-        // time (fresh-per-check SAT instances carry no hidden state).
+        // time (budgeted queries always solve on a history-free fresh
+        // instance, in either solver mode).
         let outcome = |seed: u64| {
             let pool = TermPool::new();
             let mut s = Solver::new();
@@ -415,5 +991,161 @@ mod tests {
             panic!()
         };
         assert!(s.model_value(&pool, v).is_zero());
+    }
+
+    // ---- incremental spine solving --------------------------------------
+
+    /// Sibling-style constraint sequences (shared prefix, one differing
+    /// tail) to exercise spine reuse.
+    fn spine_family(pool: &TermPool) -> Vec<Vec<TermId>> {
+        let x = pool.fresh_var("sx", 16);
+        let y = pool.fresh_var("sy", 16);
+        let c10 = pool.const_u128(16, 10);
+        let c100 = pool.const_u128(16, 100);
+        let c7 = pool.const_u128(16, 7);
+        let base = vec![pool.ult(x, c100), pool.ult(c10, x)];
+        let sum = pool.add(x, y);
+        let mut fams = Vec::new();
+        for k in 0..6u128 {
+            let ck = pool.const_u128(16, 20 + k);
+            let mut cs = base.clone();
+            cs.push(pool.eq(sum, ck));
+            cs.push(pool.ult(y, c7));
+            fams.push(cs);
+        }
+        // A contradictory sibling: x < 100 && x > 100.
+        let mut bad = base.clone();
+        bad.push(pool.ult(c100, x));
+        fams.push(bad);
+        fams
+    }
+
+    #[test]
+    fn incremental_verdicts_match_fresh() {
+        let pool = TermPool::new();
+        let fams = spine_family(&pool);
+        let mut fresh = Solver::new();
+        fresh.set_mode(SolverMode::Fresh);
+        let mut inc = Solver::new();
+        inc.set_mode(SolverMode::Incremental);
+        for (i, cs) in fams.iter().enumerate() {
+            let f = fresh.check_feasible(&pool, cs);
+            let w = inc.check_feasible(&pool, cs);
+            assert_eq!(f, w, "family {i}: modes disagree");
+        }
+        assert_eq!(inc.inc_stats.warm_checks, fams.len() as u64);
+        assert!(inc.inc_stats.roots_reused > 0, "siblings must reuse the spine prefix");
+        assert_eq!(fresh.inc_stats.warm_checks, 0);
+    }
+
+    #[test]
+    fn warm_core_reuses_prefix_encodings() {
+        let pool = TermPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh_var("wx", 32);
+        let mut prefix: Vec<TermId> = Vec::new();
+        for depth in 0..10u128 {
+            let c = pool.const_u128(32, 1000 + depth);
+            prefix.push(pool.ult(x, pool.add(pool.constant(crate::bitvec::BitVec::from_u128(
+                32, depth,
+            )), c)));
+            assert_eq!(s.check_feasible(&pool, &prefix), CheckResult::Sat);
+        }
+        // Every check after the first reuses all prior roots.
+        assert_eq!(s.inc_stats.roots_blasted, 10);
+        assert_eq!(s.inc_stats.roots_reused, (0..10).sum::<u64>());
+    }
+
+    #[test]
+    fn simplifier_decides_folded_contradictions_without_sat() {
+        let pool = TermPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh_var("fx", 8);
+        let c1 = pool.const_u128(8, 1);
+        let c2 = pool.const_u128(8, 2);
+        let cs = vec![pool.eq(x, c1), pool.eq(x, c2)];
+        assert_eq!(s.check_feasible(&pool, &cs), CheckResult::Unsat);
+        assert!(s.inc_stats.simplify.fast_unsat > 0);
+        // No warm core work happened: nothing was blasted.
+        assert_eq!(s.inc_stats.roots_blasted, 0);
+    }
+
+    #[test]
+    fn budgeted_feasibility_falls_back_to_fresh() {
+        let pool = TermPool::new();
+        let mut s = Solver::new();
+        hard_query(&pool, &mut s);
+        s.set_budget(crate::sat::SolveBudget::conflicts(2));
+        assert_eq!(s.check_feasible(&pool, &[]), CheckResult::Unknown);
+        assert_eq!(s.inc_stats.fresh_fallbacks, 1);
+        assert_eq!(s.inc_stats.warm_checks, 0);
+    }
+
+    #[test]
+    fn reset_warm_preserves_verdicts() {
+        let pool = TermPool::new();
+        let fams = spine_family(&pool);
+        let mut s = Solver::new();
+        let before: Vec<CheckResult> =
+            fams.iter().map(|cs| s.check_feasible(&pool, cs)).collect();
+        s.reset_warm();
+        let after: Vec<CheckResult> =
+            fams.iter().map(|cs| s.check_feasible(&pool, cs)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn exchange_imports_translated_clauses_soundly() {
+        let pool = TermPool::new();
+        let ex = Arc::new(ClauseExchange::new());
+        let x = pool.fresh_var("ex", 8);
+        let c0 = pool.const_u128(8, 0);
+        let c1 = pool.const_u128(8, 1);
+        // Inequalities survive the simplifier (no equality bindings), so
+        // both constraints reach the warm core and get root literals.
+        let lt1 = pool.ult(x, c1); // x < 1, i.e. x == 0
+        let gt0 = pool.ult(c0, x); // x > 0
+
+        // Worker A pushes both constraints (separately — together they are
+        // jointly unsat).
+        let mut a = Solver::new();
+        a.set_exchange(ex.clone(), 0);
+        assert_eq!(a.check_feasible(&pool, &[lt1]), CheckResult::Sat);
+        assert_eq!(a.check_feasible(&pool, &[gt0]), CheckResult::Sat);
+
+        // Hand-publish a *valid* clause over A's shared atoms — "not both
+        // roots" — exercising the translation path end to end.
+        let a_core = a.warm.as_ref().expect("warm core");
+        let r0 = *a_core.root_lits.get(&lt1).expect("root for lt1");
+        let r1 = *a_core.root_lits.get(&gt0).expect("root for gt0");
+        let to_shared = |l: Lit| {
+            let &(atom, reg_pos) = a_core.shared_of.get(&l.var()).expect("mapped");
+            SharedLit { var: atom, positive: l.is_positive() == reg_pos }
+        };
+        ex.publish(0, vec![vec![to_shared(r0.negate()), to_shared(r1.negate())]]);
+
+        // Worker B blasts the same constraints, imports, and must still get
+        // semantically correct verdicts. B's first check pushes both roots,
+        // so at import time every atom in the shared clause is mapped
+        // (imports happen after the check's roots are blasted; clauses with
+        // still-unknown atoms would be skipped for this core).
+        let mut b = Solver::new();
+        b.set_exchange(ex.clone(), 1);
+        assert_eq!(b.check_feasible(&pool, &[lt1, gt0]), CheckResult::Unsat);
+        assert_eq!(b.inc_stats.learnt_imported, 1);
+        assert_eq!(b.check_feasible(&pool, &[lt1]), CheckResult::Sat);
+        assert_eq!(b.check_feasible(&pool, &[gt0]), CheckResult::Sat);
+        // And a model-bearing check is untouched by any of this.
+        assert_eq!(b.check_assuming(&pool, &[lt1]), CheckResult::Sat);
+        let crate::term::Node::Var(v) = *pool.node(x) else { panic!() };
+        assert!(b.model_value(&pool, v).is_zero());
+    }
+
+    #[test]
+    fn solver_mode_parses_cli_spellings() {
+        assert_eq!(SolverMode::parse("fresh"), Some(SolverMode::Fresh));
+        assert_eq!(SolverMode::parse("incremental"), Some(SolverMode::Incremental));
+        assert_eq!(SolverMode::parse("warm"), None);
+        assert_eq!(SolverMode::default().as_str(), "incremental");
     }
 }

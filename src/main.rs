@@ -11,6 +11,7 @@
 //!   --strategy <dfs|bfs|random|coverage>     path selection [dfs]
 //!   --jobs, -j <N>                           exploration worker threads [1]
 //!   --solver-budget <N>                      per-query conflict budget (0 = unlimited) [0]
+//!   --solver-mode <fresh|incremental>        feasibility-check discipline [incremental]
 //!   --deadline <SECONDS>                     wall-clock run deadline (graceful drain)
 //!   --model-loop-bound <N>                   software-model parser loop bound [64]
 //!   --fixed-packet-size <BYTES>              fixed-input-size precondition
@@ -31,7 +32,8 @@ use p4t_interp::{execute_and_check_counted, Arch, FaultSet, InterpStats};
 use p4t_obs::{Diag, Level, Registry};
 use p4t_targets::{EbpfModel, Tofino, V1Model};
 use p4testgen_core::{
-    BuildError, Preconditions, RunSummary, Strategy, Target, Testgen, TestgenConfig, TestSpec,
+    BuildError, Preconditions, RunSummary, SolverMode, Strategy, Target, Testgen, TestgenConfig,
+    TestSpec,
 };
 use serde::value::{Number, Value};
 use std::io::Write;
@@ -59,6 +61,7 @@ struct Options {
     validate: bool,
     jobs: Option<usize>,
     solver_budget: Option<u64>,
+    solver_mode: Option<SolverMode>,
     deadline: Option<Duration>,
     model_loop_bound: Option<u32>,
     trace_out: Option<String>,
@@ -72,7 +75,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: p4testgen --target <v1model|tna|t2na|ebpf_model> [--backend stf|ptf|proto|json]\n\
          \t[--max-tests N] [--seed N] [--strategy dfs|bfs|random|coverage] [--jobs N]\n\
-         \t[--solver-budget N] [--deadline SECONDS] [--model-loop-bound N]\n\
+         \t[--solver-budget N] [--solver-mode fresh|incremental] [--deadline SECONDS]\n\
+         \t[--model-loop-bound N]\n\
          \t[--fixed-packet-size BYTES] [--with-constraints] [--out FILE]\n\
          \t[--coverage] [--validate] [--trace-out FILE] [--metrics-out FILE]\n\
          \t[--summary-json [FILE]] [--quiet] [-v|--verbose] <program.p4>"
@@ -95,6 +99,7 @@ fn parse_args() -> Options {
         validate: false,
         jobs: None,
         solver_budget: None,
+        solver_mode: None,
         deadline: None,
         model_loop_bound: None,
         trace_out: None,
@@ -133,6 +138,14 @@ fn parse_args() -> Options {
             "--solver-budget" => {
                 opts.solver_budget =
                     Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--solver-mode" => {
+                opts.solver_mode = Some(
+                    args.next()
+                        .as_deref()
+                        .and_then(SolverMode::parse)
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--deadline" => {
                 opts.deadline = Some(
@@ -283,6 +296,9 @@ fn main() -> ExitCode {
     }
     if let Some(budget) = opts.solver_budget {
         config.solver_budget = budget; // else P4TESTGEN_SOLVER_BUDGET applies
+    }
+    if let Some(mode) = opts.solver_mode {
+        config.solver_mode = mode; // else P4TESTGEN_SOLVER_MODE applies
     }
     if let Some(deadline) = opts.deadline {
         config.deadline = Some(deadline); // else P4TESTGEN_DEADLINE applies

@@ -391,6 +391,139 @@ fn trace_stays_deterministic_under_fault_injection() {
     }
 }
 
+/// Run one program with an explicit solver mode (and optional extra
+/// configuration), returning the suite in emission order plus the summary.
+fn run_with_mode(
+    name: &str,
+    src: &str,
+    jobs: usize,
+    mode: p4testgen_core::SolverMode,
+    configure: impl Fn(&mut TestgenConfig),
+) -> (Vec<TestSpec>, p4testgen_core::RunSummary) {
+    let mut config = TestgenConfig::default();
+    config.seed = 7;
+    config.jobs = jobs;
+    config.solver_mode = mode;
+    configure(&mut config);
+    run_with_config(name, src, config)
+}
+
+#[test]
+fn solver_modes_emit_identical_suites_at_jobs_1_4_8() {
+    use p4testgen_core::SolverMode;
+    // The incremental warm core is verdict-only; every emitted byte comes
+    // from a fresh model-bearing check in both modes — so the suites must be
+    // byte-identical, not merely equivalent.
+    let src = p4t_corpus::generate_synthetic(4, 3);
+    for jobs in [1usize, 4, 8] {
+        let (fresh, fresh_sum) =
+            run_with_mode("synthetic_4x3", &src, jobs, SolverMode::Fresh, |_| {});
+        let (inc, inc_sum) =
+            run_with_mode("synthetic_4x3", &src, jobs, SolverMode::Incremental, |_| {});
+        assert!(!fresh.is_empty(), "jobs={jobs}: fresh mode emitted nothing");
+        assert_eq!(
+            suite_seq(&fresh),
+            suite_seq(&inc),
+            "jobs={jobs}: suites differ between solver modes"
+        );
+        assert_eq!(fresh, inc, "jobs={jobs}: ids/order differ between solver modes");
+        assert_eq!(
+            fresh_sum.coverage.covered, inc_sum.coverage.covered,
+            "jobs={jobs}: coverage differs between solver modes"
+        );
+        assert_eq!(
+            fresh_sum.test_trails, inc_sum.test_trails,
+            "jobs={jobs}: trail sets differ between solver modes"
+        );
+        // The comparison is only meaningful if the warm core actually ran.
+        assert!(inc_sum.solver.warm_checks > 0, "jobs={jobs}: warm core never used");
+        assert_eq!(fresh_sum.solver.warm_checks, 0, "jobs={jobs}: fresh mode went warm");
+    }
+}
+
+#[test]
+fn solver_modes_agree_on_corpus_programs() {
+    use p4testgen_core::SolverMode;
+    for (name, src, target) in p4t_corpus::all_programs() {
+        if target != "v1model" {
+            continue;
+        }
+        let (fresh, _) = run_with_mode(name, &src, 1, SolverMode::Fresh, |_| {});
+        let (inc, _) = run_with_mode(name, &src, 1, SolverMode::Incremental, |_| {});
+        assert_eq!(fresh, inc, "{name}: suites differ between solver modes");
+    }
+}
+
+#[test]
+fn solver_modes_identical_under_fault_plans() {
+    use p4testgen_core::SolverMode;
+    // The PR 2 fault machinery (forced Unknowns + injected panics) must not
+    // open a gap between the modes: injected Unknowns fire before the
+    // solver, retries force fresh solves in both modes, and a panic drops
+    // the warm core.
+    let src = p4t_corpus::generate_synthetic(4, 3);
+    let (_, base_sum) = run_with_jobs("synthetic_4x3", &src, 1);
+    let unknown_trails: Vec<Vec<u32>> =
+        [0usize, 2, 4].iter().map(|&i| base_sum.test_trails[i].clone()).collect();
+    let panic_trail = base_sum.test_trails[1].clone();
+    let configure = |config: &mut TestgenConfig| {
+        config.fault_plan.seed = 99;
+        for t in &unknown_trails {
+            config.fault_plan.force_unknown_at(t.clone());
+        }
+        config.fault_plan.force_panic_at(panic_trail.clone());
+    };
+    for jobs in [1usize, 4, 8] {
+        let (fresh, fresh_sum) =
+            run_with_mode("synthetic_4x3", &src, jobs, SolverMode::Fresh, configure);
+        let (inc, inc_sum) =
+            run_with_mode("synthetic_4x3", &src, jobs, SolverMode::Incremental, configure);
+        assert_eq!(fresh, inc, "jobs={jobs}: faulted suites differ between solver modes");
+        assert_eq!(
+            fresh_sum.errors, inc_sum.errors,
+            "jobs={jobs}: faulted error taxonomy differs between solver modes"
+        );
+        assert_eq!(inc_sum.errors.panicked_paths, 1, "jobs={jobs}: panic not injected");
+        assert_eq!(inc_sum.errors.unknown_queries, 3, "jobs={jobs}: Unknowns not injected");
+    }
+}
+
+#[test]
+fn solver_modes_identical_under_max_tests_cap() {
+    use p4testgen_core::SolverMode;
+    let src = p4t_corpus::generate_synthetic(4, 3);
+    for cap in [1u64, 7, 25] {
+        for jobs in [1usize, 4, 8] {
+            let (fresh, _) = run_with_mode("synthetic_4x3", &src, jobs, SolverMode::Fresh, |c| {
+                c.max_tests = cap;
+            });
+            let (inc, _) =
+                run_with_mode("synthetic_4x3", &src, jobs, SolverMode::Incremental, |c| {
+                    c.max_tests = cap;
+                });
+            assert_eq!(fresh.len() as u64, cap, "jobs={jobs}: cap not honored");
+            assert_eq!(
+                fresh, inc,
+                "capped suite (max_tests={cap}) differs between modes at jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_run_reports_spine_reuse() {
+    use p4testgen_core::SolverMode;
+    // Sibling forks share their whole constraint prefix, so a DFS of a
+    // fork-heavy program must reuse warm-core encodings and hit the blast
+    // cache; the summary counters are how BENCH and operators see this.
+    let src = p4t_corpus::generate_synthetic(4, 3);
+    let (_, summary) = run_with_mode("synthetic_4x3", &src, 1, SolverMode::Incremental, |_| {});
+    let s = &summary.solver;
+    assert!(s.warm_checks > 0, "no warm checks recorded");
+    assert!(s.roots_reused > 0, "no spine reuse on a fork-heavy DFS");
+    assert!(s.blast_cache_hits > 0, "no blast-cache hits recorded");
+}
+
 #[test]
 fn feasibility_memo_reports_hits() {
     // Chained identical tables reconverge on identical constraint sets, so
