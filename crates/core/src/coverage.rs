@@ -154,6 +154,30 @@ impl SharedCoverage {
         self.covered_count() >= self.total
     }
 
+    /// Snapshot the bitset for checkpointing: the raw words plus the
+    /// novelty epoch. Taken while workers may still be running; each word
+    /// is read atomically, so the snapshot is a superset of some past
+    /// consistent state and a subset of the final one — safe for resume,
+    /// where it only seeds the union.
+    pub fn snapshot(&self) -> (Vec<u64>, u64) {
+        let words = self.words.iter().map(|w| w.load(Ordering::Acquire)).collect();
+        (words, self.epoch.load(Ordering::Acquire))
+    }
+
+    /// Restore a snapshot taken by [`SharedCoverage::snapshot`]. Only valid
+    /// before workers start (single-threaded setup); the covered count is
+    /// recomputed from the word popcounts. Word vectors from a different
+    /// program shape are truncated/ignored defensively rather than trusted.
+    pub fn restore(&self, words: &[u64], epoch: u64) {
+        let mut covered = 0usize;
+        for (slot, &w) in self.words.iter().zip(words.iter()) {
+            slot.store(w, Ordering::Release);
+            covered += w.count_ones() as usize;
+        }
+        self.covered.store(covered, Ordering::Release);
+        self.epoch.store(epoch, Ordering::Release);
+    }
+
     /// Build the end-of-run report.
     pub fn report(&self, prog: &IrProgram) -> CoverageReport {
         let missed: Vec<MissedStatement> = prog
@@ -249,6 +273,34 @@ mod tests {
         assert!(!sc.contains(StmtId(1)));
         assert!(!sc.contains(StmtId(500)), "out-of-range ids are not covered");
         assert_eq!(sc.covered_count(), 2);
+    }
+
+    #[test]
+    fn shared_coverage_snapshot_restore_round_trip() {
+        let sc = SharedCoverage {
+            words: (0..2).map(|_| AtomicU64::new(0)).collect(),
+            covered: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            total: 70,
+        };
+        let s: BTreeSet<StmtId> = [0, 3, 64, 69].into_iter().map(StmtId).collect();
+        sc.add(&s);
+        let (words, epoch) = sc.snapshot();
+
+        let fresh = SharedCoverage {
+            words: (0..2).map(|_| AtomicU64::new(0)).collect(),
+            covered: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            total: 70,
+        };
+        fresh.restore(&words, epoch);
+        assert_eq!(fresh.covered_count(), 4);
+        assert_eq!(fresh.epoch(), epoch);
+        assert!(fresh.contains(StmtId(64)));
+        assert!(!fresh.contains(StmtId(1)));
+        // Restoring a snapshot with a different shape must not panic.
+        fresh.restore(&words[..1], epoch);
+        assert_eq!(fresh.covered_count(), 2);
     }
 
     #[test]

@@ -50,6 +50,12 @@ pub struct FaultPlan {
     unknown_trails: BTreeSet<Vec<u32>>,
     /// Panic while processing a state whose trail matches one of these.
     panic_trails: BTreeSet<Vec<u32>>,
+    /// Simulate a hard abort (power loss) when a worker *pops* a state with
+    /// one of these trails: exploration latches a drain, the coordinator
+    /// flushes a final checkpoint, and the run reports no tests — as if the
+    /// process had been killed right after its last flush. Trails here must
+    /// be queue-time trails (ending in a nonzero element, or the root `[]`).
+    kill_trails: BTreeSet<Vec<u32>>,
     /// Additionally force Unknown on roughly `unknown_permille`/1000 of all
     /// queries, sampled by `hash(seed, trail)` — schedule-independent.
     pub unknown_permille: u32,
@@ -66,6 +72,7 @@ impl FaultPlan {
     pub fn is_empty(&self) -> bool {
         self.unknown_trails.is_empty()
             && self.panic_trails.is_empty()
+            && self.kill_trails.is_empty()
             && self.unknown_permille == 0
             && self.deadline_override.is_none()
     }
@@ -79,6 +86,15 @@ impl FaultPlan {
     /// Inject a panic when a worker processes the state with `trail`.
     pub fn force_panic_at(&mut self, trail: Vec<u32>) -> &mut Self {
         self.panic_trails.insert(trail);
+        self
+    }
+
+    /// Simulate a hard abort when a worker pops the state with `trail`
+    /// (see `kill_trails`). Crash-recovery tests pair this with a
+    /// checkpoint: the killed run persists its frontier, a resumed run
+    /// (with a plan *not* containing the trail) completes the suite.
+    pub fn kill_at_trail(&mut self, trail: Vec<u32>) -> &mut Self {
+        self.kill_trails.insert(trail);
         self
     }
 
@@ -103,9 +119,19 @@ impl FaultPlan {
         !self.panic_trails.is_empty() && self.panic_trails.contains(trail)
     }
 
+    /// Should popping this trail simulate a hard abort?
+    pub fn wants_kill(&self, trail: &[u32]) -> bool {
+        !self.kill_trails.is_empty() && self.kill_trails.contains(trail)
+    }
+
     /// Number of explicitly planned Unknown trails (test bookkeeping).
     pub fn planned_unknowns(&self) -> usize {
         self.unknown_trails.len()
+    }
+
+    /// Number of explicitly planned kill trails (test bookkeeping).
+    pub fn planned_kills(&self) -> usize {
+        self.kill_trails.len()
     }
 
     /// Number of explicitly planned panic trails (test bookkeeping).
@@ -146,6 +172,20 @@ mod tests {
         assert!(!plan.is_empty());
         assert_eq!(plan.planned_unknowns(), 1);
         assert_eq!(plan.planned_panics(), 1);
+    }
+
+    #[test]
+    fn kill_trails_fire_exactly() {
+        let mut plan = FaultPlan::new(3);
+        plan.kill_at_trail(vec![2, 1]);
+        assert!(plan.wants_kill(&[2, 1]));
+        assert!(!plan.wants_kill(&[2]));
+        assert!(!plan.wants_kill(&[]));
+        assert!(!plan.is_empty());
+        assert_eq!(plan.planned_kills(), 1);
+        // Kill trails are independent of the other injection kinds.
+        assert!(!plan.wants_unknown(&[2, 1]));
+        assert!(!plan.wants_panic(&[2, 1]));
     }
 
     #[test]

@@ -31,8 +31,13 @@
 //!   (Fig. 7).
 //! * [`fault`] — deterministic, trail-keyed fault injection for exercising
 //!   the driver's degradation paths (Unknown verdicts, panicking paths,
-//!   shrunken deadlines) from tests and benches.
+//!   shrunken deadlines, simulated hard kills) from tests and benches.
+//! * [`checkpoint`] — serializable exploration state: trail-prefix
+//!   sharding (`ShardSpec`), versioned checksummed checkpoint files
+//!   (`ExplorationState`), and shard-suite merging for distributed and
+//!   crash-resumable campaigns.
 
+pub mod checkpoint;
 pub mod concolic;
 pub mod coverage;
 pub mod exec;
@@ -46,6 +51,9 @@ pub mod target;
 pub mod testgen;
 pub mod testspec;
 
+pub use checkpoint::{
+    merge_shard_suites, CheckpointCfg, CheckpointError, ExplorationState, ShardSpec,
+};
 pub use coverage::{CoverageReport, CoverageTracker};
 pub use fault::FaultPlan;
 pub use preconditions::Preconditions;
@@ -54,7 +62,7 @@ pub use sym::Sym;
 pub use target::{ExecCtx, ExtArg, ExternOutcome, PipeStep, Target, UninitPolicy};
 pub use p4t_smt::SolverMode;
 pub use testgen::{
-    classify_abandon_reason, reason, BuildError, ErrorStats, PanicRecord, PhaseStats, RunError,
-    RunSummary, Strategy, Testgen, TestgenConfig,
+    classify_abandon_reason, reason, BuildError, ErrorStats, PanicRecord, PhaseStats, ResumeInfo,
+    RunError, RunSummary, Strategy, Testgen, TestgenConfig,
 };
 pub use testspec::{KeyMatch, MaskedBytes, OutputPacketSpec, TableEntrySpec, TestSpec};

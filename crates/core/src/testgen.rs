@@ -25,6 +25,7 @@
 //! caps trigger on whichever paths finish first, which under parallelism
 //! may cut off a different subset of the (fully deterministic) path space.
 
+use crate::checkpoint::{sanitize_frontier, CheckpointCfg, ExplorationState, ShardSpec};
 use crate::concolic::{resolve_concolics, ConcolicRegistry};
 use crate::coverage::{CoverageReport, SharedCoverage};
 use crate::exec;
@@ -44,14 +45,14 @@ use p4t_smt::solver::{
     IncrementalStats, SolverStats, CONFLICTS_PER_CHECK_BOUNDS, SPINE_PER_CHECK_BOUNDS,
 };
 use p4t_smt::{
-    eval, Assignment, BitVec, CheckResult, ClauseExchange, SolveBudget, Solver, SolverMode, TermId,
-    TermPool, VarId,
+    eval, stable_fingerprint, Assignment, BitVec, CheckResult, ClauseExchange, SolveBudget, Solver,
+    SolverMode, TermId, TermPool, VarId,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::value::{Number, Value};
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -150,6 +151,24 @@ pub struct TestgenConfig {
     /// Observability switches (structured tracing + metrics registry); the
     /// default is fully disabled and adds no hot-path cost.
     pub obs: ObsConfig,
+    /// Explore only the fork-trail subtrees this shard owns (`--shard i/N`).
+    /// The emitted suites of all N shards, merged with
+    /// [`crate::checkpoint::merge_shard_suites`], are byte-identical to the
+    /// single-run suite.
+    pub shard: Option<ShardSpec>,
+    /// Periodically persist the exploration journal (frontier trails,
+    /// emitted tests, coverage, memo) to a checkpoint file; a final flush
+    /// always happens at run end, clean or drained.
+    pub checkpoint: Option<CheckpointCfg>,
+    /// Continue a previous run from its decoded checkpoint. A config-hash
+    /// mismatch degrades to a cold start (recorded in
+    /// [`ResumeInfo::rejected`]), never an error.
+    pub resume: Option<ExplorationState>,
+    /// Cooperative drain request (e.g. set by a SIGTERM handler): workers
+    /// stop taking new states, in-flight paths finish, and — with a
+    /// checkpoint configured — the untouched frontier is flushed for a
+    /// later `resume`.
+    pub drain: Option<Arc<AtomicBool>>,
 }
 
 fn default_jobs() -> usize {
@@ -203,6 +222,10 @@ impl Default for TestgenConfig {
             interp_parser_loop_bound: 64,
             fault_plan: FaultPlan::default(),
             obs: ObsConfig::default(),
+            shard: None,
+            checkpoint: None,
+            resume: None,
+            drain: None,
         }
     }
 }
@@ -286,7 +309,7 @@ pub fn classify_abandon_reason(msg: &str) -> &'static str {
         reason::STEP_BUDGET
     } else if msg.contains("parser loop bound") {
         reason::PARSER_LOOP_BOUND
-    } else if msg.contains("deadline") {
+    } else if msg.contains("deadline") || msg.contains("drain") {
         reason::DEADLINE
     } else if msg.contains("solver unknown") {
         reason::SOLVER_UNKNOWN
@@ -447,6 +470,38 @@ impl std::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+/// Checkpoint/resume bookkeeping for one run. Present in
+/// [`RunSummary::resume`] whenever checkpointing or resuming was configured
+/// (or a kill fault fired); `None` otherwise.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResumeInfo {
+    /// This run continued from a validated checkpoint.
+    pub resumed: bool,
+    /// Frontier trails restored (and replayed) from the checkpoint.
+    pub frontier_restored: u64,
+    /// Emitted tests carried over from the checkpoint.
+    pub tests_restored: u64,
+    /// Feasibility-memo entries carried over from the checkpoint.
+    pub memo_restored: u64,
+    /// Destination checkpoint file, when one is configured.
+    pub checkpoint_path: Option<String>,
+    /// Checkpoints written over the whole campaign (including the final
+    /// flush, and counting earlier resumed segments).
+    pub checkpoints_written: u64,
+    /// Frontier trails left unexplored when the run ended (0 for a clean
+    /// completion; nonzero means the final checkpoint is resumable).
+    pub frontier_remaining: u64,
+    /// Why exploration stopped early: `"deadline"`, `"signal"`, or
+    /// `"kill-fault"`; `None` for a clean completion.
+    pub interrupted: Option<String>,
+    /// A resume state was offered but rejected (classification key, e.g.
+    /// `"config-mismatch"`); the run cold-started instead.
+    pub rejected: Option<String>,
+    /// The first checkpoint-write failure, if any (the run continues; the
+    /// previous on-disk checkpoint stays intact).
+    pub flush_error: Option<String>,
+}
+
 /// End-of-run summary.
 #[derive(Clone, Debug)]
 pub struct RunSummary {
@@ -454,6 +509,9 @@ pub struct RunSummary {
     pub paths_explored: u64,
     pub infeasible_paths: u64,
     pub abandoned_paths: u64,
+    /// Fork subtrees skipped because another shard owns them (0 unless
+    /// `TestgenConfig::shard` is set).
+    pub out_of_shard_paths: u64,
     pub coverage: CoverageReport,
     pub phases: PhaseStats,
     pub solver_checks: u64,
@@ -477,6 +535,9 @@ pub struct RunSummary {
     /// per-path records in canonical trail order plus engine events. `None`
     /// when tracing is off (the default).
     pub trace: Option<TraceLog>,
+    /// Checkpoint/resume bookkeeping; `Some` whenever checkpointing or
+    /// resuming was configured (or a kill fault fired).
+    pub resume: Option<ResumeInfo>,
 }
 
 impl RunSummary {
@@ -607,12 +668,32 @@ impl RunSummary {
                 Value::Number(Number::U(i.learnt_import_skipped)),
             ),
         ]);
+        let opt_str = |s: &Option<String>| match s {
+            Some(v) => Value::String(v.clone()),
+            None => Value::Null,
+        };
+        let resume = match &self.resume {
+            None => Value::Null,
+            Some(r) => Value::Object(vec![
+                ("resumed".into(), Value::Bool(r.resumed)),
+                ("frontier_restored".into(), Value::Number(Number::U(r.frontier_restored))),
+                ("tests_restored".into(), Value::Number(Number::U(r.tests_restored))),
+                ("memo_restored".into(), Value::Number(Number::U(r.memo_restored))),
+                ("checkpoint_path".into(), opt_str(&r.checkpoint_path)),
+                ("checkpoints_written".into(), Value::Number(Number::U(r.checkpoints_written))),
+                ("frontier_remaining".into(), Value::Number(Number::U(r.frontier_remaining))),
+                ("interrupted".into(), opt_str(&r.interrupted)),
+                ("rejected".into(), opt_str(&r.rejected)),
+                ("flush_error".into(), opt_str(&r.flush_error)),
+            ]),
+        };
         Value::Object(vec![
             ("schema".into(), Value::String("p4testgen-run-summary/v1".into())),
             ("tests".into(), Value::Number(Number::U(self.tests))),
             ("paths_explored".into(), Value::Number(Number::U(self.paths_explored))),
             ("infeasible_paths".into(), Value::Number(Number::U(self.infeasible_paths))),
             ("abandoned_paths".into(), Value::Number(Number::U(self.abandoned_paths))),
+            ("out_of_shard_paths".into(), Value::Number(Number::U(self.out_of_shard_paths))),
             ("coverage".into(), coverage),
             ("phases".into(), phases),
             ("solver_checks".into(), Value::Number(Number::U(self.solver_checks))),
@@ -620,6 +701,7 @@ impl RunSummary {
             ("solver".into(), solver),
             ("errors".into(), errors),
             ("test_trails".into(), trails(&self.test_trails)),
+            ("resume".into(), resume),
         ])
     }
 }
@@ -634,6 +716,12 @@ struct FeasMemo {
     map: Mutex<HashMap<Vec<TermId>, bool>>,
     hits: AtomicU64,
     lookups: AtomicU64,
+    /// Process-portable second layer, keyed by the canonical (alpha-renamed)
+    /// constraint-set fingerprint instead of `TermId`s. Enabled only when a
+    /// run checkpoints or resumes: this is the form the memo round-trips
+    /// through [`ExplorationState::memo`], and computing fingerprints costs
+    /// a term walk per miss, which plain runs should not pay.
+    stable: Option<Mutex<HashMap<u128, bool>>>,
 }
 
 impl FeasMemo {
@@ -642,6 +730,46 @@ impl FeasMemo {
             map: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
+            stable: None,
+        }
+    }
+
+    /// A memo with the stable-fingerprint layer on, seeded from a restored
+    /// checkpoint's entries (empty for a cold checkpointed start).
+    fn with_persistence(entries: &[(u128, bool)]) -> Self {
+        FeasMemo {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+            stable: Some(Mutex::new(entries.iter().copied().collect())),
+        }
+    }
+
+    /// Is the stable-fingerprint layer enabled (checkpointing runs only)?
+    fn persistent(&self) -> bool {
+        self.stable.is_some()
+    }
+
+    fn stable_lookup(&self, fp: u128) -> Option<bool> {
+        self.stable.as_ref()?.lock().get(&fp).copied()
+    }
+
+    fn stable_record(&self, fp: u128, sat: bool) {
+        if let Some(s) = &self.stable {
+            s.lock().insert(fp, sat);
+        }
+    }
+
+    /// Sorted dump of the stable layer for checkpointing (empty when the
+    /// layer is off).
+    fn stable_snapshot(&self) -> Vec<(u128, bool)> {
+        match &self.stable {
+            Some(s) => {
+                let mut v: Vec<(u128, bool)> = s.lock().iter().map(|(&k, &v)| (k, v)).collect();
+                v.sort_unstable();
+                v
+            }
+            None => Vec::new(),
         }
     }
 
@@ -673,6 +801,30 @@ impl FeasMemo {
 struct Pending {
     st: ExecState,
     novelty: Option<(u64, usize)>,
+}
+
+/// The exploration journal: the single serializable source of truth for
+/// what is left to explore and what has been produced. Workers commit one
+/// atomic transaction per finished path — remove the popped trail, insert
+/// its spawned children, append its emission, fold its counters — so any
+/// locked snapshot is a *consistent cut* of the path tree: every path is
+/// either still in `pending`, or fully accounted for by its replacements.
+/// That invariant is what makes checkpoints resumable without replaying
+/// partial work.
+#[derive(Default)]
+struct Journal {
+    /// Every queued or in-flight queue-time trail. A trail leaves this set
+    /// only in the same transaction that inserts its children/emission.
+    pending: BTreeSet<Vec<u32>>,
+    /// Emitted tests keyed by their full completed-path trail (unsorted;
+    /// the merger sorts).
+    emitted: Vec<(Vec<u32>, TestSpec)>,
+    paths: u64,
+    infeasible: u64,
+    abandoned: u64,
+    /// Fork subtrees pruned because another shard owns them.
+    out_of_shard: u64,
+    errors: ErrorStats,
 }
 
 /// Everything the workers share for one run.
@@ -720,6 +872,23 @@ struct Shared<'a, T: Target> {
     /// Siblings bail out instead of spinning on `live`, and the join
     /// surfaces a [`RunError`].
     aborted: AtomicBool,
+    /// The exploration journal (frontier + emissions + counters); see
+    /// [`Journal`].
+    journal: Mutex<Journal>,
+    /// Cooperative drain latched: an external signal, the deadline, or a
+    /// kill fault asked the run to stop taking new states.
+    drain_hit: AtomicBool,
+    /// A kill fault fired: the run simulates a hard abort (final checkpoint
+    /// flushed, no tests delivered).
+    kill_hit: AtomicBool,
+    /// Suite-affecting config fingerprint stamped into checkpoints.
+    run_fingerprint: u64,
+    /// Timestamp of the last periodic checkpoint flush (also serializes
+    /// writers: flushes hold this lock across the write).
+    last_flush: Mutex<Instant>,
+    checkpoints_written: AtomicU64,
+    /// First checkpoint-write failure, surfaced in [`ResumeInfo`].
+    flush_error: Mutex<Option<String>>,
 }
 
 impl<T: Target> Shared<'_, T> {
@@ -738,6 +907,82 @@ impl<T: Target> Shared<'_, T> {
         }
         false
     }
+
+    /// Has anything asked for a cooperative drain? Sources: an external
+    /// drain flag (signal handler), the run deadline, or a kill fault
+    /// (latched directly by the worker that popped the poisoned trail).
+    /// Latches `drain_hit` and the stop flag on first observation.
+    fn drain_requested(&self) -> bool {
+        if self.drain_hit.load(Ordering::Relaxed) {
+            return true;
+        }
+        let external = self.config.drain.as_ref().is_some_and(|f| f.load(Ordering::Relaxed));
+        if external {
+            self.drain_hit.store(true, Ordering::Relaxed);
+            self.stop.store(true, Ordering::Relaxed);
+            return true;
+        }
+        if self.deadline_expired() {
+            self.drain_hit.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Snapshot the run into a serializable [`ExplorationState`]. Safe to
+    /// call while workers run: the journal lock gives a consistent frontier
+    /// cut, and the coverage/best/memo snapshots are supersets of that cut's
+    /// state — resume only ever unions them back in.
+    fn snapshot_state(&self) -> ExplorationState {
+        let (frontier, mut emitted, paths, infeasible, abandoned, errors) = {
+            let j = self.journal.lock();
+            (
+                j.pending.iter().cloned().collect::<Vec<_>>(),
+                j.emitted.clone(),
+                j.paths,
+                j.infeasible,
+                j.abandoned,
+                j.errors.clone(),
+            )
+        };
+        emitted.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut best: Vec<Vec<u32>> = self.best.lock().iter().cloned().collect();
+        best.sort();
+        let (coverage_words, coverage_epoch) = self.coverage.snapshot();
+        ExplorationState {
+            config_hash: self.run_fingerprint,
+            frontier,
+            emitted,
+            best,
+            coverage_words,
+            coverage_epoch,
+            memo: self.memo.stable_snapshot(),
+            paths_explored: paths,
+            infeasible_paths: infeasible,
+            abandoned_paths: abandoned,
+            errors,
+            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Write a checkpoint to `path`, recording success or the first
+    /// failure. Callers serialize via `last_flush`.
+    fn flush_checkpoint(&self, path: &std::path::Path) -> bool {
+        let state = self.snapshot_state();
+        match state.write_atomic(path) {
+            Ok(()) => {
+                self.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(e) => {
+                let mut slot = self.flush_error.lock();
+                if slot.is_none() {
+                    *slot = Some(e.to_string());
+                }
+                false
+            }
+        }
+    }
 }
 
 /// Queue-depth histogram bounds (inclusive upper bounds; +Inf implicit).
@@ -745,20 +990,17 @@ impl<T: Target> Shared<'_, T> {
 /// my local queue when I took work" — the signal for steal pressure.
 const QUEUE_DEPTH_BOUNDS: [u64; 8] = [0, 1, 2, 4, 8, 16, 32, 64];
 
-/// Per-worker results, merged on the main thread after the join.
+/// Per-worker results, merged on the main thread after the join. Path
+/// counters, emissions, and error taxonomies live in the shared [`Journal`]
+/// (committed transactionally per path), not here: only genuinely
+/// worker-local instrumentation rides back on the join.
 #[derive(Default)]
 struct WorkerOut {
     phases: PhaseStats,
-    paths: u64,
-    infeasible: u64,
-    abandoned: u64,
     solver_stats: SolverStats,
     sat_stats: SatStats,
     /// Warm-spine / simplifier / blast-cache / exchange counters.
     inc_stats: IncrementalStats,
-    errors: ErrorStats,
-    /// (fork trail, provisional spec); sorted and renumbered by the merger.
-    tests: Vec<(Vec<u32>, TestSpec)>,
     /// This worker's trace buffer (populated only under `ObsConfig::trace`).
     trace: Option<TraceLog>,
     /// Successful steals from sibling deques.
@@ -787,6 +1029,9 @@ pub struct Testgen<T: Target> {
     /// Solver statistics merged across all workers of all runs.
     solver_totals: SolverStats,
     sat_totals: SatStats,
+    /// FNV-1a over the full (prelude-prepended) source and the target name;
+    /// one input to [`Testgen::run_fingerprint`].
+    source_fingerprint: u64,
 }
 
 impl<T: Target> Testgen<T> {
@@ -815,6 +1060,9 @@ impl<T: Target> Testgen<T> {
         let (prog, frontend_warnings) = p4t_ir::compile_full(&full)
             .map_err(|diagnostics| BuildError::Frontend { diagnostics, prelude_lines })?;
         target.pipeline(&prog).map_err(BuildError::Target)?; // validate early
+        let mut source_fingerprint = FNV_OFFSET;
+        fnv_mix(&mut source_fingerprint, full.as_bytes());
+        fnv_mix(&mut source_fingerprint, target.name().as_bytes());
         Ok(Testgen {
             prog,
             target,
@@ -825,7 +1073,39 @@ impl<T: Target> Testgen<T> {
             frontend_warnings,
             solver_totals: SolverStats::default(),
             sat_totals: SatStats::default(),
+            source_fingerprint,
         })
+    }
+
+    /// Fingerprint of everything that decides the emitted suite's bytes:
+    /// the compiled source, the target, and the suite-affecting config
+    /// fields. Schedule-only knobs (`jobs`, `deadline`, `solver_mode`,
+    /// fault plans, observability, checkpoint/resume/drain wiring, and the
+    /// shard spec — the *merged* suite is shard-independent) are excluded,
+    /// so a resumed run may change them and still complete the identical
+    /// suite. Stamped into checkpoints and validated on resume.
+    pub fn run_fingerprint(&self) -> u64 {
+        let c = &self.config;
+        let mut h = FNV_OFFSET;
+        fnv_mix(&mut h, &self.source_fingerprint.to_le_bytes());
+        for v in [
+            c.max_tests,
+            c.max_paths,
+            c.max_steps_per_path,
+            c.seed,
+            u64::from(c.parser_loop_bound),
+            c.strategy as u64,
+            u64::from(c.preconditions.apply_entry_restrictions),
+            c.preconditions.fixed_packet_bytes.map_or(u64::MAX, u64::from),
+            u64::from(c.stop_at_full_coverage),
+            u64::from(c.concolic_retries),
+            u64::from(c.eager_pruning),
+            c.solver_budget,
+            u64::from(c.budget_retry),
+        ] {
+            fnv_mix(&mut h, &v.to_le_bytes());
+        }
+        h
     }
 
     /// Warning diagnostics from the frontend compile (empty when clean).
@@ -876,6 +1156,25 @@ impl<T: Target> Testgen<T> {
     ) -> Result<RunSummary, RunError> {
         let t_start = Instant::now();
         let jobs = self.config.jobs.max(1);
+        let fingerprint = self.run_fingerprint();
+        let ckpt_enabled = self.config.checkpoint.is_some() || self.config.resume.is_some();
+        let mut resume_info: Option<ResumeInfo> = ckpt_enabled.then(ResumeInfo::default);
+
+        // Validate an offered resume state against this run's fingerprint.
+        // A mismatch degrades to a cold start (recorded, never an error):
+        // the checkpoint simply describes a different suite.
+        let mut restored: Option<ExplorationState> = None;
+        if let Some(r) = &self.config.resume {
+            match r.validate_config(fingerprint) {
+                Ok(()) => restored = Some(r.clone()),
+                Err(e) => {
+                    if let Some(info) = &mut resume_info {
+                        info.rejected = Some(e.kind().to_string());
+                    }
+                }
+            }
+        }
+
         let shared = Shared {
             prog: &self.prog,
             target: &self.target,
@@ -884,12 +1183,16 @@ impl<T: Target> Testgen<T> {
             concolics: &self.concolics,
             program_name: &self.program_name,
             next_id: AtomicU64::new(0),
-            live: AtomicU64::new(1),
+            live: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             best: Mutex::new(BinaryHeap::new()),
             paths_started: AtomicU64::new(0),
             coverage: SharedCoverage::new(&self.prog),
-            memo: FeasMemo::new(),
+            memo: if ckpt_enabled {
+                FeasMemo::with_persistence(restored.as_ref().map_or(&[], |r| r.memo.as_slice()))
+            } else {
+                FeasMemo::new()
+            },
             exchange: (self.config.solver_mode == SolverMode::Incremental && jobs > 1)
                 .then(|| Arc::new(ClauseExchange::new())),
             stealers: Vec::new(),
@@ -897,6 +1200,15 @@ impl<T: Target> Testgen<T> {
             deadline: self.config.fault_plan.deadline_override.or(self.config.deadline),
             deadline_hit: AtomicBool::new(false),
             aborted: AtomicBool::new(false),
+            journal: Mutex::new(Journal::default()),
+            drain_hit: AtomicBool::new(false),
+            kill_hit: AtomicBool::new(false),
+            run_fingerprint: fingerprint,
+            last_flush: Mutex::new(Instant::now()),
+            checkpoints_written: AtomicU64::new(
+                restored.as_ref().map_or(0, |r| r.checkpoints_written),
+            ),
+            flush_error: Mutex::new(None),
         };
 
         // Initial state.
@@ -922,7 +1234,59 @@ impl<T: Target> Testgen<T> {
         let mut shared = shared;
         shared.stealers = deques.iter().map(|d| d.stealer()).collect();
         let shared = shared;
-        deques[0].push(Pending { st: init, novelty: None });
+
+        if let Some(r) = restored {
+            // Warm start: restore coverage, the top-k heap, and the journal,
+            // then rebuild a live state for every frontier trail by
+            // replaying execution along it. Replay is single-threaded and
+            // skips feasibility/fault work — the original run already
+            // admitted these exact trails.
+            shared.coverage.restore(&r.coverage_words, r.coverage_epoch);
+            *shared.best.lock() = BinaryHeap::from(r.best);
+            let frontier = sanitize_frontier(r.frontier);
+            {
+                let mut j = shared.journal.lock();
+                j.pending = frontier.clone();
+                j.emitted = r.emitted;
+                j.paths = r.paths_explored;
+                j.infeasible = r.infeasible_paths;
+                j.abandoned = r.abandoned_paths;
+                j.errors = r.errors;
+                // Run-scoped flags are re-derived by *this* run's merger.
+                j.errors.deadline_expired = false;
+                j.errors.frontend_warnings = 0;
+                if let Some(info) = &mut resume_info {
+                    info.resumed = true;
+                    info.frontier_restored = j.pending.len() as u64;
+                    info.tests_restored = j.emitted.len() as u64;
+                    info.memo_restored = r.memo.len() as u64;
+                }
+            }
+            let mut live = 0u64;
+            for (i, trail) in frontier.iter().enumerate() {
+                match replay_to_trail(&shared, &init, trail) {
+                    Some(st) => {
+                        deques[i % jobs].push(Pending { st, novelty: None });
+                        live += 1;
+                    }
+                    None => {
+                        // Replay of a checksum-valid trail failed: the
+                        // program or engine diverged from the checkpoint's
+                        // world. Count it abandoned rather than losing it
+                        // silently or poisoning the run.
+                        let mut j = shared.journal.lock();
+                        j.pending.remove(trail);
+                        j.abandoned += 1;
+                        j.errors.bump_reason(reason::EXEC_ERROR);
+                    }
+                }
+            }
+            shared.live.store(live, Ordering::Release);
+        } else {
+            shared.journal.lock().pending.insert(Vec::new());
+            shared.live.store(1, Ordering::Release);
+            deques[0].push(Pending { st: init, novelty: None });
+        }
 
         let outs: Vec<WorkerOut> = if jobs == 1 {
             let local = deques.into_iter().next().expect("one deque");
@@ -965,15 +1329,17 @@ impl<T: Target> Testgen<T> {
             outs
         };
 
-        // Merge per-worker results.
+        // Final checkpoint flush — always when configured, even on clean
+        // completion (an empty-frontier checkpoint is how shard campaigns
+        // hand their emissions to the merge step, and how a later `--resume`
+        // knows the suite is already complete).
+        if let Some(ck) = &self.config.checkpoint {
+            shared.flush_checkpoint(&ck.path);
+        }
+
+        // Merge per-worker instrumentation; path counters, emissions, and
+        // error taxonomies come from the journal.
         let mut phases = PhaseStats::default();
-        let mut paths = 0u64;
-        let mut infeasible = 0u64;
-        let mut abandoned = 0u64;
-        let mut errors = ErrorStats::default();
-        let mut merged: Vec<(Vec<u32>, TestSpec)> = Vec::new();
-        // This run's own solver/SAT totals (`self.*_totals` span *all* runs
-        // of this Testgen; metrics folding must not re-count earlier runs).
         let mut run_solver = SolverStats::default();
         let mut run_sat = SatStats::default();
         let mut run_inc = IncrementalStats::default();
@@ -985,14 +1351,9 @@ impl<T: Target> Testgen<T> {
         let mut queue_depth_sum = 0u64;
         for mut o in outs {
             phases.absorb(&o.phases);
-            paths += o.paths;
-            infeasible += o.infeasible;
-            abandoned += o.abandoned;
-            errors.absorb(&o.errors);
             merge_solver_stats(&mut run_solver, &o.solver_stats);
             merge_sat_stats(&mut run_sat, &o.sat_stats);
             run_inc.absorb(&o.inc_stats);
-            merged.append(&mut o.tests);
             if let (Some(t), Some(wt)) = (&mut trace, o.trace.take()) {
                 t.absorb(wt);
             }
@@ -1004,6 +1365,18 @@ impl<T: Target> Testgen<T> {
             }
             queue_depth_sum += o.queue_depth_sum;
         }
+        let (paths, infeasible, abandoned, out_of_shard, mut errors, mut merged, frontier_remaining) = {
+            let mut j = shared.journal.lock();
+            (
+                j.paths,
+                j.infeasible,
+                j.abandoned,
+                j.out_of_shard,
+                std::mem::take(&mut j.errors),
+                std::mem::take(&mut j.emitted),
+                j.pending.len() as u64,
+            )
+        };
         merge_solver_stats(&mut self.solver_totals, &run_solver);
         merge_sat_stats(&mut self.sat_totals, &run_sat);
         if let Some(t) = &mut trace {
@@ -1016,6 +1389,33 @@ impl<T: Target> Testgen<T> {
         errors.panics.truncate(MAX_PANIC_RECORDS);
         let solver_checks = self.solver_totals.checks;
         let memo_hits = shared.memo.hits.load(Ordering::Relaxed);
+
+        // A kill fault simulates power loss right after the final flush:
+        // nothing is delivered downstream of the (already-written)
+        // checkpoint, exactly like a real dead process.
+        let killed = shared.kill_hit.load(Ordering::Relaxed);
+        if killed {
+            merged.clear();
+            if resume_info.is_none() {
+                resume_info = Some(ResumeInfo::default());
+            }
+        }
+        if let Some(info) = &mut resume_info {
+            info.checkpoint_path =
+                self.config.checkpoint.as_ref().map(|c| c.path.display().to_string());
+            info.checkpoints_written = shared.checkpoints_written.load(Ordering::Relaxed);
+            info.frontier_remaining = frontier_remaining;
+            info.flush_error = shared.flush_error.lock().take();
+            info.interrupted = if killed {
+                Some("kill-fault".to_string())
+            } else if shared.deadline_hit.load(Ordering::Relaxed) {
+                Some("deadline".to_string())
+            } else if shared.drain_hit.load(Ordering::Relaxed) {
+                Some("signal".to_string())
+            } else {
+                None
+            };
+        }
 
         // Canonical order: lexicographic by fork trail — the order a
         // sequential DFS-of-the-fork-tree would discover the paths in,
@@ -1059,6 +1459,7 @@ impl<T: Target> Testgen<T> {
                     parks,
                     queue_depth_hist: &queue_depth_hist,
                     queue_depth_sum,
+                    resume: resume_info.as_ref(),
                 },
             );
         }
@@ -1068,6 +1469,7 @@ impl<T: Target> Testgen<T> {
             paths_explored: paths,
             infeasible_paths: infeasible,
             abandoned_paths: abandoned,
+            out_of_shard_paths: out_of_shard,
             coverage: shared.coverage.report(&self.prog),
             phases,
             solver_checks,
@@ -1077,6 +1479,7 @@ impl<T: Target> Testgen<T> {
             errors,
             test_trails,
             trace,
+            resume: resume_info,
         })
     }
 }
@@ -1099,6 +1502,7 @@ struct FoldInputs<'a> {
     parks: u64,
     queue_depth_hist: &'a [u64],
     queue_depth_sum: u64,
+    resume: Option<&'a ResumeInfo>,
 }
 
 /// Fold one run's merged statistics into the metrics registry. Runs once at
@@ -1238,6 +1642,22 @@ fn fold_run_metrics(reg: &Registry, f: &FoldInputs<'_>) {
         .add(f.errors.model_defaults);
     reg.gauge("p4testgen_deadline_expired", "1 when the run deadline expired")
         .set(u64::from(f.errors.deadline_expired));
+
+    // Checkpoint/resume instrumentation (present only for checkpointed or
+    // resumed runs, so plain runs don't grow empty series).
+    if let Some(r) = f.resume {
+        reg.counter("p4testgen_checkpoints_written_total", "checkpoint files flushed")
+            .add(r.checkpoints_written);
+        reg.counter("p4testgen_frontier_restored_total", "frontier trails replayed on resume")
+            .add(r.frontier_restored);
+        reg.counter("p4testgen_tests_restored_total", "emitted tests carried over on resume")
+            .add(r.tests_restored);
+        reg.gauge(
+            "p4testgen_frontier_remaining",
+            "unexplored frontier trails at run end (resumable work)",
+        )
+        .set(r.frontier_remaining);
+    }
 }
 
 fn merge_solver_stats(into: &mut SolverStats, from: &SolverStats) {
@@ -1265,6 +1685,17 @@ fn merge_sat_stats(into: &mut SatStats, from: &SatStats) {
     }
 }
 
+/// FNV-1a offset basis (64-bit); used for the run/source fingerprints.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold bytes into an FNV-1a accumulator.
+fn fnv_mix(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
 /// Render a panic payload as text when possible.
 fn panic_payload_text(p: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = p.downcast_ref::<&str>() {
@@ -1276,6 +1707,73 @@ fn panic_payload_text(p: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Rebuild the live [`ExecState`] for one checkpointed frontier trail by
+/// re-executing from the initial state and consuming one trail element per
+/// fork event (`0` = continue the parent, `e ≥ 1` = take fork `e-1`).
+///
+/// Replay does no feasibility checking and no fault injection: the original
+/// run already admitted this exact trail, and replaying its prefix is pure
+/// deterministic stepping. The step budget is the per-path budget scaled by
+/// the trail depth (each queue-time hop along the trail was itself a path
+/// that ran under the per-path budget). `None` means the program or engine
+/// no longer produces this trail — the caller abandons it rather than
+/// trusting a diverged world.
+fn replay_to_trail<T: Target>(
+    sh: &Shared<'_, T>,
+    init: &ExecState,
+    trail: &[u32],
+) -> Option<ExecState> {
+    let mut st = init.clone();
+    if trail.is_empty() {
+        return Some(st); // the root is the initial state itself
+    }
+    let budget = sh
+        .config
+        .max_steps_per_path
+        .saturating_mul(trail.len() as u64 + 1);
+    let mut pos = 0usize;
+    let mut steps = 0u64;
+    while pos < trail.len() {
+        if !st.is_running() {
+            return None; // finished before the trail was consumed
+        }
+        let cmd = st.continuations.pop()?;
+        steps += 1;
+        if steps > budget {
+            return None;
+        }
+        let mut ctx = ExecCtx::new(
+            sh.pool,
+            sh.prog,
+            &sh.next_id,
+            sh.config.parser_loop_bound,
+            sh.config.seed,
+        );
+        ctx.apply_entry_restrictions = sh.config.preconditions.apply_entry_restrictions;
+        let res = exec::step(&mut ctx, &mut st, sh.target, cmd);
+        let forks = std::mem::take(&mut ctx.forks);
+        res.ok()?;
+        if forks.is_empty() {
+            continue;
+        }
+        let e = trail[pos];
+        pos += 1;
+        if e == 0 {
+            // Continue the parent along its (…, 0) trail; the forked
+            // children belong to other frontier entries.
+            st.trail.push(0);
+        } else {
+            let mut f = forks.into_iter().nth(e as usize - 1)?;
+            f.trail.push(e);
+            st = f;
+            // A queue-time trail ends on a nonzero element: when the last
+            // element is consumed here the state is exactly what the
+            // original run had queued — return it unstepped.
+        }
+    }
+    Some(st)
+}
+
 /// One exploration worker: drives states popped from its local deque,
 /// queues feasible forks locally, and steals when idle.
 struct PathWorker<'a, 'b, T: Target> {
@@ -1284,11 +1782,20 @@ struct PathWorker<'a, 'b, T: Target> {
     solver: Solver,
     rng: StdRng,
     phases: PhaseStats,
+    /// Per-*path* scratch counters, folded into the shared [`Journal`] by
+    /// the per-path transaction in the worker loop (`mem::take`n there).
     paths: u64,
     infeasible: u64,
     abandoned: u64,
+    out_of_shard: u64,
     errors: ErrorStats,
-    tests: Vec<(Vec<u32>, TestSpec)>,
+    /// Feasible children found by the current path. A worker field — not a
+    /// `process` local — so children queued before an injected/organic
+    /// panic survive the unwind, exactly as the old inline pushes did. They
+    /// reach the local deque only after the journal transaction commits.
+    spawned: Vec<Pending>,
+    /// The current path's emission, if it survived the top-k filter.
+    pending_emit: Option<(Vec<u32>, TestSpec)>,
     /// Trace buffer; `None` (the default) costs one pointer test per path.
     trace: Option<TraceLog>,
     /// Sequence number for this worker's engine events.
@@ -1344,8 +1851,10 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
         paths: 0,
         infeasible: 0,
         abandoned: 0,
+        out_of_shard: 0,
         errors: ErrorStats::default(),
-        tests: Vec::new(),
+        spawned: Vec::new(),
+        pending_emit: None,
         trace: sh.config.obs.trace.then(TraceLog::new),
         event_seq: 0,
         steals: 0,
@@ -1359,6 +1868,7 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
     // polling iteration (an idle worker spins through here constantly).
     let mut was_busy = true;
     let mut deadline_seen = false;
+    let mut drain_seen = false;
     loop {
         if sh.aborted.load(Ordering::Relaxed) {
             break;
@@ -1386,27 +1896,56 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
             queue_depth_hist[QUEUE_DEPTH_BOUNDS.partition_point(|&b| b < depth)] += 1;
             queue_depth_sum += depth;
         }
-        // Deadline first: a drained state is *abandoned* (undecided), unlike
-        // a cap-stop discard, which just truncates a fully-decided run.
-        let deadline_cut = sh.deadline_expired();
-        if deadline_cut {
-            w.abandoned += 1;
-            w.errors.bump_reason(reason::DEADLINE);
-            if !deadline_seen {
-                deadline_seen = true;
-                w.engine_event("deadline", None);
+        // Drain/deadline first, before any path work. With a checkpoint
+        // configured (or after a kill fault) the popped state is simply
+        // dropped — its trail *stays* in the journal's pending set, so the
+        // final checkpoint hands it to a resuming run. Without one, legacy
+        // deadline semantics apply: the state is *abandoned* (undecided),
+        // unlike a cap-stop discard, which truncates a fully-decided run.
+        if sh.drain_requested() {
+            if sh.config.checkpoint.is_some() || sh.kill_hit.load(Ordering::Relaxed) {
+                if !drain_seen {
+                    drain_seen = true;
+                    w.engine_event("drain", None);
+                }
+            } else {
+                {
+                    let mut j = sh.journal.lock();
+                    j.pending.remove(&p.st.trail);
+                    j.abandoned += 1;
+                    j.errors.bump_reason(reason::DEADLINE);
+                }
+                if !deadline_seen {
+                    deadline_seen = true;
+                    w.engine_event("deadline", None);
+                }
+                if let Some(tr) = &mut w.trace {
+                    tr.paths.push(PathRecord {
+                        trail: p.st.trail.clone(),
+                        steps: 0,
+                        checks: 0,
+                        outcome: PathOutcome::Abandoned(reason::DEADLINE.to_string()),
+                        timing: PathTiming::default(),
+                    });
+                }
             }
-            if let Some(tr) = &mut w.trace {
-                tr.paths.push(PathRecord {
-                    trail: p.st.trail.clone(),
-                    steps: 0,
-                    checks: 0,
-                    outcome: PathOutcome::Abandoned(reason::DEADLINE.to_string()),
-                    timing: PathTiming::default(),
-                });
-            }
+            w.phases.busy += t_busy.elapsed();
+            sh.live.fetch_sub(1, Ordering::AcqRel);
+            continue;
         }
-        let mut discard = deadline_cut || sh.stop.load(Ordering::Relaxed);
+        // Injected hard abort: the simulated power loss happens at pop
+        // time, before the state is processed, so its trail stays in the
+        // frontier and siblings latch into the drain path above.
+        if sh.config.fault_plan.wants_kill(&p.st.trail) {
+            sh.kill_hit.store(true, Ordering::Relaxed);
+            sh.drain_hit.store(true, Ordering::Relaxed);
+            sh.stop.store(true, Ordering::Relaxed);
+            w.engine_event("kill-fault", None);
+            w.phases.busy += t_busy.elapsed();
+            sh.live.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        }
+        let mut discard = sh.stop.load(Ordering::Relaxed);
         if !discard && sh.config.max_tests > 0 {
             // Subtree pruning for the deterministic test cap: every test in
             // this state's subtree has a trail ≥ the state's trail, so once
@@ -1425,41 +1964,81 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
                 discard = true;
             }
         }
-        if !discard {
-            // Per-path panic isolation: a poisoned path is recorded and
-            // abandoned; the worker (and every other path) continues. The
-            // state is stepped behind a mutable reference so its trail and
-            // trace survive the unwind for the PanicRecord.
-            let mut st = p.st;
-            let outcome = catch_unwind(AssertUnwindSafe(|| w.process(&mut st, &local)));
-            if let Err(payload) = outcome {
-                // The warm spine core may have been abandoned mid-push by
-                // the unwound frame; drop it so the next feasibility check
-                // rebuilds from its own (fully specified) constraint set.
-                w.solver.reset_warm();
-                w.abandoned += 1;
-                w.errors.panicked_paths += 1;
-                w.errors.bump_reason(reason::PANIC);
-                if w.errors.panics.len() < MAX_PANIC_RECORDS {
-                    w.errors.panics.push(PanicRecord {
-                        trail: st.trail.clone(),
-                        payload: panic_payload_text(payload.as_ref()),
-                        last_trace: st.trace.last().cloned(),
-                    });
-                }
-                if let Some(tr) = &mut w.trace {
-                    // Step/check counts died with the unwound frame; the
-                    // trail survives in the state and identifies the path.
-                    tr.paths.push(PathRecord {
-                        trail: st.trail.clone(),
-                        steps: 0,
-                        checks: 0,
-                        outcome: PathOutcome::Panicked,
-                        timing: PathTiming::default(),
-                    });
-                }
+        if discard {
+            // Cap discards *decide* the subtree (it can never contribute),
+            // so it leaves the frontier — a resumed run agrees.
+            sh.journal.lock().pending.remove(&p.st.trail);
+            w.phases.busy += t_busy.elapsed();
+            sh.live.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        }
+        // Per-path panic isolation: a poisoned path is recorded and
+        // abandoned; the worker (and every other path) continues. The
+        // state is stepped behind a mutable reference so its trail and
+        // trace survive the unwind for the PanicRecord.
+        let popped_trail = p.st.trail.clone();
+        let mut st = p.st;
+        let outcome = catch_unwind(AssertUnwindSafe(|| w.process(&mut st)));
+        if let Err(payload) = outcome {
+            // The warm spine core may have been abandoned mid-push by
+            // the unwound frame; drop it so the next feasibility check
+            // rebuilds from its own (fully specified) constraint set.
+            w.solver.reset_warm();
+            w.abandoned += 1;
+            w.errors.panicked_paths += 1;
+            w.errors.bump_reason(reason::PANIC);
+            w.errors.panics.push(PanicRecord {
+                trail: st.trail.clone(),
+                payload: panic_payload_text(payload.as_ref()),
+                last_trace: st.trace.last().cloned(),
+            });
+            if let Some(tr) = &mut w.trace {
+                // Step/check counts died with the unwound frame; the
+                // trail survives in the state and identifies the path.
+                tr.paths.push(PathRecord {
+                    trail: st.trail.clone(),
+                    steps: 0,
+                    checks: 0,
+                    outcome: PathOutcome::Panicked,
+                    timing: PathTiming::default(),
+                });
             }
         }
+        // The per-path journal transaction: atomically replace the popped
+        // trail with its children and emission, and fold this path's
+        // scratch counters. Runs for panicked paths too — children queued
+        // before the unwind are real frontier (the old inline pushes kept
+        // them as well).
+        let spawned = std::mem::take(&mut w.spawned);
+        let emit = w.pending_emit.take();
+        {
+            let mut j = sh.journal.lock();
+            j.pending.remove(&popped_trail);
+            for s in &spawned {
+                j.pending.insert(s.st.trail.clone());
+            }
+            if let Some(e) = emit {
+                j.emitted.push(e);
+            }
+            j.paths += std::mem::take(&mut w.paths);
+            j.infeasible += std::mem::take(&mut w.infeasible);
+            j.abandoned += std::mem::take(&mut w.abandoned);
+            j.out_of_shard += std::mem::take(&mut w.out_of_shard);
+            let mut scratch = std::mem::take(&mut w.errors);
+            if j.errors.panics.len() >= MAX_PANIC_RECORDS {
+                scratch.panics.clear();
+            }
+            j.errors.absorb(&scratch);
+        }
+        if !spawned.is_empty() {
+            // `live` covers this path's own slot until the fetch_sub below,
+            // so incrementing after the transaction cannot race termination.
+            sh.live.fetch_add(spawned.len() as u64, Ordering::AcqRel);
+            for s in spawned {
+                local.push(s);
+            }
+        }
+        w.maybe_flush_checkpoint();
         w.phases.busy += t_busy.elapsed();
         sh.live.fetch_sub(1, Ordering::AcqRel);
     }
@@ -1467,14 +2046,9 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
     WorkerOut {
         idle: t_worker.elapsed().saturating_sub(w.phases.busy),
         phases: w.phases,
-        paths: w.paths,
-        infeasible: w.infeasible,
-        abandoned: w.abandoned,
         solver_stats: w.solver.stats.clone(),
         sat_stats: w.solver.sat_stats().clone(),
         inc_stats: w.solver.inc_stats.clone(),
-        errors: w.errors,
-        tests: w.tests,
         trace: w.trace,
         steals: w.steals,
         parks,
@@ -1676,6 +2250,20 @@ impl<T: Target> PathWorker<'_, '_, T> {
         if let Some(sat) = sh.memo.lookup(&key) {
             return if sat { CheckResult::Sat } else { CheckResult::Unsat };
         }
+        // Second, persistent memo layer keyed by a TermId-independent
+        // fingerprint: only consulted when checkpointing is on (the
+        // fingerprint walk costs real time). A hit also warms the cheap
+        // TermId layer for this process's lifetime.
+        let stable_fp = sh
+            .memo
+            .persistent()
+            .then(|| stable_fingerprint(sh.pool, &f.constraints));
+        if let Some(fp) = stable_fp {
+            if let Some(sat) = sh.memo.stable_lookup(fp) {
+                sh.memo.record(key, sat);
+                return if sat { CheckResult::Sat } else { CheckResult::Unsat };
+            }
+        }
         let t1 = Instant::now();
         let res = self.checked_feasible(&f.trail, &f.constraints);
         self.phases.solving += t1.elapsed();
@@ -1683,13 +2271,37 @@ impl<T: Target> PathWorker<'_, '_, T> {
         // never memoize it.
         if res != CheckResult::Unknown {
             sh.memo.record(key, res == CheckResult::Sat);
+            if let Some(fp) = stable_fp {
+                sh.memo.stable_record(fp, res == CheckResult::Sat);
+            }
         }
         res
     }
 
+    /// Periodic checkpoint flush, called once per completed journal
+    /// transaction. The interval gate lives behind a `try_lock` so at most
+    /// one worker pays the snapshot+write cost per interval and nobody ever
+    /// blocks on a flush in progress.
+    fn maybe_flush_checkpoint(&mut self) {
+        let Some(ck) = &self.sh.config.checkpoint else { return };
+        let Some(mut last) = self.sh.last_flush.try_lock() else { return };
+        if last.elapsed() < ck.every {
+            return;
+        }
+        let path = ck.path.clone();
+        if self.sh.flush_checkpoint(&path) && self.trace.is_some() {
+            let frontier = self.sh.journal.lock().pending.len();
+            self.engine_event("checkpoint-flush", Some(format!("frontier={frontier}")));
+        }
+        *last = Instant::now();
+    }
+
     /// Drive one state until it forks into children, finishes, or exhausts
-    /// its budget; then emit a test if it completed.
-    fn process(&mut self, st: &mut ExecState, local: &WorkerDeque<Pending>) {
+    /// its budget; then emit a test if it completed. Children and the
+    /// emitted test land on `self.spawned` / `self.pending_emit`, which the
+    /// worker loop commits to the shared journal in one transaction after
+    /// this call returns (or unwinds — spawned children survive a panic).
+    fn process(&mut self, st: &mut ExecState) {
         let sh = self.sh;
         // Per-path span bookkeeping: reset the logical-query counter and
         // remember the phase clocks so the deltas at the end of this call
@@ -1710,9 +2322,20 @@ impl<T: Target> PathWorker<'_, '_, T> {
                 st.finish(FinishReason::Abandoned("step budget exhausted".into()));
                 break;
             }
-            // Cooperative mid-path deadline check, amortized over steps.
-            if steps & 0x1FF == 0 && sh.deadline_expired() {
-                st.finish(FinishReason::Abandoned("deadline expired".into()));
+            // Cooperative mid-path drain check, amortized over steps. Only
+            // in legacy (no-checkpoint) mode: a checkpointing run lets
+            // in-flight paths complete, because a mid-path abandon is
+            // schedule-dependent and the path would be lost on resume.
+            if steps & 0x1FF == 0
+                && sh.config.checkpoint.is_none()
+                && sh.drain_requested()
+            {
+                let msg = if sh.deadline_expired() {
+                    "deadline expired"
+                } else {
+                    "drain requested"
+                };
+                st.finish(FinishReason::Abandoned(msg.into()));
                 break;
             }
             let t0 = Instant::now();
@@ -1743,6 +2366,17 @@ impl<T: Target> PathWorker<'_, '_, T> {
                 st.trail.push(0);
                 for (i, mut f) in forks.into_iter().enumerate().rev() {
                     f.trail.push(i as u32 + 1);
+                    // Shard pruning happens first — before any solver work —
+                    // and before trace records, so per-shard traces contain
+                    // only owned paths. `may_own_subtree` keeps every trail
+                    // shorter than the shard prefix, so short-trail tests
+                    // are claimed by `owns_test` at emission instead.
+                    if let Some(shard) = &sh.config.shard {
+                        if !shard.may_own_subtree(&f.trail) {
+                            self.out_of_shard += 1;
+                            continue;
+                        }
+                    }
                     if f.trivially_unsat(sh.pool) {
                         self.infeasible += 1;
                         self.path_record(
@@ -1786,14 +2420,37 @@ impl<T: Target> PathWorker<'_, '_, T> {
                             }
                         }
                     }
-                    sh.live.fetch_add(1, Ordering::AcqRel);
-                    local.push(Pending { st: f, novelty: None });
+                    self.spawned.push(Pending { st: f, novelty: None });
+                }
+                // The continuing (…, 0) trail may have left this shard's
+                // prefix; stop stepping it here. Not a journal event — the
+                // owning shard explores the identical continuation.
+                if let Some(shard) = &sh.config.shard {
+                    if !shard.may_own_subtree(&st.trail) {
+                        self.out_of_shard += 1;
+                        return;
+                    }
                 }
                 // Injected panic on the continuing (…, 0) trail — after the
                 // children are queued, so only this continuation is lost.
                 self.maybe_panic(&st.trail);
                 if !st.is_running() {
                     break; // superseded by forks
+                }
+            }
+        }
+        // A completed state whose full trail belongs to another shard is
+        // dropped before emission (and before the shared heap): the owning
+        // shard emits the identical test. Checked only for finished states
+        // that would emit — infeasible/abandoned bookkeeping is shard-local.
+        if matches!(
+            st.finished,
+            Some(FinishReason::Completed) | Some(FinishReason::Dropped)
+        ) {
+            if let Some(shard) = &sh.config.shard {
+                if !shard.owns_test(&st.trail) {
+                    self.out_of_shard += 1;
+                    return;
                 }
             }
         }
@@ -1830,7 +2487,7 @@ impl<T: Target> PathWorker<'_, '_, T> {
                             }
                         }
                         if keep {
-                            self.tests.push((st.trail.clone(), spec));
+                            self.pending_emit = Some((st.trail.clone(), spec));
                         }
                         if sh.config.stop_at_full_coverage && sh.coverage.is_full() {
                             sh.stop.store(true, Ordering::Relaxed);

@@ -1,0 +1,238 @@
+//! Stable structural fingerprints for constraint sets.
+//!
+//! `TermId`s are allocation-order handles: two runs of the same program can
+//! assign different ids to structurally identical terms depending on which
+//! worker interned a term first. That makes raw-id memo keys useless across
+//! processes. A checkpointed feasibility memo instead keys on the
+//! [`stable_fingerprint`] of a constraint set: a 128-bit hash of the set's
+//! structure under a canonical alpha-renaming, where variables are numbered
+//! by first occurrence while walking the constraints *in collection order*.
+//!
+//! Collection order matters: within one path the constraint vector is built
+//! deterministically (it mirrors the fork trail), so the numbering — and the
+//! fingerprint — is a pure function of the path, independent of worker
+//! schedule or pool interning order. Variable *names* are deliberately
+//! excluded: alpha-equivalent sets are equisatisfiable, which is the only
+//! property a sat/unsat memo needs preserved.
+
+use std::collections::HashMap;
+
+use crate::term::{Node, TermId, TermPool, VarId};
+
+/// 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+#[inline]
+fn mix128(h: u128, v: u128) -> u128 {
+    mix(mix(h, v as u64), (v >> 64) as u64)
+}
+
+#[inline]
+fn mix(h: u128, word: u64) -> u128 {
+    let mut h = h;
+    for byte in word.to_le_bytes() {
+        h ^= byte as u128;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Per-node structural tags. Must never be reordered once a checkpoint
+/// format version ships; append new tags instead.
+fn node_tag(node: &Node) -> u64 {
+    match node {
+        Node::Const(_) => 1,
+        Node::Var(_) => 2,
+        Node::Not(_) => 3,
+        Node::Neg(_) => 4,
+        Node::Bin(op, _, _) => 0x100 + *op as u64,
+        Node::Extract { .. } => 5,
+        Node::Ite(_, _, _) => 6,
+    }
+}
+
+struct Canonicalizer<'p> {
+    pool: &'p TermPool,
+    /// First-occurrence numbering of variables across the whole set.
+    var_rank: HashMap<VarId, u64>,
+    /// Per-call term-hash memo. Valid because a variable's rank is fixed
+    /// the moment it is first assigned, so a term's hash cannot change
+    /// later in the same walk.
+    memo: HashMap<TermId, u128>,
+}
+
+impl<'p> Canonicalizer<'p> {
+    fn rank(&mut self, v: VarId) -> u64 {
+        let next = self.var_rank.len() as u64;
+        *self.var_rank.entry(v).or_insert(next)
+    }
+
+    /// Iterative post-order hash of one term. Explicit stack: packet
+    /// concatenation chains nest deeply enough to overflow recursion.
+    fn hash_term(&mut self, root: TermId) -> u128 {
+        enum Frame {
+            Visit(TermId),
+            Emit(TermId),
+        }
+        let mut stack = vec![Frame::Visit(root)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Visit(t) => {
+                    if self.memo.contains_key(&t) {
+                        continue;
+                    }
+                    stack.push(Frame::Emit(t));
+                    match self.pool.node(t) {
+                        Node::Const(_) | Node::Var(_) => {}
+                        Node::Not(a) | Node::Neg(a) | Node::Extract { arg: a, .. } => {
+                            stack.push(Frame::Visit(*a));
+                        }
+                        Node::Bin(_, a, b) => {
+                            stack.push(Frame::Visit(*b));
+                            stack.push(Frame::Visit(*a));
+                        }
+                        Node::Ite(c, a, b) => {
+                            stack.push(Frame::Visit(*b));
+                            stack.push(Frame::Visit(*a));
+                            stack.push(Frame::Visit(*c));
+                        }
+                    }
+                }
+                Frame::Emit(t) => {
+                    let node = self.pool.node(t).clone();
+                    let mut h = mix(FNV_OFFSET, node_tag(&node));
+                    h = mix(h, self.pool.width(t) as u64);
+                    match node {
+                        Node::Const(bv) => {
+                            h = mix(h, bv.width() as u64);
+                            // Hash the value bit by bit via the byte image
+                            // when available; widths interned by the engine
+                            // are byte-aligned only for packet chunks, so
+                            // fall back to per-bit extraction otherwise.
+                            for i in 0..bv.width() {
+                                if bv.bit(i) {
+                                    h = mix(h, i as u64 | 1 << 63);
+                                }
+                            }
+                        }
+                        Node::Var(v) => {
+                            let r = self.rank(v);
+                            h = mix(h, r);
+                        }
+                        Node::Not(a) | Node::Neg(a) => {
+                            h = mix128(h, self.child(a));
+                        }
+                        Node::Bin(_, a, b) => {
+                            h = mix128(h, self.child(a));
+                            h = mix128(h, self.child(b));
+                        }
+                        Node::Extract { hi, lo, arg } => {
+                            h = mix(h, hi as u64);
+                            h = mix(h, lo as u64);
+                            h = mix128(h, self.child(arg));
+                        }
+                        Node::Ite(c, a, b) => {
+                            h = mix128(h, self.child(c));
+                            h = mix128(h, self.child(a));
+                            h = mix128(h, self.child(b));
+                        }
+                    }
+                    self.memo.insert(t, h);
+                }
+            }
+        }
+        self.memo[&root]
+    }
+
+    /// A child's previously computed 128-bit hash.
+    fn child(&self, t: TermId) -> u128 {
+        self.memo[&t]
+    }
+}
+
+/// Canonical fingerprint of a constraint set, walked in the given order.
+///
+/// Two constraint sets with equal fingerprints are alpha-equivalent modulo
+/// hash collisions (128-bit, FNV-1a), hence equisatisfiable — which is the
+/// contract the persisted feasibility memo relies on.
+pub fn stable_fingerprint(pool: &TermPool, constraints: &[TermId]) -> u128 {
+    let mut canon = Canonicalizer { pool, var_rank: HashMap::new(), memo: HashMap::new() };
+    let mut acc = FNV_OFFSET;
+    for (i, &c) in constraints.iter().enumerate() {
+        let h = canon.hash_term(c);
+        acc = mix(acc, i as u64);
+        acc = mix(acc, h as u64);
+        acc = mix(acc, (h >> 64) as u64);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::BinOp;
+
+    #[test]
+    fn alpha_equivalent_sets_agree_across_pools() {
+        // Same structure, different variable names and interning order.
+        let p1 = TermPool::new();
+        let x = p1.fresh_var("x", 8);
+        let y = p1.fresh_var("y", 8);
+        let c1a = p1.eq(x, p1.const_u128(8, 5));
+        let c1b = p1.bin(BinOp::Ult, y, x);
+
+        let p2 = TermPool::new();
+        // Interleave unrelated junk so TermIds diverge.
+        let _junk = p2.fresh_var("junk", 32);
+        let b = p2.fresh_var("banana", 8);
+        let a = p2.fresh_var("apple", 8);
+        let c2a = p2.eq(a, p2.const_u128(8, 5));
+        let c2b = p2.bin(BinOp::Ult, b, a);
+
+        assert_eq!(
+            stable_fingerprint(&p1, &[c1a, c1b]),
+            stable_fingerprint(&p2, &[c2a, c2b]),
+        );
+    }
+
+    #[test]
+    fn constant_and_structure_changes_are_detected() {
+        let p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let eq5 = p.eq(x, p.const_u128(8, 5));
+        let eq6 = p.eq(x, p.const_u128(8, 6));
+        let ult5 = p.bin(BinOp::Ult, x, p.const_u128(8, 5));
+        let base = stable_fingerprint(&p, &[eq5]);
+        assert_ne!(base, stable_fingerprint(&p, &[eq6]));
+        assert_ne!(base, stable_fingerprint(&p, &[ult5]));
+        // Order matters: the memo key is the collected sequence.
+        assert_ne!(
+            stable_fingerprint(&p, &[eq5, ult5]),
+            stable_fingerprint(&p, &[ult5, eq5]),
+        );
+    }
+
+    #[test]
+    fn variable_identity_is_positional_not_nominal() {
+        let p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let y = p.fresh_var("y", 8);
+        // x == y (two distinct vars) must differ from x == x.
+        let xy = p.eq(x, y);
+        let xx = p.eq(x, x);
+        assert_ne!(stable_fingerprint(&p, &[xy]), stable_fingerprint(&p, &[xx]));
+    }
+
+    #[test]
+    fn deep_terms_do_not_overflow_the_stack() {
+        let p = TermPool::new();
+        let mut t = p.fresh_var("seed", 8);
+        for _ in 0..50_000 {
+            t = p.bin(BinOp::Concat, t, p.const_u128(8, 0xab));
+        }
+        let c = p.eq(p.extract(7, 0, t), p.const_u128(8, 1));
+        let _ = stable_fingerprint(&p, &[c]);
+    }
+}

@@ -37,6 +37,7 @@ pub mod arena;
 pub mod bitvec;
 pub mod blast;
 pub mod eval;
+pub mod fingerprint;
 pub mod sat;
 pub mod simplify;
 pub mod solver;
@@ -44,6 +45,7 @@ pub mod term;
 
 pub use bitvec::BitVec;
 pub use eval::{eval, Assignment};
+pub use fingerprint::stable_fingerprint;
 pub use sat::SolveBudget;
 pub use simplify::SimplifyStats;
 pub use solver::{ClauseExchange, CheckResult, IncrementalStats, Solver, SolverMode};

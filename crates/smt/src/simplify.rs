@@ -13,6 +13,14 @@
 //!   binds the variable, and every other constraint is rewritten under the
 //!   binding. Substituted constants then cascade through the constructors'
 //!   constant folding, frequently collapsing whole branch conditions.
+//! * **Bit-range propagation** — `x[hi:lo] == c` binds just that slice of
+//!   `x`, and any extract *covered* by a bound range rewrites to the
+//!   corresponding slice of the constant. Parser select keys are exactly
+//!   such slices of the packet variable, so conflicting select arms decide
+//!   unsat here with no SAT call. Unlike a whole-variable binding, a range
+//!   binding does not capture every occurrence of `x`, so its defining
+//!   equality is *kept* in the residue (dropping it would unsoundly weaken
+//!   the conjunction — `{x[7:0] == 5, x < 3}` must stay unsat).
 //! * **Fast verdicts** — a constraint that folds to constant false decides
 //!   the whole conjunction Unsat with no SAT call; constraints that fold to
 //!   constant true (including the spent defining equalities) are dropped.
@@ -76,13 +84,13 @@ pub fn simplify_conjunction(
     stats: &mut SimplifyStats,
 ) -> Simplified {
     let mut cur: Vec<TermId> = constraints.to_vec();
-    let mut bindings: HashMap<VarId, TermId> = HashMap::new();
+    let mut bindings = Bindings::default();
     for round in 0..MAX_ROUNDS {
         let grew = collect_bindings(pool, &cur, &mut bindings);
         if !grew && round > 0 {
             break;
         }
-        if bindings.is_empty() {
+        if bindings.whole.is_empty() && bindings.ranges.is_empty() {
             // Nothing to substitute; constructors already folded each term,
             // so only the cheap scan below (false / true / duplicate) can
             // still change anything.
@@ -91,6 +99,13 @@ pub fn simplify_conjunction(
         let mut memo: HashMap<TermId, TermId> = HashMap::new();
         let mut next = Vec::with_capacity(cur.len());
         for &c in &cur {
+            if bindings.definers.contains(&c) {
+                // Range-defining equality: pass through verbatim (see the
+                // module docs — a range binding substitutes only covered
+                // extracts, so the definition itself must survive).
+                next.push(c);
+                continue;
+            }
             let r = rewrite(pool, &bindings, &mut memo, stats, c);
             if pool.is_const_false(r) {
                 stats.fast_unsat += 1;
@@ -123,6 +138,39 @@ pub fn simplify_conjunction(
     Simplified::Constraints(out)
 }
 
+/// One bound bit-range of a variable: `var[hi:lo] == value` (a constant).
+#[derive(Clone, Copy, Debug)]
+struct RangeBind {
+    hi: u32,
+    lo: u32,
+    value: TermId,
+}
+
+/// Bindings harvested from a conjunction.
+#[derive(Default)]
+struct Bindings {
+    /// Whole-variable bindings (`x -> const`, `x -> older var`).
+    whole: HashMap<VarId, TermId>,
+    /// Bit-range bindings per variable, in first-recorded order. Lookup
+    /// picks the first *covering* range, so earlier constraints win.
+    ranges: HashMap<VarId, Vec<RangeBind>>,
+    /// Constraints that defined a recorded range binding. Kept verbatim in
+    /// the residue: a range substitution is not a full capture of the
+    /// variable, so the definition must remain asserted.
+    definers: HashSet<TermId>,
+}
+
+impl Bindings {
+    /// First recorded range of `v` that covers `[lo, hi]`, if any.
+    fn range_covering(&self, v: VarId, hi: u32, lo: u32) -> Option<RangeBind> {
+        self.ranges
+            .get(&v)?
+            .iter()
+            .find(|r| r.lo <= lo && hi <= r.hi)
+            .copied()
+    }
+}
+
 /// Harvest variable bindings from the constraint list. Binding sources, in
 /// constraint order with first-binding-wins semantics:
 ///
@@ -131,20 +179,55 @@ pub fn simplify_conjunction(
 /// * `x == <const>` in either operand order;
 /// * `x == y` between two variables of the same width — the *younger*
 ///   variable (higher [`VarId`]) binds to the older one, so binding chains
-///   strictly decrease and can never cycle.
+///   strictly decrease and can never cycle;
+/// * `x[hi:lo] == <const>` in either operand order — a bit-range binding
+///   (parser select keys). The defining constraint is recorded so the
+///   rewrite pass keeps it in the residue.
 ///
 /// Returns whether any new binding was added.
-fn collect_bindings(
-    pool: &TermPool,
-    constraints: &[TermId],
-    bindings: &mut HashMap<VarId, TermId>,
-) -> bool {
+fn collect_bindings(pool: &TermPool, constraints: &[TermId], bindings: &mut Bindings) -> bool {
     let as_var = |t: TermId| match *pool.node(t) {
         Node::Var(v) => Some(v),
         _ => None,
     };
+    // `t` as a constant-bound extract of a variable: (var, hi, lo).
+    let as_var_slice = |t: TermId| match *pool.node(t) {
+        Node::Extract { hi, lo, arg } => as_var(arg).map(|v| (v, hi, lo)),
+        _ => None,
+    };
     let mut grew = false;
     for &c in constraints {
+        // Bit-range bindings first: `Extract(x, hi, lo) == const`.
+        if let Node::Bin(BinOp::Eq, a, b) = *pool.node(c) {
+            let slice_const = match (as_var_slice(a), as_var_slice(b)) {
+                (Some(s), None) if pool.as_const(b).is_some() => Some((s, b)),
+                (None, Some(s)) if pool.as_const(a).is_some() => Some((s, a)),
+                _ => None,
+            };
+            if let Some(((v, hi, lo), value)) = slice_const {
+                // Whole and range bindings are mutually exclusive per
+                // variable: a whole binding's definer is dropped after
+                // substitution, which is only sound if *every* occurrence
+                // of the variable was substituted — and range definers are
+                // passed through unrewritten. If `v` is already
+                // whole-bound, skip the range; the rewrite pass folds this
+                // constraint through the whole binding instead.
+                if bindings.whole.contains_key(&v) {
+                    continue;
+                }
+                let ranges = bindings.ranges.entry(v).or_default();
+                // First binding of an exact range wins; a later conflicting
+                // equality on the same slice is *not* a definer, so the
+                // rewrite pass folds it against the recorded constant
+                // (`c1 == c2` -> false -> fast unsat).
+                if !ranges.iter().any(|r| r.hi == hi && r.lo == lo) {
+                    ranges.push(RangeBind { hi, lo, value });
+                    bindings.definers.insert(c);
+                    grew = true;
+                }
+                continue;
+            }
+        }
         let (var, target) = match *pool.node(c) {
             Node::Var(v) => (Some(v), pool.mk_true()),
             Node::Not(a) => (as_var(a), pool.mk_false()),
@@ -165,7 +248,14 @@ fn collect_bindings(
             _ => (None, c),
         };
         if let Some(v) = var {
-            if let std::collections::hash_map::Entry::Vacant(e) = bindings.entry(v) {
+            // Mirror of the exclusion above: once `v` has range bindings,
+            // its range definers sit unrewritten in the residue, so a
+            // whole binding could not soundly drop its own definer. Leave
+            // the equality in place for the SAT solver.
+            if bindings.ranges.contains_key(&v) {
+                continue;
+            }
+            if let std::collections::hash_map::Entry::Vacant(e) = bindings.whole.entry(v) {
                 e.insert(target);
                 grew = true;
             }
@@ -177,11 +267,11 @@ fn collect_bindings(
 /// Follow a binding chain (`z -> y -> x -> 5`) to its end. Chains strictly
 /// decrease in [`VarId`] (see [`collect_bindings`]), so the walk terminates;
 /// the explicit bound is belt-and-braces.
-fn resolve(pool: &TermPool, bindings: &HashMap<VarId, TermId>, v: VarId) -> Option<TermId> {
-    let mut cur = *bindings.get(&v)?;
-    for _ in 0..bindings.len() {
+fn resolve(pool: &TermPool, bindings: &Bindings, v: VarId) -> Option<TermId> {
+    let mut cur = *bindings.whole.get(&v)?;
+    for _ in 0..bindings.whole.len() {
         match *pool.node(cur) {
-            Node::Var(w) => match bindings.get(&w) {
+            Node::Var(w) => match bindings.whole.get(&w) {
                 Some(&next) if next != cur => cur = next,
                 _ => break,
             },
@@ -196,7 +286,7 @@ fn resolve(pool: &TermPool, bindings: &HashMap<VarId, TermId>, v: VarId) -> Opti
 /// substituted constant cascades upward.
 fn rewrite(
     pool: &TermPool,
-    bindings: &HashMap<VarId, TermId>,
+    bindings: &Bindings,
     memo: &mut HashMap<TermId, TermId>,
     stats: &mut SimplifyStats,
     t: TermId,
@@ -232,7 +322,17 @@ fn rewrite(
         }
         Node::Extract { hi, lo, arg } => {
             let ra = rewrite(pool, bindings, memo, stats, arg);
-            if ra == arg {
+            let range = match *pool.node(ra) {
+                Node::Var(v) => bindings.range_covering(v, hi, lo),
+                _ => None,
+            };
+            if let Some(r) = range {
+                // Covered slice of a range-bound variable: take the
+                // matching slice of the bound constant (the constructor
+                // folds it to a constant immediately).
+                stats.substitutions += 1;
+                pool.extract((hi - r.lo) as usize, (lo - r.lo) as usize, r.value)
+            } else if ra == arg {
                 t
             } else {
                 pool.extract(hi as usize, lo as usize, ra)
@@ -337,6 +437,112 @@ mod tests {
         let cs = [a, p.not(b), p.eq(a, b)];
         let (r, _) = simplify(&p, &cs);
         assert_eq!(r, Simplified::False);
+    }
+
+    #[test]
+    fn range_binding_folds_conflicting_select_keys() {
+        // Two parser-select-style equalities over the same packet slice
+        // with different constants must decide unsat with no SAT call.
+        let p = TermPool::new();
+        let pkt = p.fresh_var("pkt", 32);
+        let key = p.extract(15, 8, pkt);
+        let arm1 = p.eq(key, p.const_u128(8, 0x11));
+        let arm2 = p.eq(key, p.const_u128(8, 0x22));
+        let (r, stats) = simplify(&p, &[arm1, arm2]);
+        assert_eq!(r, Simplified::False);
+        assert!(stats.fast_unsat > 0);
+    }
+
+    #[test]
+    fn range_binding_substitutes_covered_slices() {
+        // Binding pkt[15:8] == 0xAB makes the narrower pkt[11:8] slice a
+        // known constant (0xB), folding a dependent comparison.
+        let p = TermPool::new();
+        let pkt = p.fresh_var("pkt", 32);
+        let bind = p.eq(p.extract(15, 8, pkt), p.const_u128(8, 0xAB));
+        let dep = p.ult(p.extract(11, 8, pkt), p.const_u128(4, 5));
+        let (r, stats) = simplify(&p, &[bind, dep]);
+        // 0xB < 5 is false.
+        assert_eq!(r, Simplified::False);
+        assert!(stats.substitutions > 0);
+    }
+
+    #[test]
+    fn range_definers_are_retained_in_the_residue() {
+        // A range binding captures only covered extracts, not every
+        // occurrence of the variable — so the defining equality must stay.
+        // Dropping it would make {x[7:0] == 5, x < 3} satisfiable.
+        let p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let def = p.eq(p.extract(7, 0, x), p.const_u128(8, 5));
+        let dep = p.ult(x, p.const_u128(8, 3));
+        let (r, _) = simplify(&p, &[def, dep]);
+        match r {
+            Simplified::Constraints(cs) => {
+                assert!(cs.contains(&def), "range definer must survive: {cs:?}");
+                assert!(cs.contains(&dep));
+            }
+            Simplified::False => {
+                // Also acceptable: the conjunction *is* unsat, so deciding
+                // it here would be sound — but never by dropping `def`.
+            }
+        }
+    }
+
+    #[test]
+    fn range_bindings_preserve_satisfiability_exhaustively() {
+        // Brute-force a 4-bit domain: the residue must be sat exactly when
+        // the original conjunction is.
+        let p = TermPool::new();
+        let x = p.fresh_var("x", 4);
+        let vx = match *p.node(x) {
+            Node::Var(v) => v,
+            _ => unreachable!(),
+        };
+        let hi2 = p.extract(3, 2, x);
+        let lo2 = p.extract(1, 0, x);
+        let cases: Vec<Vec<TermId>> = vec![
+            // x[3:2]==2, x[1:0]==1, x==9: sat (x = 0b1001).
+            vec![
+                p.eq(hi2, p.const_u128(2, 2)),
+                p.eq(lo2, p.const_u128(2, 1)),
+                p.eq(x, p.const_u128(4, 9)),
+            ],
+            // Same slices but x==5: unsat.
+            vec![
+                p.eq(hi2, p.const_u128(2, 2)),
+                p.eq(lo2, p.const_u128(2, 1)),
+                p.eq(x, p.const_u128(4, 5)),
+            ],
+            // Slice binding plus a strict bound on the whole var.
+            vec![p.eq(hi2, p.const_u128(2, 3)), p.ult(x, p.const_u128(4, 12))],
+            // Overlapping ranges that agree.
+            vec![
+                p.eq(p.extract(3, 0, x), p.const_u128(4, 0b1010)),
+                p.eq(hi2, p.const_u128(2, 0b10)),
+            ],
+            // Overlapping ranges that conflict.
+            vec![
+                p.eq(p.extract(3, 0, x), p.const_u128(4, 0b1010)),
+                p.eq(hi2, p.const_u128(2, 0b01)),
+            ],
+        ];
+        for cs in cases {
+            let sat_of = |terms: &[TermId]| -> bool {
+                (0..16u128).any(|v| {
+                    let mut asg = Assignment::default();
+                    asg.set(vx, BitVec::from_u128(4, v));
+                    terms.iter().all(|&t| eval(&p, &asg, t).bit(0))
+                })
+            };
+            let original_sat = sat_of(&cs);
+            let (r, _) = simplify(&p, &cs);
+            let residue_sat = match &r {
+                Simplified::False => false,
+                Simplified::Constraints(rs) => sat_of(rs),
+            };
+            assert_eq!(original_sat, residue_sat, "case {cs:?} -> {r:?}");
+        }
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //!   --solver-budget <N>                      per-query conflict budget (0 = unlimited) [0]
 //!   --solver-mode <fresh|incremental>        feasibility-check discipline [incremental]
 //!   --deadline <SECONDS>                     wall-clock run deadline (graceful drain)
+//!   --shard <i/N>                            explore only shard i of an N-way partition
+//!   --checkpoint <FILE>                      periodically persist resumable state (atomic)
+//!   --checkpoint-every <SECONDS>             min interval between flushes [2]
+//!   --resume <FILE>                          continue from a checkpoint (implies --checkpoint FILE)
+//!   --merge-shards <CKPT>                    merge completed shard checkpoints (repeatable;
+//!                                            no program needed; renders the merged suite)
 //!   --model-loop-bound <N>                   software-model parser loop bound [64]
 //!   --fixed-packet-size <BYTES>              fixed-input-size precondition
 //!   --with-constraints                       honor @entry_restriction
@@ -32,12 +38,13 @@ use p4t_interp::{execute_and_check_counted, Arch, FaultSet, InterpStats};
 use p4t_obs::{Diag, Level, Registry};
 use p4t_targets::{EbpfModel, Tofino, V1Model};
 use p4testgen_core::{
-    BuildError, Preconditions, RunSummary, SolverMode, Strategy, Target, Testgen, TestgenConfig,
-    TestSpec,
+    BuildError, CheckpointCfg, ExplorationState, Preconditions, RunSummary, ShardSpec,
+    SolverMode, Strategy, Target, Testgen, TestgenConfig, TestSpec,
 };
 use serde::value::{Number, Value};
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -63,6 +70,11 @@ struct Options {
     solver_budget: Option<u64>,
     solver_mode: Option<SolverMode>,
     deadline: Option<Duration>,
+    shard: Option<ShardSpec>,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<Duration>,
+    resume: Option<String>,
+    merge_shards: Vec<String>,
     model_loop_bound: Option<u32>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -76,10 +88,14 @@ fn usage() -> ! {
         "usage: p4testgen --target <v1model|tna|t2na|ebpf_model> [--backend stf|ptf|proto|json]\n\
          \t[--max-tests N] [--seed N] [--strategy dfs|bfs|random|coverage] [--jobs N]\n\
          \t[--solver-budget N] [--solver-mode fresh|incremental] [--deadline SECONDS]\n\
+         \t[--shard i/N] [--checkpoint FILE] [--checkpoint-every SECONDS] [--resume FILE]\n\
          \t[--model-loop-bound N]\n\
          \t[--fixed-packet-size BYTES] [--with-constraints] [--out FILE]\n\
          \t[--coverage] [--validate] [--trace-out FILE] [--metrics-out FILE]\n\
-         \t[--summary-json [FILE]] [--quiet] [-v|--verbose] <program.p4>"
+         \t[--summary-json [FILE]] [--quiet] [-v|--verbose] <program.p4>\n\
+         \n\
+         merge mode (no program): p4testgen --merge-shards CKPT --merge-shards CKPT ...\n\
+         \t[--backend ...] [--max-tests N] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -101,6 +117,11 @@ fn parse_args() -> Options {
         solver_budget: None,
         solver_mode: None,
         deadline: None,
+        shard: None,
+        checkpoint: None,
+        checkpoint_every: None,
+        resume: None,
+        merge_shards: Vec::new(),
         model_loop_bound: None,
         trace_out: None,
         metrics_out: None,
@@ -156,6 +177,32 @@ fn parse_args() -> Options {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--shard" => {
+                opts.shard = Some(
+                    args.next()
+                        .as_deref()
+                        .map(ShardSpec::parse)
+                        .unwrap_or_else(|| usage())
+                        .unwrap_or_else(|e| {
+                            eprintln!("p4testgen: {e}");
+                            std::process::exit(2);
+                        }),
+                )
+            }
+            "--checkpoint" => opts.checkpoint = Some(args.next().unwrap_or_else(|| usage())),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = Some(
+                    args.next()
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .filter(|&s| s >= 0.0)
+                        .map(Duration::from_secs_f64)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--resume" => opts.resume = Some(args.next().unwrap_or_else(|| usage())),
+            "--merge-shards" => {
+                opts.merge_shards.push(args.next().unwrap_or_else(|| usage()))
+            }
             "--model-loop-bound" => {
                 opts.model_loop_bound =
                     Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
@@ -187,10 +234,114 @@ fn parse_args() -> Options {
             _ => usage(),
         }
     }
-    if opts.target.is_empty() || opts.program.is_empty() {
+    // Merge mode consumes checkpoints, not a program.
+    if opts.merge_shards.is_empty() && (opts.target.is_empty() || opts.program.is_empty()) {
         usage();
     }
     opts
+}
+
+/// Install a cooperative-drain signal handler: SIGTERM/SIGINT set a flag the
+/// exploration workers poll; in-flight paths finish, a final checkpoint is
+/// flushed, and the process exits normally. Installed only when a checkpoint
+/// is configured — without one, the default die-now behavior is kept.
+#[cfg(unix)]
+fn install_drain_handler(flag: Arc<AtomicBool>) {
+    use std::sync::OnceLock;
+    static DRAIN: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    extern "C" fn on_signal(_sig: i32) {
+        // Async-signal-safe: one relaxed atomic store, nothing else.
+        if let Some(f) = DRAIN.get() {
+            f.store(true, Ordering::Relaxed);
+        }
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    if DRAIN.set(flag).is_ok() {
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn install_drain_handler(_flag: Arc<AtomicBool>) {}
+
+/// `--merge-shards`: fold the completed shard checkpoints back into the
+/// single-run suite and render it. Corrupt, mismatched, or unfinished
+/// inputs are usage/I-O errors (exit 2) — a silent partial merge would
+/// masquerade as the whole suite.
+fn merge_shards_main(opts: &Options, diag: &Diag) -> ExitCode {
+    let mut shard_states = Vec::new();
+    let mut config_hash: Option<u64> = None;
+    for path in &opts.merge_shards {
+        let state = match ExplorationState::load(std::path::Path::new(path)) {
+            Ok(s) => s,
+            Err(e) => {
+                diag.error(format!("{path}: {e} [{}]", e.kind()));
+                return ExitCode::from(EXIT_USAGE_IO);
+            }
+        };
+        match config_hash {
+            None => config_hash = Some(state.config_hash),
+            Some(h) if h != state.config_hash => {
+                diag.error(format!(
+                    "{path}: shard checkpoints disagree on the run configuration \
+                     ({h:#018x} vs {:#018x}) — they are not shards of one campaign",
+                    state.config_hash
+                ));
+                return ExitCode::from(EXIT_USAGE_IO);
+            }
+            Some(_) => {}
+        }
+        if !state.is_complete() {
+            diag.error(format!(
+                "{path}: shard still has {} unexplored frontier state(s); \
+                 finish it (--resume {path}) before merging",
+                state.frontier.len()
+            ));
+            return ExitCode::from(EXIT_USAGE_IO);
+        }
+        shard_states.push(state.emitted);
+    }
+    let merged = p4testgen_core::merge_shard_suites(shard_states, opts.max_tests);
+    diag.info(format!(
+        "merged {} shard checkpoint(s) into {} tests",
+        opts.merge_shards.len(),
+        merged.len()
+    ));
+    let rendered = match opts.backend.as_str() {
+        "stf" => StfBackend.emit_suite(&merged),
+        "ptf" => PtfBackend.emit_suite(&merged),
+        "proto" => ProtoBackend.emit_suite(&merged),
+        "json" => {
+            let items: Vec<String> = merged.iter().map(|t| ProtoBackend.emit_json(t)).collect();
+            format!("[{}]\n", items.join(",\n"))
+        }
+        other => {
+            diag.error(format!("unknown backend '{other}'"));
+            return ExitCode::from(EXIT_USAGE_IO);
+        }
+    };
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, rendered) {
+                diag.error(format!("cannot write {path}: {e}"));
+                return ExitCode::from(EXIT_USAGE_IO);
+            }
+            diag.info(format!("wrote {path}"));
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            let _ = stdout.write_all(rendered.as_bytes());
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// Everything a successful generation run produces.
@@ -280,6 +431,9 @@ fn write_summary(dest: &Option<String>, value: &Value, diag: &Diag) -> Result<()
 fn main() -> ExitCode {
     let opts = parse_args();
     let diag = Diag::new(opts.verbosity);
+    if !opts.merge_shards.is_empty() {
+        return merge_shards_main(&opts, &diag);
+    }
     let source = match std::fs::read_to_string(&opts.program) {
         Ok(s) => s,
         Err(e) => {
@@ -305,6 +459,43 @@ fn main() -> ExitCode {
     }
     if let Some(bound) = opts.model_loop_bound {
         config.interp_parser_loop_bound = bound;
+    }
+    config.shard = opts.shard;
+    // `--resume FILE` implies continuing to checkpoint into the same file,
+    // so an interrupted resume is itself resumable.
+    let checkpoint_path =
+        opts.checkpoint.clone().or_else(|| opts.resume.clone());
+    if let Some(path) = &checkpoint_path {
+        let mut ck = CheckpointCfg::new(path);
+        if let Some(every) = opts.checkpoint_every {
+            ck.every = every;
+        }
+        config.checkpoint = Some(ck);
+        // Graceful degradation: SIGTERM/SIGINT drain instead of killing.
+        let drain = Arc::new(AtomicBool::new(false));
+        install_drain_handler(drain.clone());
+        config.drain = Some(drain);
+    }
+    if let Some(path) = &opts.resume {
+        match ExplorationState::load(std::path::Path::new(path)) {
+            Ok(state) => {
+                if state.is_complete() {
+                    diag.info(format!(
+                        "{path}: checkpoint records a completed run; \
+                         re-emitting its suite"
+                    ));
+                }
+                config.resume = Some(state);
+            }
+            Err(e) => {
+                // Classified fallback, never a panic or a hard failure: a
+                // damaged checkpoint costs the saved progress, not the run.
+                diag.warn(format!(
+                    "{path}: unusable checkpoint ({e}) [{}]; starting cold",
+                    e.kind()
+                ));
+            }
+        }
     }
     config.preconditions = Preconditions {
         fixed_packet_bytes: opts.fixed_packet,
@@ -379,6 +570,34 @@ fn main() -> ExitCode {
     // Graceful-degradation report: the run completed, but not cleanly.
     if !summary.errors.is_clean() {
         diag.warn(format!("degraded run: {}", summary.errors));
+    }
+    // Checkpoint/resume status: where the campaign stands and how to
+    // continue it.
+    if let Some(info) = &summary.resume {
+        if let Some(kind) = &info.rejected {
+            diag.warn(format!("offered checkpoint rejected ({kind}); started cold"));
+        }
+        if info.resumed {
+            diag.info(format!(
+                "resumed: {} frontier state(s) replayed, {} test(s) and {} memo \
+                 entr(ies) restored",
+                info.frontier_restored, info.tests_restored, info.memo_restored
+            ));
+        }
+        if let Some(e) = &info.flush_error {
+            diag.warn(format!("checkpoint flush failed: {e} (previous checkpoint intact)"));
+        }
+        match (&info.interrupted, &info.checkpoint_path) {
+            (Some(why), Some(path)) => diag.warn(format!(
+                "run interrupted ({why}); {} unexplored state(s) checkpointed — \
+                 continue with --resume {path}",
+                info.frontier_remaining
+            )),
+            (Some(why), None) => {
+                diag.warn(format!("run interrupted ({why}); no checkpoint configured"))
+            }
+            _ => {}
+        }
     }
     if summary.errors.model_defaults > 0 {
         diag.warn(format!(

@@ -215,6 +215,185 @@ fn cli_metrics_prometheus_text_and_summary_stdout() {
 }
 
 #[test]
+fn cli_interrupt_resume_round_trip_is_byte_identical() {
+    let prog = write_program();
+    let dir = prog.parent().unwrap();
+    let ckpt = dir.join("resume.ckpt");
+    let reference = dir.join("reference.stf");
+    let resumed = dir.join("resumed.stf");
+
+    let out = bin()
+        .args(["--target", "v1model", "--seed", "7", "--out"])
+        .arg(&reference)
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Interrupted segment: an (effectively) already-expired deadline with a
+    // checkpoint configured. Exit code stays 0 — an interrupted campaign is
+    // a normal outcome, not an error.
+    let out = bin()
+        .args(["--target", "v1model", "--seed", "7", "--deadline", "0.0001"])
+        .args(["--checkpoint"])
+        .arg(&ckpt)
+        .args(["--out", "/dev/null"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "interrupted run failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("run interrupted (deadline)"), "{stderr}");
+    assert!(stderr.contains("--resume"), "no resume hint: {stderr}");
+
+    // Resume (implies checkpointing back into the same file) and compare.
+    let out = bin()
+        .args(["--target", "v1model", "--seed", "7", "--resume"])
+        .arg(&ckpt)
+        .arg("--out")
+        .arg(&resumed)
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "resume failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        std::fs::read(&reference).unwrap(),
+        std::fs::read(&resumed).unwrap(),
+        "resumed suite is not byte-identical to the uninterrupted run"
+    );
+}
+
+#[test]
+fn cli_shard_merge_matches_whole_run() {
+    let prog = write_program();
+    let dir = prog.parent().unwrap();
+    let reference = dir.join("shard_reference.stf");
+    let merged = dir.join("shard_merged.stf");
+    let out = bin()
+        .args(["--target", "v1model", "--seed", "7", "--out"])
+        .arg(&reference)
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let mut ckpts = Vec::new();
+    for i in 0..2 {
+        let ckpt = dir.join(format!("shard{i}.ckpt"));
+        let out = bin()
+            .args(["--target", "v1model", "--seed", "7"])
+            .args(["--shard", &format!("{i}/2"), "--checkpoint"])
+            .arg(&ckpt)
+            .args(["--out", "/dev/null"])
+            .arg(&prog)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "shard {i} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        ckpts.push(ckpt);
+    }
+    let mut cmd = bin();
+    for c in &ckpts {
+        cmd.arg("--merge-shards").arg(c);
+    }
+    let out = cmd.arg("--out").arg(&merged).output().unwrap();
+    assert!(out.status.success(), "merge failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        std::fs::read(&reference).unwrap(),
+        std::fs::read(&merged).unwrap(),
+        "merged shard suite is not byte-identical to the whole run"
+    );
+}
+
+#[test]
+fn cli_corrupt_resume_warns_and_cold_starts() {
+    let prog = write_program();
+    let dir = prog.parent().unwrap();
+    let bad = dir.join("corrupt.ckpt");
+    std::fs::write(&bad, b"this is not a checkpoint at all").unwrap();
+    let out = bin()
+        .args(["--target", "v1model", "--seed", "7", "--resume"])
+        .arg(&bad)
+        .args(["--out", "/dev/null"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    // Classified warning, cold start, successful run — never a crash.
+    assert!(out.status.success(), "corrupt resume aborted the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unusable checkpoint"), "{stderr}");
+    assert!(stderr.contains("[not-a-checkpoint]"), "{stderr}");
+    assert!(stderr.contains("starting cold"), "{stderr}");
+}
+
+#[test]
+fn cli_merge_rejects_corrupt_checkpoints() {
+    let dir = std::env::temp_dir().join(format!("p4testgen_cli_mg_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("garbage.ckpt");
+    std::fs::write(&bad, b"garbage bytes, definitely not a checkpoint").unwrap();
+    let out = bin().arg("--merge-shards").arg(&bad).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "corrupt merge input must be a usage/IO error");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("[not-a-checkpoint]"),
+        "unclassified merge failure: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn cli_deadline_without_checkpoint_reports_resume_null() {
+    let prog = write_program();
+    let out = bin()
+        .args(["--target", "v1model", "--seed", "7", "--deadline", "0.0001"])
+        .args(["--summary-json", "--out", "/dev/null"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let summary: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("stdout is the summary JSON");
+    assert!(
+        summary.get("resume").is_some_and(serde_json::Value::is_null),
+        "plain --deadline run must report resume: null, got {summary:?}"
+    );
+}
+
+#[test]
+fn cli_checkpointing_run_reports_resume_object() {
+    let prog = write_program();
+    let dir = prog.parent().unwrap();
+    let ckpt = dir.join("summary.ckpt");
+    let out = bin()
+        .args(["--target", "v1model", "--seed", "7", "--checkpoint"])
+        .arg(&ckpt)
+        .args(["--summary-json", "--out", "/dev/null"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let summary: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("stdout is the summary JSON");
+    let resume = summary.get("resume").expect("resume key");
+    assert!(
+        resume.as_object().is_some(),
+        "checkpointing run must report a resume object: {summary:?}"
+    );
+    assert_eq!(resume.get("interrupted"), Some(&serde_json::Value::Null));
+    assert!(resume
+        .get("checkpoints_written")
+        .and_then(serde_json::Value::as_u64)
+        .is_some_and(|n| n >= 1));
+    assert_eq!(
+        resume.get("frontier_remaining").and_then(serde_json::Value::as_u64),
+        Some(0)
+    );
+}
+
+#[test]
 fn cli_accepts_robustness_flags_and_stays_deterministic() {
     let prog = write_program();
     let run = || {

@@ -524,6 +524,344 @@ fn incremental_run_reports_spine_reuse() {
     assert!(s.blast_cache_hits > 0, "no blast-cache hits recorded");
 }
 
+// ---------------------------------------------------------------------------
+// Sharded, checkpointable, crash-resumable exploration (PR 7).
+
+use p4testgen_core::{CheckpointCfg, ExplorationState, ShardSpec};
+use std::path::PathBuf;
+
+fn scratch_file(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("p4testgen_ckpt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(format!("{tag}.ckpt"))
+}
+
+/// Truncate a completed-path trail to its queue-time form: everything up to
+/// and including the last nonzero element (the last point at which the path
+/// sat in a worker deque and could be popped — where kill faults fire).
+fn queue_time_prefix(trail: &[u32]) -> Vec<u32> {
+    let cut = trail.iter().rposition(|&e| e != 0).map_or(0, |i| i + 1);
+    trail[..cut].to_vec()
+}
+
+#[test]
+fn shard_merge_reproduces_whole_run_suite() {
+    let src = p4t_corpus::generate_synthetic(4, 3);
+    for (jobs, cap) in [(1usize, 0u64), (4, 0), (4, 7), (8, 0)] {
+        let whole = {
+            let mut config = TestgenConfig::default();
+            config.seed = 7;
+            config.jobs = jobs;
+            config.max_tests = cap;
+            run_with_config("synthetic_4x3", &src, config)
+        };
+        let count = 3u32;
+        let mut shard_suites = Vec::new();
+        let mut owned_total = 0u64;
+        for index in 0..count {
+            let mut config = TestgenConfig::default();
+            config.seed = 7;
+            config.jobs = jobs;
+            config.max_tests = cap;
+            config.shard = Some(ShardSpec { index, count });
+            let (tests, summary) = run_with_config("synthetic_4x3", &src, config);
+            assert!(
+                summary.out_of_shard_paths > 0,
+                "shard {index}/{count}: pruned nothing on a fork-heavy program"
+            );
+            owned_total += tests.len() as u64;
+            let keyed: Vec<(Vec<u32>, TestSpec)> =
+                summary.test_trails.iter().cloned().zip(tests.iter().cloned()).collect();
+            shard_suites.push(keyed);
+        }
+        if cap == 0 {
+            assert_eq!(
+                owned_total,
+                whole.0.len() as u64,
+                "jobs={jobs}: shards did not partition the suite"
+            );
+        }
+        let merged = p4testgen_core::merge_shard_suites(shard_suites, cap);
+        assert_eq!(
+            merged, whole.0,
+            "jobs={jobs} cap={cap}: merged shard suites differ from the whole run"
+        );
+    }
+}
+
+#[test]
+fn shard_merge_identical_under_fault_plans() {
+    // Trail-keyed faults land in whichever shard owns the trail; the merged
+    // faulted suites must equal the whole faulted run.
+    let src = p4t_corpus::generate_synthetic(4, 3);
+    let (_, base_sum) = run_with_jobs("synthetic_4x3", &src, 1);
+    let unknown_trails: Vec<Vec<u32>> =
+        [0usize, 3].iter().map(|&i| base_sum.test_trails[i].clone()).collect();
+    let configure = |config: &mut TestgenConfig| {
+        config.seed = 7;
+        config.jobs = 4;
+        config.fault_plan.seed = 99;
+        for t in &unknown_trails {
+            config.fault_plan.force_unknown_at(t.clone());
+        }
+    };
+    let whole = {
+        let mut config = TestgenConfig::default();
+        configure(&mut config);
+        run_with_config("synthetic_4x3", &src, config).0
+    };
+    let count = 2u32;
+    let mut shard_suites = Vec::new();
+    for index in 0..count {
+        let mut config = TestgenConfig::default();
+        configure(&mut config);
+        config.shard = Some(ShardSpec { index, count });
+        let (tests, summary) = run_with_config("synthetic_4x3", &src, config);
+        shard_suites
+            .push(summary.test_trails.iter().cloned().zip(tests.iter().cloned()).collect());
+    }
+    assert_eq!(
+        p4testgen_core::merge_shard_suites(shard_suites, 0),
+        whole,
+        "faulted merged shards differ from the whole faulted run"
+    );
+}
+
+#[test]
+fn resume_after_deadline_completes_byte_identical() {
+    use std::time::Duration;
+    let src = p4t_corpus::generate_synthetic(4, 3);
+    let (full, full_sum) = run_with_jobs("synthetic_4x3", &src, 4);
+    let path = scratch_file("deadline_resume");
+
+    // Segment 1: expired before any work — drains, preserving the frontier.
+    let mut config = TestgenConfig::default();
+    config.seed = 7;
+    config.jobs = 4;
+    config.deadline = Some(Duration::ZERO);
+    config.checkpoint = Some(CheckpointCfg::new(&path));
+    let (tests, summary) = run_with_config("synthetic_4x3", &src, config);
+    assert!(tests.is_empty(), "expired-at-start segment emitted {} tests", tests.len());
+    let info = summary.resume.as_ref().expect("checkpointing run reports resume info");
+    assert_eq!(info.interrupted.as_deref(), Some("deadline"));
+    assert!(info.frontier_remaining >= 1, "drain did not preserve the frontier");
+    assert!(info.flush_error.is_none(), "flush failed: {:?}", info.flush_error);
+    let saved = ExplorationState::load(&path).expect("final checkpoint written");
+    assert!(!saved.is_complete(), "interrupted run wrote a complete checkpoint");
+
+    // Segment 2: resume with no deadline (the deadline is not part of the
+    // config fingerprint) — must complete the exact single-run suite.
+    let mut config = TestgenConfig::default();
+    config.seed = 7;
+    config.jobs = 4;
+    config.resume = Some(saved);
+    config.checkpoint = Some(CheckpointCfg::new(&path));
+    let (resumed, summary) = run_with_config("synthetic_4x3", &src, config);
+    let info = summary.resume.as_ref().expect("resume info");
+    assert!(info.resumed, "valid checkpoint not accepted");
+    assert!(info.interrupted.is_none(), "completed segment still reports interruption");
+    assert_eq!(resumed, full, "resumed suite differs from the uninterrupted run");
+    assert_eq!(
+        summary.coverage.covered, full_sum.coverage.covered,
+        "resumed coverage differs"
+    );
+    assert!(
+        ExplorationState::load(&path).expect("checkpoint").is_complete(),
+        "completed run left a non-empty frontier in its checkpoint"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_after_kill_fault_completes_byte_identical() {
+    // Simulated power loss mid-run, at a deterministic trail, at several
+    // worker counts; a resumed run (same config, kill removed) must finish
+    // the exact single-run suite.
+    let src = p4t_corpus::generate_synthetic(4, 3);
+    let (full, full_sum) = run_with_jobs("synthetic_4x3", &src, 1);
+    assert!(full.len() > 10);
+    let kill = queue_time_prefix(&full_sum.test_trails[full.len() / 2]);
+    assert!(!kill.is_empty(), "picked the root; choose a deeper corpus trail");
+
+    for jobs in [1usize, 4, 8] {
+        let path = scratch_file(&format!("kill_resume_{jobs}"));
+        let mut config = TestgenConfig::default();
+        config.seed = 7;
+        config.jobs = jobs;
+        config.checkpoint = Some(CheckpointCfg::new(&path));
+        config.fault_plan.kill_at_trail(kill.clone());
+        let (tests, summary) = run_with_config("synthetic_4x3", &src, config);
+        assert!(tests.is_empty(), "jobs={jobs}: killed run still delivered tests");
+        let info = summary.resume.as_ref().expect("resume info");
+        assert_eq!(info.interrupted.as_deref(), Some("kill-fault"), "jobs={jobs}");
+
+        let saved = ExplorationState::load(&path)
+            .unwrap_or_else(|e| panic!("jobs={jobs}: final checkpoint unreadable: {e}"));
+        assert!(!saved.is_complete(), "jobs={jobs}: kill left nothing to resume");
+        assert!(
+            saved.frontier.contains(&kill),
+            "jobs={jobs}: the killed trail itself must stay in the frontier"
+        );
+
+        let mut config = TestgenConfig::default();
+        config.seed = 7;
+        config.jobs = jobs;
+        config.resume = Some(saved);
+        let (resumed, summary) = run_with_config("synthetic_4x3", &src, config);
+        let info = summary.resume.as_ref().expect("resume info");
+        assert!(info.resumed, "jobs={jobs}: checkpoint rejected: {:?}", info.rejected);
+        assert_eq!(resumed, full, "jobs={jobs}: resumed suite differs from the full run");
+        assert_eq!(
+            summary.coverage.covered, full_sum.coverage.covered,
+            "jobs={jobs}: resumed coverage differs"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn resume_after_kill_respects_max_tests_cap() {
+    let src = p4t_corpus::generate_synthetic(4, 3);
+    let cap = 7u64;
+    let capped_full = {
+        let mut config = TestgenConfig::default();
+        config.seed = 7;
+        config.jobs = 4;
+        config.max_tests = cap;
+        run_with_config("synthetic_4x3", &src, config).0
+    };
+    assert_eq!(capped_full.len() as u64, cap);
+    let (_, base_sum) = run_with_jobs("synthetic_4x3", &src, 1);
+    let kill = queue_time_prefix(&base_sum.test_trails[2]);
+
+    let path = scratch_file("kill_capped");
+    let mut config = TestgenConfig::default();
+    config.seed = 7;
+    config.jobs = 4;
+    config.max_tests = cap;
+    config.checkpoint = Some(CheckpointCfg::new(&path));
+    config.fault_plan.kill_at_trail(kill);
+    let _ = run_with_config("synthetic_4x3", &src, config);
+    let saved = ExplorationState::load(&path).expect("checkpoint");
+
+    let mut config = TestgenConfig::default();
+    config.seed = 7;
+    config.jobs = 4;
+    config.max_tests = cap;
+    config.resume = Some(saved);
+    let (resumed, _) = run_with_config("synthetic_4x3", &src, config);
+    assert_eq!(resumed, capped_full, "capped resumed suite differs from the capped run");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn config_mismatch_degrades_to_cold_start() {
+    let src = p4t_corpus::generate_synthetic(3, 2);
+    let path = scratch_file("mismatch");
+    {
+        let mut config = TestgenConfig::default();
+        config.seed = 7;
+        config.checkpoint = Some(CheckpointCfg::new(&path));
+        let _ = run_with_config("synthetic_3x2", &src, config);
+    }
+    let saved = ExplorationState::load(&path).expect("checkpoint written");
+    // Different seed => different fingerprint: the checkpoint describes a
+    // different suite and must be refused — but as a cold start, not a
+    // failure.
+    let baseline = {
+        let mut config = TestgenConfig::default();
+        config.seed = 8;
+        run_with_config("synthetic_3x2", &src, config).0
+    };
+    let mut config = TestgenConfig::default();
+    config.seed = 8;
+    config.resume = Some(saved);
+    let (tests, summary) = run_with_config("synthetic_3x2", &src, config);
+    let info = summary.resume.as_ref().expect("resume info");
+    assert!(!info.resumed, "mismatched checkpoint was accepted");
+    assert_eq!(info.rejected.as_deref(), Some("config-mismatch"));
+    assert_eq!(tests, baseline, "cold-start fallback diverged from a plain run");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupt_checkpoints_classify_and_never_panic() {
+    let src = p4t_corpus::generate_synthetic(3, 2);
+    let path = scratch_file("corrupt");
+    {
+        let mut config = TestgenConfig::default();
+        config.seed = 7;
+        config.checkpoint = Some(CheckpointCfg::new(&path));
+        let _ = run_with_config("synthetic_3x2", &src, config);
+    }
+    let good = std::fs::read(&path).expect("checkpoint bytes");
+
+    // Not a checkpoint at all.
+    assert_eq!(
+        ExplorationState::from_bytes(b"definitely not a checkpoint").unwrap_err().kind(),
+        "not-a-checkpoint"
+    );
+    // Truncated mid-record (a non-atomic copy interrupted partway).
+    let err = ExplorationState::from_bytes(&good[..good.len() - 7]).unwrap_err();
+    assert!(
+        matches!(err.kind(), "truncated" | "checksum"),
+        "truncation classified as {}",
+        err.kind()
+    );
+    // A flipped payload byte fails its record checksum.
+    let mut flipped = good.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0xFF;
+    let err = ExplorationState::from_bytes(&flipped).unwrap_err();
+    assert!(
+        matches!(err.kind(), "checksum" | "truncated" | "malformed"),
+        "bit flip classified as {}",
+        err.kind()
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn deadline_without_checkpoint_reports_no_resume_state() {
+    use std::time::Duration;
+    let src = p4t_corpus::generate_synthetic(3, 2);
+    let mut config = TestgenConfig::default();
+    config.seed = 7;
+    config.deadline = Some(Duration::ZERO);
+    let (_, summary) = run_with_config("synthetic_3x2", &src, config);
+    assert!(
+        summary.resume.is_none(),
+        "plain deadline run must not fabricate resume state"
+    );
+    let json = summary.to_json();
+    assert!(
+        json.get("resume").is_some_and(serde_json::Value::is_null),
+        "summary JSON must report resume: null, got: {json:?}"
+    );
+    // Legacy deadline accounting is unchanged.
+    assert!(summary.errors.deadline_expired);
+}
+
+#[test]
+fn engine_checkpoint_round_trips_through_bytes() {
+    // The engine's own final snapshot (not a hand-built state) must decode
+    // to exactly what was written.
+    let src = p4t_corpus::generate_synthetic(3, 2);
+    let path = scratch_file("roundtrip");
+    let mut config = TestgenConfig::default();
+    config.seed = 7;
+    config.checkpoint = Some(CheckpointCfg::new(&path));
+    let (tests, summary) = run_with_config("synthetic_3x2", &src, config);
+    let saved = ExplorationState::load(&path).expect("checkpoint");
+    assert!(saved.is_complete());
+    assert_eq!(saved.emitted.len(), tests.len());
+    assert_eq!(saved.paths_explored, summary.paths_explored);
+    let reparsed = ExplorationState::from_bytes(&saved.to_bytes()).expect("re-decode");
+    assert_eq!(reparsed, saved);
+    assert!(summary.resume.as_ref().is_some_and(|i| i.checkpoints_written >= 1));
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn feasibility_memo_reports_hits() {
     // Chained identical tables reconverge on identical constraint sets, so
