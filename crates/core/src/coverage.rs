@@ -63,6 +63,7 @@ impl CoverageTracker {
                 id: s.id,
                 block: s.block.clone(),
                 line: s.line,
+                col: s.col,
                 describe: s.describe.clone(),
             })
             .collect();
@@ -188,6 +189,7 @@ impl SharedCoverage {
                 id: s.id,
                 block: s.block.clone(),
                 line: s.line,
+                col: s.col,
                 describe: s.describe.clone(),
             })
             .collect();
@@ -206,7 +208,22 @@ pub struct MissedStatement {
     pub id: StmtId,
     pub block: String,
     pub line: u32,
+    /// Start column (1-based) of the statement's source span.
+    pub col: u32,
     pub describe: String,
+}
+
+/// Where and why a path was abandoned, for coverage attribution
+/// (`--coverage-report`). `near_stmt` is the deepest statement the path
+/// had covered before it died — the frontier of "how close we got".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AbandonSite {
+    /// Fork trail of the abandoned path (schedule-independent identity).
+    pub trail: Vec<u32>,
+    /// Stable taxonomy key from `testgen::reason`.
+    pub reason: String,
+    /// Highest-id statement covered by the path before abandonment.
+    pub near_stmt: Option<StmtId>,
 }
 
 /// The coverage report emitted when generation finishes (§7: "it emits a
@@ -324,5 +341,51 @@ mod tests {
         });
         assert_eq!(sc.covered_count(), 200, "each bit counted exactly once");
         assert!(sc.is_full());
+    }
+
+    #[test]
+    fn shared_coverage_epoch_is_monotone_under_concurrent_adds() {
+        let sc = SharedCoverage {
+            words: (0..8).map(|_| AtomicU64::new(0)).collect(),
+            covered: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            total: 512,
+        };
+        std::thread::scope(|scope| {
+            // Writers: disjoint and overlapping statement sets.
+            for t in 0..4u32 {
+                let sc = &sc;
+                scope.spawn(move || {
+                    for i in 0..128u32 {
+                        let s: BTreeSet<StmtId> =
+                            [StmtId(t * 128 + i), StmtId(i)].into_iter().collect();
+                        sc.add(&s);
+                    }
+                });
+            }
+            // Readers: the epoch and covered count must never go backward.
+            for _ in 0..2 {
+                let sc = &sc;
+                scope.spawn(move || {
+                    let mut last_epoch = 0;
+                    let mut last_covered = 0;
+                    for _ in 0..2000 {
+                        let e = sc.epoch();
+                        let c = sc.covered_count();
+                        assert!(e >= last_epoch, "epoch went backward: {last_epoch} -> {e}");
+                        assert!(c >= last_covered, "covered went backward");
+                        last_epoch = e;
+                        last_covered = c;
+                    }
+                });
+            }
+        });
+        assert_eq!(sc.covered_count(), 512);
+        assert!(sc.epoch() >= 1);
+        // Fully-covered: further adds never advance the epoch.
+        let e = sc.epoch();
+        let s: BTreeSet<StmtId> = (0..512).map(StmtId).collect();
+        assert_eq!(sc.add(&s), 0);
+        assert_eq!(sc.epoch(), e);
     }
 }

@@ -54,7 +54,7 @@ pub mod testspec;
 pub use checkpoint::{
     merge_shard_suites, CheckpointCfg, CheckpointError, ExplorationState, ShardSpec,
 };
-pub use coverage::{CoverageReport, CoverageTracker};
+pub use coverage::{AbandonSite, CoverageReport, CoverageTracker, MissedStatement, SharedCoverage};
 pub use fault::FaultPlan;
 pub use preconditions::Preconditions;
 pub use state::{Cmd, ExecState, FinishReason};
@@ -62,7 +62,7 @@ pub use sym::Sym;
 pub use target::{ExecCtx, ExtArg, ExternOutcome, PipeStep, Target, UninitPolicy};
 pub use p4t_smt::SolverMode;
 pub use testgen::{
-    classify_abandon_reason, reason, BuildError, ErrorStats, PanicRecord, PhaseStats, ResumeInfo,
-    RunError, RunSummary, Strategy, Testgen, TestgenConfig,
+    classify_abandon_reason, reason, BuildError, ErrorStats, ObsConfig, PanicRecord, PhaseStats,
+    ResumeInfo, RunError, RunSummary, Strategy, Testgen, TestgenConfig, TestProvenance,
 };
 pub use testspec::{KeyMatch, MaskedBytes, OutputPacketSpec, TableEntrySpec, TestSpec};

@@ -27,7 +27,7 @@
 
 use crate::checkpoint::{sanitize_frontier, CheckpointCfg, ExplorationState, ShardSpec};
 use crate::concolic::{resolve_concolics, ConcolicRegistry};
-use crate::coverage::{CoverageReport, SharedCoverage};
+use crate::coverage::{AbandonSite, CoverageReport, SharedCoverage};
 use crate::exec;
 use crate::fault::{trail_hash, FaultPlan};
 use crate::preconditions::Preconditions;
@@ -39,7 +39,7 @@ use crate::testspec::{
 use crossbeam::deque::{Steal, Stealer, Worker as WorkerDeque};
 use p4t_ir::IrProgram;
 use p4t_obs::trace::{EngineEvent, PathOutcome, PathRecord, PathTiming, TraceLog};
-use p4t_obs::Registry;
+use p4t_obs::{FlightRecorder, LiveStatus, Registry};
 use p4t_smt::sat::{SatStats, LEARNT_SIZE_BOUNDS};
 use p4t_smt::solver::{
     IncrementalStats, SolverStats, CONFLICTS_PER_CHECK_BOUNDS, SPINE_PER_CHECK_BOUNDS,
@@ -86,6 +86,31 @@ pub struct ObsConfig {
     /// Fold end-of-run metrics (solver internals, pool stats, memo hit
     /// rate, queue depths, per-worker busy/idle) into this registry.
     pub metrics: Option<Arc<Registry>>,
+    /// Span flight recorder (`--flight-out`): workers record lifecycle,
+    /// path, solver-check, and degradation events into bounded per-worker
+    /// rings; the engine never reads them, so exploration is unperturbed.
+    pub flight: Option<Arc<FlightRecorder>>,
+    /// Live status shared with the `--status-addr` HTTP endpoint. Updated
+    /// with relaxed atomics at journal-transaction granularity.
+    pub live: Option<Arc<LiveStatus>>,
+    /// Collect per-test provenance (fork trail, constraint count, solver
+    /// checks, coverage delta) into [`RunSummary::provenance`].
+    pub provenance: bool,
+    /// Collect [`AbandonSite`]s (where and why paths died) into
+    /// [`RunSummary::abandon_sites`] for `--coverage-report` attribution.
+    pub explain: bool,
+}
+
+impl ObsConfig {
+    /// Anything enabled at all? (Used to size merge-time work.)
+    pub fn any(&self) -> bool {
+        self.trace
+            || self.metrics.is_some()
+            || self.flight.is_some()
+            || self.live.is_some()
+            || self.provenance
+            || self.explain
+    }
 }
 
 impl std::fmt::Debug for ObsConfig {
@@ -93,6 +118,10 @@ impl std::fmt::Debug for ObsConfig {
         f.debug_struct("ObsConfig")
             .field("trace", &self.trace)
             .field("metrics", &self.metrics.is_some())
+            .field("flight", &self.flight.is_some())
+            .field("live", &self.live.is_some())
+            .field("provenance", &self.provenance)
+            .field("explain", &self.explain)
             .finish()
     }
 }
@@ -481,6 +510,10 @@ pub struct ResumeInfo {
     pub frontier_restored: u64,
     /// Emitted tests carried over from the checkpoint.
     pub tests_restored: u64,
+    /// Frontier trails successfully replayed to live states at resume
+    /// time (a subset of `frontier_restored`; trails that fail to replay
+    /// are dropped with a warning rather than aborting the run).
+    pub replayed_trails: u64,
     /// Feasibility-memo entries carried over from the checkpoint.
     pub memo_restored: u64,
     /// Destination checkpoint file, when one is configured.
@@ -538,6 +571,70 @@ pub struct RunSummary {
     /// Checkpoint/resume bookkeeping; `Some` whenever checkpointing or
     /// resuming was configured (or a kill fault fired).
     pub resume: Option<ResumeInfo>,
+    /// Per-test provenance records (parallel to the emitted suite, in
+    /// canonical trail order), populated when [`ObsConfig::provenance`]
+    /// is set. `None` when provenance collection is off (the default).
+    pub provenance: Option<Vec<TestProvenance>>,
+    /// Abandonment sites for coverage attribution, trail-sorted.
+    /// Populated when [`ObsConfig::explain`] is set; empty otherwise.
+    pub abandon_sites: Vec<AbandonSite>,
+}
+
+/// Why one emitted test exists and what it bought (`--provenance-out`).
+///
+/// The coverage delta is computed at merge time by walking the final
+/// suite in canonical trail order — not from the live [`SharedCoverage`]
+/// race — so it is deterministic across job counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TestProvenance {
+    /// Final (renumbered) test id, equal to the suite index.
+    pub id: u64,
+    /// Fork trail identifying the path.
+    pub trail: Vec<u32>,
+    /// Path-constraint count at emission. `None` for tests restored from
+    /// a checkpoint (their paths were not re-executed this run).
+    pub constraints: Option<u64>,
+    /// Logical solver checks (fork feasibility + emission) charged to
+    /// this path; memo hits count. `None` for checkpoint-restored tests.
+    pub solver_checks: Option<u64>,
+    /// Statements first covered by this test, in suite order.
+    pub new_coverage: Vec<u32>,
+    /// Union coverage after this test (suite prefix including it).
+    pub cumulative_covered: u64,
+}
+
+impl TestProvenance {
+    /// One `--provenance-out` JSONL record.
+    pub fn to_value(&self) -> Value {
+        let opt_u = |v: &Option<u64>| match v {
+            Some(n) => Value::Number(Number::U(*n)),
+            None => Value::Null,
+        };
+        Value::Object(vec![
+            ("id".into(), Value::Number(Number::U(self.id))),
+            (
+                "trail".into(),
+                Value::Array(
+                    self.trail.iter().map(|b| Value::Number(Number::U(u64::from(*b)))).collect(),
+                ),
+            ),
+            ("constraints".into(), opt_u(&self.constraints)),
+            ("solver_checks".into(), opt_u(&self.solver_checks)),
+            (
+                "new_coverage".into(),
+                Value::Array(
+                    self.new_coverage
+                        .iter()
+                        .map(|s| Value::Number(Number::U(u64::from(*s))))
+                        .collect(),
+                ),
+            ),
+            (
+                "cumulative_covered".into(),
+                Value::Number(Number::U(self.cumulative_covered)),
+            ),
+        ])
+    }
 }
 
 impl RunSummary {
@@ -571,6 +668,7 @@ impl RunSummary {
                             Value::Object(vec![
                                 ("block".into(), Value::String(m.block.clone())),
                                 ("line".into(), Value::Number(Number::U(u64::from(m.line)))),
+                                ("col".into(), Value::Number(Number::U(u64::from(m.col)))),
                                 ("statement".into(), Value::String(m.describe.clone())),
                             ])
                         })
@@ -678,6 +776,7 @@ impl RunSummary {
                 ("resumed".into(), Value::Bool(r.resumed)),
                 ("frontier_restored".into(), Value::Number(Number::U(r.frontier_restored))),
                 ("tests_restored".into(), Value::Number(Number::U(r.tests_restored))),
+                ("replayed_trails".into(), Value::Number(Number::U(r.replayed_trails))),
                 ("memo_restored".into(), Value::Number(Number::U(r.memo_restored))),
                 ("checkpoint_path".into(), opt_str(&r.checkpoint_path)),
                 ("checkpoints_written".into(), Value::Number(Number::U(r.checkpoints_written))),
@@ -687,8 +786,13 @@ impl RunSummary {
                 ("flush_error".into(), opt_str(&r.flush_error)),
             ]),
         };
+        // Schema versioning policy: within a major version, changes are
+        // append-only — every v1 field keeps its name, type, and meaning,
+        // and consumers must ignore unknown fields. v2 adds: `col` on
+        // coverage.missed entries, `resume.replayed_trails`,
+        // `provenance_records`, and (CLI-side) `status_endpoint`.
         Value::Object(vec![
-            ("schema".into(), Value::String("p4testgen-run-summary/v1".into())),
+            ("schema".into(), Value::String("p4testgen-run-summary/v2".into())),
             ("tests".into(), Value::Number(Number::U(self.tests))),
             ("paths_explored".into(), Value::Number(Number::U(self.paths_explored))),
             ("infeasible_paths".into(), Value::Number(Number::U(self.infeasible_paths))),
@@ -702,6 +806,13 @@ impl RunSummary {
             ("errors".into(), errors),
             ("test_trails".into(), trails(&self.test_trails)),
             ("resume".into(), resume),
+            (
+                "provenance_records".into(),
+                match &self.provenance {
+                    Some(p) => Value::Number(Number::U(p.len() as u64)),
+                    None => Value::Null,
+                },
+            ),
         ])
     }
 }
@@ -889,6 +1000,9 @@ struct Shared<'a, T: Target> {
     checkpoints_written: AtomicU64,
     /// First checkpoint-write failure, surfaced in [`ResumeInfo`].
     flush_error: Mutex<Option<String>>,
+    /// Time and on-disk size of the last successful checkpoint flush, for
+    /// the checkpoint gauges and the `/status` endpoint.
+    last_ckpt: Mutex<Option<(Instant, u64)>>,
 }
 
 impl<T: Target> Shared<'_, T> {
@@ -972,6 +1086,23 @@ impl<T: Target> Shared<'_, T> {
         match state.write_atomic(path) {
             Ok(()) => {
                 self.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                *self.last_ckpt.lock() = Some((Instant::now(), bytes));
+                if let Some(ls) = &self.config.obs.live {
+                    ls.note_checkpoint(bytes);
+                }
+                if let Some(reg) = &self.config.obs.metrics {
+                    reg.gauge(
+                        "p4testgen_checkpoint_bytes",
+                        "On-disk size of the last successful checkpoint",
+                    )
+                    .set(bytes);
+                    reg.gauge(
+                        "p4testgen_checkpoint_age_seconds",
+                        "Seconds since the last successful checkpoint flush",
+                    )
+                    .set(0);
+                }
                 true
             }
             Err(e) => {
@@ -1013,6 +1144,12 @@ struct WorkerOut {
     queue_depth_hist: [u64; QUEUE_DEPTH_BOUNDS.len() + 1],
     /// Sum of the sampled depths (the histogram's `_sum` series).
     queue_depth_sum: u64,
+    /// Per-emission provenance raw material: (trail, path-constraint
+    /// count, logical solver checks). Populated only under
+    /// `ObsConfig::provenance`; coverage deltas are derived at merge time.
+    prov: Vec<(Vec<u32>, u64, u64)>,
+    /// Abandonment sites (populated only under `ObsConfig::explain`).
+    abandon_sites: Vec<AbandonSite>,
 }
 
 /// The generation driver. Owns the term pool, the target extension, and the
@@ -1171,8 +1308,23 @@ impl<T: Target> Testgen<T> {
                     if let Some(info) = &mut resume_info {
                         info.rejected = Some(e.kind().to_string());
                     }
+                    if let Some(fr) = &self.config.obs.flight {
+                        fr.record_run("resume-rejected", Some(e.kind().to_string()));
+                    }
                 }
             }
+        }
+        if let Some(fr) = &self.config.obs.flight {
+            let shard = self
+                .config
+                .shard
+                .as_ref()
+                .map_or(String::new(), |s| format!(" shard={}/{}", s.index, s.count));
+            fr.record_run("run-start", Some(format!("jobs={jobs}{shard}")));
+        }
+        if let Some(ls) = &self.config.obs.live {
+            ls.workers_total.store(jobs, Ordering::Relaxed);
+            ls.total_statements.store(self.prog.num_statements() as u64, Ordering::Relaxed);
         }
 
         let shared = Shared {
@@ -1209,6 +1361,7 @@ impl<T: Target> Testgen<T> {
                 restored.as_ref().map_or(0, |r| r.checkpoints_written),
             ),
             flush_error: Mutex::new(None),
+            last_ckpt: Mutex::new(None),
         };
 
         // Initial state.
@@ -1281,6 +1434,20 @@ impl<T: Target> Testgen<T> {
                     }
                 }
             }
+            if let Some(info) = &mut resume_info {
+                info.replayed_trails = live;
+            }
+            if let Some(fr) = &self.config.obs.flight {
+                fr.record_run("resume-restored", Some(format!("replayed={live}")));
+            }
+            if let Some(ls) = &self.config.obs.live {
+                let j = shared.journal.lock();
+                ls.frontier_depth.store(j.pending.len() as u64, Ordering::Relaxed);
+                ls.tests_emitted.store(j.emitted.len() as u64, Ordering::Relaxed);
+                ls.paths_explored.store(j.paths, Ordering::Relaxed);
+                drop(j);
+                ls.sample_coverage(shared.coverage.covered_count() as u64);
+            }
             shared.live.store(live, Ordering::Release);
         } else {
             shared.journal.lock().pending.insert(Vec::new());
@@ -1349,7 +1516,11 @@ impl<T: Target> Testgen<T> {
         let mut idle = Duration::ZERO;
         let mut queue_depth_hist = [0u64; QUEUE_DEPTH_BOUNDS.len() + 1];
         let mut queue_depth_sum = 0u64;
+        let mut prov_raw: Vec<(Vec<u32>, u64, u64)> = Vec::new();
+        let mut abandon_sites: Vec<AbandonSite> = Vec::new();
         for mut o in outs {
+            prov_raw.append(&mut o.prov);
+            abandon_sites.append(&mut o.abandon_sites);
             phases.absorb(&o.phases);
             merge_solver_stats(&mut run_solver, &o.solver_stats);
             merge_sat_stats(&mut run_sat, &o.sat_stats);
@@ -1429,6 +1600,40 @@ impl<T: Target> Testgen<T> {
         for (i, (_, spec)) in merged.iter_mut().enumerate() {
             spec.id = i as u64;
         }
+        // Provenance: coverage deltas are derived by walking the *final*
+        // suite in canonical order, so they are a pure function of the
+        // suite — deterministic at any job count — rather than of the
+        // racy order in which workers reached `SharedCoverage::add`.
+        let provenance = self.config.obs.provenance.then(|| {
+            let meta: BTreeMap<&[u32], (u64, u64)> =
+                prov_raw.iter().map(|(t, c, k)| (t.as_slice(), (*c, *k))).collect();
+            let mut seen: BTreeSet<u32> = BTreeSet::new();
+            merged
+                .iter()
+                .map(|(trail, spec)| {
+                    let mut new_coverage = Vec::new();
+                    for &s in &spec.covered_statements {
+                        if seen.insert(s) {
+                            new_coverage.push(s);
+                        }
+                    }
+                    // Checkpoint-restored tests have no per-path meta (their
+                    // paths were not re-executed this run): None, not 0.
+                    let m = meta.get(trail.as_slice());
+                    TestProvenance {
+                        id: spec.id,
+                        trail: trail.clone(),
+                        constraints: m.map(|(c, _)| *c),
+                        solver_checks: m.map(|(_, k)| *k),
+                        new_coverage,
+                        cumulative_covered: seen.len() as u64,
+                    }
+                })
+                .collect::<Vec<_>>()
+        });
+        // Canonical order for abandonment sites too (their collection
+        // order is schedule-dependent; their content is not).
+        abandon_sites.sort_by(|a, b| a.trail.cmp(&b.trail).then_with(|| a.reason.cmp(&b.reason)));
         for (_, spec) in &merged {
             tests += 1;
             if !on_test(spec) {
@@ -1438,6 +1643,15 @@ impl<T: Target> Testgen<T> {
 
         phases.total = t_start.elapsed();
         phases.workers = jobs as u32;
+
+        if let Some(ls) = &self.config.obs.live {
+            ls.tests_emitted.store(tests, Ordering::Relaxed);
+            ls.paths_explored.store(paths, Ordering::Relaxed);
+            ls.frontier_depth.store(frontier_remaining, Ordering::Relaxed);
+            ls.queue_live.store(0, Ordering::Relaxed);
+            ls.sample_coverage(shared.coverage.covered_count() as u64);
+            ls.finish();
+        }
 
         if let Some(reg) = &self.config.obs.metrics {
             fold_run_metrics(
@@ -1460,6 +1674,7 @@ impl<T: Target> Testgen<T> {
                     queue_depth_hist: &queue_depth_hist,
                     queue_depth_sum,
                     resume: resume_info.as_ref(),
+                    last_ckpt: shared.last_ckpt.lock().map(|(at, bytes)| (at.elapsed(), bytes)),
                 },
             );
         }
@@ -1480,6 +1695,8 @@ impl<T: Target> Testgen<T> {
             test_trails,
             trace,
             resume: resume_info,
+            provenance,
+            abandon_sites,
         })
     }
 }
@@ -1503,6 +1720,8 @@ struct FoldInputs<'a> {
     queue_depth_hist: &'a [u64],
     queue_depth_sum: u64,
     resume: Option<&'a ResumeInfo>,
+    /// Age and on-disk size of the last successful checkpoint flush.
+    last_ckpt: Option<(Duration, u64)>,
 }
 
 /// Fold one run's merged statistics into the metrics registry. Runs once at
@@ -1652,11 +1871,28 @@ fn fold_run_metrics(reg: &Registry, f: &FoldInputs<'_>) {
             .add(r.frontier_restored);
         reg.counter("p4testgen_tests_restored_total", "emitted tests carried over on resume")
             .add(r.tests_restored);
+        reg.counter(
+            "p4testgen_resume_replayed_trails_total",
+            "frontier trails successfully replayed to live states on resume",
+        )
+        .add(r.replayed_trails);
         reg.gauge(
             "p4testgen_frontier_remaining",
             "unexplored frontier trails at run end (resumable work)",
         )
         .set(r.frontier_remaining);
+    }
+    if let Some((age, bytes)) = f.last_ckpt {
+        reg.gauge(
+            "p4testgen_checkpoint_age_seconds",
+            "Seconds since the last successful checkpoint flush",
+        )
+        .set(age.as_secs());
+        reg.gauge(
+            "p4testgen_checkpoint_bytes",
+            "On-disk size of the last successful checkpoint",
+        )
+        .set(bytes);
     }
 }
 
@@ -1808,6 +2044,10 @@ struct PathWorker<'a, 'b, T: Target> {
     /// trip — raw deltas would differ with which worker warmed the memo,
     /// breaking the trace determinism contract.
     path_checks: u64,
+    /// Provenance raw material per emission (under `ObsConfig::provenance`).
+    prov: Vec<(Vec<u32>, u64, u64)>,
+    /// Abandonment sites (under `ObsConfig::explain`).
+    abandon_sites: Vec<AbandonSite>,
 }
 
 /// If a worker dies *outside* the per-path panic isolation, its `live`
@@ -1859,8 +2099,16 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
         event_seq: 0,
         steals: 0,
         path_checks: 0,
+        prov: Vec::new(),
+        abandon_sites: Vec::new(),
     };
     w.engine_event("worker-start", None);
+    w.flight("worker-start", None, None);
+    let live_status = sh.config.obs.live.as_deref();
+    if let Some(ls) = live_status {
+        // Workers start busy (`was_busy = true` below mirrors this).
+        ls.workers_busy.fetch_add(1, Ordering::Relaxed);
+    }
     let mut parks = 0u64;
     let mut queue_depth_hist = [0u64; QUEUE_DEPTH_BOUNDS.len() + 1];
     let mut queue_depth_sum = 0u64;
@@ -1882,6 +2130,9 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
                 was_busy = false;
                 parks += 1;
                 w.engine_event("park", None);
+                if let Some(ls) = live_status {
+                    ls.workers_busy.fetch_sub(1, Ordering::Relaxed);
+                }
             }
             if sh.live.load(Ordering::Acquire) == 0 {
                 break;
@@ -1889,6 +2140,11 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
             std::thread::yield_now();
             continue;
         };
+        if !was_busy {
+            if let Some(ls) = live_status {
+                ls.workers_busy.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         was_busy = true;
         let t_busy = Instant::now();
         if metrics_on {
@@ -1907,6 +2163,7 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
                 if !drain_seen {
                     drain_seen = true;
                     w.engine_event("drain", None);
+                    w.flight("drain", Some(p.st.trail.clone()), None);
                 }
             } else {
                 {
@@ -1915,9 +2172,17 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
                     j.abandoned += 1;
                     j.errors.bump_reason(reason::DEADLINE);
                 }
+                if sh.config.obs.explain {
+                    w.abandon_sites.push(AbandonSite {
+                        trail: p.st.trail.clone(),
+                        reason: reason::DEADLINE.to_string(),
+                        near_stmt: p.st.covered.iter().next_back().copied(),
+                    });
+                }
                 if !deadline_seen {
                     deadline_seen = true;
                     w.engine_event("deadline", None);
+                    w.flight("deadline", Some(p.st.trail.clone()), None);
                 }
                 if let Some(tr) = &mut w.trace {
                     tr.paths.push(PathRecord {
@@ -1941,6 +2206,7 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
             sh.drain_hit.store(true, Ordering::Relaxed);
             sh.stop.store(true, Ordering::Relaxed);
             w.engine_event("kill-fault", None);
+            w.flight("kill-fault", Some(p.st.trail.clone()), None);
             w.phases.busy += t_busy.elapsed();
             sh.live.fetch_sub(1, Ordering::AcqRel);
             continue;
@@ -1987,9 +2253,18 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
             w.abandoned += 1;
             w.errors.panicked_paths += 1;
             w.errors.bump_reason(reason::PANIC);
+            let payload_text = panic_payload_text(payload.as_ref());
+            w.flight("panic", Some(st.trail.clone()), Some(payload_text.clone()));
+            if sh.config.obs.explain {
+                w.abandon_sites.push(AbandonSite {
+                    trail: st.trail.clone(),
+                    reason: reason::PANIC.to_string(),
+                    near_stmt: st.covered.iter().next_back().copied(),
+                });
+            }
             w.errors.panics.push(PanicRecord {
                 trail: st.trail.clone(),
-                payload: panic_payload_text(payload.as_ref()),
+                payload: payload_text,
                 last_trace: st.trace.last().cloned(),
             });
             if let Some(tr) = &mut w.trace {
@@ -2011,7 +2286,7 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
         // them as well).
         let spawned = std::mem::take(&mut w.spawned);
         let emit = w.pending_emit.take();
-        {
+        let live_snapshot = {
             let mut j = sh.journal.lock();
             j.pending.remove(&popped_trail);
             for s in &spawned {
@@ -2029,6 +2304,14 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
                 scratch.panics.clear();
             }
             j.errors.absorb(&scratch);
+            live_status.map(|_| (j.pending.len() as u64, j.emitted.len() as u64, j.paths))
+        };
+        if let (Some(ls), Some((frontier, emitted, paths))) = (live_status, live_snapshot) {
+            ls.frontier_depth.store(frontier, Ordering::Relaxed);
+            ls.tests_emitted.store(emitted, Ordering::Relaxed);
+            ls.paths_explored.store(paths, Ordering::Relaxed);
+            ls.queue_live.store(sh.live.load(Ordering::Relaxed), Ordering::Relaxed);
+            ls.sample_coverage(sh.coverage.covered_count() as u64);
         }
         if !spawned.is_empty() {
             // `live` covers this path's own slot until the fetch_sub below,
@@ -2043,6 +2326,12 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
         sh.live.fetch_sub(1, Ordering::AcqRel);
     }
     w.engine_event("worker-stop", None);
+    w.flight("worker-stop", None, None);
+    if was_busy {
+        if let Some(ls) = live_status {
+            ls.workers_busy.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
     WorkerOut {
         idle: t_worker.elapsed().saturating_sub(w.phases.busy),
         phases: w.phases,
@@ -2054,10 +2343,21 @@ fn run_worker<T: Target>(sh: &Shared<'_, T>, widx: usize, local: WorkerDeque<Pen
         parks,
         queue_depth_hist,
         queue_depth_sum,
+        prov: w.prov,
+        abandon_sites: w.abandon_sites,
     }
 }
 
 impl<T: Target> PathWorker<'_, '_, T> {
+    /// Record a span event into the flight recorder (no-op when the
+    /// recorder is off). Callers building a `detail` string should gate on
+    /// `self.sh.config.obs.flight.is_some()` first.
+    fn flight(&self, kind: &'static str, trail: Option<Vec<u32>>, detail: Option<String>) {
+        if let Some(fr) = &self.sh.config.obs.flight {
+            fr.record(self.widx, kind, trail, detail);
+        }
+    }
+
     /// Record an engine-level trace event (no-op, and no allocation, when
     /// tracing is off). Callers building a `detail` string should gate on
     /// `self.trace.is_some()` first.
@@ -2232,6 +2532,22 @@ impl<T: Target> PathWorker<'_, '_, T> {
         if res == CheckResult::Unknown {
             self.errors.unknown_queries += 1;
         }
+        if self.sh.config.obs.flight.is_some() {
+            let verdict = match res {
+                CheckResult::Sat => "sat",
+                CheckResult::Unsat => "unsat",
+                CheckResult::Unknown => "unknown",
+            };
+            self.flight(
+                "solver-check",
+                Some(trail.to_vec()),
+                Some(format!(
+                    "{verdict} {} assumptions={}",
+                    if verdict_only { "feasibility" } else { "model" },
+                    assumptions.len(),
+                )),
+            );
+        }
         res
     }
 
@@ -2289,9 +2605,14 @@ impl<T: Target> PathWorker<'_, '_, T> {
             return;
         }
         let path = ck.path.clone();
-        if self.sh.flush_checkpoint(&path) && self.trace.is_some() {
+        if self.sh.flush_checkpoint(&path)
+            && (self.trace.is_some() || self.sh.config.obs.flight.is_some())
+        {
             let frontier = self.sh.journal.lock().pending.len();
-            self.engine_event("checkpoint-flush", Some(format!("frontier={frontier}")));
+            if self.trace.is_some() {
+                self.engine_event("checkpoint-flush", Some(format!("frontier={frontier}")));
+            }
+            self.flight("checkpoint-flush", None, Some(format!("frontier={frontier}")));
         }
         *last = Instant::now();
     }
@@ -2407,6 +2728,13 @@ impl<T: Target> PathWorker<'_, '_, T> {
                                 // is *abandoned* (budget or injected fault).
                                 self.abandoned += 1;
                                 self.errors.bump_reason(reason::SOLVER_UNKNOWN);
+                                if sh.config.obs.explain {
+                                    self.abandon_sites.push(AbandonSite {
+                                        trail: f.trail.clone(),
+                                        reason: reason::SOLVER_UNKNOWN.to_string(),
+                                        near_stmt: f.covered.iter().next_back().copied(),
+                                    });
+                                }
                                 if self.trace.is_some() {
                                     self.path_record(
                                         &f.trail,
@@ -2487,6 +2815,13 @@ impl<T: Target> PathWorker<'_, '_, T> {
                             }
                         }
                         if keep {
+                            if sh.config.obs.provenance {
+                                self.prov.push((
+                                    st.trail.clone(),
+                                    st.constraints.len() as u64,
+                                    self.path_checks,
+                                ));
+                            }
                             self.pending_emit = Some((st.trail.clone(), spec));
                         }
                         if sh.config.stop_at_full_coverage && sh.coverage.is_full() {
@@ -2517,6 +2852,27 @@ impl<T: Target> PathWorker<'_, '_, T> {
                 Out::Abandoned(reason::EXEC_ERROR)
             }
         };
+        if sh.config.obs.explain {
+            if let Out::Abandoned(key) = &outcome {
+                self.abandon_sites.push(AbandonSite {
+                    trail: st.trail.clone(),
+                    reason: (*key).to_string(),
+                    near_stmt: st.covered.iter().next_back().copied(),
+                });
+            }
+        }
+        if sh.config.obs.flight.is_some() {
+            let label = match &outcome {
+                Out::Emitted => "emitted",
+                Out::Infeasible => "infeasible",
+                Out::Abandoned(key) => key,
+            };
+            self.flight(
+                "path-end",
+                Some(st.trail.clone()),
+                Some(format!("{label} steps={steps} checks={}", self.path_checks)),
+            );
+        }
         if self.trace.is_some() {
             let timing = PathTiming {
                 step_ns: (self.phases.stepping - phases_at_entry.0).as_nanos() as u64,

@@ -18,6 +18,15 @@
 //!   [`trace::strip_schedule_dependent`].
 //! * [`diag`] — the leveled, consistently-prefixed stderr diagnostics the
 //!   CLI routes all human-facing output through (`--quiet` / `-v`).
+//! * [`span`] / [`recorder`] — the span flight recorder: a bounded,
+//!   lock-free last-N-events-per-worker ring dumped as JSONL on panic,
+//!   deadline expiry, SIGTERM drain, or corrupt-checkpoint fallback
+//!   (`--flight-out`), turning graceful-degradation paths into
+//!   post-mortems.
+//! * [`http`] — the live introspection endpoint (`--status-addr`): a
+//!   dependency-free blocking listener serving `/metrics` (Prometheus),
+//!   `/status` (live JSON progress incl. coverage-curve ETA), and
+//!   `/healthz`.
 //!
 //! The crate is a dependency *leaf*: `core` and the CLI depend on it, never
 //! the reverse. `smt` and `interp` stay observability-agnostic — they expose
@@ -29,9 +38,15 @@
 //! sink is installed.
 
 pub mod diag;
+pub mod http;
 pub mod metrics;
+pub mod recorder;
+pub mod span;
 pub mod trace;
 
 pub use diag::{Diag, Level};
+pub use http::{LiveStatus, StatusServer};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use recorder::{FlightRecorder, DEFAULT_RING_CAPACITY};
+pub use span::{SpanEvent, RUN_WORKER};
 pub use trace::{EngineEvent, PathOutcome, PathRecord, PathTiming, TraceLog};

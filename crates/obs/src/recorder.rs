@@ -1,0 +1,249 @@
+//! Bounded, lock-free span flight recorder.
+//!
+//! One ring of `capacity` slots per worker, plus one extra ring for
+//! run-level events. Each slot is an `AtomicPtr<SpanEvent>`; a writer
+//! claims a sequence number with a relaxed `fetch_add`, boxes the event,
+//! and *swaps* it into `slots[seq % capacity]`, freeing whatever older
+//! event the swap displaced. Writers never block and never allocate more
+//! than the event itself; once a ring is full, each new event overwrites
+//! the oldest one, so the recorder holds the **last N events per worker**
+//! at all times — exactly what a post-mortem wants.
+//!
+//! [`FlightRecorder::drain`] extracts every live event by swapping each
+//! slot back to null. Because both writers and the drainer use atomic
+//! `swap`, every boxed event is owned by exactly one side: there are no
+//! double-frees and no torn reads even when the drain races concurrent
+//! writers (which happens on the panic path). A drain concurrent with a
+//! writer may miss the event being written in that instant — acceptable
+//! for a crash dump, and the engine's dump points all sit after worker
+//! joins anyway.
+//!
+//! The recorder is deliberately observation-only: it is never consulted
+//! by the engine, so enabling it cannot perturb exploration order, and
+//! suites stay byte-identical with it on or off.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::span::{SpanEvent, RUN_WORKER};
+
+/// Default per-ring capacity (events retained per worker).
+pub const DEFAULT_RING_CAPACITY: usize = 256;
+
+struct Ring {
+    slots: Box<[AtomicPtr<SpanEvent>]>,
+    /// Next sequence number for this ring; `seq % slots.len()` is the slot.
+    head: AtomicU64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        let slots = (0..capacity).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect();
+        Ring { slots, head: AtomicU64::new(0) }
+    }
+
+    fn push(&self, mut ev: SpanEvent) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        ev.seq = seq;
+        let ptr = Box::into_raw(Box::new(ev));
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        let old = slot.swap(ptr, Ordering::AcqRel);
+        if !old.is_null() {
+            // Safety: the swap transferred exclusive ownership of `old`
+            // to this thread; nobody else can obtain the same pointer.
+            drop(unsafe { Box::from_raw(old) });
+        }
+    }
+
+    fn drain_into(&self, out: &mut Vec<SpanEvent>) {
+        for slot in self.slots.iter() {
+            let ptr = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !ptr.is_null() {
+                // Safety: as in `push`, the swap makes this thread the
+                // sole owner of `ptr`.
+                out.push(*unsafe { Box::from_raw(ptr) });
+            }
+        }
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        for slot in self.slots.iter() {
+            let ptr = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !ptr.is_null() {
+                drop(unsafe { Box::from_raw(ptr) });
+            }
+        }
+    }
+}
+
+/// The flight recorder: `workers + 1` rings (the last one holds run-level
+/// events recorded via [`FlightRecorder::record_run`]).
+pub struct FlightRecorder {
+    rings: Vec<Ring>,
+    start: Instant,
+}
+
+impl FlightRecorder {
+    /// A recorder for `workers` workers, each ring holding `capacity`
+    /// events (min 1).
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            rings: (0..=workers).map(|_| Ring::new(capacity)).collect(),
+            start: Instant::now(),
+        }
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Record a worker-scoped event. `worker` beyond the constructed count
+    /// falls back to the run ring rather than panicking.
+    pub fn record(
+        &self,
+        worker: u32,
+        kind: &'static str,
+        trail: Option<Vec<u32>>,
+        detail: Option<String>,
+    ) {
+        let idx = (worker as usize).min(self.rings.len() - 1);
+        self.rings[idx].push(SpanEvent {
+            at_ns: self.elapsed_ns(),
+            worker,
+            seq: 0, // assigned by the ring
+            kind,
+            trail,
+            detail,
+        });
+    }
+
+    /// Record a run-level event (the `workers + 1`-th ring).
+    pub fn record_run(&self, kind: &'static str, detail: Option<String>) {
+        let last = self.rings.len() - 1;
+        self.rings[last].push(SpanEvent {
+            at_ns: self.elapsed_ns(),
+            worker: RUN_WORKER,
+            seq: 0,
+            kind,
+            trail: None,
+            detail,
+        });
+    }
+
+    /// Extract every retained event, oldest first (by timestamp, then
+    /// worker, then per-ring sequence). Leaves the recorder empty but
+    /// usable; safe to call while writers are still active.
+    pub fn drain(&self) -> Vec<SpanEvent> {
+        let mut out = Vec::new();
+        for ring in &self.rings {
+            ring.drain_into(&mut out);
+        }
+        out.sort_by_key(|e| (e.at_ns, e.worker, e.seq));
+        out
+    }
+
+    /// Drain and serialize as JSONL (one event per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.drain() {
+            out.push_str(
+                &serde_json::to_string(&ev.to_value()).expect("span events serialize"),
+            );
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_drains_in_order() {
+        let rec = FlightRecorder::new(2, 8);
+        rec.record(0, "worker-start", None, None);
+        rec.record(1, "worker-start", None, None);
+        rec.record(0, "path-end", Some(vec![0]), Some("emitted".to_string()));
+        let events = rec.drain();
+        assert_eq!(events.len(), 3);
+        // Timestamps are monotone, so the drain order matches record order
+        // per worker; globally the sort key is (at_ns, worker, seq).
+        for w in events.windows(2) {
+            assert!(w[0].at_ns <= w[1].at_ns);
+        }
+        assert!(rec.drain().is_empty(), "drain leaves the recorder empty");
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let rec = FlightRecorder::new(1, 4);
+        for i in 0..10u64 {
+            rec.record(0, "solver-check", None, Some(format!("check {i}")));
+        }
+        let events = rec.drain();
+        assert_eq!(events.len(), 4, "bounded at capacity");
+        let details: Vec<_> = events.iter().map(|e| e.detail.clone().unwrap()).collect();
+        assert_eq!(details, ["check 6", "check 7", "check 8", "check 9"]);
+        // Sequence numbers keep counting past the wrap.
+        assert_eq!(events.last().unwrap().seq, 9);
+    }
+
+    #[test]
+    fn out_of_range_worker_lands_in_run_ring() {
+        let rec = FlightRecorder::new(1, 4);
+        rec.record(99, "stray", None, None);
+        rec.record_run("run-start", Some("jobs=1".to_string()));
+        let events = rec.drain();
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn jsonl_lines_parse() {
+        let rec = FlightRecorder::new(1, 4);
+        rec.record(0, "worker-start", None, None);
+        rec.record_run("run-start", None);
+        let text = rec.to_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            let v: serde::value::Value = serde_json::from_str(line).expect("line parses");
+            assert!(v.get("kind").is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_or_duplicate_memory() {
+        use std::sync::Arc;
+        let rec = Arc::new(FlightRecorder::new(4, 16));
+        let mut handles = Vec::new();
+        for w in 0..4u32 {
+            let rec = Arc::clone(&rec);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    rec.record(w, "solver-check", Some(vec![w, i as u32]), None);
+                }
+            }));
+        }
+        // Drain concurrently with the writers — exercises the swap race.
+        let drainer = {
+            let rec = Arc::clone(&rec);
+            std::thread::spawn(move || {
+                let mut total = 0usize;
+                for _ in 0..50 {
+                    total += rec.drain().len();
+                }
+                total
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        let drained_live = drainer.join().unwrap();
+        let rest = rec.drain().len();
+        assert!(drained_live + rest <= 4000);
+        assert!(rest <= 64, "post-join residue is bounded by ring capacity");
+    }
+}

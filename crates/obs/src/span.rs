@@ -1,0 +1,116 @@
+//! Span events for the flight recorder.
+//!
+//! A *span event* is one point on the run's hierarchy of activities:
+//!
+//! ```text
+//! run ─┬─ shard filter
+//!      ├─ worker 0 ─┬─ path [0,1] ─┬─ solver check
+//!      │            │              └─ solver check
+//!      │            └─ path [1]   ── …
+//!      └─ worker 1 ── …
+//! ```
+//!
+//! The hierarchy is encoded positionally rather than by nesting: every
+//! event carries the worker index that produced it (`u32::MAX` for
+//! run-level events) and, when it concerns a specific path, that path's
+//! fork trail. Consumers reconstruct the tree by grouping on
+//! `(worker, trail)` — the same schedule-independent identities the rest
+//! of the engine uses.
+//!
+//! Events are tiny and allocation-light on purpose: they are recorded on
+//! the hot path into a bounded ring (see [`crate::recorder`]) and only
+//! serialized when a dump is requested (panic, drain, or `--flight-out`).
+
+use serde::value::{Number, Value};
+
+/// Worker index used for run-level (non-worker) events.
+pub const RUN_WORKER: u32 = u32::MAX;
+
+/// One recorded event. Ordered within a ring by `seq`; across rings by
+/// `at_ns` (monotonic nanoseconds since the recorder was created).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Nanoseconds since the recorder's epoch (run start).
+    pub at_ns: u64,
+    /// Producing worker, or [`RUN_WORKER`] for run-level events.
+    pub worker: u32,
+    /// Per-ring monotonic sequence number (never wraps; the ring slots do).
+    pub seq: u64,
+    /// Stable event kind, e.g. `"worker-start"`, `"path-end"`,
+    /// `"solver-check"`, `"drain"`, `"panic"`, `"checkpoint-flush"`.
+    pub kind: &'static str,
+    /// Fork trail of the path this event concerns, when applicable.
+    pub trail: Option<Vec<u32>>,
+    /// Free-form detail payload (outcome, verdict, counts…).
+    pub detail: Option<String>,
+}
+
+impl SpanEvent {
+    /// JSON value for one event. Schema:
+    /// `{"at_ns":N,"worker":N|"run","seq":N,"kind":S[,"trail":[..]][,"detail":S]}`
+    pub fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("at_ns".to_string(), Value::Number(Number::U(self.at_ns))),
+            (
+                "worker".to_string(),
+                if self.worker == RUN_WORKER {
+                    Value::String("run".to_string())
+                } else {
+                    Value::Number(Number::U(u64::from(self.worker)))
+                },
+            ),
+            ("seq".to_string(), Value::Number(Number::U(self.seq))),
+            ("kind".to_string(), Value::String(self.kind.to_string())),
+        ];
+        if let Some(trail) = &self.trail {
+            fields.push((
+                "trail".to_string(),
+                Value::Array(
+                    trail.iter().map(|b| Value::Number(Number::U(u64::from(*b)))).collect(),
+                ),
+            ));
+        }
+        if let Some(detail) = &self.detail {
+            fields.push(("detail".to_string(), Value::String(detail.clone())));
+        }
+        Value::Object(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_event_serializes_expected_fields() {
+        let ev = SpanEvent {
+            at_ns: 42,
+            worker: 3,
+            seq: 7,
+            kind: "path-end",
+            trail: Some(vec![0, 1]),
+            detail: Some("emitted".to_string()),
+        };
+        let text = serde_json::to_string(&ev.to_value()).unwrap();
+        assert!(text.contains("\"at_ns\":42"), "{text}");
+        assert!(text.contains("\"worker\":3"), "{text}");
+        assert!(text.contains("\"kind\":\"path-end\""), "{text}");
+        assert!(text.contains("\"trail\":[0,1]"), "{text}");
+        assert!(text.contains("\"detail\":\"emitted\""), "{text}");
+    }
+
+    #[test]
+    fn run_level_events_label_the_worker_as_run() {
+        let ev = SpanEvent {
+            at_ns: 0,
+            worker: RUN_WORKER,
+            seq: 0,
+            kind: "run-start",
+            trail: None,
+            detail: None,
+        };
+        let text = serde_json::to_string(&ev.to_value()).unwrap();
+        assert!(text.contains("\"worker\":\"run\""), "{text}");
+        assert!(!text.contains("trail"), "{text}");
+    }
+}

@@ -384,6 +384,11 @@ pub struct StmtInfo {
     pub id: StmtId,
     pub block: String,
     pub line: u32,
+    /// Start column (1-based) of the statement's source span.
+    pub col: u32,
+    /// End of the statement's source span (inclusive of the last token).
+    pub end_line: u32,
+    pub end_col: u32,
     pub describe: String,
 }
 

@@ -141,6 +141,9 @@ impl<'a> Lowerer<'a> {
             id,
             block: self.block.clone(),
             line: span.start.line,
+            col: span.start.col,
+            end_line: span.end.line,
+            end_col: span.end.col,
             describe: describe.into(),
         });
         id

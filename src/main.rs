@@ -28,6 +28,12 @@
 //!   --trace-out <FILE>                       stream structured run trace (JSONL)
 //!   --metrics-out <FILE>                     export metrics (.json → JSON, else Prometheus text)
 //!   --summary-json [FILE]                    machine-readable run summary (stdout unless FILE)
+//!   --status-addr <ADDR>                     serve /status, /metrics, /healthz over HTTP
+//!   --status-linger <SECONDS>                keep the endpoint up after the run [0]
+//!   --flight-out <FILE>                      span flight-recorder dump (JSONL)
+//!   --provenance-out <FILE>                  per-test provenance records (JSONL)
+//!   --coverage-report <FILE>                 per-statement coverage report with
+//!                                            abandonment-reason annotations
 //!   --quiet                                  only errors on stderr
 //!   -v, --verbose                            chattier stderr diagnostics
 //! ```
@@ -35,11 +41,13 @@
 use p4t_backends::{ProtoBackend, PtfBackend, StfBackend, TestBackend};
 use p4t_frontend::{Diagnostic, SourceMap};
 use p4t_interp::{execute_and_check_counted, Arch, FaultSet, InterpStats};
-use p4t_obs::{Diag, Level, Registry};
+use p4t_obs::{
+    Diag, FlightRecorder, Level, LiveStatus, Registry, StatusServer, DEFAULT_RING_CAPACITY,
+};
 use p4t_targets::{EbpfModel, Tofino, V1Model};
 use p4testgen_core::{
-    BuildError, CheckpointCfg, ExplorationState, Preconditions, RunSummary, ShardSpec,
-    SolverMode, Strategy, Target, Testgen, TestgenConfig, TestSpec,
+    AbandonSite, BuildError, CheckpointCfg, ExplorationState, Preconditions, RunSummary,
+    ShardSpec, SolverMode, Strategy, Target, Testgen, TestgenConfig, TestSpec,
 };
 use serde::value::{Number, Value};
 use std::io::Write;
@@ -80,7 +88,26 @@ struct Options {
     metrics_out: Option<String>,
     /// `None` = off; `Some(None)` = stdout; `Some(Some(path))` = file.
     summary_json: Option<Option<String>>,
+    status_addr: Option<String>,
+    status_linger: Option<f64>,
+    flight_out: Option<String>,
+    provenance_out: Option<String>,
+    coverage_report: Option<String>,
     verbosity: Level,
+}
+
+impl Options {
+    /// Any machine-readable telemetry sink configured? These all deserve a
+    /// cooperative SIGTERM/SIGINT drain so they get flushed instead of lost.
+    fn wants_telemetry(&self) -> bool {
+        self.trace_out.is_some()
+            || self.metrics_out.is_some()
+            || self.summary_json.is_some()
+            || self.status_addr.is_some()
+            || self.flight_out.is_some()
+            || self.provenance_out.is_some()
+            || self.coverage_report.is_some()
+    }
 }
 
 fn usage() -> ! {
@@ -92,7 +119,9 @@ fn usage() -> ! {
          \t[--model-loop-bound N]\n\
          \t[--fixed-packet-size BYTES] [--with-constraints] [--out FILE]\n\
          \t[--coverage] [--validate] [--trace-out FILE] [--metrics-out FILE]\n\
-         \t[--summary-json [FILE]] [--quiet] [-v|--verbose] <program.p4>\n\
+         \t[--summary-json [FILE]] [--status-addr ADDR] [--status-linger SECONDS]\n\
+         \t[--flight-out FILE] [--provenance-out FILE] [--coverage-report FILE]\n\
+         \t[--quiet] [-v|--verbose] <program.p4>\n\
          \n\
          merge mode (no program): p4testgen --merge-shards CKPT --merge-shards CKPT ...\n\
          \t[--backend ...] [--max-tests N] [--out FILE]"
@@ -126,6 +155,11 @@ fn parse_args() -> Options {
         trace_out: None,
         metrics_out: None,
         summary_json: None,
+        status_addr: None,
+        status_linger: None,
+        flight_out: None,
+        provenance_out: None,
+        coverage_report: None,
         verbosity: Level::Info,
     };
     let mut args = std::env::args().skip(1).peekable();
@@ -227,6 +261,22 @@ fn parse_args() -> Options {
                 };
                 opts.summary_json = Some(file);
             }
+            "--status-addr" => opts.status_addr = Some(args.next().unwrap_or_else(|| usage())),
+            "--status-linger" => {
+                opts.status_linger = Some(
+                    args.next()
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .filter(|&s| s >= 0.0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--flight-out" => opts.flight_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--provenance-out" => {
+                opts.provenance_out = Some(args.next().unwrap_or_else(|| usage()))
+            }
+            "--coverage-report" => {
+                opts.coverage_report = Some(args.next().unwrap_or_else(|| usage()))
+            }
             "--quiet" => opts.verbosity = Level::Error,
             "-v" | "--verbose" => opts.verbosity = Level::Verbose,
             "--help" | "-h" => usage(),
@@ -243,8 +293,9 @@ fn parse_args() -> Options {
 
 /// Install a cooperative-drain signal handler: SIGTERM/SIGINT set a flag the
 /// exploration workers poll; in-flight paths finish, a final checkpoint is
-/// flushed, and the process exits normally. Installed only when a checkpoint
-/// is configured — without one, the default die-now behavior is kept.
+/// flushed (when configured), telemetry sinks are written, and the process
+/// exits normally. Installed when a checkpoint OR any telemetry sink is
+/// configured — otherwise the default die-now behavior is kept.
 #[cfg(unix)]
 fn install_drain_handler(flag: Arc<AtomicBool>) {
     use std::sync::OnceLock;
@@ -428,6 +479,171 @@ fn write_summary(dest: &Option<String>, value: &Value, diag: &Diag) -> Result<()
     Ok(())
 }
 
+/// The `--flight-out` destination. Ring drains are destructive, so every
+/// dump appends the newly drained events to `dumped` and rewrites the whole
+/// file — a panic-hook dump mid-run and the final dump compose instead of
+/// overwriting each other.
+struct FlightSink {
+    recorder: Arc<FlightRecorder>,
+    path: String,
+    dumped: std::sync::Mutex<String>,
+}
+
+impl FlightSink {
+    fn dump(&self) -> std::io::Result<()> {
+        let mut buf = self.dumped.lock().unwrap_or_else(|e| e.into_inner());
+        buf.push_str(&self.recorder.to_jsonl());
+        std::fs::write(&self.path, buf.as_bytes())
+    }
+}
+
+/// The abandonment reason nearest to statement `id`: the site whose deepest
+/// covered statement is closest in id space (statement ids are assigned in
+/// program order, so id distance approximates source distance). Ties break
+/// on the lexicographically smaller trail for determinism.
+fn nearest_abandon_reason(id: u32, sites: &[AbandonSite]) -> Option<&str> {
+    sites
+        .iter()
+        .filter_map(|s| s.near_stmt.map(|n| (n.0.abs_diff(id), &s.trail, s.reason.as_str())))
+        .min_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)))
+        .map(|(_, _, reason)| reason)
+}
+
+/// Render the `--coverage-report` file: one line per IR statement, covered
+/// or uncovered, with its source span; uncovered statements carry the
+/// nearest abandonment reason (or a whole-run fallback) so "why is this
+/// red" is answerable without re-running.
+fn coverage_report_text(prog: &p4t_ir::IrProgram, summary: &RunSummary, prelude_lines: u32) -> String {
+    use std::fmt::Write as _;
+    let missed: std::collections::BTreeSet<u32> =
+        summary.coverage.missed.iter().map(|m| m.id.0).collect();
+    // Fallback reason when no abandonment site explains a miss: an
+    // interrupted run simply never got there; a completed run proved
+    // nothing reaches it (under the explored path space).
+    let fallback = match summary.resume.as_ref().and_then(|r| r.interrupted.as_deref()) {
+        Some(_) => "interrupted",
+        None => "unreached",
+    };
+    let mut out = format!(
+        "statement coverage: {}/{} ({:.1}%)\n",
+        summary.coverage.covered, summary.coverage.total, summary.coverage.percent
+    );
+    for s in &prog.statements {
+        let line = s.line.saturating_sub(prelude_lines);
+        let end_line = s.end_line.saturating_sub(prelude_lines);
+        let span = format!("{line}:{}-{end_line}:{}", s.col, s.end_col);
+        if missed.contains(&s.id.0) {
+            let reason =
+                nearest_abandon_reason(s.id.0, &summary.abandon_sites).unwrap_or(fallback);
+            let _ = writeln!(
+                out,
+                "uncovered [{}] {span} id={} {} <- {reason}",
+                s.block, s.id.0, s.describe
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "covered   [{}] {span} id={} {}",
+                s.block, s.id.0, s.describe
+            );
+        }
+    }
+    out
+}
+
+/// Flush every machine-readable telemetry sink. Called on the normal exit
+/// path and before early I/O-error exits, so a drained (SIGTERM/deadline)
+/// run still leaves its trace, metrics, flight dump, provenance, coverage
+/// report, and summary behind.
+#[allow(clippy::too_many_arguments)]
+fn flush_sinks(
+    opts: &Options,
+    summary: &RunSummary,
+    prog: &p4t_ir::IrProgram,
+    registry: &Option<Arc<Registry>>,
+    flight_sink: &Option<Arc<FlightSink>>,
+    status_server: &Option<StatusServer>,
+    prelude_lines: u32,
+    diag: &Diag,
+) -> Result<(), ()> {
+    let mut ok = Ok(());
+    if let Some(path) = &opts.trace_out {
+        let jsonl = summary.trace.as_ref().map(|t| t.to_jsonl()).unwrap_or_default();
+        if let Err(e) = std::fs::write(path, jsonl) {
+            diag.error(format!("cannot write {path}: {e}"));
+            ok = Err(());
+        } else {
+            diag.verbose(format!("wrote trace {path}"));
+        }
+    }
+    if let (Some(path), Some(reg)) = (&opts.metrics_out, registry) {
+        // Format follows the destination: .json gets the JSON export,
+        // anything else the Prometheus text exposition.
+        let rendered = if path.ends_with(".json") {
+            let mut s = serde_json::to_string_pretty(&reg.render_json()).unwrap_or_default();
+            s.push('\n');
+            s
+        } else {
+            reg.render_prometheus()
+        };
+        if let Err(e) = std::fs::write(path, rendered) {
+            diag.error(format!("cannot write {path}: {e}"));
+            ok = Err(());
+        } else {
+            diag.verbose(format!("wrote metrics {path}"));
+        }
+    }
+    if let Some(sink) = flight_sink {
+        if let Err(e) = sink.dump() {
+            diag.error(format!("cannot write {}: {e}", sink.path));
+            ok = Err(());
+        } else {
+            diag.verbose(format!("wrote flight dump {}", sink.path));
+        }
+    }
+    if let Some(path) = &opts.provenance_out {
+        let mut jsonl = String::new();
+        for p in summary.provenance.as_deref().unwrap_or(&[]) {
+            jsonl.push_str(&serde_json::to_string(&p.to_value()).unwrap_or_default());
+            jsonl.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, jsonl) {
+            diag.error(format!("cannot write {path}: {e}"));
+            ok = Err(());
+        } else {
+            diag.verbose(format!("wrote provenance {path}"));
+        }
+    }
+    if let Some(path) = &opts.coverage_report {
+        let report = coverage_report_text(prog, summary, prelude_lines);
+        if let Err(e) = std::fs::write(path, report) {
+            diag.error(format!("cannot write {path}: {e}"));
+            ok = Err(());
+        } else {
+            diag.verbose(format!("wrote coverage report {path}"));
+        }
+    }
+    if let Some(dest) = &opts.summary_json {
+        let mut payload = summary.to_json();
+        if let Value::Object(fields) = &mut payload {
+            // CLI-side summary entry: where the live endpoint was and how
+            // much it was used (null when `--status-addr` is off).
+            let entry = match status_server {
+                Some(srv) => Value::Object(vec![
+                    ("addr".into(), Value::String(srv.local_addr().to_string())),
+                    ("requests".into(), Value::Number(Number::U(srv.requests()))),
+                ]),
+                None => Value::Null,
+            };
+            fields.push(("status_endpoint".into(), entry));
+        }
+        if write_summary(dest, &payload, diag).is_err() {
+            ok = Err(());
+        }
+    }
+    ok
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     let diag = Diag::new(opts.verbosity);
@@ -471,11 +687,43 @@ fn main() -> ExitCode {
             ck.every = every;
         }
         config.checkpoint = Some(ck);
-        // Graceful degradation: SIGTERM/SIGINT drain instead of killing.
+    }
+    // Graceful degradation: SIGTERM/SIGINT drain instead of killing whenever
+    // there is state worth saving — a checkpoint to flush or telemetry sinks
+    // (trace, metrics, summary, flight dump, provenance, coverage report)
+    // that would otherwise be lost with the process.
+    if checkpoint_path.is_some() || opts.wants_telemetry() {
         let drain = Arc::new(AtomicBool::new(false));
         install_drain_handler(drain.clone());
         config.drain = Some(drain);
     }
+    // The flight recorder exists before the resume load so a corrupt
+    // checkpoint leaves a run-level event in the dump.
+    let flight = opts
+        .flight_out
+        .as_ref()
+        .map(|_| Arc::new(FlightRecorder::new(config.jobs, DEFAULT_RING_CAPACITY)));
+    config.obs.flight = flight.clone();
+    let flight_sink = match (&flight, &opts.flight_out) {
+        (Some(fr), Some(path)) => {
+            let sink = Arc::new(FlightSink {
+                recorder: Arc::clone(fr),
+                path: path.clone(),
+                dumped: std::sync::Mutex::new(String::new()),
+            });
+            // Dump the rings on any panic — including worker panics the
+            // engine isolates — so the last events before the fault survive.
+            let hook_sink = Arc::clone(&sink);
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                hook_sink.recorder.record_run("panic-hook", Some(info.to_string()));
+                let _ = hook_sink.dump();
+                prev(info);
+            }));
+            Some(sink)
+        }
+        _ => None,
+    };
     if let Some(path) = &opts.resume {
         match ExplorationState::load(std::path::Path::new(path)) {
             Ok(state) => {
@@ -490,6 +738,12 @@ fn main() -> ExitCode {
             Err(e) => {
                 // Classified fallback, never a panic or a hard failure: a
                 // damaged checkpoint costs the saved progress, not the run.
+                if let Some(fr) = &flight {
+                    fr.record_run(
+                        "checkpoint-corrupt",
+                        Some(format!("{path}: {e} [{}]", e.kind())),
+                    );
+                }
                 diag.warn(format!(
                     "{path}: unusable checkpoint ({e}) [{}]; starting cold",
                     e.kind()
@@ -502,10 +756,34 @@ fn main() -> ExitCode {
         apply_entry_restrictions: opts.with_constraints,
     };
     // Observability: trace collection is on only when a sink was named, and
-    // the metrics registry exists only when it will be exported.
+    // the metrics registry exists only when something will read it — a
+    // `--metrics-out` export or the live `/metrics` endpoint.
     config.obs.trace = opts.trace_out.is_some();
-    let registry = opts.metrics_out.as_ref().map(|_| Arc::new(Registry::new()));
+    let registry = (opts.metrics_out.is_some() || opts.status_addr.is_some())
+        .then(|| Arc::new(Registry::new()));
     config.obs.metrics = registry.clone();
+    config.obs.provenance = opts.provenance_out.is_some();
+    config.obs.explain = opts.coverage_report.is_some();
+    // Live introspection: bind the status endpoint before generation starts
+    // so a long campaign is observable from its first path.
+    let live = opts.status_addr.as_ref().map(|_| Arc::new(LiveStatus::new()));
+    config.obs.live = live.clone();
+    let mut status_server = None;
+    if let (Some(addr), Some(live)) = (&opts.status_addr, &live) {
+        match StatusServer::bind(addr, Arc::clone(live), registry.clone()) {
+            Ok(srv) => {
+                diag.info(format!(
+                    "status endpoint listening on http://{}",
+                    srv.local_addr()
+                ));
+                status_server = Some(srv);
+            }
+            Err(e) => {
+                diag.error(format!("cannot bind status endpoint {addr}: {e}"));
+                return ExitCode::from(EXIT_USAGE_IO);
+            }
+        }
+    }
     let name = opts.program.rsplit('/').next().unwrap_or(&opts.program);
     let model_loop_bound = config.interp_parser_loop_bound;
     let result = match opts.target.as_str() {
@@ -635,6 +913,11 @@ fn main() -> ExitCode {
         Some(path) => {
             if let Err(e) = std::fs::write(path, rendered) {
                 diag.error(format!("cannot write {path}: {e}"));
+                // The suite is lost but the telemetry need not be.
+                let _ = flush_sinks(
+                    &opts, &summary, &prog, &registry, &flight_sink, &status_server,
+                    prelude_lines, &diag,
+                );
                 return ExitCode::from(EXIT_USAGE_IO);
             }
             diag.info(format!("wrote {path}"));
@@ -691,34 +974,20 @@ fn main() -> ExitCode {
         }
     }
     // Flush the machine-readable telemetry sinks.
-    if let Some(path) = &opts.trace_out {
-        let jsonl = summary.trace.as_ref().map(|t| t.to_jsonl()).unwrap_or_default();
-        if let Err(e) = std::fs::write(path, jsonl) {
-            diag.error(format!("cannot write {path}: {e}"));
-            return ExitCode::from(EXIT_USAGE_IO);
+    let flushed = flush_sinks(
+        &opts, &summary, &prog, &registry, &flight_sink, &status_server, prelude_lines, &diag,
+    );
+    // Keep the endpoint up for `--status-linger` so a poller can read the
+    // final snapshot (state "done", final counters) after the run.
+    if let Some(mut srv) = status_server.take() {
+        if let Some(linger) = opts.status_linger.filter(|&s| s > 0.0) {
+            diag.verbose(format!("status endpoint lingering {linger}s"));
+            std::thread::sleep(Duration::from_secs_f64(linger));
         }
-        diag.verbose(format!("wrote trace {path}"));
+        srv.shutdown();
     }
-    if let (Some(path), Some(reg)) = (&opts.metrics_out, &registry) {
-        // Format follows the destination: .json gets the JSON export,
-        // anything else the Prometheus text exposition.
-        let rendered = if path.ends_with(".json") {
-            let mut s = serde_json::to_string_pretty(&reg.render_json()).unwrap_or_default();
-            s.push('\n');
-            s
-        } else {
-            reg.render_prometheus()
-        };
-        if let Err(e) = std::fs::write(path, rendered) {
-            diag.error(format!("cannot write {path}: {e}"));
-            return ExitCode::from(EXIT_USAGE_IO);
-        }
-        diag.verbose(format!("wrote metrics {path}"));
-    }
-    if let Some(dest) = &opts.summary_json {
-        if write_summary(dest, &summary.to_json(), &diag).is_err() {
-            return ExitCode::from(EXIT_USAGE_IO);
-        }
+    if flushed.is_err() {
+        return ExitCode::from(EXIT_USAGE_IO);
     }
     if validation_failed {
         return ExitCode::FAILURE;

@@ -161,8 +161,12 @@ fn cli_observability_outputs_round_trip() {
         serde_json::from_str(&std::fs::read_to_string(&summary).unwrap()).expect("summary JSON");
     assert_eq!(
         summary_v.get("schema").and_then(|s| s.as_str()),
-        Some("p4testgen-run-summary/v1")
+        Some("p4testgen-run-summary/v2")
     );
+    // v2 keeps every v1 field and adds the endpoint/provenance entries
+    // (null/absent-count when the corresponding flags are off).
+    assert!(summary_v.get("status_endpoint").is_some_and(|v| v.is_null()));
+    assert!(summary_v.get("provenance_records").is_some_and(|v| v.is_null()));
     let tests_emitted = metrics_v
         .get("metrics")
         .and_then(|m| m.as_array())
@@ -391,6 +395,205 @@ fn cli_checkpointing_run_reports_resume_object() {
         resume.get("frontier_remaining").and_then(serde_json::Value::as_u64),
         Some(0)
     );
+}
+
+/// GET `path` from the status endpoint at `addr` over a plain TcpStream
+/// (no HTTP client dependency) and return the response body.
+fn http_get(addr: &str, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect to status endpoint");
+    write!(s, "GET {path} HTTP/1.0\r\nHost: p4testgen\r\n\r\n").unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    buf.split_once("\r\n\r\n").expect("response has a header/body split").1.to_string()
+}
+
+/// Poll `stderr_path` until the CLI announces the bound status-endpoint
+/// address (printed before generation starts).
+fn wait_for_status_addr(stderr_path: &std::path::Path) -> String {
+    for _ in 0..200 {
+        let text = std::fs::read_to_string(stderr_path).unwrap_or_default();
+        if let Some(rest) = text.split("listening on http://").nth(1) {
+            if let Some(addr) = rest.split_whitespace().next() {
+                return addr.to_string();
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    panic!("status endpoint address never announced in {}", stderr_path.display());
+}
+
+#[test]
+fn cli_status_endpoint_serves_status_metrics_and_healthz() {
+    let prog = write_program();
+    let dir = prog.parent().unwrap();
+    let stderr_path = dir.join("status_stderr.txt");
+    let summary_path = dir.join("status_summary.json");
+    let mut child = bin()
+        .args(["--target", "v1model", "--seed", "7"])
+        .args(["--status-addr", "127.0.0.1:0", "--status-linger", "3"])
+        .arg("--summary-json")
+        .arg(&summary_path)
+        .args(["--out", "/dev/null"])
+        .arg(&prog)
+        .stderr(std::process::Stdio::from(std::fs::File::create(&stderr_path).unwrap()))
+        .spawn()
+        .expect("binary spawns");
+    let addr = wait_for_status_addr(&stderr_path);
+
+    // Poll /status until the run reports itself done; the linger window
+    // guarantees the final snapshot stays observable.
+    let mut last = None;
+    for _ in 0..200 {
+        let body = http_get(&addr, "/status");
+        let v: serde_json::Value = serde_json::from_str(&body).expect("status is JSON");
+        let done = v.get("state").and_then(|s| s.as_str()) == Some("done");
+        last = Some(v);
+        if done {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let status = last.expect("at least one /status response");
+    assert_eq!(status.get("state").and_then(|s| s.as_str()), Some("done"), "{status:?}");
+    assert_eq!(http_get(&addr, "/healthz").trim(), "ok");
+    let metrics = http_get(&addr, "/metrics");
+    assert!(metrics.contains("p4testgen_paths_total"), "{metrics}");
+
+    // The final snapshot agrees with the run summary, and the summary
+    // records the endpoint it served.
+    let summary: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&summary_path).unwrap()).unwrap();
+    assert_eq!(
+        status.get("tests_emitted").and_then(serde_json::Value::as_u64),
+        summary.get("tests").and_then(serde_json::Value::as_u64),
+    );
+    assert_eq!(
+        status.get("coverage").and_then(|c| c.get("covered")).and_then(serde_json::Value::as_u64),
+        summary.get("coverage").and_then(|c| c.get("covered")).and_then(serde_json::Value::as_u64),
+    );
+    assert_eq!(
+        summary.get("status_endpoint").and_then(|e| e.get("addr")).and_then(|a| a.as_str()),
+        Some(addr.as_str()),
+    );
+    assert!(child.wait().unwrap().success());
+}
+
+#[test]
+fn cli_provenance_records_parallel_the_suite() {
+    let prog = write_program();
+    let dir = prog.parent().unwrap();
+    let prov = dir.join("prov.jsonl");
+    let out = bin()
+        .args(["--target", "v1model", "--seed", "7", "--jobs", "2", "--quiet"])
+        .arg("--provenance-out")
+        .arg(&prov)
+        .args(["--summary-json", "--out", "/dev/null"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let summary: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    let tests = summary.get("tests").and_then(serde_json::Value::as_u64).unwrap();
+    assert_eq!(
+        summary.get("provenance_records").and_then(serde_json::Value::as_u64),
+        Some(tests)
+    );
+    let text = std::fs::read_to_string(&prov).unwrap();
+    let records: Vec<serde_json::Value> =
+        text.lines().map(|l| serde_json::from_str(l).expect("provenance line parses")).collect();
+    assert_eq!(records.len() as u64, tests, "one record per emitted test");
+    let mut cumulative = 0;
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.get("id").and_then(serde_json::Value::as_u64), Some(i as u64));
+        assert!(r.get("trail").and_then(|t| t.as_array()).is_some_and(|t| !t.is_empty()));
+        // This run emitted everything fresh (no checkpoint restore), so the
+        // per-path solver accounting must be present.
+        assert!(r.get("constraints").and_then(serde_json::Value::as_u64).is_some(), "{r:?}");
+        assert!(r.get("solver_checks").and_then(serde_json::Value::as_u64).is_some(), "{r:?}");
+        let c = r.get("cumulative_covered").and_then(serde_json::Value::as_u64).unwrap();
+        assert!(c >= cumulative, "cumulative coverage must be non-decreasing");
+        cumulative = c;
+    }
+}
+
+#[test]
+fn cli_interrupted_run_leaves_flight_dump_and_annotated_coverage_report() {
+    let prog = write_program();
+    let dir = prog.parent().unwrap();
+    let flight = dir.join("flight.jsonl");
+    let report = dir.join("coverage_report.txt");
+    // An (effectively) already-expired deadline: the run drains immediately,
+    // and the telemetry sinks must still be written on the way out.
+    let out = bin()
+        .args(["--target", "v1model", "--seed", "7", "--deadline", "0.0001"])
+        .arg("--flight-out")
+        .arg(&flight)
+        .arg("--coverage-report")
+        .arg(&report)
+        .args(["--out", "/dev/null"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let flight_text = std::fs::read_to_string(&flight).unwrap();
+    let mut kinds = Vec::new();
+    for line in flight_text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("flight line parses");
+        kinds.push(v.get("kind").and_then(|k| k.as_str()).unwrap().to_string());
+        assert!(v.get("at_ns").is_some() && v.get("worker").is_some(), "{line}");
+    }
+    assert!(kinds.iter().any(|k| k == "run-start"), "{kinds:?}");
+    assert!(kinds.iter().any(|k| k == "worker-start"), "{kinds:?}");
+
+    let report_text = std::fs::read_to_string(&report).unwrap();
+    let mut lines = report_text.lines();
+    assert!(lines.next().is_some_and(|l| l.starts_with("statement coverage: ")), "{report_text}");
+    let mut statements = 0;
+    for l in lines {
+        statements += 1;
+        if let Some(rest) = l.strip_prefix("uncovered ") {
+            // Every uncovered statement carries a source span and an
+            // abandonment-reason annotation.
+            assert!(rest.contains(" <- "), "unannotated uncovered statement: {l}");
+            assert!(rest.contains(':') && rest.contains("id="), "no source span: {l}");
+        } else {
+            assert!(l.starts_with("covered "), "unexpected report line: {l}");
+        }
+    }
+    assert_eq!(statements, 4, "one line per IR statement: {report_text}");
+}
+
+#[cfg(unix)]
+#[test]
+fn cli_sigterm_drains_and_flushes_telemetry_without_checkpoint() {
+    let prog = write_program();
+    let dir = prog.parent().unwrap();
+    let stderr_path = dir.join("sigterm_stderr.txt");
+    let flight = dir.join("sigterm_flight.jsonl");
+    let trace = dir.join("sigterm_trace.jsonl");
+    let mut child = bin()
+        .args(["--target", "v1model", "--seed", "7"])
+        .args(["--status-addr", "127.0.0.1:0"])
+        .arg("--flight-out")
+        .arg(&flight)
+        .arg("--trace-out")
+        .arg(&trace)
+        .args(["--out", "/dev/null"])
+        .arg(&prog)
+        .stderr(std::process::Stdio::from(std::fs::File::create(&stderr_path).unwrap()))
+        .spawn()
+        .unwrap();
+    // Sync on the endpoint announcement (printed before generation), then
+    // SIGTERM. Whether the signal lands mid-run (cooperative drain) or
+    // after completion, the run must exit 0 with its sinks flushed.
+    wait_for_status_addr(&stderr_path);
+    let _ = Command::new("kill").arg(child.id().to_string()).status();
+    assert!(child.wait().unwrap().success(), "SIGTERM must drain, not kill");
+    let flight_text = std::fs::read_to_string(&flight).expect("flight dump written");
+    assert!(flight_text.lines().any(|l| l.contains("\"run-start\"")), "{flight_text}");
+    assert!(trace.exists(), "trace flushed on the drain path");
 }
 
 #[test]

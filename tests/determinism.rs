@@ -875,3 +875,117 @@ fn feasibility_memo_reports_hits() {
         summary.solver_checks
     );
 }
+
+/// The whole introspection stack — flight recorder, live status, trace,
+/// metrics, provenance, abandonment explanation — enabled at once. None of
+/// it may perturb the suite, and the collected provenance / abandonment /
+/// coverage data must itself be schedule-independent.
+#[test]
+fn full_observability_stack_is_zero_cost_and_deterministic_at_jobs_1_4_8() {
+    use p4t_obs::{FlightRecorder, LiveStatus, Registry};
+    use std::sync::Arc;
+
+    let src = p4t_corpus::generate_synthetic(3, 3);
+    let (plain, _) = run_with_jobs("synthetic_3x3", &src, 1);
+    assert!(!plain.is_empty());
+
+    let observed = |jobs: usize| {
+        let mut config = TestgenConfig::default();
+        config.seed = 7;
+        config.jobs = jobs;
+        config.obs.trace = true;
+        config.obs.metrics = Some(Arc::new(Registry::new()));
+        config.obs.flight = Some(Arc::new(FlightRecorder::new(jobs, 64)));
+        config.obs.live = Some(Arc::new(LiveStatus::new()));
+        config.obs.provenance = true;
+        config.obs.explain = true;
+        run_with_config("synthetic_3x3", &src, config)
+    };
+    let mut reference_prov = None;
+    for jobs in [1, 4, 8] {
+        let (tests, summary) = observed(jobs);
+        assert_eq!(
+            suite_seq(&plain),
+            suite_seq(&tests),
+            "jobs={jobs}: observability perturbed the suite"
+        );
+        let prov = summary.provenance.expect("provenance collected");
+        assert_eq!(prov.len(), tests.len(), "jobs={jobs}: one record per test");
+        for (i, p) in prov.iter().enumerate() {
+            assert_eq!(p.id, i as u64, "jobs={jobs}: provenance ids follow suite order");
+            assert!(p.constraints.is_some() && p.solver_checks.is_some());
+        }
+        // cumulative_covered of the last record is the run's coverage.
+        assert_eq!(
+            prov.last().map(|p| p.cumulative_covered),
+            Some(summary.coverage.covered as u64),
+            "jobs={jobs}"
+        );
+        match &reference_prov {
+            None => reference_prov = Some(prov),
+            Some(r) => assert_eq!(r, &prov, "jobs={jobs}: provenance differs"),
+        }
+    }
+}
+
+/// The coverage report (counts, and the identity+order of missed
+/// statements) and the abandonment sites are stable across worker counts —
+/// satellite of the `--coverage-report` work: the rendered file is a pure
+/// function of them. An infeasible branch gives a deterministic uncovered
+/// statement; a trail-keyed Unknown fault gives deterministic abandonment.
+#[test]
+fn coverage_report_is_stable_at_jobs_1_4_8() {
+    let src = r#"
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+struct headers_t { ethernet_t eth; }
+struct meta_t { bit<8> x; }
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    state start { pkt.extract(hdr.eth); transition accept; }
+}
+control VC(inout headers_t hdr, inout meta_t meta) { apply { } }
+control Ing(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    action fwd(bit<9> p) { sm.egress_spec = p; }
+    action nop() { }
+    table t {
+        key = { hdr.eth.etherType: exact; }
+        actions = { fwd; nop; }
+        default_action = nop();
+    }
+    apply {
+        if (hdr.eth.etherType == 16w1) {
+            if (hdr.eth.etherType == 16w2) { meta.x = 8w1; }
+        }
+        t.apply();
+    }
+}
+control Eg(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control CC(inout headers_t hdr, inout meta_t meta) { apply { } }
+control Dep(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.eth); } }
+V1Switch(P(), VC(), Ing(), Eg(), CC(), Dep()) main;
+"#;
+    let (base, base_sum) = run_with_jobs("infeasible_branch", src, 1);
+    assert!(!base.is_empty());
+    let poison = base_sum.test_trails[0].clone();
+    let fingerprint = |jobs: usize| {
+        let mut config = TestgenConfig::default();
+        config.seed = 7;
+        config.jobs = jobs;
+        config.obs.explain = true;
+        config.fault_plan.seed = 99;
+        config.fault_plan.force_unknown_at(poison.clone());
+        let (_, summary) = run_with_config("infeasible_branch", src, config);
+        let missed: Vec<(u32, String, u32, u32)> = summary
+            .coverage
+            .missed
+            .iter()
+            .map(|m| (m.id.0, m.block.clone(), m.line, m.col))
+            .collect();
+        (summary.coverage.covered, summary.coverage.total, missed, summary.abandon_sites)
+    };
+    let f1 = fingerprint(1);
+    assert!(f1.0 < f1.1, "the infeasible branch must stay uncovered: {f1:?}");
+    assert!(!f1.3.is_empty(), "the poisoned trail must leave an abandonment site");
+    assert!(f1.3.iter().all(|s| s.near_stmt.is_some()), "{:?}", f1.3);
+    assert_eq!(f1, fingerprint(4), "report differs between jobs=1 and jobs=4");
+    assert_eq!(f1, fingerprint(8), "report differs between jobs=1 and jobs=8");
+}
