@@ -68,6 +68,9 @@ mod tag {
     pub const MEMO: u8 = 5;
     pub const COUNTERS: u8 = 6;
     pub const ERRORS: u8 = 7;
+    /// The `--shard i/N` filter the writing run was under (absent in
+    /// files written before this tag existed; older readers skip it).
+    pub const SHARD: u8 = 8;
     pub const END: u8 = 0xFF;
 }
 
@@ -238,6 +241,12 @@ pub struct ExplorationState {
     pub errors: ErrorStats,
     /// Checkpoints written over the campaign so far (all resumed segments).
     pub checkpoints_written: u64,
+    /// The `--shard` filter the writing run was under, if any. The config
+    /// hash deliberately excludes sharding (shards of one partition must
+    /// share a fingerprint), so resume compares this field separately and
+    /// warns on mismatch — a different filter silently abandons frontier
+    /// subtrees the new process does not own.
+    pub shard: Option<ShardSpec>,
 }
 
 impl ExplorationState {
@@ -300,6 +309,17 @@ impl ExplorationState {
         payload.clear();
         put_errors(&mut payload, &self.errors);
         put_record(&mut out, tag::ERRORS, &payload);
+
+        payload.clear();
+        match self.shard {
+            Some(s) => {
+                payload.push(1);
+                put_u32(&mut payload, s.index);
+                put_u32(&mut payload, s.count);
+            }
+            None => payload.push(0),
+        }
+        put_record(&mut out, tag::SHARD, &payload);
 
         put_record(&mut out, tag::END, &[]);
         out
@@ -386,6 +406,19 @@ impl ExplorationState {
                 tag::ERRORS => {
                     state.errors = take_errors(&mut rec)?;
                 }
+                tag::SHARD => {
+                    if rec.u8()? == 0 {
+                        continue;
+                    }
+                    let index = rec.u32()?;
+                    let count = rec.u32()?;
+                    if count == 0 || index >= count {
+                        return Err(CheckpointError::Malformed(format!(
+                            "shard {index}/{count} out of range"
+                        )));
+                    }
+                    state.shard = Some(ShardSpec { index, count });
+                }
                 tag::END => {
                     saw_end = true;
                     break;
@@ -405,14 +438,33 @@ impl ExplorationState {
     /// destination. A crash mid-write leaves the previous checkpoint (or
     /// nothing) in place, never a torn file at `path`.
     pub fn write_atomic(&self, path: &Path) -> std::io::Result<()> {
+        write_bytes_atomic(path, &self.to_bytes())
+    }
+
+    /// [`ExplorationState::write_atomic`] with bounded retry: transient IO
+    /// errors (EINTR, EAGAIN, ENOSPC — a filesystem mid-reclaim can clear
+    /// within milliseconds) are retried up to [`WRITE_ATTEMPTS`] times with
+    /// deterministic jittered backoff. Non-transient errors and final
+    /// failures come back classified in [`WriteFailure`] so the caller can
+    /// warn instead of silently losing the checkpoint. Returns the number
+    /// of attempts the successful write took (1 = first try).
+    pub fn write_atomic_retry(&self, path: &Path) -> Result<u32, WriteFailure> {
         let bytes = self.to_bytes();
-        let tmp = path.with_extension("tmp");
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(&bytes)?;
-            f.sync_all()?;
+        let salt = fnv1a(path.to_string_lossy().as_bytes());
+        let mut attempt = 1u32;
+        loop {
+            match write_bytes_atomic(path, &bytes) {
+                Ok(()) => return Ok(attempt),
+                Err(error) => {
+                    let transient = is_transient_io(&error);
+                    if !transient || attempt >= WRITE_ATTEMPTS {
+                        return Err(WriteFailure { error, attempts: attempt, transient });
+                    }
+                    std::thread::sleep(retry_backoff(attempt, salt));
+                    attempt += 1;
+                }
+            }
         }
-        fs::rename(&tmp, path)
     }
 
     /// Load and decode a checkpoint file.
@@ -437,6 +489,66 @@ impl ExplorationState {
     pub fn is_complete(&self) -> bool {
         self.frontier.is_empty()
     }
+}
+
+/// Maximum attempts for [`ExplorationState::write_atomic_retry`].
+pub const WRITE_ATTEMPTS: u32 = 3;
+
+/// A checkpoint write that failed after retry, with its classification.
+#[derive(Debug)]
+pub struct WriteFailure {
+    /// The last attempt's error.
+    pub error: std::io::Error,
+    /// How many attempts were made (1..=[`WRITE_ATTEMPTS`]).
+    pub attempts: u32,
+    /// Whether the final error was transient (retried and still failing)
+    /// or permanent (retry would be pointless; failed fast).
+    pub transient: bool,
+}
+
+impl fmt::Display for WriteFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} IO error, {} attempt{})",
+            self.error,
+            if self.transient { "transient" } else { "permanent" },
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+        )
+    }
+}
+
+/// Is this IO error worth retrying? Signal interruptions and momentary
+/// resource exhaustion clear on their own; permission or path errors do
+/// not.
+pub fn is_transient_io(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    ) || matches!(e.raw_os_error(), Some(4 /* EINTR */ | 11 /* EAGAIN */ | 28 /* ENOSPC */))
+}
+
+/// Deterministic jittered backoff: exponential base (5ms · 2^(attempt-1))
+/// plus a jitter derived from the path hash and attempt number — no clock
+/// or RNG, so a given (path, attempt) always waits the same duration.
+fn retry_backoff(attempt: u32, salt: u64) -> Duration {
+    let base = 5u64 << (attempt.saturating_sub(1)).min(8);
+    let jitter = trail_hash(&[attempt, (salt & 0xFFFF_FFFF) as u32, (salt >> 32) as u32]) % 8;
+    Duration::from_millis(base + jitter)
+}
+
+/// The shared tmp + write + fsync + rename sequence.
+fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
 }
 
 /// Merge per-shard emissions back into the single-run suite: k-way merge by
@@ -655,6 +767,7 @@ mod tests {
             abandoned_paths: 1,
             errors,
             checkpoints_written: 4,
+            shard: Some(ShardSpec { index: 1, count: 4 }),
         }
     }
 
@@ -745,6 +858,168 @@ mod tests {
             assert!(s.may_own_subtree(&[3]));
         }
         assert_eq!(shards.iter().filter(|s| s.owns_test(&[3])).count(), 1);
+    }
+
+    #[test]
+    fn shard_record_round_trips_and_defaults_to_none() {
+        let mut st = sample_state();
+        st.shard = Some(ShardSpec { index: 2, count: 8 });
+        let back = ExplorationState::from_bytes(&st.to_bytes()).expect("decode");
+        assert_eq!(back.shard, Some(ShardSpec { index: 2, count: 8 }));
+
+        st.shard = None;
+        let back = ExplorationState::from_bytes(&st.to_bytes()).expect("decode");
+        assert_eq!(back.shard, None);
+    }
+
+    #[test]
+    fn out_of_range_shard_record_is_malformed() {
+        let mut st = sample_state();
+        st.shard = Some(ShardSpec { index: 2, count: 8 });
+        let bytes = st.to_bytes();
+        // Rebuild the shard record with index >= count and a valid
+        // checksum, exercising the semantic (not checksum) validation.
+        let mut forged = Vec::new();
+        let mut payload = Vec::new();
+        payload.push(1);
+        put_u32(&mut payload, 9);
+        put_u32(&mut payload, 8);
+        // Copy everything before the shard record, then splice.
+        let mut cur = Cursor { bytes: &bytes, pos: 8 + 4 + 8 };
+        let mut shard_start = None;
+        while cur.pos < bytes.len() {
+            let rec_start = cur.pos;
+            let t = cur.u8().unwrap();
+            let len = cur.u32().unwrap() as usize;
+            cur.take(len).unwrap();
+            cur.u64().unwrap();
+            if t == tag::SHARD {
+                shard_start = Some((rec_start, cur.pos));
+                break;
+            }
+        }
+        let (start, end) = shard_start.expect("sample state has a shard record");
+        forged.extend_from_slice(&bytes[..start]);
+        put_record(&mut forged, tag::SHARD, &payload);
+        forged.extend_from_slice(&bytes[end..]);
+        match ExplorationState::from_bytes(&forged) {
+            Err(CheckpointError::Malformed(m)) => assert!(m.contains("shard"), "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_retry_succeeds_first_try_and_fails_classified() {
+        let dir = std::env::temp_dir().join(format!("p4tg-ckpt-retry-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ckpt");
+        let st = sample_state();
+        assert_eq!(st.write_atomic_retry(&path).expect("writable temp dir"), 1);
+        assert_eq!(ExplorationState::load(&path).expect("round trip"), st);
+
+        // A directory that does not exist is a permanent error: no retry.
+        let bad = dir.join("missing-subdir").join("state.ckpt");
+        let fail = st.write_atomic_retry(&bad).unwrap_err();
+        assert_eq!(fail.attempts, 1);
+        assert!(!fail.transient);
+        assert!(fail.to_string().contains("permanent IO error"), "{fail}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_io_classification() {
+        use std::io::{Error, ErrorKind};
+        assert!(is_transient_io(&Error::from(ErrorKind::Interrupted)));
+        assert!(is_transient_io(&Error::from_raw_os_error(28))); // ENOSPC
+        assert!(is_transient_io(&Error::from_raw_os_error(4))); // EINTR
+        assert!(!is_transient_io(&Error::from(ErrorKind::PermissionDenied)));
+        assert!(!is_transient_io(&Error::from(ErrorKind::NotFound)));
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_bounded_and_growing() {
+        let salt = fnv1a(b"some/path.ckpt");
+        let d1 = retry_backoff(1, salt);
+        let d2 = retry_backoff(2, salt);
+        assert_eq!(d1, retry_backoff(1, salt), "same inputs, same delay");
+        assert!(d1 >= Duration::from_millis(5) && d1 < Duration::from_millis(13), "{d1:?}");
+        assert!(d2 >= Duration::from_millis(10) && d2 < Duration::from_millis(18), "{d2:?}");
+        // Different paths jitter differently (with overwhelming likelihood
+        // for any fixed pair of distinct salts baked into this test).
+        assert_ne!(
+            (retry_backoff(1, 1), retry_backoff(2, 1), retry_backoff(3, 1)),
+            (retry_backoff(1, 2), retry_backoff(2, 2), retry_backoff(3, 2)),
+        );
+    }
+
+    /// Satellite: bit-flip fuzz over every byte of a valid checkpoint.
+    /// Every mutation must either decode (possibly to a state that then
+    /// fails config validation) or fail with a *classified* error — never
+    /// a panic, never an unclassified failure. This is the cold-start
+    /// guarantee: whatever is on disk, the engine can always warn and
+    /// start fresh.
+    #[test]
+    fn bit_flip_fuzz_always_classifies_never_panics() {
+        let st = sample_state();
+        let bytes = st.to_bytes();
+        let known_kinds = [
+            "io",
+            "not-a-checkpoint",
+            "unsupported-version",
+            "truncated",
+            "checksum",
+            "malformed",
+            "config-mismatch",
+        ];
+        let mut outcomes: std::collections::BTreeMap<&'static str, u64> = Default::default();
+        for i in 0..bytes.len() {
+            for bit in 0..8u8 {
+                let mut mutated = bytes.clone();
+                mutated[i] ^= 1 << bit;
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    ExplorationState::from_bytes(&mutated)
+                }));
+                match result {
+                    Ok(Ok(decoded)) => {
+                        // Structurally valid (e.g. a flip in the config
+                        // hash, a record tag, or a skipped-record body).
+                        // Resume still guards via config validation.
+                        let _ = decoded.validate_config(st.config_hash);
+                        *outcomes.entry("ok").or_default() += 1;
+                    }
+                    Ok(Err(e)) => {
+                        assert!(
+                            known_kinds.contains(&e.kind()),
+                            "byte {i} bit {bit}: unclassified error {e:?}"
+                        );
+                        *outcomes.entry(e.kind()).or_default() += 1;
+                    }
+                    Err(_) => panic!("byte {i} bit {bit}: decode panicked"),
+                }
+            }
+        }
+        // The sweep must actually exercise the classifier: checksum and
+        // truncation failures are unavoidable in any full-file sweep.
+        assert!(outcomes.get("checksum").copied().unwrap_or(0) > 0, "{outcomes:?}");
+        assert!(outcomes.get("truncated").copied().unwrap_or(0) > 0, "{outcomes:?}");
+    }
+
+    /// Companion sweep: every prefix truncation classifies as well.
+    #[test]
+    fn truncation_sweep_always_classifies() {
+        let bytes = sample_state().to_bytes();
+        for cut in 0..bytes.len() {
+            match ExplorationState::from_bytes(&bytes[..cut]) {
+                Err(e) => assert!(
+                    matches!(
+                        e,
+                        CheckpointError::Truncated | CheckpointError::NotACheckpoint
+                    ),
+                    "cut {cut}: unexpected {e:?}"
+                ),
+                Ok(_) => panic!("cut {cut}: truncated file decoded"),
+            }
+        }
     }
 
     #[test]

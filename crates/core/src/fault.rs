@@ -9,8 +9,15 @@
 //! poisoned no matter which worker reaches them or in what order.
 //!
 //! The plan lives in [`crate::testgen::TestgenConfig`] but is intentionally
-//! not reachable from the CLI; production runs always carry the empty plan,
-//! which is checked with two branch-predictable comparisons per path.
+//! not reachable from the one-shot CLI; production runs always carry the
+//! empty plan, which is checked with two branch-predictable comparisons per
+//! path. The `serve` daemon *can* accept per-request plans (parsed with
+//! [`FaultPlan::from_json`]) when booted with `--enable-fault-injection`,
+//! which is how the soak tests exercise request isolation: the
+//! [`FaultPlan::driver_panic`] and [`FaultPlan::driver_stall`] faults fire
+//! at the driver level — before any worker spawns — so they escape the
+//! per-path containment and must be caught by the per-request
+//! `catch_unwind` in the daemon.
 //!
 //! Interplay with incremental solving: injected Unknowns fire *before* the
 //! memo and the solver, so a forced-Unknown trail never touches the warm
@@ -24,6 +31,8 @@
 
 use std::collections::BTreeSet;
 use std::time::Duration;
+
+use serde::value::Value;
 
 /// Mix a fork trail into a 64-bit value (splitmix64 steps per element, so
 /// sibling trails diverge completely). Shared with the per-path RNG seeding
@@ -61,6 +70,15 @@ pub struct FaultPlan {
     pub unknown_permille: u32,
     /// Shrink the run deadline (overrides `TestgenConfig::deadline`).
     pub deadline_override: Option<Duration>,
+    /// Panic in the driver before any worker spawns. Unlike `panic_trails`
+    /// this escapes the per-path containment, so it exercises the *request*
+    /// level `catch_unwind` in the serve daemon.
+    pub driver_panic: bool,
+    /// Stall the driver for this long before exploration starts (polling
+    /// the cooperative drain flag so graceful shutdown still works). Used
+    /// to hold a worker slot busy deterministically in queue-full and
+    /// drain tests.
+    pub driver_stall: Option<Duration>,
 }
 
 impl FaultPlan {
@@ -75,6 +93,73 @@ impl FaultPlan {
             && self.kill_trails.is_empty()
             && self.unknown_permille == 0
             && self.deadline_override.is_none()
+            && !self.driver_panic
+            && self.driver_stall.is_none()
+    }
+
+    /// Parse a per-request fault plan from the serve protocol's `fault`
+    /// object. Recognized keys (all optional):
+    ///
+    /// ```json
+    /// {"seed": 7, "driver_panic": true, "stall_ms": 500,
+    ///  "deadline_ms": 0, "unknown_permille": 250,
+    ///  "panic_at": [[0,1]], "unknown_at": [[0]], "kill_at": [[1]]}
+    /// ```
+    ///
+    /// Unknown keys are rejected rather than ignored so a typo in a test
+    /// harness cannot silently disable its intended fault.
+    pub fn from_json(v: &Value) -> Result<FaultPlan, String> {
+        let Value::Object(entries) = v else {
+            return Err("fault must be a JSON object".to_string());
+        };
+        let mut plan = FaultPlan::default();
+        for (key, val) in entries {
+            match key.as_str() {
+                "seed" => {
+                    plan.seed =
+                        val.as_u64().ok_or("fault.seed must be a non-negative integer")?;
+                }
+                "driver_panic" => {
+                    plan.driver_panic =
+                        val.as_bool().ok_or("fault.driver_panic must be a boolean")?;
+                }
+                "stall_ms" => {
+                    let ms =
+                        val.as_u64().ok_or("fault.stall_ms must be a non-negative integer")?;
+                    plan.driver_stall = Some(Duration::from_millis(ms));
+                }
+                "deadline_ms" => {
+                    let ms = val
+                        .as_u64()
+                        .ok_or("fault.deadline_ms must be a non-negative integer")?;
+                    plan.deadline_override = Some(Duration::from_millis(ms));
+                }
+                "unknown_permille" => {
+                    let p = val
+                        .as_u64()
+                        .ok_or("fault.unknown_permille must be a non-negative integer")?;
+                    plan.unknown_permille =
+                        u32::try_from(p.min(1000)).expect("clamped to 1000");
+                }
+                "panic_at" => {
+                    for trail in parse_trails(val, "panic_at")? {
+                        plan.force_panic_at(trail);
+                    }
+                }
+                "unknown_at" => {
+                    for trail in parse_trails(val, "unknown_at")? {
+                        plan.force_unknown_at(trail);
+                    }
+                }
+                "kill_at" => {
+                    for trail in parse_trails(val, "kill_at")? {
+                        plan.kill_at_trail(trail);
+                    }
+                }
+                other => return Err(format!("unknown fault key {other:?}")),
+            }
+        }
+        Ok(plan)
     }
 
     /// Force Unknown verdicts for all solver queries issued at `trail`.
@@ -140,6 +225,26 @@ impl FaultPlan {
     }
 }
 
+/// Parse a JSON array-of-arrays into fork trails.
+fn parse_trails(v: &Value, key: &str) -> Result<Vec<Vec<u32>>, String> {
+    let arr = v.as_array().ok_or_else(|| format!("fault.{key} must be an array of trails"))?;
+    let mut trails = Vec::with_capacity(arr.len());
+    for item in arr {
+        let elems =
+            item.as_array().ok_or_else(|| format!("fault.{key}: each trail must be an array"))?;
+        let mut trail = Vec::with_capacity(elems.len());
+        for e in elems {
+            let n = e
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| format!("fault.{key}: trail elements must be u32"))?;
+            trail.push(n);
+        }
+        trails.push(trail);
+    }
+    Ok(trails)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +291,50 @@ mod tests {
         // Kill trails are independent of the other injection kinds.
         assert!(!plan.wants_unknown(&[2, 1]));
         assert!(!plan.wants_panic(&[2, 1]));
+    }
+
+    #[test]
+    fn from_json_parses_every_recognized_key() {
+        let v = serde_json::from_str(
+            r#"{"seed": 9, "driver_panic": true, "stall_ms": 250,
+                "deadline_ms": 0, "unknown_permille": 100,
+                "panic_at": [[0, 1]], "unknown_at": [[2]], "kill_at": [[3]]}"#,
+        )
+        .unwrap();
+        let plan = FaultPlan::from_json(&v).expect("valid plan");
+        assert_eq!(plan.seed, 9);
+        assert!(plan.driver_panic);
+        assert_eq!(plan.driver_stall, Some(Duration::from_millis(250)));
+        assert_eq!(plan.deadline_override, Some(Duration::from_millis(0)));
+        assert_eq!(plan.unknown_permille, 100);
+        assert!(plan.wants_panic(&[0, 1]));
+        assert!(plan.wants_kill(&[3]));
+        assert_eq!(plan.planned_unknowns(), 1);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_keys_and_bad_shapes() {
+        let v = serde_json::from_str(r#"{"driver_panik": true}"#).unwrap();
+        let err = FaultPlan::from_json(&v).unwrap_err();
+        assert!(err.contains("driver_panik"), "{err}");
+        let v = serde_json::from_str(r#"{"panic_at": [0]}"#).unwrap();
+        assert!(FaultPlan::from_json(&v).is_err());
+        let v = serde_json::from_str("[]").unwrap();
+        assert!(FaultPlan::from_json(&v).is_err());
+        // The empty object is the empty plan.
+        let v = serde_json::from_str("{}").unwrap();
+        assert!(FaultPlan::from_json(&v).expect("empty plan parses").is_empty());
+    }
+
+    #[test]
+    fn driver_faults_make_plan_non_empty() {
+        let mut plan = FaultPlan::default();
+        plan.driver_panic = true;
+        assert!(!plan.is_empty());
+        let mut plan = FaultPlan::default();
+        plan.driver_stall = Some(Duration::from_millis(1));
+        assert!(!plan.is_empty());
     }
 
     #[test]

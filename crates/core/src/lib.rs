@@ -52,7 +52,8 @@ pub mod testgen;
 pub mod testspec;
 
 pub use checkpoint::{
-    merge_shard_suites, CheckpointCfg, CheckpointError, ExplorationState, ShardSpec,
+    is_transient_io, merge_shard_suites, CheckpointCfg, CheckpointError, ExplorationState,
+    ShardSpec, WriteFailure, WRITE_ATTEMPTS,
 };
 pub use coverage::{AbandonSite, CoverageReport, CoverageTracker, MissedStatement, SharedCoverage};
 pub use fault::FaultPlan;
@@ -62,7 +63,8 @@ pub use sym::Sym;
 pub use target::{ExecCtx, ExtArg, ExternOutcome, PipeStep, Target, UninitPolicy};
 pub use p4t_smt::SolverMode;
 pub use testgen::{
-    classify_abandon_reason, reason, BuildError, ErrorStats, ObsConfig, PanicRecord, PhaseStats,
-    ResumeInfo, RunError, RunSummary, Strategy, Testgen, TestgenConfig, TestProvenance,
+    classify_abandon_reason, reason, run_fingerprint_of, BuildError, CompiledProgram, ErrorStats,
+    ObsConfig, PanicRecord, PhaseStats, ResumeInfo, RunError, RunSummary, SharedFeasMemo,
+    Strategy, Testgen, TestgenConfig, TestProvenance,
 };
 pub use testspec::{KeyMatch, MaskedBytes, OutputPacketSpec, TableEntrySpec, TestSpec};

@@ -198,6 +198,14 @@ pub struct TestgenConfig {
     /// checkpoint configured — the untouched frontier is flushed for a
     /// later `resume`.
     pub drain: Option<Arc<AtomicBool>>,
+    /// Cross-run feasibility memo shared by a long-lived host (the serve
+    /// daemon): verdicts for stable constraint-set fingerprints are read
+    /// from and written to this bounded cache in addition to the run-local
+    /// memo. Safe to share across programs — fingerprints are
+    /// content-addressed canonical constraint sets, so a hit is the same
+    /// query regardless of which request first solved it. `None` (the
+    /// default) preserves the one-shot behaviour exactly.
+    pub shared_memo: Option<Arc<SharedFeasMemo>>,
 }
 
 fn default_jobs() -> usize {
@@ -255,6 +263,7 @@ impl Default for TestgenConfig {
             checkpoint: None,
             resume: None,
             drain: None,
+            shared_memo: None,
         }
     }
 }
@@ -533,6 +542,11 @@ pub struct ResumeInfo {
     /// The first checkpoint-write failure, if any (the run continues; the
     /// previous on-disk checkpoint stays intact).
     pub flush_error: Option<String>,
+    /// The accepted checkpoint was written under a different `--shard`
+    /// filter than this run's (human-readable description). The resume
+    /// proceeds, but frontier subtrees outside the current filter stay
+    /// unexplored — almost always a misconfiguration worth warning about.
+    pub shard_mismatch: Option<String>,
 }
 
 /// End-of-run summary.
@@ -784,6 +798,7 @@ impl RunSummary {
                 ("interrupted".into(), opt_str(&r.interrupted)),
                 ("rejected".into(), opt_str(&r.rejected)),
                 ("flush_error".into(), opt_str(&r.flush_error)),
+                ("shard_mismatch".into(), opt_str(&r.shard_mismatch)),
             ]),
         };
         // Schema versioning policy: within a major version, changes are
@@ -817,6 +832,53 @@ impl RunSummary {
     }
 }
 
+/// A bounded, thread-safe feasibility memo shared *across* runs by a
+/// long-lived host (the serve daemon). Keys are the stable, canonical
+/// constraint-set fingerprints from [`p4t_smt::stable_fingerprint`] —
+/// content-addressed, so entries are valid across programs, targets, and
+/// configs: an identical fingerprint means an identical (alpha-renamed)
+/// constraint system, and feasibility is a pure function of that system.
+///
+/// Bounded by an LRU so a daemon serving many tenants cannot grow memo
+/// state without limit; the [`p4t_obs::LruStats`] counters feed the
+/// daemon's `/metrics` export.
+pub struct SharedFeasMemo {
+    inner: Mutex<p4t_obs::LruCache<u128, bool>>,
+}
+
+impl SharedFeasMemo {
+    /// A memo holding at most `capacity` verdicts.
+    pub fn new(capacity: usize) -> Self {
+        SharedFeasMemo { inner: Mutex::new(p4t_obs::LruCache::new(capacity)) }
+    }
+
+    fn get(&self, fp: u128) -> Option<bool> {
+        self.inner.lock().get(&fp).copied()
+    }
+
+    fn put(&self, fp: u128, sat: bool) {
+        self.inner.lock().insert(fp, sat);
+    }
+
+    /// Cache statistics (size, capacity, hit/miss/eviction counters).
+    pub fn stats(&self) -> p4t_obs::LruStats {
+        self.inner.lock().stats()
+    }
+}
+
+impl std::fmt::Debug for SharedFeasMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("SharedFeasMemo")
+            .field("len", &s.len)
+            .field("capacity", &s.capacity)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("evictions", &s.evictions)
+            .finish()
+    }
+}
+
 /// Memoizes fork-feasibility verdicts by constraint *set*. Different
 /// interleavings frequently reconverge on the same constraint set (e.g.
 /// sibling table branches re-deriving a parser prefix); hash consing makes
@@ -833,6 +895,10 @@ struct FeasMemo {
     /// through [`ExplorationState::memo`], and computing fingerprints costs
     /// a term walk per miss, which plain runs should not pay.
     stable: Option<Mutex<HashMap<u128, bool>>>,
+    /// Cross-run layer owned by a long-lived host (see
+    /// [`TestgenConfig::shared_memo`]); consulted after `stable`, written
+    /// alongside it.
+    external: Option<Arc<SharedFeasMemo>>,
 }
 
 impl FeasMemo {
@@ -842,32 +908,44 @@ impl FeasMemo {
             hits: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             stable: None,
+            external: None,
         }
     }
 
     /// A memo with the stable-fingerprint layer on, seeded from a restored
-    /// checkpoint's entries (empty for a cold checkpointed start).
-    fn with_persistence(entries: &[(u128, bool)]) -> Self {
+    /// checkpoint's entries (empty for a cold checkpointed start) and
+    /// optionally connected to a host-owned cross-run cache.
+    fn with_persistence(entries: &[(u128, bool)], external: Option<Arc<SharedFeasMemo>>) -> Self {
         FeasMemo {
             map: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             stable: Some(Mutex::new(entries.iter().copied().collect())),
+            external,
         }
     }
 
-    /// Is the stable-fingerprint layer enabled (checkpointing runs only)?
+    /// Is a stable-fingerprint layer enabled (checkpointing runs and runs
+    /// hosted by the serve daemon)?
     fn persistent(&self) -> bool {
-        self.stable.is_some()
+        self.stable.is_some() || self.external.is_some()
     }
 
     fn stable_lookup(&self, fp: u128) -> Option<bool> {
-        self.stable.as_ref()?.lock().get(&fp).copied()
+        if let Some(s) = &self.stable {
+            if let Some(&sat) = s.lock().get(&fp) {
+                return Some(sat);
+            }
+        }
+        self.external.as_ref()?.get(fp)
     }
 
     fn stable_record(&self, fp: u128, sat: bool) {
         if let Some(s) = &self.stable {
             s.lock().insert(fp, sat);
+        }
+        if let Some(e) = &self.external {
+            e.put(fp, sat);
         }
     }
 
@@ -1076,16 +1154,29 @@ impl<T: Target> Shared<'_, T> {
             abandoned_paths: abandoned,
             errors,
             checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
+            shard: self.config.shard,
         }
     }
 
     /// Write a checkpoint to `path`, recording success or the first
-    /// failure. Callers serialize via `last_flush`.
+    /// failure. Transient IO errors are retried with bounded deterministic
+    /// backoff (see [`ExplorationState::write_atomic_retry`]); a final
+    /// failure is classified, never silent. Callers serialize via
+    /// `last_flush`.
     fn flush_checkpoint(&self, path: &std::path::Path) -> bool {
         let state = self.snapshot_state();
-        match state.write_atomic(path) {
-            Ok(()) => {
+        match state.write_atomic_retry(path) {
+            Ok(attempts) => {
                 self.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                if attempts > 1 {
+                    if let Some(reg) = &self.config.obs.metrics {
+                        reg.counter(
+                            "p4testgen_checkpoint_write_retries_total",
+                            "Checkpoint writes that needed transient-IO retries",
+                        )
+                        .add(u64::from(attempts - 1));
+                    }
+                }
                 let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
                 *self.last_ckpt.lock() = Some((Instant::now(), bytes));
                 if let Some(ls) = &self.config.obs.live {
@@ -1152,6 +1243,73 @@ struct WorkerOut {
     abandon_sites: Vec<AbandonSite>,
 }
 
+/// A target-validated frontend compile, separated from [`Testgen`] so a
+/// long-lived host can cache it: compiling is the expensive, immutable
+/// part of request setup (parse + type-check + IR lowering), keyed purely
+/// on (source, target). [`Testgen::from_compiled`] turns one into a driver
+/// without recompiling.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    /// The lowered IR (target pipeline shape already validated).
+    pub prog: IrProgram,
+    /// Warning diagnostics from the frontend (program still compiled).
+    pub frontend_warnings: Vec<p4t_frontend::Diagnostic>,
+    /// Number of prelude lines prepended ahead of the user's source.
+    pub prelude_lines: u32,
+    /// FNV-1a over the full (prelude-prepended) source and the target
+    /// name; one input to [`run_fingerprint_of`].
+    pub source_fingerprint: u64,
+}
+
+impl CompiledProgram {
+    /// Compile `source` with `target`'s prelude prepended and validate the
+    /// pipeline shape against the target.
+    pub fn build<T: Target>(source: &str, target: &T) -> Result<CompiledProgram, BuildError> {
+        let prelude = target.prelude();
+        let full = format!("{prelude}\n{source}");
+        // Number of newlines ahead of the user's first line in `full`.
+        let prelude_lines = prelude.matches('\n').count() as u32 + 1;
+        let (prog, frontend_warnings) = p4t_ir::compile_full(&full)
+            .map_err(|diagnostics| BuildError::Frontend { diagnostics, prelude_lines })?;
+        target.pipeline(&prog).map_err(BuildError::Target)?; // validate early
+        let mut source_fingerprint = FNV_OFFSET;
+        fnv_mix(&mut source_fingerprint, full.as_bytes());
+        fnv_mix(&mut source_fingerprint, target.name().as_bytes());
+        Ok(CompiledProgram { prog, frontend_warnings, prelude_lines, source_fingerprint })
+    }
+}
+
+/// The suite-deciding fingerprint for a compiled program under `config`:
+/// everything that decides the emitted bytes — the compiled source, the
+/// target, and the suite-affecting config fields. Schedule-only knobs
+/// (`jobs`, `deadline`, `solver_mode`, fault plans, observability,
+/// checkpoint/resume/drain wiring, shared memo, and the shard spec — the
+/// *merged* suite is shard-independent) are excluded, so a resumed run may
+/// change them and still complete the identical suite. Exposed free-form so
+/// a host can compute cache keys before constructing a [`Testgen`].
+pub fn run_fingerprint_of(source_fingerprint: u64, c: &TestgenConfig) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv_mix(&mut h, &source_fingerprint.to_le_bytes());
+    for v in [
+        c.max_tests,
+        c.max_paths,
+        c.max_steps_per_path,
+        c.seed,
+        u64::from(c.parser_loop_bound),
+        c.strategy as u64,
+        u64::from(c.preconditions.apply_entry_restrictions),
+        c.preconditions.fixed_packet_bytes.map_or(u64::MAX, u64::from),
+        u64::from(c.stop_at_full_coverage),
+        u64::from(c.concolic_retries),
+        u64::from(c.eager_pruning),
+        c.solver_budget,
+        u64::from(c.budget_retry),
+    ] {
+        fnv_mix(&mut h, &v.to_le_bytes());
+    }
+    h
+}
+
 /// The generation driver. Owns the term pool, the target extension, and the
 /// compiled program; each exploration worker owns its solver.
 pub struct Testgen<T: Target> {
@@ -1190,59 +1348,45 @@ impl<T: Target> Testgen<T> {
         target: T,
         config: TestgenConfig,
     ) -> Result<Self, BuildError> {
-        let prelude = target.prelude();
-        let full = format!("{prelude}\n{source}");
-        // Number of newlines ahead of the user's first line in `full`.
-        let prelude_lines = prelude.matches('\n').count() as u32 + 1;
-        let (prog, frontend_warnings) = p4t_ir::compile_full(&full)
-            .map_err(|diagnostics| BuildError::Frontend { diagnostics, prelude_lines })?;
-        target.pipeline(&prog).map_err(BuildError::Target)?; // validate early
-        let mut source_fingerprint = FNV_OFFSET;
-        fnv_mix(&mut source_fingerprint, full.as_bytes());
-        fnv_mix(&mut source_fingerprint, target.name().as_bytes());
-        Ok(Testgen {
-            prog,
+        let compiled = CompiledProgram::build(source, &target)?;
+        Ok(Testgen::from_compiled(program_name, compiled, target, config))
+    }
+
+    /// Build a driver from an already-compiled program (see
+    /// [`CompiledProgram`]) — no frontend work, so a host with a compile
+    /// cache pays only the (cheap) driver construction per request. The
+    /// compiled program must have been built for the same target kind;
+    /// the pipeline shape was already validated at compile time.
+    pub fn from_compiled(
+        program_name: &str,
+        compiled: CompiledProgram,
+        target: T,
+        config: TestgenConfig,
+    ) -> Self {
+        Testgen {
+            prog: compiled.prog,
             target,
             pool: TermPool::new(),
             config,
             concolics: ConcolicRegistry::with_builtins(),
             program_name: program_name.to_string(),
-            frontend_warnings,
+            frontend_warnings: compiled.frontend_warnings,
             solver_totals: SolverStats::default(),
             sat_totals: SatStats::default(),
-            source_fingerprint,
-        })
+            source_fingerprint: compiled.source_fingerprint,
+        }
     }
 
-    /// Fingerprint of everything that decides the emitted suite's bytes:
-    /// the compiled source, the target, and the suite-affecting config
-    /// fields. Schedule-only knobs (`jobs`, `deadline`, `solver_mode`,
-    /// fault plans, observability, checkpoint/resume/drain wiring, and the
-    /// shard spec — the *merged* suite is shard-independent) are excluded,
-    /// so a resumed run may change them and still complete the identical
-    /// suite. Stamped into checkpoints and validated on resume.
+    /// Fingerprint of everything that decides the emitted suite's bytes
+    /// (see [`run_fingerprint_of`]). Stamped into checkpoints and
+    /// validated on resume.
     pub fn run_fingerprint(&self) -> u64 {
-        let c = &self.config;
-        let mut h = FNV_OFFSET;
-        fnv_mix(&mut h, &self.source_fingerprint.to_le_bytes());
-        for v in [
-            c.max_tests,
-            c.max_paths,
-            c.max_steps_per_path,
-            c.seed,
-            u64::from(c.parser_loop_bound),
-            c.strategy as u64,
-            u64::from(c.preconditions.apply_entry_restrictions),
-            c.preconditions.fixed_packet_bytes.map_or(u64::MAX, u64::from),
-            u64::from(c.stop_at_full_coverage),
-            u64::from(c.concolic_retries),
-            u64::from(c.eager_pruning),
-            c.solver_budget,
-            u64::from(c.budget_retry),
-        ] {
-            fnv_mix(&mut h, &v.to_le_bytes());
-        }
-        h
+        run_fingerprint_of(self.source_fingerprint, &self.config)
+    }
+
+    /// The (source, target) fingerprint this driver was compiled from.
+    pub fn source_fingerprint(&self) -> u64 {
+        self.source_fingerprint
     }
 
     /// Warning diagnostics from the frontend compile (empty when clean).
@@ -1292,6 +1436,26 @@ impl<T: Target> Testgen<T> {
         mut on_test: impl FnMut(&TestSpec) -> bool,
     ) -> Result<RunSummary, RunError> {
         let t_start = Instant::now();
+        // Request-level fault injection (serve isolation tests): these
+        // fire before any worker spawns, so they deliberately escape the
+        // per-path containment below — the host's per-*request*
+        // `catch_unwind` is what must contain them.
+        if self.config.fault_plan.driver_panic {
+            panic!("injected driver panic (FaultPlan::driver_panic)");
+        }
+        if let Some(stall) = self.config.fault_plan.driver_stall {
+            let until = t_start + stall;
+            loop {
+                if self.config.drain.as_ref().is_some_and(|d| d.load(Ordering::Acquire)) {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= until {
+                    break;
+                }
+                std::thread::sleep((until - now).min(Duration::from_millis(5)));
+            }
+        }
         let jobs = self.config.jobs.max(1);
         let fingerprint = self.run_fingerprint();
         let ckpt_enabled = self.config.checkpoint.is_some() || self.config.resume.is_some();
@@ -1312,6 +1476,23 @@ impl<T: Target> Testgen<T> {
                         fr.record_run("resume-rejected", Some(e.kind().to_string()));
                     }
                 }
+            }
+        }
+        // The config fingerprint deliberately excludes sharding (every
+        // shard of one partition must share it), so the recorded filter is
+        // compared separately: resuming under a different `--shard` leaves
+        // frontier subtrees this process does not own silently unexplored.
+        if let (Some(r), Some(info)) = (&restored, &mut resume_info) {
+            if r.shard != self.config.shard {
+                let describe = |s: Option<ShardSpec>| match s {
+                    Some(s) => format!("shard {s}"),
+                    None => "no shard filter".to_string(),
+                };
+                info.shard_mismatch = Some(format!(
+                    "checkpoint written under {}, resumed under {}",
+                    describe(r.shard),
+                    describe(self.config.shard),
+                ));
             }
         }
         if let Some(fr) = &self.config.obs.flight {
@@ -1340,8 +1521,11 @@ impl<T: Target> Testgen<T> {
             best: Mutex::new(BinaryHeap::new()),
             paths_started: AtomicU64::new(0),
             coverage: SharedCoverage::new(&self.prog),
-            memo: if ckpt_enabled {
-                FeasMemo::with_persistence(restored.as_ref().map_or(&[], |r| r.memo.as_slice()))
+            memo: if ckpt_enabled || self.config.shared_memo.is_some() {
+                FeasMemo::with_persistence(
+                    restored.as_ref().map_or(&[], |r| r.memo.as_slice()),
+                    self.config.shared_memo.clone(),
+                )
             } else {
                 FeasMemo::new()
             },

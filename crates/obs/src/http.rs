@@ -1,23 +1,32 @@
 //! Live status/metrics HTTP endpoint.
 //!
 //! A deliberately tiny, dependency-free blocking HTTP/1.0-ish server for
-//! `--status-addr`. Three routes:
+//! `--status-addr`. Four routes:
 //!
-//! * `GET /healthz` — `200 ok` while the process is alive.
+//! * `GET /healthz` — `200 ok` while the process is alive (pure liveness:
+//!   a draining process is still healthy).
+//! * `GET /readyz`  — readiness: `200 ready` while the process admits
+//!   work, `503 draining` once drain has been requested. Load balancers
+//!   should route on this, not `/healthz`.
 //! * `GET /metrics` — Prometheus text exposition of the run's [`Registry`]
 //!   (404 when the run has no registry).
 //! * `GET /status`  — live JSON progress: elapsed time, tests emitted,
 //!   paths explored, frontier/queue depth, coverage, worker busy/total,
 //!   checkpoint age and size, and an ETA extrapolated from the
-//!   coverage-growth curve.
+//!   coverage-growth curve. An optional [`StatusExtra`] provider merges
+//!   additional rows (the serve daemon's requests table) into the
+//!   document.
 //!
 //! The server runs one accept-loop thread and handles connections
 //! serially — status polling is human/CI-frequency traffic, and a serial
-//! loop keeps the implementation free of thread churn. Reads carry a
-//! short timeout so a stalled client cannot wedge the endpoint. The
-//! engine never waits on the server; all shared state is atomics updated
-//! from the hot path with relaxed ordering, so enabling the endpoint
-//! cannot perturb exploration (suites stay byte-identical).
+//! loop keeps the implementation free of thread churn. The accept loop is
+//! non-blocking with a bounded poll interval, so `shutdown` always joins
+//! within one poll tick — no throwaway self-connection, no detached
+//! thread leaking past process teardown. Reads carry a short timeout so a
+//! stalled client cannot wedge the endpoint. The engine never waits on
+//! the server; all shared state is atomics updated from the hot path with
+//! relaxed ordering, so enabling the endpoint cannot perturb exploration
+//! (suites stay byte-identical).
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -198,6 +207,14 @@ impl LiveStatus {
     }
 }
 
+/// Extra rows merged into the `/status` document, e.g. the serve daemon's
+/// per-request table. Called per request; must be cheap and lock-light.
+pub type StatusExtra = Arc<dyn Fn() -> Vec<(String, Value)> + Send + Sync>;
+
+/// Bounded accept-poll interval: the server thread wakes at least this
+/// often to observe the stop flag, so shutdown latency is capped.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
 /// The status endpoint. Binds on construction; serves until dropped or
 /// [`StatusServer::shutdown`].
 pub struct StatusServer {
@@ -215,8 +232,24 @@ impl StatusServer {
         status: Arc<LiveStatus>,
         registry: Option<Arc<Registry>>,
     ) -> std::io::Result<StatusServer> {
+        StatusServer::bind_full(addr, status, registry, None, None)
+    }
+
+    /// [`StatusServer::bind`] plus a readiness flag (`/readyz` flips to
+    /// `503 draining` once it is set) and an extra `/status` row provider.
+    pub fn bind_full(
+        addr: &str,
+        status: Arc<LiveStatus>,
+        registry: Option<Arc<Registry>>,
+        draining: Option<Arc<AtomicBool>>,
+        extra: Option<StatusExtra>,
+    ) -> std::io::Result<StatusServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        // Non-blocking accept with a bounded poll keeps shutdown
+        // deterministic: the thread observes the stop flag within
+        // ACCEPT_POLL even if no client ever connects again.
+        listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let requests = Arc::new(AtomicU64::new(0));
         let handle = {
@@ -224,14 +257,30 @@ impl StatusServer {
             let requests = Arc::clone(&requests);
             std::thread::Builder::new()
                 .name("p4testgen-status".to_string())
-                .spawn(move || {
-                    for conn in listener.incoming() {
-                        if stop.load(Ordering::Acquire) {
-                            break;
+                .spawn(move || loop {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Per-connection IO goes back to blocking mode
+                            // with timeouts (set in serve_one).
+                            if stream.set_nonblocking(false).is_err() {
+                                continue;
+                            }
+                            requests.fetch_add(1, Ordering::Relaxed);
+                            let _ = serve_one(
+                                stream,
+                                &status,
+                                registry.as_deref(),
+                                draining.as_deref(),
+                                extra.as_ref(),
+                            );
                         }
-                        let Ok(stream) = conn else { continue };
-                        requests.fetch_add(1, Ordering::Relaxed);
-                        let _ = serve_one(stream, &status, registry.as_deref());
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => std::thread::sleep(ACCEPT_POLL),
                     }
                 })
                 .expect("spawn status-server thread")
@@ -249,11 +298,11 @@ impl StatusServer {
         self.requests.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting and join the server thread.
+    /// Stop accepting and join the server thread. Bounded: the accept
+    /// loop polls, so the join completes within one poll interval plus
+    /// any in-flight request's IO timeouts.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Release);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -270,6 +319,8 @@ fn serve_one(
     mut stream: TcpStream,
     status: &LiveStatus,
     registry: Option<&Registry>,
+    draining: Option<&AtomicBool>,
+    extra: Option<&StatusExtra>,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_millis(500)))?;
@@ -290,13 +341,27 @@ fn serve_one(
     let line = String::from_utf8_lossy(&req);
     let path = line.split_whitespace().nth(1).unwrap_or("");
     let (code, content_type, body) = match path {
+        // Liveness: the process is up. Deliberately stays 200 during
+        // drain — restarting a draining process would lose its in-flight
+        // work for no reason.
         "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+        // Readiness: whether new work will be admitted.
+        "/readyz" => {
+            if draining.is_some_and(|d| d.load(Ordering::Acquire)) {
+                ("503 Service Unavailable", "text/plain", "draining\n".to_string())
+            } else {
+                ("200 OK", "text/plain", "ready\n".to_string())
+            }
+        }
         "/status" => (
             "200 OK",
             "application/json",
             {
-                let mut body =
-                    serde_json::to_string(&status.status_json()).expect("status serializes");
+                let mut doc = status.status_json();
+                if let (Value::Object(rows), Some(provider)) = (&mut doc, extra) {
+                    rows.extend(provider());
+                }
+                let mut body = serde_json::to_string(&doc).expect("status serializes");
                 body.push('\n');
                 body
             },
@@ -361,6 +426,60 @@ mod tests {
         let (head, _) = get(addr, "/nonesuch");
         assert!(head.starts_with("HTTP/1.0 404"), "{head}");
         assert!(server.requests() >= 4);
+    }
+
+    #[test]
+    fn readyz_tracks_draining_flag_and_healthz_stays_live() {
+        let status = Arc::new(LiveStatus::new());
+        let draining = Arc::new(AtomicBool::new(false));
+        let extra: StatusExtra = {
+            Arc::new(|| vec![("requests".to_string(), Value::Number(Number::U(7)))])
+        };
+        let server = StatusServer::bind_full(
+            "127.0.0.1:0",
+            status,
+            None,
+            Some(Arc::clone(&draining)),
+            Some(extra),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/readyz");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert_eq!(body, "ready\n");
+
+        draining.store(true, Ordering::Release);
+        let (head, body) = get(addr, "/readyz");
+        assert!(head.starts_with("HTTP/1.0 503"), "{head}");
+        assert_eq!(body, "draining\n");
+        // Liveness is unaffected by drain.
+        let (head, _) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        // The extra provider's rows land in /status.
+        let (_, body) = get(addr, "/status");
+        let v: Value = serde_json::from_str(&body).expect("status is JSON");
+        assert_eq!(v.get("requests").and_then(|n| n.as_u64()), Some(7));
+    }
+
+    #[test]
+    fn readyz_without_flag_is_always_ready() {
+        let status = Arc::new(LiveStatus::new());
+        let server = StatusServer::bind("127.0.0.1:0", status, None).unwrap();
+        let (head, body) = get(server.local_addr(), "/readyz");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert_eq!(body, "ready\n");
+    }
+
+    #[test]
+    fn shutdown_joins_promptly_without_a_final_connection() {
+        let status = Arc::new(LiveStatus::new());
+        let mut server = StatusServer::bind("127.0.0.1:0", status, None).unwrap();
+        let t0 = std::time::Instant::now();
+        server.shutdown();
+        // Bounded by the accept poll interval, with generous slack for
+        // loaded CI machines.
+        assert!(t0.elapsed() < Duration::from_secs(2));
     }
 
     #[test]

@@ -25,8 +25,12 @@
 //!   post-mortems.
 //! * [`http`] — the live introspection endpoint (`--status-addr`): a
 //!   dependency-free blocking listener serving `/metrics` (Prometheus),
-//!   `/status` (live JSON progress incl. coverage-curve ETA), and
-//!   `/healthz`.
+//!   `/status` (live JSON progress incl. coverage-curve ETA), `/healthz`
+//!   (liveness), and `/readyz` (readiness — flips to 503 during drain).
+//! * [`server`] — service primitives for the long-lived `p4testgen serve`
+//!   daemon: a bounded LRU cache with hit/miss/eviction accounting and a
+//!   bounded admission queue with deterministic load shedding and drain
+//!   semantics.
 //!
 //! The crate is a dependency *leaf*: `core` and the CLI depend on it, never
 //! the reverse. `smt` and `interp` stay observability-agnostic — they expose
@@ -41,12 +45,14 @@ pub mod diag;
 pub mod http;
 pub mod metrics;
 pub mod recorder;
+pub mod server;
 pub mod span;
 pub mod trace;
 
 pub use diag::{Diag, Level};
-pub use http::{LiveStatus, StatusServer};
+pub use http::{LiveStatus, StatusExtra, StatusServer};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use server::{BoundedQueue, LruCache, LruStats, Pop, Push};
 pub use recorder::{FlightRecorder, DEFAULT_RING_CAPACITY};
 pub use span::{SpanEvent, RUN_WORKER};
 pub use trace::{EngineEvent, PathOutcome, PathRecord, PathTiming, TraceLog};

@@ -1,0 +1,103 @@
+//! Process-global driver concerns, factored out of `main` so the one-shot
+//! CLI run and the long-lived `serve` daemon share one implementation.
+//!
+//! The library/driver split: `p4testgen_core::Testgen` is fully reentrant —
+//! any number of instances can run concurrently in one process — but a
+//! process has exactly one SIGTERM disposition and one panic hook. Those
+//! singletons live here, installed idempotently: the first caller installs,
+//! every caller gets the same handle, and repeated installation can never
+//! silently disarm an earlier caller (the historical bug this module
+//! replaces: a second `install_drain_handler(flag)` dropped its flag on the
+//! floor because the `OnceLock` was already set).
+
+use p4t_backends::{ProtoBackend, PtfBackend, StfBackend, TestBackend};
+use p4testgen_core::TestSpec;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The process-wide cooperative drain flag, set by SIGTERM/SIGINT.
+///
+/// Idempotent: the first call installs the signal handler and creates the
+/// flag; every call — first or later, from the CLI path or the daemon —
+/// returns the *same* `Arc`, so there is exactly one flag to poll no
+/// matter how many subsystems ask for it.
+pub fn process_drain_flag() -> Arc<AtomicBool> {
+    static HANDLER: OnceLock<()> = OnceLock::new();
+    let flag = drain_slot().get_or_init(|| Arc::new(AtomicBool::new(false)));
+    HANDLER.get_or_init(install_signal_handler);
+    Arc::clone(flag)
+}
+
+#[cfg(unix)]
+fn install_signal_handler() {
+    extern "C" fn on_signal(_sig: i32) {
+        // Async-signal-safe: one relaxed atomic store, nothing else. The
+        // OnceLock is necessarily initialized before the handler can fire.
+        if let Some(f) = drain_slot().get() {
+            f.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handler() {}
+
+/// The handler reads the flag through this accessor so `process_drain_flag`
+/// and the signal handler agree on one storage location.
+fn drain_slot() -> &'static OnceLock<Arc<AtomicBool>> {
+    static SLOT: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    &SLOT
+}
+
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Send + Sync>;
+
+fn panic_hooks() -> &'static Mutex<Vec<PanicHook>> {
+    static HOOKS: OnceLock<Mutex<Vec<PanicHook>>> = OnceLock::new();
+    HOOKS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Register an additional panic observer. The process's real hook is
+/// installed once (chaining to whatever hook existed before); later
+/// registrations just append to the observer list, so the flight recorder
+/// and the daemon's request containment can both watch panics without
+/// fighting over `std::panic::set_hook`.
+pub fn add_panic_hook(hook: PanicHook) {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    panic_hooks().lock().unwrap_or_else(|e| e.into_inner()).push(hook);
+    INSTALLED.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            for h in panic_hooks().lock().unwrap_or_else(|e| e.into_inner()).iter() {
+                h(info);
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Render a test suite in the named backend format. `None` for an unknown
+/// backend name (the caller owns the error message). Shared by the CLI
+/// suite/merge paths and the daemon so a served suite is byte-identical to
+/// the CLI's rendering of the same tests.
+pub fn render_suite(backend: &str, tests: &[TestSpec]) -> Option<String> {
+    Some(match backend {
+        "stf" => StfBackend.emit_suite(tests),
+        "ptf" => PtfBackend.emit_suite(tests),
+        "proto" => ProtoBackend.emit_suite(tests),
+        "json" => {
+            let items: Vec<String> = tests.iter().map(|t| ProtoBackend.emit_json(t)).collect();
+            format!("[{}]\n", items.join(",\n"))
+        }
+        _ => return None,
+    })
+}

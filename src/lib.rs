@@ -17,7 +17,15 @@
 //! * [`targets`] (`p4t-targets`) — v1model, tna, t2na, ebpf_model.
 //! * [`interp`] (`p4t-interp`) — concrete software models + fault injection.
 //! * [`backends`] (`p4t-backends`) — STF, PTF, and Protobuf-text emitters.
+//! * [`obs`] (`p4t-obs`) — diagnostics, metrics, the status endpoint, and
+//!   the bounded queue/LRU primitives behind `p4testgen serve`.
 //! * [`corpus`] (`p4t-corpus`) — the evaluation program corpus.
+//!
+//! The `p4testgen` binary fronts all of this twice over: a one-shot CLI
+//! (`p4testgen --target ... prog.p4`) and a long-lived generation daemon
+//! (`p4testgen serve --listen HOST:PORT`) that multiplexes tenants over
+//! the same reentrant [`core`] engine with per-request panic containment,
+//! admission control, and bounded caches.
 //!
 //! ## Quick example
 //!
@@ -54,6 +62,7 @@ pub use p4t_corpus as corpus;
 pub use p4t_frontend as frontend;
 pub use p4t_interp as interp;
 pub use p4t_ir as ir;
+pub use p4t_obs as obs;
 pub use p4t_smt as smt;
 pub use p4t_targets as targets;
 pub use p4testgen_core as core;

@@ -1,5 +1,11 @@
 //! The p4testgen command-line tool: generate packet tests for a P4 program.
 //!
+//! Two modes share one engine: the one-shot CLI below, and a long-lived
+//! multi-tenant daemon (`p4testgen serve --listen HOST:PORT`, see the
+//! [`serve`] module) that accepts generation requests over newline-
+//! delimited JSON with per-request panic containment, admission control,
+//! bounded caches, and graceful drain.
+//!
 //! ```text
 //! p4testgen --target v1model --backend stf [options] program.p4
 //!
@@ -38,7 +44,9 @@
 //!   -v, --verbose                            chattier stderr diagnostics
 //! ```
 
-use p4t_backends::{ProtoBackend, PtfBackend, StfBackend, TestBackend};
+mod driver;
+mod serve;
+
 use p4t_frontend::{Diagnostic, SourceMap};
 use p4t_interp::{execute_and_check_counted, Arch, FaultSet, InterpStats};
 use p4t_obs::{
@@ -291,38 +299,6 @@ fn parse_args() -> Options {
     opts
 }
 
-/// Install a cooperative-drain signal handler: SIGTERM/SIGINT set a flag the
-/// exploration workers poll; in-flight paths finish, a final checkpoint is
-/// flushed (when configured), telemetry sinks are written, and the process
-/// exits normally. Installed when a checkpoint OR any telemetry sink is
-/// configured — otherwise the default die-now behavior is kept.
-#[cfg(unix)]
-fn install_drain_handler(flag: Arc<AtomicBool>) {
-    use std::sync::OnceLock;
-    static DRAIN: OnceLock<Arc<AtomicBool>> = OnceLock::new();
-    extern "C" fn on_signal(_sig: i32) {
-        // Async-signal-safe: one relaxed atomic store, nothing else.
-        if let Some(f) = DRAIN.get() {
-            f.store(true, Ordering::Relaxed);
-        }
-    }
-    extern "C" {
-        fn signal(signum: i32, handler: usize) -> usize;
-    }
-    const SIGINT: i32 = 2;
-    const SIGTERM: i32 = 15;
-    if DRAIN.set(flag).is_ok() {
-        let handler = on_signal as *const () as usize;
-        unsafe {
-            signal(SIGTERM, handler);
-            signal(SIGINT, handler);
-        }
-    }
-}
-
-#[cfg(not(unix))]
-fn install_drain_handler(_flag: Arc<AtomicBool>) {}
-
 /// `--merge-shards`: fold the completed shard checkpoints back into the
 /// single-run suite and render it. Corrupt, mismatched, or unfinished
 /// inputs are usage/I-O errors (exit 2) — a silent partial merge would
@@ -366,16 +342,10 @@ fn merge_shards_main(opts: &Options, diag: &Diag) -> ExitCode {
         opts.merge_shards.len(),
         merged.len()
     ));
-    let rendered = match opts.backend.as_str() {
-        "stf" => StfBackend.emit_suite(&merged),
-        "ptf" => PtfBackend.emit_suite(&merged),
-        "proto" => ProtoBackend.emit_suite(&merged),
-        "json" => {
-            let items: Vec<String> = merged.iter().map(|t| ProtoBackend.emit_json(t)).collect();
-            format!("[{}]\n", items.join(",\n"))
-        }
-        other => {
-            diag.error(format!("unknown backend '{other}'"));
+    let rendered = match driver::render_suite(&opts.backend, &merged) {
+        Some(r) => r,
+        None => {
+            diag.error(format!("unknown backend '{}'", opts.backend));
             return ExitCode::from(EXIT_USAGE_IO);
         }
     };
@@ -645,6 +615,11 @@ fn flush_sinks(
 }
 
 fn main() -> ExitCode {
+    // Daemon mode has its own flag grammar; dispatch before the CLI parse.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        return serve::serve_main(&argv[1..]);
+    }
     let opts = parse_args();
     let diag = Diag::new(opts.verbosity);
     if !opts.merge_shards.is_empty() {
@@ -692,10 +667,11 @@ fn main() -> ExitCode {
     // there is state worth saving — a checkpoint to flush or telemetry sinks
     // (trace, metrics, summary, flight dump, provenance, coverage report)
     // that would otherwise be lost with the process.
+    let mut drain_flag: Option<Arc<AtomicBool>> = None;
     if checkpoint_path.is_some() || opts.wants_telemetry() {
-        let drain = Arc::new(AtomicBool::new(false));
-        install_drain_handler(drain.clone());
-        config.drain = Some(drain);
+        let drain = driver::process_drain_flag();
+        config.drain = Some(Arc::clone(&drain));
+        drain_flag = Some(drain);
     }
     // The flight recorder exists before the resume load so a corrupt
     // checkpoint leaves a run-level event in the dump.
@@ -713,12 +689,12 @@ fn main() -> ExitCode {
             });
             // Dump the rings on any panic — including worker panics the
             // engine isolates — so the last events before the fault survive.
+            // Registered as an observer (not via `set_hook` directly) so
+            // other subsystems can watch panics too without displacing us.
             let hook_sink = Arc::clone(&sink);
-            let prev = std::panic::take_hook();
-            std::panic::set_hook(Box::new(move |info| {
+            driver::add_panic_hook(Box::new(move |info| {
                 hook_sink.recorder.record_run("panic-hook", Some(info.to_string()));
                 let _ = hook_sink.dump();
-                prev(info);
             }));
             Some(sink)
         }
@@ -770,7 +746,15 @@ fn main() -> ExitCode {
     config.obs.live = live.clone();
     let mut status_server = None;
     if let (Some(addr), Some(live)) = (&opts.status_addr, &live) {
-        match StatusServer::bind(addr, Arc::clone(live), registry.clone()) {
+        // `/readyz` tracks the drain flag: a SIGTERM'd run reports 503
+        // (not ready) while `/healthz` stays 200 until the process exits.
+        match StatusServer::bind_full(
+            addr,
+            Arc::clone(live),
+            registry.clone(),
+            drain_flag.clone(),
+            None,
+        ) {
             Ok(srv) => {
                 diag.info(format!(
                     "status endpoint listening on http://{}",
@@ -865,6 +849,12 @@ fn main() -> ExitCode {
         if let Some(e) = &info.flush_error {
             diag.warn(format!("checkpoint flush failed: {e} (previous checkpoint intact)"));
         }
+        if let Some(msg) = &info.shard_mismatch {
+            diag.warn(format!(
+                "shard filter changed across resume: {msg}; frontier subtrees owned \
+                 by the original filter stay unexplored in this process"
+            ));
+        }
         match (&info.interrupted, &info.checkpoint_path) {
             (Some(why), Some(path)) => diag.warn(format!(
                 "run interrupted ({why}); {} unexplored state(s) checkpointed — \
@@ -896,16 +886,10 @@ fn main() -> ExitCode {
         eprint!("{}", summary.coverage);
     }
     // Render the suite.
-    let rendered = match opts.backend.as_str() {
-        "stf" => StfBackend.emit_suite(&tests),
-        "ptf" => PtfBackend.emit_suite(&tests),
-        "proto" => ProtoBackend.emit_suite(&tests),
-        "json" => {
-            let items: Vec<String> = tests.iter().map(|t| ProtoBackend.emit_json(t)).collect();
-            format!("[{}]\n", items.join(",\n"))
-        }
-        other => {
-            diag.error(format!("unknown backend '{other}'"));
+    let rendered = match driver::render_suite(&opts.backend, &tests) {
+        Some(r) => r,
+        None => {
+            diag.error(format!("unknown backend '{}'", opts.backend));
             return ExitCode::from(EXIT_USAGE_IO);
         }
     };
@@ -982,7 +966,20 @@ fn main() -> ExitCode {
     if let Some(mut srv) = status_server.take() {
         if let Some(linger) = opts.status_linger.filter(|&s| s > 0.0) {
             diag.verbose(format!("status endpoint lingering {linger}s"));
-            std::thread::sleep(Duration::from_secs_f64(linger));
+            // Sliced sleep: a SIGTERM during the linger ends it early
+            // instead of pinning the process for the full window.
+            let until = std::time::Instant::now() + Duration::from_secs_f64(linger);
+            loop {
+                if drain_flag.as_ref().is_some_and(|d| d.load(Ordering::Relaxed)) {
+                    diag.verbose("drain requested; ending status linger early");
+                    break;
+                }
+                let now = std::time::Instant::now();
+                if now >= until {
+                    break;
+                }
+                std::thread::sleep((until - now).min(Duration::from_millis(100)));
+            }
         }
         srv.shutdown();
     }

@@ -629,3 +629,58 @@ fn cli_accepts_robustness_flags_and_stays_deterministic() {
     assert!(!err1.contains("degraded run"), "{err1}");
     assert!(err1.contains("tests pass on the software model"), "{err1}");
 }
+
+#[test]
+fn cli_resume_under_different_shard_filter_warns() {
+    let prog = write_program();
+    let dir = prog.parent().unwrap();
+    let ckpt = dir.join("shard_mismatch.ckpt");
+    let summary = dir.join("shard_mismatch_summary.json");
+
+    // A completed shard-0 run leaves a checkpoint stamped with its filter.
+    let out = bin()
+        .args(["--target", "v1model", "--seed", "7", "--shard", "0/2", "--checkpoint"])
+        .arg(&ckpt)
+        .args(["--out", "/dev/null"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "shard run failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Same-filter resume stays silent. (Checked first: resuming rewrites
+    // the checkpoint, stamping the resuming process's own filter.)
+    let out = bin()
+        .args(["--target", "v1model", "--seed", "7", "--shard", "0/2", "--resume"])
+        .arg(&ckpt)
+        .args(["--out", "/dev/null"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("shard filter changed"), "{stderr}");
+
+    // Resuming it with NO shard filter is allowed (the config hash
+    // deliberately excludes sharding) but must be called out: subtrees the
+    // original filter skipped stay unexplored.
+    let out = bin()
+        .args(["--target", "v1model", "--seed", "7", "--resume"])
+        .arg(&ckpt)
+        .args(["--out", "/dev/null", "--summary-json"])
+        .arg(&summary)
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "resume failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("shard filter changed across resume"), "{stderr}");
+    assert!(stderr.contains("shard 0/2"), "{stderr}");
+    assert!(stderr.contains("no shard filter"), "{stderr}");
+
+    // The mismatch is machine-readable in the summary's resume block.
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&summary).unwrap()).unwrap();
+    let resume = parsed.get("resume").expect("resume block");
+    let mismatch = resume.get("shard_mismatch").and_then(|m| m.as_str()).unwrap_or_default();
+    assert!(mismatch.contains("shard 0/2"), "summary: {parsed:?}");
+}

@@ -1,0 +1,380 @@
+//! Integration tests for `p4testgen serve` — the crash-contained,
+//! multi-tenant generation daemon.
+//!
+//! Each test spawns the real binary, speaks the newline-delimited JSON
+//! protocol over TCP, and asserts the robustness properties end to end:
+//! byte-identity with cold CLI runs, per-request panic containment,
+//! deterministic load shedding, and graceful SIGTERM drain.
+
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const PROGRAM: &str = r#"
+header h_t { bit<8> a; }
+struct headers_t { h_t h; }
+struct meta_t { bit<8> m; }
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    state start { pkt.extract(hdr.h); transition accept; }
+}
+control VC(inout headers_t hdr, inout meta_t meta) { apply { } }
+control Ing(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {
+    apply { if (hdr.h.a == 1) { sm.egress_spec = 1; } else { sm.egress_spec = 2; } }
+}
+control Eg(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) { apply { } }
+control CC(inout headers_t hdr, inout meta_t meta) { apply { } }
+control Dep(packet_out pkt, in headers_t hdr) { apply { pkt.emit(hdr.h); } }
+V1Switch(P(), VC(), Ing(), Eg(), CC(), Dep()) main;
+"#;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_p4testgen"))
+}
+
+/// Kill-on-drop guard so a failing assertion never leaks a daemon.
+struct Daemon {
+    child: Child,
+    addr: String,
+    status_addr: Option<String>,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Start `p4testgen serve` on an ephemeral port and parse the announced
+/// addresses off stderr.
+fn spawn_serve(extra: &[&str]) -> Daemon {
+    let mut child = bin()
+        .arg("serve")
+        .args(["--listen", "127.0.0.1:0"])
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut reader = BufReader::new(stderr);
+    let mut status_addr = None;
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        if reader.read_line(&mut line).expect("read stderr") == 0 {
+            panic!("daemon exited before announcing its address");
+        }
+        let l = line.trim();
+        if let Some(rest) = l.strip_prefix("p4testgen: status endpoint listening on http://") {
+            status_addr = Some(rest.to_string());
+        }
+        if let Some(rest) = l.strip_prefix("p4testgen: serve listening on ") {
+            break rest.split(' ').next().unwrap().to_string();
+        }
+    };
+    // Keep draining stderr so the daemon never blocks on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = reader.read_to_string(&mut sink);
+    });
+    Daemon { child, addr, status_addr }
+}
+
+/// One client connection with line-per-message framing.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { writer: stream, reader }
+    }
+
+    fn send(&mut self, v: &Value) {
+        let mut line = serde_json::to_string(v).unwrap();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).expect("send request");
+    }
+
+    fn send_raw(&mut self, raw: &str) {
+        self.writer.write_all(raw.as_bytes()).expect("send raw");
+    }
+
+    fn recv(&mut self) -> Value {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "daemon closed the connection");
+        serde_json::from_str(line.trim()).expect("response is JSON")
+    }
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+    v.get(key).unwrap_or_else(|| panic!("response missing '{key}': {v:?}"))
+}
+
+fn str_field(v: &Value, key: &str) -> String {
+    field(v, key).as_str().unwrap_or_else(|| panic!("'{key}' not a string: {v:?}")).to_string()
+}
+
+fn error_kind(v: &Value) -> String {
+    str_field(field(v, "error"), "kind")
+}
+
+/// Build a generation request. `name` must match the CLI's file basename
+/// for byte-identical suites (the program name is stamped into each test).
+fn request(id: &str, config: Value) -> Value {
+    let fields = vec![
+        ("id".to_string(), Value::String(id.to_string())),
+        ("tenant".to_string(), Value::String(format!("tenant-{id}"))),
+        ("name".to_string(), Value::String("prog.p4".to_string())),
+        ("target".to_string(), Value::String("v1model".to_string())),
+        ("backend".to_string(), Value::String("stf".to_string())),
+        ("source".to_string(), Value::String(PROGRAM.to_string())),
+        ("config".to_string(), config),
+    ];
+    Value::Object(fields)
+}
+
+fn with_fault(mut req: Value, fault: Value) -> Value {
+    if let Value::Object(fields) = &mut req {
+        fields.push(("fault".to_string(), fault));
+    }
+    req
+}
+
+fn empty_config() -> Value {
+    Value::Object(vec![])
+}
+
+/// The reference suite: what the one-shot CLI emits for the same program,
+/// name, and config. Served responses must match it byte for byte.
+fn cold_cli_suite() -> String {
+    let dir = std::env::temp_dir().join(format!("p4testgen_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("prog.p4");
+    std::fs::write(&path, PROGRAM).unwrap();
+    let out = bin()
+        .args(["--target", "v1model", "--backend", "stf"])
+        .arg(&path)
+        .output()
+        .expect("cold CLI run");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8(out.stdout).unwrap()
+}
+
+fn http_get(addr: &str, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect status endpoint");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    let _ = s.read_to_string(&mut resp);
+    resp
+}
+
+#[test]
+fn serve_mixed_tenants_contained_and_byte_identical() {
+    let reference = cold_cli_suite();
+    let daemon =
+        spawn_serve(&["--workers", "4", "--enable-fault-injection", "--status-addr", "127.0.0.1:0"]);
+    let mut client = Client::connect(&daemon.addr);
+
+    // Pipeline 8 concurrent requests: six healthy tenants, one that
+    // panics inside the engine driver, one with an impossible budget.
+    for i in 0..6 {
+        client.send(&request(&format!("ok-{i}"), empty_config()));
+    }
+    client.send(&with_fault(
+        request("boom", empty_config()),
+        Value::Object(vec![("driver_panic".to_string(), Value::Bool(true))]),
+    ));
+    client.send(&request(
+        "late",
+        Value::Object(vec![("deadline_ms".to_string(), Value::Number(serde_json::Number::U(0)))]),
+    ));
+
+    let mut ok = 0;
+    let mut panicked = 0;
+    let mut deadlined = 0;
+    for _ in 0..8 {
+        let resp = client.recv();
+        let id = str_field(&resp, "id");
+        match str_field(&resp, "status").as_str() {
+            "ok" => {
+                assert!(id.starts_with("ok-"), "unexpected ok for {id}");
+                let suite = str_field(&resp, "suite");
+                assert_eq!(suite, reference, "served suite for {id} diverged from the cold CLI run");
+                ok += 1;
+            }
+            "error" => match error_kind(&resp).as_str() {
+                "panic" => {
+                    assert_eq!(id, "boom");
+                    panicked += 1;
+                }
+                "deadline" => {
+                    assert_eq!(id, "late");
+                    deadlined += 1;
+                }
+                other => panic!("unexpected error kind '{other}' for {id}: {resp:?}"),
+            },
+            other => panic!("unexpected status '{other}' for {id}"),
+        }
+    }
+    assert_eq!((ok, panicked, deadlined), (6, 1, 1));
+
+    // The panicking tenant must not have hurt anyone: a fresh request on
+    // the same daemon still answers, now from warm caches.
+    client.send(&request("warm", empty_config()));
+    let resp = client.recv();
+    assert_eq!(str_field(&resp, "status"), "ok");
+    assert_eq!(str_field(&resp, "suite"), reference);
+    let cache = field(&resp, "cache");
+    assert_eq!(str_field(cache, "ir"), "hit");
+    assert_eq!(str_field(cache, "instance"), "hit");
+
+    // /metrics reports every cache as bounded, with hit/eviction counters.
+    let metrics = http_get(daemon.status_addr.as_deref().unwrap(), "/metrics");
+    for cache in ["ir", "instance", "memo"] {
+        assert!(
+            metrics.contains(&format!("p4testgen_serve_cache_capacity{{cache=\"{cache}\"}}")),
+            "missing capacity for {cache}: {metrics}"
+        );
+        assert!(metrics.contains(&format!("p4testgen_serve_cache_hits{{cache=\"{cache}\"}}")));
+        assert!(metrics.contains(&format!("p4testgen_serve_cache_evictions{{cache=\"{cache}\"}}")));
+    }
+    assert!(metrics.contains("p4testgen_serve_requests_total{status=\"ok\"}"));
+    assert!(metrics.contains("p4testgen_serve_requests_total{status=\"panic\"}"));
+}
+
+#[test]
+fn serve_queue_full_sheds_deterministically() {
+    let daemon =
+        spawn_serve(&["--workers", "1", "--max-pending", "1", "--enable-fault-injection"]);
+    let mut client = Client::connect(&daemon.addr);
+
+    // Occupy the single worker, fill the single queue slot, then overflow.
+    let stall = Value::Object(vec![(
+        "stall_ms".to_string(),
+        Value::Number(serde_json::Number::U(1500)),
+    )]);
+    client.send(&with_fault(request("stall", empty_config()), stall));
+    // Give the worker a moment to pick the stall job up so "fill" really
+    // lands in the queue, not in the worker.
+    std::thread::sleep(Duration::from_millis(300));
+    client.send(&request("fill", empty_config()));
+    std::thread::sleep(Duration::from_millis(100));
+    client.send(&request("spill", empty_config()));
+
+    // The overflow is rejected immediately and structurally — before
+    // either admitted request finishes.
+    let shed = client.recv();
+    assert_eq!(str_field(&shed, "id"), "spill");
+    assert_eq!(str_field(&shed, "status"), "shed");
+    assert_eq!(error_kind(&shed), "queue-full");
+    let retry = field(&shed, "retry_after_ms").as_u64().expect("retry_after_ms");
+    assert!(retry > 0, "retry_after_ms must be positive");
+
+    // Both admitted requests still complete.
+    for _ in 0..2 {
+        let resp = client.recv();
+        assert_eq!(str_field(&resp, "status"), "ok", "{resp:?}");
+    }
+}
+
+#[test]
+fn serve_rejects_malformed_requests_structurally() {
+    // No --enable-fault-injection: fault plans must be refused.
+    let daemon = spawn_serve(&["--workers", "1"]);
+    let mut client = Client::connect(&daemon.addr);
+
+    client.send_raw("this is not json\n");
+    let resp = client.recv();
+    assert_eq!(str_field(&resp, "status"), "error");
+    assert_eq!(error_kind(&resp), "bad-request");
+
+    let mut req = request("k", empty_config());
+    if let Value::Object(fields) = &mut req {
+        fields.push(("surprise".to_string(), Value::Bool(true)));
+    }
+    client.send(&req);
+    let resp = client.recv();
+    assert_eq!(error_kind(&resp), "bad-request");
+    assert!(str_field(field(&resp, "error"), "message").contains("surprise"));
+
+    client.send(&with_fault(
+        request("f", empty_config()),
+        Value::Object(vec![("driver_panic".to_string(), Value::Bool(true))]),
+    ));
+    let resp = client.recv();
+    assert_eq!(error_kind(&resp), "bad-request");
+    assert!(str_field(field(&resp, "error"), "message").contains("--enable-fault-injection"));
+
+    // A frontend error is classified, not a daemon failure.
+    let mut bad = request("fe", empty_config());
+    if let Value::Object(fields) = &mut bad {
+        for (k, v) in fields.iter_mut() {
+            if k == "source" {
+                *v = Value::String("parser nonsense {".to_string());
+            }
+        }
+    }
+    client.send(&bad);
+    let resp = client.recv();
+    assert_eq!(str_field(&resp, "status"), "error");
+    assert_eq!(error_kind(&resp), "frontend");
+
+    // And the daemon is still healthy afterwards.
+    client.send(&request("fine", empty_config()));
+    assert_eq!(str_field(&client.recv(), "status"), "ok");
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_sigterm_drains_in_flight_and_exits_zero() {
+    let mut daemon = spawn_serve(&[
+        "--workers",
+        "1",
+        "--enable-fault-injection",
+        "--status-addr",
+        "127.0.0.1:0",
+    ]);
+    let status_addr = daemon.status_addr.clone().unwrap();
+    let mut client = Client::connect(&daemon.addr);
+
+    assert!(http_get(&status_addr, "/readyz").starts_with("HTTP/1.0 200"));
+
+    // Put a slow request in flight so the drain has something to finish.
+    let stall = Value::Object(vec![(
+        "stall_ms".to_string(),
+        Value::Number(serde_json::Number::U(2000)),
+    )]);
+    client.send(&with_fault(request("slow", empty_config()), stall));
+    std::thread::sleep(Duration::from_millis(300));
+
+    let pid = daemon.child.id().to_string();
+    assert!(Command::new("kill").args(["-TERM", &pid]).status().unwrap().success());
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Draining: liveness holds, readiness flips, new work is shed.
+    assert!(http_get(&status_addr, "/healthz").starts_with("HTTP/1.0 200"));
+    assert!(http_get(&status_addr, "/readyz").starts_with("HTTP/1.0 503"));
+    client.send(&request("refused", empty_config()));
+    let shed = client.recv();
+    assert_eq!(str_field(&shed, "status"), "shed");
+    assert_eq!(error_kind(&shed), "draining");
+
+    // The in-flight request still completes before the process exits.
+    let slow = client.recv();
+    assert_eq!(str_field(&slow, "id"), "slow");
+    assert_eq!(str_field(&slow, "status"), "ok");
+
+    let status = daemon.child.wait().expect("daemon exits");
+    assert!(status.success(), "drain must exit 0, got {status:?}");
+}
