@@ -203,8 +203,11 @@ pub struct TestgenConfig {
     /// from and written to this bounded cache in addition to the run-local
     /// memo. Safe to share across programs — fingerprints are
     /// content-addressed canonical constraint sets, so a hit is the same
-    /// query regardless of which request first solved it. `None` (the
-    /// default) preserves the one-shot behaviour exactly.
+    /// query regardless of which request first solved it — but only within
+    /// one [`feas_budget_class`]: the memo partitions entries by budget
+    /// class so a run never sees a verdict its own (colder-budget) solver
+    /// would have abandoned as Unknown. `None` (the default) preserves the
+    /// one-shot behaviour exactly.
     pub shared_memo: Option<Arc<SharedFeasMemo>>,
 }
 
@@ -835,15 +838,38 @@ impl RunSummary {
 /// A bounded, thread-safe feasibility memo shared *across* runs by a
 /// long-lived host (the serve daemon). Keys are the stable, canonical
 /// constraint-set fingerprints from [`p4t_smt::stable_fingerprint`] —
-/// content-addressed, so entries are valid across programs, targets, and
-/// configs: an identical fingerprint means an identical (alpha-renamed)
-/// constraint system, and feasibility is a pure function of that system.
+/// content-addressed, so entries are valid across programs and targets:
+/// an identical fingerprint means an identical (alpha-renamed) constraint
+/// system, and feasibility is a pure function of that system.
+///
+/// The fingerprint is paired with a *budget class* (see
+/// [`feas_budget_class`]): a Sat/Unsat verdict is a fact about the
+/// constraint system, but *whether a cold run reaches it at all* depends
+/// on the solver budget (a small budget abandons as Unknown where a large
+/// one resolves). Sharing a verdict across budget classes would let a
+/// high-budget tenant's answer leak into a low-budget tenant's run,
+/// breaking its byte-identity with an equivalent cold CLI run.
 ///
 /// Bounded by an LRU so a daemon serving many tenants cannot grow memo
 /// state without limit; the [`p4t_obs::LruStats`] counters feed the
 /// daemon's `/metrics` export.
 pub struct SharedFeasMemo {
-    inner: Mutex<p4t_obs::LruCache<u128, bool>>,
+    inner: Mutex<p4t_obs::LruCache<(u64, u128), bool>>,
+}
+
+/// The config subset that decides whether a feasibility query resolves at
+/// all (as opposed to what the verdict is): the conflict budget, the
+/// budget-retry switch, and — only when retries are on — the seed, which
+/// feeds the retry's phase seed and so decides whether a retried query
+/// comes back definitive. Two runs in the same class abandon the same
+/// queries, so they may share memoized verdicts without perturbing each
+/// other's suites.
+pub fn feas_budget_class(c: &TestgenConfig) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv_mix(&mut h, &c.solver_budget.to_le_bytes());
+    fnv_mix(&mut h, &u64::from(c.budget_retry).to_le_bytes());
+    fnv_mix(&mut h, &(if c.budget_retry { c.seed } else { 0 }).to_le_bytes());
+    h
 }
 
 impl SharedFeasMemo {
@@ -852,12 +878,12 @@ impl SharedFeasMemo {
         SharedFeasMemo { inner: Mutex::new(p4t_obs::LruCache::new(capacity)) }
     }
 
-    fn get(&self, fp: u128) -> Option<bool> {
-        self.inner.lock().get(&fp).copied()
+    fn get(&self, class: u64, fp: u128) -> Option<bool> {
+        self.inner.lock().get(&(class, fp)).copied()
     }
 
-    fn put(&self, fp: u128, sat: bool) {
-        self.inner.lock().insert(fp, sat);
+    fn put(&self, class: u64, fp: u128, sat: bool) {
+        self.inner.lock().insert((class, fp), sat);
     }
 
     /// Cache statistics (size, capacity, hit/miss/eviction counters).
@@ -897,8 +923,11 @@ struct FeasMemo {
     stable: Option<Mutex<HashMap<u128, bool>>>,
     /// Cross-run layer owned by a long-lived host (see
     /// [`TestgenConfig::shared_memo`]); consulted after `stable`, written
-    /// alongside it.
+    /// alongside it. Keyed by `(external_class, fingerprint)` so tenants
+    /// with different solver budgets never see each other's verdicts.
     external: Option<Arc<SharedFeasMemo>>,
+    /// This run's [`feas_budget_class`], fixed at construction.
+    external_class: u64,
 }
 
 impl FeasMemo {
@@ -909,19 +938,26 @@ impl FeasMemo {
             lookups: AtomicU64::new(0),
             stable: None,
             external: None,
+            external_class: 0,
         }
     }
 
     /// A memo with the stable-fingerprint layer on, seeded from a restored
     /// checkpoint's entries (empty for a cold checkpointed start) and
-    /// optionally connected to a host-owned cross-run cache.
-    fn with_persistence(entries: &[(u128, bool)], external: Option<Arc<SharedFeasMemo>>) -> Self {
+    /// optionally connected to a host-owned cross-run cache, which is
+    /// consulted only within this run's budget class.
+    fn with_persistence(
+        entries: &[(u128, bool)],
+        external: Option<Arc<SharedFeasMemo>>,
+        external_class: u64,
+    ) -> Self {
         FeasMemo {
             map: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             stable: Some(Mutex::new(entries.iter().copied().collect())),
             external,
+            external_class,
         }
     }
 
@@ -937,7 +973,7 @@ impl FeasMemo {
                 return Some(sat);
             }
         }
-        self.external.as_ref()?.get(fp)
+        self.external.as_ref()?.get(self.external_class, fp)
     }
 
     fn stable_record(&self, fp: u128, sat: bool) {
@@ -945,7 +981,7 @@ impl FeasMemo {
             s.lock().insert(fp, sat);
         }
         if let Some(e) = &self.external {
-            e.put(fp, sat);
+            e.put(self.external_class, fp, sat);
         }
     }
 
@@ -1377,6 +1413,16 @@ impl<T: Target> Testgen<T> {
         }
     }
 
+    /// Replace the `program` name stamped into every emitted test. A host
+    /// reusing a warm instance for a request with a different display name
+    /// must call this: the name is presentation-only (it is not part of
+    /// the run fingerprint), so the cache may legitimately serve it, but
+    /// the suite must carry the *requesting* tenant's name, not the name
+    /// of whoever warmed the instance.
+    pub fn set_program_name(&mut self, name: &str) {
+        name.clone_into(&mut self.program_name);
+    }
+
     /// Fingerprint of everything that decides the emitted suite's bytes
     /// (see [`run_fingerprint_of`]). Stamped into checkpoints and
     /// validated on resume.
@@ -1525,6 +1571,7 @@ impl<T: Target> Testgen<T> {
                 FeasMemo::with_persistence(
                     restored.as_ref().map_or(&[], |r| r.memo.as_slice()),
                     self.config.shared_memo.clone(),
+                    feas_budget_class(&self.config),
                 )
             } else {
                 FeasMemo::new()
@@ -3382,5 +3429,46 @@ mod tests {
         memo.record(a.clone(), true);
         assert_eq!(memo.lookup(&a), Some(true));
         assert_eq!(memo.hits.load(Ordering::Relaxed), 1);
+    }
+
+    /// A verdict recorded by one budget class must be invisible to another:
+    /// a high-budget tenant's definitive answer leaking into a low-budget
+    /// tenant's run would diverge that tenant's suite from its cold CLI
+    /// run, which would have abandoned the query as Unknown.
+    #[test]
+    fn shared_memo_is_partitioned_by_budget_class() {
+        let shared = Arc::new(SharedFeasMemo::new(16));
+        let mut big = TestgenConfig::default();
+        big.solver_budget = 1_000_000;
+        let mut small = big.clone();
+        small.solver_budget = 1;
+        let (big_class, small_class) =
+            (feas_budget_class(&big), feas_budget_class(&small));
+        assert_ne!(big_class, small_class);
+
+        let writer = FeasMemo::with_persistence(&[], Some(Arc::clone(&shared)), big_class);
+        writer.stable_record(42, true);
+        let reader_small =
+            FeasMemo::with_persistence(&[], Some(Arc::clone(&shared)), small_class);
+        assert_eq!(reader_small.stable_lookup(42), None);
+        let reader_big = FeasMemo::with_persistence(&[], Some(shared), big_class);
+        assert_eq!(reader_big.stable_lookup(42), Some(true));
+
+        // Budget-irrelevant config fields (here: max_tests; seed only when
+        // budget retries are off) do not split the class — that sharing is
+        // the point of the daemon-wide memo.
+        let mut other = big.clone();
+        other.max_tests = big.max_tests + 7;
+        assert_eq!(feas_budget_class(&other), big_class);
+        let mut no_retry_a = big.clone();
+        no_retry_a.budget_retry = false;
+        let mut no_retry_b = no_retry_a.clone();
+        no_retry_b.seed = no_retry_a.seed + 1;
+        assert_eq!(feas_budget_class(&no_retry_a), feas_budget_class(&no_retry_b));
+        // With retries on, the seed feeds the retry phase seed and so
+        // decides which queries come back definitive: it splits the class.
+        let mut seeded = big.clone();
+        seeded.seed = big.seed + 1;
+        assert_ne!(feas_budget_class(&seeded), big_class);
     }
 }

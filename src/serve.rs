@@ -22,6 +22,9 @@
 //! The wire protocol is newline-delimited JSON over plain TCP: one request
 //! object per line in, one response object per line out, in completion
 //! order (responses carry the request `id`, so clients may pipeline).
+//! Request lines may arrive in arbitrarily slow fragments, and a client
+//! may half-close its write side after its last request and still receive
+//! every response.
 //!
 //! Request: `{"id": ..., "tenant": "...", "name": "prog.p4",
 //! "target": "v1model|tna|t2na|ebpf_model", "backend": "stf|ptf|proto|json",
@@ -51,9 +54,12 @@
 //! * **Graceful drain** — SIGTERM/SIGINT stop admission (`/readyz` flips
 //!   to 503, new requests shed as `draining`), in-flight and queued
 //!   requests finish, and the process exits 0.
-//! * **Cancellation** — a client disconnect sets a per-connection flag
-//!   wired into the engine's cooperative-drain path, so orphaned requests
-//!   stop early instead of burning the budget of live tenants.
+//! * **Cancellation** — a client disconnect (a hard read error, or any
+//!   failed response write) sets a per-connection flag wired into the
+//!   engine's cooperative-drain path, so orphaned requests stop early
+//!   instead of burning the budget of live tenants. A plain EOF is only a
+//!   half-close: pipelined requests still run and their responses are
+//!   still delivered.
 
 use crate::driver;
 use p4t_obs::{
@@ -170,7 +176,9 @@ struct Job {
     /// Write half of the client connection (line-per-response, under a
     /// mutex so concurrent completions for one client never interleave).
     reply: Arc<Mutex<TcpStream>>,
-    /// Set when the client disconnects; wired into `config.drain` so the
+    /// Set when the client is known gone (hard read error or failed
+    /// response write — *not* a mere read-side EOF, which pipelining
+    /// clients use as end-of-requests); wired into `config.drain` so the
     /// engine stops cooperatively.
     cancel: Arc<AtomicBool>,
     enqueued: Instant,
@@ -307,14 +315,17 @@ fn shed_response(id: &Value, kind: &'static str, max_pending: usize) -> Value {
     ])
 }
 
-fn write_line(reply: &Arc<Mutex<TcpStream>>, v: &Value) {
+fn write_line(reply: &Arc<Mutex<TcpStream>>, cancel: &AtomicBool, v: &Value) {
     let mut line = serde_json::to_string(v).unwrap_or_default();
     line.push('\n');
     let mut g = lock(reply);
-    // A dead client is not an error worth acting on; the cancel flag (set
-    // by the reader on EOF) already stops future work for this connection.
-    let _ = g.write_all(line.as_bytes());
-    let _ = g.flush();
+    // A failed write is the authoritative disconnect signal: a client may
+    // half-close its write side after pipelining (EOF on the read side)
+    // and still be reading responses, but a client we cannot write to is
+    // gone — stop this connection's remaining work cooperatively.
+    if g.write_all(line.as_bytes()).and_then(|()| g.flush()).is_err() {
+        cancel.store(true, Ordering::Release);
+    }
 }
 
 /// Parse and validate one request line into an admitted `Job`.
@@ -499,6 +510,11 @@ fn run_typed<T: Target>(
     let mut tg = match warm {
         Some(mut t) => {
             t.config = job.config;
+            // The run fingerprint deliberately excludes the display name,
+            // so the warm instance may have been built for a different
+            // `name`: restamp it, or this tenant's suite would carry (and
+            // leak) whichever name first warmed the cache slot.
+            t.set_program_name(&job.name);
             t
         }
         None => Box::new(Testgen::from_compiled(
@@ -615,6 +631,7 @@ fn worker_loop(shared: &Arc<ServeShared>) {
         let tenant = job.tenant.clone();
         let target = job.target.clone();
         let reply = Arc::clone(&job.reply);
+        let cancel = Arc::clone(&job.cancel);
         let t_run = Instant::now();
         // The containment boundary: a panic anywhere in compile/run/render
         // unwinds to here, becomes a structured response, and the worker
@@ -661,7 +678,7 @@ fn worker_loop(shared: &Arc<ServeShared>) {
                 ("panic", 0, error_response(&id, &e))
             }
         };
-        write_line(&reply, &response);
+        write_line(&reply, &cancel, &response);
         shared.stats.active.fetch_sub(1, Ordering::Relaxed);
         shared.stats.completed.fetch_add(1, Ordering::Relaxed);
         let reg = &shared.registry;
@@ -706,9 +723,11 @@ fn worker_loop(shared: &Arc<ServeShared>) {
     }
 }
 
-/// One connection: read request lines, admit or shed, flag cancellation on
-/// disconnect. Responses are written by whichever worker finishes the job
-/// (or inline here for shed/bad-request, which never reach the queue).
+/// One connection: read request lines, admit or shed, flag cancellation
+/// when the client is known gone (hard read error here; failed response
+/// writes in `write_line`). Responses are written by whichever worker
+/// finishes the job (or inline here for shed/bad-request, which never
+/// reach the queue).
 fn conn_loop(stream: TcpStream, shared: Arc<ServeShared>, diag: Diag) {
     let peer =
         stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "unknown".to_string());
@@ -724,71 +743,100 @@ fn conn_loop(stream: TcpStream, shared: Arc<ServeShared>, diag: Diag) {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) => break, // client closed its half: cancel what remains
+            // EOF is a *half*-close: a pipelining client may shut down its
+            // write side and still be reading responses, so queued work for
+            // this connection keeps running. Cancellation happens when a
+            // response write fails (see `write_line`).
+            Ok(0) => break,
             Ok(_) => {
                 let trimmed = line.trim();
-                if trimmed.is_empty() {
-                    continue;
-                }
-                let parsed: Result<Value, _> = serde_json::from_str(trimmed);
-                let v = match parsed {
-                    Ok(v) => v,
-                    Err(e) => {
-                        let body = ErrBody::new("bad-request", format!("invalid JSON: {e}"));
-                        write_line(&out, &error_response(&Value::Null, &body));
-                        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-                        continue;
+                if !trimmed.is_empty() {
+                    let parsed: Result<Value, _> = serde_json::from_str(trimmed);
+                    match parsed {
+                        Ok(v) => {
+                            let id = v.get("id").cloned().unwrap_or(Value::Null);
+                            match parse_request(&v, &shared, &out, &cancel) {
+                                Ok(job) => match shared.queue.push(job) {
+                                    Push::Admitted => {
+                                        shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Push::Full(_) => {
+                                        shed(&shared, "shed");
+                                        write_line(
+                                            &out,
+                                            &cancel,
+                                            &shed_response(
+                                                &id,
+                                                "queue-full",
+                                                shared.queue.capacity(),
+                                            ),
+                                        );
+                                    }
+                                    Push::Closed(_) => {
+                                        shed(&shared, "draining");
+                                        write_line(
+                                            &out,
+                                            &cancel,
+                                            &shed_response(
+                                                &id,
+                                                "draining",
+                                                shared.queue.capacity(),
+                                            ),
+                                        );
+                                    }
+                                },
+                                Err(body) => {
+                                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                                    write_line(&out, &cancel, &error_response(&id, &body));
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            let body =
+                                ErrBody::new("bad-request", format!("invalid JSON: {e}"));
+                            write_line(&out, &cancel, &error_response(&Value::Null, &body));
+                            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
-                };
-                let id = v.get("id").cloned().unwrap_or(Value::Null);
-                match parse_request(&v, &shared, &out, &cancel) {
-                    Ok(job) => match shared.queue.push(job) {
-                        Push::Admitted => {
-                            shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Push::Full(_) => {
-                            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
-                            shared
-                                .registry
-                                .counter_with(
-                                    "p4testgen_serve_requests_total",
-                                    "requests finished, by outcome",
-                                    &[("status", "shed")],
-                                )
-                                .inc();
-                            write_line(
-                                &out,
-                                &shed_response(&id, "queue-full", shared.queue.capacity()),
-                            );
-                        }
-                        Push::Closed(_) => {
-                            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
-                            write_line(
-                                &out,
-                                &shed_response(&id, "draining", shared.queue.capacity()),
-                            );
-                        }
-                    },
-                    Err(body) => {
-                        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-                        write_line(&out, &error_response(&id, &body));
-                    }
                 }
+                // Only a fully-consumed line is discarded.
+                line.clear();
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                continue
+                // The timeout may have left a partial request line in
+                // `line` (read_line appends what arrived before the poll
+                // expired); keep it so the next read completes it instead
+                // of silently dropping the prefix.
+                continue;
             }
-            Err(_) => break,
+            Err(_) => {
+                // A hard read error (reset, aborted): the client is gone,
+                // stop its outstanding work cooperatively.
+                cancel.store(true, Ordering::Release);
+                break;
+            }
         }
     }
-    // Disconnect: stop this connection's outstanding work cooperatively.
-    cancel.store(true, Ordering::Release);
     diag.verbose(format!("{peer}: connection closed"));
+}
+
+/// Account one shed: the `/status` counter and the per-outcome
+/// `/metrics` counter (status `shed` for queue-full, `draining` during a
+/// drain), so the two views always agree.
+fn shed(shared: &ServeShared, status: &'static str) {
+    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+    shared
+        .registry
+        .counter_with(
+            "p4testgen_serve_requests_total",
+            "requests finished, by outcome",
+            &[("status", status)],
+        )
+        .inc();
 }
 
 pub fn serve_main(args: &[String]) -> ExitCode {

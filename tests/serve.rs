@@ -114,6 +114,12 @@ impl Client {
         assert!(n > 0, "daemon closed the connection");
         serde_json::from_str(line.trim()).expect("response is JSON")
     }
+
+    /// Shut down the write half (end-of-requests for a pipelining client);
+    /// the read half stays open for the remaining responses.
+    fn half_close(&mut self) {
+        self.writer.shutdown(std::net::Shutdown::Write).expect("half-close");
+    }
 }
 
 fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
@@ -253,6 +259,94 @@ fn serve_mixed_tenants_contained_and_byte_identical() {
     assert!(metrics.contains("p4testgen_serve_requests_total{status=\"panic\"}"));
 }
 
+/// A request line that arrives in fragments across read-timeout boundaries
+/// must be reassembled, not dropped: the per-connection read poll (250ms)
+/// may fire mid-line, and the partial prefix already read has to survive
+/// into the next read.
+#[test]
+fn serve_reassembles_slow_chunked_request_lines() {
+    let daemon = spawn_serve(&["--workers", "1"]);
+    let mut client = Client::connect(&daemon.addr);
+
+    let mut line = serde_json::to_string(&request("slowpoke", empty_config())).unwrap();
+    line.push('\n');
+    let mid = line.len() / 2;
+    client.send_raw(&line[..mid]);
+    // Longer than the daemon's read poll, so at least one timeout fires
+    // with half a request line buffered.
+    std::thread::sleep(Duration::from_millis(700));
+    client.send_raw(&line[mid..]);
+
+    let resp = client.recv();
+    assert_eq!(str_field(&resp, "id"), "slowpoke");
+    assert_eq!(str_field(&resp, "status"), "ok", "{resp:?}");
+}
+
+/// The warm-instance cache key deliberately excludes the display `name`,
+/// so a cache hit must restamp it: tenant B's suite carries B's program
+/// name even when tenant A (same source + config, different name) warmed
+/// the instance.
+#[test]
+fn serve_warm_instance_restamps_program_name() {
+    let daemon = spawn_serve(&["--workers", "1"]);
+    let mut client = Client::connect(&daemon.addr);
+
+    let named = |id: &str, name: &str| {
+        let mut req = request(id, empty_config());
+        if let Value::Object(fields) = &mut req {
+            for (k, v) in fields.iter_mut() {
+                if k == "name" {
+                    *v = Value::String(name.to_string());
+                }
+            }
+        }
+        req
+    };
+    client.send(&named("first", "alpha.p4"));
+    let first = client.recv();
+    assert_eq!(str_field(&first, "status"), "ok");
+    assert!(str_field(&first, "suite").contains("alpha.p4"));
+
+    client.send(&named("second", "beta.p4"));
+    let second = client.recv();
+    assert_eq!(str_field(&second, "status"), "ok");
+    assert_eq!(
+        str_field(field(&second, "cache"), "instance"),
+        "hit",
+        "same source+config must reuse the warm instance"
+    );
+    let suite = str_field(&second, "suite");
+    assert!(suite.contains("beta.p4"), "suite must carry the requesting name: {suite}");
+    assert!(
+        !suite.contains("alpha.p4"),
+        "suite leaked the cache-warming tenant's name: {suite}"
+    );
+}
+
+/// A client that pipelines its requests and then shuts down its write half
+/// is not a disconnect: every queued request still runs and every response
+/// is still delivered.
+#[test]
+fn serve_half_close_still_delivers_pipelined_responses() {
+    let daemon = spawn_serve(&["--workers", "1"]);
+    let mut client = Client::connect(&daemon.addr);
+
+    client.send(&request("hc-0", empty_config()));
+    client.send(&request("hc-1", empty_config()));
+    client.half_close();
+
+    for _ in 0..2 {
+        let resp = client.recv();
+        let id = str_field(&resp, "id");
+        assert!(id.starts_with("hc-"), "unexpected id {id}");
+        assert_eq!(
+            str_field(&resp, "status"),
+            "ok",
+            "half-close must not cancel pipelined work: {resp:?}"
+        );
+    }
+}
+
 #[test]
 fn serve_queue_full_sheds_deterministically() {
     let daemon =
@@ -369,6 +463,13 @@ fn serve_sigterm_drains_in_flight_and_exits_zero() {
     let shed = client.recv();
     assert_eq!(str_field(&shed, "status"), "shed");
     assert_eq!(error_kind(&shed), "draining");
+
+    // Drain-time sheds are visible in /metrics too, not just /status.
+    let metrics = http_get(&status_addr, "/metrics");
+    assert!(
+        metrics.contains("p4testgen_serve_requests_total{status=\"draining\"}"),
+        "draining shed missing from /metrics: {metrics}"
+    );
 
     // The in-flight request still completes before the process exits.
     let slow = client.recv();
