@@ -63,8 +63,8 @@ pub use sym::Sym;
 pub use target::{ExecCtx, ExtArg, ExternOutcome, PipeStep, Target, UninitPolicy};
 pub use p4t_smt::SolverMode;
 pub use testgen::{
-    classify_abandon_reason, reason, run_fingerprint_of, BuildError, CompiledProgram, ErrorStats,
-    ObsConfig, PanicRecord, PhaseStats, ResumeInfo, RunError, RunSummary, SharedFeasMemo,
-    Strategy, Testgen, TestgenConfig, TestProvenance,
+    classify_abandon_reason, reason, run_fingerprint_of, BuildError, CompiledProgram,
+    DifferentialSummary, ErrorStats, ObsConfig, PanicRecord, PhaseStats, ResumeInfo, RunError,
+    RunSummary, SharedFeasMemo, Strategy, Testgen, TestgenConfig, TestProvenance,
 };
 pub use testspec::{KeyMatch, MaskedBytes, OutputPacketSpec, TableEntrySpec, TestSpec};

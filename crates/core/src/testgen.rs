@@ -595,6 +595,65 @@ pub struct RunSummary {
     /// Abandonment sites for coverage attribution, trail-sorted.
     /// Populated when [`ObsConfig::explain`] is set; empty otherwise.
     pub abandon_sites: Vec<AbandonSite>,
+    /// Differential-harness results (`p4testgen diff`); `None` for plain
+    /// generation runs. Serialized under the append-only v2 schema.
+    pub differential: Option<DifferentialSummary>,
+}
+
+/// Aggregate results of a differential run (`p4testgen diff`): how many
+/// comparisons ran, how the divergences classified, and — in fault-catalog
+/// mode — how many injected faults the harness detected. The taxonomy
+/// kinds are stable strings shared with the JSONL divergence reports:
+/// `value-divergence`, `verdict-divergence`, `trap-divergence`,
+/// `quirk-suppressed`, `ref-unsupported`.
+#[derive(Clone, Debug, Default)]
+pub struct DifferentialSummary {
+    /// `"interp-vs-refeval"`, `"cross-target"`, or `"fault-catalog"`.
+    pub mode: String,
+    /// Programs compared.
+    pub programs: u64,
+    /// (test, engine-pair) comparisons executed.
+    pub comparisons: u64,
+    /// Unsuppressed divergences (the run's failure count).
+    pub divergences: u64,
+    /// Divergence counts by taxonomy kind, sorted by kind for stable
+    /// serialization. Includes the suppressed/unsupported kinds, which do
+    /// not count toward `divergences`.
+    pub by_kind: Vec<(String, u64)>,
+    /// Divergences explained by the documented quirk list.
+    pub quirk_suppressed: u64,
+    /// Comparisons skipped because the reference evaluator does not model
+    /// the construct (reported, never silently dropped).
+    pub ref_unsupported: u64,
+    /// Fault-catalog mode: faults injected and faults detected (>=1
+    /// classified divergence). Both zero outside fault-catalog mode.
+    pub faults_injected: u64,
+    pub faults_detected: u64,
+}
+
+impl DifferentialSummary {
+    /// The `differential` object of the v2 summary schema.
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("mode".into(), Value::String(self.mode.clone())),
+            ("programs".into(), Value::Number(Number::U(self.programs))),
+            ("comparisons".into(), Value::Number(Number::U(self.comparisons))),
+            ("divergences".into(), Value::Number(Number::U(self.divergences))),
+            (
+                "by_kind".into(),
+                Value::Object(
+                    self.by_kind
+                        .iter()
+                        .map(|(k, n)| (k.clone(), Value::Number(Number::U(*n))))
+                        .collect(),
+                ),
+            ),
+            ("quirk_suppressed".into(), Value::Number(Number::U(self.quirk_suppressed))),
+            ("ref_unsupported".into(), Value::Number(Number::U(self.ref_unsupported))),
+            ("faults_injected".into(), Value::Number(Number::U(self.faults_injected))),
+            ("faults_detected".into(), Value::Number(Number::U(self.faults_detected))),
+        ])
+    }
 }
 
 /// Why one emitted test exists and what it bought (`--provenance-out`).
@@ -808,7 +867,8 @@ impl RunSummary {
         // append-only — every v1 field keeps its name, type, and meaning,
         // and consumers must ignore unknown fields. v2 adds: `col` on
         // coverage.missed entries, `resume.replayed_trails`,
-        // `provenance_records`, and (CLI-side) `status_endpoint`.
+        // `provenance_records`, (CLI-side) `status_endpoint`, and
+        // `differential` (null outside `p4testgen diff` runs).
         Value::Object(vec![
             ("schema".into(), Value::String("p4testgen-run-summary/v2".into())),
             ("tests".into(), Value::Number(Number::U(self.tests))),
@@ -828,6 +888,13 @@ impl RunSummary {
                 "provenance_records".into(),
                 match &self.provenance {
                     Some(p) => Value::Number(Number::U(p.len() as u64)),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "differential".into(),
+                match &self.differential {
+                    Some(d) => d.to_json(),
                     None => Value::Null,
                 },
             ),
@@ -1928,6 +1995,7 @@ impl<T: Target> Testgen<T> {
             resume: resume_info,
             provenance,
             abandon_sites,
+            differential: None,
         })
     }
 }

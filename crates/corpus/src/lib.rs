@@ -972,6 +972,119 @@ V1Switch(P(), VC(), Ing(), Eg(), CC(), Dep()) main;
     )
 }
 
+/// The architectures the target-intersection programs cover.
+pub const INTERSECTION_TARGETS: &[&str] = &["v1model", "tna", "ebpf_model"];
+
+/// A program in the *target-intersection subset*: the same forwarding
+/// logic — parse Ethernet, exact-match on the destination MAC, forward or
+/// rewrite-and-drop — expressed in each architecture's packaging. The
+/// differential harness (`p4testgen diff --cross`) runs the variants on
+/// identical inputs and control planes and compares outcomes through the
+/// documented quirk list (`p4t_targets::quirks`), so every behavioral
+/// difference is either explained or a soundness finding.
+///
+/// The table carries the same `@name("flow")` control-plane name in every
+/// variant, and actions keep identical names and parameter widths, so one
+/// `TestSpec`'s entries install unchanged on all three.
+pub fn generate_intersection(target: &str) -> String {
+    let eth = "header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }";
+    match target {
+        "tna" | "t2na" => format!(
+            r#"// arch: tna
+header tofino_md_t {{ bit<64> pad; }}
+{eth}
+struct headers_t {{ tofino_md_t tofino_md; ethernet_t eth; }}
+struct meta_t {{ bit<8> unused; }}
+parser IPrs(packet_in pkt, out headers_t hdr, out meta_t meta, out ingress_intrinsic_metadata_t ig_intr_md) {{
+    state start {{
+        pkt.extract(hdr.tofino_md);
+        pkt.extract(hdr.eth);
+        transition accept;
+    }}
+}}
+control Ing(inout headers_t hdr, inout meta_t meta,
+            in ingress_intrinsic_metadata_t ig_intr_md,
+            in ingress_intrinsic_metadata_from_parser_t ig_prsr_md,
+            inout ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md,
+            inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {{
+    action to_port(bit<9> port) {{ ig_tm_md.ucast_egress_port = port; }}
+    action reject() {{ hdr.eth.etherType = 0xDEAD; ig_dprsr_md.drop_ctl = 1; }}
+    @name("flow")
+    table flow {{
+        key = {{ hdr.eth.dst: exact @name("dst"); }}
+        actions = {{ to_port; reject; }}
+        default_action = reject();
+    }}
+    apply {{ flow.apply(); }}
+}}
+control IDep(packet_out pkt, inout headers_t hdr, in ingress_intrinsic_metadata_for_deparser_t ig_dprsr_md) {{
+    apply {{ pkt.emit(hdr.eth); }}
+}}
+parser EPrs(packet_in pkt, out headers_t hdr, out meta_t emeta, out egress_intrinsic_metadata_t eg_intr_md) {{
+    state start {{ pkt.extract(hdr.eth); transition accept; }}
+}}
+control Egr(inout headers_t hdr, inout meta_t emeta,
+            in egress_intrinsic_metadata_t eg_intr_md,
+            in egress_intrinsic_metadata_from_parser_t eg_prsr_md,
+            inout egress_intrinsic_metadata_for_deparser_t eg_dprsr_md,
+            inout egress_intrinsic_metadata_for_output_port_t eg_oport_md) {{
+    apply {{ }}
+}}
+control EDep(packet_out pkt, inout headers_t hdr, in egress_intrinsic_metadata_for_deparser_t eg_dprsr_md) {{
+    apply {{ pkt.emit(hdr.eth); }}
+}}
+Pipeline(IPrs(), Ing(), IDep(), EPrs(), Egr(), EDep()) main;
+"#
+        ),
+        "ebpf_model" => format!(
+            r#"// arch: ebpf_model
+{eth}
+struct headers_t {{ ethernet_t eth; }}
+parser prs(packet_in pkt, out headers_t hdr) {{
+    state start {{ pkt.extract(hdr.eth); transition accept; }}
+}}
+control pipe(inout headers_t hdr, out bool pass) {{
+    action to_port(bit<9> port) {{ pass = true; }}
+    action reject() {{ hdr.eth.etherType = 0xDEAD; pass = false; }}
+    @name("flow")
+    table flow {{
+        key = {{ hdr.eth.dst: exact @name("dst"); }}
+        actions = {{ to_port; reject; }}
+        default_action = reject();
+    }}
+    apply {{ pass = false; flow.apply(); }}
+}}
+ebpfFilter(prs(), pipe()) main;
+"#
+        ),
+        _ => format!(
+            r#"{eth}
+struct headers_t {{ ethernet_t eth; }}
+struct meta_t {{ bit<8> unused; }}
+parser P(packet_in pkt, out headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {{
+    state start {{ pkt.extract(hdr.eth); transition accept; }}
+}}
+control VC(inout headers_t hdr, inout meta_t meta) {{ apply {{ }} }}
+control Ing(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {{
+    action to_port(bit<9> port) {{ sm.egress_spec = port; }}
+    action reject() {{ hdr.eth.etherType = 0xDEAD; mark_to_drop(sm); }}
+    @name("flow")
+    table flow {{
+        key = {{ hdr.eth.dst: exact @name("dst"); }}
+        actions = {{ to_port; reject; }}
+        default_action = reject();
+    }}
+    apply {{ flow.apply(); }}
+}}
+control Eg(inout headers_t hdr, inout meta_t meta, inout standard_metadata_t sm) {{ apply {{ }} }}
+control CC(inout headers_t hdr, inout meta_t meta) {{ apply {{ }} }}
+control Dep(packet_out pkt, in headers_t hdr) {{ apply {{ pkt.emit(hdr.eth); }} }}
+V1Switch(P(), VC(), Ing(), Eg(), CC(), Dep()) main;
+"#
+        ),
+    }
+}
+
 /// Every named corpus program with its target architecture.
 pub fn all_programs() -> Vec<(&'static str, String, &'static str)> {
     vec![
@@ -988,4 +1101,29 @@ pub fn all_programs() -> Vec<(&'static str, String, &'static str)> {
         ("tofino_quirks", TOFINO_QUIRKS.clone(), "tna"),
         ("parser_deep_6x4", generate_parser_deep(6, 4), "v1model"),
     ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersection_variants_typecheck_under_their_preludes() {
+        for target in INTERSECTION_TARGETS {
+            let src = generate_intersection(target);
+            let full = format!("{}{}", fuzz::prelude_for(target), src);
+            let checked = p4t_frontend::frontend(&full);
+            assert!(checked.is_ok(), "{target}: {:?}", checked.err());
+        }
+    }
+
+    #[test]
+    fn intersection_variants_declare_the_shared_flow_table() {
+        for target in INTERSECTION_TARGETS {
+            let src = generate_intersection(target);
+            assert!(src.contains(r#"@name("dst")"#), "{target}");
+            assert!(src.contains("table flow"), "{target}");
+            assert!(src.contains("action to_port(bit<9> port)"), "{target}");
+        }
+    }
 }

@@ -1,0 +1,139 @@
+//! Independent reimplementations of the hash/checksum algorithms the
+//! pipeline externs use. Kept byte-oriented and table-free on purpose:
+//! these must agree with `p4testgen_core::concolic` on every input while
+//! sharing no code with it, so a bug in the oracle's implementations is
+//! visible as a divergence rather than silently mirrored.
+//!
+//! Parameterization matches the oracle: the argument list is concatenated
+//! into one bit string, left-padded (value-preserving) to a byte boundary,
+//! and the algorithm runs over the resulting big-endian bytes.
+
+use crate::bits::Bits;
+
+/// Concatenate arguments and left-pad to a byte boundary.
+fn concat_bytes(args: &[Bits]) -> Vec<u8> {
+    let mut acc = Bits::empty();
+    for a in args {
+        acc = acc.concat(a);
+    }
+    let w = acc.width();
+    if !w.is_multiple_of(8) {
+        acc = acc.zext(w + (8 - w % 8));
+    }
+    acc.to_bytes_be()
+}
+
+/// RFC 1071 one's-complement 16-bit checksum over big-endian byte pairs.
+pub fn csum16(args: &[Bits], out_width: usize) -> Bits {
+    let bytes = concat_bytes(args);
+    let mut sum: u64 = 0;
+    for pair in bytes.chunks(2) {
+        let hi = u64::from(pair[0]);
+        let lo = pair.get(1).map(|b| u64::from(*b)).unwrap_or(0);
+        sum += (hi << 8) | lo;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    Bits::from_u64(out_width, !sum & 0xFFFF)
+}
+
+/// CRC-32 (IEEE 802.3): reflected polynomial 0xEDB88320, init and final
+/// XOR all-ones.
+pub fn crc32(args: &[Bits], out_width: usize) -> Bits {
+    let bytes = concat_bytes(args);
+    let mut crc: u32 = u32::MAX;
+    for b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let lsb = crc & 1 != 0;
+            crc >>= 1;
+            if lsb {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    Bits::from_u64(out_width, u64::from(!crc))
+}
+
+/// CRC-16/ARC: reflected polynomial 0xA001, init zero.
+pub fn crc16(args: &[Bits], out_width: usize) -> Bits {
+    let bytes = concat_bytes(args);
+    let mut crc: u16 = 0;
+    for b in bytes {
+        crc ^= u16::from(b);
+        for _ in 0..8 {
+            let lsb = crc & 1 != 0;
+            crc >>= 1;
+            if lsb {
+                crc ^= 0xA001;
+            }
+        }
+    }
+    Bits::from_u64(out_width, u64::from(crc))
+}
+
+/// XOR-fold of all big-endian 16-bit words.
+pub fn xor16(args: &[Bits], out_width: usize) -> Bits {
+    let bytes = concat_bytes(args);
+    let mut acc: u16 = 0;
+    for pair in bytes.chunks(2) {
+        let hi = u16::from(pair[0]);
+        let lo = pair.get(1).map(|b| u16::from(*b)).unwrap_or(0);
+        acc ^= (hi << 8) | lo;
+    }
+    Bits::from_u64(out_width, u64::from(acc))
+}
+
+/// Identity "hash": the concatenated input truncated or zero-extended.
+pub fn identity(args: &[Bits], out_width: usize) -> Bits {
+    let mut acc = Bits::empty();
+    for a in args {
+        acc = acc.concat(a);
+    }
+    acc.cast(out_width)
+}
+
+/// Algorithm ids as the v1model `HashAlgorithm` enum (and the oracle's
+/// `run_hash`) number them.
+pub fn by_id(algo: u64, args: &[Bits], out_width: usize) -> Bits {
+    match algo {
+        0 => crc32(args, out_width),
+        1 => crc16(args, out_width),
+        2 => csum16(args, out_width),
+        3 => xor16(args, out_width),
+        _ => identity(args, out_width),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csum16_rfc1071_vector() {
+        let data = Bits::from_bytes_be(&[0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7]);
+        assert_eq!(csum16(&[data], 16).to_u64(), Some(0x220d));
+    }
+
+    #[test]
+    fn crc32_check_value() {
+        // The canonical CRC-32 check: "123456789" -> 0xCBF43926.
+        let data = Bits::from_bytes_be(b"123456789");
+        assert_eq!(crc32(&[data], 32).to_u64(), Some(0xCBF43926));
+    }
+
+    #[test]
+    fn crc16_arc_check_value() {
+        // CRC-16/ARC check: "123456789" -> 0xBB3D.
+        let data = Bits::from_bytes_be(b"123456789");
+        assert_eq!(crc16(&[data], 16).to_u64(), Some(0xBB3D));
+    }
+
+    #[test]
+    fn odd_width_left_pads() {
+        // A 12-bit value pads to 0x0A 0xBC before hashing.
+        let v = Bits::from_u64(12, 0xABC);
+        assert_eq!(xor16(&[v], 16).to_u64(), Some(0x0ABC));
+    }
+}

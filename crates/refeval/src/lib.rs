@@ -1,0 +1,495 @@
+//! A deliberately simple reference evaluator for differential testing.
+//!
+//! `p4t-refeval` executes a test input against the **typed frontend AST**
+//! directly: no IR, no lowering passes, no optimization, and naive
+//! `Vec<bool>` bit-vector arithmetic. It shares only the frontend (parser,
+//! typechecker, type environment) with the production pipeline, so a bug in
+//! IR lowering or the IR interpreter cannot be self-consistent with it —
+//! the two oracles have to agree *by computing the same thing twice in
+//! different ways*, which is the whole point.
+//!
+//! The evaluator intentionally mirrors the target semantics the symbolic
+//! oracle models (v1model / tna / t2na / ebpf pipelines, parser-reject
+//! policies, checksum and hash externs) but uses its **own** deterministic
+//! garbage pattern for undefined reads. Emitted test specs never depend on
+//! undefined bits — the symbolic executor taints them and drops tainted
+//! tests — so any divergence on garbage-derived bits is absorbed by the
+//! spec's don't-care masks, while divergences on *defined* bits are real.
+//!
+//! Anything outside the modeled subset reports [`RefError::Unsupported`]
+//! (mapped to the `ref-unsupported` divergence class by the harness) rather
+//! than guessing.
+
+pub mod bits;
+mod eval;
+mod expr;
+pub mod hashes;
+mod stmt;
+
+use std::collections::HashMap;
+
+pub use bits::Bits;
+
+/// Architectures the reference evaluator models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefArch {
+    V1Model,
+    Tna,
+    T2na,
+    Ebpf,
+}
+
+impl RefArch {
+    /// Map a target name (as the `targets` crate spells them) to an arch.
+    pub fn from_target_name(name: &str) -> Option<RefArch> {
+        match name {
+            "v1model" => Some(RefArch::V1Model),
+            "tna" => Some(RefArch::Tna),
+            "t2na" => Some(RefArch::T2na),
+            "ebpf_model" | "ebpf" => Some(RefArch::Ebpf),
+            _ => None,
+        }
+    }
+}
+
+/// Why a reference evaluation could not produce a result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RefError {
+    /// The program uses a construct outside the evaluator's subset. This is
+    /// an honest "I don't know", not a divergence.
+    Unsupported(String),
+    /// The evaluated program trapped (exception semantics): parser runaway,
+    /// failed assert/assume, unknown action, malformed package.
+    Trap(String),
+}
+
+impl RefError {
+    pub fn message(&self) -> &str {
+        match self {
+            RefError::Unsupported(m) | RefError::Trap(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for RefError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            RefError::Trap(m) => write!(f, "trap: {m}"),
+        }
+    }
+}
+
+/// One table-key match value of an installed entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RefKey {
+    Exact { value: Vec<u8> },
+    Ternary { value: Vec<u8>, mask: Vec<u8> },
+    Lpm { value: Vec<u8>, prefix_len: u32 },
+    Range { lo: Vec<u8>, hi: Vec<u8> },
+    Optional { value: Option<Vec<u8>> },
+}
+
+/// One control-plane table entry to install before execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RefEntry {
+    /// Control-plane table name (`@name` or `Control.table`).
+    pub table: String,
+    pub keys: Vec<RefKey>,
+    /// Action name; a qualified `Control.action` is reduced to the bare name.
+    pub action: String,
+    /// Big-endian action argument bytes, in declaration order.
+    pub action_args: Vec<Vec<u8>>,
+    pub priority: u32,
+}
+
+/// An initial or expected register cell value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RefRegister {
+    pub instance: String,
+    pub index: u64,
+    pub value: Vec<u8>,
+}
+
+/// Everything the evaluator needs to run one test.
+#[derive(Clone, Debug, Default)]
+pub struct RefInput {
+    pub input_port: u32,
+    pub input_packet: Vec<u8>,
+    pub entries: Vec<RefEntry>,
+    pub register_init: Vec<RefRegister>,
+}
+
+impl RefInput {
+    pub fn new(input_port: u32, input_packet: Vec<u8>) -> Self {
+        RefInput { input_port, input_packet, entries: Vec::new(), register_init: Vec::new() }
+    }
+}
+
+/// The observable outcome of one reference evaluation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RefRun {
+    /// `(port, packet bytes)` in emission order.
+    pub outputs: Vec<(u32, Vec<u8>)>,
+    /// Final register state, keyed `(instance, index)`, byte-padded values.
+    pub register_final: HashMap<(String, u64), Vec<u8>>,
+    /// Human-readable execution trace (free-form; not part of the contract).
+    pub trace: Vec<String>,
+}
+
+/// One expected output packet with an optional per-byte don't-care mask
+/// (a mask bit of 1 means "this bit must match").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RefExpectedOutput {
+    pub port: u32,
+    pub data: Vec<u8>,
+    pub mask: Option<Vec<u8>>,
+}
+
+impl RefExpectedOutput {
+    /// Masked comparison: lengths equal and every cared-about bit equal.
+    pub fn matches(&self, actual: &[u8]) -> bool {
+        if self.data.len() != actual.len() {
+            return false;
+        }
+        match &self.mask {
+            None => self.data == actual,
+            Some(m) => self
+                .data
+                .iter()
+                .zip(actual)
+                .enumerate()
+                .all(|(i, (d, a))| {
+                    let mk = m.get(i).copied().unwrap_or(0xFF);
+                    d & mk == a & mk
+                }),
+        }
+    }
+}
+
+/// What the test spec expects; mirrors the interpreter-side verdict inputs.
+#[derive(Clone, Debug, Default)]
+pub struct RefExpect {
+    /// True when the spec expects the packet to be dropped (no outputs).
+    pub expects_drop: bool,
+    pub outputs: Vec<RefExpectedOutput>,
+    pub registers: Vec<RefRegister>,
+}
+
+/// Classification of a reference run against the expectation. This is an
+/// *independent reimplementation* of the interpreter's verdict logic —
+/// deliberately not shared code, so a verdict bug is visible as a
+/// divergence too.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RefVerdict {
+    Pass,
+    WrongOutput(String),
+    Trap(String),
+    Unsupported(String),
+}
+
+impl RefVerdict {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RefVerdict::Pass => "pass",
+            RefVerdict::WrongOutput(_) => "wrong-output",
+            RefVerdict::Trap(_) => "exception",
+            RefVerdict::Unsupported(_) => "unsupported",
+        }
+    }
+}
+
+/// Check a reference outcome against the expectation, mirroring the
+/// interpreter verdict classification (drop expectation, port-sorted
+/// pairwise packet compare, register expectations).
+pub fn check(expect: &RefExpect, outcome: &Result<RefRun, RefError>) -> RefVerdict {
+    let run = match outcome {
+        Err(RefError::Unsupported(m)) => return RefVerdict::Unsupported(m.clone()),
+        Err(RefError::Trap(m)) => return RefVerdict::Trap(m.clone()),
+        Ok(r) => r,
+    };
+    if expect.expects_drop {
+        if !run.outputs.is_empty() {
+            return RefVerdict::WrongOutput(format!(
+                "expected drop, got {} output packet(s)",
+                run.outputs.len()
+            ));
+        }
+    } else {
+        if run.outputs.len() != expect.outputs.len() {
+            return RefVerdict::WrongOutput(format!(
+                "expected {} output(s), got {}",
+                expect.outputs.len(),
+                run.outputs.len()
+            ));
+        }
+        let mut want: Vec<&RefExpectedOutput> = expect.outputs.iter().collect();
+        want.sort_by_key(|e| e.port);
+        let mut got: Vec<&(u32, Vec<u8>)> = run.outputs.iter().collect();
+        got.sort_by_key(|(p, _)| *p);
+        for (e, (port, data)) in want.iter().zip(&got) {
+            if e.port != *port {
+                return RefVerdict::WrongOutput(format!(
+                    "expected port {}, got {}",
+                    e.port, port
+                ));
+            }
+            if !e.matches(data) {
+                return RefVerdict::WrongOutput(format!(
+                    "packet mismatch on port {port}: expected {} bytes",
+                    e.data.len()
+                ));
+            }
+        }
+    }
+    for r in &expect.registers {
+        match run.register_final.get(&(r.instance.clone(), r.index)) {
+            Some(v) => {
+                if *v != r.value {
+                    return RefVerdict::WrongOutput(format!(
+                        "register {}[{}]: expected {:02x?}, got {:02x?}",
+                        r.instance, r.index, r.value, v
+                    ));
+                }
+            }
+            None => {
+                return RefVerdict::WrongOutput(format!(
+                    "register {}[{}] never written",
+                    r.instance, r.index
+                ))
+            }
+        }
+    }
+    RefVerdict::Pass
+}
+
+/// Execute a checked program on one input under the given architecture.
+///
+/// `parser_loop_bound` mirrors the interpreter's runaway guard (64 by
+/// default there); the same bound must be passed for trap parity.
+pub fn evaluate(
+    checked: &p4t_frontend::typecheck::CheckedProgram,
+    arch: RefArch,
+    input: &RefInput,
+    parser_loop_bound: u32,
+) -> Result<RefRun, RefError> {
+    let mut ev = eval::Ev::new(checked, arch, input, parser_loop_bound);
+    ev.install(input)?;
+    ev.run(input)?;
+    Ok(ev.into_run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal v1model-style prelude: the real pipeline prepends the
+    /// target's architecture prelude before the frontend runs, so the
+    /// tests do the same with just the pieces they use.
+    const TEST_PRELUDE: &str = r#"
+        struct standard_metadata_t {
+            bit<9> ingress_port; bit<9> egress_spec; bit<9> egress_port;
+            bit<16> mcast_grp; bit<1> checksum_error; error parser_error;
+        }
+        extern void mark_to_drop(inout standard_metadata_t standard_metadata);
+        extern register<T> {
+            register(bit<32> size);
+            void read(out T result, in bit<32> index);
+            void write(in bit<32> index, in T value);
+        }
+    "#;
+
+    fn run_v1(source: &str, input: RefInput) -> Result<RefRun, RefError> {
+        let source = format!("{TEST_PRELUDE}{source}");
+        let checked = p4t_frontend::frontend(&source).expect("frontend");
+        evaluate(&checked, RefArch::V1Model, &input, 64)
+    }
+
+    const PASSTHROUGH: &str = r#"
+        header eth_t { bit<48> dst; bit<48> src; bit<16> ty; }
+        struct headers { eth_t eth; }
+        struct meta_t { }
+        parser P(packet_in pkt, out headers hdr, inout meta_t meta,
+                 inout standard_metadata_t sm) {
+            state start { pkt.extract(hdr.eth); transition accept; }
+        }
+        control VC(inout headers hdr, inout meta_t meta) { apply { } }
+        control I(inout headers hdr, inout meta_t meta,
+                  inout standard_metadata_t sm) {
+            apply { sm.egress_spec = 9w1; }
+        }
+        control E(inout headers hdr, inout meta_t meta,
+                  inout standard_metadata_t sm) { apply { } }
+        control CC(inout headers hdr, inout meta_t meta) { apply { } }
+        control D(packet_out pkt, in headers hdr) {
+            apply { pkt.emit(hdr.eth); }
+        }
+        V1Switch(P(), VC(), I(), E(), CC(), D()) main;
+    "#;
+
+    #[test]
+    fn passthrough_forwards_packet() {
+        let pkt: Vec<u8> = (0u8..20).collect();
+        let run = run_v1(PASSTHROUGH, RefInput::new(0, pkt.clone())).expect("run");
+        assert_eq!(run.outputs.len(), 1);
+        assert_eq!(run.outputs[0].0, 1);
+        assert_eq!(run.outputs[0].1, pkt);
+    }
+
+    #[test]
+    fn short_packet_rejects_but_continues_to_ingress() {
+        // 8 bytes < 14-byte ethernet header: extract rejects, v1model
+        // continues to ingress with parser_error set; the header is
+        // invalid so nothing is emitted and the payload passes through.
+        let pkt: Vec<u8> = (0u8..8).collect();
+        let run = run_v1(PASSTHROUGH, RefInput::new(0, pkt.clone())).expect("run");
+        assert_eq!(run.outputs.len(), 1);
+        assert_eq!(run.outputs[0].1, pkt);
+    }
+
+    #[test]
+    fn drop_port_drops() {
+        const DROPPER: &str = r#"
+            header eth_t { bit<48> dst; bit<48> src; bit<16> ty; }
+            struct headers { eth_t eth; }
+            struct meta_t { }
+            parser P(packet_in pkt, out headers hdr, inout meta_t meta,
+                     inout standard_metadata_t sm) {
+                state start { pkt.extract(hdr.eth); transition accept; }
+            }
+            control VC(inout headers hdr, inout meta_t meta) { apply { } }
+            control I(inout headers hdr, inout meta_t meta,
+                      inout standard_metadata_t sm) {
+                apply { mark_to_drop(sm); }
+            }
+            control E(inout headers hdr, inout meta_t meta,
+                      inout standard_metadata_t sm) { apply { } }
+            control CC(inout headers hdr, inout meta_t meta) { apply { } }
+            control D(packet_out pkt, in headers hdr) {
+                apply { pkt.emit(hdr.eth); }
+            }
+            V1Switch(P(), VC(), I(), E(), CC(), D()) main;
+        "#;
+        let pkt: Vec<u8> = (0u8..20).collect();
+        let run = run_v1(DROPPER, RefInput::new(0, pkt)).expect("run");
+        assert!(run.outputs.is_empty());
+    }
+
+    #[test]
+    fn table_entry_selects_action() {
+        const TABLED: &str = r#"
+            header eth_t { bit<48> dst; bit<48> src; bit<16> ty; }
+            struct headers { eth_t eth; }
+            struct meta_t { }
+            parser P(packet_in pkt, out headers hdr, inout meta_t meta,
+                     inout standard_metadata_t sm) {
+                state start { pkt.extract(hdr.eth); transition accept; }
+            }
+            control VC(inout headers hdr, inout meta_t meta) { apply { } }
+            control I(inout headers hdr, inout meta_t meta,
+                      inout standard_metadata_t sm) {
+                action fwd(bit<9> port) { sm.egress_spec = port; }
+                action drop() { mark_to_drop(sm); }
+                table t {
+                    key = { hdr.eth.dst : exact; }
+                    actions = { fwd; drop; }
+                    default_action = drop();
+                }
+                apply { t.apply(); }
+            }
+            control E(inout headers hdr, inout meta_t meta,
+                      inout standard_metadata_t sm) { apply { } }
+            control CC(inout headers hdr, inout meta_t meta) { apply { } }
+            control D(packet_out pkt, in headers hdr) {
+                apply { pkt.emit(hdr.eth); }
+            }
+            V1Switch(P(), VC(), I(), E(), CC(), D()) main;
+        "#;
+        let mut pkt = vec![0u8; 20];
+        pkt[..6].copy_from_slice(&[1, 2, 3, 4, 5, 6]);
+        let mut input = RefInput::new(0, pkt.clone());
+        input.entries.push(RefEntry {
+            table: "I.t".into(),
+            keys: vec![RefKey::Exact { value: vec![1, 2, 3, 4, 5, 6] }],
+            action: "fwd".into(),
+            action_args: vec![vec![0, 7]],
+            priority: 0,
+        });
+        let run = run_v1(TABLED, input).expect("run");
+        assert_eq!(run.outputs.len(), 1);
+        assert_eq!(run.outputs[0].0, 7);
+
+        // A non-matching destination falls to the drop default.
+        let run = run_v1(TABLED, RefInput::new(0, pkt)).expect("run");
+        assert!(run.outputs.is_empty());
+    }
+
+    #[test]
+    fn register_write_persists() {
+        const REG: &str = r#"
+            header eth_t { bit<48> dst; bit<48> src; bit<16> ty; }
+            struct headers { eth_t eth; }
+            struct meta_t { }
+            parser P(packet_in pkt, out headers hdr, inout meta_t meta,
+                     inout standard_metadata_t sm) {
+                state start { pkt.extract(hdr.eth); transition accept; }
+            }
+            control VC(inout headers hdr, inout meta_t meta) { apply { } }
+            control I(inout headers hdr, inout meta_t meta,
+                      inout standard_metadata_t sm) {
+                register<bit<16>>(16) r;
+                apply {
+                    r.write(32w3, hdr.eth.ty);
+                    sm.egress_spec = 9w2;
+                }
+            }
+            control E(inout headers hdr, inout meta_t meta,
+                      inout standard_metadata_t sm) { apply { } }
+            control CC(inout headers hdr, inout meta_t meta) { apply { } }
+            control D(packet_out pkt, in headers hdr) {
+                apply { pkt.emit(hdr.eth); }
+            }
+            V1Switch(P(), VC(), I(), E(), CC(), D()) main;
+        "#;
+        let mut pkt = vec![0u8; 20];
+        pkt[12] = 0xAB;
+        pkt[13] = 0xCD;
+        let run = run_v1(REG, RefInput::new(0, pkt)).expect("run");
+        assert_eq!(
+            run.register_final.get(&("I::r".to_string(), 3)),
+            Some(&vec![0xAB, 0xCD])
+        );
+    }
+
+    #[test]
+    fn verdict_check_classifies() {
+        let mut run = RefRun::default();
+        run.outputs.push((1, vec![0xAA, 0xBB]));
+        let ok: Result<RefRun, RefError> = Ok(run);
+        let expect = RefExpect {
+            expects_drop: false,
+            outputs: vec![RefExpectedOutput { port: 1, data: vec![0xAA, 0xBB], mask: None }],
+            registers: Vec::new(),
+        };
+        assert_eq!(check(&expect, &ok), RefVerdict::Pass);
+
+        let expect_drop =
+            RefExpect { expects_drop: true, outputs: Vec::new(), registers: Vec::new() };
+        assert!(matches!(check(&expect_drop, &ok), RefVerdict::WrongOutput(_)));
+
+        // Mask absorbs a mismatching bit.
+        let expect_masked = RefExpect {
+            expects_drop: false,
+            outputs: vec![RefExpectedOutput {
+                port: 1,
+                data: vec![0xAA, 0x00],
+                mask: Some(vec![0xFF, 0x00]),
+            }],
+            registers: Vec::new(),
+        };
+        assert_eq!(check(&expect_masked, &ok), RefVerdict::Pass);
+
+        let trapped: Result<RefRun, RefError> = Err(RefError::Trap("boom".into()));
+        assert!(matches!(check(&expect, &trapped), RefVerdict::Trap(_)));
+    }
+}

@@ -13,12 +13,17 @@
 //!   and (for t2na) the ghost thread.
 //! * [`ebpf`] — the `ebpf_model` end-host target (§6.1.3): parser + filter,
 //!   no deparser, implicit header emission.
+//!
+//! [`quirks`] documents the expected cross-target behavioral differences
+//! the differential harness tolerates (`p4testgen diff --cross`).
 
 pub mod common;
 pub mod ebpf;
+pub mod quirks;
 pub mod tofino;
 pub mod v1model;
 
 pub use ebpf::EbpfModel;
+pub use quirks::{match_quirk, DivergenceContext, Quirk, SideObservation};
 pub use tofino::{Tofino, TofinoVariant};
 pub use v1model::V1Model;

@@ -1,0 +1,274 @@
+//! The cross-target quirk list: documented, machine-readable reasons two
+//! architectures legitimately disagree on the same program and input.
+//!
+//! The differential harness (`p4testgen diff --cross`) runs programs from
+//! the target-intersection subset under every architecture's semantics and
+//! compares outcomes. Architectures are *supposed* to differ in specific,
+//! well-understood ways — BMv2 zero-initializes, Tofino drops sub-minimum
+//! frames, the eBPF model has no egress port concept. Each such difference
+//! is an entry here with an identifier, the targets it applies to, and a
+//! matcher over the observed divergence; a divergence explained by an
+//! entry is reported as `quirk-suppressed` instead of failing the run.
+//! Anything *not* on this list is a real soundness finding.
+//!
+//! The list is exported as JSON (`catalog_json`) so external tooling can
+//! audit exactly which disagreements the harness tolerates.
+
+use serde_json::Value;
+
+/// What the differential harness observed for one (test, target) pair,
+/// reduced to the facts the quirk matchers need.
+#[derive(Clone, Debug, Default)]
+pub struct SideObservation {
+    pub target: String,
+    /// No output packets were produced.
+    pub dropped: bool,
+    /// The run aborted with a trap/exception message.
+    pub trap: Option<String>,
+    /// Output packet lengths in port order.
+    pub output_lens: Vec<usize>,
+    /// Output ports in emission order.
+    pub ports: Vec<u32>,
+    /// The parser rejected the input (parser error was raised).
+    pub parser_rejected: bool,
+}
+
+/// The context for one observed cross-target divergence.
+#[derive(Clone, Debug, Default)]
+pub struct DivergenceContext {
+    pub input_len: usize,
+    pub a: SideObservation,
+    pub b: SideObservation,
+}
+
+/// One documented architectural difference.
+pub struct Quirk {
+    /// Stable identifier, referenced from divergence reports.
+    pub id: &'static str,
+    /// Targets whose presence on either side makes the quirk applicable.
+    pub targets: &'static [&'static str],
+    /// Human-readable explanation, mirrored into `catalog_json`.
+    pub description: &'static str,
+    matcher: fn(&DivergenceContext) -> bool,
+}
+
+fn involves(ctx: &DivergenceContext, names: &[&str]) -> bool {
+    names.contains(&ctx.a.target.as_str()) || names.contains(&ctx.b.target.as_str())
+}
+
+fn tofino_side(ctx: &DivergenceContext) -> Option<&SideObservation> {
+    [&ctx.a, &ctx.b]
+        .into_iter()
+        .find(|s| s.target == "tna" || s.target == "t2na")
+}
+
+fn ebpf_side(ctx: &DivergenceContext) -> Option<&SideObservation> {
+    [&ctx.a, &ctx.b].into_iter().find(|s| s.target == "ebpf_model")
+}
+
+/// The documented quirk catalog, in match-priority order: the first entry
+/// whose targets and matcher both apply explains the divergence.
+pub fn catalog() -> Vec<Quirk> {
+    vec![
+        Quirk {
+            id: "tofino-min-frame",
+            targets: &["tna", "t2na"],
+            description: "Tofino requires 64-byte minimum frames; shorter inputs are \
+                          discarded before the ingress parser runs, while v1model and \
+                          ebpf_model process them normally.",
+            matcher: |ctx| {
+                ctx.input_len < 64
+                    && tofino_side(ctx).is_some_and(|t| t.dropped)
+            },
+        },
+        Quirk {
+            id: "tofino-wire-format",
+            targets: &["tna", "t2na"],
+            description: "Tofino prepends intrinsic metadata ahead of the frame and \
+                          appends a frame check sequence, so output packet lengths \
+                          differ structurally from v1model/ebpf_model outputs even \
+                          when the forwarding decision agrees.",
+            matcher: |ctx| {
+                tofino_side(ctx).is_some()
+                    && !ctx.a.dropped
+                    && !ctx.b.dropped
+                    && ctx.a.output_lens != ctx.b.output_lens
+            },
+        },
+        Quirk {
+            id: "parser-reject-policy",
+            targets: &["v1model", "tna", "t2na", "ebpf_model"],
+            description: "On a parser error v1model records the error and continues \
+                          to ingress; the Tofino ingress parser drops the packet \
+                          (unless the program reads parser_err); ebpf_model rejects. \
+                          The same malformed input therefore legitimately diverges in \
+                          drop behavior across targets.",
+            matcher: |ctx| {
+                (ctx.a.parser_rejected || ctx.b.parser_rejected)
+                    && ctx.a.dropped != ctx.b.dropped
+            },
+        },
+        Quirk {
+            id: "tofino-no-egress-port-drop",
+            targets: &["tna", "t2na"],
+            description: "Tofino drops packets whose ingress control never assigns \
+                          ig_tm_md.ucast_egress_port; v1model forwards to egress_spec's \
+                          zero-initialized default port 0 in the same situation.",
+            matcher: |ctx| {
+                tofino_side(ctx).is_some_and(|t| t.dropped)
+                    && [&ctx.a, &ctx.b]
+                        .into_iter()
+                        .any(|s| !s.dropped && s.ports.iter().all(|&p| p == 0))
+            },
+        },
+        Quirk {
+            id: "ebpf-port-zero",
+            targets: &["ebpf_model"],
+            description: "ebpf_model is a filter, not a switch: accepted packets \
+                          always leave on port 0, so port assignments made by other \
+                          targets' forwarding logic cannot be observed.",
+            matcher: |ctx| {
+                ebpf_side(ctx).is_some_and(|e| !e.dropped && e.ports.iter().all(|&p| p == 0))
+                    && [&ctx.a, &ctx.b].into_iter().any(|s| {
+                        s.target != "ebpf_model" && !s.dropped && s.ports.iter().any(|&p| p != 0)
+                    })
+            },
+        },
+        Quirk {
+            id: "uninitialized-read-policy",
+            targets: &["v1model", "tna", "t2na", "ebpf_model"],
+            description: "BMv2 implicitly zero-initializes locals and metadata \
+                          (v1model Appendix A.1); Tofino and ebpf_model leave them \
+                          unspecified. Outputs that embed uninitialized reads differ \
+                          bit-for-bit across targets; within one target those bits \
+                          are already don't-care-masked by the generated tests.",
+            matcher: |ctx| {
+                involves(ctx, &["v1model"])
+                    && !ctx.a.dropped
+                    && !ctx.b.dropped
+                    && ctx.a.ports == ctx.b.ports
+                    && ctx.a.output_lens == ctx.b.output_lens
+                    && ctx.a.trap.is_none()
+                    && ctx.b.trap.is_none()
+            },
+        },
+    ]
+}
+
+/// Find the first catalog entry explaining the divergence, if any.
+pub fn match_quirk(ctx: &DivergenceContext) -> Option<&'static str> {
+    catalog()
+        .into_iter()
+        .find(|q| {
+            (q.targets.contains(&ctx.a.target.as_str())
+                || q.targets.contains(&ctx.b.target.as_str()))
+                && (q.matcher)(ctx)
+        })
+        .map(|q| q.id)
+}
+
+/// The catalog as JSON, for report headers and external audit.
+pub fn catalog_json() -> Value {
+    Value::Array(
+        catalog()
+            .into_iter()
+            .map(|q| {
+                Value::Object(vec![
+                    ("id".into(), Value::String(q.id.into())),
+                    (
+                        "targets".into(),
+                        Value::Array(
+                            q.targets.iter().map(|t| Value::String((*t).into())).collect(),
+                        ),
+                    ),
+                    ("description".into(), Value::String(q.description.into())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn side(target: &str, dropped: bool, ports: &[u32], lens: &[usize]) -> SideObservation {
+        SideObservation {
+            target: target.into(),
+            dropped,
+            trap: None,
+            output_lens: lens.to_vec(),
+            ports: ports.to_vec(),
+            parser_rejected: false,
+        }
+    }
+
+    #[test]
+    fn min_frame_quirk_matches_short_tofino_drop() {
+        let ctx = DivergenceContext {
+            input_len: 20,
+            a: side("v1model", false, &[1], &[20]),
+            b: side("tna", true, &[], &[]),
+        };
+        assert_eq!(match_quirk(&ctx), Some("tofino-min-frame"));
+    }
+
+    #[test]
+    fn long_frame_tofino_drop_is_not_min_frame() {
+        let ctx = DivergenceContext {
+            input_len: 80,
+            a: side("v1model", false, &[0], &[80]),
+            b: side("tna", true, &[], &[]),
+        };
+        // Still explained, but by the no-egress-port rule, not min-frame.
+        assert_eq!(match_quirk(&ctx), Some("tofino-no-egress-port-drop"));
+    }
+
+    #[test]
+    fn parser_reject_policy_needs_a_reject() {
+        let mut ctx = DivergenceContext {
+            input_len: 80,
+            a: side("v1model", false, &[1], &[80]),
+            b: side("ebpf_model", true, &[], &[]),
+        };
+        assert_eq!(match_quirk(&ctx), None);
+        ctx.b.parser_rejected = true;
+        assert_eq!(match_quirk(&ctx), Some("parser-reject-policy"));
+    }
+
+    #[test]
+    fn ebpf_port_zero_quirk() {
+        let ctx = DivergenceContext {
+            input_len: 80,
+            a: side("v1model", false, &[7], &[80]),
+            b: side("ebpf_model", false, &[0], &[80]),
+        };
+        assert_eq!(match_quirk(&ctx), Some("ebpf-port-zero"));
+    }
+
+    #[test]
+    fn catalog_json_is_complete() {
+        let v = catalog_json();
+        let Value::Array(items) = &v else { panic!("not an array") };
+        assert_eq!(items.len(), catalog().len());
+        for item in items {
+            let Value::Object(fields) = item else { panic!("not an object") };
+            for key in ["id", "targets", "description"] {
+                assert!(fields.iter().any(|(k, _)| k == key), "missing {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn unrelated_divergence_is_not_suppressed() {
+        // Same shape, same ports, a genuine value difference on v1model-only
+        // comparison must not match any quirk... except the uninitialized
+        // read rule, which requires v1model *against another target*.
+        let ctx = DivergenceContext {
+            input_len: 80,
+            a: side("tna", false, &[1], &[80]),
+            b: side("t2na", false, &[2], &[80]),
+        };
+        assert_eq!(match_quirk(&ctx), None);
+    }
+}

@@ -44,6 +44,7 @@
 //!   -v, --verbose                            chattier stderr diagnostics
 //! ```
 
+mod diff;
 mod driver;
 mod serve;
 
@@ -619,6 +620,10 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("serve") {
         return serve::serve_main(&argv[1..]);
+    }
+    // Differential mode likewise owns its flag grammar.
+    if argv.first().map(String::as_str) == Some("diff") {
+        return diff::diff_main(&argv[1..]);
     }
     let opts = parse_args();
     let diag = Diag::new(opts.verbosity);

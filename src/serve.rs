@@ -9,8 +9,9 @@
 //!   --workers <N>               request worker threads [2]
 //!   --max-pending <N>           admission-queue bound; requests past it are
 //!                               shed with a structured retry-after [16]
-//!   --ir-cache <N>              compiled-IR LRU entries, keyed on
-//!                               (target, source) hash [32]
+//!   --ir-cache <N>              compiled-IR LRU entries, keyed on the
+//!                               (target, canonicalized source) hash —
+//!                               comments and whitespace don't miss [32]
 //!   --instance-cache <N>        warm Testgen-instance LRU entries, keyed on
 //!                               the run fingerprint [8]
 //!   --memo-cache <N>            shared feasibility-memo entries [65536]
@@ -203,6 +204,12 @@ struct ServeStats {
     errors: AtomicU64,
     panics: AtomicU64,
     active: AtomicU64,
+    /// Requests whose source canonicalized to different bytes than it
+    /// arrived with (comments/whitespace stripped before IR-cache keying).
+    ir_canonicalized: AtomicU64,
+    /// IR-cache hits on canonicalized requests — hits a raw-byte cache
+    /// key could have missed.
+    ir_canonical_hits: AtomicU64,
     recent: Mutex<VecDeque<Recent>>,
 }
 
@@ -244,6 +251,70 @@ struct ServeShared {
     stats: ServeStats,
     draining: Arc<AtomicBool>,
     fault_enabled: bool,
+}
+
+/// Canonicalize P4 source for IR-cache keying: strip `//` and `/* */`
+/// comments and collapse whitespace runs to one space, so formatting-only
+/// variants of the same program (a tenant re-submitting with an edited
+/// comment, a CI job with different indentation) share a compiled-IR slot
+/// instead of each paying a frontend pass. String literals are preserved
+/// verbatim; the canonical form is lexically equivalent to the original,
+/// so it can never alias two programs that compile differently.
+fn canonicalize_source(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut chars = src.chars().peekable();
+    let mut pending_space = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                if pending_space && !out.is_empty() {
+                    out.push(' ');
+                }
+                pending_space = false;
+                out.push('"');
+                while let Some(s) = chars.next() {
+                    out.push(s);
+                    match s {
+                        '\\' => {
+                            if let Some(e) = chars.next() {
+                                out.push(e);
+                            }
+                        }
+                        '"' => break,
+                        _ => {}
+                    }
+                }
+            }
+            '/' if chars.peek() == Some(&'/') => {
+                for s in chars.by_ref() {
+                    if s == '\n' {
+                        break;
+                    }
+                }
+                pending_space = true;
+            }
+            '/' if chars.peek() == Some(&'*') => {
+                chars.next();
+                let mut prev = '\0';
+                for s in chars.by_ref() {
+                    if prev == '*' && s == '/' {
+                        break;
+                    }
+                    prev = s;
+                }
+                pending_space = true;
+            }
+            c if c.is_whitespace() => pending_space = true,
+            c => {
+                if pending_space && !out.is_empty() {
+                    out.push(' ');
+                }
+                pending_space = false;
+                out.push(c);
+            }
+        }
+    }
+    out
 }
 
 fn fnv1a(parts: &[&[u8]]) -> u64 {
@@ -485,8 +556,18 @@ fn run_typed<T: Target>(
     wrap: fn(Box<Testgen<T>>) -> AnyTestgen,
     unwrap: fn(AnyTestgen) -> Option<Box<Testgen<T>>>,
 ) -> Result<OkBody, ErrBody> {
-    let ir_key = fnv1a(&[target.name().as_bytes(), job.source.as_bytes()]);
+    // Key on the canonical form (comments/whitespace stripped), so
+    // formatting-only resubmissions hit the cache instead of recompiling.
+    let canonical = canonicalize_source(&job.source);
+    let canonicalized = canonical != job.source;
+    if canonicalized {
+        shared.stats.ir_canonicalized.fetch_add(1, Ordering::Relaxed);
+    }
+    let ir_key = fnv1a(&[target.name().as_bytes(), canonical.as_bytes()]);
     let cached = lock(&shared.caches.ir).get(&ir_key).cloned();
+    if cached.is_some() && canonicalized {
+        shared.stats.ir_canonical_hits.fetch_add(1, Ordering::Relaxed);
+    }
     let (compiled, ir_hit) = match cached {
         Some(c) => (c, true),
         None => {
@@ -615,6 +696,22 @@ fn export_all_caches(shared: &ServeShared) {
     export_cache(&shared.registry, "ir", lock(&shared.caches.ir).stats());
     export_cache(&shared.registry, "instance", lock(&shared.caches.instances).stats());
     export_cache(&shared.registry, "memo", shared.memo.stats());
+    shared
+        .registry
+        .gauge_with(
+            "p4testgen_serve_ir_canonicalized",
+            "requests whose source canonicalized to different bytes",
+            &[("cache", "ir")],
+        )
+        .set(shared.stats.ir_canonicalized.load(Ordering::Relaxed));
+    shared
+        .registry
+        .gauge_with(
+            "p4testgen_serve_ir_canonical_hits",
+            "IR-cache hits a raw-byte key could have missed",
+            &[("cache", "ir")],
+        )
+        .set(shared.stats.ir_canonical_hits.load(Ordering::Relaxed));
 }
 
 /// One worker: pop, contain, respond, account — forever, until drained.
@@ -899,6 +996,8 @@ pub fn serve_main(args: &[String]) -> ExitCode {
                     ("errors", vnum(s.errors.load(Ordering::Relaxed))),
                     ("panics", vnum(s.panics.load(Ordering::Relaxed))),
                     ("active", vnum(s.active.load(Ordering::Relaxed))),
+                    ("ir_canonicalized", vnum(s.ir_canonicalized.load(Ordering::Relaxed))),
+                    ("ir_canonical_hits", vnum(s.ir_canonical_hits.load(Ordering::Relaxed))),
                     ("queued", vnum(extra_shared.queue.len() as u64)),
                     (
                         "draining",
@@ -992,4 +1091,41 @@ pub fn serve_main(args: &[String]) -> ExitCode {
         shared.stats.errors.load(Ordering::Relaxed),
     ));
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::canonicalize_source;
+
+    #[test]
+    fn canonicalize_strips_comments_and_collapses_whitespace() {
+        let a = "control C() { // trailing\n  apply {\t}\n}\n";
+        let b = "/* banner */ control C() {\n\n\napply { } }";
+        assert_eq!(canonicalize_source(a), canonicalize_source(b));
+        assert_eq!(canonicalize_source(a), "control C() { apply { } }");
+    }
+
+    #[test]
+    fn canonicalize_preserves_string_literals() {
+        let s = r#"@name("a  // b /* c */") table t"#;
+        let canon = canonicalize_source(s);
+        assert!(canon.contains(r#""a  // b /* c */""#), "literal mangled: {canon}");
+    }
+
+    #[test]
+    fn canonicalize_distinguishes_semantic_changes() {
+        assert_ne!(
+            canonicalize_source("bit<8> a;"),
+            canonicalize_source("bit<9> a;")
+        );
+    }
+
+    #[test]
+    fn canonicalize_handles_unterminated_constructs() {
+        // Never panics, never loops: lexically broken inputs are the fuzz
+        // corpus's bread and butter.
+        for s in ["/* open", "// eol", "\"open", "a /", "\\"] {
+            let _ = canonicalize_source(s);
+        }
+    }
 }

@@ -167,6 +167,9 @@ fn cli_observability_outputs_round_trip() {
     // (null/absent-count when the corresponding flags are off).
     assert!(summary_v.get("status_endpoint").is_some_and(|v| v.is_null()));
     assert!(summary_v.get("provenance_records").is_some_and(|v| v.is_null()));
+    // The differential section exists (append-only v2) and is null outside
+    // `p4testgen diff` runs.
+    assert!(summary_v.get("differential").is_some_and(|v| v.is_null()));
     let tests_emitted = metrics_v
         .get("metrics")
         .and_then(|m| m.as_array())

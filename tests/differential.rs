@@ -4,9 +4,13 @@
 //! model. Any divergence between the symbolic semantics (core + targets)
 //! and the concrete semantics (interp) fails this test.
 
-use p4t_interp::{execute_and_check, Arch, FaultSet};
+use p4t_interp::{execute_and_check, Arch, FaultSet, Verdict};
+use p4t_refeval::{
+    check, evaluate, RefArch, RefEntry, RefExpect, RefExpectedOutput, RefInput, RefKey,
+    RefRegister,
+};
 use p4t_targets::V1Model;
-use p4testgen_core::{Testgen, TestgenConfig};
+use p4testgen_core::{KeyMatch, Target, TestSpec, Testgen, TestgenConfig};
 use proptest::prelude::*;
 
 fn check_synthetic(n_tables: u32, n_actions: u32, seed: u64) -> Result<(), TestCaseError> {
@@ -68,5 +72,129 @@ fn synthetic_path_count_scales_exponentially() {
             w[1] >= w[0] * 2,
             "path count must grow multiplicatively: {counts:?}"
         );
+    }
+}
+
+fn ref_input_of(spec: &TestSpec) -> RefInput {
+    RefInput {
+        input_port: spec.input_port,
+        input_packet: spec.input_packet.clone(),
+        entries: spec
+            .entries
+            .iter()
+            .map(|e| RefEntry {
+                table: e.table.clone(),
+                keys: e
+                    .keys
+                    .iter()
+                    .map(|k| match k {
+                        KeyMatch::Exact { value, .. } => RefKey::Exact { value: value.clone() },
+                        KeyMatch::Ternary { value, mask, .. } => {
+                            RefKey::Ternary { value: value.clone(), mask: mask.clone() }
+                        }
+                        KeyMatch::Lpm { value, prefix_len, .. } => {
+                            RefKey::Lpm { value: value.clone(), prefix_len: *prefix_len }
+                        }
+                        KeyMatch::Range { lo, hi, .. } => {
+                            RefKey::Range { lo: lo.clone(), hi: hi.clone() }
+                        }
+                        KeyMatch::Optional { value, .. } => {
+                            RefKey::Optional { value: value.clone() }
+                        }
+                    })
+                    .collect(),
+                action: e.action.clone(),
+                action_args: e.action_args.iter().map(|(_, v)| v.clone()).collect(),
+                priority: e.priority,
+            })
+            .collect(),
+        register_init: spec
+            .register_init
+            .iter()
+            .map(|r| RefRegister {
+                instance: r.instance.clone(),
+                index: r.index,
+                value: r.value.clone(),
+            })
+            .collect(),
+    }
+}
+
+fn ref_expect_of(spec: &TestSpec) -> RefExpect {
+    RefExpect {
+        expects_drop: spec.expects_drop(),
+        outputs: spec
+            .outputs
+            .iter()
+            .map(|o| RefExpectedOutput {
+                port: o.port,
+                data: o.packet.data.clone(),
+                mask: Some(o.packet.mask.clone()),
+            })
+            .collect(),
+        registers: spec
+            .register_expect
+            .iter()
+            .map(|r| RefRegister {
+                instance: r.instance.clone(),
+                index: r.index,
+                value: r.value.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// A degraded generator must not manufacture false divergences: when the
+/// PR 2 fault plan taints generation (unknown bits widen the don't-care
+/// masks), every test that still gets emitted has to pass on BOTH the
+/// interpreter and the independent reference evaluator, and the two
+/// engines' verdict checkers must agree test by test. This is the
+/// library-level half of the `p4testgen diff` invariance contract.
+#[test]
+fn emitted_tests_agree_across_engines_under_generation_fault_plans() {
+    let src = p4t_corpus::generate_synthetic(2, 2);
+    for permille in [0u32, 250, 700] {
+        let mut config = TestgenConfig::default();
+        config.seed = 7;
+        config.max_tests = 48;
+        config.fault_plan.seed = 11;
+        config.fault_plan.unknown_permille = permille;
+        let bound = config.interp_parser_loop_bound;
+        let mut tg =
+            Testgen::new("faultplan", &src, V1Model::new(), config).expect("compiles");
+        let mut tests = Vec::new();
+        tg.run(|t| {
+            tests.push(t.clone());
+            true
+        });
+        assert!(!tests.is_empty(), "permille={permille}: no tests emitted");
+
+        let prelude = V1Model::new().prelude().to_string();
+        let checked = p4t_frontend::frontend(&format!("{prelude}{src}"))
+            .expect("reference frontend accepts the program");
+        for t in &tests {
+            let iv = execute_and_check(&tg.prog, Arch::V1Model, FaultSet::none(), t);
+            let outcome = evaluate(&checked, RefArch::V1Model, &ref_input_of(t), bound);
+            let rv = check(&ref_expect_of(t), &outcome);
+            if rv.kind() == "unsupported" {
+                continue;
+            }
+            let ikind = match &iv {
+                Verdict::Pass => "pass",
+                Verdict::WrongOutput(_) => "wrong-output",
+                Verdict::Exception(_) => "exception",
+            };
+            assert_eq!(
+                ikind,
+                rv.kind(),
+                "permille={permille} test {}: interp says {iv}, reference says {rv:?}",
+                t.id
+            );
+            assert!(
+                iv.is_pass(),
+                "permille={permille} test {} fails on the interpreter: {iv}",
+                t.id
+            );
+        }
     }
 }

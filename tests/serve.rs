@@ -323,6 +323,77 @@ fn serve_warm_instance_restamps_program_name() {
     );
 }
 
+/// The IR cache keys on the *canonicalized* source: a resubmission that
+/// differs only in comments and whitespace must hit the compiled-IR slot
+/// (and produce the identical suite), and the daemon's /status counters
+/// must record the canonicalization win.
+#[test]
+fn serve_ir_cache_hits_across_formatting_variants() {
+    let daemon = spawn_serve(&["--workers", "1", "--status-addr", "127.0.0.1:0"]);
+    let mut client = Client::connect(&daemon.addr);
+
+    let with_source = |id: &str, source: &str| {
+        let mut req = request(id, empty_config());
+        if let Value::Object(fields) = &mut req {
+            for (k, v) in fields.iter_mut() {
+                if k == "source" {
+                    *v = Value::String(source.to_string());
+                }
+            }
+        }
+        req
+    };
+
+    client.send(&with_source("original", PROGRAM));
+    let first = client.recv();
+    assert_eq!(str_field(&first, "status"), "ok");
+    assert_eq!(str_field(field(&first, "cache"), "ir"), "miss");
+    let reference = str_field(&first, "suite");
+
+    // Same program, different bytes: a banner comment, an inline comment,
+    // retabbed indentation, and trailing whitespace.
+    let variant = format!(
+        "// resubmitted by CI — formatting only\n{}",
+        PROGRAM
+            .replace("    state start", "\tstate start /* entry */")
+            .replace("apply { }", "apply {  }   ")
+    );
+    assert_ne!(variant, PROGRAM);
+    client.send(&with_source("variant", &variant));
+    let second = client.recv();
+    assert_eq!(str_field(&second, "status"), "ok");
+    assert_eq!(
+        str_field(field(&second, "cache"), "ir"),
+        "hit",
+        "formatting-only variant must hit the canonicalized IR cache"
+    );
+    assert_eq!(str_field(&second, "suite"), reference);
+
+    // A real source change is semantic, not formatting: it must miss.
+    let semantic = PROGRAM.replace("bit<8> a;", "bit<8> a; bit<8> b;");
+    client.send(&with_source("semantic", &semantic));
+    let third = client.recv();
+    assert_eq!(str_field(&third, "status"), "ok");
+    assert_eq!(
+        str_field(field(&third, "cache"), "ir"),
+        "miss",
+        "semantically different source must not alias the cache slot"
+    );
+
+    // /status records how many requests canonicalized and how many hits
+    // only canonicalization made possible.
+    let status = http_get(daemon.status_addr.as_deref().unwrap(), "/status");
+    let body = status.split("\r\n\r\n").nth(1).unwrap_or(&status);
+    let parsed: Value = serde_json::from_str(body.trim()).expect("status JSON");
+    let serve = field(&parsed, "serve");
+    let num = |key: &str| match field(serve, key) {
+        Value::Number(serde_json::Number::U(n)) => *n,
+        other => panic!("{key} not a u64: {other:?}"),
+    };
+    assert!(num("ir_canonicalized") >= 1, "variant request should have canonicalized");
+    assert_eq!(num("ir_canonical_hits"), 1, "exactly the variant request hit via canonicalization");
+}
+
 /// A client that pipelines its requests and then shuts down its write half
 /// is not a disconnect: every queued request still runs and every response
 /// is still delivered.
